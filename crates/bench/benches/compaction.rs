@@ -1,0 +1,59 @@
+//! Benchmarks smart versus normal compaction on a fragmented machine —
+//! the wall-clock counterpart of Figure 7's bytes-copied comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use trident_core::{map_chunk, CompactionKind, Compactor, MmContext, SpaceSet};
+use trident_phys::PhysicalMemory;
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_vm::{AddressSpace, VmaKind};
+
+/// Builds a machine whose giant chunks are all broken by user pages
+/// pinned at every eighth page of every region.
+fn fragmented_machine(regions: u64) -> (MmContext, SpaceSet) {
+    let geo = PageGeometry::TINY;
+    let mut ctx = MmContext::new(PhysicalMemory::new(
+        geo,
+        regions * geo.base_pages(PageSize::Giant),
+    ));
+    let mut space = AddressSpace::new(AsId::new(1), geo);
+    let total = regions * geo.base_pages(PageSize::Giant);
+    space.mmap_at(Vpn::new(0), total, VmaKind::Anon).unwrap();
+    let mut held = Vec::new();
+    for p in 0..total {
+        map_chunk(&mut ctx, &mut space, Vpn::new(p), PageSize::Base).unwrap();
+        held.push(p);
+    }
+    for p in held {
+        if p % 8 != 0 {
+            let rec = space.page_table_mut().unmap(Vpn::new(p)).unwrap();
+            ctx.mem.free(rec.pfn).unwrap();
+        }
+    }
+    let mut spaces = SpaceSet::new();
+    spaces.insert(space);
+    (ctx, spaces)
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction");
+    group.sample_size(20);
+    for (name, kind) in [
+        ("smart", CompactionKind::Smart),
+        ("normal", CompactionKind::Normal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || fragmented_machine(32),
+                |(mut ctx, mut spaces)| {
+                    let mut compactor = Compactor::new(kind);
+                    black_box(compactor.compact(&mut ctx, &mut spaces, PageSize::Giant))
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks copy-based versus copy-less (Trident_pv) giant-page
+//! promotion — the wall-clock counterpart of §6's 600ms vs 500µs
+//! comparison (the modeled latencies live in `CostModel`; this measures
+//! the simulator's own work, whose ratio is driven by page-table surgery
+//! versus hypercall bookkeeping).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use trident_core::{
+    map_chunk, promote_chunk, PagePolicy, PromotionStyle, ThpPolicy, TridentConfig, TridentPolicy,
+};
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_virt::{copyless_promote_giant, Hypervisor, VirtualMachine};
+use trident_vm::{AddressSpace, VmaKind};
+
+fn boot_vm(host: Box<dyn PagePolicy>) -> (Hypervisor, VirtualMachine) {
+    let geo = PageGeometry::TINY;
+    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::Giant), host);
+    let mut vm = hyp.create_vm(
+        16 * geo.base_pages(PageSize::Giant),
+        Box::new(TridentPolicy::new(TridentConfig::paravirt())),
+    );
+    let mut proc = AddressSpace::new(AsId::new(1), geo);
+    proc.mmap_at(
+        Vpn::new(0),
+        4 * geo.base_pages(PageSize::Giant),
+        VmaKind::Anon,
+    )
+    .unwrap();
+    vm.kernel.spaces.insert(proc);
+    // Back the first giant gVA chunk with huge pages, touching the host.
+    let hp = geo.base_pages(PageSize::Huge);
+    let count = geo.base_pages(PageSize::Giant) / hp;
+    for i in 0..count {
+        let head = Vpn::new(i * hp);
+        let space = vm.kernel.spaces.get_mut(AsId::new(1)).unwrap();
+        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::Huge).unwrap();
+        vm.touch(&mut hyp, AsId::new(1), head, true).unwrap();
+    }
+    (hyp, vm)
+}
+
+fn bench_promotion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("promotion");
+    group.sample_size(30);
+    group.bench_function("guest_copy_based", |b| {
+        b.iter_batched(
+            || boot_vm(Box::new(ThpPolicy::new())),
+            |(hyp, mut vm)| {
+                let out = promote_chunk(
+                    &mut vm.kernel.ctx,
+                    &mut vm.kernel.spaces,
+                    AsId::new(1),
+                    Vpn::new(0),
+                    PageSize::Giant,
+                    PromotionStyle::Copy,
+                )
+                .unwrap();
+                black_box((hyp, out))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("guest_copyless_pv", |b| {
+        b.iter_batched(
+            || boot_vm(Box::new(ThpPolicy::new())),
+            |(mut hyp, mut vm)| {
+                let vm_id = vm.id();
+                let report = copyless_promote_giant(
+                    &mut vm.kernel,
+                    &mut hyp,
+                    vm_id,
+                    AsId::new(1),
+                    Vpn::new(0),
+                )
+                .unwrap();
+                black_box(report)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_promotion);
+criterion_main!(benches);

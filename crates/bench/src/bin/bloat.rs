@@ -1,0 +1,8 @@
+//! Regenerates the §7 "Memory bloat" study: Trident's bloat on Memcached
+//! and Btree, and its recovery via HawkEye-style demotion.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Memory bloat under aggressive promotion", &opts);
+    print!("{}", trident_sim::experiments::bloat::run(&opts).to_csv());
+}

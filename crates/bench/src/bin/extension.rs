@@ -1,0 +1,11 @@
+//! Regenerates the five-level-table / page-walk-cache extension study
+//! (the §4.3 trajectory argument, quantified).
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Extension: 5-level tables and page-walk caches", &opts);
+    print!(
+        "{}",
+        trident_sim::experiments::extension::run(&opts).to_csv()
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: page sizes under native execution.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner(
+        "Figure 1: native walk cycles and performance by page size",
+        &opts,
+    );
+    print!("{}", trident_sim::experiments::fig1::run(&opts).to_csv());
+}

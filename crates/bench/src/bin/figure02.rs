@@ -1,0 +1,16 @@
+//! Regenerates Figure 2: page sizes under virtualized execution.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = trident_bench::ExpOptions::from_args(&args);
+    trident_bench::banner("Figure 2: virtualized walk cycles and performance", &opts);
+    if args.iter().any(|a| a == "--all-combos") {
+        // The paper explored all nine guest+host combinations.
+        print!(
+            "{}",
+            trident_sim::experiments::fig2::run_all_combos(&opts).to_csv()
+        );
+    } else {
+        print!("{}", trident_sim::experiments::fig2::run(&opts).to_csv());
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: mappable memory over the allocation timeline.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner(
+        "Figure 3: 2MB- vs 1GB-mappable memory (Graph500, SVM)",
+        &opts,
+    );
+    print!("{}", trident_sim::experiments::fig3::run(&opts).to_csv());
+}

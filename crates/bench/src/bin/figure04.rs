@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: TLB-miss frequency by VA region and mappability.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner(
+        "Figure 4: relative TLB-miss frequency (Graph500, SVM)",
+        &opts,
+    );
+    print!("{}", trident_sim::experiments::fig4::run(&opts).to_csv());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: bytes-copied reduction from smart compaction.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 7: smart vs normal compaction bytes copied", &opts);
+    print!("{}", trident_sim::experiments::fig7::run(&opts).to_csv());
+}

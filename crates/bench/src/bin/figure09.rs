@@ -1,0 +1,10 @@
+//! Regenerates Figure 9: THP vs HawkEye vs Trident, unfragmented.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 9: performance under no fragmentation", &opts);
+    print!(
+        "{}",
+        trident_sim::experiments::fig9::run(&opts, false).to_csv()
+    );
+}

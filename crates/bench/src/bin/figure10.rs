@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: THP vs HawkEye vs Trident under fragmentation.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 10: performance under fragmentation", &opts);
+    print!(
+        "{}",
+        trident_sim::experiments::fig9::run(&opts, true).to_csv()
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 11: ablation of Trident's design components.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 11: Trident-1Gonly / Trident-NC / Trident", &opts);
+    let a = trident_sim::experiments::fig11::run(&opts, false);
+    let b = trident_sim::experiments::fig11::run(&opts, true);
+    println!("# (a) no fragmentation");
+    print!("{}", a.to_csv());
+    println!("# (b) fragmentation");
+    print!("{}", b.to_csv());
+}

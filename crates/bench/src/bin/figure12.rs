@@ -1,0 +1,7 @@
+//! Regenerates Figure 12: performance under virtualization.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 12: THP/HawkEye/Trident at both levels", &opts);
+    print!("{}", trident_sim::experiments::fig12::run(&opts).to_csv());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: Trident_pv under fragmented gPA.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Figure 13: Trident_pv with khugepaged capped at 10%", &opts);
+    print!("{}", trident_sim::experiments::fig13::run(&opts).to_csv());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §4.3 kernel direct-map side-experiment (apache/filebench
+//! gain 2-3% with a 1GB direct map over 2MB).
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Kernel direct map: 4KB vs 2MB vs 1GB", &opts);
+    print!(
+        "{}",
+        trident_sim::experiments::kernel_map::run(&opts).to_csv()
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3: memory mapped via each Trident mechanism.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Table 3: 1GB/2MB pages by allocation mechanism", &opts);
+    print!("{}", trident_sim::experiments::table3::run(&opts).to_csv());
+}

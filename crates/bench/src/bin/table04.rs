@@ -1,0 +1,10 @@
+//! Regenerates Table 4: 1GB allocation failure rates.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner(
+        "Table 4: 1GB allocation failures under fragmentation",
+        &opts,
+    );
+    print!("{}", trident_sim::experiments::table4::run(&opts).to_csv());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5: tail latency for Redis and Memcached.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Table 5: p99 latency (ms)", &opts);
+    print!("{}", trident_sim::experiments::table5::run(&opts).to_csv());
+}

@@ -1,0 +1,98 @@
+//! `tridentctl` — run any workload under any policy and print a
+//! `perf stat`-style report.
+//!
+//! ```sh
+//! tridentctl list
+//! tridentctl run --workload Redis --policy Trident --scale 64 [--fragment]
+//! ```
+
+use trident_sim::{PolicyKind, RunReport, SimConfig, System};
+use trident_workloads::WorkloadSpec;
+
+const POLICIES: &[(&str, PolicyKind)] = &[
+    ("4KB", PolicyKind::Base),
+    ("THP", PolicyKind::Thp),
+    ("Hugetlbfs2M", PolicyKind::HugetlbfsHuge),
+    ("Hugetlbfs1G", PolicyKind::HugetlbfsGiant),
+    ("HawkEye", PolicyKind::HawkEye),
+    ("Ingens", PolicyKind::Ingens),
+    ("Trident", PolicyKind::Trident),
+    ("Trident1G", PolicyKind::Trident1G),
+    ("TridentNC", PolicyKind::TridentNC),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: tridentctl list");
+    eprintln!("       tridentctl run --workload <name> --policy <name> [--scale N] [--samples N] [--seed N] [--fragment]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("workloads:");
+            for w in WorkloadSpec::all() {
+                println!(
+                    "  {:<10} {:>4} GB, {} threads{}",
+                    w.name,
+                    w.footprint_bytes >> 30,
+                    w.threads,
+                    if w.giant_sensitive {
+                        ", 1GB-sensitive"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            println!("policies:");
+            for (name, kind) in POLICIES {
+                println!("  {:<12} ({})", name, kind.label());
+            }
+        }
+        Some("run") => {
+            let get = |flag: &str| {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            let workload = get("--workload").unwrap_or_else(|| usage());
+            let policy_name = get("--policy").unwrap_or_else(|| usage());
+            let spec = WorkloadSpec::by_name(&workload).unwrap_or_else(|| {
+                eprintln!("unknown workload {workload}; try `tridentctl list`");
+                std::process::exit(2);
+            });
+            let kind = POLICIES
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(&policy_name))
+                .map(|(_, k)| *k)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown policy {policy_name}; try `tridentctl list`");
+                    std::process::exit(2);
+                });
+            let opts = trident_bench::ExpOptions::from_args(&args);
+            let mut config = SimConfig::at_scale(opts.scale);
+            config.measure_samples = opts.samples;
+            config.measure_tick_every = (opts.samples / 6).max(1);
+            config.seed = opts.seed;
+            if args.iter().any(|a| a == "--fragment") {
+                config = config.fragmented();
+            }
+            match System::launch(config, kind, spec) {
+                Ok(mut system) => {
+                    system.settle();
+                    let m = system.measure();
+                    println!("{}", RunReport::new(&system, &m));
+                }
+                Err(e) => {
+                    eprintln!(
+                        "launch failed: {e} (hugetlbfs reservations fail on fragmented memory)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

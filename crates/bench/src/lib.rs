@@ -1,0 +1,26 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index) and prints it as CSV on stdout with a
+//! short header on stderr. Common flags: `--scale N` (memory-scale
+//! divisor, default 32), `--samples N`, `--seed N`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use trident_sim::experiments::ExpOptions;
+
+/// Parses the standard experiment flags from `std::env::args`.
+#[must_use]
+pub fn options_from_env() -> ExpOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExpOptions::from_args(&args)
+}
+
+/// Prints the experiment banner on stderr so stdout stays pure CSV.
+pub fn banner(what: &str, opts: &ExpOptions) {
+    eprintln!(
+        "# {what} — scale 1/{}, {} samples, seed {}",
+        opts.scale, opts.samples, opts.seed
+    );
+}

@@ -1,0 +1,97 @@
+//! The 4KB-only baseline.
+
+use trident_types::{PageSize, Vpn};
+use trident_vm::AddressSpace;
+
+use crate::{map_chunk, FaultOutcome, MmContext, PagePolicy, PolicyError};
+
+/// Maps everything with base (4KB) pages — the first bar of Figures 1
+/// and 2.
+///
+/// # Examples
+///
+/// ```
+/// use trident_core::{BasePolicy, MmContext, PagePolicy};
+/// use trident_phys::PhysicalMemory;
+/// use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+/// use trident_vm::{AddressSpace, VmaKind};
+///
+/// let geo = PageGeometry::TINY;
+/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant)));
+/// let mut space = AddressSpace::new(AsId::new(1), geo);
+/// space.mmap_at(Vpn::new(0), 64, VmaKind::Anon)?;
+/// let outcome = BasePolicy::new().on_fault(&mut ctx, &mut space, Vpn::new(5))?;
+/// assert_eq!(outcome.size, PageSize::Base);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasePolicy;
+
+impl BasePolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> BasePolicy {
+        BasePolicy
+    }
+}
+
+impl PagePolicy for BasePolicy {
+    fn name(&self) -> String {
+        "4KB".to_owned()
+    }
+
+    fn on_fault(
+        &mut self,
+        ctx: &mut MmContext,
+        space: &mut AddressSpace,
+        vpn: Vpn,
+    ) -> Result<FaultOutcome, PolicyError> {
+        if space.vma_containing(vpn).is_none() {
+            return Err(PolicyError::BadAddress(vpn));
+        }
+        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        let latency = ctx.cost.fault_base_ns;
+        ctx.stats.record_fault(PageSize::Base, latency);
+        Ok(FaultOutcome {
+            size: PageSize::Base,
+            latency_ns: latency,
+            prepared: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::{AsId, PageGeometry};
+    use trident_vm::VmaKind;
+
+    #[test]
+    fn faults_outside_vmas_are_bad_addresses() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, 64));
+        let mut space = AddressSpace::new(AsId::new(1), geo);
+        assert_eq!(
+            BasePolicy::new().on_fault(&mut ctx, &mut space, Vpn::new(0)),
+            Err(PolicyError::BadAddress(Vpn::new(0)))
+        );
+    }
+
+    #[test]
+    fn exhausted_memory_reports_oom() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, 64));
+        let mut space = AddressSpace::new(AsId::new(1), geo);
+        space.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
+        let mut policy = BasePolicy::new();
+        for i in 0..64 {
+            policy.on_fault(&mut ctx, &mut space, Vpn::new(i)).unwrap();
+        }
+        assert!(matches!(
+            policy.on_fault(&mut ctx, &mut space, Vpn::new(64)),
+            Err(PolicyError::OutOfMemory(_))
+        ));
+        assert_eq!(ctx.stats.faults[PageSize::Base as usize], 64);
+    }
+}

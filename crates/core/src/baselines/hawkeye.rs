@@ -1,0 +1,187 @@
+//! The HawkEye baseline (ASPLOS 2019).
+//!
+//! HawkEye improves on THP by (a) promoting the address ranges with the
+//! highest observed TLB-miss (access) frequency first, measured through
+//! per-region access bins maintained by a `kbinmanager` kernel thread, and
+//! (b) recovering memory bloat by demoting under-used huge pages and
+//! deduplicating zero-filled pages. It manages 2MB pages only. The paper
+//! notes its `kbinmanager` CPU overhead can make it *lose* to plain THP
+//! for large-memory applications under fragmentation (§7).
+
+use trident_types::{PageSize, Vpn};
+use trident_vm::AddressSpace;
+
+use crate::{
+    map_chunk, recover_bloat, touched_chunk, CompactionKind, FaultOutcome, MmContext, PagePolicy,
+    PolicyError, PromotedChunk, Promoter, PromoterConfig, PromotionStyle, SpaceSet, TickOutcome,
+};
+
+/// Free-memory fraction below which bloat recovery kicks in.
+const PRESSURE_WATERMARK: f64 = 0.08;
+
+/// The HawkEye policy.
+#[derive(Debug, Clone)]
+pub struct HawkEyePolicy {
+    promoter: Promoter,
+    promoted: Vec<PromotedChunk>,
+}
+
+impl HawkEyePolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> HawkEyePolicy {
+        HawkEyePolicy {
+            promoter: Promoter::new(PromoterConfig {
+                use_giant: false,
+                use_huge: true,
+                compaction: CompactionKind::Normal,
+                style: PromotionStyle::Copy,
+                chunk_budget: 16,
+                order_by_access: true,
+            }),
+            promoted: Vec::new(),
+        }
+    }
+
+    /// Chunks promoted so far and still registered for bloat recovery.
+    #[must_use]
+    pub fn tracked_chunks(&self) -> usize {
+        self.promoted.len()
+    }
+}
+
+impl Default for HawkEyePolicy {
+    fn default() -> Self {
+        HawkEyePolicy::new()
+    }
+}
+
+impl PagePolicy for HawkEyePolicy {
+    fn name(&self) -> String {
+        "HawkEye".to_owned()
+    }
+
+    /// Fault path is THP-like: aggressive 2MB when possible.
+    fn on_fault(
+        &mut self,
+        ctx: &mut MmContext,
+        space: &mut AddressSpace,
+        vpn: Vpn,
+    ) -> Result<FaultOutcome, PolicyError> {
+        if space.vma_containing(vpn).is_none() {
+            return Err(PolicyError::BadAddress(vpn));
+        }
+        if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
+            if ctx.mem.has_free(PageSize::Huge) {
+                map_chunk(ctx, space, head, PageSize::Huge).map_err(PolicyError::OutOfMemory)?;
+                let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
+                ctx.stats.record_fault(PageSize::Huge, latency);
+                return Ok(FaultOutcome {
+                    size: PageSize::Huge,
+                    latency_ns: latency,
+                    prepared: false,
+                });
+            }
+        }
+        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        let latency = ctx.cost.fault_base_ns;
+        ctx.stats.record_fault(PageSize::Base, latency);
+        Ok(FaultOutcome {
+            size: PageSize::Base,
+            latency_ns: latency,
+            prepared: false,
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut MmContext, spaces: &mut SpaceSet) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        // kbinmanager: walk every space's PTEs to maintain access bins.
+        // This is HawkEye's extra CPU tax relative to THP.
+        let binned_pages: u64 = spaces.iter().map(|s| s.total_vma_pages()).sum();
+        out.daemon_ns += 2 * binned_pages * ctx.cost.scan_page_ns;
+
+        let (tick, promoted) = self.promoter.tick(ctx, spaces);
+        out.absorb(tick);
+        self.promoted.extend(promoted);
+
+        // Bloat recovery under memory pressure.
+        if ctx.mem.free_fraction() < PRESSURE_WATERMARK {
+            out.absorb(recover_bloat(
+                ctx,
+                spaces,
+                &mut self.promoted,
+                PRESSURE_WATERMARK,
+            ));
+        }
+        ctx.stats.daemon_ns += out.daemon_ns;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::{AsId, PageGeometry};
+    use trident_vm::VmaKind;
+
+    fn setup() -> (MmContext, SpaceSet) {
+        let geo = PageGeometry::TINY;
+        let ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            8 * geo.base_pages(PageSize::Giant),
+        ));
+        let mut spaces = SpaceSet::new();
+        spaces.insert(AddressSpace::new(AsId::new(1), geo));
+        (ctx, spaces)
+    }
+
+    #[test]
+    fn hawkeye_costs_more_daemon_time_than_thp() {
+        let (mut ctx, mut spaces) = setup();
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            space.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
+        }
+        let mut hawkeye = HawkEyePolicy::new();
+        let mut thp = crate::ThpPolicy::new();
+        let h = hawkeye.on_tick(&mut ctx, &mut spaces);
+        let t = thp.on_tick(&mut ctx, &mut spaces);
+        assert!(h.daemon_ns > t.daemon_ns);
+    }
+
+    #[test]
+    fn promotes_hot_regions_and_tracks_them() {
+        let (mut ctx, mut spaces) = setup();
+        let mut policy = HawkEyePolicy::new();
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            // A tiny VMA so faults land as 4KB pages, grown afterwards so
+            // the chunk becomes huge-mappable.
+            space.mmap_at(Vpn::new(0), 4, VmaKind::Anon).unwrap();
+            for i in 0..4 {
+                policy.on_fault(&mut ctx, space, Vpn::new(i)).unwrap();
+            }
+            space.mmap_at(Vpn::new(4), 12, VmaKind::Anon).unwrap();
+        }
+        let out = policy.on_tick(&mut ctx, &mut spaces);
+        assert!(out.promotions >= 1);
+        assert!(policy.tracked_chunks() >= 1);
+    }
+
+    #[test]
+    fn never_uses_giant_pages() {
+        let (mut ctx, mut spaces) = setup();
+        let mut policy = HawkEyePolicy::new();
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+            for i in (0..64).step_by(8) {
+                policy.on_fault(&mut ctx, space, Vpn::new(i)).unwrap();
+            }
+        }
+        policy.on_tick(&mut ctx, &mut spaces);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The Ingens baseline (OSDI 2016, the paper's reference [36]).
+//!
+//! Ingens "mixes THP's aggressive large page allocation with FreeBSD's
+//! conservative approach to reduce memory bloat and latency": instead of
+//! mapping a 2MB page at first touch, it waits until a *utilization
+//! threshold* of the huge-sized region has actually been touched with 4KB
+//! pages, then promotes. That bounds bloat (untouched memory is never
+//! backed by a large page) at the cost of running longer on 4KB pages.
+//! Like THP and HawkEye it manages 2MB pages only.
+
+use trident_types::{PageSize, Vpn};
+use trident_vm::{promotion_candidates, AddressSpace};
+
+use crate::{
+    map_chunk, promote_chunk, CompactionKind, Compactor, FaultOutcome, MmContext, PagePolicy,
+    PolicyError, PromoteError, PromotionStyle, SpaceSet, TickOutcome,
+};
+
+/// The Ingens policy: conservative, utilization-gated 2MB promotion.
+#[derive(Debug, Clone)]
+pub struct IngensPolicy {
+    /// Fraction of a huge region that must be touched before promotion
+    /// (Ingens' default corresponds to 90%).
+    utilization_threshold: f64,
+    compactor: Compactor,
+    next_space: usize,
+    /// Chunks promoted per tick.
+    chunk_budget: usize,
+}
+
+impl IngensPolicy {
+    /// Creates the policy with the canonical 90% utilization threshold.
+    #[must_use]
+    pub fn new() -> IngensPolicy {
+        IngensPolicy::with_threshold(0.9)
+    }
+
+    /// Creates the policy with a custom utilization threshold in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_threshold(utilization_threshold: f64) -> IngensPolicy {
+        assert!(
+            utilization_threshold > 0.0 && utilization_threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        IngensPolicy {
+            utilization_threshold,
+            compactor: Compactor::new(CompactionKind::Normal),
+            next_space: 0,
+            chunk_budget: 16,
+        }
+    }
+
+    /// The configured utilization threshold.
+    #[must_use]
+    pub fn utilization_threshold(&self) -> f64 {
+        self.utilization_threshold
+    }
+}
+
+impl Default for IngensPolicy {
+    fn default() -> Self {
+        IngensPolicy::new()
+    }
+}
+
+impl PagePolicy for IngensPolicy {
+    fn name(&self) -> String {
+        "Ingens".to_owned()
+    }
+
+    /// Conservative fault path: always 4KB — large pages come only from
+    /// utilization-gated promotion.
+    fn on_fault(
+        &mut self,
+        ctx: &mut MmContext,
+        space: &mut AddressSpace,
+        vpn: Vpn,
+    ) -> Result<FaultOutcome, PolicyError> {
+        if space.vma_containing(vpn).is_none() {
+            return Err(PolicyError::BadAddress(vpn));
+        }
+        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        let latency = ctx.cost.fault_base_ns;
+        ctx.stats.record_fault(PageSize::Base, latency);
+        Ok(FaultOutcome {
+            size: PageSize::Base,
+            latency_ns: latency,
+            prepared: false,
+        })
+    }
+
+    fn on_tick(&mut self, ctx: &mut MmContext, spaces: &mut SpaceSet) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        let ids = spaces.ids();
+        if ids.is_empty() {
+            return out;
+        }
+        let asid = ids[self.next_space % ids.len()];
+        self.next_space = self.next_space.wrapping_add(1);
+
+        let geo = ctx.geometry();
+        let span = geo.base_pages(PageSize::Huge);
+        let scan_pages = spaces
+            .get(asid)
+            .map(|s| s.total_vma_pages())
+            .unwrap_or_default();
+        out.daemon_ns += scan_pages * ctx.cost.scan_page_ns;
+
+        // Utilization gate: only chunks whose touched fraction clears the
+        // threshold are promoted — the anti-bloat half of Ingens.
+        let candidates: Vec<Vpn> = {
+            let Some(space) = spaces.get(asid) else {
+                return out;
+            };
+            promotion_candidates(space, PageSize::Huge)
+                .into_iter()
+                .filter(|(_, profile)| {
+                    profile.mapped() as f64 >= self.utilization_threshold * span as f64
+                })
+                .map(|(head, _)| head)
+                .collect()
+        };
+        for head in candidates.into_iter().take(self.chunk_budget) {
+            if !ctx.mem.has_free(PageSize::Huge) {
+                out.compaction_runs += 1;
+                let c = self.compactor.compact(ctx, spaces, PageSize::Huge);
+                out.daemon_ns += c.ns;
+                if !c.success {
+                    break;
+                }
+            }
+            match promote_chunk(
+                ctx,
+                spaces,
+                asid,
+                head,
+                PageSize::Huge,
+                PromotionStyle::Copy,
+            ) {
+                Ok(p) => {
+                    out.daemon_ns += p.ns;
+                    out.promotions += 1;
+                }
+                Err(PromoteError::NoContiguity) => break,
+                Err(PromoteError::NotACandidate) => {}
+            }
+        }
+        ctx.stats.daemon_ns += out.daemon_ns;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::{AsId, PageGeometry};
+    use trident_vm::VmaKind;
+
+    fn setup() -> (MmContext, SpaceSet) {
+        let geo = PageGeometry::TINY;
+        let ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            8 * geo.base_pages(PageSize::Giant),
+        ));
+        let mut spaces = SpaceSet::new();
+        spaces.insert(AddressSpace::new(AsId::new(1), geo));
+        (ctx, spaces)
+    }
+
+    #[test]
+    fn fault_path_is_always_base_pages() {
+        let (mut ctx, mut spaces) = setup();
+        let mut policy = IngensPolicy::new();
+        let space = spaces.get_mut(AsId::new(1)).unwrap();
+        space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+        let out = policy.on_fault(&mut ctx, space, Vpn::new(0)).unwrap();
+        assert_eq!(out.size, PageSize::Base);
+    }
+
+    #[test]
+    fn promotion_waits_for_the_utilization_threshold() {
+        let (mut ctx, mut spaces) = setup();
+        let mut policy = IngensPolicy::new(); // 90% of an 8-page chunk = 8 pages
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            space.mmap_at(Vpn::new(0), 16, VmaKind::Anon).unwrap();
+            // Touch 6 of 8 pages in the first huge chunk: below threshold.
+            for i in 0..6 {
+                policy.on_fault(&mut ctx, space, Vpn::new(i)).unwrap();
+            }
+        }
+        policy.on_tick(&mut ctx, &mut spaces);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+        // Touch the rest; now it promotes.
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            for i in 6..8 {
+                policy.on_fault(&mut ctx, space, Vpn::new(i)).unwrap();
+            }
+        }
+        policy.on_tick(&mut ctx, &mut spaces);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 1);
+    }
+
+    #[test]
+    fn conservative_promotion_creates_no_bloat() {
+        let (mut ctx, mut spaces) = setup();
+        let mut policy = IngensPolicy::new();
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+            // Sparse touching: half of each huge chunk.
+            for chunk in 0..8 {
+                for i in 0..4 {
+                    policy
+                        .on_fault(&mut ctx, space, Vpn::new(chunk * 8 + i))
+                        .unwrap();
+                }
+            }
+        }
+        for _ in 0..4 {
+            policy.on_tick(&mut ctx, &mut spaces);
+        }
+        assert_eq!(
+            ctx.stats.bloat_pages, 0,
+            "Ingens never promotes sparse chunks"
+        );
+        assert_eq!(ctx.stats.promotions[PageSize::Huge as usize], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn rejects_invalid_threshold() {
+        let _ = IngensPolicy::with_threshold(0.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! The systems Trident is evaluated against.
+
+pub mod base;
+pub mod hawkeye;
+pub mod hugetlbfs;
+pub mod ingens;
+pub mod thp;

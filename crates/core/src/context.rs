@@ -1,0 +1,154 @@
+//! Shared mutable state the policies operate on.
+
+use std::collections::BTreeMap;
+
+use trident_phys::PhysicalMemory;
+use trident_types::{AsId, PageGeometry};
+use trident_vm::AddressSpace;
+
+use crate::{CostModel, MmStats, ZeroFillPool};
+
+/// System-wide memory-management state: the physical memory, the async
+/// zero-fill pool, the cost model, and the statistics every experiment
+/// reads.
+#[derive(Debug, Clone)]
+pub struct MmContext {
+    /// The machine's physical memory.
+    pub mem: PhysicalMemory,
+    /// Pre-zeroed giant blocks maintained by the background thread.
+    pub zero_pool: ZeroFillPool,
+    /// Accumulated statistics.
+    pub stats: MmStats,
+    /// Latency constants.
+    pub cost: CostModel,
+}
+
+impl MmContext {
+    /// Wraps a physical memory with default cost model and an empty
+    /// zero-fill pool.
+    #[must_use]
+    pub fn new(mem: PhysicalMemory) -> MmContext {
+        MmContext {
+            mem,
+            zero_pool: ZeroFillPool::new(8),
+            stats: MmStats::default(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// The page geometry of the underlying memory.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.mem.geometry()
+    }
+}
+
+/// The set of simulated process address spaces, keyed by [`AsId`].
+///
+/// Compaction needs mutable access to *any* space (it follows reverse-map
+/// owners to fix page tables), while fault handling works on one; this
+/// container provides both access patterns.
+///
+/// # Examples
+///
+/// ```
+/// use trident_core::SpaceSet;
+/// use trident_types::{AsId, PageGeometry};
+/// use trident_vm::AddressSpace;
+///
+/// let mut spaces = SpaceSet::new();
+/// spaces.insert(AddressSpace::new(AsId::new(1), PageGeometry::TINY));
+/// assert!(spaces.get(AsId::new(1)).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpaceSet {
+    spaces: BTreeMap<AsId, AddressSpace>,
+}
+
+impl SpaceSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> SpaceSet {
+        SpaceSet::default()
+    }
+
+    /// Adds (or replaces) a space, keyed by its own id.
+    pub fn insert(&mut self, space: AddressSpace) {
+        self.spaces.insert(space.id(), space);
+    }
+
+    /// Removes and returns a space.
+    pub fn remove(&mut self, id: AsId) -> Option<AddressSpace> {
+        self.spaces.remove(&id)
+    }
+
+    /// Shared access to a space.
+    #[must_use]
+    pub fn get(&self, id: AsId) -> Option<&AddressSpace> {
+        self.spaces.get(&id)
+    }
+
+    /// Mutable access to a space.
+    pub fn get_mut(&mut self, id: AsId) -> Option<&mut AddressSpace> {
+        self.spaces.get_mut(&id)
+    }
+
+    /// The ids present, in order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<AsId> {
+        self.spaces.keys().copied().collect()
+    }
+
+    /// Iterates spaces in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AddressSpace> {
+        self.spaces.values()
+    }
+
+    /// Iterates spaces mutably in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut AddressSpace> {
+        self.spaces.values_mut()
+    }
+
+    /// Number of spaces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spaces.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_types::PageSize;
+
+    #[test]
+    fn space_set_round_trips() {
+        let geo = PageGeometry::TINY;
+        let mut set = SpaceSet::new();
+        set.insert(AddressSpace::new(AsId::new(2), geo));
+        set.insert(AddressSpace::new(AsId::new(1), geo));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.ids(), vec![AsId::new(1), AsId::new(2)]);
+        assert!(set.get_mut(AsId::new(2)).is_some());
+        assert!(set.remove(AsId::new(1)).is_some());
+        assert!(set.get(AsId::new(1)).is_none());
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn context_exposes_geometry() {
+        let geo = PageGeometry::TINY;
+        let ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            4 * geo.base_pages(PageSize::Giant),
+        ));
+        assert_eq!(ctx.geometry(), geo);
+        assert_eq!(ctx.stats.total_faults(), 0);
+    }
+}

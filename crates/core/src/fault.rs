@@ -1,0 +1,172 @@
+//! Shared fault-path helpers.
+
+use trident_phys::{FrameUse, MappingOwner, PhysMemError};
+use trident_types::{PageSize, Pfn, Vpn};
+use trident_vm::AddressSpace;
+
+use crate::MmContext;
+
+/// Result of servicing one page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The page size that ended up mapping the faulting address.
+    pub size: PageSize,
+    /// Fault latency in nanoseconds.
+    pub latency_ns: u64,
+    /// For 1GB faults: whether a pre-zeroed block was used.
+    pub prepared: bool,
+}
+
+/// If the `size`-aligned chunk containing `vpn` lies entirely inside one
+/// VMA and is currently completely unmapped, returns its head page.
+///
+/// This is THP's fault-time test generalized to any size: the faulting
+/// address must fall "within a virtual address range that is at least as
+/// big as and aligned with the large page size" (§2), and nothing in the
+/// chunk may be mapped yet.
+#[must_use]
+pub fn touched_chunk(space: &AddressSpace, vpn: Vpn, size: PageSize) -> Option<Vpn> {
+    let geo = space.geometry();
+    let span = geo.base_pages(size);
+    let head = Vpn::new(vpn.raw() / span * span);
+    let vma = space.vma_containing(vpn)?;
+    if head.raw() < vma.start.raw() || head.raw() + span > vma.end().raw() {
+        return None;
+    }
+    let profile = space.page_table().chunk_profile(head, size);
+    (profile.mapped() == 0).then_some(head)
+}
+
+/// Like [`touched_chunk`], but with reservation ("hugetlbfs") semantics:
+/// the chunk only needs to *start* inside the faulting VMA and be fully
+/// unmapped. `libHugetlbfs` rounds segments up to the page size, so a
+/// reservation-backed page may extend past the segment end — the source
+/// of hugetlbfs's memory bloat (§7 notes Btree's 1GB-Hugetlbfs win comes
+/// "at the cost of bloating memory footprint").
+#[must_use]
+pub fn touched_chunk_reserved(space: &AddressSpace, vpn: Vpn, size: PageSize) -> Option<Vpn> {
+    let geo = space.geometry();
+    let span = geo.base_pages(size);
+    let head = Vpn::new(vpn.raw() / span * span);
+    let vma = space.vma_containing(vpn)?;
+    if head.raw() + span <= vma.start.raw() {
+        return None;
+    }
+    let profile = space.page_table().chunk_profile(head, size);
+    (profile.mapped() == 0).then_some(head)
+}
+
+/// Allocates a frame of `size` and maps it at `head_vpn` with the
+/// reverse-map owner registered. For giant pages, tries the pre-zeroed pool
+/// first; returns whether a prepared block was used.
+///
+/// # Errors
+///
+/// Propagates [`PhysMemError`] when no contiguous chunk exists — the signal
+/// to fall back to a smaller size.
+pub fn map_chunk(
+    ctx: &mut MmContext,
+    space: &mut AddressSpace,
+    head_vpn: Vpn,
+    size: PageSize,
+) -> Result<(Pfn, bool), PhysMemError> {
+    let owner = MappingOwner {
+        asid: space.id(),
+        vpn: head_vpn,
+    };
+    let (pfn, prepared) = match size {
+        PageSize::Giant => {
+            match ctx
+                .zero_pool
+                .take_prepared(&mut ctx.mem, FrameUse::User, Some(owner))
+            {
+                Some(pfn) => (pfn, true),
+                None => (ctx.mem.allocate(size, FrameUse::User, Some(owner))?, false),
+            }
+        }
+        _ => (ctx.mem.allocate(size, FrameUse::User, Some(owner))?, false),
+    };
+    space
+        .page_table_mut()
+        .map(head_vpn, pfn, size)
+        .expect("chunk was verified unmapped and aligned");
+    Ok((pfn, prepared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::{AsId, PageGeometry};
+    use trident_vm::VmaKind;
+
+    fn setup() -> (MmContext, AddressSpace) {
+        let geo = PageGeometry::TINY;
+        let ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            8 * geo.base_pages(PageSize::Giant),
+        ));
+        (ctx, AddressSpace::new(AsId::new(1), geo))
+    }
+
+    #[test]
+    fn touched_chunk_requires_full_containment() {
+        let (_, mut space) = setup();
+        // VMA of 100 pages starting at page 4: giant chunk [0,64) sticks
+        // out at the front, [64,128) sticks out at the back.
+        space.mmap_at(Vpn::new(4), 100, VmaKind::Anon).unwrap();
+        assert_eq!(touched_chunk(&space, Vpn::new(10), PageSize::Giant), None);
+        assert_eq!(
+            touched_chunk(&space, Vpn::new(10), PageSize::Huge),
+            Some(Vpn::new(8))
+        );
+        // A VMA covering two full giant chunks qualifies.
+        let mut s2 = AddressSpace::new(AsId::new(2), PageGeometry::TINY);
+        s2.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
+        assert_eq!(
+            touched_chunk(&s2, Vpn::new(70), PageSize::Giant),
+            Some(Vpn::new(64))
+        );
+    }
+
+    #[test]
+    fn touched_chunk_rejects_partially_mapped_chunks() {
+        let (mut ctx, mut space) = setup();
+        space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+        map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Base).unwrap();
+        assert_eq!(touched_chunk(&space, Vpn::new(9), PageSize::Giant), None);
+        // But a fresh huge chunk inside is fine.
+        assert_eq!(
+            touched_chunk(&space, Vpn::new(9), PageSize::Huge),
+            Some(Vpn::new(8))
+        );
+    }
+
+    #[test]
+    fn touched_chunk_outside_any_vma_is_none() {
+        let (_, space) = setup();
+        assert_eq!(touched_chunk(&space, Vpn::new(5), PageSize::Base), None);
+    }
+
+    #[test]
+    fn map_chunk_registers_owner_and_prefers_prepared() {
+        let (mut ctx, mut space) = setup();
+        space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+        ctx.zero_pool.tick(&ctx.mem, &ctx.cost.clone(), 1);
+        let (pfn, prepared) =
+            map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Giant).unwrap();
+        assert!(prepared);
+        let owner = ctx.mem.unit_at(pfn).unwrap().owner.unwrap();
+        assert_eq!(owner.asid, AsId::new(1));
+        assert_eq!(owner.vpn, Vpn::new(0));
+        assert!(space.page_table().translate(Vpn::new(3)).is_some());
+    }
+
+    #[test]
+    fn map_chunk_without_prepared_blocks_is_unprepared() {
+        let (mut ctx, mut space) = setup();
+        space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+        let (_, prepared) = map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Giant).unwrap();
+        assert!(!prepared);
+    }
+}

@@ -1,0 +1,56 @@
+//! Cross-layer consistency checking (test and diagnostic aid).
+
+use trident_types::PageSize;
+
+use crate::{MmContext, SpaceSet};
+
+/// Asserts that physical memory and every page table agree:
+///
+/// * every mapped leaf's head frame is the head of a live allocation unit
+///   of exactly the leaf's span;
+/// * the unit's reverse-map owner points back at the leaf.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first violation.
+pub fn assert_mm_consistent(ctx: &MmContext, spaces: &SpaceSet) {
+    ctx.mem.assert_consistent();
+    let geo = ctx.geometry();
+    for space in spaces.iter() {
+        for vma in space.vmas() {
+            for leaf in space.page_table().mappings_in(vma.start, vma.pages) {
+                let unit = ctx.mem.unit_at(leaf.pfn).unwrap_or_else(|| {
+                    panic!(
+                        "{}: leaf {} -> {} ({}) maps a frame that is not a live unit head",
+                        space.id(),
+                        leaf.vpn,
+                        leaf.pfn,
+                        leaf.size
+                    )
+                });
+                assert_eq!(
+                    unit.pages(),
+                    geo.base_pages(leaf.size),
+                    "{}: leaf {} ({}) backed by a unit of {} pages",
+                    space.id(),
+                    leaf.vpn,
+                    leaf.size,
+                    unit.pages()
+                );
+                let owner = unit.owner.unwrap_or_else(|| {
+                    panic!("{}: unit {} has no reverse-map owner", space.id(), leaf.pfn)
+                });
+                assert_eq!(
+                    owner.vpn,
+                    leaf.vpn,
+                    "{}: unit {} owner points at {} but leaf is {}",
+                    space.id(),
+                    leaf.pfn,
+                    owner.vpn,
+                    leaf.vpn
+                );
+            }
+        }
+    }
+    let _ = PageSize::Base;
+}

@@ -1,0 +1,126 @@
+//! The page-allocation policy interface.
+
+use core::fmt;
+use std::error::Error;
+
+use trident_phys::PhysMemError;
+use trident_types::Vpn;
+use trident_vm::AddressSpace;
+
+use crate::{FaultOutcome, MmContext, SpaceSet};
+
+/// Errors a policy can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Not even a base page could be allocated.
+    OutOfMemory(PhysMemError),
+    /// The faulting address lies outside every VMA (a simulated SIGSEGV).
+    BadAddress(Vpn),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::OutOfMemory(e) => write!(f, "out of memory: {e}"),
+            PolicyError::BadAddress(vpn) => write!(f, "fault at unmapped address {vpn}"),
+        }
+    }
+}
+
+impl Error for PolicyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PolicyError::OutOfMemory(e) => Some(e),
+            PolicyError::BadAddress(_) => None,
+        }
+    }
+}
+
+/// What one background-daemon tick accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// CPU time consumed by daemon work this tick (scan + copy + zeroing).
+    pub daemon_ns: u64,
+    /// Mappings promoted to a larger size.
+    pub promotions: u64,
+    /// Compaction runs performed.
+    pub compaction_runs: u64,
+}
+
+impl TickOutcome {
+    /// Accumulates another outcome into this one.
+    pub fn absorb(&mut self, other: TickOutcome) {
+        self.daemon_ns += other.daemon_ns;
+        self.promotions += other.promotions;
+        self.compaction_runs += other.compaction_runs;
+    }
+}
+
+/// A page-size allocation policy: the OS component the paper varies.
+///
+/// The simulator calls [`PagePolicy::on_fault`] whenever a workload touches
+/// an unmapped page, and [`PagePolicy::on_tick`] periodically to model the
+/// background daemons (`khugepaged`, Trident's zero-fill thread,
+/// HawkEye's `kbinmanager`).
+pub trait PagePolicy {
+    /// A short name for reports ("THP", "Trident", ...).
+    fn name(&self) -> String;
+
+    /// Handles a page fault at `vpn`: maps some page covering it and
+    /// reports the size used and the fault latency.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::BadAddress`] if `vpn` is outside every VMA;
+    /// [`PolicyError::OutOfMemory`] if no frame at all could be allocated.
+    fn on_fault(
+        &mut self,
+        ctx: &mut MmContext,
+        space: &mut AddressSpace,
+        vpn: Vpn,
+    ) -> Result<FaultOutcome, PolicyError>;
+
+    /// Runs one background-daemon tick over all address spaces.
+    fn on_tick(&mut self, _ctx: &mut MmContext, _spaces: &mut SpaceSet) -> TickOutcome {
+        TickOutcome::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::AllocError;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e =
+            PolicyError::OutOfMemory(PhysMemError::OutOfContiguousMemory(AllocError { order: 0 }));
+        assert!(e.to_string().starts_with("out of memory"));
+        assert!(e.source().is_some());
+        let b = PolicyError::BadAddress(Vpn::new(66));
+        assert!(b.to_string().contains("0x42"));
+        assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn tick_outcomes_absorb() {
+        let mut a = TickOutcome {
+            daemon_ns: 10,
+            promotions: 1,
+            compaction_runs: 0,
+        };
+        a.absorb(TickOutcome {
+            daemon_ns: 5,
+            promotions: 2,
+            compaction_runs: 3,
+        });
+        assert_eq!(
+            a,
+            TickOutcome {
+                daemon_ns: 15,
+                promotions: 3,
+                compaction_runs: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,788 @@
+//! Large-page promotion: the Figure 5 algorithm.
+//!
+//! Trident extends THP's `khugepaged` daemon: it scans a candidate
+//! process's virtual address space looking for 1GB-mappable ranges mapped
+//! with smaller pages and promotes them, requesting (smart) compaction when
+//! no free 1GB chunk exists; when even compaction fails, it falls back to
+//! promoting the constituent 2MB chunks — Trident's "use every page size"
+//! policy. Plain THP is the same machine restricted to 2MB targets with
+//! normal compaction; HawkEye additionally orders candidates by access
+//! frequency.
+
+use core::fmt;
+use std::error::Error;
+
+use trident_phys::{FrameUse, MappingOwner};
+use trident_types::{AsId, PageSize, Vpn};
+use trident_vm::promotion_candidates;
+
+use crate::{CompactionKind, Compactor, MmContext, SpaceSet, TickOutcome};
+
+/// How the data lands in the newly promoted page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PromotionStyle {
+    /// Copy the contents of the old pages into the new large page (native
+    /// execution, and the guest's only option without paravirtualization).
+    Copy,
+    /// Trident_pv: exchange gPA→hPA mappings instead of copying the
+    /// 2MB-mapped portions, batching all exchanges into one hypercall (§6).
+    PvBatched,
+    /// Trident_pv without batching: one hypercall per exchanged page.
+    PvUnbatched,
+}
+
+/// Why a promotion attempt did not happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromoteError {
+    /// No contiguous physical chunk of the target size was available.
+    NoContiguity,
+    /// The chunk is not promotable (already at the target size, or empty).
+    NotACandidate,
+}
+
+impl fmt::Display for PromoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromoteError::NoContiguity => f.write_str("no contiguous physical chunk for promotion"),
+            PromoteError::NotACandidate => f.write_str("chunk is not promotable"),
+        }
+    }
+}
+
+impl Error for PromoteError {}
+
+/// What a single chunk promotion cost and produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromoteOutcome {
+    /// Daemon CPU time in nanoseconds.
+    pub ns: u64,
+    /// Bytes physically copied.
+    pub bytes_copied: u64,
+    /// gPA→hPA pairs exchanged instead of copied (pv styles only).
+    pub pairs_exchanged: u64,
+    /// Base pages newly backed that the application never touched.
+    pub bloat_pages: u64,
+}
+
+/// A promoted chunk, remembered so bloat-recovery can demote it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotedChunk {
+    /// Owning address space.
+    pub asid: AsId,
+    /// Chunk head page.
+    pub head: Vpn,
+    /// Size it was promoted to.
+    pub size: PageSize,
+    /// Untouched base pages newly backed by the promotion.
+    pub bloat_pages: u64,
+}
+
+/// Promotes the `target`-aligned chunk at `head` in space `asid` to one
+/// `target` page: allocates the destination (preferring the pre-zeroed
+/// pool for giant pages), unmaps the constituent smaller mappings, installs
+/// the large leaf, frees the old frames, and accounts copy/exchange/zero
+/// costs per `style`.
+///
+/// # Errors
+///
+/// [`PromoteError::NoContiguity`] when no frame of `target` size could be
+/// allocated; [`PromoteError::NotACandidate`] when the chunk is already at
+/// `target` size or has nothing mapped.
+///
+/// # Panics
+///
+/// Panics if `asid` is not in `spaces` or `head` is not `target`-aligned.
+pub fn promote_chunk(
+    ctx: &mut MmContext,
+    spaces: &mut SpaceSet,
+    asid: AsId,
+    head: Vpn,
+    target: PageSize,
+    style: PromotionStyle,
+) -> Result<PromoteOutcome, PromoteError> {
+    let geo = ctx.geometry();
+    let span = geo.base_pages(target);
+    let space = spaces.get_mut(asid).expect("candidate space exists");
+    let profile = space.page_table().chunk_profile(head, target);
+    let already_at_target = match target {
+        PageSize::Giant => profile.giant_mapped > 0,
+        PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
+        PageSize::Base => true,
+    };
+    if already_at_target || profile.mapped() == 0 {
+        return Err(PromoteError::NotACandidate);
+    }
+
+    // Destination frame; for giant pages prefer an async-zeroed block.
+    let owner = MappingOwner { asid, vpn: head };
+    let (dst, prepared) = match target {
+        PageSize::Giant => {
+            match ctx
+                .zero_pool
+                .take_prepared(&mut ctx.mem, FrameUse::User, Some(owner))
+            {
+                Some(pfn) => (pfn, true),
+                None => match ctx.mem.allocate(target, FrameUse::User, Some(owner)) {
+                    Ok(pfn) => (pfn, false),
+                    Err(_) => return Err(PromoteError::NoContiguity),
+                },
+            }
+        }
+        _ => match ctx.mem.allocate(target, FrameUse::User, Some(owner)) {
+            Ok(pfn) => (pfn, false),
+            Err(_) => return Err(PromoteError::NoContiguity),
+        },
+    };
+
+    // Replace the small mappings with the single large leaf.
+    let old = space.page_table().mappings_in(head, span);
+    for m in &old {
+        space
+            .page_table_mut()
+            .unmap(m.vpn)
+            .expect("enumerated leaf");
+    }
+    space
+        .page_table_mut()
+        .map(head, dst, target)
+        .expect("span was emptied");
+    let old_heads: Vec<_> = old.iter().map(|m| (m.pfn, m.size, m.vpn)).collect();
+    for (pfn, size, vpn) in old_heads {
+        ctx.mem.free(pfn).unwrap_or_else(|e| {
+            panic!(
+                "old frame was live: {e}; leaf size {size} vpn {vpn} unit_at {:?} head_of {:?}",
+                ctx.mem.unit_at(pfn),
+                ctx.mem.frames().head_of(pfn),
+            )
+        });
+    }
+
+    // Cost accounting.
+    let base_bytes = geo.base_bytes();
+    let huge_bytes = profile.huge_mapped * base_bytes;
+    let small_bytes = (profile.base_mapped + profile.giant_mapped) * base_bytes;
+    let (copied, pairs, move_ns) = match style {
+        PromotionStyle::Copy => {
+            let bytes = huge_bytes + small_bytes;
+            (bytes, 0, ctx.cost.copy_ns(bytes))
+        }
+        PromotionStyle::PvBatched | PromotionStyle::PvUnbatched => {
+            // Only 2MB-mapped portions benefit from the exchange; 4KB
+            // mappings are copied as before (§6).
+            let pairs = profile.huge_mapped / geo.base_pages(PageSize::Huge);
+            let exchange_ns = match style {
+                PromotionStyle::PvBatched => ctx.cost.pv_batched_exchange_ns(pairs),
+                _ => ctx.cost.pv_unbatched_exchange_ns(pairs),
+            };
+            ctx.stats.pv_bytes_exchanged += huge_bytes;
+            (
+                small_bytes,
+                pairs,
+                exchange_ns + ctx.cost.copy_ns(small_bytes),
+            )
+        }
+    };
+    // Untouched parts of the new page must be zero; prepared giant blocks
+    // already are.
+    let zero_ns = if target == PageSize::Giant && prepared {
+        0
+    } else {
+        ctx.cost.zero_ns(profile.unmapped * base_bytes)
+    };
+    let ns = move_ns + zero_ns + ctx.cost.tlb_shootdown_ns;
+
+    ctx.stats.promotions[target as usize] += 1;
+    ctx.stats.promotion_bytes_copied += copied;
+    ctx.stats.bloat_pages += profile.unmapped;
+
+    Ok(PromoteOutcome {
+        ns,
+        bytes_copied: copied,
+        pairs_exchanged: pairs,
+        bloat_pages: profile.unmapped,
+    })
+}
+
+/// Demotes a previously promoted chunk to recover its bloat: the large
+/// leaf is torn down and only the touched portion is re-mapped with base
+/// pages (HawkEye's bloat-recovery technique, which §7 borrows).
+///
+/// Returns the number of base pages recovered.
+pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &PromotedChunk) -> u64 {
+    let geo = ctx.geometry();
+    let Some(space) = spaces.get_mut(chunk.asid) else {
+        return 0;
+    };
+    // The chunk may have been unmapped or re-promoted since.
+    let Some(t) = space.page_table().translate(chunk.head) else {
+        return 0;
+    };
+    if t.head_vpn != chunk.head || t.size != chunk.size {
+        return 0;
+    }
+    let span = geo.base_pages(chunk.size);
+    space
+        .page_table_mut()
+        .unmap(chunk.head)
+        .expect("leaf exists");
+    ctx.mem.free(t.head_pfn).expect("frame was live");
+    // Re-back only the touched portion with base pages. (In the real
+    // kernel this is an in-place split; the buddy model reallocates, which
+    // is equivalent for accounting purposes.)
+    let touched = span - chunk.bloat_pages.min(span);
+    let mut restored = 0;
+    for i in 0..touched {
+        let vpn = chunk.head + i;
+        let owner = MappingOwner {
+            asid: chunk.asid,
+            vpn,
+        };
+        let Ok(pfn) = ctx
+            .mem
+            .allocate(PageSize::Base, FrameUse::User, Some(owner))
+        else {
+            break;
+        };
+        space
+            .page_table_mut()
+            .map(vpn, pfn, PageSize::Base)
+            .expect("span was emptied");
+        restored += 1;
+    }
+    let recovered = span - restored;
+    ctx.stats.demotions[chunk.size as usize] += 1;
+    ctx.stats.bloat_recovered_pages += chunk.bloat_pages.min(span);
+    recovered
+}
+
+/// Configuration of the promotion daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromoterConfig {
+    /// Promote to 1GB pages (Trident).
+    pub use_giant: bool,
+    /// Promote to 2MB pages (THP, HawkEye, Trident; off for
+    /// Trident-1Gonly).
+    pub use_huge: bool,
+    /// Compaction algorithm used when contiguity is missing.
+    pub compaction: CompactionKind,
+    /// How promoted data reaches the new page.
+    pub style: PromotionStyle,
+    /// Maximum promotions attempted per tick.
+    pub chunk_budget: usize,
+    /// Order candidates by accessed-bit density (HawkEye) instead of
+    /// address order (Linux).
+    pub order_by_access: bool,
+}
+
+impl PromoterConfig {
+    /// THP's `khugepaged`: 2MB only, normal compaction, address order.
+    #[must_use]
+    pub fn thp() -> PromoterConfig {
+        PromoterConfig {
+            use_giant: false,
+            use_huge: true,
+            compaction: CompactionKind::Normal,
+            style: PromotionStyle::Copy,
+            chunk_budget: 16,
+            order_by_access: false,
+        }
+    }
+
+    /// Trident's promoter: all sizes, smart compaction.
+    #[must_use]
+    pub fn trident() -> PromoterConfig {
+        PromoterConfig {
+            use_giant: true,
+            use_huge: true,
+            compaction: CompactionKind::Smart,
+            style: PromotionStyle::Copy,
+            chunk_budget: 16,
+            order_by_access: false,
+        }
+    }
+}
+
+/// The `khugepaged`-style background promoter.
+#[derive(Debug, Clone)]
+pub struct Promoter {
+    config: PromoterConfig,
+    compactor: Compactor,
+    next_space: usize,
+    /// Set when a 2MB compaction failed during the current tick.
+    huge_hopeless: bool,
+}
+
+impl Promoter {
+    /// Creates a promoter with the given configuration.
+    #[must_use]
+    pub fn new(config: PromoterConfig) -> Promoter {
+        Promoter {
+            config,
+            compactor: Compactor::new(config.compaction),
+            next_space: 0,
+            huge_hopeless: false,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> PromoterConfig {
+        self.config
+    }
+
+    /// One daemon tick: select the next candidate process round-robin and
+    /// scan its address space per Figure 5. Returns the tick summary and
+    /// the chunks promoted (for bloat-recovery registries).
+    pub fn tick(
+        &mut self,
+        ctx: &mut MmContext,
+        spaces: &mut SpaceSet,
+    ) -> (TickOutcome, Vec<PromotedChunk>) {
+        let ids = spaces.ids();
+        if ids.is_empty() {
+            return (TickOutcome::default(), Vec::new());
+        }
+        let asid = ids[self.next_space % ids.len()];
+        self.next_space = self.next_space.wrapping_add(1);
+        self.scan_space(ctx, spaces, asid)
+    }
+
+    fn scan_space(
+        &mut self,
+        ctx: &mut MmContext,
+        spaces: &mut SpaceSet,
+        asid: AsId,
+    ) -> (TickOutcome, Vec<PromotedChunk>) {
+        let mut out = TickOutcome::default();
+        let mut promoted = Vec::new();
+        let mut budget = self.config.chunk_budget;
+        let geo = ctx.geometry();
+        self.huge_hopeless = false;
+
+        // Scanning the VA space costs daemon CPU proportional to its size.
+        let scan_pages = spaces
+            .get(asid)
+            .map(|s| s.total_vma_pages())
+            .unwrap_or_default();
+        out.daemon_ns += scan_pages * ctx.cost.scan_page_ns;
+
+        // Once compaction fails, retrying it for every remaining candidate
+        // in the same tick is pointless (and expensive): the machine-wide
+        // contiguity situation has not changed.
+        let mut giant_hopeless = false;
+        if self.config.use_giant {
+            let candidates = self.ordered_candidates(spaces, asid, PageSize::Giant);
+            for head in candidates {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                let mut have = ctx.mem.has_free(PageSize::Giant);
+                if !have && !giant_hopeless {
+                    out.compaction_runs += 1;
+                    let c = self.compactor.compact(ctx, spaces, PageSize::Giant);
+                    out.daemon_ns += c.ns;
+                    have = c.success;
+                    giant_hopeless = !c.success;
+                }
+                ctx.stats
+                    .record_giant_attempt(crate::AllocSite::Promotion, !have);
+                if have {
+                    match promote_chunk(ctx, spaces, asid, head, PageSize::Giant, self.config.style)
+                    {
+                        Ok(p) => {
+                            out.daemon_ns += p.ns;
+                            out.promotions += 1;
+                            promoted.push(PromotedChunk {
+                                asid,
+                                head,
+                                size: PageSize::Giant,
+                                bloat_pages: p.bloat_pages,
+                            });
+                        }
+                        Err(PromoteError::NoContiguity) => {
+                            // The chunk compaction produced was raced away
+                            // (e.g. by another promotion); fall through to
+                            // the 2MB path below.
+                            have = false;
+                        }
+                        Err(PromoteError::NotACandidate) => {}
+                    }
+                }
+                if !have && self.config.use_huge {
+                    // Figure 5's right-hand branch: map what we can of this
+                    // giant chunk with 2MB pages instead.
+                    let span = geo.base_pages(PageSize::Giant);
+                    let hp = geo.base_pages(PageSize::Huge);
+                    for sub in 0..(span / hp) {
+                        let sub_head = head + sub * hp;
+                        self.try_promote_huge(ctx, spaces, asid, sub_head, &mut out, &mut promoted);
+                    }
+                }
+            }
+        }
+
+        if self.config.use_huge {
+            let candidates = self.ordered_candidates(spaces, asid, PageSize::Huge);
+            for head in candidates {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                self.try_promote_huge(ctx, spaces, asid, head, &mut out, &mut promoted);
+            }
+        }
+
+        (out, promoted)
+    }
+
+    /// Candidate chunk heads for promotion to `size`, in scan order
+    /// (address order, or hottest-first for HawkEye).
+    fn ordered_candidates(&self, spaces: &SpaceSet, asid: AsId, size: PageSize) -> Vec<Vpn> {
+        let Some(space) = spaces.get(asid) else {
+            return Vec::new();
+        };
+        let mut candidates = promotion_candidates(space, size);
+        if self.config.order_by_access {
+            let geo = space.geometry();
+            let span = geo.base_pages(size);
+            candidates.sort_by_key(|(head, _)| {
+                std::cmp::Reverse(space.page_table().accessed_leaves_in(*head, span))
+            });
+        }
+        candidates.into_iter().map(|(head, _)| head).collect()
+    }
+
+    fn try_promote_huge(
+        &mut self,
+        ctx: &mut MmContext,
+        spaces: &mut SpaceSet,
+        asid: AsId,
+        head: Vpn,
+        out: &mut TickOutcome,
+        promoted: &mut Vec<PromotedChunk>,
+    ) {
+        if !ctx.mem.has_free(PageSize::Huge) {
+            if self.huge_hopeless {
+                return;
+            }
+            out.compaction_runs += 1;
+            let c = self.compactor.compact(ctx, spaces, PageSize::Huge);
+            out.daemon_ns += c.ns;
+            if !c.success {
+                self.huge_hopeless = true;
+                return;
+            }
+        }
+        // 4KB→2MB promotion always copies; pv exchange only pays for
+        // 2MB→1GB (§6).
+        match promote_chunk(
+            ctx,
+            spaces,
+            asid,
+            head,
+            PageSize::Huge,
+            PromotionStyle::Copy,
+        ) {
+            Ok(p) => {
+                out.daemon_ns += p.ns;
+                out.promotions += 1;
+                promoted.push(PromotedChunk {
+                    asid,
+                    head,
+                    size: PageSize::Huge,
+                    bloat_pages: p.bloat_pages,
+                });
+            }
+            Err(_) => {}
+        }
+    }
+}
+
+/// Demotes registered chunks, biggest bloat first, while memory pressure
+/// persists (free fraction below `low_watermark`). Returns the tick
+/// summary.
+pub fn recover_bloat(
+    ctx: &mut MmContext,
+    spaces: &mut SpaceSet,
+    registry: &mut Vec<PromotedChunk>,
+    low_watermark: f64,
+) -> TickOutcome {
+    let mut out = TickOutcome::default();
+    registry.sort_by_key(|c| c.bloat_pages);
+    while ctx.mem.free_fraction() < low_watermark {
+        let Some(chunk) = registry.pop() else {
+            break;
+        };
+        if chunk.bloat_pages == 0 {
+            break; // the registry is sorted; nothing recoverable remains
+        }
+        demote_chunk(ctx, spaces, &chunk);
+        // Demotion cost: PTE surgery plus a shootdown.
+        out.daemon_ns += ctx.cost.tlb_shootdown_ns;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::PageGeometry;
+    use trident_vm::{AddressSpace, VmaKind};
+
+    fn setup(regions: u64) -> (MmContext, SpaceSet) {
+        let geo = PageGeometry::TINY;
+        let ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            regions * geo.base_pages(PageSize::Giant),
+        ));
+        let mut spaces = SpaceSet::new();
+        spaces.insert(AddressSpace::new(AsId::new(1), geo));
+        (ctx, spaces)
+    }
+
+    /// Fault a span with base pages (what a pre-promotion state looks
+    /// like).
+    fn fault_base(ctx: &mut MmContext, spaces: &mut SpaceSet, asid: AsId, start: u64, pages: u64) {
+        let space = spaces.get_mut(asid).unwrap();
+        if space.vma_containing(Vpn::new(start)).is_none() {
+            space
+                .mmap_at(Vpn::new(start), pages, VmaKind::Anon)
+                .unwrap();
+        }
+        for i in 0..pages {
+            let vpn = Vpn::new(start + i);
+            crate::map_chunk(ctx, space, vpn, PageSize::Base).unwrap();
+        }
+    }
+
+    #[test]
+    fn promote_to_giant_replaces_small_mappings() {
+        let (mut ctx, mut spaces) = setup(4);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 64);
+        let out = promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        )
+        .unwrap();
+        assert_eq!(out.bloat_pages, 0);
+        assert_eq!(out.bytes_copied, 64 * 4096);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        let t = space.page_table().translate(Vpn::new(10)).unwrap();
+        assert_eq!(t.size, PageSize::Giant);
+        assert_eq!(ctx.stats.promotions[PageSize::Giant as usize], 1);
+        ctx.mem.assert_consistent();
+    }
+
+    #[test]
+    fn promotion_of_partial_chunk_creates_bloat() {
+        let (mut ctx, mut spaces) = setup(4);
+        spaces
+            .get_mut(AsId::new(1))
+            .unwrap()
+            .mmap_at(Vpn::new(0), 64, VmaKind::Anon)
+            .unwrap();
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 10);
+        let out = promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        )
+        .unwrap();
+        assert_eq!(out.bloat_pages, 54);
+        assert_eq!(ctx.stats.bloat_pages, 54);
+    }
+
+    #[test]
+    fn promote_rejects_non_candidates() {
+        let (mut ctx, mut spaces) = setup(4);
+        spaces
+            .get_mut(AsId::new(1))
+            .unwrap()
+            .mmap_at(Vpn::new(0), 64, VmaKind::Anon)
+            .unwrap();
+        // Nothing mapped at all.
+        assert_eq!(
+            promote_chunk(
+                &mut ctx,
+                &mut spaces,
+                AsId::new(1),
+                Vpn::new(0),
+                PageSize::Giant,
+                PromotionStyle::Copy
+            ),
+            Err(PromoteError::NotACandidate)
+        );
+        // Already giant.
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 1);
+        promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        )
+        .unwrap();
+        assert_eq!(
+            promote_chunk(
+                &mut ctx,
+                &mut spaces,
+                AsId::new(1),
+                Vpn::new(0),
+                PageSize::Giant,
+                PromotionStyle::Copy
+            ),
+            Err(PromoteError::NotACandidate)
+        );
+    }
+
+    #[test]
+    fn pv_batched_exchanges_instead_of_copying_huge_portions() {
+        let (mut ctx, mut spaces) = setup(8);
+        // Map the first giant chunk with 8 huge pages.
+        let space = spaces.get_mut(AsId::new(1)).unwrap();
+        space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
+        for i in 0..8u64 {
+            crate::map_chunk(
+                &mut ctx,
+                spaces.get_mut(AsId::new(1)).unwrap(),
+                Vpn::new(i * 8),
+                PageSize::Huge,
+            )
+            .unwrap();
+        }
+        let copy = promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        );
+        let copy = copy.unwrap();
+        assert_eq!(copy.pairs_exchanged, 0);
+        assert_eq!(copy.bytes_copied, 64 * 4096);
+
+        // Same layout in a second chunk, promoted with pv.
+        spaces
+            .get_mut(AsId::new(1))
+            .unwrap()
+            .mmap_at(Vpn::new(64), 64, VmaKind::Anon)
+            .unwrap();
+        for i in 0..8u64 {
+            crate::map_chunk(
+                &mut ctx,
+                spaces.get_mut(AsId::new(1)).unwrap(),
+                Vpn::new(64 + i * 8),
+                PageSize::Huge,
+            )
+            .unwrap();
+        }
+        let pv = promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(64),
+            PageSize::Giant,
+            PromotionStyle::PvBatched,
+        )
+        .unwrap();
+        assert_eq!(pv.pairs_exchanged, 8);
+        assert_eq!(pv.bytes_copied, 0);
+        assert!(
+            pv.ns < copy.ns,
+            "pv ({}) should beat copy ({})",
+            pv.ns,
+            copy.ns
+        );
+    }
+
+    #[test]
+    fn promoter_tick_promotes_through_the_flowchart() {
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+        let (out, promoted) = promoter.tick(&mut ctx, &mut spaces);
+        assert!(out.promotions >= 2, "both giant chunks promoted");
+        assert_eq!(promoted.len() as u64, out.promotions);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 2);
+        assert!(out.daemon_ns > 0);
+    }
+
+    #[test]
+    fn thp_promoter_only_creates_huge_pages() {
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 64);
+        let mut promoter = Promoter::new(PromoterConfig::thp());
+        let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
+        assert!(promoted.iter().all(|c| c.size == PageSize::Huge));
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 8);
+    }
+
+    #[test]
+    fn demotion_recovers_bloat() {
+        let (mut ctx, mut spaces) = setup(4);
+        spaces
+            .get_mut(AsId::new(1))
+            .unwrap()
+            .mmap_at(Vpn::new(0), 64, VmaKind::Anon)
+            .unwrap();
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 8);
+        promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            AsId::new(1),
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        )
+        .unwrap();
+        let used_before = ctx.mem.total_pages() - ctx.mem.free_pages();
+        let chunk = PromotedChunk {
+            asid: AsId::new(1),
+            head: Vpn::new(0),
+            size: PageSize::Giant,
+            bloat_pages: 56,
+        };
+        let recovered = demote_chunk(&mut ctx, &mut spaces, &chunk);
+        assert_eq!(recovered, 56);
+        let used_after = ctx.mem.total_pages() - ctx.mem.free_pages();
+        assert_eq!(used_before - used_after, 56);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert!(space.page_table().translate(Vpn::new(7)).is_some());
+        assert!(space.page_table().translate(Vpn::new(8)).is_none());
+        assert_eq!(ctx.stats.bloat_recovered_pages, 56);
+    }
+
+    #[test]
+    fn hawkeye_ordering_prefers_hot_chunks() {
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        // Touch the *second* giant chunk's pages.
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            for i in 64..128 {
+                space.page_table_mut().access(Vpn::new(i), false).unwrap();
+            }
+        }
+        let mut cfg = PromoterConfig::trident();
+        cfg.order_by_access = true;
+        cfg.chunk_budget = 1; // only one promotion allowed
+        let mut promoter = Promoter::new(cfg);
+        let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].head, Vpn::new(64), "hot chunk goes first");
+    }
+}

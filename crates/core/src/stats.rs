@@ -1,0 +1,146 @@
+//! Memory-management statistics.
+//!
+//! These counters are the raw material for the paper's Tables 3 and 4 and
+//! Figure 7: pages mapped by size and mechanism, 1GB allocation failures at
+//! fault versus promotion time, and bytes copied by compaction.
+
+use trident_types::PageSize;
+
+/// Where a large-page allocation was attempted, for Table 4's breakdown of
+/// failure rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocSite {
+    /// In the page-fault handler.
+    PageFault,
+    /// In the background promotion daemon.
+    Promotion,
+}
+
+/// Counters accumulated by every policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MmStats {
+    /// Faults served, by page size.
+    pub faults: [u64; 3],
+    /// Nanoseconds spent in fault handling, by page size.
+    pub fault_ns: [u64; 3],
+    /// 1GB allocation attempts at fault time.
+    pub giant_attempts_fault: u64,
+    /// 1GB allocation failures at fault time (no contiguity).
+    pub giant_failures_fault: u64,
+    /// 1GB allocation attempts during promotion.
+    pub giant_attempts_promo: u64,
+    /// 1GB allocation failures during promotion, *after* compaction was
+    /// given a chance.
+    pub giant_failures_promo: u64,
+    /// Promotions performed, by target page size.
+    pub promotions: [u64; 3],
+    /// Demotions performed (bloat recovery), by source page size.
+    pub demotions: [u64; 3],
+    /// Bytes copied by compaction (Figure 7's quantity).
+    pub compaction_bytes_copied: u64,
+    /// Bytes copied by promotion (copying small pages into the large one).
+    pub promotion_bytes_copied: u64,
+    /// Bytes whose copy was elided by Trident_pv mapping exchanges.
+    pub pv_bytes_exchanged: u64,
+    /// Compaction attempts / successes.
+    pub compaction_attempts: u64,
+    /// Compactions that produced the requested free chunk.
+    pub compaction_successes: u64,
+    /// Background-daemon CPU time (khugepaged + kbinmanager + zero-fill).
+    pub daemon_ns: u64,
+    /// Base pages mapped beyond what the application ever touched
+    /// (internal-fragmentation bloat from aggressive promotion).
+    pub bloat_pages: u64,
+    /// Bloat pages recovered by demotion / zero-page dedup.
+    pub bloat_recovered_pages: u64,
+    /// Giant blocks zero-filled in the background.
+    pub giant_blocks_prezeroed: u64,
+}
+
+impl MmStats {
+    /// Records a fault outcome.
+    pub fn record_fault(&mut self, size: PageSize, ns: u64) {
+        self.faults[size as usize] += 1;
+        self.fault_ns[size as usize] += ns;
+    }
+
+    /// Records a 1GB allocation attempt and whether it failed.
+    pub fn record_giant_attempt(&mut self, site: AllocSite, failed: bool) {
+        match site {
+            AllocSite::PageFault => {
+                self.giant_attempts_fault += 1;
+                if failed {
+                    self.giant_failures_fault += 1;
+                }
+            }
+            AllocSite::Promotion => {
+                self.giant_attempts_promo += 1;
+                if failed {
+                    self.giant_failures_promo += 1;
+                }
+            }
+        }
+    }
+
+    /// 1GB allocation failure rate at `site`, or `None` if never attempted
+    /// (the "NA" entries of Table 4).
+    #[must_use]
+    pub fn giant_failure_rate(&self, site: AllocSite) -> Option<f64> {
+        let (attempts, failures) = match site {
+            AllocSite::PageFault => (self.giant_attempts_fault, self.giant_failures_fault),
+            AllocSite::Promotion => (self.giant_attempts_promo, self.giant_failures_promo),
+        };
+        (attempts > 0).then(|| failures as f64 / attempts as f64)
+    }
+
+    /// Total faults across sizes.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
+    }
+
+    /// Total fault-handling time.
+    #[must_use]
+    pub fn total_fault_ns(&self) -> u64 {
+        self.fault_ns.iter().sum()
+    }
+
+    /// Mean 1GB fault latency in nanoseconds, if any 1GB faults occurred.
+    #[must_use]
+    pub fn mean_giant_fault_ns(&self) -> Option<u64> {
+        let n = self.faults[PageSize::Giant as usize];
+        (n > 0).then(|| self.fault_ns[PageSize::Giant as usize] / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_recording_accumulates() {
+        let mut s = MmStats::default();
+        s.record_fault(PageSize::Giant, 400);
+        s.record_fault(PageSize::Giant, 200);
+        s.record_fault(PageSize::Base, 1);
+        assert_eq!(s.total_faults(), 3);
+        assert_eq!(s.total_fault_ns(), 601);
+        assert_eq!(s.mean_giant_fault_ns(), Some(300));
+    }
+
+    #[test]
+    fn failure_rate_is_na_without_attempts() {
+        let s = MmStats::default();
+        assert_eq!(s.giant_failure_rate(AllocSite::PageFault), None);
+    }
+
+    #[test]
+    fn failure_rate_computes_per_site() {
+        let mut s = MmStats::default();
+        s.record_giant_attempt(AllocSite::PageFault, true);
+        s.record_giant_attempt(AllocSite::PageFault, false);
+        s.record_giant_attempt(AllocSite::Promotion, false);
+        assert_eq!(s.giant_failure_rate(AllocSite::PageFault), Some(0.5));
+        assert_eq!(s.giant_failure_rate(AllocSite::Promotion), Some(0.0));
+    }
+}

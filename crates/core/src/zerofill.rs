@@ -1,0 +1,154 @@
+//! Asynchronous zero-fill of free giant blocks (§5.1.2).
+//!
+//! A synchronous 1GB page fault takes ≈400ms, almost entirely spent
+//! zero-filling the new page (zeroing is required so leftover data cannot
+//! leak between processes). Trident instead runs a kernel thread that
+//! zero-fills free 1GB regions in the background; a fault that finds a
+//! pre-zeroed region completes in ≈2.7ms. The paper reports this cut the
+//! boot of a 70GB VM from 25s to 13s.
+
+use std::collections::BTreeSet;
+
+use trident_phys::{FrameUse, MappingOwner, PhysicalMemory};
+use trident_types::{PageSize, Pfn};
+
+use crate::CostModel;
+
+/// The background zero-fill pool: start frames of free giant blocks whose
+/// contents are already zero.
+///
+/// Handles are validated lazily: a block that was allocated or split since
+/// it was prepared is silently discarded when the pool is asked for it.
+#[derive(Debug, Clone)]
+pub struct ZeroFillPool {
+    prepared: BTreeSet<u64>,
+    max_prepared: usize,
+}
+
+impl ZeroFillPool {
+    /// Creates a pool that keeps at most `max_prepared` blocks zeroed ahead
+    /// of demand.
+    #[must_use]
+    pub fn new(max_prepared: usize) -> ZeroFillPool {
+        ZeroFillPool {
+            prepared: BTreeSet::new(),
+            max_prepared,
+        }
+    }
+
+    /// Number of blocks currently believed prepared (may include stale
+    /// handles that will be discarded on take).
+    #[must_use]
+    pub fn prepared_blocks(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// One background-thread pass: zero-fill up to `budget` free giant
+    /// blocks that are not yet prepared. Returns the thread's CPU time in
+    /// nanoseconds and the number of blocks zeroed.
+    pub fn tick(&mut self, mem: &PhysicalMemory, cost: &CostModel, budget: usize) -> (u64, u64) {
+        let geo = mem.geometry();
+        let order = geo.order(PageSize::Giant);
+        let mut zeroed = 0u64;
+        let room = self.max_prepared.saturating_sub(self.prepared.len());
+        for start in mem.buddy().free_blocks_iter(order) {
+            if zeroed as usize >= budget.min(room) {
+                break;
+            }
+            if self.prepared.insert(start) {
+                zeroed += 1;
+            }
+        }
+        (cost.zero_ns(geo.bytes(PageSize::Giant)) * zeroed, zeroed)
+    }
+
+    /// Takes one prepared giant block and allocates it, returning its head
+    /// frame. Stale handles are dropped along the way. Returns `None` if no
+    /// prepared block survives validation.
+    pub fn take_prepared(
+        &mut self,
+        mem: &mut PhysicalMemory,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+    ) -> Option<Pfn> {
+        let geo = mem.geometry();
+        let order = geo.order(PageSize::Giant);
+        while let Some(start) = self.prepared.pop_first() {
+            if !mem.buddy().is_block_free(start, order) {
+                continue; // stale: the block was taken or split meanwhile
+            }
+            let region = geo.giant_region_of(start);
+            let head = mem
+                .allocate_in_region(region, order, use_, owner)
+                .expect("validated free giant block is allocatable");
+            debug_assert_eq!(head.raw(), start);
+            return Some(head);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_types::PageGeometry;
+
+    fn setup() -> (PhysicalMemory, ZeroFillPool, CostModel) {
+        let geo = PageGeometry::TINY;
+        (
+            PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant)),
+            ZeroFillPool::new(2),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn tick_prepares_up_to_the_cap() {
+        let (mem, mut pool, cost) = setup();
+        let (ns, zeroed) = pool.tick(&mem, &cost, 10);
+        assert_eq!(zeroed, 2); // capped by max_prepared
+        assert!(ns > 0);
+        assert_eq!(pool.prepared_blocks(), 2);
+        // A second tick has nothing to do.
+        let (_, again) = pool.tick(&mem, &cost, 10);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn take_prepared_returns_a_real_block() {
+        let (mut mem, mut pool, cost) = setup();
+        pool.tick(&mem, &cost, 1);
+        let head = pool
+            .take_prepared(&mut mem, FrameUse::User, None)
+            .expect("one block prepared");
+        assert!(mem.is_unit_head(head));
+        assert_eq!(pool.prepared_blocks(), 0);
+    }
+
+    #[test]
+    fn stale_handles_are_discarded() {
+        let (mut mem, mut pool, cost) = setup();
+        pool.tick(&mem, &cost, 2);
+        // Destroy the contiguity of every prepared block behind the pool's
+        // back: allocate all giants, then a base page, then free giants.
+        let g: Vec<_> = (0..4)
+            .map(|_| mem.allocate(PageSize::Giant, FrameUse::User, None).unwrap())
+            .collect();
+        for h in &g[..2] {
+            mem.free(*h).unwrap();
+        }
+        // Blocks 0 and 1 are free again, so handles are actually valid;
+        // split block 0 by taking a base page from it.
+        mem.allocate_in_region(0, 0, FrameUse::User, None).unwrap();
+        let head = pool.take_prepared(&mut mem, FrameUse::User, None);
+        // Handle for region 0 was stale; region 1's handle still works.
+        assert_eq!(head.map(|h| h.raw()), Some(64));
+        assert!(pool.take_prepared(&mut mem, FrameUse::User, None).is_none());
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let (mut mem, mut pool, _) = setup();
+        assert!(pool.take_prepared(&mut mem, FrameUse::User, None).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over whole policies: arbitrary interleavings of
+//! VMA growth, page faults and daemon ticks must keep the physical memory,
+//! page tables and reverse maps mutually consistent.
+
+use proptest::prelude::*;
+use trident_core::{
+    assert_mm_consistent, BasePolicy, HawkEyePolicy, MmContext, PagePolicy, SpaceSet, ThpPolicy,
+    TridentConfig, TridentPolicy,
+};
+use trident_phys::PhysicalMemory;
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_vm::{AddressSpace, VmaKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Grow the address space by `pages` (sometimes with a gap).
+    Grow { pages: u64, gap: u64 },
+    /// Fault at a pseudo-random allocated page.
+    Touch { salt: u64 },
+    /// Run one daemon tick.
+    Tick,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..96, prop_oneof![Just(0u64), 1u64..8])
+                .prop_map(|(pages, gap)| Op::Grow { pages, gap }),
+            (any::<u64>()).prop_map(|salt| Op::Touch { salt }),
+            Just(Op::Tick),
+        ],
+        1..80,
+    )
+}
+
+fn policies() -> Vec<Box<dyn PagePolicy>> {
+    vec![
+        Box::new(BasePolicy::new()),
+        Box::new(ThpPolicy::new()),
+        Box::new(HawkEyePolicy::new()),
+        Box::new(TridentPolicy::new(TridentConfig::full())),
+        Box::new(TridentPolicy::new(TridentConfig::giant_only())),
+        Box::new(TridentPolicy::new(TridentConfig::normal_compaction())),
+    ]
+}
+
+fn run_ops(policy: &mut dyn PagePolicy, ops: &[Op]) {
+    let geo = PageGeometry::TINY;
+    let mut ctx = MmContext::new(PhysicalMemory::new(
+        geo,
+        16 * geo.base_pages(PageSize::Giant),
+    ));
+    let asid = AsId::new(1);
+    let mut spaces = SpaceSet::new();
+    spaces.insert(AddressSpace::new(asid, geo));
+    let mut allocated = 0u64;
+    for op in ops {
+        match op {
+            Op::Grow { pages, gap } => {
+                let space = spaces.get_mut(asid).expect("space");
+                if space.total_vma_pages() + pages < 12 * 64 {
+                    space
+                        .mmap(*pages, VmaKind::Anon, PageSize::Base, *gap)
+                        .expect("grow");
+                    allocated += pages;
+                }
+            }
+            Op::Touch { salt } => {
+                if allocated == 0 {
+                    continue;
+                }
+                // Pick the salt-th allocated page (by VMA order).
+                let space = spaces.get_mut(asid).expect("space");
+                let mut index = salt % allocated;
+                let mut target = None;
+                for vma in space.vmas() {
+                    if index < vma.pages {
+                        target = Some(vma.start + index);
+                        break;
+                    }
+                    index -= vma.pages;
+                }
+                let vpn: Vpn = target.expect("index within allocation");
+                if space.page_table().translate(vpn).is_none() {
+                    policy.on_fault(&mut ctx, space, vpn).expect("fault");
+                }
+            }
+            Op::Tick => {
+                policy.on_tick(&mut ctx, &mut spaces);
+            }
+        }
+        assert_mm_consistent(&ctx, &spaces);
+    }
+    // Final deep check: every allocated-and-touched page still translates.
+    assert_mm_consistent(&ctx, &spaces);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy keeps the three layers consistent under arbitrary
+    /// grow/touch/tick interleavings.
+    #[test]
+    fn policies_preserve_cross_layer_consistency(ops in ops()) {
+        for mut policy in policies() {
+            run_ops(policy.as_mut(), &ops);
+        }
+    }
+
+    /// Mapped content is never lost: once a page translates, it keeps
+    /// translating across ticks (promotion replaces, never drops).
+    #[test]
+    fn ticks_never_unmap_touched_pages(
+        grows in prop::collection::vec((1u64..64, 0u64..4), 1..10),
+        ticks in 1usize..12,
+    ) {
+        let geo = PageGeometry::TINY;
+        let mut ctx =
+            MmContext::new(PhysicalMemory::new(geo, 16 * geo.base_pages(PageSize::Giant)));
+        let asid = AsId::new(1);
+        let mut spaces = SpaceSet::new();
+        spaces.insert(AddressSpace::new(asid, geo));
+        let mut policy = TridentPolicy::new(TridentConfig::full());
+        let mut touched = Vec::new();
+        for (pages, gap) in grows {
+            let space = spaces.get_mut(asid).expect("space");
+            let start = space.mmap(pages, VmaKind::Anon, PageSize::Base, gap).expect("grow");
+            for i in 0..pages {
+                let vpn = start + i;
+                let space = spaces.get_mut(asid).expect("space");
+                if space.page_table().translate(vpn).is_none() {
+                    policy.on_fault(&mut ctx, space, vpn).expect("fault");
+                }
+                touched.push(vpn);
+            }
+        }
+        for _ in 0..ticks {
+            policy.on_tick(&mut ctx, &mut spaces);
+            let space = spaces.get(asid).expect("space");
+            for vpn in &touched {
+                prop_assert!(
+                    space.page_table().translate(*vpn).is_some(),
+                    "page {vpn} lost its mapping"
+                );
+            }
+        }
+        assert_mm_consistent(&ctx, &spaces);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-frame metadata and the reverse mapping.
+//!
+//! Compaction must know, for every physical frame, whether it is used,
+//! whether its contents can be moved, where its allocation unit begins, and
+//! which virtual page maps it (so the page tables can be updated after
+//! migration). The [`FrameTable`] stores a compact two-byte record per frame
+//! plus a side map of owners keyed by unit head.
+
+use std::collections::HashMap;
+
+use trident_types::{AsId, Pfn, Vpn};
+
+/// What a physical frame is used for. Determines movability: kernel frames
+/// are unmovable and poison their 1GB region for compaction (§5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameUse {
+    /// Anonymous user memory; movable via migration.
+    User,
+    /// Page-cache contents; movable (and reclaimable). The fragmentation
+    /// methodology of §3 churns these.
+    PageCache,
+    /// Kernel objects (inodes, DMA buffers, page tables); unmovable.
+    Kernel,
+}
+
+impl FrameUse {
+    /// Whether frames of this use can be migrated by compaction.
+    #[must_use]
+    pub fn is_movable(self) -> bool {
+        !matches!(self, FrameUse::Kernel)
+    }
+}
+
+/// The virtual mapping that owns an allocation unit — the reverse map entry
+/// compaction follows to fix up page tables after moving data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MappingOwner {
+    /// Address space of the owning process.
+    pub asid: AsId,
+    /// First virtual page of the mapping.
+    pub vpn: Vpn,
+}
+
+/// A contiguous allocation unit as recorded in the frame table: one buddy
+/// block handed out by a single allocation call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationUnit {
+    /// First frame of the unit.
+    pub head: Pfn,
+    /// Buddy order (`2^order` base pages).
+    pub order: u8,
+    /// What the unit is used for.
+    pub use_: FrameUse,
+    /// Reverse-map entry, if the caller registered one.
+    pub owner: Option<MappingOwner>,
+}
+
+impl AllocationUnit {
+    /// Number of base pages in the unit.
+    #[must_use]
+    pub fn pages(&self) -> u64 {
+        1 << self.order
+    }
+}
+
+const FLAG_USED: u8 = 1 << 0;
+const FLAG_UNMOVABLE: u8 = 1 << 1;
+const FLAG_HEAD: u8 = 1 << 2;
+
+/// Compact per-frame record: flag bits plus the unit order (valid on heads).
+#[derive(Debug, Clone, Copy, Default)]
+struct FrameInfo {
+    flags: u8,
+    order: u8,
+}
+
+impl FrameInfo {
+    fn is_used(self) -> bool {
+        self.flags & FLAG_USED != 0
+    }
+    fn is_head(self) -> bool {
+        self.flags & FLAG_HEAD != 0
+    }
+    fn is_unmovable(self) -> bool {
+        self.flags & FLAG_UNMOVABLE != 0
+    }
+}
+
+/// Metadata for every physical frame, with unit-granularity bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use trident_phys::{FrameTable, FrameUse};
+/// use trident_types::Pfn;
+///
+/// let mut table = FrameTable::new(64);
+/// table.mark_allocated(Pfn::new(8), 3, FrameUse::User, None);
+/// assert!(table.is_unit_head(Pfn::new(8)));
+/// assert!(table.is_used(Pfn::new(15)));
+/// assert!(!table.is_used(Pfn::new(16)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameTable {
+    frames: Vec<FrameInfo>,
+    owners: HashMap<u64, MappingOwner>,
+    uses: HashMap<u64, FrameUse>,
+}
+
+impl FrameTable {
+    /// Creates a table for `total_pages` frames, all free.
+    #[must_use]
+    pub fn new(total_pages: u64) -> FrameTable {
+        FrameTable {
+            frames: vec![FrameInfo::default(); usize::try_from(total_pages).expect("fits usize")],
+            owners: HashMap::new(),
+            uses: HashMap::new(),
+        }
+    }
+
+    /// Number of frames tracked.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    fn idx(&self, pfn: Pfn) -> usize {
+        usize::try_from(pfn.raw()).expect("fits usize")
+    }
+
+    /// Records a freshly-allocated unit of `2^order` frames starting at
+    /// `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame in the unit is already used or out of bounds.
+    pub fn mark_allocated(
+        &mut self,
+        head: Pfn,
+        order: u8,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+    ) {
+        let start = self.idx(head);
+        let len = 1usize << order;
+        assert!(start + len <= self.frames.len(), "unit out of bounds");
+        let mut flags = FLAG_USED;
+        if !use_.is_movable() {
+            flags |= FLAG_UNMOVABLE;
+        }
+        for (i, frame) in self.frames[start..start + len].iter_mut().enumerate() {
+            assert!(!frame.is_used(), "frame {} double-allocated", start + i);
+            frame.flags = flags;
+            frame.order = order;
+        }
+        self.frames[start].flags |= FLAG_HEAD;
+        self.uses.insert(head.raw(), use_);
+        if let Some(owner) = owner {
+            self.owners.insert(head.raw(), owner);
+        }
+    }
+
+    /// Clears a previously-allocated unit, returning its description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not the head of a used unit.
+    pub fn mark_freed(&mut self, head: Pfn) -> AllocationUnit {
+        let unit = self.unit_at(head).expect("mark_freed requires a unit head");
+        let start = self.idx(head);
+        for frame in &mut self.frames[start..start + (1usize << unit.order)] {
+            *frame = FrameInfo::default();
+        }
+        self.owners.remove(&head.raw());
+        self.uses.remove(&head.raw());
+        unit
+    }
+
+    /// Whether `pfn` is currently part of any allocation unit.
+    #[must_use]
+    pub fn is_used(&self, pfn: Pfn) -> bool {
+        self.frames.get(self.idx(pfn)).is_some_and(|f| f.is_used())
+    }
+
+    /// Whether `pfn` holds unmovable (kernel) contents.
+    #[must_use]
+    pub fn is_unmovable(&self, pfn: Pfn) -> bool {
+        self.frames
+            .get(self.idx(pfn))
+            .is_some_and(|f| f.is_unmovable())
+    }
+
+    /// Whether `pfn` is the head of an allocation unit.
+    #[must_use]
+    pub fn is_unit_head(&self, pfn: Pfn) -> bool {
+        self.frames.get(self.idx(pfn)).is_some_and(|f| f.is_head())
+    }
+
+    /// The unit whose head is `pfn`, if `pfn` is a head.
+    #[must_use]
+    pub fn unit_at(&self, pfn: Pfn) -> Option<AllocationUnit> {
+        let info = *self.frames.get(self.idx(pfn))?;
+        if !info.is_head() {
+            return None;
+        }
+        Some(AllocationUnit {
+            head: pfn,
+            order: info.order,
+            use_: *self.uses.get(&pfn.raw()).expect("head has a use record"),
+            owner: self.owners.get(&pfn.raw()).copied(),
+        })
+    }
+
+    /// The head frame of the unit containing `pfn`, if used.
+    #[must_use]
+    pub fn head_of(&self, pfn: Pfn) -> Option<Pfn> {
+        let info = *self.frames.get(self.idx(pfn))?;
+        if !info.is_used() {
+            return None;
+        }
+        // Heads are naturally aligned to the unit order.
+        let head = pfn.raw() & !((1u64 << info.order) - 1);
+        Some(Pfn::new(head))
+    }
+
+    /// Updates (or clears) the reverse-map owner of the unit headed at
+    /// `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a unit head.
+    pub fn set_owner(&mut self, head: Pfn, owner: Option<MappingOwner>) {
+        assert!(self.is_unit_head(head), "set_owner requires a unit head");
+        match owner {
+            Some(o) => {
+                self.owners.insert(head.raw(), o);
+            }
+            None => {
+                self.owners.remove(&head.raw());
+            }
+        }
+    }
+
+    /// The reverse-map owner of the unit headed at `head`, if any.
+    #[must_use]
+    pub fn owner(&self, head: Pfn) -> Option<MappingOwner> {
+        self.owners.get(&head.raw()).copied()
+    }
+
+    /// Enumerates the allocation units whose head lies in `[start, end)`.
+    ///
+    /// Units are naturally aligned, so every unit overlapping a giant region
+    /// has its head inside it; this is exactly the set compaction must
+    /// migrate to free the region.
+    pub fn units_in(&self, start: Pfn, end: Pfn) -> Vec<AllocationUnit> {
+        let mut units = Vec::new();
+        let mut page = start.raw();
+        while page < end.raw() {
+            let info = self.frames[usize::try_from(page).expect("fits usize")];
+            if info.is_head() {
+                units.push(
+                    self.unit_at(Pfn::new(page))
+                        .expect("head implies unit exists"),
+                );
+                page += 1u64 << info.order;
+            } else {
+                page += 1;
+            }
+        }
+        units
+    }
+
+    /// Counts used frames in `[start, end)`.
+    #[must_use]
+    pub fn used_in(&self, start: Pfn, end: Pfn) -> u64 {
+        self.units_in(start, end).iter().map(|u| u.pages()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_free_roundtrip() {
+        let mut t = FrameTable::new(32);
+        let owner = MappingOwner {
+            asid: AsId::new(1),
+            vpn: Vpn::new(100),
+        };
+        t.mark_allocated(Pfn::new(8), 3, FrameUse::User, Some(owner));
+        let unit = t.unit_at(Pfn::new(8)).unwrap();
+        assert_eq!(unit.pages(), 8);
+        assert_eq!(unit.owner, Some(owner));
+        assert_eq!(unit.use_, FrameUse::User);
+        let freed = t.mark_freed(Pfn::new(8));
+        assert_eq!(freed, unit);
+        assert!(!t.is_used(Pfn::new(8)));
+        assert!(t.owner(Pfn::new(8)).is_none());
+    }
+
+    #[test]
+    fn head_of_finds_unit_start() {
+        let mut t = FrameTable::new(32);
+        t.mark_allocated(Pfn::new(16), 4, FrameUse::PageCache, None);
+        assert_eq!(t.head_of(Pfn::new(23)), Some(Pfn::new(16)));
+        assert_eq!(t.head_of(Pfn::new(3)), None);
+    }
+
+    #[test]
+    fn kernel_frames_are_unmovable() {
+        let mut t = FrameTable::new(8);
+        t.mark_allocated(Pfn::new(0), 1, FrameUse::Kernel, None);
+        assert!(t.is_unmovable(Pfn::new(0)));
+        assert!(t.is_unmovable(Pfn::new(1)));
+        t.mark_allocated(Pfn::new(2), 0, FrameUse::User, None);
+        assert!(!t.is_unmovable(Pfn::new(2)));
+        assert!(FrameUse::PageCache.is_movable());
+        assert!(!FrameUse::Kernel.is_movable());
+    }
+
+    #[test]
+    fn units_in_enumerates_heads_only() {
+        let mut t = FrameTable::new(64);
+        t.mark_allocated(Pfn::new(0), 3, FrameUse::User, None);
+        t.mark_allocated(Pfn::new(8), 0, FrameUse::Kernel, None);
+        t.mark_allocated(Pfn::new(32), 5, FrameUse::User, None);
+        let units = t.units_in(Pfn::new(0), Pfn::new(64));
+        assert_eq!(units.len(), 3);
+        assert_eq!(t.used_in(Pfn::new(0), Pfn::new(64)), 8 + 1 + 32);
+        // Partial window sees only heads inside it.
+        let tail = t.units_in(Pfn::new(16), Pfn::new(64));
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].head, Pfn::new(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-allocated")]
+    fn double_allocation_panics() {
+        let mut t = FrameTable::new(8);
+        t.mark_allocated(Pfn::new(0), 2, FrameUse::User, None);
+        t.mark_allocated(Pfn::new(2), 1, FrameUse::User, None);
+    }
+
+    #[test]
+    fn set_owner_replaces_and_clears() {
+        let mut t = FrameTable::new(8);
+        t.mark_allocated(Pfn::new(0), 0, FrameUse::User, None);
+        let o = MappingOwner {
+            asid: AsId::new(2),
+            vpn: Vpn::new(7),
+        };
+        t.set_owner(Pfn::new(0), Some(o));
+        assert_eq!(t.owner(Pfn::new(0)), Some(o));
+        t.set_owner(Pfn::new(0), None);
+        assert_eq!(t.owner(Pfn::new(0)), None);
+    }
+}

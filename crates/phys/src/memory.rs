@@ -1,0 +1,350 @@
+//! The physical-memory façade: buddy + frame table + region statistics.
+
+use trident_types::{PageGeometry, PageSize, Pfn};
+
+use crate::{
+    AllocationUnit, BuddyAllocator, FrameTable, FrameUse, MappingOwner, PhysMemError, RegionId,
+    RegionStats,
+};
+
+/// The simulated machine's physical memory.
+///
+/// All allocation and freeing must go through this type so that the buddy
+/// lists, the per-frame metadata and the per-region counters stay mutually
+/// consistent — mirroring how the paper hooks Linux's buddy allocator to
+/// maintain its new region counters on every allocation and free.
+///
+/// # Examples
+///
+/// ```
+/// use trident_phys::{FrameUse, PhysicalMemory};
+/// use trident_types::{PageGeometry, PageSize};
+///
+/// let geo = PageGeometry::TINY;
+/// let mut mem = PhysicalMemory::new(geo, 2 * geo.base_pages(PageSize::Giant));
+/// let head = mem.allocate(PageSize::Huge, FrameUse::User, None)?;
+/// assert_eq!(mem.free_pages(), mem.total_pages() - geo.base_pages(PageSize::Huge));
+/// mem.free(head)?;
+/// # Ok::<(), trident_phys::PhysMemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysicalMemory {
+    geo: PageGeometry,
+    buddy: BuddyAllocator,
+    frames: FrameTable,
+    regions: RegionStats,
+}
+
+impl PhysicalMemory {
+    /// Creates a physical memory of `total_pages` base pages, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pages == 0`.
+    #[must_use]
+    pub fn new(geo: PageGeometry, total_pages: u64) -> PhysicalMemory {
+        PhysicalMemory {
+            geo,
+            buddy: BuddyAllocator::new(total_pages, geo.max_order()),
+            frames: FrameTable::new(total_pages),
+            regions: RegionStats::new(geo, total_pages),
+        }
+    }
+
+    /// Creates a physical memory of at least `bytes` bytes.
+    #[must_use]
+    pub fn with_bytes(geo: PageGeometry, bytes: u64) -> PhysicalMemory {
+        PhysicalMemory::new(geo, geo.pages_for_bytes(bytes))
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geo
+    }
+
+    /// Total base pages.
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.buddy.total_pages()
+    }
+
+    /// Free base pages.
+    #[must_use]
+    pub fn free_pages(&self) -> u64 {
+        self.buddy.free_pages()
+    }
+
+    /// Free fraction of memory, in `[0, 1]`.
+    #[must_use]
+    pub fn free_fraction(&self) -> f64 {
+        self.free_pages() as f64 / self.total_pages() as f64
+    }
+
+    /// Whether a free chunk for a page of `size` is immediately available.
+    #[must_use]
+    pub fn has_free(&self, size: PageSize) -> bool {
+        self.buddy.has_free(self.geo.order(size))
+    }
+
+    /// The Free Memory Fragmentation Index for allocations of `size`.
+    /// See [`BuddyAllocator::fmfi`].
+    #[must_use]
+    pub fn fmfi(&self, size: PageSize) -> f64 {
+        self.buddy.fmfi(self.geo.order(size))
+    }
+
+    /// Allocates one page of `size`, returning its head frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no contiguous
+    /// chunk of that size exists — the condition that makes Trident fall
+    /// back to a smaller page size or invoke compaction.
+    pub fn allocate(
+        &mut self,
+        size: PageSize,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+    ) -> Result<Pfn, PhysMemError> {
+        self.allocate_order(self.geo.order(size), use_, owner)
+    }
+
+    /// Allocates a raw buddy block of `2^order` frames (used by the
+    /// fragmenter, which churns sub-huge-page chunks like the page cache
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no block of
+    /// `order` exists.
+    pub fn allocate_order(
+        &mut self,
+        order: u8,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+    ) -> Result<Pfn, PhysMemError> {
+        let start = self.buddy.alloc(order)?;
+        self.finish_alloc(start, order, use_, owner);
+        Ok(Pfn::new(start))
+    }
+
+    /// Allocates a block of `2^order` frames entirely inside `region` —
+    /// how smart compaction steers migrated data into its chosen target
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when the region has
+    /// no suitably-sized free block.
+    pub fn allocate_in_region(
+        &mut self,
+        region: RegionId,
+        order: u8,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+    ) -> Result<Pfn, PhysMemError> {
+        let range = self.regions.region_range(region);
+        let end = range.end.min(self.total_pages());
+        let start = self.buddy.alloc_in_range(order, range.start..end)?;
+        self.finish_alloc(start, order, use_, owner);
+        Ok(Pfn::new(start))
+    }
+
+    fn finish_alloc(&mut self, start: u64, order: u8, use_: FrameUse, owner: Option<MappingOwner>) {
+        self.frames
+            .mark_allocated(Pfn::new(start), order, use_, owner);
+        self.regions.on_alloc(start, 1 << order, !use_.is_movable());
+    }
+
+    /// Frees the allocation unit headed at `head`, returning its
+    /// description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::NotAUnitHead`] if `head` does not identify a
+    /// live allocation unit, or [`PhysMemError::FrameOutOfBounds`] if it is
+    /// outside memory.
+    pub fn free(&mut self, head: Pfn) -> Result<AllocationUnit, PhysMemError> {
+        if head.raw() >= self.total_pages() {
+            return Err(PhysMemError::FrameOutOfBounds { pfn: head.raw() });
+        }
+        let unit = self
+            .frames
+            .unit_at(head)
+            .ok_or(PhysMemError::NotAUnitHead { pfn: head.raw() })?;
+        self.frames.mark_freed(head);
+        self.regions
+            .on_free(head.raw(), unit.pages(), !unit.use_.is_movable());
+        self.buddy.free(head.raw(), unit.order);
+        Ok(unit)
+    }
+
+    /// The allocation unit headed at `head`, if any.
+    #[must_use]
+    pub fn unit_at(&self, head: Pfn) -> Option<AllocationUnit> {
+        self.frames.unit_at(head)
+    }
+
+    /// Whether `pfn` is the head of a live allocation unit.
+    #[must_use]
+    pub fn is_unit_head(&self, pfn: Pfn) -> bool {
+        self.frames.is_unit_head(pfn)
+    }
+
+    /// Updates the reverse-map owner of the unit headed at `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a unit head.
+    pub fn set_owner(&mut self, head: Pfn, owner: Option<MappingOwner>) {
+        self.frames.set_owner(head, owner);
+    }
+
+    /// Enumerates live allocation units whose head lies in `region`.
+    #[must_use]
+    pub fn units_in_region(&self, region: RegionId) -> Vec<AllocationUnit> {
+        let range = self.regions.region_range(region);
+        let end = range.end.min(self.total_pages());
+        self.frames.units_in(Pfn::new(range.start), Pfn::new(end))
+    }
+
+    /// Read access to the per-region counters.
+    #[must_use]
+    pub fn regions(&self) -> &RegionStats {
+        &self.regions
+    }
+
+    /// Read access to the buddy allocator (free-list statistics).
+    #[must_use]
+    pub fn buddy(&self) -> &BuddyAllocator {
+        &self.buddy
+    }
+
+    /// Read access to the frame table.
+    #[must_use]
+    pub fn frames(&self) -> &FrameTable {
+        &self.frames
+    }
+
+    /// Internal consistency check for tests: buddy accounting matches the
+    /// region counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn assert_consistent(&self) {
+        self.buddy.assert_consistent();
+        assert_eq!(
+            self.buddy.free_pages(),
+            self.regions.total_free(),
+            "buddy and region free counts drifted"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_types::{AsId, Vpn};
+
+    fn mem() -> PhysicalMemory {
+        PhysicalMemory::new(PageGeometry::TINY, 4 * 64)
+    }
+
+    #[test]
+    fn allocate_updates_all_three_structures() {
+        let mut m = mem();
+        let owner = MappingOwner {
+            asid: AsId::new(1),
+            vpn: Vpn::new(0),
+        };
+        let head = m
+            .allocate(PageSize::Huge, FrameUse::User, Some(owner))
+            .unwrap();
+        assert_eq!(m.free_pages(), 4 * 64 - 8);
+        assert_eq!(m.unit_at(head).unwrap().owner, Some(owner));
+        assert_eq!(m.regions().counters(0).free_pages, 64 - 8);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn free_restores_everything() {
+        let mut m = mem();
+        let head = m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+        let unit = m.free(head).unwrap();
+        assert_eq!(unit.pages(), 64);
+        assert_eq!(m.free_pages(), 4 * 64);
+        assert_eq!(m.regions().counters(0).free_pages, 64);
+        m.assert_consistent();
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut m = mem();
+        let head = m.allocate(PageSize::Base, FrameUse::User, None).unwrap();
+        m.free(head).unwrap();
+        assert_eq!(
+            m.free(head),
+            Err(PhysMemError::NotAUnitHead { pfn: head.raw() })
+        );
+    }
+
+    #[test]
+    fn free_out_of_bounds_is_an_error() {
+        let mut m = mem();
+        assert_eq!(
+            m.free(Pfn::new(10_000)),
+            Err(PhysMemError::FrameOutOfBounds { pfn: 10_000 })
+        );
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_contiguous_memory() {
+        let mut m = PhysicalMemory::new(PageGeometry::TINY, 64);
+        m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+        let err = m
+            .allocate(PageSize::Base, FrameUse::User, None)
+            .unwrap_err();
+        assert!(matches!(err, PhysMemError::OutOfContiguousMemory(_)));
+    }
+
+    #[test]
+    fn allocate_in_region_lands_in_region() {
+        let mut m = mem();
+        let head = m.allocate_in_region(2, 3, FrameUse::User, None).unwrap();
+        assert_eq!(m.geometry().giant_region_of(head.raw()), 2);
+        assert_eq!(m.regions().counters(2).free_pages, 64 - 8);
+    }
+
+    #[test]
+    fn kernel_allocations_poison_region_counters() {
+        let mut m = mem();
+        m.allocate(PageSize::Base, FrameUse::Kernel, None).unwrap();
+        assert_eq!(m.regions().counters(0).unmovable_pages, 1);
+        assert!(m.regions().source_candidates().is_empty());
+    }
+
+    #[test]
+    fn units_in_region_sees_only_that_region() {
+        let mut m = mem();
+        let a = m.allocate_in_region(0, 0, FrameUse::User, None).unwrap();
+        let b = m.allocate_in_region(1, 0, FrameUse::User, None).unwrap();
+        let units0 = m.units_in_region(0);
+        assert_eq!(units0.len(), 1);
+        assert_eq!(units0[0].head, a);
+        assert_eq!(m.units_in_region(1)[0].head, b);
+        assert!(m.units_in_region(3).is_empty());
+    }
+
+    #[test]
+    fn fmfi_surface_matches_buddy() {
+        let mut m = mem();
+        assert_eq!(m.fmfi(PageSize::Giant), 0.0);
+        // Take all giant blocks; giant FMFI becomes 1.
+        for _ in 0..4 {
+            m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+        }
+        assert_eq!(m.fmfi(PageSize::Giant), 1.0);
+    }
+}

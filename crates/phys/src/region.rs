@@ -1,0 +1,273 @@
+//! Per-1GB-region occupancy counters for smart compaction.
+//!
+//! §5.1.3 of the paper: *"we first introduced two counters for each 1GB
+//! physical memory region. One counter tracks the number of free page
+//! frames, and the other one tracks the number of unmovable pages within a
+//! region."* Smart compaction *selects* its source (emptiest, movable-only)
+//! and target (fullest) regions from these counters instead of scanning
+//! physical memory.
+
+use trident_types::{PageGeometry, PageSize};
+
+/// Index of a giant-page-sized physical region.
+pub type RegionId = u64;
+
+/// The two per-region counters the paper introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionCounters {
+    /// Free base pages in the region.
+    pub free_pages: u64,
+    /// Unmovable (kernel-owned) base pages in the region.
+    pub unmovable_pages: u64,
+}
+
+/// Occupancy statistics for every giant region of physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use trident_phys::RegionStats;
+/// use trident_types::{PageGeometry, PageSize};
+///
+/// let geo = PageGeometry::TINY;
+/// let mut stats = RegionStats::new(geo, 2 * geo.base_pages(PageSize::Giant));
+/// stats.on_alloc(0, 8, false);
+/// assert_eq!(stats.counters(0).free_pages, geo.base_pages(PageSize::Giant) - 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionStats {
+    geo: PageGeometry,
+    region_pages: u64,
+    total_pages: u64,
+    counters: Vec<RegionCounters>,
+}
+
+impl RegionStats {
+    /// Creates statistics for a physical memory of `total_pages` base pages,
+    /// all free.
+    ///
+    /// The trailing partial region (if `total_pages` is not a multiple of
+    /// the giant size) is tracked too, with a proportionally smaller free
+    /// count.
+    #[must_use]
+    pub fn new(geo: PageGeometry, total_pages: u64) -> RegionStats {
+        let region_pages = geo.base_pages(PageSize::Giant);
+        let regions = total_pages.div_ceil(region_pages);
+        let mut counters = Vec::with_capacity(usize::try_from(regions).expect("fits usize"));
+        let mut remaining = total_pages;
+        for _ in 0..regions {
+            let here = remaining.min(region_pages);
+            counters.push(RegionCounters {
+                free_pages: here,
+                unmovable_pages: 0,
+            });
+            remaining -= here;
+        }
+        RegionStats {
+            geo,
+            region_pages,
+            total_pages,
+            counters,
+        }
+    }
+
+    /// Base pages actually covered by `region` (smaller than
+    /// [`RegionStats::region_pages`] only for a trailing partial region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    #[must_use]
+    pub fn capacity(&self, region: RegionId) -> u64 {
+        assert!(region < self.region_count(), "region out of range");
+        let start = self.geo.giant_region_start(region);
+        self.region_pages.min(self.total_pages - start)
+    }
+
+    /// Number of giant regions tracked.
+    #[must_use]
+    pub fn region_count(&self) -> u64 {
+        self.counters.len() as u64
+    }
+
+    /// Base pages per (full) region.
+    #[must_use]
+    pub fn region_pages(&self) -> u64 {
+        self.region_pages
+    }
+
+    /// The counters of `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    #[must_use]
+    pub fn counters(&self, region: RegionId) -> RegionCounters {
+        self.counters[usize::try_from(region).expect("fits usize")]
+    }
+
+    /// Frame-number range covered by `region`.
+    #[must_use]
+    pub fn region_range(&self, region: RegionId) -> core::ops::Range<u64> {
+        let start = self.geo.giant_region_start(region);
+        start..start + self.region_pages
+    }
+
+    /// Records an allocation of `count` base pages starting at frame
+    /// `start`.
+    pub fn on_alloc(&mut self, start: u64, count: u64, unmovable: bool) {
+        self.apply(start, count, |c, n| {
+            c.free_pages -= n;
+            if unmovable {
+                c.unmovable_pages += n;
+            }
+        });
+    }
+
+    /// Records a free of `count` base pages starting at frame `start`.
+    /// `unmovable` must match the allocation.
+    pub fn on_free(&mut self, start: u64, count: u64, unmovable: bool) {
+        self.apply(start, count, |c, n| {
+            c.free_pages += n;
+            if unmovable {
+                c.unmovable_pages -= n;
+            }
+        });
+    }
+
+    fn apply(&mut self, start: u64, count: u64, f: impl Fn(&mut RegionCounters, u64)) {
+        let mut page = start;
+        let mut left = count;
+        while left > 0 {
+            let region = self.geo.giant_region_of(page);
+            let region_end = self.geo.giant_region_start(region) + self.region_pages;
+            let here = left.min(region_end - page);
+            f(
+                &mut self.counters[usize::try_from(region).expect("fits usize")],
+                here,
+            );
+            page += here;
+            left -= here;
+        }
+    }
+
+    /// Regions eligible as compaction *sources*, best first: no unmovable
+    /// pages, at least one used page (a fully-free region needs no work),
+    /// and full giant-page capacity (a trailing partial region can never
+    /// coalesce into a giant block) — ordered by most free pages first so
+    /// that freeing them copies the fewest bytes.
+    #[must_use]
+    pub fn source_candidates(&self) -> Vec<RegionId> {
+        let mut v: Vec<(u64, RegionId)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                c.unmovable_pages == 0
+                    && c.free_pages < self.region_pages
+                    && self.capacity(*i as RegionId) == self.region_pages
+            })
+            .map(|(i, c)| (c.free_pages, i as RegionId))
+            .collect();
+        // Most free first; ties broken by lowest region id for determinism.
+        v.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Regions eligible as compaction *targets*, best first: some free
+    /// space, ordered by least free pages first (fill the fullest regions),
+    /// excluding `exclude`.
+    #[must_use]
+    pub fn target_candidates(&self, exclude: RegionId) -> Vec<RegionId> {
+        let mut v: Vec<(u64, RegionId)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.free_pages, i as RegionId))
+            .filter(|(free, id)| *id != exclude && *free > 0)
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Total free pages across all regions (consistency aid for tests).
+    #[must_use]
+    pub fn total_free(&self) -> u64 {
+        self.counters.iter().map(|c| c.free_pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RegionStats {
+        let geo = PageGeometry::TINY; // 64-page giant regions
+        RegionStats::new(geo, 4 * 64)
+    }
+
+    #[test]
+    fn fresh_regions_are_fully_free() {
+        let s = stats();
+        assert_eq!(s.region_count(), 4);
+        for r in 0..4 {
+            assert_eq!(
+                s.counters(r),
+                RegionCounters {
+                    free_pages: 64,
+                    unmovable_pages: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn alloc_free_updates_counters() {
+        let mut s = stats();
+        s.on_alloc(10, 4, false);
+        assert_eq!(s.counters(0).free_pages, 60);
+        s.on_alloc(70, 2, true);
+        assert_eq!(s.counters(1).unmovable_pages, 2);
+        s.on_free(10, 4, false);
+        s.on_free(70, 2, true);
+        assert_eq!(s.total_free(), 4 * 64);
+        assert_eq!(s.counters(1).unmovable_pages, 0);
+    }
+
+    #[test]
+    fn spanning_updates_split_across_regions() {
+        let mut s = stats();
+        // 8 pages starting 4 before a region boundary.
+        s.on_alloc(60, 8, false);
+        assert_eq!(s.counters(0).free_pages, 60);
+        assert_eq!(s.counters(1).free_pages, 60);
+    }
+
+    #[test]
+    fn source_prefers_emptiest_movable_region() {
+        let mut s = stats();
+        s.on_alloc(0, 60, false); // region 0: 4 free
+        s.on_alloc(64, 8, false); // region 1: 56 free
+        s.on_alloc(128, 8, true); // region 2: unmovable -> excluded
+                                  // region 3 fully free -> excluded
+        assert_eq!(s.source_candidates(), vec![1, 0]);
+    }
+
+    #[test]
+    fn target_prefers_fullest_region_with_space() {
+        let mut s = stats();
+        s.on_alloc(0, 60, false); // region 0: 4 free
+        s.on_alloc(64, 64, false); // region 1: full -> excluded
+        s.on_alloc(128, 8, false); // region 2: 56 free
+        assert_eq!(s.target_candidates(2), vec![0, 3]);
+        assert_eq!(s.target_candidates(99), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn partial_trailing_region_is_tracked() {
+        let geo = PageGeometry::TINY;
+        let s = RegionStats::new(geo, 64 + 16);
+        assert_eq!(s.region_count(), 2);
+        assert_eq!(s.counters(1).free_pages, 16);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the buddy allocator and physical memory.
+
+use proptest::prelude::*;
+use trident_phys::{BuddyAllocator, FrameUse, PhysicalMemory};
+use trident_types::{PageGeometry, PageSize};
+
+/// A random sequence of alloc/free operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8),
+    FreeNth(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..=6).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// After any op sequence, the buddy's internal accounting is
+    /// consistent, and freeing everything restores full coalescing.
+    #[test]
+    fn buddy_accounting_survives_random_ops(ops in ops()) {
+        let total = 4u64 << 6;
+        let mut buddy = BuddyAllocator::new(total, 6);
+        let mut held: Vec<(u64, u8)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(order) => {
+                    if let Ok(start) = buddy.alloc(order) {
+                        prop_assert_eq!(start % (1 << order), 0);
+                        held.push((start, order));
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !held.is_empty() {
+                        let (start, order) = held.swap_remove(n % held.len());
+                        buddy.free(start, order);
+                    }
+                }
+            }
+            buddy.assert_consistent();
+        }
+        let held_pages: u64 = held.iter().map(|(_, o)| 1u64 << o).sum();
+        prop_assert_eq!(buddy.free_pages(), total - held_pages);
+        for (start, order) in held {
+            buddy.free(start, order);
+        }
+        prop_assert_eq!(buddy.free_pages(), total);
+        prop_assert_eq!(buddy.free_blocks(6), 4);
+    }
+
+    /// Allocations never overlap while held.
+    #[test]
+    fn buddy_allocations_are_disjoint(orders in prop::collection::vec(0u8..=5, 1..40)) {
+        let mut buddy = BuddyAllocator::new(1 << 10, 10);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for order in orders {
+            if let Ok(start) = buddy.alloc(order) {
+                spans.push((start, start + (1 << order)));
+            }
+        }
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlap: {:?}", pair);
+        }
+    }
+
+    /// PhysicalMemory keeps buddy, frame table and region counters in sync
+    /// under random page-size traffic.
+    #[test]
+    fn physical_memory_layers_stay_in_sync(
+        seq in prop::collection::vec(prop_oneof![
+            Just(PageSize::Base), Just(PageSize::Huge), Just(PageSize::Giant)
+        ], 1..100),
+        frees in prop::collection::vec(any::<prop::sample::Index>(), 0..60),
+    ) {
+        let geo = PageGeometry::TINY;
+        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant));
+        let mut held = Vec::new();
+        for size in seq {
+            if let Ok(head) = mem.allocate(size, FrameUse::User, None) {
+                held.push(head);
+            }
+        }
+        for idx in frees {
+            if held.is_empty() { break; }
+            let head = held.swap_remove(idx.index(held.len()));
+            mem.free(head).unwrap();
+        }
+        mem.assert_consistent();
+        for head in held {
+            mem.free(head).unwrap();
+        }
+        mem.assert_consistent();
+        prop_assert_eq!(mem.free_pages(), mem.total_pages());
+    }
+
+    /// FMFI is always within [0, 1] and monotone in order.
+    #[test]
+    fn fmfi_bounds_and_monotonicity(orders in prop::collection::vec(0u8..=6, 0..80)) {
+        let mut buddy = BuddyAllocator::new(1 << 9, 9);
+        for order in orders {
+            let _ = buddy.alloc(order);
+        }
+        let mut last = 0.0f64;
+        for order in 0..=9u8 {
+            let f = buddy.fmfi(order);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12, "fmfi not monotone at order {order}");
+            last = f;
+        }
+    }
+}

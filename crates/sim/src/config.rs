@@ -1,0 +1,141 @@
+//! Simulation configuration.
+
+use trident_phys::FragmentProfile;
+use trident_types::{PageGeometry, GIB};
+use trident_workloads::MemoryScale;
+
+/// Configuration of one simulated system run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Page geometry (the real x86-64 layout for experiments).
+    pub geo: PageGeometry,
+    /// Host physical memory in bytes, unscaled (the paper's testbed has
+    /// 384GB).
+    pub host_mem_bytes: u64,
+    /// Memory-scale divisor applied to host memory and workload
+    /// footprints alike; the TLB is scaled by the same factor so the
+    /// reach ratios of Table 1 are preserved.
+    pub scale: MemoryScale,
+    /// Fragment physical memory before the run (§3 methodology).
+    pub fragment: Option<FragmentProfile>,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Touched pages between background-daemon ticks during load.
+    pub tick_interval_pages: u64,
+    /// Sampled accesses in the measurement phase.
+    pub measure_samples: usize,
+    /// Samples between daemon ticks during measurement.
+    pub measure_tick_every: usize,
+    /// Maximum settling ticks after load (stops early at quiescence).
+    pub settle_ticks: usize,
+    /// Cap background daemons to this fraction of one CPU (Figure 13's
+    /// 10% `khugepaged` limit), or `None` for no cap.
+    pub daemon_cap: Option<f64>,
+    /// Application wall-clock nanoseconds represented by one tick
+    /// interval (used by the daemon cap accounting).
+    pub tick_interval_app_ns: u64,
+}
+
+impl SimConfig {
+    /// The default configuration at a given memory scale.
+    ///
+    /// Scaling divides every byte quantity (host memory, workload
+    /// footprints) *and* the large-page sizes by the same power of two:
+    /// at scale 16 a "giant" page is 64MB and a "huge" page 128KB, while
+    /// the TLB keeps its real Skylake entry counts — so every ratio that
+    /// drives the paper's results (footprint : TLB reach, footprint :
+    /// giant-page size, huge : giant) is preserved exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a power of two or exceeds 256.
+    #[must_use]
+    pub fn at_scale(scale: u64) -> SimConfig {
+        SimConfig {
+            scale: MemoryScale::new(scale),
+            geo: scaled_geometry(scale),
+            ..SimConfig::default()
+        }
+    }
+
+    /// Host memory in (scaled) base pages.
+    #[must_use]
+    pub fn host_pages(&self) -> u64 {
+        self.geo
+            .pages_for_bytes(self.scale.apply(self.host_mem_bytes))
+    }
+
+    /// The TLB scale divisor matching the memory scale.
+    #[must_use]
+    pub fn tlb_divisor(&self) -> usize {
+        usize::try_from(self.scale.divisor()).expect("fits usize")
+    }
+
+    /// Returns a copy with fragmentation enabled (heavy profile).
+    #[must_use]
+    pub fn fragmented(mut self) -> SimConfig {
+        self.fragment = Some(FragmentProfile::heavy());
+        self
+    }
+}
+
+/// The x86-64 geometry with huge/giant orders reduced by log2(`scale`):
+/// page-size *ratios* against footprints and TLB reach stay exactly as on
+/// real hardware while everything shrinks.
+///
+/// # Panics
+///
+/// Panics if `scale` is not a power of two in `1..=256`.
+#[must_use]
+pub fn scaled_geometry(scale: u64) -> PageGeometry {
+    assert!(
+        scale.is_power_of_two() && scale <= 256,
+        "scale must be a power of two <= 256"
+    );
+    let shift = scale.trailing_zeros() as u8;
+    PageGeometry::new(12, 9 - shift.min(8), 18 - shift)
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            geo: scaled_geometry(MemoryScale::default().divisor()),
+            host_mem_bytes: 384 * GIB,
+            scale: MemoryScale::default(),
+            fragment: None,
+            seed: 42,
+            tick_interval_pages: 8192,
+            measure_samples: 120_000,
+            measure_tick_every: 20_000,
+            settle_ticks: 48,
+            daemon_cap: None,
+            tick_interval_app_ns: 50_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scales_the_paper_testbed() {
+        let c = SimConfig::default();
+        // 384GB / 16 = 24GB = 6M pages.
+        assert_eq!(c.host_pages(), 24 * GIB / 4096);
+        assert_eq!(c.tlb_divisor(), 16);
+    }
+
+    #[test]
+    fn fragmented_toggle_sets_heavy_profile() {
+        let c = SimConfig::default().fragmented();
+        assert!(c.fragment.is_some());
+    }
+
+    #[test]
+    fn at_scale_only_changes_the_scale() {
+        let c = SimConfig::at_scale(64);
+        assert_eq!(c.scale.divisor(), 64);
+        assert_eq!(c.host_mem_bytes, SimConfig::default().host_mem_bytes);
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared experiment plumbing.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::{Measurement, PerfModel, PerfPoint, PolicyKind, SimConfig, System};
+
+/// Command-line-tunable options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpOptions {
+    /// Memory-scale divisor (DESIGN.md §2; default 32 for the binaries).
+    pub scale: u64,
+    /// Sampled accesses per measurement.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Options for quick runs (integration tests).
+    #[must_use]
+    pub fn quick() -> ExpOptions {
+        ExpOptions {
+            scale: 256,
+            samples: 8_000,
+            seed: 42,
+        }
+    }
+
+    /// Parses `--scale N`, `--samples N` and `--seed N` from an argument
+    /// list, starting from the defaults.
+    #[must_use]
+    pub fn from_args(args: &[String]) -> ExpOptions {
+        let mut opts = ExpOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut set = |target: &mut u64| {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    *target = v;
+                }
+            };
+            match arg.as_str() {
+                "--scale" => set(&mut opts.scale),
+                "--seed" => set(&mut opts.seed),
+                "--samples" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.samples = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Builds the base [`SimConfig`] for these options.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        let mut c = SimConfig::at_scale(self.scale);
+        c.measure_samples = self.samples;
+        c.measure_tick_every = (self.samples / 6).max(1);
+        c.seed = self.seed;
+        c
+    }
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 32,
+            samples: 120_000,
+            seed: 42,
+        }
+    }
+}
+
+/// One native run evaluated through the performance model.
+pub(crate) struct EvaluatedRun {
+    /// Raw measurement, kept for experiments that read counters directly.
+    #[allow(dead_code)]
+    pub measurement: Measurement,
+    pub point: PerfPoint,
+}
+
+/// Launches, settles, measures and evaluates one native run; returns
+/// `None` when the policy cannot even boot (hugetlbfs reservation on
+/// fragmented memory).
+pub(crate) fn run_native(
+    model: &mut PerfModel,
+    config: &SimConfig,
+    kind: PolicyKind,
+    spec: &WorkloadSpec,
+) -> Option<EvaluatedRun> {
+    let mut system = System::launch(*config, kind, *spec).ok()?;
+    system.settle();
+    let measurement = system.measure();
+    let point = model.evaluate(spec, config, &measurement);
+    Some(EvaluatedRun { measurement, point })
+}
+
+/// Formats a float with 3 decimals for CSV output.
+pub(crate) fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_args_parses_known_flags_and_ignores_noise() {
+        let args: Vec<String> = [
+            "--scale", "64", "--noise", "--samples", "9000", "--seed", "7", "--fragment",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = ExpOptions::from_args(&args);
+        assert_eq!(opts.scale, 64);
+        assert_eq!(opts.samples, 9000);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn from_args_defaults_when_empty() {
+        let opts = ExpOptions::from_args(&[]);
+        assert_eq!(opts, ExpOptions::default());
+        assert_eq!(opts.scale, 32);
+    }
+
+    #[test]
+    fn config_wires_samples_into_tick_cadence() {
+        let opts = ExpOptions {
+            scale: 64,
+            samples: 60_000,
+            seed: 1,
+        };
+        let c = opts.config();
+        assert_eq!(c.measure_samples, 60_000);
+        assert_eq!(c.measure_tick_every, 10_000);
+        assert_eq!(c.scale.divisor(), 64);
+    }
+}

@@ -1,0 +1,104 @@
+//! Extension study (beyond the paper's figures): how the paper's argument
+//! strengthens on upcoming hardware.
+//!
+//! §4.3 motivates 1GB enablement with "denser NVM technologies and
+//! five-level page tables". This experiment quantifies that trajectory:
+//! worst-case walk accesses per page-size combination under four- versus
+//! five-level tables, and the *measured* average walk cost once realistic
+//! page-walk caches are accounted for.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use trident_tlb::{nested_walk_accesses_at, walk_accesses_at, PageTableDepth, PageWalkCache};
+use trident_types::{PageGeometry, PageSize, Vpn, GIB};
+
+use crate::experiments::common::ExpOptions;
+
+/// One page-size row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Page size (same at both levels for the nested columns).
+    pub size: PageSize,
+    /// Native walk accesses, four-level tables.
+    pub native_4l: u64,
+    /// Native walk accesses, five-level tables.
+    pub native_5l: u64,
+    /// Nested (same size at both levels), four-level.
+    pub nested_4l: u64,
+    /// Nested, five-level.
+    pub nested_5l: u64,
+    /// Measured *average* native walk accesses with page-walk caches, for
+    /// a uniform-random working set larger than the PWC reach.
+    pub pwc_avg: f64,
+}
+
+/// The study result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per page size.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("size,native_4level,native_5level,nested_4level,nested_5level,pwc_avg\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.2}\n",
+                r.size, r.native_4l, r.native_5l, r.nested_4l, r.nested_5l, r.pwc_avg
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the study.
+pub fn run(opts: &ExpOptions) -> Result {
+    let geo = PageGeometry::X86_64;
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let footprint_pages = geo.pages_for_bytes(64 * GIB);
+    let rows = PageSize::ALL
+        .into_iter()
+        .map(|size| {
+            // Average PWC-adjusted walk cost over random pages of a 64GB
+            // working set (well beyond every PWC's reach at 4KB, within
+            // the PML4 entry's at 1GB).
+            let mut pwc = PageWalkCache::skylake(geo);
+            let samples = opts.samples.max(1);
+            let total: u64 = (0..samples)
+                .map(|_| pwc.walk_accesses(Vpn::new(rng.gen_range(0..footprint_pages)), size))
+                .sum();
+            Row {
+                size,
+                native_4l: walk_accesses_at(size, PageTableDepth::FourLevel),
+                native_5l: walk_accesses_at(size, PageTableDepth::FiveLevel),
+                nested_4l: nested_walk_accesses_at(size, size, PageTableDepth::FourLevel),
+                nested_5l: nested_walk_accesses_at(size, size, PageTableDepth::FiveLevel),
+                pwc_avg: total as f64 / samples as f64,
+            }
+        })
+        .collect();
+    Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_level_widens_the_giant_advantage() {
+        let r = run(&ExpOptions::quick());
+        let base = &r.rows[0];
+        let giant = &r.rows[2];
+        // Worst-case nested gap grows from 24-8=16 to 35-15=20 accesses.
+        assert_eq!(base.nested_4l - giant.nested_4l, 16);
+        assert_eq!(base.nested_5l - giant.nested_5l, 20);
+        // PWC compresses 4KB walks below the worst case but giant pages
+        // stay cheaper even then.
+        assert!(base.pwc_avg < base.native_4l as f64);
+        assert!(giant.pwc_avg <= base.pwc_avg);
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 1: page sizes under native execution.
+//!
+//! Four configurations per application — 4KB, 2MB via THP, 2MB via
+//! hugetlbfs, 1GB via hugetlbfs — reporting (a) the fraction of cycles in
+//! page walks and (b) performance, both normalized to the 4KB run.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, run_native, ExpOptions};
+use crate::{PerfModel, PolicyKind};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Whether the paper shades this application as 1GB-sensitive.
+    pub shaded: bool,
+    /// Walk-cycle fraction normalized to the 4KB run (Fig 1a).
+    pub walk_fraction_norm: f64,
+    /// Performance normalized to the 4KB run (Fig 1b).
+    pub perf_norm: f64,
+    /// Raw walk-cycle fraction.
+    pub walk_fraction: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All bars, grouped by application.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering (one row per bar).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("workload,config,shaded,walk_fraction_norm,perf_norm,walk_fraction\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.workload,
+                r.config,
+                r.shaded,
+                f3(r.walk_fraction_norm),
+                f3(r.perf_norm),
+                f3(r.walk_fraction),
+            ));
+        }
+        out
+    }
+
+    /// Mean 1GB-hugetlbfs speedup over THP across the shaded set — the
+    /// paper reports 12.5%.
+    #[must_use]
+    pub fn shaded_giant_gain_over_thp(&self) -> f64 {
+        let mut gains = Vec::new();
+        for w in self.rows.iter().filter(|r| r.shaded).map(|r| &r.workload) {
+            let find = |cfg: &str| {
+                self.rows
+                    .iter()
+                    .find(|r| &r.workload == w && r.config == cfg)
+                    .map(|r| r.perf_norm)
+            };
+            if let (Some(thp), Some(giant)) = (find("2MB-THP"), find("1GB-Hugetlbfs")) {
+                gains.push(giant / thp);
+            }
+        }
+        gains.dedup();
+        if gains.is_empty() {
+            1.0
+        } else {
+            gains.iter().sum::<f64>() / gains.len() as f64
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let mut model = PerfModel::new();
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::all() {
+        let Some(base) = run_native(&mut model, &config, PolicyKind::Base, &spec) else {
+            continue;
+        };
+        for kind in [
+            PolicyKind::Base,
+            PolicyKind::Thp,
+            PolicyKind::HugetlbfsHuge,
+            PolicyKind::HugetlbfsGiant,
+        ] {
+            let Some(run) = (if kind == PolicyKind::Base {
+                Some(EvaluatedClone::from(&base))
+            } else {
+                run_native(&mut model, &config, kind, &spec).map(|r| EvaluatedClone::from(&r))
+            }) else {
+                continue;
+            };
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: kind.label(),
+                shaded: spec.giant_sensitive,
+                walk_fraction_norm: run.point.walk_fraction_ratio(&base.point),
+                perf_norm: run.point.speedup_over(&base.point),
+                walk_fraction: run.point.walk_fraction,
+            });
+        }
+    }
+    Result { rows }
+}
+
+/// Small helper so the base run can be reused as its own row.
+struct EvaluatedClone {
+    point: crate::PerfPoint,
+}
+
+impl From<&crate::experiments::common::EvaluatedRun> for EvaluatedClone {
+    fn from(r: &crate::experiments::common::EvaluatedRun) -> Self {
+        EvaluatedClone { point: r.point }
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 11: ablation of Trident's design components.
+//!
+//! *Trident-1Gonly* (no 2MB pages) isolates the value of using every
+//! large page size; *Trident-NC* (normal compaction) isolates smart
+//! compaction. Both variants lose to full Trident; 1Gonly even loses to
+//! THP on apps with 1GB-unmappable hot regions (Graph500, SVM).
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, run_native, ExpOptions};
+use crate::{PerfModel, PolicyKind};
+
+/// One bar.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Performance normalized to THP.
+    pub perf_norm: f64,
+}
+
+/// One fragmentation state's figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Whether memory was fragmented (Figure 11b vs 11a).
+    pub fragmented: bool,
+    /// All bars.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,config,perf_norm\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                r.workload,
+                r.config,
+                f3(r.perf_norm)
+            ));
+        }
+        out
+    }
+
+    /// The bar for one (workload, config) pair.
+    #[must_use]
+    pub fn bar(&self, workload: &str, config: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.config == config)
+            .map(|r| r.perf_norm)
+    }
+}
+
+/// Runs one sub-figure.
+pub fn run(opts: &ExpOptions, fragmented: bool) -> Result {
+    let mut config = opts.config();
+    if fragmented {
+        config = config.fragmented();
+    }
+    let mut model = PerfModel::new();
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let Some(thp) = run_native(&mut model, &config, PolicyKind::Thp, &spec) else {
+            continue;
+        };
+        for kind in [
+            PolicyKind::Thp,
+            PolicyKind::Trident1G,
+            PolicyKind::TridentNC,
+            PolicyKind::Trident,
+        ] {
+            let point = if kind == PolicyKind::Thp {
+                thp.point
+            } else {
+                match run_native(&mut model, &config, kind, &spec) {
+                    Some(r) => r.point,
+                    None => continue,
+                }
+            };
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: kind.label(),
+                perf_norm: point.speedup_over(&thp.point),
+            });
+        }
+    }
+    Result { fragmented, rows }
+}

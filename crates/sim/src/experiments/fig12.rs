@@ -1,0 +1,81 @@
+//! Figure 12: performance under virtualization with the same system
+//! deployed at both levels — THP+THP, HawkEye+HawkEye, Trident+Trident.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, ExpOptions};
+use crate::experiments::fig2::run_virt_point;
+use crate::{PerfModel, PolicyKind};
+
+/// One bar.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Performance normalized to THP+THP.
+    pub perf_norm: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All bars.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,config,perf_norm\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                r.workload,
+                r.config,
+                f3(r.perf_norm)
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let mut model = PerfModel::new();
+    let combos: [(&'static str, PolicyKind); 3] = [
+        ("2MB+2MB-THP", PolicyKind::Thp),
+        ("HawkEye+HawkEye", PolicyKind::HawkEye),
+        ("Trident+Trident", PolicyKind::Trident),
+    ];
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let Some(thp) = run_virt_point(
+            &mut model,
+            &config,
+            PolicyKind::Thp,
+            PolicyKind::Thp,
+            &spec,
+            false,
+        ) else {
+            continue;
+        };
+        for (label, kind) in combos {
+            let point = if kind == PolicyKind::Thp {
+                Some(thp)
+            } else {
+                run_virt_point(&mut model, &config, kind, kind, &spec, false)
+            };
+            let Some(point) = point else { continue };
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: label,
+                perf_norm: point.speedup_over(&thp),
+            });
+        }
+    }
+    Result { rows }
+}

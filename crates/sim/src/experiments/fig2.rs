@@ -1,0 +1,152 @@
+//! Figure 2: page sizes under virtualized execution.
+//!
+//! The guest and host each use one page size: 4KB+4KB, 2MB+2MB (THP at
+//! both levels), 1GB+1GB (hugetlbfs at both levels). Walk-cycle fraction
+//! and performance are normalized to the 4KB+4KB run.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, ExpOptions};
+use crate::{PerfModel, PerfPoint, PolicyKind, VirtSystem};
+
+/// One bar of Figure 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Guest+host configuration label.
+    pub config: &'static str,
+    /// Shaded (1GB-sensitive) application.
+    pub shaded: bool,
+    /// Walk-cycle fraction normalized to 4KB+4KB.
+    pub walk_fraction_norm: f64,
+    /// Performance normalized to 4KB+4KB.
+    pub perf_norm: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All bars.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,config,shaded,walk_fraction_norm,perf_norm\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.workload,
+                r.config,
+                r.shaded,
+                f3(r.walk_fraction_norm),
+                f3(r.perf_norm),
+            ));
+        }
+        out
+    }
+}
+
+pub(crate) fn run_virt_point(
+    model: &mut PerfModel,
+    config: &crate::SimConfig,
+    host: PolicyKind,
+    guest: PolicyKind,
+    spec: &WorkloadSpec,
+    fragment_guest: bool,
+) -> Option<PerfPoint> {
+    let mut vs = VirtSystem::launch(*config, host, guest, *spec, fragment_guest).ok()?;
+    vs.settle();
+    let m = vs.measure();
+    Some(model.evaluate_virt(spec, config, &m))
+}
+
+/// Runs the full nine-combination matrix the paper mentions exploring
+/// ("nine combinations of page sizes are possible. While we explored all,
+/// we discuss only 4KB-4KB, 2MB-2MB, and 1GB-1GB"), for the shaded
+/// applications. Labels are `guest+host`.
+pub fn run_all_combos(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let mut model = PerfModel::new();
+    let sizes: [(&'static str, PolicyKind); 3] = [
+        ("4KB", PolicyKind::Base),
+        ("2MB", PolicyKind::Thp),
+        ("1GB", PolicyKind::HugetlbfsGiant),
+    ];
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let Some(base) = run_virt_point(
+            &mut model,
+            &config,
+            PolicyKind::Base,
+            PolicyKind::Base,
+            &spec,
+            false,
+        ) else {
+            continue;
+        };
+        for (guest_label, guest) in sizes {
+            for (host_label, host) in sizes {
+                let point = if guest == PolicyKind::Base && host == PolicyKind::Base {
+                    Some(base)
+                } else {
+                    run_virt_point(&mut model, &config, host, guest, &spec, false)
+                };
+                let Some(point) = point else { continue };
+                // Leak the combo label; there are only nine.
+                let label: &'static str =
+                    Box::leak(format!("{guest_label}+{host_label}").into_boxed_str());
+                rows.push(Row {
+                    workload: spec.name.to_owned(),
+                    config: label,
+                    shaded: spec.giant_sensitive,
+                    walk_fraction_norm: point.walk_fraction_ratio(&base),
+                    perf_norm: point.speedup_over(&base),
+                });
+            }
+        }
+    }
+    Result { rows }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let mut model = PerfModel::new();
+    let combos: [(&'static str, PolicyKind, PolicyKind); 3] = [
+        ("4KB+4KB", PolicyKind::Base, PolicyKind::Base),
+        ("2MB+2MB", PolicyKind::Thp, PolicyKind::Thp),
+        (
+            "1GB+1GB",
+            PolicyKind::HugetlbfsGiant,
+            PolicyKind::HugetlbfsGiant,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::all() {
+        let Some(base) =
+            run_virt_point(&mut model, &config, combos[0].1, combos[0].2, &spec, false)
+        else {
+            continue;
+        };
+        for (label, host, guest) in combos {
+            let point = if label == "4KB+4KB" {
+                Some(base)
+            } else {
+                run_virt_point(&mut model, &config, host, guest, &spec, false)
+            };
+            let Some(point) = point else { continue };
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: label,
+                shaded: spec.giant_sensitive,
+                walk_fraction_norm: point.walk_fraction_ratio(&base),
+                perf_norm: point.speedup_over(&base),
+            });
+        }
+    }
+    Result { rows }
+}

@@ -1,0 +1,81 @@
+//! Figure 3: memory mappable with each page size over the allocation
+//! timeline, for Graph500 and SVM.
+//!
+//! The gap between the 2MB and 1GB lines is the memory that *cannot* be
+//! served by 1GB pages at all — the structural argument for deploying all
+//! large page sizes.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{PolicyKind, System};
+
+/// One timeline point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Allocation step index (the x-axis "execution timeline").
+    pub step: usize,
+    /// GB mappable with 2MB pages (unscaled back to paper units).
+    pub huge_gb: f64,
+    /// GB mappable with 1GB pages.
+    pub giant_gb: f64,
+}
+
+/// One application's timeline.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Application name.
+    pub workload: String,
+    /// The timeline.
+    pub points: Vec<Point>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Graph500 and SVM series.
+    pub series: Vec<Series>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,step,mappable_2mb_gb,mappable_1gb_gb\n");
+        for s in &self.series {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{},{},{:.2},{:.2}\n",
+                    s.workload, p.step, p.huge_gb, p.giant_gb
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let unscale = config.scale.divisor() as f64;
+    let mut series = Vec::new();
+    for name in ["Graph500", "SVM"] {
+        let spec = WorkloadSpec::by_name(name).expect("known workload");
+        let system = System::launch(config, PolicyKind::Thp, spec).expect("unfragmented launch");
+        let points = system
+            .mappable_timeline
+            .iter()
+            .enumerate()
+            .map(|(step, (huge, giant))| Point {
+                step,
+                huge_gb: *huge as f64 * unscale / (1u64 << 30) as f64,
+                giant_gb: *giant as f64 * unscale / (1u64 << 30) as f64,
+            })
+            .collect();
+        series.push(Series {
+            workload: name.to_owned(),
+            points,
+        });
+    }
+    Result { series }
+}

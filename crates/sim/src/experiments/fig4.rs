@@ -1,0 +1,132 @@
+//! Figure 4: relative TLB-miss frequency across the virtual address
+//! space, colored by whether each region is 1GB-mappable.
+//!
+//! Reproduces the paper's methodology: the application runs on 4KB PTEs,
+//! accessed bits proxy TLB misses (we count actual simulated misses per
+//! giant-aligned chunk), and each chunk is classified as 1GB-mappable or
+//! only-2MB-mappable from the VMA layout. The paper's observation — the
+//! 1GB-*unmappable* regions take frequent misses — is what justifies
+//! backing them with 2MB pages.
+
+use std::collections::HashSet;
+
+use trident_types::PageSize;
+use trident_vm::mappable_ranges;
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{PolicyKind, System};
+
+/// Mappability class of a virtual chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkClass {
+    /// The giant-aligned chunk lies fully inside a VMA.
+    GiantMappable,
+    /// Parts are huge-mappable but the chunk cannot take a 1GB page.
+    HugeOnly,
+}
+
+/// One giant-aligned chunk of the address space.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Chunk index (x-axis: "allocated virtual address regions").
+    pub chunk: u64,
+    /// TLB misses observed in the chunk (relative frequency).
+    pub misses: u64,
+    /// Mappability class (the bar color).
+    pub class: ChunkClass,
+}
+
+/// One application's profile.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Application name.
+    pub workload: String,
+    /// Chunk rows in address order.
+    pub rows: Vec<Row>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Graph500 and SVM profiles.
+    pub series: Vec<Series>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,chunk,misses,class\n");
+        for s in &self.series {
+            for r in &s.rows {
+                let class = match r.class {
+                    ChunkClass::GiantMappable => "1GB-mappable",
+                    ChunkClass::HugeOnly => "2MB-only",
+                };
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    s.workload, r.chunk, r.misses, class
+                ));
+            }
+        }
+        out
+    }
+
+    /// Total misses landing on 1GB-unmappable chunks, per series — the
+    /// quantity the paper circles for Graph500.
+    #[must_use]
+    pub fn huge_only_miss_share(&self, workload: &str) -> f64 {
+        let Some(s) = self.series.iter().find(|s| s.workload == workload) else {
+            return 0.0;
+        };
+        let total: u64 = s.rows.iter().map(|r| r.misses).sum();
+        let huge_only: u64 = s
+            .rows
+            .iter()
+            .filter(|r| r.class == ChunkClass::HugeOnly)
+            .map(|r| r.misses)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            huge_only as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config();
+    let mut series = Vec::new();
+    for name in ["Graph500", "SVM"] {
+        let spec = WorkloadSpec::by_name(name).expect("known workload");
+        // 4KB pages per the measurement methodology.
+        let mut system =
+            System::launch(config, PolicyKind::Base, spec).expect("unfragmented launch");
+        let m = system.measure();
+        let geo = config.geo;
+        let giant_chunks: HashSet<u64> = mappable_ranges(system.space(), PageSize::Giant)
+            .into_iter()
+            .map(|vpn| geo.giant_region_of(vpn.raw()))
+            .collect();
+        let rows = m
+            .miss_by_chunk
+            .iter()
+            .map(|&(chunk, misses)| Row {
+                chunk,
+                misses,
+                class: if giant_chunks.contains(&chunk) {
+                    ChunkClass::GiantMappable
+                } else {
+                    ChunkClass::HugeOnly
+                },
+            })
+            .collect();
+        series.push(Series {
+            workload: name.to_owned(),
+            rows,
+        });
+    }
+    Result { series }
+}

@@ -1,0 +1,70 @@
+//! Figure 7: reduction in bytes copied by smart compaction over normal
+//! compaction, on fragmented memory.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{PolicyKind, System};
+
+/// One bar.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Bytes copied by compaction under normal compaction.
+    pub normal_bytes: u64,
+    /// Bytes copied under smart compaction.
+    pub smart_bytes: u64,
+    /// Percentage reduction (the figure's y-axis).
+    pub reduction_pct: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per shaded application.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,normal_bytes,smart_bytes,reduction_pct\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.1}\n",
+                r.workload, r.normal_bytes, r.smart_bytes, r.reduction_pct
+            ));
+        }
+        out
+    }
+}
+
+fn copied_bytes(opts: &ExpOptions, kind: PolicyKind, spec: &WorkloadSpec) -> u64 {
+    let config = opts.config().fragmented();
+    let mut system = System::launch(config, kind, *spec).expect("trident launch");
+    system.settle();
+    system.ctx.stats.compaction_bytes_copied
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let normal = copied_bytes(opts, PolicyKind::TridentNC, &spec);
+        let smart = copied_bytes(opts, PolicyKind::Trident, &spec);
+        let reduction = if normal == 0 {
+            0.0
+        } else {
+            (1.0 - smart as f64 / normal as f64) * 100.0
+        };
+        rows.push(Row {
+            workload: spec.name.to_owned(),
+            normal_bytes: normal,
+            smart_bytes: smart,
+            reduction_pct: reduction,
+        });
+    }
+    Result { rows }
+}

@@ -1,0 +1,99 @@
+//! Figures 9 and 10: THP versus HawkEye versus Trident, without and with
+//! physical-memory fragmentation.
+//!
+//! Reports performance and walk-cycle fraction normalized to THP — the
+//! paper's headline result (Trident +14% unfragmented, +18% fragmented,
+//! GUPS up to +47%/+50%).
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, run_native, ExpOptions};
+use crate::{PerfModel, PolicyKind};
+
+/// One bar.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Performance normalized to THP.
+    pub perf_norm: f64,
+    /// Walk-cycle fraction normalized to THP.
+    pub walk_fraction_norm: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Whether this is the fragmented variant (Figure 10).
+    pub fragmented: bool,
+    /// All bars.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,config,perf_norm,walk_fraction_norm\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                r.workload,
+                r.config,
+                f3(r.perf_norm),
+                f3(r.walk_fraction_norm)
+            ));
+        }
+        out
+    }
+
+    /// Geometric-mean speedup of `config` over THP.
+    #[must_use]
+    pub fn mean_speedup(&self, config: &str) -> f64 {
+        let gains: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.config == config)
+            .map(|r| r.perf_norm)
+            .collect();
+        if gains.is_empty() {
+            return 1.0;
+        }
+        (gains.iter().map(|g| g.ln()).sum::<f64>() / gains.len() as f64).exp()
+    }
+}
+
+/// Runs the experiment (`fragmented = false` reproduces Figure 9,
+/// `true` reproduces Figure 10).
+pub fn run(opts: &ExpOptions, fragmented: bool) -> Result {
+    let mut config = opts.config();
+    if fragmented {
+        config = config.fragmented();
+    }
+    let mut model = PerfModel::new();
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let Some(thp) = run_native(&mut model, &config, PolicyKind::Thp, &spec) else {
+            continue;
+        };
+        for kind in [PolicyKind::Thp, PolicyKind::HawkEye, PolicyKind::Trident] {
+            let point = if kind == PolicyKind::Thp {
+                thp.point
+            } else {
+                match run_native(&mut model, &config, kind, &spec) {
+                    Some(r) => r.point,
+                    None => continue,
+                }
+            };
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: kind.label(),
+                perf_norm: point.speedup_over(&thp.point),
+                walk_fraction_norm: point.walk_fraction_ratio(&thp.point),
+            });
+        }
+    }
+    Result { fragmented, rows }
+}

@@ -1,0 +1,24 @@
+//! One reproduction routine per table and figure of the evaluation.
+//!
+//! Each module returns a typed result with a `to_csv` method; the
+//! binaries in `trident-bench` print them. The experiment index lives in
+//! DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+
+pub mod bloat;
+mod common;
+pub mod extension;
+pub mod fig1;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig7;
+pub mod fig9;
+pub mod kernel_map;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use common::ExpOptions;

@@ -1,0 +1,130 @@
+//! Table 3: how much memory each Trident mechanism maps with 1GB and 2MB
+//! pages, on unfragmented and fragmented physical memory.
+//!
+//! Three mechanisms: the page-fault handler alone, fault + promotion with
+//! normal compaction, and fault + promotion with smart compaction.
+
+use trident_types::PageSize;
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{PolicyKind, SimConfig, System};
+
+/// The allocation mechanism column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mechanism {
+    /// Fault handler only; no background promotion.
+    PageFaultOnly,
+    /// Promotion with Linux's normal compaction.
+    PromotionNormal,
+    /// Promotion with smart compaction.
+    PromotionSmart,
+}
+
+impl Mechanism {
+    /// Column label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::PageFaultOnly => "page-fault-only",
+            Mechanism::PromotionNormal => "promotion-normal",
+            Mechanism::PromotionSmart => "promotion-smart",
+        }
+    }
+}
+
+/// One cell pair of Table 3.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Whether memory was fragmented first.
+    pub fragmented: bool,
+    /// Mechanism column.
+    pub mechanism: Mechanism,
+    /// GB mapped with 1GB pages (paper units).
+    pub giant_gb: f64,
+    /// GB mapped with 2MB pages.
+    pub huge_gb: f64,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All cells.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,fragmented,mechanism,gb_1gb,gb_2mb\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.2},{:.2}\n",
+                r.workload,
+                r.fragmented,
+                r.mechanism.label(),
+                r.giant_gb,
+                r.huge_gb
+            ));
+        }
+        out
+    }
+
+    /// Looks up one cell.
+    #[must_use]
+    pub fn cell(&self, workload: &str, fragmented: bool, mechanism: Mechanism) -> Option<&Row> {
+        self.rows.iter().find(|r| {
+            r.workload == workload && r.fragmented == fragmented && r.mechanism == mechanism
+        })
+    }
+}
+
+fn config_for(opts: &ExpOptions, fragmented: bool, _mechanism: Mechanism) -> SimConfig {
+    let mut config = opts.config();
+    if fragmented {
+        config = config.fragmented();
+    }
+    config
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let mut rows = Vec::new();
+    let unscale = opts.scale as f64;
+    for spec in WorkloadSpec::shaded() {
+        for fragmented in [false, true] {
+            for mechanism in [
+                Mechanism::PageFaultOnly,
+                Mechanism::PromotionNormal,
+                Mechanism::PromotionSmart,
+            ] {
+                let kind = match mechanism {
+                    Mechanism::PageFaultOnly => PolicyKind::TridentFaultOnly,
+                    Mechanism::PromotionNormal => PolicyKind::TridentNC,
+                    Mechanism::PromotionSmart => PolicyKind::Trident,
+                };
+                let config = config_for(opts, fragmented, mechanism);
+                let Ok(mut system) = System::launch(config, kind, spec) else {
+                    continue;
+                };
+                system.settle();
+                // A few extra settle rounds give promotion a fair shot.
+                for _ in 0..4 {
+                    system.settle();
+                }
+                let to_gb = |bytes: u64| bytes as f64 * unscale / (1u64 << 30) as f64;
+                rows.push(Row {
+                    workload: spec.name.to_owned(),
+                    fragmented,
+                    mechanism,
+                    giant_gb: to_gb(system.mapped_bytes(PageSize::Giant)),
+                    huge_gb: to_gb(system.mapped_bytes(PageSize::Huge)),
+                });
+            }
+        }
+    }
+    Result { rows }
+}

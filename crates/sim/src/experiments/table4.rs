@@ -1,0 +1,66 @@
+//! Table 4: percentage of 1GB allocation attempts that fail for lack of
+//! contiguous physical memory, at fault time versus promotion time,
+//! under fragmentation.
+
+use trident_core::AllocSite;
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{PolicyKind, System};
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application.
+    pub workload: String,
+    /// Failure rate at page-fault time, or `None` when the fault handler
+    /// never attempted a 1GB allocation (the paper's "NA": no
+    /// 1GB-mappable range existed at fault time).
+    pub fault_failure_rate: Option<f64>,
+    /// Failure rate during promotion (after compaction had its chance).
+    pub promotion_failure_rate: Option<f64>,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One row per shaded application.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering (`NA` for never-attempted cells, as in the paper).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(r) => format!("{:.0}%", r * 100.0),
+            None => "NA".to_owned(),
+        };
+        let mut out = String::from("workload,page_fault,promotion\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                r.workload,
+                fmt(r.fault_failure_rate),
+                fmt(r.promotion_failure_rate)
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let config = opts.config().fragmented();
+    let mut rows = Vec::new();
+    for spec in WorkloadSpec::shaded() {
+        let mut system = System::launch(config, PolicyKind::Trident, spec).expect("trident launch");
+        system.settle();
+        rows.push(Row {
+            workload: spec.name.to_owned(),
+            fault_failure_rate: system.ctx.stats.giant_failure_rate(AllocSite::PageFault),
+            promotion_failure_rate: system.ctx.stats.giant_failure_rate(AllocSite::Promotion),
+        });
+    }
+    Result { rows }
+}

@@ -1,0 +1,84 @@
+//! Table 5: p99 request latency for Redis and Memcached under 4KB, THP
+//! and Trident, with and without fragmentation — showing Trident does not
+//! hurt tails despite dynamically managing 1GB pages.
+
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::ExpOptions;
+use crate::{request_p99_ms, LatencyModel, PolicyKind, System};
+
+/// One cell of Table 5.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Application (Redis or Memcached).
+    pub workload: String,
+    /// Whether memory was fragmented.
+    pub fragmented: bool,
+    /// Configuration label.
+    pub config: &'static str,
+    /// p99 request latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// All cells.
+    pub rows: Vec<Row>,
+}
+
+impl Result {
+    /// CSV rendering.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,fragmented,config,p99_ms\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.2}\n",
+                r.workload, r.fragmented, r.config, r.p99_ms
+            ));
+        }
+        out
+    }
+
+    /// Looks up one cell.
+    #[must_use]
+    pub fn cell(&self, workload: &str, fragmented: bool, config: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.fragmented == fragmented && r.config == config)
+            .map(|r| r.p99_ms)
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> Result {
+    let mut rows = Vec::new();
+    for name in ["Redis", "Memcached"] {
+        let spec = WorkloadSpec::by_name(name).expect("known workload");
+        let latency_model = match name {
+            "Redis" => LatencyModel::redis(),
+            _ => LatencyModel::memcached(),
+        };
+        for fragmented in [false, true] {
+            for kind in [PolicyKind::Base, PolicyKind::Thp, PolicyKind::Trident] {
+                let mut config = opts.config();
+                if fragmented {
+                    config = config.fragmented();
+                }
+                let Ok(mut system) = System::launch(config, kind, spec) else {
+                    continue;
+                };
+                system.settle();
+                let m = system.measure();
+                rows.push(Row {
+                    workload: name.to_owned(),
+                    fragmented,
+                    config: kind.label(),
+                    p99_ms: request_p99_ms(&latency_model, &m, opts.seed),
+                });
+            }
+        }
+    }
+    Result { rows }
+}

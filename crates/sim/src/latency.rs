@@ -1,0 +1,117 @@
+//! Tail-latency model for the interactive stores (Table 5).
+//!
+//! Table 5 reports p99 request latency for Redis and Memcached under 4KB,
+//! THP and Trident, fragmented and not. The paper's point is negative:
+//! Trident does *not* hurt tails, because compaction, promotion and 1GB
+//! zeroing all run in the background. We model a request as a batch of
+//! memory accesses on top of a fixed service time; translation stalls from
+//! the measured walk-cycle distribution are the only per-request variable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use trident_core::CostModel;
+
+use crate::Measurement;
+
+/// Per-application request parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed service time per request (network, protocol, CPU), ns.
+    pub base_service_ns: f64,
+    /// Memory accesses per request.
+    pub accesses_per_request: f64,
+    /// Requests to simulate.
+    pub requests: usize,
+}
+
+impl LatencyModel {
+    /// Redis with the paper's pipelined bulk requests (p99 ≈ 47–53ms).
+    #[must_use]
+    pub fn redis() -> LatencyModel {
+        LatencyModel {
+            base_service_ns: 42.0e6,
+            accesses_per_request: 3.0e4,
+            requests: 4_000,
+        }
+    }
+
+    /// Memcached (p99 ≈ 1.5ms).
+    #[must_use]
+    pub fn memcached() -> LatencyModel {
+        LatencyModel {
+            base_service_ns: 1.30e6,
+            accesses_per_request: 8.0e2,
+            requests: 4_000,
+        }
+    }
+}
+
+/// Computes the modeled p99 request latency in milliseconds from a
+/// measurement: each request draws its translation overhead from the
+/// measured per-access walk-cycle average with multiplicative jitter.
+#[must_use]
+pub fn request_p99_ms(model: &LatencyModel, m: &Measurement, seed: u64) -> f64 {
+    let cost = CostModel::default();
+    let walk_cycles_per_access = m.walk_cycles as f64 / m.samples as f64;
+    let walk_ns_per_access = walk_cycles_per_access / cost.cycles_per_ns;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut latencies: Vec<f64> = (0..model.requests)
+        .map(|_| {
+            // Requests differ in locality: jitter both the base service
+            // time and the translation component.
+            let base_jitter = 1.0 + rng.gen_range(-0.05..0.12);
+            let walk_jitter = rng.gen_range(0.6..1.8);
+            model.base_service_ns * base_jitter
+                + model.accesses_per_request * walk_ns_per_access * walk_jitter
+        })
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let index = ((model.requests as f64) * 0.99) as usize;
+    latencies[index.min(model.requests - 1)] / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_core::MmStats;
+    use trident_tlb::TranslationStats;
+
+    fn measurement(walk_cycles: u64) -> Measurement {
+        Measurement {
+            samples: 10_000,
+            walks: walk_cycles / 200,
+            walk_cycles,
+            tlb: TranslationStats::default(),
+            stats: MmStats::default(),
+            mapped_bytes: [0; 3],
+            miss_by_chunk: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn redis_p99_lands_in_the_paper_ballpark() {
+        // ~50 walk cycles per access, similar to a THP run.
+        let p99 = request_p99_ms(&LatencyModel::redis(), &measurement(500_000), 1);
+        assert!((40.0..70.0).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn memcached_p99_is_millisecond_scale() {
+        let p99 = request_p99_ms(&LatencyModel::memcached(), &measurement(500_000), 1);
+        assert!((1.0..2.5).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn fewer_walks_lower_the_tail() {
+        let worse = request_p99_ms(&LatencyModel::redis(), &measurement(2_000_000), 1);
+        let better = request_p99_ms(&LatencyModel::redis(), &measurement(100_000), 1);
+        assert!(better < worse);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = request_p99_ms(&LatencyModel::redis(), &measurement(500_000), 9);
+        let b = request_p99_ms(&LatencyModel::redis(), &measurement(500_000), 9);
+        assert_eq!(a, b);
+    }
+}

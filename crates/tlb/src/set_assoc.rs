@@ -1,0 +1,173 @@
+//! A set-associative TLB structure with LRU replacement.
+
+/// A set-associative translation cache over abstract tags.
+///
+/// Tags are page numbers in units of the page size the structure caches
+/// (the caller shifts). A fully-associative structure is expressed as
+/// `ways == entries`.
+///
+/// # Examples
+///
+/// ```
+/// use trident_tlb::SetAssocTlb;
+///
+/// let mut tlb = SetAssocTlb::new(4, 4); // fully associative, 4 entries
+/// assert!(!tlb.access(7));
+/// assert!(tlb.access(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocTlb {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocTlb {
+    /// Creates a TLB with `entries` total entries organized as `ways`-way
+    /// sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize) -> SetAssocTlb {
+        assert!(ways > 0 && entries > 0, "TLB cannot be empty");
+        assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
+        let set_count = entries / ways;
+        SetAssocTlb {
+            sets: vec![Vec::with_capacity(ways); set_count],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn set_of(&self, tag: u64) -> usize {
+        (tag % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `tag`; on a hit refreshes its LRU position, on a miss
+    /// inserts it (evicting the LRU way if the set is full). Returns
+    /// whether it hit.
+    pub fn access(&mut self, tag: u64) -> bool {
+        let ways = self.ways;
+        let set_index = self.set_of(tag);
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Most-recently-used lives at the back.
+            let t = set.remove(pos);
+            set.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == ways {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `tag` without counting a lookup (used for fill-on-L2-hit).
+    pub fn fill(&mut self, tag: u64) {
+        let ways = self.ways;
+        let set_index = self.set_of(tag);
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.push(t);
+            return;
+        }
+        if set.len() == ways {
+            set.remove(0);
+        }
+        set.push(tag);
+    }
+
+    /// Whether `tag` is currently cached (no LRU update, no counting).
+    #[must_use]
+    pub fn probe(&self, tag: u64) -> bool {
+        self.sets[self.set_of(tag)].contains(&tag)
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Lookup hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = SetAssocTlb::new(2, 2);
+        t.access(1);
+        t.access(2);
+        t.access(1); // refresh 1; 2 becomes LRU
+        t.access(3); // evicts 2
+        assert!(t.probe(1));
+        assert!(!t.probe(2));
+        assert!(t.probe(3));
+    }
+
+    #[test]
+    fn set_conflicts_evict_within_set_only() {
+        // 4 entries, 2-way => 2 sets; even tags map to set 0.
+        let mut t = SetAssocTlb::new(4, 2);
+        t.access(0);
+        t.access(2);
+        t.access(4); // evicts 0 from set 0
+        assert!(!t.probe(0));
+        assert!(t.probe(2) && t.probe(4));
+        t.access(1); // set 1 untouched by the above
+        assert!(t.probe(1));
+    }
+
+    #[test]
+    fn fill_does_not_count() {
+        let mut t = SetAssocTlb::new(2, 2);
+        t.fill(9);
+        assert_eq!(t.hits() + t.misses(), 0);
+        assert!(t.access(9));
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn flush_clears_contents_not_counters() {
+        let mut t = SetAssocTlb::new(2, 2);
+        t.access(5);
+        t.flush();
+        assert!(!t.probe(5));
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn rejects_ragged_geometry() {
+        let _ = SetAssocTlb::new(5, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Page-walk cost model.
+
+use trident_types::PageSize;
+
+/// Page-table depth configuration. §2 notes that newer processors need up
+/// to five levels ("five memory accesses due to deeper page table
+/// structures" — ref. \[25\] of the paper), and §4.3 argues the advent of denser NVM plus
+/// five-level tables makes low-overhead translation more urgent than ever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageTableDepth {
+    /// Classic x86-64 four-level tables (48-bit VA).
+    #[default]
+    FourLevel,
+    /// LA57 five-level tables (57-bit VA).
+    FiveLevel,
+}
+
+/// Page-table levels that must be traversed to translate a page of `size`
+/// on x86-64 with four-level tables: 4 for 4KB, 3 for 2MB (PMD leaf), 2 for
+/// 1GB (PUD leaf). Each level is one memory access (§2).
+#[must_use]
+pub fn walk_accesses(size: PageSize) -> u64 {
+    walk_accesses_at(size, PageTableDepth::FourLevel)
+}
+
+/// Walk accesses with an explicit page-table depth; five-level tables add
+/// one access to every size.
+#[must_use]
+pub fn walk_accesses_at(size: PageSize, depth: PageTableDepth) -> u64 {
+    let extra = match depth {
+        PageTableDepth::FourLevel => 0,
+        PageTableDepth::FiveLevel => 1,
+    };
+    extra
+        + match size {
+            PageSize::Base => 4,
+            PageSize::Huge => 3,
+            PageSize::Giant => 2,
+        }
+}
+
+/// Memory accesses for a two-dimensional (nested) walk with `guest` and
+/// `host` page sizes: `(g + 1) · (h + 1) − 1` where `g`/`h` are the level
+/// counts. Reproduces §2's numbers: 24 for 4KB+4KB, 15 for 2MB+2MB, 8 for
+/// 1GB+1GB.
+#[must_use]
+pub fn nested_walk_accesses(guest: PageSize, host: PageSize) -> u64 {
+    nested_walk_accesses_at(guest, host, PageTableDepth::FourLevel)
+}
+
+/// Nested walk accesses with an explicit page-table depth at both levels:
+/// with five-level tables a 4KB+4KB miss needs up to 35 memory accesses,
+/// making large pages even more valuable.
+#[must_use]
+pub fn nested_walk_accesses_at(guest: PageSize, host: PageSize, depth: PageTableDepth) -> u64 {
+    let g = walk_accesses_at(guest, depth);
+    let h = walk_accesses_at(host, depth);
+    (g + 1) * (h + 1) - 1
+}
+
+/// Converts walk memory accesses into cycles.
+///
+/// The absolute scale is a model constant (we have no Xeon to calibrate
+/// against); what the experiments depend on is the *ratio* between page
+/// sizes, which comes from the access counts above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkCostModel {
+    /// Cycles per page-walk memory access (a blend of cache and DRAM
+    /// latencies; page-walk caches are folded into this constant).
+    pub mem_access_cycles: u64,
+    /// Cycles for an L2 TLB hit.
+    pub l2_hit_cycles: u64,
+}
+
+impl WalkCostModel {
+    /// Cycles for a native walk of a page of `size`.
+    #[must_use]
+    pub fn walk_cycles(&self, size: PageSize) -> u64 {
+        walk_accesses(size) * self.mem_access_cycles
+    }
+
+    /// Cycles for a nested walk.
+    #[must_use]
+    pub fn nested_walk_cycles(&self, guest: PageSize, host: PageSize) -> u64 {
+        nested_walk_accesses(guest, host) * self.mem_access_cycles
+    }
+}
+
+impl Default for WalkCostModel {
+    fn default() -> Self {
+        WalkCostModel {
+            mem_access_cycles: 50,
+            l2_hit_cycles: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_walk_accesses_match_paper() {
+        assert_eq!(walk_accesses(PageSize::Base), 4);
+        assert_eq!(walk_accesses(PageSize::Huge), 3);
+        assert_eq!(walk_accesses(PageSize::Giant), 2);
+    }
+
+    #[test]
+    fn nested_walk_accesses_match_paper() {
+        assert_eq!(nested_walk_accesses(PageSize::Base, PageSize::Base), 24);
+        assert_eq!(nested_walk_accesses(PageSize::Huge, PageSize::Huge), 15);
+        assert_eq!(nested_walk_accesses(PageSize::Giant, PageSize::Giant), 8);
+    }
+
+    #[test]
+    fn mixed_nested_sizes_are_between_the_extremes() {
+        let mixed = nested_walk_accesses(PageSize::Giant, PageSize::Base);
+        assert!(mixed > 8 && mixed < 24);
+        assert_eq!(mixed, nested_walk_accesses(PageSize::Base, PageSize::Giant));
+    }
+
+    #[test]
+    fn five_level_tables_add_one_access_per_size() {
+        for size in [PageSize::Base, PageSize::Huge, PageSize::Giant] {
+            assert_eq!(
+                walk_accesses_at(size, PageTableDepth::FiveLevel),
+                walk_accesses(size) + 1
+            );
+        }
+        // 4KB+4KB nested under LA57: (5+1)*(5+1)-1 = 35 accesses.
+        assert_eq!(
+            nested_walk_accesses_at(PageSize::Base, PageSize::Base, PageTableDepth::FiveLevel),
+            35
+        );
+        assert_eq!(
+            nested_walk_accesses_at(PageSize::Giant, PageSize::Giant, PageTableDepth::FiveLevel),
+            15
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_the_model_constant() {
+        let m = WalkCostModel {
+            mem_access_cycles: 10,
+            l2_hit_cycles: 7,
+        };
+        assert_eq!(m.walk_cycles(PageSize::Base), 40);
+        assert_eq!(m.nested_walk_cycles(PageSize::Giant, PageSize::Giant), 80);
+    }
+}

@@ -1,0 +1,268 @@
+//! Configurable page-size geometry.
+
+use crate::{PageSize, Pfn, PhysAddr, VirtAddr, Vpn};
+
+/// The geometry of an address space: how many base pages make up a huge and
+/// a giant page, and how big a base page is.
+///
+/// The real x86-64 geometry is [`PageGeometry::X86_64`] (4KB base pages,
+/// 2MB = 2⁹ base pages, 1GB = 2¹⁸ base pages). Tests may use
+/// [`PageGeometry::TINY`] to exercise the same code paths on a miniature
+/// address space.
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::{PageGeometry, PageSize, VirtAddr};
+///
+/// let geo = PageGeometry::X86_64;
+/// let addr = VirtAddr::new(0x4000_0123);
+/// assert!(!geo.is_aligned(addr.raw(), PageSize::Giant));
+/// assert_eq!(geo.align_down(addr.raw(), PageSize::Base), 0x4000_0000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageGeometry {
+    base_shift: u8,
+    huge_order: u8,
+    giant_order: u8,
+}
+
+impl PageGeometry {
+    /// The real x86-64 geometry: 4KB base, 2MB huge, 1GB giant pages.
+    pub const X86_64: PageGeometry = PageGeometry {
+        base_shift: 12,
+        huge_order: 9,
+        giant_order: 18,
+    };
+
+    /// A miniature geometry for fast tests: 4KB base pages, huge = 8 base
+    /// pages (32KB), giant = 64 base pages (256KB).
+    pub const TINY: PageGeometry = PageGeometry {
+        base_shift: 12,
+        huge_order: 3,
+        giant_order: 6,
+    };
+
+    /// Creates a geometry with the given base-page shift and huge/giant
+    /// orders (expressed in base pages: a huge page is `2^huge_order` base
+    /// pages, a giant page is `2^giant_order`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `huge_order == 0`, `giant_order <= huge_order`, or the
+    /// total shift would overflow a `u64` address.
+    #[must_use]
+    pub fn new(base_shift: u8, huge_order: u8, giant_order: u8) -> PageGeometry {
+        assert!(huge_order > 0, "huge pages must be larger than base pages");
+        assert!(
+            giant_order > huge_order,
+            "giant pages must be larger than huge pages"
+        );
+        assert!(
+            usize::from(base_shift) + usize::from(giant_order) < 60,
+            "geometry overflows the address space"
+        );
+        PageGeometry {
+            base_shift,
+            huge_order,
+            giant_order,
+        }
+    }
+
+    /// Size of a base page in bytes.
+    #[must_use]
+    pub fn base_bytes(&self) -> u64 {
+        1 << self.base_shift
+    }
+
+    /// log2 of the base page size in bytes.
+    #[must_use]
+    pub fn base_shift(&self) -> u8 {
+        self.base_shift
+    }
+
+    /// The buddy-allocator order of `size`: a page of `size` spans
+    /// `2^order(size)` base pages.
+    #[must_use]
+    pub fn order(&self, size: PageSize) -> u8 {
+        match size {
+            PageSize::Base => 0,
+            PageSize::Huge => self.huge_order,
+            PageSize::Giant => self.giant_order,
+        }
+    }
+
+    /// The largest order the buddy allocator must track
+    /// (the order of a giant page).
+    #[must_use]
+    pub fn max_order(&self) -> u8 {
+        self.giant_order
+    }
+
+    /// The page size with exactly the given buddy order, if any.
+    #[must_use]
+    pub fn size_for_order(&self, order: u8) -> Option<PageSize> {
+        PageSize::ALL.into_iter().find(|s| self.order(*s) == order)
+    }
+
+    /// Number of base pages spanned by a page of `size`.
+    #[must_use]
+    pub fn base_pages(&self, size: PageSize) -> u64 {
+        1 << self.order(size)
+    }
+
+    /// Size in bytes of a page of `size`.
+    #[must_use]
+    pub fn bytes(&self, size: PageSize) -> u64 {
+        self.base_bytes() << self.order(size)
+    }
+
+    /// Whether `raw` (a byte address) is aligned to `size`.
+    #[must_use]
+    pub fn is_aligned(&self, raw: u64, size: PageSize) -> bool {
+        raw % self.bytes(size) == 0
+    }
+
+    /// `raw` rounded down to the nearest `size` boundary.
+    #[must_use]
+    pub fn align_down(&self, raw: u64, size: PageSize) -> u64 {
+        raw - raw % self.bytes(size)
+    }
+
+    /// `raw` rounded up to the nearest `size` boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 64-bit address space.
+    #[must_use]
+    pub fn align_up(&self, raw: u64, size: PageSize) -> u64 {
+        let b = self.bytes(size);
+        raw.checked_add(b - 1).expect("address overflow") / b * b
+    }
+
+    /// Whether a base-page number is aligned to `size`
+    /// (i.e. could begin a page of that size).
+    #[must_use]
+    pub fn is_page_aligned(&self, page: u64, size: PageSize) -> bool {
+        page % self.base_pages(size) == 0
+    }
+
+    /// The base-page number containing byte address `raw`.
+    #[must_use]
+    pub fn page_of(&self, raw: u64) -> u64 {
+        raw >> self.base_shift
+    }
+
+    /// The first byte address of base-page number `page`.
+    #[must_use]
+    pub fn page_addr(&self, page: u64) -> u64 {
+        page << self.base_shift
+    }
+
+    /// The virtual page number containing `addr`.
+    #[must_use]
+    pub fn vpn(&self, addr: VirtAddr) -> Vpn {
+        Vpn::new(self.page_of(addr.raw()))
+    }
+
+    /// The physical frame number containing `addr`.
+    #[must_use]
+    pub fn pfn(&self, addr: PhysAddr) -> Pfn {
+        Pfn::new(self.page_of(addr.raw()))
+    }
+
+    /// The index of the giant-page-sized region containing base page `page`.
+    ///
+    /// Smart compaction partitions physical memory into giant-page-sized
+    /// regions and keeps per-region occupancy statistics.
+    #[must_use]
+    pub fn giant_region_of(&self, page: u64) -> u64 {
+        page >> self.giant_order
+    }
+
+    /// The first base page of giant region `region`.
+    #[must_use]
+    pub fn giant_region_start(&self, region: u64) -> u64 {
+        region << self.giant_order
+    }
+
+    /// Number of base pages needed to hold `bytes`, rounded up.
+    #[must_use]
+    pub fn pages_for_bytes(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.base_bytes())
+    }
+}
+
+impl Default for PageGeometry {
+    /// The default geometry is the real x86-64 layout.
+    fn default() -> Self {
+        PageGeometry::X86_64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GIB, KIB, MIB};
+
+    #[test]
+    fn x86_64_sizes_match_hardware() {
+        let g = PageGeometry::X86_64;
+        assert_eq!(g.bytes(PageSize::Base), 4 * KIB);
+        assert_eq!(g.bytes(PageSize::Huge), 2 * MIB);
+        assert_eq!(g.bytes(PageSize::Giant), GIB);
+        assert_eq!(g.base_pages(PageSize::Huge), 512);
+        assert_eq!(g.base_pages(PageSize::Giant), 512 * 512);
+    }
+
+    #[test]
+    fn order_roundtrips_through_size_for_order() {
+        for geo in [PageGeometry::X86_64, PageGeometry::TINY] {
+            for size in PageSize::ALL {
+                assert_eq!(geo.size_for_order(geo.order(size)), Some(size));
+            }
+            assert_eq!(geo.size_for_order(1), None);
+        }
+    }
+
+    #[test]
+    fn alignment_helpers_agree() {
+        let g = PageGeometry::X86_64;
+        let addr = 5 * GIB + 123 * MIB;
+        assert!(!g.is_aligned(addr, PageSize::Giant));
+        assert_eq!(g.align_down(addr, PageSize::Giant), 5 * GIB);
+        assert_eq!(g.align_up(addr, PageSize::Giant), 6 * GIB);
+        assert!(g.is_aligned(g.align_down(addr, PageSize::Huge), PageSize::Huge));
+    }
+
+    #[test]
+    fn align_up_of_aligned_address_is_identity() {
+        let g = PageGeometry::X86_64;
+        assert_eq!(g.align_up(2 * GIB, PageSize::Giant), 2 * GIB);
+        assert_eq!(g.align_up(0, PageSize::Giant), 0);
+    }
+
+    #[test]
+    fn giant_region_partitioning() {
+        let g = PageGeometry::TINY;
+        assert_eq!(g.giant_region_of(0), 0);
+        assert_eq!(g.giant_region_of(63), 0);
+        assert_eq!(g.giant_region_of(64), 1);
+        assert_eq!(g.giant_region_start(1), 64);
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        let g = PageGeometry::X86_64;
+        assert_eq!(g.pages_for_bytes(0), 0);
+        assert_eq!(g.pages_for_bytes(1), 1);
+        assert_eq!(g.pages_for_bytes(4 * KIB), 1);
+        assert_eq!(g.pages_for_bytes(4 * KIB + 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "giant pages must be larger")]
+    fn rejects_giant_not_larger_than_huge() {
+        let _ = PageGeometry::new(12, 9, 9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Identifier newtypes.
+
+use core::fmt;
+
+/// Identifier of an address space (one per simulated process or guest).
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::AsId;
+/// let id = AsId::new(3);
+/// assert_eq!(id.raw(), 3);
+/// assert_eq!(id.to_string(), "as3");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsId(u32);
+
+impl AsId {
+    /// Wraps a raw identifier.
+    #[must_use]
+    pub const fn new(raw: u32) -> AsId {
+        AsId(raw)
+    }
+
+    /// The raw identifier.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for AsId {
+    fn from(raw: u32) -> AsId {
+        AsId(raw)
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        assert_eq!(AsId::from(9).raw(), 9);
+        assert_eq!(AsId::new(0).to_string(), "as0");
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared vocabulary types for the Trident memory-system simulator.
+//!
+//! This crate defines the page-size taxonomy ([`PageSize`]), the configurable
+//! address-space geometry ([`PageGeometry`]) and the strongly-typed address
+//! and identifier newtypes used by every other crate in the workspace.
+//!
+//! The geometry is configurable so that unit and property tests can exercise
+//! the same algorithms on a miniature address space (tiny huge/giant orders)
+//! while experiments run with the real x86-64 layout (4KB / 2MB / 1GB).
+//!
+//! # Examples
+//!
+//! ```
+//! use trident_types::{PageGeometry, PageSize};
+//!
+//! let geo = PageGeometry::X86_64;
+//! assert_eq!(geo.bytes(PageSize::Base), 4 * 1024);
+//! assert_eq!(geo.bytes(PageSize::Huge), 2 * 1024 * 1024);
+//! assert_eq!(geo.bytes(PageSize::Giant), 1024 * 1024 * 1024);
+//! assert_eq!(geo.base_pages(PageSize::Giant), 262_144);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod geometry;
+mod ids;
+mod page_size;
+mod units;
+
+pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use geometry::PageGeometry;
+pub use ids::AsId;
+pub use page_size::PageSize;
+pub use units::{GIB, KIB, MIB};

@@ -1,0 +1,137 @@
+//! The three-page-size taxonomy of x86-64 processors.
+
+use core::fmt;
+
+/// One of the three page sizes supported by x86-64 processors.
+///
+/// The concrete byte size of each variant is determined by a
+/// [`PageGeometry`](crate::PageGeometry); under the real x86-64 geometry
+/// these are 4KB, 2MB and 1GB respectively.
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::PageSize;
+///
+/// // Ordered smallest to largest, so `Ord` can express "at least as big as".
+/// assert!(PageSize::Giant > PageSize::Huge);
+/// assert!(PageSize::Huge > PageSize::Base);
+/// assert_eq!(PageSize::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// The base page size (4KB on x86-64), mapped by a PTE leaf.
+    Base,
+    /// The huge page size (2MB on x86-64), mapped by a PMD leaf.
+    Huge,
+    /// The giant page size (1GB on x86-64), mapped by a PUD leaf.
+    Giant,
+}
+
+impl PageSize {
+    /// All page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Base, PageSize::Huge, PageSize::Giant];
+
+    /// All page sizes, largest first — the order in which Trident attempts
+    /// to satisfy a page fault (1GB, then 2MB, then 4KB).
+    pub const LARGEST_FIRST: [PageSize; 3] = [PageSize::Giant, PageSize::Huge, PageSize::Base];
+
+    /// The next smaller page size, or `None` for [`PageSize::Base`].
+    ///
+    /// This is the fallback order used by Trident's fault handler when a
+    /// contiguous physical chunk of the desired size is unavailable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use trident_types::PageSize;
+    /// assert_eq!(PageSize::Giant.smaller(), Some(PageSize::Huge));
+    /// assert_eq!(PageSize::Base.smaller(), None);
+    /// ```
+    #[must_use]
+    pub fn smaller(self) -> Option<PageSize> {
+        match self {
+            PageSize::Giant => Some(PageSize::Huge),
+            PageSize::Huge => Some(PageSize::Base),
+            PageSize::Base => None,
+        }
+    }
+
+    /// The next larger page size, or `None` for [`PageSize::Giant`].
+    #[must_use]
+    pub fn larger(self) -> Option<PageSize> {
+        match self {
+            PageSize::Base => Some(PageSize::Huge),
+            PageSize::Huge => Some(PageSize::Giant),
+            PageSize::Giant => None,
+        }
+    }
+
+    /// Whether this is a large page (huge or giant), i.e. anything bigger
+    /// than the base page size.
+    #[must_use]
+    pub fn is_large(self) -> bool {
+        self != PageSize::Base
+    }
+
+    /// A short human-readable label using the real x86-64 sizes
+    /// (`"4KB"`, `"2MB"`, `"1GB"`), as the paper's figures do.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PageSize::Base => "4KB",
+            PageSize::Huge => "2MB",
+            PageSize::Giant => "1GB",
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_size() {
+        assert!(PageSize::Base < PageSize::Huge);
+        assert!(PageSize::Huge < PageSize::Giant);
+    }
+
+    #[test]
+    fn smaller_and_larger_are_inverses() {
+        for size in PageSize::ALL {
+            if let Some(s) = size.smaller() {
+                assert_eq!(s.larger(), Some(size));
+            }
+            if let Some(l) = size.larger() {
+                assert_eq!(l.smaller(), Some(size));
+            }
+        }
+    }
+
+    #[test]
+    fn largest_first_is_reverse_of_all() {
+        let mut rev = PageSize::ALL;
+        rev.reverse();
+        assert_eq!(rev, PageSize::LARGEST_FIRST);
+    }
+
+    #[test]
+    fn only_base_is_not_large() {
+        assert!(!PageSize::Base.is_large());
+        assert!(PageSize::Huge.is_large());
+        assert!(PageSize::Giant.is_large());
+    }
+
+    #[test]
+    fn display_uses_paper_labels() {
+        assert_eq!(PageSize::Base.to_string(), "4KB");
+        assert_eq!(PageSize::Huge.to_string(), "2MB");
+        assert_eq!(PageSize::Giant.to_string(), "1GB");
+    }
+}

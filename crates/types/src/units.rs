@@ -1,0 +1,8 @@
+//! Byte-size unit constants.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (1024 KiB).
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte (1024 MiB).
+pub const GIB: u64 = 1024 * MIB;

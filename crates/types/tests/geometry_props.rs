@@ -1,0 +1,64 @@
+//! Property-based tests for the geometry arithmetic.
+
+use proptest::prelude::*;
+use trident_types::{PageGeometry, PageSize};
+
+fn any_geometry() -> impl Strategy<Value = PageGeometry> {
+    (10u8..=13, 1u8..=10).prop_flat_map(|(base, huge)| {
+        ((huge + 1)..=(huge + 12)).prop_map(move |giant| PageGeometry::new(base, huge, giant))
+    })
+}
+
+fn any_size() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        Just(PageSize::Base),
+        Just(PageSize::Huge),
+        Just(PageSize::Giant)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn align_down_is_aligned_and_le(geo in any_geometry(), size in any_size(),
+                                    raw in 0u64..(1 << 48)) {
+        let down = geo.align_down(raw, size);
+        prop_assert!(geo.is_aligned(down, size));
+        prop_assert!(down <= raw);
+        prop_assert!(raw - down < geo.bytes(size));
+    }
+
+    #[test]
+    fn align_up_is_aligned_and_ge(geo in any_geometry(), size in any_size(),
+                                  raw in 0u64..(1 << 48)) {
+        let up = geo.align_up(raw, size);
+        prop_assert!(geo.is_aligned(up, size));
+        prop_assert!(up >= raw);
+        prop_assert!(up - raw < geo.bytes(size));
+    }
+
+    #[test]
+    fn page_addr_roundtrips(geo in any_geometry(), page in 0u64..(1 << 36)) {
+        prop_assert_eq!(geo.page_of(geo.page_addr(page)), page);
+    }
+
+    #[test]
+    fn sizes_strictly_increase(geo in any_geometry()) {
+        prop_assert!(geo.bytes(PageSize::Base) < geo.bytes(PageSize::Huge));
+        prop_assert!(geo.bytes(PageSize::Huge) < geo.bytes(PageSize::Giant));
+    }
+
+    #[test]
+    fn giant_region_contains_its_start(geo in any_geometry(), region in 0u64..(1 << 20)) {
+        let start = geo.giant_region_start(region);
+        prop_assert_eq!(geo.giant_region_of(start), region);
+        prop_assert_eq!(
+            geo.giant_region_of(start + geo.base_pages(PageSize::Giant) - 1),
+            region
+        );
+    }
+
+    #[test]
+    fn bytes_equals_base_pages_times_base_bytes(geo in any_geometry(), size in any_size()) {
+        prop_assert_eq!(geo.bytes(size), geo.base_pages(size) * geo.base_bytes());
+    }
+}

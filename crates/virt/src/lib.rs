@@ -1,0 +1,24 @@
+//! Virtualization layer for the Trident simulator.
+//!
+//! Models the two-level address translation of §2: a guest virtual address
+//! (gVA) is translated to a guest physical address (gPA) by the guest OS's
+//! page tables, and the gPA to a host physical address (hPA) by the
+//! hypervisor's tables. Both levels run a [`PagePolicy`] of their own, so
+//! every combination the paper evaluates (4KB+4KB, 2MB+2MB, 1GB+1GB,
+//! THP+THP, Trident+Trident, ...) is expressible.
+//!
+//! The paravirtualized extension (§6) lives in [`pv`]: a batched hypercall
+//! through which the guest asks the hypervisor to *exchange* gPA→hPA
+//! mappings instead of copying guest-physical pages, making 2MB→1GB
+//! promotion in the guest copy-less (Figure 8).
+//!
+//! [`PagePolicy`]: trident_core::PagePolicy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nested;
+pub mod pv;
+
+pub use nested::{GuestKernel, Hypervisor, NestedAccess, VirtualMachine};
+pub use pv::{copyless_promote_giant, PvError, PvPromoteReport};

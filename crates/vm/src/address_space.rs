@@ -1,0 +1,328 @@
+//! Per-process address spaces: VMAs plus a page table.
+
+use std::collections::BTreeMap;
+
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+
+use crate::{MapError, MappingRecord, PageTable, Vma, VmaKind};
+
+/// A simulated process address space.
+///
+/// Tracks the allocated virtual ranges (VMAs) and owns the process page
+/// table. Virtual allocation follows a bump cursor like `mmap` under
+/// `MAP_32BIT`-free Linux: requests are placed at the cursor, optionally
+/// aligned and with a gap, and adjacent same-kind areas merge — which is
+/// what determines how much of the space stays 1GB-mappable as workloads
+/// allocate incrementally (§4.3).
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::{AsId, PageGeometry, PageSize};
+/// use trident_vm::{AddressSpace, VmaKind};
+///
+/// let geo = PageGeometry::TINY;
+/// let mut space = AddressSpace::new(AsId::new(1), geo);
+/// let a = space.mmap(64, VmaKind::Anon, PageSize::Giant, 0)?;
+/// let b = space.mmap(64, VmaKind::Anon, PageSize::Giant, 0)?;
+/// assert_eq!(b - a, 64);
+/// assert_eq!(space.vmas().count(), 1); // merged
+/// # Ok::<(), trident_vm::MapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    id: AsId,
+    geo: PageGeometry,
+    vmas: BTreeMap<u64, Vma>,
+    page_table: PageTable,
+    cursor: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new(id: AsId, geo: PageGeometry) -> AddressSpace {
+        AddressSpace {
+            id,
+            geo,
+            vmas: BTreeMap::new(),
+            page_table: PageTable::new(geo),
+            cursor: 0,
+        }
+    }
+
+    /// The address-space identifier.
+    #[must_use]
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geo
+    }
+
+    /// The page table.
+    #[must_use]
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable access to the page table (fault handlers and promoters).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Allocates `pages` virtual pages at the bump cursor, aligned to
+    /// `align` and preceded by `gap` unallocated pages. Adjacent same-kind
+    /// areas merge (as Linux merges VMAs), so fully contiguous allocation
+    /// yields a single large — and therefore highly giant-mappable — VMA,
+    /// while gaps fragment the space.
+    ///
+    /// Returns the first page of the new range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoVirtualSpace`] if the request is empty.
+    pub fn mmap(
+        &mut self,
+        pages: u64,
+        kind: VmaKind,
+        align: PageSize,
+        gap: u64,
+    ) -> Result<Vpn, MapError> {
+        if pages == 0 {
+            return Err(MapError::NoVirtualSpace { bytes: 0 });
+        }
+        let span = self.geo.base_pages(align);
+        let start = (self.cursor + gap).next_multiple_of(span);
+        self.insert_vma(Vma {
+            start: Vpn::new(start),
+            pages,
+            kind,
+        });
+        self.cursor = start + pages;
+        Ok(Vpn::new(start))
+    }
+
+    /// Allocates `pages` at an explicit position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Overlap`] if the range intersects an existing
+    /// VMA.
+    pub fn mmap_at(&mut self, start: Vpn, pages: u64, kind: VmaKind) -> Result<Vpn, MapError> {
+        let new = Vma { start, pages, kind };
+        if self.vmas_overlapping(&new).next().is_some() {
+            return Err(MapError::Overlap { vpn: start });
+        }
+        self.insert_vma(new);
+        self.cursor = self.cursor.max(start.raw() + pages);
+        Ok(start)
+    }
+
+    fn vmas_overlapping<'a>(&'a self, new: &'a Vma) -> impl Iterator<Item = &'a Vma> + 'a {
+        self.vmas
+            .values()
+            .filter(move |existing| existing.overlaps(new))
+    }
+
+    fn insert_vma(&mut self, mut new: Vma) {
+        // Merge with an adjacent predecessor of the same kind.
+        if let Some((&prev_start, prev)) = self.vmas.range(..new.start.raw()).next_back() {
+            if prev.kind == new.kind && prev.end() == new.start {
+                new = Vma {
+                    start: prev.start,
+                    pages: prev.pages + new.pages,
+                    kind: new.kind,
+                };
+                self.vmas.remove(&prev_start);
+            }
+        }
+        // Merge with an adjacent successor of the same kind.
+        if let Some((&next_start, next)) = self.vmas.range(new.start.raw()..).next() {
+            if next.kind == new.kind && new.end() == next.start {
+                new.pages += next.pages;
+                self.vmas.remove(&next_start);
+            }
+        }
+        self.vmas.insert(new.start.raw(), new);
+    }
+
+    /// Releases `[start, start + pages)`, unmapping any leaves headed
+    /// inside and splitting VMAs as needed. Returns the removed mappings so
+    /// the caller can free the backing frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf mapping straddles the range boundary — release
+    /// ranges must be aligned to the largest page size mapped within.
+    pub fn munmap(&mut self, start: Vpn, pages: u64) -> Vec<MappingRecord> {
+        let removed = self.page_table.mappings_in(start, pages);
+        let removed_pages: u64 = removed.iter().map(|m| self.geo.base_pages(m.size)).sum();
+        let profile_mapped: u64 = {
+            // Count all mapped base pages in the span, including straddlers.
+            let mut mapped = 0;
+            let mut vpn = start.raw();
+            while vpn < start.raw() + pages {
+                if let Some(t) = self.page_table.translate(Vpn::new(vpn)) {
+                    let leaf_end = t.head_vpn.raw() + self.geo.base_pages(t.size);
+                    let here = leaf_end.min(start.raw() + pages) - vpn;
+                    mapped += here;
+                    vpn += here;
+                } else {
+                    vpn += 1;
+                }
+            }
+            mapped
+        };
+        assert_eq!(
+            removed_pages, profile_mapped,
+            "munmap range splits a large-page mapping"
+        );
+        for m in &removed {
+            self.page_table.unmap(m.vpn).expect("enumerated mapping");
+        }
+        self.remove_vma_range(start, pages);
+        removed
+    }
+
+    fn remove_vma_range(&mut self, start: Vpn, pages: u64) {
+        let end = start + pages;
+        let affected: Vec<Vma> = self
+            .vmas
+            .values()
+            .filter(|v| v.start < end && start < v.end())
+            .copied()
+            .collect();
+        for vma in affected {
+            self.vmas.remove(&vma.start.raw());
+            if vma.start < start {
+                self.vmas.insert(
+                    vma.start.raw(),
+                    Vma {
+                        start: vma.start,
+                        pages: start - vma.start,
+                        kind: vma.kind,
+                    },
+                );
+            }
+            if vma.end() > end {
+                self.vmas.insert(
+                    end.raw(),
+                    Vma {
+                        start: end,
+                        pages: vma.end() - end,
+                        kind: vma.kind,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Iterates the VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// The VMA containing `vpn`, if any.
+    #[must_use]
+    pub fn vma_containing(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn.raw())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(vpn))
+    }
+
+    /// Total allocated virtual pages.
+    #[must_use]
+    pub fn total_vma_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_types::Pfn;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(AsId::new(1), PageGeometry::TINY)
+    }
+
+    #[test]
+    fn contiguous_mmaps_merge() {
+        let mut s = space();
+        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        assert_eq!(s.vmas().count(), 1);
+        assert_eq!(s.total_vma_pages(), 20);
+    }
+
+    #[test]
+    fn gaps_and_kind_changes_prevent_merging() {
+        let mut s = space();
+        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::Base, 2).unwrap();
+        s.mmap(10, VmaKind::Stack, PageSize::Base, 0).unwrap();
+        assert_eq!(s.vmas().count(), 3);
+    }
+
+    #[test]
+    fn mmap_at_rejects_overlap() {
+        let mut s = space();
+        s.mmap_at(Vpn::new(100), 50, VmaKind::Anon).unwrap();
+        assert!(s.mmap_at(Vpn::new(120), 10, VmaKind::Anon).is_err());
+        assert!(s.mmap_at(Vpn::new(150), 10, VmaKind::Anon).is_ok());
+        // Backward merge happened for the adjacent same-kind area.
+        assert_eq!(s.vmas().count(), 1);
+    }
+
+    #[test]
+    fn vma_containing_finds_the_right_area() {
+        let mut s = space();
+        let a = s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        let b = s.mmap(10, VmaKind::Stack, PageSize::Base, 5).unwrap();
+        assert_eq!(s.vma_containing(a + 9).unwrap().kind, VmaKind::Anon);
+        assert_eq!(s.vma_containing(b).unwrap().kind, VmaKind::Stack);
+        assert!(s.vma_containing(a + 12).is_none());
+    }
+
+    #[test]
+    fn munmap_middle_splits_vma_and_returns_mappings() {
+        let mut s = space();
+        let start = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        for i in 0..64 {
+            s.page_table_mut()
+                .map(start + i, Pfn::new(i), PageSize::Base)
+                .unwrap();
+        }
+        let removed = s.munmap(start + 16, 16);
+        assert_eq!(removed.len(), 16);
+        assert_eq!(s.vmas().count(), 2);
+        assert_eq!(s.total_vma_pages(), 48);
+        assert!(s.page_table().translate(start + 20).is_none());
+        assert!(s.page_table().translate(start + 40).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "splits a large-page mapping")]
+    fn munmap_through_a_huge_leaf_panics() {
+        let mut s = space();
+        let start = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        s.page_table_mut()
+            .map(start, Pfn::new(8), PageSize::Huge)
+            .unwrap();
+        let _ = s.munmap(start + 4, 8);
+    }
+
+    #[test]
+    fn alignment_request_is_honored() {
+        let mut s = space();
+        s.mmap(3, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        let aligned = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        assert_eq!(aligned.raw() % 64, 0);
+    }
+}

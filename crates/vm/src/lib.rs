@@ -1,0 +1,42 @@
+//! Virtual memory model for the Trident simulator.
+//!
+//! This crate models the guest-visible half of the paper's system: virtual
+//! memory areas ([`Vma`]), multi-level page tables with leaves at all three
+//! x86-64 page sizes ([`PageTable`]), and the analyses the paper performs on
+//! them — which parts of an address space are 1GB- or 2MB-*mappable*
+//! (Figure 3) and where TLB misses concentrate, measured through PTE
+//! accessed bits (Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
+//! use trident_vm::PageTable;
+//!
+//! let geo = PageGeometry::TINY;
+//! let mut pt = PageTable::new(geo);
+//! pt.map(Vpn::new(0), Pfn::new(64), PageSize::Giant)?;
+//! let t = pt.translate(Vpn::new(5)).expect("mapped by the giant leaf");
+//! assert_eq!(t.size, PageSize::Giant);
+//! assert_eq!(t.pfn, Pfn::new(64 + 5));
+//! # Ok::<(), trident_vm::MapError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access_bits;
+mod address_space;
+mod error;
+mod mappable;
+mod page_table;
+mod pte;
+mod vma;
+
+pub use access_bits::{chunk_of, AccessBitSampler};
+pub use address_space::AddressSpace;
+pub use error::MapError;
+pub use mappable::{mappable_bytes, mappable_ranges, promotion_candidates};
+pub use page_table::{ChunkProfile, MappingRecord, PageTable, Translation};
+pub use pte::RawPte;
+pub use vma::{Vma, VmaKind};

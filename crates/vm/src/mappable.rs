@@ -1,0 +1,123 @@
+//! Mappability analysis (§4.3, Figures 3 and 4).
+//!
+//! A virtual range is mappable by a large page only if it is at least as
+//! long as that page and starts at a page-size-aligned boundary. These
+//! helpers compute, for a whole address space, how much memory each page
+//! size could map — the quantity the paper plots over time for Graph500 and
+//! SVM — and enumerate the chunks a promotion scan should consider.
+
+use trident_types::{PageSize, Vpn};
+
+use crate::{AddressSpace, ChunkProfile};
+
+/// Total bytes of the address space mappable with pages of `size`.
+///
+/// Every 1GB-mappable byte is also 2MB-mappable, so
+/// `mappable_bytes(s, Huge) >= mappable_bytes(s, Giant)` always holds; the
+/// gap between the two is the memory that *must* fall back to 2MB pages
+/// (Figure 3's shaded gap).
+#[must_use]
+pub fn mappable_bytes(space: &AddressSpace, size: PageSize) -> u64 {
+    let geo = space.geometry();
+    space.vmas().map(|v| v.mappable_bytes(&geo, size)).sum()
+}
+
+/// Enumerates the start pages of all `size`-aligned chunks that lie fully
+/// inside a VMA — the candidate set for mapping or promoting at `size`.
+#[must_use]
+pub fn mappable_ranges(space: &AddressSpace, size: PageSize) -> Vec<Vpn> {
+    let geo = space.geometry();
+    space
+        .vmas()
+        .flat_map(|v| v.aligned_chunks(&geo, size))
+        .collect()
+}
+
+/// Enumerates chunks worth promoting to `size`: mappable chunks that are
+/// not yet mapped at `size` and already have some smaller-mapped memory in
+/// them (promoting a fully unmapped chunk would be pure bloat).
+///
+/// Returns `(chunk start, profile)` pairs in address order — the order in
+/// which `khugepaged` scans.
+#[must_use]
+pub fn promotion_candidates(space: &AddressSpace, size: PageSize) -> Vec<(Vpn, ChunkProfile)> {
+    mappable_ranges(space, size)
+        .into_iter()
+        .filter_map(|start| {
+            let profile = space.page_table().chunk_profile(start, size);
+            let already = match size {
+                PageSize::Giant => profile.giant_mapped > 0,
+                PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
+                PageSize::Base => true,
+            };
+            (!already && profile.mapped() > 0).then_some((start, profile))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VmaKind;
+    use trident_types::{AsId, PageGeometry, Pfn};
+
+    fn space_with_layout() -> AddressSpace {
+        let mut s = AddressSpace::new(AsId::new(1), PageGeometry::TINY);
+        // One giant-aligned 2-giant VMA and one unaligned huge-only VMA.
+        s.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
+        s.mmap_at(Vpn::new(200), 24, VmaKind::Anon).unwrap();
+        s
+    }
+
+    #[test]
+    fn giant_mappable_is_subset_of_huge_mappable() {
+        let s = space_with_layout();
+        let huge = mappable_bytes(&s, PageSize::Huge);
+        let giant = mappable_bytes(&s, PageSize::Giant);
+        assert_eq!(giant, 128 * 4096);
+        // Second VMA [200, 224): huge-aligned [200, 224) = 24 pages.
+        assert_eq!(huge, (128 + 24) * 4096);
+        assert!(huge >= giant);
+    }
+
+    #[test]
+    fn mappable_ranges_enumerates_chunk_heads() {
+        let s = space_with_layout();
+        let giants = mappable_ranges(&s, PageSize::Giant);
+        assert_eq!(giants, vec![Vpn::new(0), Vpn::new(64)]);
+        let huges = mappable_ranges(&s, PageSize::Huge);
+        assert_eq!(huges.len(), 16 + 3);
+    }
+
+    #[test]
+    fn promotion_candidates_skip_empty_and_already_promoted() {
+        let mut s = space_with_layout();
+        // Map a few base pages in the first giant chunk only.
+        for i in 0..4 {
+            s.page_table_mut()
+                .map(Vpn::new(i), Pfn::new(i), PageSize::Base)
+                .unwrap();
+        }
+        let cands = promotion_candidates(&s, PageSize::Giant);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, Vpn::new(0));
+        assert_eq!(cands[0].1.base_mapped, 4);
+        // After promoting (map a giant leaf), no candidates remain.
+        let mut s2 = space_with_layout();
+        s2.page_table_mut()
+            .map(Vpn::new(0), Pfn::new(0), PageSize::Giant)
+            .unwrap();
+        assert!(promotion_candidates(&s2, PageSize::Giant).is_empty());
+    }
+
+    #[test]
+    fn huge_candidates_exclude_chunks_under_giant_leaves() {
+        let mut s = space_with_layout();
+        s.page_table_mut()
+            .map(Vpn::new(0), Pfn::new(0), PageSize::Giant)
+            .unwrap();
+        for (start, _) in promotion_candidates(&s, PageSize::Huge) {
+            assert!(start.raw() >= 64, "chunk {start} is inside the giant leaf");
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! Multi-level page tables with leaves at all three page sizes.
+//!
+//! The structure mirrors the x86-64 radix tree: a top level whose entries
+//! either map an entire giant (1GB) page — a PUD leaf — or point to a
+//! mid-level table whose entries either map a huge (2MB) page — a PMD leaf
+//! — or point to a leaf table of base (4KB) PTEs. All entry words are
+//! packed [`RawPte`]s, with hardware-set accessed/dirty bits.
+
+use std::collections::BTreeMap;
+
+use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
+
+use crate::{MapError, RawPte};
+
+/// The result of walking the page table for one virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The frame that backs the *queried* base page.
+    pub pfn: Pfn,
+    /// The size of the leaf that produced the translation.
+    pub size: PageSize,
+    /// First virtual page of the leaf mapping.
+    pub head_vpn: Vpn,
+    /// First frame of the leaf mapping.
+    pub head_pfn: Pfn,
+}
+
+/// A leaf mapping as enumerated by scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingRecord {
+    /// First virtual page of the mapping.
+    pub vpn: Vpn,
+    /// First frame of the mapping.
+    pub pfn: Pfn,
+    /// Leaf size.
+    pub size: PageSize,
+    /// Accessed bit at scan time.
+    pub accessed: bool,
+    /// Dirty bit at scan time.
+    pub dirty: bool,
+}
+
+/// Summary of how an aligned virtual chunk is currently mapped, used by the
+/// promotion scanner (Figure 5) to decide whether a chunk is worth
+/// promoting. All counts are in base pages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkProfile {
+    /// Base pages mapped by 4KB leaves.
+    pub base_mapped: u64,
+    /// Base pages mapped by 2MB leaves.
+    pub huge_mapped: u64,
+    /// Base pages mapped by 1GB leaves.
+    pub giant_mapped: u64,
+    /// Base pages with no mapping.
+    pub unmapped: u64,
+}
+
+impl ChunkProfile {
+    /// Total base pages mapped by any leaf size.
+    #[must_use]
+    pub fn mapped(&self) -> u64 {
+        self.base_mapped + self.huge_mapped + self.giant_mapped
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PudEntry {
+    GiantLeaf(RawPte),
+    Table(PmdTable),
+}
+
+#[derive(Debug, Clone)]
+struct PmdTable {
+    entries: Vec<PmdEntry>,
+    live: u32,
+}
+
+#[derive(Debug, Clone)]
+enum PmdEntry {
+    None,
+    HugeLeaf(RawPte),
+    Table(PteTable),
+}
+
+#[derive(Debug, Clone)]
+struct PteTable {
+    entries: Vec<RawPte>,
+    live: u32,
+}
+
+/// A per-address-space page table.
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
+/// use trident_vm::PageTable;
+///
+/// let geo = PageGeometry::TINY;
+/// let mut pt = PageTable::new(geo);
+/// pt.map(Vpn::new(8), Pfn::new(16), PageSize::Huge)?;
+/// assert_eq!(pt.mapped_pages(PageSize::Huge), 1);
+/// let old = pt.remap(Vpn::new(8), Pfn::new(32))?;
+/// assert_eq!(old, Pfn::new(16));
+/// # Ok::<(), trident_vm::MapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    geo: PageGeometry,
+    puds: BTreeMap<u64, PudEntry>,
+    /// Number of leaves of each size (index by `PageSize as usize`).
+    leaves: [u64; 3],
+}
+
+impl PageTable {
+    /// Creates an empty page table for the given geometry.
+    #[must_use]
+    pub fn new(geo: PageGeometry) -> PageTable {
+        PageTable {
+            geo,
+            puds: BTreeMap::new(),
+            leaves: [0; 3],
+        }
+    }
+
+    /// The geometry this table was created with.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geo
+    }
+
+    fn pmd_len(&self) -> usize {
+        1 << (self.geo.order(PageSize::Giant) - self.geo.order(PageSize::Huge))
+    }
+
+    fn pte_len(&self) -> usize {
+        1 << self.geo.order(PageSize::Huge)
+    }
+
+    fn giant_index(&self, vpn: Vpn) -> u64 {
+        vpn.raw() >> self.geo.order(PageSize::Giant)
+    }
+
+    fn pmd_index(&self, vpn: Vpn) -> usize {
+        ((vpn.raw() >> self.geo.order(PageSize::Huge)) & (self.pmd_len() as u64 - 1)) as usize
+    }
+
+    fn pte_index(&self, vpn: Vpn) -> usize {
+        (vpn.raw() & (self.pte_len() as u64 - 1)) as usize
+    }
+
+    /// Number of leaves of the given size currently installed.
+    #[must_use]
+    pub fn mapped_pages(&self, size: PageSize) -> u64 {
+        self.leaves[size as usize]
+    }
+
+    /// Total mapped memory in base pages.
+    #[must_use]
+    pub fn mapped_base_pages(&self) -> u64 {
+        PageSize::ALL
+            .into_iter()
+            .map(|s| self.leaves[s as usize] * self.geo.base_pages(s))
+            .sum()
+    }
+
+    /// Total mapped memory in bytes attributable to leaves of `size`.
+    #[must_use]
+    pub fn mapped_bytes(&self, size: PageSize) -> u64 {
+        self.leaves[size as usize] * self.geo.bytes(size)
+    }
+
+    /// Installs a leaf of `size` mapping `vpn.. → pfn..`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::Unaligned`] — `vpn` or `pfn` is not `size`-aligned.
+    /// * [`MapError::Overlap`] — any base page of the span is already
+    ///   mapped.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn, size: PageSize) -> Result<(), MapError> {
+        if !self.geo.is_page_aligned(vpn.raw(), size) || !self.geo.is_page_aligned(pfn.raw(), size)
+        {
+            return Err(MapError::Unaligned { vpn, size });
+        }
+        let gi = self.giant_index(vpn);
+        match size {
+            PageSize::Giant => {
+                match self.puds.get(&gi) {
+                    Some(PudEntry::GiantLeaf(_)) => return Err(MapError::Overlap { vpn }),
+                    Some(PudEntry::Table(t)) if t.live > 0 => {
+                        return Err(MapError::Overlap { vpn })
+                    }
+                    _ => {}
+                }
+                self.puds
+                    .insert(gi, PudEntry::GiantLeaf(RawPte::new_leaf(pfn)));
+            }
+            PageSize::Huge => {
+                let pmd_len = self.pmd_len();
+                let pi = self.pmd_index(vpn);
+                let pud = self.puds.entry(gi).or_insert_with(|| {
+                    PudEntry::Table(PmdTable {
+                        entries: vec_none(pmd_len),
+                        live: 0,
+                    })
+                });
+                let table = match pud {
+                    PudEntry::GiantLeaf(_) => return Err(MapError::Overlap { vpn }),
+                    PudEntry::Table(t) => t,
+                };
+                match &table.entries[pi] {
+                    PmdEntry::None => {}
+                    PmdEntry::Table(t) if t.live == 0 => {}
+                    _ => return Err(MapError::Overlap { vpn }),
+                }
+                if matches!(table.entries[pi], PmdEntry::None) {
+                    table.live += 1;
+                }
+                table.entries[pi] = PmdEntry::HugeLeaf(RawPte::new_leaf(pfn));
+            }
+            PageSize::Base => {
+                let pmd_len = self.pmd_len();
+                let pte_len = self.pte_len();
+                let pi = self.pmd_index(vpn);
+                let ti = self.pte_index(vpn);
+                let pud = self.puds.entry(gi).or_insert_with(|| {
+                    PudEntry::Table(PmdTable {
+                        entries: vec_none(pmd_len),
+                        live: 0,
+                    })
+                });
+                let pmd = match pud {
+                    PudEntry::GiantLeaf(_) => return Err(MapError::Overlap { vpn }),
+                    PudEntry::Table(t) => t,
+                };
+                if matches!(pmd.entries[pi], PmdEntry::None) {
+                    pmd.entries[pi] = PmdEntry::Table(PteTable {
+                        entries: vec![RawPte::NOT_PRESENT; pte_len],
+                        live: 0,
+                    });
+                    pmd.live += 1;
+                }
+                let ptes = match &mut pmd.entries[pi] {
+                    PmdEntry::HugeLeaf(_) => return Err(MapError::Overlap { vpn }),
+                    PmdEntry::Table(t) => t,
+                    PmdEntry::None => unreachable!("just materialized"),
+                };
+                if ptes.entries[ti].is_present() {
+                    return Err(MapError::Overlap { vpn });
+                }
+                ptes.entries[ti] = RawPte::new_leaf(pfn);
+                ptes.live += 1;
+            }
+        }
+        self.leaves[size as usize] += 1;
+        Ok(())
+    }
+
+    /// Walks the table for `vpn` without touching accessed/dirty bits.
+    #[must_use]
+    pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        let gi = self.giant_index(vpn);
+        match self.puds.get(&gi)? {
+            PudEntry::GiantLeaf(pte) => {
+                let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Giant));
+                Some(self.leaf_translation(vpn, head_vpn, *pte, PageSize::Giant))
+            }
+            PudEntry::Table(pmd) => match &pmd.entries[self.pmd_index(vpn)] {
+                PmdEntry::None => None,
+                PmdEntry::HugeLeaf(pte) => {
+                    let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Huge));
+                    Some(self.leaf_translation(vpn, head_vpn, *pte, PageSize::Huge))
+                }
+                PmdEntry::Table(ptes) => {
+                    let pte = ptes.entries[self.pte_index(vpn)];
+                    pte.is_present()
+                        .then(|| self.leaf_translation(vpn, vpn, pte, PageSize::Base))
+                }
+            },
+        }
+    }
+
+    fn leaf_translation(
+        &self,
+        vpn: Vpn,
+        head_vpn: Vpn,
+        pte: RawPte,
+        size: PageSize,
+    ) -> Translation {
+        let offset = vpn - head_vpn;
+        Translation {
+            pfn: pte.pfn() + offset,
+            size,
+            head_vpn,
+            head_pfn: pte.pfn(),
+        }
+    }
+
+    /// Walks the table for `vpn` like the hardware does on a TLB miss,
+    /// setting the accessed bit (and the dirty bit for writes).
+    pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
+        let translation = self.translate(vpn)?;
+        let pte = self
+            .leaf_mut(translation.head_vpn)
+            .expect("translation implies leaf");
+        pte.set_accessed();
+        if write {
+            pte.set_dirty();
+        }
+        Some(translation)
+    }
+
+    /// Mutable access to the leaf entry headed exactly at `head_vpn`.
+    fn leaf_mut(&mut self, head_vpn: Vpn) -> Option<&mut RawPte> {
+        let gi = self.giant_index(head_vpn);
+        let pmd_index = self.pmd_index(head_vpn);
+        let pte_index = self.pte_index(head_vpn);
+        match self.puds.get_mut(&gi)? {
+            PudEntry::GiantLeaf(pte) => Some(pte),
+            PudEntry::Table(pmd) => match &mut pmd.entries[pmd_index] {
+                PmdEntry::None => None,
+                PmdEntry::HugeLeaf(pte) => Some(pte),
+                PmdEntry::Table(ptes) => {
+                    let pte = &mut ptes.entries[pte_index];
+                    pte.is_present().then_some(pte)
+                }
+            },
+        }
+    }
+
+    /// Removes the leaf headed exactly at `head_vpn`, returning its record.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::NotMapped`] — nothing is mapped at `head_vpn`.
+    /// * [`MapError::NotAMappingHead`] — `head_vpn` lies inside a larger
+    ///   leaf.
+    pub fn unmap(&mut self, head_vpn: Vpn) -> Result<MappingRecord, MapError> {
+        let translation = self
+            .translate(head_vpn)
+            .ok_or(MapError::NotMapped { vpn: head_vpn })?;
+        if translation.head_vpn != head_vpn {
+            return Err(MapError::NotAMappingHead { vpn: head_vpn });
+        }
+        let gi = self.giant_index(head_vpn);
+        let pmd_index = self.pmd_index(head_vpn);
+        let pte_index = self.pte_index(head_vpn);
+        let record;
+        match translation.size {
+            PageSize::Giant => {
+                let Some(PudEntry::GiantLeaf(pte)) = self.puds.remove(&gi) else {
+                    unreachable!("translate said giant leaf");
+                };
+                record = self.record(head_vpn, pte, PageSize::Giant);
+            }
+            PageSize::Huge => {
+                let Some(PudEntry::Table(pmd)) = self.puds.get_mut(&gi) else {
+                    unreachable!("translate said huge leaf");
+                };
+                let entry = std::mem::replace(&mut pmd.entries[pmd_index], PmdEntry::None);
+                let PmdEntry::HugeLeaf(pte) = entry else {
+                    unreachable!("translate said huge leaf");
+                };
+                pmd.live -= 1;
+                if pmd.live == 0 {
+                    self.puds.remove(&gi);
+                }
+                record = self.record(head_vpn, pte, PageSize::Huge);
+            }
+            PageSize::Base => {
+                let Some(PudEntry::Table(pmd)) = self.puds.get_mut(&gi) else {
+                    unreachable!("translate said base leaf");
+                };
+                let PmdEntry::Table(ptes) = &mut pmd.entries[pmd_index] else {
+                    unreachable!("translate said base leaf");
+                };
+                let pte = ptes.entries[pte_index];
+                ptes.entries[pte_index] = RawPte::NOT_PRESENT;
+                ptes.live -= 1;
+                if ptes.live == 0 {
+                    pmd.entries[pmd_index] = PmdEntry::None;
+                    pmd.live -= 1;
+                    if pmd.live == 0 {
+                        self.puds.remove(&gi);
+                    }
+                }
+                record = self.record(head_vpn, pte, PageSize::Base);
+            }
+        }
+        self.leaves[translation.size as usize] -= 1;
+        Ok(record)
+    }
+
+    fn record(&self, vpn: Vpn, pte: RawPte, size: PageSize) -> MappingRecord {
+        MappingRecord {
+            vpn,
+            pfn: pte.pfn(),
+            size,
+            accessed: pte.accessed(),
+            dirty: pte.dirty(),
+        }
+    }
+
+    /// Repoints the leaf headed at `head_vpn` to `new_head_pfn`, preserving
+    /// flags, and returns the old head frame. Used by migration and by
+    /// Trident_pv's copy-less exchange.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::NotMapped`] / [`MapError::NotAMappingHead`] — as for
+    ///   [`PageTable::unmap`].
+    /// * [`MapError::Unaligned`] — `new_head_pfn` is not aligned for the
+    ///   leaf's size.
+    pub fn remap(&mut self, head_vpn: Vpn, new_head_pfn: Pfn) -> Result<Pfn, MapError> {
+        let translation = self
+            .translate(head_vpn)
+            .ok_or(MapError::NotMapped { vpn: head_vpn })?;
+        if translation.head_vpn != head_vpn {
+            return Err(MapError::NotAMappingHead { vpn: head_vpn });
+        }
+        if !self
+            .geo
+            .is_page_aligned(new_head_pfn.raw(), translation.size)
+        {
+            return Err(MapError::Unaligned {
+                vpn: head_vpn,
+                size: translation.size,
+            });
+        }
+        let pte = self.leaf_mut(head_vpn).expect("translation implies leaf");
+        let old = pte.pfn();
+        pte.set_pfn(new_head_pfn);
+        Ok(old)
+    }
+
+    /// Enumerates all leaves whose head lies in `[start, start + pages)`.
+    ///
+    /// Leaves that straddle the window boundary (a giant leaf around a
+    /// smaller window) are *not* reported; scan windows should be aligned
+    /// to the largest page size of interest.
+    #[must_use]
+    pub fn mappings_in(&self, start: Vpn, pages: u64) -> Vec<MappingRecord> {
+        let mut out = Vec::new();
+        let end = start.raw() + pages;
+        let mut vpn = start.raw();
+        while vpn < end {
+            match self.translate(Vpn::new(vpn)) {
+                Some(t) => {
+                    let leaf_pages = self.geo.base_pages(t.size);
+                    if t.head_vpn.raw() >= start.raw() {
+                        let pte = *self.leaf_ref(t.head_vpn).expect("translation implies leaf");
+                        out.push(self.record(t.head_vpn, pte, t.size));
+                    }
+                    vpn = t.head_vpn.raw() + leaf_pages;
+                }
+                None => vpn += 1,
+            }
+        }
+        out
+    }
+
+    /// Shared access to the leaf entry headed exactly at `head_vpn`.
+    fn leaf_ref(&self, head_vpn: Vpn) -> Option<&RawPte> {
+        let gi = self.giant_index(head_vpn);
+        match self.puds.get(&gi)? {
+            PudEntry::GiantLeaf(pte) => Some(pte),
+            PudEntry::Table(pmd) => match &pmd.entries[self.pmd_index(head_vpn)] {
+                PmdEntry::None => None,
+                PmdEntry::HugeLeaf(pte) => Some(pte),
+                PmdEntry::Table(ptes) => {
+                    let pte = &ptes.entries[self.pte_index(head_vpn)];
+                    pte.is_present().then_some(pte)
+                }
+            },
+        }
+    }
+
+    /// Summarizes how the aligned chunk of `size` starting at `start` is
+    /// mapped. `start` must be `size`-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not aligned to `size`.
+    #[must_use]
+    pub fn chunk_profile(&self, start: Vpn, size: PageSize) -> ChunkProfile {
+        assert!(
+            self.geo.is_page_aligned(start.raw(), size),
+            "chunk_profile start must be size-aligned"
+        );
+        let span = self.geo.base_pages(size);
+        let mut profile = ChunkProfile::default();
+        let mut vpn = start.raw();
+        let end = start.raw() + span;
+        while vpn < end {
+            match self.translate(Vpn::new(vpn)) {
+                Some(t) => {
+                    let leaf_pages = self.geo.base_pages(t.size);
+                    match t.size {
+                        PageSize::Base => profile.base_mapped += leaf_pages,
+                        PageSize::Huge => profile.huge_mapped += leaf_pages,
+                        PageSize::Giant => profile.giant_mapped += leaf_pages,
+                    }
+                    vpn = t.head_vpn.raw() + leaf_pages;
+                }
+                None => {
+                    profile.unmapped += 1;
+                    vpn += 1;
+                }
+            }
+        }
+        profile
+    }
+
+    /// Clears accessed bits on every leaf in the window — the sampling-
+    /// interval reset of the paper's Figure 4 methodology.
+    pub fn clear_accessed_in(&mut self, start: Vpn, pages: u64) {
+        let heads: Vec<Vpn> = self
+            .mappings_in(start, pages)
+            .into_iter()
+            .map(|m| m.vpn)
+            .collect();
+        for head in heads {
+            if let Some(pte) = self.leaf_mut(head) {
+                pte.clear_accessed();
+            }
+        }
+    }
+
+    /// Counts leaves in the window whose accessed bit is set.
+    #[must_use]
+    pub fn accessed_leaves_in(&self, start: Vpn, pages: u64) -> u64 {
+        self.mappings_in(start, pages)
+            .iter()
+            .filter(|m| m.accessed)
+            .count() as u64
+    }
+}
+
+fn vec_none(len: usize) -> Vec<PmdEntry> {
+    let mut v = Vec::with_capacity(len);
+    v.resize_with(len, || PmdEntry::None);
+    v
+}
+
+/// Extension: align a page number down to a page-size boundary.
+trait AlignPage {
+    fn align_down_page(&self, page: u64, size: PageSize) -> u64;
+}
+
+impl AlignPage for PageGeometry {
+    fn align_down_page(&self, page: u64, size: PageSize) -> u64 {
+        page & !(self.base_pages(size) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> PageTable {
+        PageTable::new(PageGeometry::TINY) // huge = 8 pages, giant = 64
+    }
+
+    #[test]
+    fn map_translate_all_sizes() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(72), Pfn::new(3), PageSize::Base).unwrap();
+        assert_eq!(
+            t.translate(Vpn::new(10)).unwrap(),
+            Translation {
+                pfn: Pfn::new(74),
+                size: PageSize::Giant,
+                head_vpn: Vpn::new(0),
+                head_pfn: Pfn::new(64),
+            }
+        );
+        assert_eq!(t.translate(Vpn::new(65)).unwrap().pfn, Pfn::new(9));
+        assert_eq!(t.translate(Vpn::new(72)).unwrap().size, PageSize::Base);
+        assert_eq!(t.translate(Vpn::new(73)), None);
+        assert_eq!(t.mapped_base_pages(), 64 + 8 + 1);
+    }
+
+    #[test]
+    fn misaligned_maps_are_rejected() {
+        let mut t = pt();
+        assert_eq!(
+            t.map(Vpn::new(1), Pfn::new(0), PageSize::Huge),
+            Err(MapError::Unaligned {
+                vpn: Vpn::new(1),
+                size: PageSize::Huge
+            })
+        );
+        // Physical misalignment too.
+        assert_eq!(
+            t.map(Vpn::new(8), Pfn::new(3), PageSize::Huge),
+            Err(MapError::Unaligned {
+                vpn: Vpn::new(8),
+                size: PageSize::Huge
+            })
+        );
+    }
+
+    #[test]
+    fn overlaps_are_rejected_in_both_directions() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(0), PageSize::Base).unwrap();
+        // A giant over a base-mapped region.
+        assert_eq!(
+            t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant),
+            Err(MapError::Overlap { vpn: Vpn::new(0) })
+        );
+        // A huge over the base page.
+        assert_eq!(
+            t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge),
+            Err(MapError::Overlap { vpn: Vpn::new(0) })
+        );
+        let mut t2 = pt();
+        t2.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        assert_eq!(
+            t2.map(Vpn::new(8), Pfn::new(8), PageSize::Huge),
+            Err(MapError::Overlap { vpn: Vpn::new(8) })
+        );
+        assert_eq!(
+            t2.map(Vpn::new(5), Pfn::new(5), PageSize::Base),
+            Err(MapError::Overlap { vpn: Vpn::new(5) })
+        );
+    }
+
+    #[test]
+    fn unmap_requires_head_and_cleans_tables() {
+        let mut t = pt();
+        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
+        assert_eq!(
+            t.unmap(Vpn::new(65)),
+            Err(MapError::NotAMappingHead { vpn: Vpn::new(65) })
+        );
+        let rec = t.unmap(Vpn::new(64)).unwrap();
+        assert_eq!(rec.pfn, Pfn::new(8));
+        assert_eq!(rec.size, PageSize::Huge);
+        assert_eq!(t.mapped_base_pages(), 0);
+        // Table was cleaned: remapping a giant over the same index works.
+        t.map(Vpn::new(64), Pfn::new(64), PageSize::Giant).unwrap();
+    }
+
+    #[test]
+    fn unmap_base_page_frees_empty_pte_table() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(0), PageSize::Base).unwrap();
+        t.unmap(Vpn::new(0)).unwrap();
+        // Whole giant index is clean again.
+        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+    }
+
+    #[test]
+    fn access_sets_bits_translate_does_not() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        let _ = t.translate(Vpn::new(3));
+        assert_eq!(t.accessed_leaves_in(Vpn::new(0), 8), 0);
+        t.access(Vpn::new(3), false).unwrap();
+        assert_eq!(t.accessed_leaves_in(Vpn::new(0), 8), 1);
+        t.access(Vpn::new(4), true).unwrap();
+        let rec = t.mappings_in(Vpn::new(0), 8)[0];
+        assert!(rec.dirty);
+        t.clear_accessed_in(Vpn::new(0), 8);
+        assert_eq!(t.accessed_leaves_in(Vpn::new(0), 8), 0);
+        // Dirty survives an accessed clear.
+        assert!(t.mappings_in(Vpn::new(0), 8)[0].dirty);
+    }
+
+    #[test]
+    fn remap_preserves_flags_and_returns_old() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        t.access(Vpn::new(0), true).unwrap();
+        let old = t.remap(Vpn::new(0), Pfn::new(16)).unwrap();
+        assert_eq!(old, Pfn::new(8));
+        let rec = t.mappings_in(Vpn::new(0), 8)[0];
+        assert_eq!(rec.pfn, Pfn::new(16));
+        assert!(rec.accessed && rec.dirty);
+        // Misaligned target rejected.
+        assert!(matches!(
+            t.remap(Vpn::new(0), Pfn::new(3)),
+            Err(MapError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_profile_accounts_every_base_page() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap(); // 8 pages
+        t.map(Vpn::new(8), Pfn::new(1), PageSize::Base).unwrap();
+        let p = t.chunk_profile(Vpn::new(0), PageSize::Giant);
+        assert_eq!(p.huge_mapped, 8);
+        assert_eq!(p.base_mapped, 1);
+        assert_eq!(p.giant_mapped, 0);
+        assert_eq!(p.unmapped, 64 - 9);
+        assert_eq!(p.mapped() + p.unmapped, 64);
+    }
+
+    #[test]
+    fn mappings_in_skips_straddling_leaves() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        // Window starts inside the giant leaf: the leaf head is outside.
+        assert!(t.mappings_in(Vpn::new(8), 8).is_empty());
+        assert_eq!(t.mappings_in(Vpn::new(0), 64).len(), 1);
+    }
+
+    #[test]
+    fn leaf_counters_track_mapping_churn() {
+        let mut t = pt();
+        for i in 0..4 {
+            t.map(Vpn::new(i), Pfn::new(i), PageSize::Base).unwrap();
+        }
+        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
+        assert_eq!(t.mapped_pages(PageSize::Base), 4);
+        assert_eq!(t.mapped_pages(PageSize::Huge), 1);
+        assert_eq!(t.mapped_bytes(PageSize::Huge), 8 * 4096);
+        t.unmap(Vpn::new(2)).unwrap();
+        assert_eq!(t.mapped_pages(PageSize::Base), 3);
+    }
+}

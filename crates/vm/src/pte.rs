@@ -1,0 +1,124 @@
+//! Packed page-table entries.
+//!
+//! Entries are packed into a single `u64` the way x86-64 hardware does it:
+//! a present bit, accessed/dirty bits (set by the simulated hardware walker,
+//! cleared by software — the mechanism behind the paper's Figure 4
+//! TLB-miss-frequency measurement), and the frame number in the upper bits.
+
+use trident_types::Pfn;
+
+/// A packed leaf page-table entry.
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::Pfn;
+/// use trident_vm::RawPte;
+///
+/// let mut pte = RawPte::new_leaf(Pfn::new(0x1234));
+/// assert!(pte.is_present());
+/// assert!(!pte.accessed());
+/// pte.set_accessed();
+/// assert!(pte.accessed());
+/// assert_eq!(pte.pfn(), Pfn::new(0x1234));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct RawPte(u64);
+
+impl RawPte {
+    const PRESENT: u64 = 1 << 0;
+    const ACCESSED: u64 = 1 << 5;
+    const DIRTY: u64 = 1 << 6;
+    const PFN_SHIFT: u32 = 12;
+
+    /// The canonical non-present entry.
+    pub const NOT_PRESENT: RawPte = RawPte(0);
+
+    /// Creates a present leaf entry pointing at `pfn`, with clear
+    /// accessed/dirty bits.
+    #[must_use]
+    pub fn new_leaf(pfn: Pfn) -> RawPte {
+        RawPte(Self::PRESENT | (pfn.raw() << Self::PFN_SHIFT))
+    }
+
+    /// Whether the entry maps anything.
+    #[must_use]
+    pub fn is_present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// The frame number this entry points at.
+    ///
+    /// Meaningful only when [`RawPte::is_present`]; returns frame 0 for a
+    /// non-present entry.
+    #[must_use]
+    pub fn pfn(self) -> Pfn {
+        Pfn::new(self.0 >> Self::PFN_SHIFT)
+    }
+
+    /// Repoints the entry at a new frame, preserving flag bits — what a
+    /// migration (or Trident_pv's mapping exchange) does.
+    pub fn set_pfn(&mut self, pfn: Pfn) {
+        self.0 = (self.0 & ((1 << Self::PFN_SHIFT) - 1)) | (pfn.raw() << Self::PFN_SHIFT);
+    }
+
+    /// Whether the hardware walker has set the accessed bit since it was
+    /// last cleared.
+    #[must_use]
+    pub fn accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    /// Sets the accessed bit (a TLB fill touched this entry).
+    pub fn set_accessed(&mut self) {
+        self.0 |= Self::ACCESSED;
+    }
+
+    /// Clears the accessed bit (software sampling interval boundary).
+    pub fn clear_accessed(&mut self) {
+        self.0 &= !Self::ACCESSED;
+    }
+
+    /// Whether the dirty bit is set.
+    #[must_use]
+    pub fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// Sets the dirty bit (a write went through this entry).
+    pub fn set_dirty(&mut self) {
+        self.0 |= Self::DIRTY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_not_present() {
+        assert!(!RawPte::default().is_present());
+        assert_eq!(RawPte::default(), RawPte::NOT_PRESENT);
+    }
+
+    #[test]
+    fn flags_are_independent_of_pfn() {
+        let mut pte = RawPte::new_leaf(Pfn::new(7));
+        pte.set_accessed();
+        pte.set_dirty();
+        pte.set_pfn(Pfn::new(99));
+        assert!(pte.accessed());
+        assert!(pte.dirty());
+        assert!(pte.is_present());
+        assert_eq!(pte.pfn(), Pfn::new(99));
+        pte.clear_accessed();
+        assert!(!pte.accessed());
+        assert!(pte.dirty());
+    }
+
+    #[test]
+    fn large_pfns_roundtrip() {
+        let pfn = Pfn::new((1 << 40) - 1);
+        assert_eq!(RawPte::new_leaf(pfn).pfn(), pfn);
+    }
+}

@@ -1,0 +1,150 @@
+//! Virtual memory areas.
+
+use core::fmt;
+
+use trident_types::{PageGeometry, PageSize, Vpn};
+
+/// The kind of a virtual memory area.
+///
+/// The distinction matters to the baselines: `libHugetlbfs` can only back
+/// heap/file segments with large pages, never the stack — which is why the
+/// paper observes THP (and Trident) beating static hugetlbfs on
+/// stack-sensitive applications like Redis and GUPS (§4.1, §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmaKind {
+    /// Anonymous memory (heap, mmap'd arenas).
+    Anon,
+    /// The process stack.
+    Stack,
+    /// File-backed memory.
+    File,
+}
+
+impl fmt::Display for VmaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmaKind::Anon => "anon",
+            VmaKind::Stack => "stack",
+            VmaKind::File => "file",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A contiguous allocated range of virtual pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First page of the area.
+    pub start: Vpn,
+    /// Length in base pages.
+    pub pages: u64,
+    /// What the area backs.
+    pub kind: VmaKind,
+}
+
+impl Vma {
+    /// One past the last page of the area.
+    #[must_use]
+    pub fn end(&self) -> Vpn {
+        self.start + self.pages
+    }
+
+    /// Whether `vpn` lies inside the area.
+    #[must_use]
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.start && vpn < self.end()
+    }
+
+    /// Whether `other` overlaps this area.
+    #[must_use]
+    pub fn overlaps(&self, other: &Vma) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Bytes of this area mappable with pages of `size`: the largest
+    /// `size`-aligned sub-range, as defined in §4.3 — the range must be at
+    /// least as long as the page and start at a page-size boundary.
+    #[must_use]
+    pub fn mappable_bytes(&self, geo: &PageGeometry, size: PageSize) -> u64 {
+        let span = geo.base_pages(size);
+        let first = self.start.raw().next_multiple_of(span);
+        let last = (self.end().raw() / span) * span;
+        if last > first {
+            (last - first) * geo.base_bytes()
+        } else {
+            0
+        }
+    }
+
+    /// Iterates the start pages of the `size`-aligned chunks fully inside
+    /// the area.
+    pub fn aligned_chunks(
+        &self,
+        geo: &PageGeometry,
+        size: PageSize,
+    ) -> impl Iterator<Item = Vpn> + use<> {
+        let span = geo.base_pages(size);
+        let first = self.start.raw().next_multiple_of(span);
+        let last = (self.end().raw() / span) * span;
+        (first..last).step_by(span as usize).map(Vpn::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma(start: u64, pages: u64) -> Vma {
+        Vma {
+            start: Vpn::new(start),
+            pages,
+            kind: VmaKind::Anon,
+        }
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let a = vma(10, 10);
+        assert!(a.contains(Vpn::new(10)));
+        assert!(a.contains(Vpn::new(19)));
+        assert!(!a.contains(Vpn::new(20)));
+        assert!(a.overlaps(&vma(19, 5)));
+        assert!(!a.overlaps(&vma(20, 5)));
+    }
+
+    #[test]
+    fn mappable_bytes_requires_alignment_and_length() {
+        let geo = PageGeometry::TINY; // huge = 8 pages, giant = 64 pages
+                                      // Unaligned 70-page vma starting at page 3: huge-aligned sub-range
+                                      // is [8, 72) = 64 pages; giant-aligned is [64, 72) -> too short.
+        let v = vma(3, 70);
+        assert_eq!(v.mappable_bytes(&geo, PageSize::Huge), 64 * 4096);
+        assert_eq!(v.mappable_bytes(&geo, PageSize::Giant), 0);
+        // A giant-aligned, giant-long vma is giant mappable.
+        let w = vma(64, 64);
+        assert_eq!(w.mappable_bytes(&geo, PageSize::Giant), 64 * 4096);
+    }
+
+    #[test]
+    fn every_giant_mappable_range_is_huge_mappable() {
+        let geo = PageGeometry::TINY;
+        for (start, pages) in [(0, 64), (64, 128), (5, 200), (8, 63)] {
+            let v = vma(start, pages);
+            assert!(
+                v.mappable_bytes(&geo, PageSize::Huge) >= v.mappable_bytes(&geo, PageSize::Giant)
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_chunks_enumerates_heads() {
+        let geo = PageGeometry::TINY;
+        let v = vma(4, 28); // pages 4..32; huge chunks at 8, 16, 24
+        let chunks: Vec<u64> = v
+            .aligned_chunks(&geo, PageSize::Huge)
+            .map(|v| v.raw())
+            .collect();
+        assert_eq!(chunks, vec![8, 16, 24]);
+        assert_eq!(v.aligned_chunks(&geo, PageSize::Giant).count(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the address space: VMA bookkeeping must agree with
+//! a flat shadow model under arbitrary mmap/munmap traffic.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_vm::{AddressSpace, VmaKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mmap { pages: u64, gap: u64, stack: bool },
+    MmapAt { start: u64, pages: u64 },
+    Munmap { start: u64, pages: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..40, 0u64..8, any::<bool>())
+                .prop_map(|(pages, gap, stack)| Op::Mmap { pages, gap, stack }),
+            (0u64..512, 1u64..32).prop_map(|(start, pages)| Op::MmapAt { start, pages }),
+            (0u64..512, 1u64..64).prop_map(|(start, pages)| Op::Munmap { start, pages }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// The VMA set always matches a shadow set of allocated pages, for
+    /// containment queries and total size alike.
+    #[test]
+    fn vmas_agree_with_flat_shadow(ops in ops()) {
+        let geo = PageGeometry::TINY;
+        let mut space = AddressSpace::new(AsId::new(1), geo);
+        let mut shadow: BTreeSet<u64> = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Mmap { pages, gap, stack } => {
+                    let kind = if stack { VmaKind::Stack } else { VmaKind::Anon };
+                    let start = space.mmap(pages, kind, PageSize::Base, gap).unwrap();
+                    for p in start.raw()..start.raw() + pages {
+                        prop_assert!(shadow.insert(p), "bump allocator reused page {p}");
+                    }
+                }
+                Op::MmapAt { start, pages } => {
+                    let overlaps = (start..start + pages).any(|p| shadow.contains(&p));
+                    let result = space.mmap_at(Vpn::new(start), pages, VmaKind::Anon);
+                    prop_assert_eq!(result.is_err(), overlaps);
+                    if result.is_ok() {
+                        shadow.extend(start..start + pages);
+                    }
+                }
+                Op::Munmap { start, pages } => {
+                    // No mappings were installed, so munmap is pure VMA
+                    // surgery here.
+                    space.munmap(Vpn::new(start), pages);
+                    for p in start..start + pages {
+                        shadow.remove(&p);
+                    }
+                }
+            }
+            prop_assert_eq!(space.total_vma_pages(), shadow.len() as u64);
+            // Spot-check containment on a few pages.
+            for probe in [0u64, 17, 63, 128, 300] {
+                prop_assert_eq!(
+                    space.vma_containing(Vpn::new(probe)).is_some(),
+                    shadow.contains(&probe),
+                    "containment mismatch at page {}", probe
+                );
+            }
+        }
+        // VMAs are sorted and non-overlapping.
+        let vmas: Vec<_> = space.vmas().copied().collect();
+        for pair in vmas.windows(2) {
+            prop_assert!(pair[0].end() <= pair[1].start);
+        }
+    }
+
+    /// Adjacent same-kind areas always merge: after any mmap sequence with
+    /// zero gaps and one kind, there is exactly one VMA.
+    #[test]
+    fn gapless_allocations_merge_to_one_vma(sizes in prop::collection::vec(1u64..50, 1..20)) {
+        let geo = PageGeometry::TINY;
+        let mut space = AddressSpace::new(AsId::new(1), geo);
+        for pages in &sizes {
+            space.mmap(*pages, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        }
+        prop_assert_eq!(space.vmas().count(), 1);
+        prop_assert_eq!(space.total_vma_pages(), sizes.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the page table.
+
+use proptest::prelude::*;
+use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
+use trident_vm::{MapError, PageTable};
+
+fn any_size() -> impl Strategy<Value = PageSize> {
+    prop_oneof![
+        Just(PageSize::Base),
+        Just(PageSize::Huge),
+        Just(PageSize::Giant)
+    ]
+}
+
+proptest! {
+    /// Random aligned maps either succeed or report a precise overlap; a
+    /// shadow model over base pages always agrees with the table.
+    #[test]
+    fn table_agrees_with_flat_shadow_model(
+        ops in prop::collection::vec((0u64..8, any_size(), 0u64..64), 1..60)
+    ) {
+        let geo = PageGeometry::TINY;
+        let mut pt = PageTable::new(geo);
+        let mut shadow: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut next_frame = 0u64;
+        for (chunk, size, _salt) in ops {
+            let span = geo.base_pages(size);
+            let vpn = chunk * span; // size-aligned by construction
+            let pfn = next_frame.next_multiple_of(span);
+            let result = pt.map(Vpn::new(vpn), Pfn::new(pfn), size);
+            let overlap = (vpn..vpn + span).any(|p| shadow.contains_key(&p));
+            if overlap {
+                let is_overlap = matches!(result, Err(MapError::Overlap { .. }));
+                prop_assert!(is_overlap);
+            } else {
+                prop_assert!(result.is_ok());
+                for i in 0..span {
+                    shadow.insert(vpn + i, pfn + i);
+                }
+                next_frame = pfn + span;
+            }
+        }
+        // Every shadow page translates to the right frame.
+        for (&vpn, &pfn) in &shadow {
+            let t = pt.translate(Vpn::new(vpn));
+            prop_assert_eq!(t.map(|t| t.pfn.raw()), Some(pfn));
+        }
+        // Leaf accounting matches the shadow.
+        prop_assert_eq!(pt.mapped_base_pages() as usize, shadow.len());
+    }
+
+    /// Unmapping everything returns the table to a pristine state where a
+    /// giant leaf can be installed anywhere previously used.
+    #[test]
+    fn unmap_all_allows_giant_remapping(
+        chunks in prop::collection::vec((0u64..4, any_size()), 1..40)
+    ) {
+        let geo = PageGeometry::TINY;
+        let mut pt = PageTable::new(geo);
+        let mut heads = Vec::new();
+        let mut next_frame = 0u64;
+        for (chunk, size) in chunks {
+            let span = geo.base_pages(size);
+            let vpn = chunk * span;
+            let pfn = next_frame.next_multiple_of(span);
+            if pt.map(Vpn::new(vpn), Pfn::new(pfn), size).is_ok() {
+                heads.push(Vpn::new(vpn));
+                next_frame = pfn + span;
+            }
+        }
+        for head in heads {
+            pt.unmap(head).unwrap();
+        }
+        prop_assert_eq!(pt.mapped_base_pages(), 0);
+        for giant in 0..4u64 {
+            pt.map(
+                Vpn::new(giant * 64),
+                Pfn::new(giant * 64),
+                PageSize::Giant,
+            ).unwrap();
+        }
+    }
+
+    /// chunk_profile partitions every chunk exactly.
+    #[test]
+    fn chunk_profile_partitions_the_chunk(
+        maps in prop::collection::vec((0u64..64, any_size()), 0..40)
+    ) {
+        let geo = PageGeometry::TINY;
+        let mut pt = PageTable::new(geo);
+        let mut next = 0u64;
+        for (slot, size) in maps {
+            let span = geo.base_pages(size);
+            let vpn = (slot * span) % (4 * 64);
+            let pfn = next.next_multiple_of(span);
+            if pt.map(Vpn::new(vpn), Pfn::new(pfn), size).is_ok() {
+                next = pfn + span;
+            }
+        }
+        for giant in 0..4u64 {
+            let p = pt.chunk_profile(Vpn::new(giant * 64), PageSize::Giant);
+            prop_assert_eq!(p.mapped() + p.unmapped, 64);
+        }
+    }
+}

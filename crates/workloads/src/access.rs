@@ -1,0 +1,230 @@
+//! Sampling memory accesses according to a workload's locality model.
+
+use rand::Rng;
+use trident_types::Vpn;
+
+use crate::{AccessPattern, Layout, WorkloadSpec};
+
+/// One sampled memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Virtual page touched.
+    pub vpn: Vpn,
+    /// Whether it is a store.
+    pub write: bool,
+}
+
+/// Draws memory accesses for a workload over a realized layout.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use trident_types::{AsId, PageGeometry};
+/// use trident_vm::AddressSpace;
+/// use trident_workloads::{AccessSampler, MemoryScale, WorkloadSpec};
+///
+/// let geo = PageGeometry::X86_64;
+/// let mut space = AddressSpace::new(AsId::new(1), geo);
+/// let spec = WorkloadSpec::by_name("GUPS").unwrap();
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let layout = spec.build_layout(&mut space, MemoryScale::new(64), &mut rng);
+/// let mut sampler = AccessSampler::new(spec, layout);
+/// let access = sampler.sample(&mut rng);
+/// assert!(space.vma_containing(access.vpn).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessSampler {
+    spec: WorkloadSpec,
+    layout: Layout,
+    scan_cursor: u64,
+}
+
+impl AccessSampler {
+    /// Creates a sampler for `spec` over `layout`.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, layout: Layout) -> AccessSampler {
+        AccessSampler {
+            spec,
+            layout,
+            scan_cursor: 0,
+        }
+    }
+
+    /// The layout being sampled.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Draws one access.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Access {
+        let write = rng.gen_bool(self.spec.write_fraction);
+        if self.spec.stack_access_fraction > 0.0 && rng.gen_bool(self.spec.stack_access_fraction) {
+            let offset = rng.gen_range(0..self.layout.stack.pages);
+            return Access {
+                vpn: self.layout.stack.start + offset,
+                write,
+            };
+        }
+        let index = match self.spec.access {
+            AccessPattern::UniformRandom => rng.gen_range(0..self.layout.heap_pages),
+            AccessPattern::Hotspot {
+                hot_fraction,
+                hot_weight,
+            } => self.hotspot_index(rng, hot_fraction, hot_weight, false),
+            AccessPattern::HotspotTail {
+                hot_fraction,
+                hot_weight,
+            } => self.hotspot_index(rng, hot_fraction, hot_weight, true),
+            AccessPattern::HotspotWithTailSpike {
+                hot_fraction,
+                hot_weight,
+                spike_fraction,
+                spike_weight,
+            } => {
+                let total = self.layout.heap_pages;
+                let spike_pages = ((total as f64 * spike_fraction) as u64).max(1);
+                let hot_pages = ((total as f64 * hot_fraction) as u64).max(1);
+                let r: f64 = rng.gen();
+                if r < spike_weight {
+                    // The spike lives at the very end of the heap.
+                    total - 1 - rng.gen_range(0..spike_pages)
+                } else if r < spike_weight + hot_weight {
+                    rng.gen_range(0..hot_pages)
+                } else if hot_pages + spike_pages < total {
+                    rng.gen_range(hot_pages..total - spike_pages)
+                } else {
+                    rng.gen_range(0..total)
+                }
+            }
+            AccessPattern::Scan => {
+                // Sequential with occasional random restarts; page-grained.
+                if rng.gen_bool(0.001) {
+                    self.scan_cursor = rng.gen_range(0..self.layout.heap_pages);
+                }
+                let index = self.scan_cursor;
+                self.scan_cursor = (self.scan_cursor + 1) % self.layout.heap_pages;
+                index
+            }
+        };
+        Access {
+            vpn: self.layout.heap_page(index),
+            write,
+        }
+    }
+
+    /// Draws one heap index under a hotspot distribution; `tail` places
+    /// the hot subset at the end of the heap (the gap-fragmented part).
+    fn hotspot_index<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        hot_fraction: f64,
+        hot_weight: f64,
+        tail: bool,
+    ) -> u64 {
+        let total = self.layout.heap_pages;
+        let hot_pages = ((total as f64 * hot_fraction) as u64).max(1);
+        let index = if rng.gen_bool(hot_weight) || hot_pages >= total {
+            rng.gen_range(0..hot_pages)
+        } else {
+            rng.gen_range(hot_pages..total)
+        };
+        if tail {
+            total - 1 - index
+        } else {
+            index
+        }
+    }
+
+    /// Draws `n` accesses.
+    pub fn sample_many<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<Access> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryScale;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use trident_types::{AsId, PageGeometry};
+    use trident_vm::AddressSpace;
+
+    fn sampler(name: &str) -> (AccessSampler, SmallRng) {
+        let geo = PageGeometry::X86_64;
+        let mut space = AddressSpace::new(AsId::new(1), geo);
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let layout = spec.build_layout(&mut space, MemoryScale::new(64), &mut rng);
+        (AccessSampler::new(spec, layout), rng)
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let (mut s, mut rng) = sampler("XSBench");
+        let hot_pages = (s.layout().heap_pages as f64 * 0.30) as u64;
+        let hot_end = s.layout().heap_page(hot_pages - 1);
+        let samples = s.sample_many(&mut rng, 5_000);
+        let hot_hits = samples.iter().filter(|a| a.vpn <= hot_end).count();
+        // ~90% should land in the hot region.
+        assert!(hot_hits > 4_000, "only {hot_hits} hot hits");
+    }
+
+    #[test]
+    fn gups_spreads_uniformly() {
+        let (mut s, mut rng) = sampler("GUPS");
+        let samples = s.sample_many(&mut rng, 8_000);
+        // Split heap indices into quarters and check rough uniformity of
+        // heap (non-stack) accesses.
+        let q = s.layout().heap_pages / 4;
+        let marks: Vec<Vpn> = (0..4).map(|i| s.layout().heap_page(i * q)).collect();
+        let mut buckets = [0usize; 4];
+        let stack_start = s.layout().stack.start;
+        for a in &samples {
+            if a.vpn >= stack_start {
+                continue; // stack access
+            }
+            let b = marks.iter().rposition(|m| a.vpn >= *m).unwrap();
+            buckets[b] += 1;
+        }
+        let heap_total: usize = buckets.iter().sum();
+        for b in buckets {
+            let share = b as f64 / heap_total as f64;
+            assert!((0.18..0.32).contains(&share), "bucket share {share}");
+        }
+    }
+
+    #[test]
+    fn stack_fraction_is_respected() {
+        let (mut s, mut rng) = sampler("GUPS"); // 10% stack accesses
+        let samples = s.sample_many(&mut rng, 10_000);
+        let stack_start = s.layout().stack.start;
+        let stack_hits = samples.iter().filter(|a| a.vpn >= stack_start).count();
+        assert!((700..1300).contains(&stack_hits), "{stack_hits}");
+    }
+
+    #[test]
+    fn scan_is_mostly_sequential() {
+        let (mut s, mut rng) = sampler("CG.D");
+        let mut sequential = 0;
+        let mut last = s.sample(&mut rng).vpn;
+        for _ in 0..1000 {
+            let a = s.sample(&mut rng).vpn;
+            if a.raw() == last.raw() + 1 {
+                sequential += 1;
+            }
+            last = a;
+        }
+        assert!(sequential > 900, "{sequential}");
+    }
+
+    #[test]
+    fn writes_follow_the_write_fraction() {
+        let (mut s, mut rng) = sampler("GUPS"); // 50% writes
+        let samples = s.sample_many(&mut rng, 10_000);
+        let writes = samples.iter().filter(|a| a.write).count();
+        assert!((4_500..5_500).contains(&writes), "{writes}");
+    }
+}

@@ -1,0 +1,510 @@
+//! The workload specifications.
+
+use trident_types::{GIB, MIB};
+
+/// How the application allocates its virtual memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocPattern {
+    /// One large allocation up front (XSBench, GUPS, Graph500's main
+    /// arrays, CG): the whole footprint is one VMA, almost all of it
+    /// 1GB-mappable, and the fault handler alone can install giant pages.
+    Bulk,
+    /// Memory arrives in chunks over time, with occasional virtual-address
+    /// gaps between chunks (guard pages, allocator arenas, freed ranges
+    /// that are never reused). This is the Redis/Memcached/SVM/Btree
+    /// pattern: much of the space ends up 2MB-mappable but *not*
+    /// 1GB-mappable, and giant pages can only come from later promotion.
+    Incremental {
+        /// Bytes per allocation chunk (unscaled).
+        chunk_bytes: u64,
+        /// Probability that a chunk is preceded by a VA gap.
+        gap_chance: f64,
+    },
+    /// Like [`AllocPattern::Incremental`], but the last slice of the
+    /// footprint arrives in small, gap-riddled chunks — frontier queues
+    /// and scratch buffers allocated and re-allocated during execution
+    /// (Graph500, SVM). That tail is 2MB-mappable but almost never
+    /// 1GB-mappable, and it is hot (see
+    /// [`AccessPattern::HotspotWithTailSpike`]).
+    IncrementalWithFragmentedTail {
+        /// Bytes per main-phase chunk (unscaled).
+        chunk_bytes: u64,
+        /// Gap probability in the main phase.
+        gap_chance: f64,
+        /// Fraction of the footprint allocated in the fragmented tail.
+        tail_fraction: f64,
+        /// Bytes per tail chunk (unscaled; between the huge and giant
+        /// page sizes, so the tail stays 2MB-mappable).
+        tail_chunk_bytes: u64,
+        /// Gap probability in the tail (high).
+        tail_gap_chance: f64,
+    },
+}
+
+/// How the application touches its memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random over the whole footprint (GUPS).
+    UniformRandom,
+    /// A hot subset at the *start* of the heap absorbs most accesses.
+    Hotspot {
+        /// Fraction of the footprint that is hot.
+        hot_fraction: f64,
+        /// Fraction of accesses that go to the hot subset.
+        hot_weight: f64,
+    },
+    /// A hot subset at the *end* of the heap — the most recently
+    /// allocated, most gap-fragmented part of the space.
+    HotspotTail {
+        /// Fraction of the footprint that is hot.
+        hot_fraction: f64,
+        /// Fraction of accesses that go to the hot subset.
+        hot_weight: f64,
+    },
+    /// A large warm prefix plus a *small, very hot spike* at the
+    /// gap-fragmented end of the heap. This is the Graph500/SVM structure
+    /// behind Figure 4: the spike (≈800MB for Graph500) lands on regions
+    /// that are 2MB- but not 1GB-mappable, which is what makes
+    /// Trident-1Gonly lose even to THP (Figure 11) — those regions fall
+    /// back to 4KB pages when 2MB is disallowed.
+    HotspotWithTailSpike {
+        /// Fraction of the footprint in the warm prefix.
+        hot_fraction: f64,
+        /// Fraction of accesses to the warm prefix.
+        hot_weight: f64,
+        /// Fraction of the footprint in the tail spike.
+        spike_fraction: f64,
+        /// Fraction of accesses to the tail spike.
+        spike_weight: f64,
+    },
+    /// Mostly-sequential scanning with periodic restarts (CG).
+    Scan,
+}
+
+/// The memory-scale divisor applied to footprints when building layouts.
+///
+/// # Examples
+///
+/// ```
+/// use trident_workloads::MemoryScale;
+/// assert_eq!(MemoryScale::default().divisor(), 16);
+/// assert_eq!(MemoryScale::new(1).apply(32), 32);
+/// assert_eq!(MemoryScale::new(16).apply(32), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryScale(u64);
+
+impl MemoryScale {
+    /// Creates a scale with the given divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn new(divisor: u64) -> MemoryScale {
+        assert!(divisor > 0, "scale divisor must be positive");
+        MemoryScale(divisor)
+    }
+
+    /// The divisor.
+    #[must_use]
+    pub fn divisor(self) -> u64 {
+        self.0
+    }
+
+    /// Scales a byte quantity down.
+    #[must_use]
+    pub fn apply(self, bytes: u64) -> u64 {
+        bytes / self.0
+    }
+}
+
+impl Default for MemoryScale {
+    /// The default experiment scale: 1/16 (the paper's 384GB host becomes
+    /// 24GB of simulated frames).
+    fn default() -> Self {
+        MemoryScale(16)
+    }
+}
+
+/// A modeled application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Application name as in Table 2.
+    pub name: &'static str,
+    /// Memory footprint in bytes (Table 2), unscaled.
+    pub footprint_bytes: u64,
+    /// Worker threads (Table 2).
+    pub threads: u32,
+    /// Allocation behaviour.
+    pub alloc: AllocPattern,
+    /// Access behaviour.
+    pub access: AccessPattern,
+    /// Fraction of accesses that hit the stack (Redis and GUPS are
+    /// stack-TLB-sensitive; hugetlbfs cannot help them there).
+    pub stack_access_fraction: f64,
+    /// Stack size in bytes, unscaled.
+    pub stack_bytes: u64,
+    /// Fraction of write accesses.
+    pub write_fraction: f64,
+    /// Calibration anchor: fraction of execution cycles spent in page
+    /// walks when everything is mapped with 4KB pages (read off Fig 1a).
+    pub walk_fraction_4k: f64,
+    /// Fraction of walk latency hidden by out-of-order execution.
+    pub overlap: f64,
+    /// Whether the paper found ≥3% gain from 1GB over 2MB pages (the
+    /// shaded set of Figures 1–2).
+    pub giant_sensitive: bool,
+    /// Fraction of each allocated chunk the application actually touches
+    /// (slab allocators leave partially-filled slabs; B-tree nodes have
+    /// slack). Untouched-but-promoted memory is the §7 "memory bloat":
+    /// the paper measures +38GB for Memcached and +13GB for Btree under
+    /// Trident.
+    pub touch_fraction: f64,
+    /// How many allocation steps the first touch trails behind: arena
+    /// allocators reserve virtual memory ahead of use, so by the time a
+    /// page faults its surroundings may already be 1GB-mappable. Zero
+    /// means touch-after-each-allocation (Redis inserting keys); larger
+    /// values let fault-time 1GB attempts happen for incremental
+    /// allocators (SVM in Table 4 attempts — and mostly fails — 1GB
+    /// allocation at fault time).
+    pub alloc_touch_lag: u32,
+}
+
+impl WorkloadSpec {
+    /// All twelve applications of Table 2, shaded (1GB-sensitive) first.
+    #[must_use]
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec {
+                name: "XSBench",
+                footprint_bytes: 117 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.30,
+                    hot_weight: 0.90,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.05,
+                walk_fraction_4k: 0.45,
+                overlap: 0.72,
+                giant_sensitive: true,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "GUPS",
+                footprint_bytes: 32 * GIB,
+                threads: 1,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::UniformRandom,
+                stack_access_fraction: 0.10,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.50,
+                walk_fraction_4k: 0.55,
+                overlap: 0.10,
+                giant_sensitive: true,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "SVM",
+                footprint_bytes: 68 * GIB,
+                threads: 36,
+                alloc: AllocPattern::IncrementalWithFragmentedTail {
+                    chunk_bytes: 256 * MIB,
+                    gap_chance: 0.03,
+                    tail_fraction: 0.02,
+                    tail_chunk_bytes: 128 * MIB,
+                    tail_gap_chance: 0.9,
+                },
+                access: AccessPattern::HotspotWithTailSpike {
+                    hot_fraction: 0.20,
+                    hot_weight: 0.45,
+                    spike_fraction: 0.02,
+                    spike_weight: 0.40,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.20,
+                walk_fraction_4k: 0.38,
+                overlap: 0.45,
+                giant_sensitive: true,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 8,
+            },
+            WorkloadSpec {
+                name: "Redis",
+                footprint_bytes: 44 * GIB,
+                threads: 1,
+                alloc: AllocPattern::Incremental {
+                    chunk_bytes: 16 * MIB,
+                    gap_chance: 0.004,
+                },
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.30,
+                    hot_weight: 0.70,
+                },
+                stack_access_fraction: 0.12,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.30,
+                walk_fraction_4k: 0.35,
+                overlap: 0.55,
+                giant_sensitive: true,
+                touch_fraction: 0.95,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "Btree",
+                footprint_bytes: 10 * GIB + 512 * MIB,
+                threads: 1,
+                alloc: AllocPattern::Incremental {
+                    chunk_bytes: 4 * MIB,
+                    gap_chance: 0.002,
+                },
+                access: AccessPattern::UniformRandom,
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.05,
+                walk_fraction_4k: 0.45,
+                overlap: 0.45,
+                giant_sensitive: true,
+                touch_fraction: 0.55,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "Graph500",
+                footprint_bytes: 63 * GIB + 512 * MIB,
+                threads: 36,
+                alloc: AllocPattern::IncrementalWithFragmentedTail {
+                    chunk_bytes: GIB,
+                    gap_chance: 0.15,
+                    tail_fraction: 0.0126,
+                    tail_chunk_bytes: 64 * MIB,
+                    tail_gap_chance: 0.95,
+                },
+                access: AccessPattern::HotspotWithTailSpike {
+                    hot_fraction: 0.15,
+                    hot_weight: 0.40,
+                    spike_fraction: 0.0126,
+                    spike_weight: 0.45,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.25,
+                walk_fraction_4k: 0.40,
+                overlap: 0.55,
+                giant_sensitive: true,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 2,
+            },
+            WorkloadSpec {
+                name: "Memcached",
+                // Table 2 lists 79GB but Tables 3-4 run a 137GB instance;
+                // we follow the Trident-evaluation configuration.
+                footprint_bytes: 137 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Incremental {
+                    chunk_bytes: 64 * MIB,
+                    gap_chance: 0.01,
+                },
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.25,
+                    hot_weight: 0.80,
+                },
+                stack_access_fraction: 0.02,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.30,
+                walk_fraction_4k: 0.30,
+                overlap: 0.50,
+                giant_sensitive: true,
+                touch_fraction: 0.72,
+                alloc_touch_lag: 16,
+            },
+            WorkloadSpec {
+                name: "Canneal",
+                footprint_bytes: 32 * GIB,
+                threads: 1,
+                alloc: AllocPattern::Incremental {
+                    chunk_bytes: 32 * MIB,
+                    gap_chance: 0.005,
+                },
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.50,
+                    hot_weight: 0.90,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.15,
+                walk_fraction_4k: 0.50,
+                overlap: 0.20,
+                giant_sensitive: true,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 32,
+            },
+            // --- applications that gain little beyond 2MB pages ---
+            WorkloadSpec {
+                name: "CC",
+                footprint_bytes: 72 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.035,
+                    hot_weight: 0.95,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.20,
+                walk_fraction_4k: 0.28,
+                overlap: 0.50,
+                giant_sensitive: false,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "BC",
+                footprint_bytes: 72 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.04,
+                    hot_weight: 0.95,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.20,
+                walk_fraction_4k: 0.30,
+                overlap: 0.50,
+                giant_sensitive: false,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "PR",
+                footprint_bytes: 72 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.03,
+                    hot_weight: 0.96,
+                },
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.15,
+                walk_fraction_4k: 0.25,
+                overlap: 0.55,
+                giant_sensitive: false,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+            WorkloadSpec {
+                name: "CG.D",
+                footprint_bytes: 50 * GIB,
+                threads: 36,
+                alloc: AllocPattern::Bulk,
+                access: AccessPattern::Scan,
+                stack_access_fraction: 0.0,
+                stack_bytes: 8 * MIB,
+                write_fraction: 0.20,
+                walk_fraction_4k: 0.20,
+                overlap: 0.60,
+                giant_sensitive: false,
+                touch_fraction: 1.0,
+                alloc_touch_lag: 0,
+            },
+        ]
+    }
+
+    /// The eight shaded (1GB-sensitive) applications the evaluation
+    /// focuses on from §5 onward.
+    #[must_use]
+    pub fn shaded() -> Vec<WorkloadSpec> {
+        WorkloadSpec::all()
+            .into_iter()
+            .filter(|w| w.giant_sensitive)
+            .collect()
+    }
+
+    /// Looks a workload up by name (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        WorkloadSpec::all()
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_eight_shaded() {
+        assert_eq!(WorkloadSpec::all().len(), 12);
+        assert_eq!(WorkloadSpec::shaded().len(), 8);
+    }
+
+    #[test]
+    fn shaded_set_matches_the_paper() {
+        let names: Vec<&str> = WorkloadSpec::shaded().iter().map(|w| w.name).collect();
+        for expected in [
+            "XSBench",
+            "GUPS",
+            "SVM",
+            "Redis",
+            "Btree",
+            "Graph500",
+            "Memcached",
+            "Canneal",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(WorkloadSpec::by_name("xsbench").is_some());
+        assert!(WorkloadSpec::by_name("GUPS").is_some());
+        assert!(WorkloadSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn footprints_match_table2_within_rounding() {
+        let gups = WorkloadSpec::by_name("GUPS").unwrap();
+        assert_eq!(gups.footprint_bytes, 32 * GIB);
+        let xs = WorkloadSpec::by_name("XSBench").unwrap();
+        assert_eq!(xs.footprint_bytes / GIB, 117);
+    }
+
+    #[test]
+    fn incremental_workloads_are_the_promotion_dependent_ones() {
+        for w in WorkloadSpec::all() {
+            let incremental = matches!(
+                w.alloc,
+                AllocPattern::Incremental { .. }
+                    | AllocPattern::IncrementalWithFragmentedTail { .. }
+            );
+            match w.name {
+                "Redis" | "Memcached" | "SVM" | "Btree" | "Canneal" | "Graph500" => {
+                    assert!(incremental, "{} should allocate incrementally", w.name);
+                }
+                "XSBench" | "GUPS" => assert!(!incremental),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scale_divides_footprints() {
+        let s = MemoryScale::new(16);
+        assert_eq!(s.apply(32 * GIB), 2 * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_is_rejected() {
+        let _ = MemoryScale::new(0);
+    }
+}

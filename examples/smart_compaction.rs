@@ -1,0 +1,53 @@
+//! Smart versus normal compaction on the same fragmented machine
+//! (Figure 6 / Figure 7's mechanism, observable directly).
+//!
+//! ```sh
+//! cargo run --release --example smart_compaction
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use trident_core::{CompactionKind, Compactor, MmContext, SpaceSet};
+use trident_phys::{FragmentProfile, Fragmenter, PhysicalMemory};
+use trident_types::{PageGeometry, PageSize};
+
+/// Builds a freshly fragmented machine (no free giant chunk anywhere).
+fn fragmented_machine(seed: u64) -> MmContext {
+    let geo = PageGeometry::TINY;
+    let mut ctx = MmContext::new(PhysicalMemory::new(
+        geo,
+        64 * geo.base_pages(PageSize::Giant),
+    ));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let report = Fragmenter::new(FragmentProfile::heavy()).run(&mut ctx.mem, &mut rng);
+    assert!(!ctx.mem.has_free(PageSize::Giant));
+    println!(
+        "fragmented machine: FMFI(1GB) = {:.3}, {:.0}% free in scattered holes",
+        report.fmfi_giant,
+        report.free_fraction * 100.0
+    );
+    ctx
+}
+
+fn main() {
+    println!("Creating one free giant chunk on identical fragmented machines:\n");
+    for (name, kind) in [
+        ("normal (sequential scan)", CompactionKind::Normal),
+        ("smart (counter-guided)  ", CompactionKind::Smart),
+    ] {
+        let mut ctx = fragmented_machine(7);
+        let mut spaces = SpaceSet::new(); // page-cache only: no page tables to fix
+        let mut compactor = Compactor::new(kind);
+        let out = compactor.compact(&mut ctx, &mut spaces, PageSize::Giant);
+        println!(
+            "  {name}: success={} — moved {:>7} KB in {:>4} migrations ({:.2} ms of copying)",
+            out.success,
+            out.bytes_copied >> 10,
+            out.migrated_units,
+            out.ns as f64 / 1e6,
+        );
+    }
+    println!("\nSmart compaction selects the emptiest movable region as its");
+    println!("source instead of scanning, so it moves far fewer bytes — the");
+    println!("effect Figure 7 quantifies per application.");
+}

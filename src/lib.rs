@@ -1,0 +1,30 @@
+//! Umbrella crate for the Trident reproduction.
+//!
+//! Re-exports the workspace's crates under one roof so examples and
+//! integration tests can use a single dependency. See the README for the
+//! map of the system and DESIGN.md for the experiment index.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use trident_repro::sim::{PolicyKind, SimConfig, System};
+//! use trident_repro::workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::by_name("Canneal").unwrap();
+//! let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+//! system.settle();
+//! println!("{} walk cycles", system.measure().walk_cycles);
+//! # Ok::<(), trident_repro::phys::PhysMemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use trident_core as core;
+pub use trident_phys as phys;
+pub use trident_sim as sim;
+pub use trident_tlb as tlb;
+pub use trident_types as types;
+pub use trident_virt as virt;
+pub use trident_vm as vm;
+pub use trident_workloads as workloads;

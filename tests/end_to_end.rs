@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: whole systems, end to end, at a quick
+//! scale. These assert the paper's *qualitative* results hold on every
+//! run; the bench binaries regenerate the quantitative tables/figures.
+
+use trident_repro::core::{assert_mm_consistent, AllocSite};
+use trident_repro::sim::{PolicyKind, SimConfig, System, VirtSystem};
+use trident_repro::types::PageSize;
+use trident_repro::workloads::WorkloadSpec;
+
+fn quick(scale: u64) -> SimConfig {
+    let mut c = SimConfig::at_scale(scale);
+    c.measure_samples = 20_000;
+    c.measure_tick_every = 5_000;
+    c.settle_ticks = 24;
+    c
+}
+
+#[test]
+fn trident_beats_thp_on_walk_cycles_for_a_giant_sensitive_workload() {
+    let spec = WorkloadSpec::by_name("Canneal").unwrap();
+    let run = |kind| {
+        let mut s = System::launch(quick(128), kind, spec).unwrap();
+        s.settle();
+        s.measure().walk_cycles
+    };
+    let thp = run(PolicyKind::Thp);
+    let trident = run(PolicyKind::Trident);
+    assert!(
+        trident < thp,
+        "trident walk cycles {trident} should beat THP {thp}"
+    );
+}
+
+#[test]
+fn trident_uses_all_three_page_sizes_on_an_incremental_workload() {
+    let spec = WorkloadSpec::by_name("Redis").unwrap();
+    let mut s = System::launch(quick(128), PolicyKind::Trident, spec).unwrap();
+    s.settle();
+    assert!(
+        s.mapped_bytes(PageSize::Giant) > 0,
+        "giant pages via promotion"
+    );
+    assert!(s.mapped_bytes(PageSize::Huge) > 0, "huge pages on the rest");
+    // The name: three page sizes at once.
+    assert!(s.mapped_bytes(PageSize::Base) + s.mapped_bytes(PageSize::Huge) > 0);
+    assert_mm_consistent(&s.ctx, &s.spaces);
+}
+
+#[test]
+fn fragmentation_defeats_hugetlbfs_but_not_trident() {
+    let spec = WorkloadSpec::by_name("Canneal").unwrap();
+    let config = quick(128).fragmented();
+    assert!(System::launch(config, PolicyKind::HugetlbfsGiant, spec).is_err());
+    let mut s = System::launch(config, PolicyKind::Trident, spec).unwrap();
+    s.settle();
+    assert!(
+        s.mapped_bytes(PageSize::Giant) > 0,
+        "smart compaction recovers 1GB contiguity"
+    );
+    assert_mm_consistent(&s.ctx, &s.spaces);
+}
+
+#[test]
+fn incremental_allocators_get_no_giant_pages_from_faults_alone() {
+    let spec = WorkloadSpec::by_name("Redis").unwrap();
+    let mut s = System::launch(quick(128), PolicyKind::TridentFaultOnly, spec).unwrap();
+    s.settle();
+    // Table 3 / Table 4: Redis never even attempts a fault-time 1GB
+    // allocation — its VA grows too incrementally.
+    assert_eq!(s.ctx.stats.giant_attempts_fault, 0);
+    assert_eq!(s.mapped_bytes(PageSize::Giant), 0);
+}
+
+#[test]
+fn smart_compaction_copies_fewer_bytes_than_normal() {
+    let spec = WorkloadSpec::by_name("Btree").unwrap();
+    let run = |kind| {
+        let mut s = System::launch(quick(128).fragmented(), kind, spec).unwrap();
+        s.settle();
+        (
+            s.ctx.stats.compaction_bytes_copied,
+            s.mapped_bytes(PageSize::Giant),
+        )
+    };
+    let (normal_bytes, normal_giant) = run(PolicyKind::TridentNC);
+    let (smart_bytes, smart_giant) = run(PolicyKind::Trident);
+    assert!(smart_giant > 0 && normal_giant > 0);
+    assert!(
+        smart_bytes < normal_bytes,
+        "smart {smart_bytes} should copy less than normal {normal_bytes}"
+    );
+}
+
+#[test]
+fn nested_translation_prefers_bigger_pages_at_both_levels() {
+    let spec = WorkloadSpec::by_name("GUPS").unwrap();
+    let run = |host, guest| {
+        let mut vs = VirtSystem::launch(quick(128), host, guest, spec, false).unwrap();
+        vs.settle();
+        vs.measure().walk_cycles
+    };
+    let base = run(PolicyKind::Base, PolicyKind::Base);
+    let thp = run(PolicyKind::Thp, PolicyKind::Thp);
+    let trident = run(PolicyKind::Trident, PolicyKind::Trident);
+    assert!(thp < base, "2MB+2MB ({thp}) < 4KB+4KB ({base})");
+    assert!(
+        trident < thp,
+        "Trident+Trident ({trident}) < 2MB+2MB ({thp})"
+    );
+}
+
+#[test]
+fn giant_allocation_failures_are_recorded_under_fragmentation() {
+    let spec = WorkloadSpec::by_name("XSBench").unwrap();
+    let mut s = System::launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
+    s.settle();
+    let fault_rate = s.ctx.stats.giant_failure_rate(AllocSite::PageFault);
+    assert!(
+        fault_rate.unwrap_or(0.0) > 0.5,
+        "most fault-time 1GB attempts fail under fragmentation: {fault_rate:?}"
+    );
+}
+
+#[test]
+fn zero_fill_pool_accelerates_giant_faults() {
+    let spec = WorkloadSpec::by_name("XSBench").unwrap();
+    let mut s = System::launch(quick(128), PolicyKind::Trident, spec).unwrap();
+    s.settle();
+    let giant_faults = s.ctx.stats.faults[PageSize::Giant as usize];
+    assert!(giant_faults > 0);
+    // With the background zero-fill thread running during load, the mean
+    // 1GB fault should be far below the synchronous zeroing latency.
+    let sync_ns = s.ctx.cost.fault_ns(&s.config.geo, PageSize::Giant, false);
+    let mean = s.ctx.stats.mean_giant_fault_ns().unwrap();
+    assert!(
+        mean < sync_ns / 2,
+        "mean giant fault {mean}ns should be well under sync {sync_ns}ns"
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let spec = WorkloadSpec::by_name("SVM").unwrap();
+    let run = || {
+        let mut s = System::launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
+        s.settle();
+        let m = s.measure();
+        (
+            m.walk_cycles,
+            m.mapped_bytes,
+            m.stats.compaction_bytes_copied,
+        )
+    };
+    assert_eq!(run(), run());
+}

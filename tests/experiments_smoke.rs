@@ -1,0 +1,89 @@
+//! Smoke tests for every experiment routine at a quick scale: each
+//! table/figure regenerator must run to completion and satisfy the
+//! paper's coarsest qualitative claims.
+
+use trident_repro::sim::experiments::{self, ExpOptions};
+
+fn opts() -> ExpOptions {
+    ExpOptions::quick()
+}
+
+#[test]
+fn fig1_native_page_size_comparison() {
+    let r = experiments::fig1::run(&opts());
+    // 12 workloads x 4 configs.
+    assert_eq!(r.rows.len(), 48);
+    // Every workload should benefit from THP over 4KB.
+    for row in r.rows.iter().filter(|r| r.config == "2MB-THP") {
+        assert!(row.perf_norm >= 0.99, "{}: {}", row.workload, row.perf_norm);
+    }
+    // The shaded set gains from 1GB-hugetlbfs over THP on average.
+    assert!(r.shaded_giant_gain_over_thp() > 1.0);
+}
+
+#[test]
+fn fig3_mappability_gap_exists() {
+    let r = experiments::fig3::run(&opts());
+    assert_eq!(r.series.len(), 2);
+    for s in &r.series {
+        let last = s.points.last().unwrap();
+        assert!(
+            last.huge_gb > last.giant_gb,
+            "{}: 2MB-mappable must exceed 1GB-mappable",
+            s.workload
+        );
+    }
+}
+
+#[test]
+fn fig4_misses_fall_on_unmappable_regions_too() {
+    let r = experiments::fig4::run(&opts());
+    // Graph500's signature: a meaningful share of misses on 2MB-only
+    // chunks (the circled spike).
+    assert!(r.huge_only_miss_share("Graph500") > 0.05);
+}
+
+#[test]
+fn fig9_trident_wins_on_average() {
+    let r = experiments::fig9::run(&opts(), false);
+    assert!(r.mean_speedup("Trident") > 1.0);
+    // HawkEye stays close to THP when unfragmented.
+    let hawkeye = r.mean_speedup("HawkEye");
+    assert!((0.9..1.1).contains(&hawkeye), "{hawkeye}");
+}
+
+#[test]
+fn table5_trident_does_not_hurt_tail_latency() {
+    let r = experiments::table5::run(&opts());
+    for workload in ["Redis", "Memcached"] {
+        for fragmented in [false, true] {
+            let base = r.cell(workload, fragmented, "4KB").unwrap();
+            let trident = r.cell(workload, fragmented, "Trident").unwrap();
+            assert!(
+                trident <= base * 1.05,
+                "{workload} frag={fragmented}: trident p99 {trident} vs 4KB {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_smart_compaction_reduces_copying() {
+    let r = experiments::fig7::run(&opts());
+    assert_eq!(r.rows.len(), 8);
+    let improving = r.rows.iter().filter(|row| row.reduction_pct > 0.0).count();
+    assert!(improving >= 6, "most workloads should see reduced copying");
+}
+
+#[test]
+fn table4_reports_na_for_never_attempted() {
+    let r = experiments::table4::run(&opts());
+    let redis = r
+        .rows
+        .iter()
+        .find(|row| row.workload == "Redis")
+        .expect("redis row");
+    assert!(redis.fault_failure_rate.is_none(), "Redis is NA at fault");
+    let csv = r.to_csv();
+    assert!(csv.contains("NA"));
+}
