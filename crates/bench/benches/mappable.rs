@@ -1,0 +1,65 @@
+//! Benchmarks for the incremental mappability counters and the load loop
+//! they accelerate.
+//!
+//! `mappable/*` compares the O(1) counter read against the full-VMA
+//! rescan it replaced (the rescan cost grows with the VMA count; the
+//! counter read does not). `system_load/*` times `System::launch` — which
+//! is dominated by the load loop sampling `mappable_bytes` per
+//! allocation step — across doubling scales: with incremental counters
+//! the time grows near-linearly in the number of load steps instead of
+//! quadratically.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trident_sim::{PolicyKind, SimConfig, System};
+use trident_types::{AsId, PageGeometry, PageSize};
+use trident_vm::{mappable_bytes, mappable_bytes_scan, AddressSpace, VmaKind};
+use trident_workloads::WorkloadSpec;
+
+/// An address space with `n` VMAs of assorted sizes and gaps.
+fn space_with_vmas(n: u64) -> AddressSpace {
+    let geo = PageGeometry::X86_64;
+    let mut space = AddressSpace::new(AsId::new(1), geo);
+    for i in 0..n {
+        let pages = 512 + (i % 7) * 300;
+        let gap = 1 + i % 3;
+        space
+            .mmap(pages, VmaKind::Anon, PageSize::Base, gap)
+            .unwrap();
+    }
+    space
+}
+
+fn bench_mappable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mappable");
+    for n in [16u64, 256, 4096] {
+        let space = space_with_vmas(n);
+        group.bench_function(BenchmarkId::new("incremental", n), |b| {
+            b.iter(|| black_box(mappable_bytes(&space, PageSize::Huge)))
+        });
+        group.bench_function(BenchmarkId::new("full_rescan", n), |b| {
+            b.iter(|| black_box(mappable_bytes_scan(&space, PageSize::Huge)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_load");
+    let spec = WorkloadSpec::by_name("GUPS").expect("known workload");
+    // Halving the scale divisor doubles the workload footprint and hence
+    // the number of load steps; near-linear scaling here is the
+    // acceptance check that load no longer rescans per step.
+    for scale in [256u64, 128, 64] {
+        let config = SimConfig::at_scale(scale);
+        group.bench_function(BenchmarkId::new("thp", scale), |b| {
+            b.iter(|| black_box(System::launch(config, PolicyKind::Thp, spec).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("trident", scale), |b| {
+            b.iter(|| black_box(System::launch(config, PolicyKind::Trident, spec).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappable, bench_system_load);
+criterion_main!(benches);

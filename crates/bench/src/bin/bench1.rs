@@ -1,0 +1,71 @@
+//! Emits `BENCH_1.json`: wall-clock for a fixed `fig1 --scale 256` cell
+//! grid, serial versus parallel, so future PRs have a perf trajectory to
+//! compare against. Also asserts the two runs are bit-identical — the
+//! runner's determinism contract — before recording anything.
+
+use std::time::Instant;
+
+use trident_sim::experiments::{fig1, ExpOptions};
+use trident_sim::Runner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOptions::from_args(&args);
+    // The fixed benchmark grid (only --seed and --threads are honored).
+    opts.scale = 256;
+    opts.samples = 8_000;
+
+    let mut serial = opts;
+    serial.threads = 1;
+    eprintln!("# bench1: fig1 grid, scale 1/{}, serial…", opts.scale);
+    let t0 = Instant::now();
+    let serial_csv = fig1::run(&serial).to_csv();
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let mut parallel = opts;
+    if parallel.threads <= 1 {
+        parallel.threads = 0; // one per core
+    }
+    let threads = Runner::new(parallel.threads).threads();
+    eprintln!("# bench1: fig1 grid, parallel on {threads} threads…");
+    let t1 = Instant::now();
+    let parallel_csv = fig1::run(&parallel).to_csv();
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial_csv, parallel_csv,
+        "parallel fig1 output must be bit-identical to serial"
+    );
+
+    let rows = serial_csv.lines().count().saturating_sub(1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"fig1_grid\",\n",
+            "  \"scale\": {scale},\n",
+            "  \"samples\": {samples},\n",
+            "  \"seed\": {seed},\n",
+            "  \"rows\": {rows},\n",
+            "  \"serial_seconds\": {serial:.3},\n",
+            "  \"parallel_seconds\": {par:.3},\n",
+            "  \"parallel_threads\": {threads},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"bit_identical\": true\n",
+            "}}\n"
+        ),
+        scale = opts.scale,
+        samples = opts.samples,
+        seed = opts.seed,
+        rows = rows,
+        serial = serial_s,
+        par = parallel_s,
+        threads = threads,
+        speedup = serial_s / parallel_s.max(1e-9),
+    );
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    eprintln!(
+        "# bench1: serial {serial_s:.3}s, parallel {parallel_s:.3}s ({:.2}x) -> BENCH_1.json",
+        serial_s / parallel_s.max(1e-9)
+    );
+    print!("{json}");
+}

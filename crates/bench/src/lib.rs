@@ -3,7 +3,9 @@
 //! Each binary regenerates one table or figure of the paper (see
 //! DESIGN.md's experiment index) and prints it as CSV on stdout with a
 //! short header on stderr. Common flags: `--scale N` (memory-scale
-//! divisor, default 32), `--samples N`, `--seed N`.
+//! divisor, default 32), `--samples N`, `--seed N`, `--threads N`
+//! (worker threads for the parallel runner; 0 = one per core; the
+//! output is bit-identical for every value).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +21,9 @@ pub fn options_from_env() -> ExpOptions {
 
 /// Prints the experiment banner on stderr so stdout stays pure CSV.
 pub fn banner(what: &str, opts: &ExpOptions) {
+    let threads = trident_sim::Runner::new(opts.threads).threads();
     eprintln!(
-        "# {what} — scale 1/{}, {} samples, seed {}",
-        opts.scale, opts.samples, opts.seed
+        "# {what} — scale 1/{}, {} samples, seed {}, {} threads",
+        opts.scale, opts.samples, opts.seed, threads
     );
 }

@@ -139,7 +139,7 @@ impl Compactor {
             let mut emptied = true;
             // Move the largest units first: they need the scarcest holes.
             let mut ordered = units;
-            ordered.sort_by(|a, b| b.order.cmp(&a.order));
+            ordered.sort_by_key(|u| std::cmp::Reverse(u.order));
             for unit in ordered {
                 let targets = ctx.mem.regions().target_candidates(source);
                 if !migrate_unit(ctx, spaces, &unit, &targets, out) {

@@ -10,11 +10,12 @@
 //! frequency.
 
 use core::fmt;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 
 use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, PageSize, Vpn};
-use trident_vm::promotion_candidates;
+use trident_vm::{promotion_candidates, AddressSpace};
 
 use crate::{CompactionKind, Compactor, MmContext, SpaceSet, TickOutcome};
 
@@ -302,6 +303,21 @@ impl PromoterConfig {
     }
 }
 
+/// Per-space promotion-candidate index, kept current from the page table's
+/// dirty-chunk feed instead of rescanning the whole address space each
+/// tick. A full `promotion_candidates` enumeration primes it once; after
+/// that, only chunks whose mappings or covering VMAs changed are
+/// re-examined — O(changed chunks) per tick.
+#[derive(Debug, Clone, Default)]
+struct CandidateCache {
+    /// Raw head VPNs of chunks promotable to 1GB, in address order.
+    giant: BTreeSet<u64>,
+    /// Raw head VPNs of chunks promotable to 2MB, in address order.
+    huge: BTreeSet<u64>,
+    /// Whether the priming scan has run.
+    primed: bool,
+}
+
 /// The `khugepaged`-style background promoter.
 #[derive(Debug, Clone)]
 pub struct Promoter {
@@ -310,6 +326,30 @@ pub struct Promoter {
     next_space: usize,
     /// Set when a 2MB compaction failed during the current tick.
     huge_hopeless: bool,
+    /// Candidate indexes, one per scanned space.
+    caches: BTreeMap<AsId, CandidateCache>,
+}
+
+/// Whether the `size`-aligned chunk at `head` is currently worth promoting
+/// — the single-chunk version of `promotion_candidates`' filter: the chunk
+/// must lie fully inside one VMA, not already be mapped at (or above) the
+/// target size, and have something mapped in it.
+fn is_candidate(space: &AddressSpace, head: Vpn, size: PageSize) -> bool {
+    let geo = space.geometry();
+    let span = geo.base_pages(size);
+    let Some(vma) = space.vma_containing(head) else {
+        return false;
+    };
+    if head.raw() + span > vma.end().raw() {
+        return false;
+    }
+    let profile = space.page_table().chunk_profile(head, size);
+    let already = match size {
+        PageSize::Giant => profile.giant_mapped > 0,
+        PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
+        PageSize::Base => true,
+    };
+    !already && profile.mapped() > 0
 }
 
 impl Promoter {
@@ -321,6 +361,54 @@ impl Promoter {
             compactor: Compactor::new(config.compaction),
             next_space: 0,
             huge_hopeless: false,
+            caches: BTreeMap::new(),
+        }
+    }
+
+    /// Brings the candidate index for `asid` up to date: a full priming
+    /// scan on first contact, then only the chunks drained from the page
+    /// table's dirty feed.
+    fn refresh_candidates(&mut self, spaces: &mut SpaceSet, asid: AsId) {
+        let Some(space) = spaces.get_mut(asid) else {
+            self.caches.remove(&asid);
+            return;
+        };
+        let cache = self.caches.entry(asid).or_default();
+        if !cache.primed {
+            // The priming enumeration subsumes any dirty backlog.
+            let _ = space.page_table_mut().take_dirty_chunks();
+            cache.giant = promotion_candidates(space, PageSize::Giant)
+                .into_iter()
+                .map(|(head, _)| head.raw())
+                .collect();
+            cache.huge = promotion_candidates(space, PageSize::Huge)
+                .into_iter()
+                .map(|(head, _)| head.raw())
+                .collect();
+            cache.primed = true;
+            return;
+        }
+        let dirty = space.page_table_mut().take_dirty_chunks();
+        if dirty.is_empty() {
+            return;
+        }
+        let geo = space.geometry();
+        let giant_span = geo.base_pages(PageSize::Giant);
+        let huge_span = geo.base_pages(PageSize::Huge);
+        for gi in dirty {
+            let head = gi * giant_span;
+            if is_candidate(space, Vpn::new(head), PageSize::Giant) {
+                cache.giant.insert(head);
+            } else {
+                cache.giant.remove(&head);
+            }
+            for sub_head in (head..head + giant_span).step_by(huge_span as usize) {
+                if is_candidate(space, Vpn::new(sub_head), PageSize::Huge) {
+                    cache.huge.insert(sub_head);
+                } else {
+                    cache.huge.remove(&sub_head);
+                }
+            }
         }
     }
 
@@ -360,11 +448,16 @@ impl Promoter {
         self.huge_hopeless = false;
 
         // Scanning the VA space costs daemon CPU proportional to its size.
+        // The *simulated* cost stays the full-scan cost the paper models
+        // (khugepaged really does walk the address space); only the
+        // simulator's own work is incremental.
         let scan_pages = spaces
             .get(asid)
             .map(|s| s.total_vma_pages())
             .unwrap_or_default();
         out.daemon_ns += scan_pages * ctx.cost.scan_page_ns;
+
+        self.refresh_candidates(spaces, asid);
 
         // Once compaction fails, retrying it for every remaining candidate
         // in the same tick is pointless (and expensive): the machine-wide
@@ -423,6 +516,9 @@ impl Promoter {
         }
 
         if self.config.use_huge {
+            // Fold in this tick's own giant promotions so the 2MB pass sees
+            // the same candidate set a fresh enumeration would.
+            self.refresh_candidates(spaces, asid);
             let candidates = self.ordered_candidates(spaces, asid, PageSize::Huge);
             for head in candidates {
                 if budget == 0 {
@@ -437,20 +533,29 @@ impl Promoter {
     }
 
     /// Candidate chunk heads for promotion to `size`, in scan order
-    /// (address order, or hottest-first for HawkEye).
+    /// (address order, or hottest-first for HawkEye), read from the
+    /// incrementally maintained index.
     fn ordered_candidates(&self, spaces: &SpaceSet, asid: AsId, size: PageSize) -> Vec<Vpn> {
         let Some(space) = spaces.get(asid) else {
             return Vec::new();
         };
-        let mut candidates = promotion_candidates(space, size);
+        let Some(cache) = self.caches.get(&asid) else {
+            return Vec::new();
+        };
+        let set = match size {
+            PageSize::Giant => &cache.giant,
+            PageSize::Huge => &cache.huge,
+            PageSize::Base => return Vec::new(),
+        };
+        let mut candidates: Vec<Vpn> = set.iter().map(|&head| Vpn::new(head)).collect();
         if self.config.order_by_access {
             let geo = space.geometry();
             let span = geo.base_pages(size);
-            candidates.sort_by_key(|(head, _)| {
+            candidates.sort_by_key(|head| {
                 std::cmp::Reverse(space.page_table().accessed_leaves_in(*head, span))
             });
         }
-        candidates.into_iter().map(|(head, _)| head).collect()
+        candidates
     }
 
     fn try_promote_huge(
@@ -476,7 +581,7 @@ impl Promoter {
         }
         // 4KB→2MB promotion always copies; pv exchange only pays for
         // 2MB→1GB (§6).
-        match promote_chunk(
+        if let Ok(p) = promote_chunk(
             ctx,
             spaces,
             asid,
@@ -484,17 +589,14 @@ impl Promoter {
             PageSize::Huge,
             PromotionStyle::Copy,
         ) {
-            Ok(p) => {
-                out.daemon_ns += p.ns;
-                out.promotions += 1;
-                promoted.push(PromotedChunk {
-                    asid,
-                    head,
-                    size: PageSize::Huge,
-                    bloat_pages: p.bloat_pages,
-                });
-            }
-            Err(_) => {}
+            out.daemon_ns += p.ns;
+            out.promotions += 1;
+            promoted.push(PromotedChunk {
+                asid,
+                head,
+                size: PageSize::Huge,
+                bloat_pages: p.bloat_pages,
+            });
         }
     }
 }
@@ -643,6 +745,51 @@ mod tests {
             ),
             Err(PromoteError::NotACandidate)
         );
+    }
+
+    /// After priming plus any amount of dirty-chunk replay, the
+    /// incremental candidate index must equal a from-scratch
+    /// [`promotion_candidates`] enumeration — the invariant that lets
+    /// `scan_space` skip the per-tick full rescan.
+    #[test]
+    fn candidate_cache_matches_fresh_enumeration() {
+        let (mut ctx, mut spaces) = setup(8);
+        let asid = AsId::new(1);
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+
+        // Prime on the initial layout.
+        fault_base(&mut ctx, &mut spaces, asid, 0, 64);
+        fault_base(&mut ctx, &mut spaces, asid, 200, 24);
+        promoter.refresh_candidates(&mut spaces, asid);
+
+        // Post-priming traffic: new faults, a promotion, and an unmap —
+        // every mutation source that feeds the dirty-chunk index.
+        fault_base(&mut ctx, &mut spaces, asid, 128, 32);
+        promote_chunk(
+            &mut ctx,
+            &mut spaces,
+            asid,
+            Vpn::new(0),
+            PageSize::Giant,
+            PromotionStyle::Copy,
+        )
+        .unwrap();
+        spaces.get_mut(asid).unwrap().munmap(Vpn::new(200), 24);
+        promoter.refresh_candidates(&mut spaces, asid);
+
+        let space = spaces.get(asid).unwrap();
+        for size in [PageSize::Giant, PageSize::Huge] {
+            let fresh: BTreeSet<u64> = promotion_candidates(space, size)
+                .into_iter()
+                .map(|(head, _)| head.raw())
+                .collect();
+            let cache = promoter.caches.get(&asid).expect("primed cache");
+            let cached = match size {
+                PageSize::Giant => &cache.giant,
+                _ => &cache.huge,
+            };
+            assert_eq!(cached, &fresh, "cache diverged at {size:?}");
+        }
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Shared experiment plumbing.
 
-use trident_workloads::WorkloadSpec;
-
-use crate::{Measurement, PerfModel, PerfPoint, PolicyKind, SimConfig, System};
+use crate::SimConfig;
 
 /// Command-line-tunable options shared by every experiment binary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,6 +11,10 @@ pub struct ExpOptions {
     pub samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel runner (`0` = one per core).
+    /// Results are bit-identical for every value — see DESIGN.md's
+    /// determinism contract.
+    pub threads: usize,
 }
 
 impl ExpOptions {
@@ -23,11 +25,12 @@ impl ExpOptions {
             scale: 256,
             samples: 8_000,
             seed: 42,
+            threads: 0,
         }
     }
 
-    /// Parses `--scale N`, `--samples N` and `--seed N` from an argument
-    /// list, starting from the defaults.
+    /// Parses `--scale N`, `--samples N`, `--seed N` and `--threads N`
+    /// from an argument list, starting from the defaults.
     #[must_use]
     pub fn from_args(args: &[String]) -> ExpOptions {
         let mut opts = ExpOptions::default();
@@ -44,6 +47,11 @@ impl ExpOptions {
                 "--samples" => {
                     if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                         opts.samples = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.threads = v;
                     }
                 }
                 _ => {}
@@ -69,32 +77,23 @@ impl Default for ExpOptions {
             scale: 32,
             samples: 120_000,
             seed: 42,
+            threads: 0,
         }
     }
 }
 
-/// One native run evaluated through the performance model.
-pub(crate) struct EvaluatedRun {
-    /// Raw measurement, kept for experiments that read counters directly.
-    #[allow(dead_code)]
-    pub measurement: Measurement,
-    pub point: PerfPoint,
-}
-
-/// Launches, settles, measures and evaluates one native run; returns
-/// `None` when the policy cannot even boot (hugetlbfs reservation on
-/// fragmented memory).
-pub(crate) fn run_native(
-    model: &mut PerfModel,
-    config: &SimConfig,
-    kind: PolicyKind,
-    spec: &WorkloadSpec,
-) -> Option<EvaluatedRun> {
-    let mut system = System::launch(*config, kind, *spec).ok()?;
-    system.settle();
-    let measurement = system.measure();
-    let point = model.evaluate(spec, config, &measurement);
-    Some(EvaluatedRun { measurement, point })
+/// The configuration for row `row` of an anchored experiment grid: the
+/// base options with the seed replaced by [`derive_cell_seed`] of
+/// `(opts.seed, row)`. All cells of one row (the row's baseline, its
+/// anchor, and every policy under test) share the row seed, so paired
+/// comparisons use common random numbers while distinct rows draw
+/// decorrelated streams.
+///
+/// [`derive_cell_seed`]: crate::runner::derive_cell_seed
+pub(crate) fn row_config(opts: &ExpOptions, row: u64) -> SimConfig {
+    let mut c = opts.config();
+    c.seed = crate::runner::derive_cell_seed(opts.seed, row);
+    c
 }
 
 /// Formats a float with 3 decimals for CSV output.
@@ -109,7 +108,16 @@ mod tests {
     #[test]
     fn from_args_parses_known_flags_and_ignores_noise() {
         let args: Vec<String> = [
-            "--scale", "64", "--noise", "--samples", "9000", "--seed", "7", "--fragment",
+            "--scale",
+            "64",
+            "--noise",
+            "--samples",
+            "9000",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+            "--fragment",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -118,6 +126,7 @@ mod tests {
         assert_eq!(opts.scale, 64);
         assert_eq!(opts.samples, 9000);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 3);
     }
 
     #[test]
@@ -133,6 +142,7 @@ mod tests {
             scale: 64,
             samples: 60_000,
             seed: 1,
+            threads: 1,
         };
         let c = opts.config();
         assert_eq!(c.measure_samples, 60_000);

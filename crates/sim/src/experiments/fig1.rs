@@ -6,8 +6,8 @@
 
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::{f3, run_native, ExpOptions};
-use crate::{PerfModel, PolicyKind};
+use crate::experiments::common::{f3, row_config, ExpOptions};
+use crate::{Cell, PerfModel, PolicyKind, Runner};
 
 /// One bar of Figure 1.
 #[derive(Debug, Clone)]
@@ -78,48 +78,58 @@ impl Result {
     }
 }
 
-/// Runs the experiment.
+/// The four bars per application, 4KB first (it doubles as the row's
+/// performance-model anchor).
+const KINDS: [PolicyKind; 4] = [
+    PolicyKind::Base,
+    PolicyKind::Thp,
+    PolicyKind::HugetlbfsHuge,
+    PolicyKind::HugetlbfsGiant,
+];
+
+/// Runs the experiment on the parallel runner: one cell per bar, one
+/// anchored row per application.
 pub fn run(opts: &ExpOptions) -> Result {
-    let config = opts.config();
+    let specs = WorkloadSpec::all();
+    let mut cells = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let config = row_config(opts, row as u64);
+        for kind in KINDS {
+            cells.push(Cell {
+                kind,
+                spec: *spec,
+                config,
+            });
+        }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
+    // Merge in plan order: the 4KB cell primes the row's anchor and acts
+    // as the normalization baseline, exactly as a serial loop would.
     let mut model = PerfModel::new();
     let mut rows = Vec::new();
-    for spec in WorkloadSpec::all() {
-        let Some(base) = run_native(&mut model, &config, PolicyKind::Base, &spec) else {
+    for (row, spec) in specs.iter().enumerate() {
+        let first = row * KINDS.len();
+        let config = cells[first].config;
+        let Some(base_m) = &measured[first] else {
             continue;
         };
-        for kind in [
-            PolicyKind::Base,
-            PolicyKind::Thp,
-            PolicyKind::HugetlbfsHuge,
-            PolicyKind::HugetlbfsGiant,
-        ] {
-            let Some(run) = (if kind == PolicyKind::Base {
-                Some(EvaluatedClone::from(&base))
-            } else {
-                run_native(&mut model, &config, kind, &spec).map(|r| EvaluatedClone::from(&r))
-            }) else {
+        model.prime_anchor(spec, &config, base_m, false);
+        let base = model.evaluate(spec, &config, base_m);
+        for (k, kind) in KINDS.iter().enumerate() {
+            let Some(m) = &measured[first + k] else {
                 continue;
             };
+            let point = model.evaluate(spec, &config, m);
             rows.push(Row {
                 workload: spec.name.to_owned(),
                 config: kind.label(),
                 shaded: spec.giant_sensitive,
-                walk_fraction_norm: run.point.walk_fraction_ratio(&base.point),
-                perf_norm: run.point.speedup_over(&base.point),
-                walk_fraction: run.point.walk_fraction,
+                walk_fraction_norm: point.walk_fraction_ratio(&base),
+                perf_norm: point.speedup_over(&base),
+                walk_fraction: point.walk_fraction,
             });
         }
     }
     Result { rows }
-}
-
-/// Small helper so the base run can be reused as its own row.
-struct EvaluatedClone {
-    point: crate::PerfPoint,
-}
-
-impl From<&crate::experiments::common::EvaluatedRun> for EvaluatedClone {
-    fn from(r: &crate::experiments::common::EvaluatedRun) -> Self {
-        EvaluatedClone { point: r.point }
-    }
 }

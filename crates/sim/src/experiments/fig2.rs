@@ -6,8 +6,8 @@
 
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::{f3, ExpOptions};
-use crate::{PerfModel, PerfPoint, PolicyKind, VirtSystem};
+use crate::experiments::common::{f3, row_config, ExpOptions};
+use crate::{PerfModel, PerfPoint, PolicyKind, Runner, VirtCell, VirtSystem};
 
 /// One bar of Figure 2.
 #[derive(Debug, Clone)]
@@ -69,53 +69,67 @@ pub(crate) fn run_virt_point(
 /// we discuss only 4KB-4KB, 2MB-2MB, and 1GB-1GB"), for the shaded
 /// applications. Labels are `guest+host`.
 pub fn run_all_combos(opts: &ExpOptions) -> Result {
-    let config = opts.config();
-    let mut model = PerfModel::new();
     let sizes: [(&'static str, PolicyKind); 3] = [
         ("4KB", PolicyKind::Base),
         ("2MB", PolicyKind::Thp),
         ("1GB", PolicyKind::HugetlbfsGiant),
     ];
-    let mut rows = Vec::new();
-    for spec in WorkloadSpec::shaded() {
-        let Some(base) = run_virt_point(
-            &mut model,
-            &config,
-            PolicyKind::Base,
-            PolicyKind::Base,
-            &spec,
-            false,
-        ) else {
-            continue;
-        };
+    let specs = WorkloadSpec::shaded();
+    // The 4KB+4KB combo is the first cell of each row: it is both the
+    // normalization baseline and the row's virtualized anchor.
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let config = row_config(opts, row as u64);
         for (guest_label, guest) in sizes {
             for (host_label, host) in sizes {
-                let point = if guest == PolicyKind::Base && host == PolicyKind::Base {
-                    Some(base)
-                } else {
-                    run_virt_point(&mut model, &config, host, guest, &spec, false)
-                };
-                let Some(point) = point else { continue };
+                cells.push(VirtCell {
+                    host,
+                    guest,
+                    spec: *spec,
+                    config,
+                    fragment_guest: false,
+                });
                 // Leak the combo label; there are only nine.
                 let label: &'static str =
                     Box::leak(format!("{guest_label}+{host_label}").into_boxed_str());
-                rows.push(Row {
-                    workload: spec.name.to_owned(),
-                    config: label,
-                    shaded: spec.giant_sensitive,
-                    walk_fraction_norm: point.walk_fraction_ratio(&base),
-                    perf_norm: point.speedup_over(&base),
-                });
+                labels.push(label);
             }
+        }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
+    let per_row = sizes.len() * sizes.len();
+    let mut model = PerfModel::new();
+    let mut rows = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let first = row * per_row;
+        let config = cells[first].config;
+        let Some(base_m) = &measured[first] else {
+            continue;
+        };
+        model.prime_anchor(spec, &config, base_m, true);
+        let base = model.evaluate_virt(spec, &config, base_m);
+        for k in 0..per_row {
+            let Some(m) = &measured[first + k] else {
+                continue;
+            };
+            let point = model.evaluate_virt(spec, &config, m);
+            rows.push(Row {
+                workload: spec.name.to_owned(),
+                config: labels[first + k],
+                shaded: spec.giant_sensitive,
+                walk_fraction_norm: point.walk_fraction_ratio(&base),
+                perf_norm: point.speedup_over(&base),
+            });
         }
     }
     Result { rows }
 }
 
-/// Runs the experiment.
+/// Runs the experiment on the parallel runner: one cell per bar, with
+/// each row's 4KB+4KB cell doubling as its virtualized anchor.
 pub fn run(opts: &ExpOptions) -> Result {
-    let config = opts.config();
-    let mut model = PerfModel::new();
     let combos: [(&'static str, PolicyKind, PolicyKind); 3] = [
         ("4KB+4KB", PolicyKind::Base, PolicyKind::Base),
         ("2MB+2MB", PolicyKind::Thp, PolicyKind::Thp),
@@ -125,20 +139,37 @@ pub fn run(opts: &ExpOptions) -> Result {
             PolicyKind::HugetlbfsGiant,
         ),
     ];
+    let specs = WorkloadSpec::all();
+    let mut cells = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let config = row_config(opts, row as u64);
+        for (_, host, guest) in combos {
+            cells.push(VirtCell {
+                host,
+                guest,
+                spec: *spec,
+                config,
+                fragment_guest: false,
+            });
+        }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
+    let mut model = PerfModel::new();
     let mut rows = Vec::new();
-    for spec in WorkloadSpec::all() {
-        let Some(base) =
-            run_virt_point(&mut model, &config, combos[0].1, combos[0].2, &spec, false)
-        else {
+    for (row, spec) in specs.iter().enumerate() {
+        let first = row * combos.len();
+        let config = cells[first].config;
+        let Some(base_m) = &measured[first] else {
             continue;
         };
-        for (label, host, guest) in combos {
-            let point = if label == "4KB+4KB" {
-                Some(base)
-            } else {
-                run_virt_point(&mut model, &config, host, guest, &spec, false)
+        model.prime_anchor(spec, &config, base_m, true);
+        let base = model.evaluate_virt(spec, &config, base_m);
+        for (k, &(label, _, _)) in combos.iter().enumerate() {
+            let Some(m) = &measured[first + k] else {
+                continue;
             };
-            let Some(point) = point else { continue };
+            let point = model.evaluate_virt(spec, &config, m);
             rows.push(Row {
                 workload: spec.name.to_owned(),
                 config: label,

@@ -7,8 +7,8 @@
 
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::{f3, run_native, ExpOptions};
-use crate::{PerfModel, PolicyKind};
+use crate::experiments::common::{f3, row_config, ExpOptions};
+use crate::{Cell, PerfModel, PolicyKind, Runner};
 
 /// One bar.
 #[derive(Debug, Clone)]
@@ -65,33 +65,64 @@ impl Result {
     }
 }
 
-/// Runs the experiment (`fragmented = false` reproduces Figure 9,
-/// `true` reproduces Figure 10).
+/// The policies compared against THP.
+const KINDS: [PolicyKind; 3] = [PolicyKind::Thp, PolicyKind::HawkEye, PolicyKind::Trident];
+
+/// Runs the experiment on the parallel runner (`fragmented = false`
+/// reproduces Figure 9, `true` reproduces Figure 10).
+///
+/// Each row's plan is `[4KB anchor, THP, HawkEye, Trident]`: the anchor
+/// cell runs 4KB on unfragmented memory — the run `PerfModel::evaluate`
+/// would otherwise launch hidden and serially.
 pub fn run(opts: &ExpOptions, fragmented: bool) -> Result {
-    let mut config = opts.config();
-    if fragmented {
-        config = config.fragmented();
+    let specs = WorkloadSpec::shaded();
+    let per_row = 1 + KINDS.len();
+    let mut cells = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let mut config = row_config(opts, row as u64);
+        if fragmented {
+            config = config.fragmented();
+        }
+        let mut anchor_config = config;
+        anchor_config.fragment = None;
+        anchor_config.daemon_cap = None;
+        cells.push(Cell {
+            kind: PolicyKind::Base,
+            spec: *spec,
+            config: anchor_config,
+        });
+        for kind in KINDS {
+            cells.push(Cell {
+                kind,
+                spec: *spec,
+                config,
+            });
+        }
     }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
     let mut model = PerfModel::new();
     let mut rows = Vec::new();
-    for spec in WorkloadSpec::shaded() {
-        let Some(thp) = run_native(&mut model, &config, PolicyKind::Thp, &spec) else {
+    for (row, spec) in specs.iter().enumerate() {
+        let first = row * per_row;
+        let config = cells[first + 1].config;
+        if let Some(anchor_m) = &measured[first] {
+            model.prime_anchor(spec, &cells[first].config, anchor_m, false);
+        }
+        let Some(thp_m) = &measured[first + 1] else {
             continue;
         };
-        for kind in [PolicyKind::Thp, PolicyKind::HawkEye, PolicyKind::Trident] {
-            let point = if kind == PolicyKind::Thp {
-                thp.point
-            } else {
-                match run_native(&mut model, &config, kind, &spec) {
-                    Some(r) => r.point,
-                    None => continue,
-                }
+        let thp = model.evaluate(spec, &config, thp_m);
+        for (k, kind) in KINDS.iter().enumerate() {
+            let Some(m) = &measured[first + 1 + k] else {
+                continue;
             };
+            let point = model.evaluate(spec, &config, m);
             rows.push(Row {
                 workload: spec.name.to_owned(),
                 config: kind.label(),
-                perf_norm: point.speedup_over(&thp.point),
-                walk_fraction_norm: point.walk_fraction_ratio(&thp.point),
+                perf_norm: point.speedup_over(&thp),
+                walk_fraction_norm: point.walk_fraction_ratio(&thp),
             });
         }
     }

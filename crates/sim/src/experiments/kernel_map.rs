@@ -143,6 +143,7 @@ mod tests {
             scale: 64,
             samples: 40_000,
             seed: 7,
+            threads: 0,
         };
         let r = run(&opts);
         let gain = r.giant_gain();

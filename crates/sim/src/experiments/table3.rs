@@ -7,8 +7,8 @@
 use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::ExpOptions;
-use crate::{PolicyKind, SimConfig, System};
+use crate::experiments::common::{row_config, ExpOptions};
+use crate::{PolicyKind, Runner, SimConfig, System};
 
 /// The allocation mechanism column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,49 +82,86 @@ impl Result {
     }
 }
 
-fn config_for(opts: &ExpOptions, fragmented: bool, _mechanism: Mechanism) -> SimConfig {
-    let mut config = opts.config();
+fn config_for(base: SimConfig, fragmented: bool, _mechanism: Mechanism) -> SimConfig {
     if fragmented {
-        config = config.fragmented();
+        base.fragmented()
+    } else {
+        base
     }
-    config
 }
 
-/// Runs the experiment.
+/// The mechanism columns in paper order.
+const MECHANISMS: [Mechanism; 3] = [
+    Mechanism::PageFaultOnly,
+    Mechanism::PromotionNormal,
+    Mechanism::PromotionSmart,
+];
+
+/// One table-3 cell: a full run plus extra settle rounds, reduced to the
+/// mapped bytes per large page size.
+struct TableCell {
+    spec: WorkloadSpec,
+    fragmented: bool,
+    mechanism: Mechanism,
+    config: SimConfig,
+}
+
+impl TableCell {
+    fn measure(&self) -> Option<(u64, u64)> {
+        let kind = match self.mechanism {
+            Mechanism::PageFaultOnly => PolicyKind::TridentFaultOnly,
+            Mechanism::PromotionNormal => PolicyKind::TridentNC,
+            Mechanism::PromotionSmart => PolicyKind::Trident,
+        };
+        let mut system = System::launch(self.config, kind, self.spec).ok()?;
+        system.settle();
+        // A few extra settle rounds give promotion a fair shot.
+        for _ in 0..4 {
+            system.settle();
+        }
+        Some((
+            system.mapped_bytes(PageSize::Giant),
+            system.mapped_bytes(PageSize::Huge),
+        ))
+    }
+}
+
+/// Runs the experiment on the parallel runner. The three mechanism cells
+/// of one (workload, fragmentation) group share a seed, so the columns
+/// compare mechanisms on identical memory layouts.
 pub fn run(opts: &ExpOptions) -> Result {
-    let mut rows = Vec::new();
     let unscale = opts.scale as f64;
+    let mut cells = Vec::new();
+    let mut group = 0u64;
     for spec in WorkloadSpec::shaded() {
         for fragmented in [false, true] {
-            for mechanism in [
-                Mechanism::PageFaultOnly,
-                Mechanism::PromotionNormal,
-                Mechanism::PromotionSmart,
-            ] {
-                let kind = match mechanism {
-                    Mechanism::PageFaultOnly => PolicyKind::TridentFaultOnly,
-                    Mechanism::PromotionNormal => PolicyKind::TridentNC,
-                    Mechanism::PromotionSmart => PolicyKind::Trident,
-                };
-                let config = config_for(opts, fragmented, mechanism);
-                let Ok(mut system) = System::launch(config, kind, spec) else {
-                    continue;
-                };
-                system.settle();
-                // A few extra settle rounds give promotion a fair shot.
-                for _ in 0..4 {
-                    system.settle();
-                }
-                let to_gb = |bytes: u64| bytes as f64 * unscale / (1u64 << 30) as f64;
-                rows.push(Row {
-                    workload: spec.name.to_owned(),
+            let base = row_config(opts, group);
+            group += 1;
+            for mechanism in MECHANISMS {
+                cells.push(TableCell {
+                    spec,
                     fragmented,
                     mechanism,
-                    giant_gb: to_gb(system.mapped_bytes(PageSize::Giant)),
-                    huge_gb: to_gb(system.mapped_bytes(PageSize::Huge)),
+                    config: config_for(base, fragmented, mechanism),
                 });
             }
         }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
+    let mut rows = Vec::new();
+    for (cell, mapped) in cells.iter().zip(measured) {
+        let Some((giant, huge)) = mapped else {
+            continue;
+        };
+        let to_gb = |bytes: u64| bytes as f64 * unscale / (1u64 << 30) as f64;
+        rows.push(Row {
+            workload: cell.spec.name.to_owned(),
+            fragmented: cell.fragmented,
+            mechanism: cell.mechanism,
+            giant_gb: to_gb(giant),
+            huge_gb: to_gb(huge),
+        });
     }
     Result { rows }
 }

@@ -5,8 +5,8 @@
 use trident_core::AllocSite;
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::ExpOptions;
-use crate::{PolicyKind, System};
+use crate::experiments::common::{row_config, ExpOptions};
+use crate::{PolicyKind, Runner, System};
 
 /// One row of Table 4.
 #[derive(Debug, Clone)]
@@ -49,18 +49,32 @@ impl Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment on the parallel runner: one cell per shaded
+/// application, each a Trident run on fragmented memory.
 pub fn run(opts: &ExpOptions) -> Result {
-    let config = opts.config().fragmented();
-    let mut rows = Vec::new();
-    for spec in WorkloadSpec::shaded() {
-        let mut system = System::launch(config, PolicyKind::Trident, spec).expect("trident launch");
+    let specs = WorkloadSpec::shaded();
+    let cells: Vec<_> = specs
+        .iter()
+        .enumerate()
+        .map(|(row, spec)| (*spec, row_config(opts, row as u64).fragmented()))
+        .collect();
+    let measured = Runner::new(opts.threads).map(&cells, |_, (spec, config)| {
+        let mut system =
+            System::launch(*config, PolicyKind::Trident, *spec).expect("trident launch");
         system.settle();
-        rows.push(Row {
+        (
+            system.ctx.stats.giant_failure_rate(AllocSite::PageFault),
+            system.ctx.stats.giant_failure_rate(AllocSite::Promotion),
+        )
+    });
+    let rows = specs
+        .iter()
+        .zip(measured)
+        .map(|(spec, (fault, promotion))| Row {
             workload: spec.name.to_owned(),
-            fault_failure_rate: system.ctx.stats.giant_failure_rate(AllocSite::PageFault),
-            promotion_failure_rate: system.ctx.stats.giant_failure_rate(AllocSite::Promotion),
-        });
-    }
+            fault_failure_rate: fault,
+            promotion_failure_rate: promotion,
+        })
+        .collect();
     Result { rows }
 }

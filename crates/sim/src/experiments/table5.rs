@@ -4,8 +4,8 @@
 
 use trident_workloads::WorkloadSpec;
 
-use crate::experiments::common::ExpOptions;
-use crate::{request_p99_ms, LatencyModel, PolicyKind, System};
+use crate::experiments::common::{row_config, ExpOptions};
+use crate::{request_p99_ms, Cell, LatencyModel, PolicyKind, Runner};
 
 /// One cell of Table 5.
 #[derive(Debug, Clone)]
@@ -51,34 +51,43 @@ impl Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment on the parallel runner. The three policy cells of
+/// one (workload, fragmentation) group share a seed, so the paired
+/// 4KB-vs-Trident tail comparison uses common random numbers.
 pub fn run(opts: &ExpOptions) -> Result {
-    let mut rows = Vec::new();
+    let kinds = [PolicyKind::Base, PolicyKind::Thp, PolicyKind::Trident];
+    let mut cells = Vec::new();
+    let mut plan = Vec::new();
+    let mut group = 0u64;
     for name in ["Redis", "Memcached"] {
         let spec = WorkloadSpec::by_name(name).expect("known workload");
+        for fragmented in [false, true] {
+            let mut config = row_config(opts, group);
+            group += 1;
+            if fragmented {
+                config = config.fragmented();
+            }
+            for kind in kinds {
+                cells.push(Cell { kind, spec, config });
+                plan.push((name, fragmented));
+            }
+        }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, cell| cell.measure());
+
+    let mut rows = Vec::new();
+    for ((cell, (name, fragmented)), m) in cells.iter().zip(plan).zip(measured) {
+        let Some(m) = m else { continue };
         let latency_model = match name {
             "Redis" => LatencyModel::redis(),
             _ => LatencyModel::memcached(),
         };
-        for fragmented in [false, true] {
-            for kind in [PolicyKind::Base, PolicyKind::Thp, PolicyKind::Trident] {
-                let mut config = opts.config();
-                if fragmented {
-                    config = config.fragmented();
-                }
-                let Ok(mut system) = System::launch(config, kind, spec) else {
-                    continue;
-                };
-                system.settle();
-                let m = system.measure();
-                rows.push(Row {
-                    workload: name.to_owned(),
-                    fragmented,
-                    config: kind.label(),
-                    p99_ms: request_p99_ms(&latency_model, &m, opts.seed),
-                });
-            }
-        }
+        rows.push(Row {
+            workload: name.to_owned(),
+            fragmented,
+            config: cell.kind.label(),
+            p99_ms: request_p99_ms(&latency_model, &m, cell.config.seed),
+        });
     }
     Result { rows }
 }

@@ -14,6 +14,9 @@
 //! * [`PerfModel`] — converts measured walk cycles and MM overheads into
 //!   the normalized performance numbers the paper plots, anchored on each
 //!   application's measured 4KB walk-cycle fraction (Figure 1a).
+//! * [`runner`] — the parallel experiment engine: experiments decompose
+//!   into independent cells executed across scoped threads, with per-cell
+//!   seeds derived so parallel results are bit-identical to serial ones.
 //! * [`experiments`] — one routine per table and figure of the paper's
 //!   evaluation; see DESIGN.md for the index.
 
@@ -27,6 +30,7 @@ mod latency;
 mod model;
 mod policy;
 mod report;
+pub mod runner;
 mod system;
 mod virt_system;
 
@@ -36,5 +40,6 @@ pub use latency::{request_p99_ms, LatencyModel};
 pub use model::{PerfModel, PerfPoint};
 pub use policy::PolicyKind;
 pub use report::RunReport;
+pub use runner::{derive_cell_seed, Cell, Runner, VirtCell};
 pub use system::{Measurement, System};
 pub use virt_system::VirtSystem;

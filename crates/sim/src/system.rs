@@ -283,7 +283,7 @@ impl System {
             }
         }
         self.touched += 1;
-        if self.touched % self.config.tick_interval_pages == 0 {
+        if self.touched.is_multiple_of(self.config.tick_interval_pages) {
             self.tick();
         }
     }

@@ -171,7 +171,7 @@ impl VirtSystem {
             Err(e) => panic!("populate touch failed: {e}"),
         }
         self.touched += 1;
-        if self.touched % self.config.tick_interval_pages == 0 {
+        if self.touched.is_multiple_of(self.config.tick_interval_pages) {
             self.tick();
         }
     }

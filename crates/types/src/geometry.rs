@@ -120,7 +120,7 @@ impl PageGeometry {
     /// Whether `raw` (a byte address) is aligned to `size`.
     #[must_use]
     pub fn is_aligned(&self, raw: u64, size: PageSize) -> bool {
-        raw % self.bytes(size) == 0
+        raw.is_multiple_of(self.bytes(size))
     }
 
     /// `raw` rounded down to the nearest `size` boundary.
@@ -144,7 +144,7 @@ impl PageGeometry {
     /// (i.e. could begin a page of that size).
     #[must_use]
     pub fn is_page_aligned(&self, page: u64, size: PageSize) -> bool {
-        page % self.base_pages(size) == 0
+        page.is_multiple_of(self.base_pages(size))
     }
 
     /// The base-page number containing byte address `raw`.

@@ -19,8 +19,12 @@ fn boot_guest(hyp: &mut Hypervisor, giants: u64) -> VirtualMachine {
         Box::new(ThpPolicy::new()),
     );
     let mut proc = AddressSpace::new(AsId::new(1), geo);
-    proc.mmap_at(Vpn::new(0), 2 * geo.base_pages(PageSize::Giant), VmaKind::Anon)
-        .unwrap();
+    proc.mmap_at(
+        Vpn::new(0),
+        2 * geo.base_pages(PageSize::Giant),
+        VmaKind::Anon,
+    )
+    .unwrap();
     vm.kernel.spaces.insert(proc);
     vm
 }
@@ -95,7 +99,8 @@ fn host_daemon_promotes_every_vm_over_time() {
     let mut vms: Vec<VirtualMachine> = (0..3).map(|_| boot_guest(&mut hyp, 2)).collect();
     for vm in &mut vms {
         for i in 0..geo.base_pages(PageSize::Giant) {
-            vm.touch(&mut hyp, AsId::new(1), Vpn::new(i), false).unwrap();
+            vm.touch(&mut hyp, AsId::new(1), Vpn::new(i), false)
+                .unwrap();
         }
     }
     for _ in 0..6 {

@@ -36,6 +36,12 @@ pub struct AddressSpace {
     vmas: BTreeMap<u64, Vma>,
     page_table: PageTable,
     cursor: u64,
+    /// Bytes mappable at each page size (index by `PageSize as usize`),
+    /// maintained incrementally as VMAs come and go. Each VMA's
+    /// contribution is O(1) to compute, so keeping the running sums makes
+    /// [`AddressSpace::mappable_bytes`] O(1) instead of a full-space scan —
+    /// the Figure 3 timeline samples this after every allocation step.
+    mappable: [u64; 3],
 }
 
 impl AddressSpace {
@@ -48,7 +54,15 @@ impl AddressSpace {
             vmas: BTreeMap::new(),
             page_table: PageTable::new(geo),
             cursor: 0,
+            mappable: [0; 3],
         }
+    }
+
+    /// Bytes of this space mappable with pages of `size` — an O(1) read of
+    /// the incrementally maintained counters.
+    #[must_use]
+    pub fn mappable_bytes(&self, size: PageSize) -> u64 {
+        self.mappable[size as usize]
     }
 
     /// The address-space identifier.
@@ -128,6 +142,27 @@ impl AddressSpace {
             .filter(move |existing| existing.overlaps(new))
     }
 
+    /// Adds `vma` to the map, maintaining the mappability counters and
+    /// marking its span dirty for the promotion daemon (a VMA change can
+    /// alter chunk candidacy without touching a PTE).
+    fn attach(&mut self, vma: Vma) {
+        for size in PageSize::ALL {
+            self.mappable[size as usize] += vma.mappable_bytes(&self.geo, size);
+        }
+        self.page_table.mark_span_dirty(vma.start, vma.pages);
+        self.vmas.insert(vma.start.raw(), vma);
+    }
+
+    /// Removes the VMA keyed at `start`, maintaining the counters.
+    fn detach(&mut self, start: u64) -> Option<Vma> {
+        let vma = self.vmas.remove(&start)?;
+        for size in PageSize::ALL {
+            self.mappable[size as usize] -= vma.mappable_bytes(&self.geo, size);
+        }
+        self.page_table.mark_span_dirty(vma.start, vma.pages);
+        Some(vma)
+    }
+
     fn insert_vma(&mut self, mut new: Vma) {
         // Merge with an adjacent predecessor of the same kind.
         if let Some((&prev_start, prev)) = self.vmas.range(..new.start.raw()).next_back() {
@@ -137,17 +172,17 @@ impl AddressSpace {
                     pages: prev.pages + new.pages,
                     kind: new.kind,
                 };
-                self.vmas.remove(&prev_start);
+                self.detach(prev_start);
             }
         }
         // Merge with an adjacent successor of the same kind.
         if let Some((&next_start, next)) = self.vmas.range(new.start.raw()..).next() {
             if next.kind == new.kind && new.end() == next.start {
                 new.pages += next.pages;
-                self.vmas.remove(&next_start);
+                self.detach(next_start);
             }
         }
-        self.vmas.insert(new.start.raw(), new);
+        self.attach(new);
     }
 
     /// Releases `[start, start + pages)`, unmapping any leaves headed
@@ -197,26 +232,20 @@ impl AddressSpace {
             .copied()
             .collect();
         for vma in affected {
-            self.vmas.remove(&vma.start.raw());
+            self.detach(vma.start.raw());
             if vma.start < start {
-                self.vmas.insert(
-                    vma.start.raw(),
-                    Vma {
-                        start: vma.start,
-                        pages: start - vma.start,
-                        kind: vma.kind,
-                    },
-                );
+                self.attach(Vma {
+                    start: vma.start,
+                    pages: start - vma.start,
+                    kind: vma.kind,
+                });
             }
             if vma.end() > end {
-                self.vmas.insert(
-                    end.raw(),
-                    Vma {
-                        start: end,
-                        pages: vma.end() - end,
-                        kind: vma.kind,
-                    },
-                );
+                self.attach(Vma {
+                    start: end,
+                    pages: vma.end() - end,
+                    kind: vma.kind,
+                });
             }
         }
     }

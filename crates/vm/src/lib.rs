@@ -36,7 +36,7 @@ mod vma;
 pub use access_bits::{chunk_of, AccessBitSampler};
 pub use address_space::AddressSpace;
 pub use error::MapError;
-pub use mappable::{mappable_bytes, mappable_ranges, promotion_candidates};
+pub use mappable::{mappable_bytes, mappable_bytes_scan, mappable_ranges, promotion_candidates};
 pub use page_table::{ChunkProfile, MappingRecord, PageTable, Translation};
 pub use pte::RawPte;
 pub use vma::{Vma, VmaKind};

@@ -16,8 +16,20 @@ use crate::{AddressSpace, ChunkProfile};
 /// `mappable_bytes(s, Huge) >= mappable_bytes(s, Giant)` always holds; the
 /// gap between the two is the memory that *must* fall back to 2MB pages
 /// (Figure 3's shaded gap).
+///
+/// Reads the address space's incrementally maintained counters in O(1);
+/// [`mappable_bytes_scan`] is the from-scratch reference the counters are
+/// verified against.
 #[must_use]
 pub fn mappable_bytes(space: &AddressSpace, size: PageSize) -> u64 {
+    space.mappable_bytes(size)
+}
+
+/// [`mappable_bytes`] computed by a full scan over every VMA — the
+/// reference implementation, kept for property tests and benchmarks that
+/// compare it against the incremental counters.
+#[must_use]
+pub fn mappable_bytes_scan(space: &AddressSpace, size: PageSize) -> u64 {
     let geo = space.geometry();
     space.vmas().map(|v| v.mappable_bytes(&geo, size)).sum()
 }

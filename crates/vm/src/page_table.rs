@@ -6,7 +6,8 @@
 //! — or point to a leaf table of base (4KB) PTEs. All entry words are
 //! packed [`RawPte`]s, with hardware-set accessed/dirty bits.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
 
@@ -110,6 +111,47 @@ pub struct PageTable {
     puds: BTreeMap<u64, PudEntry>,
     /// Number of leaves of each size (index by `PageSize as usize`).
     leaves: [u64; 3],
+    /// Giant-chunk indices whose mappings (or covering VMAs) changed since
+    /// the last [`PageTable::take_dirty_chunks`] drain — the promotion
+    /// daemon's incremental work list.
+    dirty_chunks: BTreeSet<u64>,
+    /// Bumped on every mutation that could stale [`PageTable::last_walk`]:
+    /// unmap, remap, and accessed-bit clearing. (`map` never alters an
+    /// existing leaf — it errors on overlap — so it leaves the stamp
+    /// alone.)
+    walk_stamp: u64,
+    /// Software walker cache: the last leaf a walk resolved, so the hot
+    /// sampling loop skips the radix descent for repeated hits. Interior
+    /// mutability keeps `translate` a `&self` walk.
+    last_walk: Cell<Option<WalkerHit>>,
+}
+
+/// The walker-cache entry: one leaf plus the flag state already written to
+/// it, validated against [`PageTable::walk_stamp`].
+#[derive(Debug, Clone, Copy)]
+struct WalkerHit {
+    head_vpn: Vpn,
+    head_pfn: Pfn,
+    pages: u64,
+    size: PageSize,
+    stamp: u64,
+    accessed: bool,
+    dirty: bool,
+}
+
+impl WalkerHit {
+    fn covers(&self, vpn: Vpn, stamp: u64) -> bool {
+        self.stamp == stamp && vpn >= self.head_vpn && vpn.raw() - self.head_vpn.raw() < self.pages
+    }
+
+    fn translation(&self, vpn: Vpn) -> Translation {
+        Translation {
+            pfn: self.head_pfn + (vpn - self.head_vpn),
+            size: self.size,
+            head_vpn: self.head_vpn,
+            head_pfn: self.head_pfn,
+        }
+    }
 }
 
 impl PageTable {
@@ -120,6 +162,9 @@ impl PageTable {
             geo,
             puds: BTreeMap::new(),
             leaves: [0; 3],
+            dirty_chunks: BTreeSet::new(),
+            walk_stamp: 0,
+            last_walk: Cell::new(None),
         }
     }
 
@@ -147,6 +192,32 @@ impl PageTable {
 
     fn pte_index(&self, vpn: Vpn) -> usize {
         (vpn.raw() & (self.pte_len() as u64 - 1)) as usize
+    }
+
+    /// Marks every giant chunk overlapping `[start, start + pages)` dirty —
+    /// called on mapping changes here and by the address space when a VMA
+    /// appears, grows, or shrinks (which changes chunk mappability without
+    /// touching any PTE).
+    pub fn mark_span_dirty(&mut self, start: Vpn, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        let first = self.giant_index(start);
+        let last = self.giant_index(start + (pages - 1));
+        for gi in first..=last {
+            self.dirty_chunks.insert(gi);
+        }
+    }
+
+    /// Drains the set of giant-chunk indices touched since the last drain,
+    /// in address order. The promotion daemon uses this to re-examine only
+    /// chunks whose candidacy could have changed.
+    pub fn take_dirty_chunks(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty_chunks).into_iter().collect()
+    }
+
+    fn invalidate_walks(&mut self) {
+        self.walk_stamp = self.walk_stamp.wrapping_add(1);
     }
 
     /// Number of leaves of the given size currently installed.
@@ -253,12 +324,33 @@ impl PageTable {
             }
         }
         self.leaves[size as usize] += 1;
+        self.dirty_chunks.insert(gi);
         Ok(())
     }
 
     /// Walks the table for `vpn` without touching accessed/dirty bits.
     #[must_use]
     pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        if let Some(hit) = self.last_walk.get() {
+            if hit.covers(vpn, self.walk_stamp) {
+                return Some(hit.translation(vpn));
+            }
+        }
+        let t = self.translate_slow(vpn)?;
+        let pte = self.leaf_ref(t.head_vpn).expect("translation implies leaf");
+        self.last_walk.set(Some(WalkerHit {
+            head_vpn: t.head_vpn,
+            head_pfn: t.head_pfn,
+            pages: self.geo.base_pages(t.size),
+            size: t.size,
+            stamp: self.walk_stamp,
+            accessed: pte.accessed(),
+            dirty: pte.dirty(),
+        }));
+        Some(t)
+    }
+
+    fn translate_slow(&self, vpn: Vpn) -> Option<Translation> {
         let gi = self.giant_index(vpn);
         match self.puds.get(&gi)? {
             PudEntry::GiantLeaf(pte) => {
@@ -299,6 +391,13 @@ impl PageTable {
     /// Walks the table for `vpn` like the hardware does on a TLB miss,
     /// setting the accessed bit (and the dirty bit for writes).
     pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
+        // Walker-cache fast path: when the covering leaf already carries
+        // the flags this access would set, no table walk is needed at all.
+        if let Some(hit) = self.last_walk.get() {
+            if hit.covers(vpn, self.walk_stamp) && hit.accessed && (!write || hit.dirty) {
+                return Some(hit.translation(vpn));
+            }
+        }
         let translation = self.translate(vpn)?;
         let pte = self
             .leaf_mut(translation.head_vpn)
@@ -306,6 +405,13 @@ impl PageTable {
         pte.set_accessed();
         if write {
             pte.set_dirty();
+        }
+        if let Some(mut hit) = self.last_walk.get() {
+            if hit.stamp == self.walk_stamp && hit.head_vpn == translation.head_vpn {
+                hit.accessed = true;
+                hit.dirty |= write;
+                self.last_walk.set(Some(hit));
+            }
         }
         Some(translation)
     }
@@ -388,6 +494,8 @@ impl PageTable {
             }
         }
         self.leaves[translation.size as usize] -= 1;
+        self.dirty_chunks.insert(gi);
+        self.invalidate_walks();
         Ok(record)
     }
 
@@ -430,6 +538,7 @@ impl PageTable {
         let pte = self.leaf_mut(head_vpn).expect("translation implies leaf");
         let old = pte.pfn();
         pte.set_pfn(new_head_pfn);
+        self.invalidate_walks();
         Ok(old)
     }
 
@@ -478,6 +587,12 @@ impl PageTable {
     /// Summarizes how the aligned chunk of `size` starting at `start` is
     /// mapped. `start` must be `size`-aligned.
     ///
+    /// Descends the radix structure directly instead of translating every
+    /// base page, so a giant-chunk profile costs one mid-level sweep
+    /// (reading the per-table `live` counters) and a huge-chunk profile is
+    /// O(1) — cheap enough for the promotion daemon to call per dirty
+    /// chunk.
+    ///
     /// # Panics
     ///
     /// Panics if `start` is not aligned to `size`.
@@ -489,24 +604,44 @@ impl PageTable {
         );
         let span = self.geo.base_pages(size);
         let mut profile = ChunkProfile::default();
-        let mut vpn = start.raw();
-        let end = start.raw() + span;
-        while vpn < end {
-            match self.translate(Vpn::new(vpn)) {
-                Some(t) => {
-                    let leaf_pages = self.geo.base_pages(t.size);
-                    match t.size {
-                        PageSize::Base => profile.base_mapped += leaf_pages,
-                        PageSize::Huge => profile.huge_mapped += leaf_pages,
-                        PageSize::Giant => profile.giant_mapped += leaf_pages,
+        let Some(pud) = self.puds.get(&self.giant_index(start)) else {
+            profile.unmapped = span;
+            return profile;
+        };
+        match (pud, size) {
+            (PudEntry::GiantLeaf(_), _) => profile.giant_mapped = span,
+            (PudEntry::Table(pmd), PageSize::Giant) => {
+                let pte_len = self.pte_len() as u64;
+                for entry in &pmd.entries {
+                    match entry {
+                        PmdEntry::None => profile.unmapped += pte_len,
+                        PmdEntry::HugeLeaf(_) => profile.huge_mapped += pte_len,
+                        PmdEntry::Table(ptes) => {
+                            profile.base_mapped += u64::from(ptes.live);
+                            profile.unmapped += pte_len - u64::from(ptes.live);
+                        }
                     }
-                    vpn = t.head_vpn.raw() + leaf_pages;
-                }
-                None => {
-                    profile.unmapped += 1;
-                    vpn += 1;
                 }
             }
+            (PudEntry::Table(pmd), PageSize::Huge) => match &pmd.entries[self.pmd_index(start)] {
+                PmdEntry::None => profile.unmapped = span,
+                PmdEntry::HugeLeaf(_) => profile.huge_mapped = span,
+                PmdEntry::Table(ptes) => {
+                    profile.base_mapped = u64::from(ptes.live);
+                    profile.unmapped = span - u64::from(ptes.live);
+                }
+            },
+            (PudEntry::Table(pmd), PageSize::Base) => match &pmd.entries[self.pmd_index(start)] {
+                PmdEntry::None => profile.unmapped = 1,
+                PmdEntry::HugeLeaf(_) => profile.huge_mapped = 1,
+                PmdEntry::Table(ptes) => {
+                    if ptes.entries[self.pte_index(start)].is_present() {
+                        profile.base_mapped = 1;
+                    } else {
+                        profile.unmapped = 1;
+                    }
+                }
+            },
         }
         profile
     }
@@ -524,6 +659,7 @@ impl PageTable {
                 pte.clear_accessed();
             }
         }
+        self.invalidate_walks();
     }
 
     /// Counts leaves in the window whose accessed bit is set.

@@ -17,8 +17,11 @@ enum Op {
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (1u64..40, 0u64..8, any::<bool>())
-                .prop_map(|(pages, gap, stack)| Op::Mmap { pages, gap, stack }),
+            (1u64..40, 0u64..8, any::<bool>()).prop_map(|(pages, gap, stack)| Op::Mmap {
+                pages,
+                gap,
+                stack
+            }),
             (0u64..512, 1u64..32).prop_map(|(start, pages)| Op::MmapAt { start, pages }),
             (0u64..512, 1u64..64).prop_map(|(start, pages)| Op::Munmap { start, pages }),
         ],

@@ -1,0 +1,97 @@
+//! Property tests for the incremental mappability counters: after any
+//! sequence of VMA traffic, the O(1) counters must equal the full-scan
+//! reference implementation for every page size.
+
+use proptest::prelude::*;
+use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_vm::{mappable_bytes, mappable_bytes_scan, AddressSpace, VmaKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mmap { pages: u64, gap: u64, kind: u8 },
+    MmapAt { start: u64, pages: u64 },
+    Munmap { start: u64, pages: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..96, 0u64..10, 0u8..3).prop_map(|(pages, gap, kind)| Op::Mmap {
+                pages,
+                gap,
+                kind
+            }),
+            (0u64..768, 1u64..80).prop_map(|(start, pages)| Op::MmapAt { start, pages }),
+            (0u64..768, 1u64..128).prop_map(|(start, pages)| Op::Munmap { start, pages }),
+        ],
+        1..80,
+    )
+}
+
+fn assert_counters_match(space: &AddressSpace) {
+    for size in [PageSize::Base, PageSize::Huge, PageSize::Giant] {
+        assert_eq!(
+            mappable_bytes(space, size),
+            mappable_bytes_scan(space, size),
+            "incremental counter diverged from full rescan at {size:?}"
+        );
+    }
+}
+
+proptest! {
+    /// The incremental counters match the full VMA rescan after every
+    /// single mmap/munmap — including the merge and split paths.
+    #[test]
+    fn incremental_counters_match_full_rescan(ops in ops()) {
+        let geo = PageGeometry::TINY;
+        let mut space = AddressSpace::new(AsId::new(7), geo);
+        for op in ops {
+            match op {
+                Op::Mmap { pages, gap, kind } => {
+                    let kind = match kind {
+                        0 => VmaKind::Anon,
+                        1 => VmaKind::Stack,
+                        _ => VmaKind::File,
+                    };
+                    space.mmap(pages, kind, PageSize::Base, gap).unwrap();
+                }
+                Op::MmapAt { start, pages } => {
+                    // Overlap errors are fine; the counters must simply
+                    // stay untouched.
+                    let _ = space.mmap_at(Vpn::new(start), pages, VmaKind::Anon);
+                }
+                Op::Munmap { start, pages } => {
+                    space.munmap(Vpn::new(start), pages);
+                }
+            }
+            assert_counters_match(&space);
+        }
+    }
+
+    /// The giant-mappable total never exceeds the huge-mappable total
+    /// (every 1GB-mappable byte is also 2MB-mappable), and both are
+    /// bounded by the base-mappable total.
+    #[test]
+    fn mappable_totals_are_ordered(ops in ops()) {
+        let geo = PageGeometry::TINY;
+        let mut space = AddressSpace::new(AsId::new(8), geo);
+        for op in ops {
+            match op {
+                Op::Mmap { pages, gap, .. } => {
+                    space.mmap(pages, VmaKind::Anon, PageSize::Base, gap).unwrap();
+                }
+                Op::MmapAt { start, pages } => {
+                    let _ = space.mmap_at(Vpn::new(start), pages, VmaKind::Anon);
+                }
+                Op::Munmap { start, pages } => {
+                    space.munmap(Vpn::new(start), pages);
+                }
+            }
+            let base = mappable_bytes(&space, PageSize::Base);
+            let huge = mappable_bytes(&space, PageSize::Huge);
+            let giant = mappable_bytes(&space, PageSize::Giant);
+            prop_assert!(giant <= huge, "giant {giant} > huge {huge}");
+            prop_assert!(huge <= base, "huge {huge} > base {base}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The parallel runner's determinism contract: an experiment's output is
+//! a pure function of its options — thread count must never leak into
+//! results. See DESIGN.md §"Determinism contract".
+
+use trident_repro::sim::experiments::{self, ExpOptions};
+
+fn with_threads(threads: usize) -> ExpOptions {
+    let mut opts = ExpOptions::quick();
+    opts.threads = threads;
+    opts
+}
+
+#[test]
+fn fig1_is_bit_identical_across_thread_counts() {
+    let serial = experiments::fig1::run(&with_threads(1)).to_csv();
+    let parallel = experiments::fig1::run(&with_threads(4)).to_csv();
+    assert_eq!(serial, parallel, "fig1 CSV must not depend on threads");
+    // And re-running does not drift either.
+    let again = experiments::fig1::run(&with_threads(4)).to_csv();
+    assert_eq!(parallel, again, "fig1 CSV must be reproducible");
+}
+
+#[test]
+fn table4_is_bit_identical_across_thread_counts() {
+    let serial = experiments::table4::run(&with_threads(1)).to_csv();
+    let parallel = experiments::table4::run(&with_threads(3)).to_csv();
+    assert_eq!(serial, parallel, "table4 CSV must not depend on threads");
+}

@@ -1,0 +1,265 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the benchmark-facing surface it uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`black_box`], [`Throughput`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical engine, each benchmark is timed
+//! with [`std::time::Instant`] over an adaptively chosen iteration count
+//! and reports mean wall-clock per iteration. That is deliberately
+//! simple: the repository's perf trajectory is tracked by `BENCH_*.json`
+//! emitters, and these benches exist to compare orders of magnitude
+//! (e.g. full-rescan vs incremental counters), not nanosecond noise.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` works as upstream.
+pub use std::hint::black_box;
+
+/// How much setup output to clone per batch in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; batches of many iterations.
+    SmallInput,
+    /// Large per-iteration input; smaller batches.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Optional throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark name, as `BenchmarkId::new("f", n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A name of the form `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A bare parameter name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher<'a> {
+    /// Mean duration per iteration, written back by `iter*`.
+    result: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its return value alive via black_box.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-call cost to size the measured run.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let one = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost (each input is built before the clock starts).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let calibration_input = setup();
+        let calibration_start = Instant::now();
+        black_box(routine(calibration_input));
+        let one = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        *self.result = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+    }
+}
+
+fn report(name: &str, mean: Duration) {
+    println!(
+        "bench: {name:<48} mean {:>12.1} ns/iter",
+        mean.as_nanos() as f64
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { result: &mut mean });
+        report(&format!("{}/{}", self.name, id.into_id()), mean);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { result: &mut mean }, input);
+        report(&format!("{}/{}", self.name, id.into_id()), mean);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut mean = Duration::ZERO;
+        f(&mut Bencher { result: &mut mean });
+        report(name, mean);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter_batched(
+                || (0u64..8).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
