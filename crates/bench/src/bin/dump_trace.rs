@@ -1,0 +1,138 @@
+//! Runs one traced simulation and dumps its event trace as JSONL on
+//! stdout (summary on stderr) — the observability quick-start from the
+//! README, and CI's trace-schema gate.
+//!
+//! Flags: the standard experiment flags (`--scale`, `--samples`,
+//! `--seed`, `--trace N` for the ring capacity, default 1Mi events)
+//! plus `--workload NAME`, `--policy LABEL` (paper labels, e.g.
+//! `Trident`, `2MB-THP`) and `--check`.
+//!
+//! With `--check`, nothing is dumped; instead the run's trace is pushed
+//! through the full schema contract — every event must survive a JSONL
+//! round-trip, and replaying the trace must reconstruct the exact live
+//! snapshot — exiting nonzero on any violation.
+
+use std::process::ExitCode;
+
+use trident_bench::options_from_env;
+use trident_core::{Event, StatsSnapshot, SNAPSHOT_VERSION};
+use trident_sim::{PolicyKind, System};
+use trident_workloads::WorkloadSpec;
+
+const POLICIES: [PolicyKind; 11] = [
+    PolicyKind::Base,
+    PolicyKind::Thp,
+    PolicyKind::HugetlbfsHuge,
+    PolicyKind::HugetlbfsGiant,
+    PolicyKind::HawkEye,
+    PolicyKind::Ingens,
+    PolicyKind::Trident,
+    PolicyKind::Trident1G,
+    PolicyKind::TridentNC,
+    PolicyKind::TridentPv,
+    PolicyKind::TridentFaultOnly,
+];
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = options_from_env();
+    if opts.scale == 32 {
+        // The binary default grid is too big for a quick dump; prefer the
+        // integration-test scale unless the user asked for more.
+        opts.scale = 256;
+        opts.samples = 8_000;
+    }
+    let capacity = opts.trace_capacity.unwrap_or(1 << 20);
+    let check = args.iter().any(|a| a == "--check");
+
+    let workload = flag_value(&args, "--workload").unwrap_or_else(|| "GUPS".to_owned());
+    let Some(spec) = WorkloadSpec::by_name(&workload) else {
+        eprintln!("unknown workload {workload:?}");
+        return ExitCode::FAILURE;
+    };
+    let policy_label = flag_value(&args, "--policy").unwrap_or_else(|| "Trident".to_owned());
+    let Some(policy) = POLICIES.iter().copied().find(|p| p.label() == policy_label) else {
+        eprintln!("unknown policy {policy_label:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut config = opts.config();
+    config.trace_capacity = Some(capacity);
+    eprintln!(
+        "# dump_trace: {} under {}, scale 1/{}, {} samples, ring capacity {}",
+        spec.name,
+        policy.label(),
+        opts.scale,
+        opts.samples,
+        capacity
+    );
+    let mut system = System::launch(config, policy, spec).expect("launch");
+    system.settle();
+    let m = system.measure();
+    eprintln!(
+        "# {} events traced, snapshot v{}, {} faults",
+        m.trace.len(),
+        m.snapshot.version,
+        m.snapshot.total_faults()
+    );
+
+    if check {
+        return run_schema_check(&m.trace, &m.snapshot);
+    }
+    let mut out = String::with_capacity(m.trace.len() * 64);
+    for ev in &m.trace {
+        out.push_str(&ev.to_jsonl());
+        out.push('\n');
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}
+
+/// CI's trace-schema gate: round-trip every event through the wire
+/// format and replay the trace against the live snapshot.
+fn run_schema_check(trace: &[Event], snapshot: &StatsSnapshot) -> ExitCode {
+    if trace.is_empty() {
+        eprintln!("schema check: FAIL — empty trace, nothing to validate");
+        return ExitCode::FAILURE;
+    }
+    if snapshot.version != SNAPSHOT_VERSION {
+        eprintln!(
+            "schema check: FAIL — snapshot v{} but binary speaks v{SNAPSHOT_VERSION}",
+            snapshot.version
+        );
+        return ExitCode::FAILURE;
+    }
+    for (i, ev) in trace.iter().enumerate() {
+        let line = ev.to_jsonl();
+        match Event::parse_jsonl(&line) {
+            Ok(back) if back == *ev => {}
+            Ok(back) => {
+                eprintln!("schema check: FAIL — event {i} round-trips to {back:?}: {line}");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("schema check: FAIL — event {i} does not parse ({err}): {line}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let replayed = StatsSnapshot::from_events(trace);
+    if replayed != *snapshot {
+        eprintln!("schema check: FAIL — trace replay diverges from the live snapshot");
+        eprintln!("  replayed: {replayed:?}");
+        eprintln!("  live:     {snapshot:?}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "schema check: ok — {} events, schema v{SNAPSHOT_VERSION}, replay matches snapshot",
+        trace.len()
+    );
+    ExitCode::SUCCESS
+}

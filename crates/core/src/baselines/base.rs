@@ -49,9 +49,9 @@ impl PagePolicy for BasePolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,
@@ -90,7 +90,7 @@ mod tests {
         }
         assert!(matches!(
             policy.on_fault(&mut ctx, &mut space, Vpn::new(64)),
-            Err(PolicyError::OutOfMemory(_))
+            Err(PolicyError::OutOfContiguousMemory(_))
         ));
         assert_eq!(ctx.stats.faults[PageSize::Base as usize], 64);
     }

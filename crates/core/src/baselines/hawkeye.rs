@@ -8,6 +8,7 @@
 //! notes its `kbinmanager` CPU overhead can make it *lose* to plain THP
 //! for large-memory applications under fragmentation (§7).
 
+use trident_obs::Event;
 use trident_types::{PageSize, Vpn};
 use trident_vm::AddressSpace;
 
@@ -73,9 +74,9 @@ impl PagePolicy for HawkEyePolicy {
         }
         if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
             if ctx.mem.has_free(PageSize::Huge) {
-                map_chunk(ctx, space, head, PageSize::Huge).map_err(PolicyError::OutOfMemory)?;
+                map_chunk(ctx, space, head, PageSize::Huge)?;
                 let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                ctx.stats.record_fault(PageSize::Huge, latency);
+                ctx.record_fault(PageSize::Huge, latency);
                 return Ok(FaultOutcome {
                     size: PageSize::Huge,
                     latency_ns: latency,
@@ -83,9 +84,9 @@ impl PagePolicy for HawkEyePolicy {
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,
@@ -113,7 +114,7 @@ impl PagePolicy for HawkEyePolicy {
                 PRESSURE_WATERMARK,
             ));
         }
-        ctx.stats.daemon_ns += out.daemon_ns;
+        ctx.record(Event::DaemonTick { ns: out.daemon_ns });
         out
     }
 }

@@ -97,7 +97,7 @@ impl PagePolicy for HugetlbfsPolicy {
                     .expect("chunk verified unmapped; reserved frame aligned");
                 // Reserved pages were zeroed at boot: fault is cheap.
                 let latency = ctx.cost.fault_base_ns;
-                ctx.stats.record_fault(self.size, latency);
+                ctx.record_fault(self.size, latency);
                 return Ok(FaultOutcome {
                     size: self.size,
                     latency_ns: latency,
@@ -105,9 +105,9 @@ impl PagePolicy for HugetlbfsPolicy {
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,

@@ -8,6 +8,7 @@
 //! backed by a large page) at the cost of running longer on 4KB pages.
 //! Like THP and HawkEye it manages 2MB pages only.
 
+use trident_obs::Event;
 use trident_types::{PageSize, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
 
@@ -83,9 +84,9 @@ impl PagePolicy for IngensPolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,
@@ -149,7 +150,7 @@ impl PagePolicy for IngensPolicy {
                 Err(PromoteError::NotACandidate) => {}
             }
         }
-        ctx.stats.daemon_ns += out.daemon_ns;
+        ctx.record(Event::DaemonTick { ns: out.daemon_ns });
         out
     }
 }

@@ -1,5 +1,6 @@
 //! Linux's Transparent Huge Pages (the paper's primary baseline).
 
+use trident_obs::Event;
 use trident_types::{PageSize, Vpn};
 use trident_vm::AddressSpace;
 
@@ -65,9 +66,9 @@ impl PagePolicy for ThpPolicy {
         }
         if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
             if ctx.mem.has_free(PageSize::Huge) {
-                map_chunk(ctx, space, head, PageSize::Huge).map_err(PolicyError::OutOfMemory)?;
+                map_chunk(ctx, space, head, PageSize::Huge)?;
                 let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                ctx.stats.record_fault(PageSize::Huge, latency);
+                ctx.record_fault(PageSize::Huge, latency);
                 return Ok(FaultOutcome {
                     size: PageSize::Huge,
                     latency_ns: latency,
@@ -75,9 +76,9 @@ impl PagePolicy for ThpPolicy {
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,
@@ -87,7 +88,7 @@ impl PagePolicy for ThpPolicy {
 
     fn on_tick(&mut self, ctx: &mut MmContext, spaces: &mut SpaceSet) -> TickOutcome {
         let (out, _) = self.promoter.tick(ctx, spaces);
-        ctx.stats.daemon_ns += out.daemon_ns;
+        ctx.record(Event::DaemonTick { ns: out.daemon_ns });
         out
     }
 }

@@ -9,6 +9,7 @@
 //! movable-only region as its source (minimizing the bytes that must move)
 //! and the fullest regions as targets.
 
+use trident_obs::Event;
 use trident_phys::{AllocationUnit, RegionId};
 use trident_types::PageSize;
 
@@ -95,11 +96,14 @@ impl Compactor {
         spaces: &mut SpaceSet,
         target: PageSize,
     ) -> CompactionOutcome {
-        ctx.stats.compaction_attempts += 1;
+        let smart = self.kind == CompactionKind::Smart;
         let mut out = CompactionOutcome::default();
         if ctx.mem.has_free(target) {
             out.success = true;
-            ctx.stats.compaction_successes += 1;
+            ctx.record(Event::CompactionRun {
+                smart,
+                succeeded: true,
+            });
             return out;
         }
         match (self.kind, target) {
@@ -107,9 +111,10 @@ impl Compactor {
             _ => self.normal(ctx, spaces, target, &mut out),
         }
         out.ns += ctx.cost.copy_ns(out.bytes_copied);
-        if out.success {
-            ctx.stats.compaction_successes += 1;
-        }
+        ctx.record(Event::CompactionRun {
+            smart,
+            succeeded: out.success,
+        });
         #[cfg(debug_assertions)]
         crate::assert_mm_consistent(ctx, spaces);
         out
@@ -226,10 +231,13 @@ fn migrate_unit(
 ) -> bool {
     let geo = ctx.geometry();
     for &target in targets {
-        let Ok(dst) = ctx
-            .mem
-            .allocate_in_region(target, unit.order, unit.use_, unit.owner)
-        else {
+        let Ok(dst) = ctx.mem.allocate_in_region_rec(
+            target,
+            unit.order,
+            unit.use_,
+            unit.owner,
+            &mut ctx.recorder,
+        ) else {
             continue;
         };
         if let Some(owner) = unit.owner {
@@ -244,11 +252,13 @@ fn migrate_unit(
             // the same span, so the leaf's old frame is the unit head.
             debug_assert_eq!(old, unit.head, "unit/leaf correspondence broken");
         }
-        ctx.mem.free(unit.head).expect("unit is live");
+        ctx.mem
+            .free_rec(unit.head, &mut ctx.recorder)
+            .expect("unit is live");
         let bytes = unit.pages() * geo.base_bytes();
         out.bytes_copied += bytes;
         out.migrated_units += 1;
-        ctx.stats.compaction_bytes_copied += bytes;
+        ctx.record(Event::CompactionMove { bytes });
         return true;
     }
     false

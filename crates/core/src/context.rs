@@ -2,15 +2,16 @@
 
 use std::collections::BTreeMap;
 
+use trident_obs::{AllocSite, Event, ObsRecorder, Recorder, StatsSnapshot};
 use trident_phys::PhysicalMemory;
-use trident_types::{AsId, PageGeometry};
+use trident_types::{AsId, PageGeometry, PageSize};
 use trident_vm::AddressSpace;
 
 use crate::{CostModel, MmStats, ZeroFillPool};
 
 /// System-wide memory-management state: the physical memory, the async
-/// zero-fill pool, the cost model, and the statistics every experiment
-/// reads.
+/// zero-fill pool, the cost model, the event recorder and the statistics
+/// every experiment reads.
 #[derive(Debug, Clone)]
 pub struct MmContext {
     /// The machine's physical memory.
@@ -21,11 +22,15 @@ pub struct MmContext {
     pub stats: MmStats,
     /// Latency constants.
     pub cost: CostModel,
+    /// Event sink; [`ObsRecorder::Noop`] (free) unless tracing was
+    /// requested. Borrowable disjointly from `mem`/`stats`, so hot paths
+    /// can pass `&mut ctx.recorder` into `ctx.mem.allocate_rec(..)`.
+    pub recorder: ObsRecorder,
 }
 
 impl MmContext {
-    /// Wraps a physical memory with default cost model and an empty
-    /// zero-fill pool.
+    /// Wraps a physical memory with default cost model, an empty
+    /// zero-fill pool and the no-op recorder.
     #[must_use]
     pub fn new(mem: PhysicalMemory) -> MmContext {
         MmContext {
@@ -33,6 +38,7 @@ impl MmContext {
             zero_pool: ZeroFillPool::new(8),
             stats: MmStats::default(),
             cost: CostModel::default(),
+            recorder: ObsRecorder::default(),
         }
     }
 
@@ -40,6 +46,34 @@ impl MmContext {
     #[must_use]
     pub fn geometry(&self) -> PageGeometry {
         self.mem.geometry()
+    }
+
+    /// Reports one event: folds it into [`MmStats`] and forwards it to the
+    /// recorder. This is the single write path for every aggregate counter,
+    /// which is what makes a complete trace replay to the exact snapshot.
+    pub fn record(&mut self, event: Event) {
+        self.stats.apply(&event);
+        self.recorder.record(event);
+    }
+
+    /// Records a served fault ([`Event::Fault`] at the page-fault site).
+    pub fn record_fault(&mut self, size: PageSize, ns: u64) {
+        self.record(Event::Fault {
+            size,
+            site: AllocSite::PageFault,
+            ns,
+        });
+    }
+
+    /// Records a 1GB allocation attempt ([`Event::GiantAttempt`]).
+    pub fn record_giant_attempt(&mut self, site: AllocSite, failed: bool) {
+        self.record(Event::GiantAttempt { site, failed });
+    }
+
+    /// The versioned aggregate snapshot of this context's counters.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 }
 
@@ -149,6 +183,21 @@ mod tests {
             4 * geo.base_pages(PageSize::Giant),
         ));
         assert_eq!(ctx.geometry(), geo);
-        assert_eq!(ctx.stats.total_faults(), 0);
+        assert_eq!(ctx.snapshot().total_faults(), 0);
+    }
+
+    #[test]
+    fn record_updates_stats_and_recorder_in_lockstep() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            4 * geo.base_pages(PageSize::Giant),
+        ));
+        ctx.recorder = ObsRecorder::ring(16);
+        ctx.record_fault(PageSize::Huge, 250);
+        ctx.record_giant_attempt(AllocSite::PageFault, true);
+        let trace: Vec<Event> = ctx.recorder.tracer().unwrap().events().copied().collect();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(ctx.snapshot(), StatsSnapshot::from_events(trace.iter()));
     }
 }

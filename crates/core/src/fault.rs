@@ -76,15 +76,25 @@ pub fn map_chunk(
     };
     let (pfn, prepared) = match size {
         PageSize::Giant => {
-            match ctx
-                .zero_pool
-                .take_prepared(&mut ctx.mem, FrameUse::User, Some(owner))
-            {
+            match ctx.zero_pool.take_prepared_rec(
+                &mut ctx.mem,
+                FrameUse::User,
+                Some(owner),
+                &mut ctx.recorder,
+            ) {
                 Some(pfn) => (pfn, true),
-                None => (ctx.mem.allocate(size, FrameUse::User, Some(owner))?, false),
+                None => (
+                    ctx.mem
+                        .allocate_rec(size, FrameUse::User, Some(owner), &mut ctx.recorder)?,
+                    false,
+                ),
             }
         }
-        _ => (ctx.mem.allocate(size, FrameUse::User, Some(owner))?, false),
+        _ => (
+            ctx.mem
+                .allocate_rec(size, FrameUse::User, Some(owner), &mut ctx.recorder)?,
+            false,
+        ),
     };
     space
         .page_table_mut()

@@ -44,14 +44,19 @@ pub use baselines::ingens::IngensPolicy;
 pub use baselines::thp::ThpPolicy;
 pub use compaction::{CompactionKind, CompactionOutcome, Compactor};
 pub use context::{MmContext, SpaceSet};
-pub use cost::CostModel;
+pub use cost::{CostModel, CostModelBuilder};
 pub use fault::{map_chunk, touched_chunk, touched_chunk_reserved, FaultOutcome};
 pub use invariants::assert_mm_consistent;
 pub use policy::{PagePolicy, PolicyError, TickOutcome};
 pub use promote::{
     demote_chunk, promote_chunk, recover_bloat, PromoteError, PromoteOutcome, PromotedChunk,
-    Promoter, PromoterConfig, PromotionStyle,
+    Promoter, PromoterConfig, PromoterConfigBuilder, PromotionStyle,
 };
 pub use stats::{AllocSite, MmStats};
+// Observability vocabulary, re-exported so policy consumers need not
+// depend on `trident-obs` directly.
 pub use trident::{TridentConfig, TridentPolicy};
+pub use trident_obs::{
+    Event, NoopRecorder, ObsRecorder, Recorder, RingTracer, StatsSnapshot, SNAPSHOT_VERSION,
+};
 pub use zerofill::ZeroFillPool;

@@ -1,40 +1,17 @@
 //! The page-allocation policy interface.
 
-use core::fmt;
-use std::error::Error;
-
-use trident_phys::PhysMemError;
-use trident_types::Vpn;
+use trident_types::{TridentError, Vpn};
 use trident_vm::AddressSpace;
 
 use crate::{FaultOutcome, MmContext, SpaceSet};
 
 /// Errors a policy can raise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyError {
-    /// Not even a base page could be allocated.
-    OutOfMemory(PhysMemError),
-    /// The faulting address lies outside every VMA (a simulated SIGSEGV).
-    BadAddress(Vpn),
-}
-
-impl fmt::Display for PolicyError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PolicyError::OutOfMemory(e) => write!(f, "out of memory: {e}"),
-            PolicyError::BadAddress(vpn) => write!(f, "fault at unmapped address {vpn}"),
-        }
-    }
-}
-
-impl Error for PolicyError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            PolicyError::OutOfMemory(e) => Some(e),
-            PolicyError::BadAddress(_) => None,
-        }
-    }
-}
+///
+/// Alias of the unified [`TridentError`]: allocation failures
+/// (`OutOfContiguousMemory`) propagate from the physical layer with `?`
+/// instead of being re-wrapped, and a fault outside every VMA (a simulated
+/// SIGSEGV) is `BadAddress`.
+pub type PolicyError = TridentError;
 
 /// What one background-daemon tick accomplished.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,7 +49,8 @@ pub trait PagePolicy {
     /// # Errors
     ///
     /// [`PolicyError::BadAddress`] if `vpn` is outside every VMA;
-    /// [`PolicyError::OutOfMemory`] if no frame at all could be allocated.
+    /// [`PolicyError::OutOfContiguousMemory`] if no frame at all could be
+    /// allocated.
     fn on_fault(
         &mut self,
         ctx: &mut MmContext,
@@ -88,14 +66,16 @@ pub trait PagePolicy {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use std::error::Error;
+
     use trident_phys::AllocError;
+
+    use super::*;
 
     #[test]
     fn errors_display_and_chain() {
-        let e =
-            PolicyError::OutOfMemory(PhysMemError::OutOfContiguousMemory(AllocError { order: 0 }));
-        assert!(e.to_string().starts_with("out of memory"));
+        let e = PolicyError::OutOfContiguousMemory(AllocError { order: 0 });
+        assert!(e.to_string().contains("no contiguous free chunk"));
         assert!(e.source().is_some());
         let b = PolicyError::BadAddress(Vpn::new(66));
         assert!(b.to_string().contains("0x42"));

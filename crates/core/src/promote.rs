@@ -13,8 +13,9 @@ use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 
+use trident_obs::Event;
 use trident_phys::{FrameUse, MappingOwner};
-use trident_types::{AsId, PageSize, Vpn};
+use trident_types::{AsId, PageSize, TridentError, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
 
 use crate::{CompactionKind, Compactor, MmContext, SpaceSet, TickOutcome};
@@ -118,18 +119,28 @@ pub fn promote_chunk(
     let owner = MappingOwner { asid, vpn: head };
     let (dst, prepared) = match target {
         PageSize::Giant => {
-            match ctx
-                .zero_pool
-                .take_prepared(&mut ctx.mem, FrameUse::User, Some(owner))
-            {
+            match ctx.zero_pool.take_prepared_rec(
+                &mut ctx.mem,
+                FrameUse::User,
+                Some(owner),
+                &mut ctx.recorder,
+            ) {
                 Some(pfn) => (pfn, true),
-                None => match ctx.mem.allocate(target, FrameUse::User, Some(owner)) {
+                None => match ctx.mem.allocate_rec(
+                    target,
+                    FrameUse::User,
+                    Some(owner),
+                    &mut ctx.recorder,
+                ) {
                     Ok(pfn) => (pfn, false),
                     Err(_) => return Err(PromoteError::NoContiguity),
                 },
             }
         }
-        _ => match ctx.mem.allocate(target, FrameUse::User, Some(owner)) {
+        _ => match ctx
+            .mem
+            .allocate_rec(target, FrameUse::User, Some(owner), &mut ctx.recorder)
+        {
             Ok(pfn) => (pfn, false),
             Err(_) => return Err(PromoteError::NoContiguity),
         },
@@ -149,13 +160,15 @@ pub fn promote_chunk(
         .expect("span was emptied");
     let old_heads: Vec<_> = old.iter().map(|m| (m.pfn, m.size, m.vpn)).collect();
     for (pfn, size, vpn) in old_heads {
-        ctx.mem.free(pfn).unwrap_or_else(|e| {
-            panic!(
-                "old frame was live: {e}; leaf size {size} vpn {vpn} unit_at {:?} head_of {:?}",
-                ctx.mem.unit_at(pfn),
-                ctx.mem.frames().head_of(pfn),
-            )
-        });
+        ctx.mem
+            .free_rec(pfn, &mut ctx.recorder)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "old frame was live: {e}; leaf size {size} vpn {vpn} unit_at {:?} head_of {:?}",
+                    ctx.mem.unit_at(pfn),
+                    ctx.mem.frames().head_of(pfn),
+                )
+            });
     }
 
     // Cost accounting.
@@ -175,7 +188,13 @@ pub fn promote_chunk(
                 PromotionStyle::PvBatched => ctx.cost.pv_batched_exchange_ns(pairs),
                 _ => ctx.cost.pv_unbatched_exchange_ns(pairs),
             };
-            ctx.stats.pv_bytes_exchanged += huge_bytes;
+            if huge_bytes > 0 {
+                ctx.record(Event::PvExchange {
+                    pairs,
+                    bytes: huge_bytes,
+                    batched: style == PromotionStyle::PvBatched,
+                });
+            }
             (
                 small_bytes,
                 pairs,
@@ -192,9 +211,11 @@ pub fn promote_chunk(
     };
     let ns = move_ns + zero_ns + ctx.cost.tlb_shootdown_ns;
 
-    ctx.stats.promotions[target as usize] += 1;
-    ctx.stats.promotion_bytes_copied += copied;
-    ctx.stats.bloat_pages += profile.unmapped;
+    ctx.record(Event::Promote {
+        size: target,
+        bytes_copied: copied,
+        bloat_pages: profile.unmapped,
+    });
 
     Ok(PromoteOutcome {
         ns,
@@ -226,7 +247,9 @@ pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &Promoted
         .page_table_mut()
         .unmap(chunk.head)
         .expect("leaf exists");
-    ctx.mem.free(t.head_pfn).expect("frame was live");
+    ctx.mem
+        .free_rec(t.head_pfn, &mut ctx.recorder)
+        .expect("frame was live");
     // Re-back only the touched portion with base pages. (In the real
     // kernel this is an in-place split; the buddy model reallocates, which
     // is equivalent for accounting purposes.)
@@ -238,10 +261,12 @@ pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &Promoted
             asid: chunk.asid,
             vpn,
         };
-        let Ok(pfn) = ctx
-            .mem
-            .allocate(PageSize::Base, FrameUse::User, Some(owner))
-        else {
+        let Ok(pfn) = ctx.mem.allocate_rec(
+            PageSize::Base,
+            FrameUse::User,
+            Some(owner),
+            &mut ctx.recorder,
+        ) else {
             break;
         };
         space
@@ -251,8 +276,10 @@ pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &Promoted
         restored += 1;
     }
     let recovered = span - restored;
-    ctx.stats.demotions[chunk.size as usize] += 1;
-    ctx.stats.bloat_recovered_pages += chunk.bloat_pages.min(span);
+    ctx.record(Event::Demote {
+        size: chunk.size,
+        recovered_pages: chunk.bloat_pages.min(span),
+    });
     recovered
 }
 
@@ -300,6 +327,103 @@ impl PromoterConfig {
             chunk_budget: 16,
             order_by_access: false,
         }
+    }
+
+    /// A validating builder seeded from this configuration.
+    #[must_use]
+    pub fn builder(self) -> PromoterConfigBuilder {
+        PromoterConfigBuilder { config: self }
+    }
+}
+
+/// Validating builder for [`PromoterConfig`].
+///
+/// Seed it from one of the named presets and override what the experiment
+/// varies; [`build`](PromoterConfigBuilder::build) rejects configurations
+/// the daemon cannot run (zero chunk budget, no target page size at all).
+///
+/// # Examples
+///
+/// ```
+/// use trident_core::{PromoterConfig, PromotionStyle};
+///
+/// let config = PromoterConfig::trident()
+///     .builder()
+///     .style(PromotionStyle::PvBatched)
+///     .chunk_budget(8)
+///     .build()?;
+/// assert_eq!(config.chunk_budget, 8);
+/// assert!(PromoterConfig::trident().builder().chunk_budget(0).build().is_err());
+/// # Ok::<(), trident_types::TridentError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PromoterConfigBuilder {
+    config: PromoterConfig,
+}
+
+impl PromoterConfigBuilder {
+    /// Enables or disables 1GB promotion.
+    #[must_use]
+    pub fn use_giant(mut self, on: bool) -> Self {
+        self.config.use_giant = on;
+        self
+    }
+
+    /// Enables or disables 2MB promotion.
+    #[must_use]
+    pub fn use_huge(mut self, on: bool) -> Self {
+        self.config.use_huge = on;
+        self
+    }
+
+    /// Sets the compaction algorithm.
+    #[must_use]
+    pub fn compaction(mut self, kind: CompactionKind) -> Self {
+        self.config.compaction = kind;
+        self
+    }
+
+    /// Sets how promoted data reaches the new page.
+    #[must_use]
+    pub fn style(mut self, style: PromotionStyle) -> Self {
+        self.config.style = style;
+        self
+    }
+
+    /// Sets the per-tick promotion budget.
+    #[must_use]
+    pub fn chunk_budget(mut self, budget: usize) -> Self {
+        self.config.chunk_budget = budget;
+        self
+    }
+
+    /// Orders candidates by accessed-bit density (HawkEye).
+    #[must_use]
+    pub fn order_by_access(mut self, on: bool) -> Self {
+        self.config.order_by_access = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`TridentError::InvalidConfig`] when the chunk budget is zero or no
+    /// target page size is enabled.
+    pub fn build(self) -> Result<PromoterConfig, TridentError> {
+        if self.config.chunk_budget == 0 {
+            return Err(TridentError::InvalidConfig {
+                field: "chunk_budget",
+                reason: "must be nonzero (the daemon would never promote)",
+            });
+        }
+        if !self.config.use_giant && !self.config.use_huge {
+            return Err(TridentError::InvalidConfig {
+                field: "use_giant/use_huge",
+                reason: "at least one target page size must be enabled",
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -478,8 +602,7 @@ impl Promoter {
                     have = c.success;
                     giant_hopeless = !c.success;
                 }
-                ctx.stats
-                    .record_giant_attempt(crate::AllocSite::Promotion, !have);
+                ctx.record_giant_attempt(crate::AllocSite::Promotion, !have);
                 if have {
                     match promote_chunk(ctx, spaces, asid, head, PageSize::Giant, self.config.style)
                     {

@@ -3,20 +3,25 @@
 //! These counters are the raw material for the paper's Tables 3 and 4 and
 //! Figure 7: pages mapped by size and mechanism, 1GB allocation failures at
 //! fault versus promotion time, and bytes copied by compaction.
+//!
+//! Consumption goes through the versioned [`StatsSnapshot`] (from
+//! `trident-obs`): call [`MmStats::snapshot`] and use its accessors. The
+//! old per-field getters survive as deprecated shims. Production goes
+//! through [`MmContext::record`](crate::MmContext::record), which folds a
+//! typed [`Event`] into these counters *and* forwards it to the installed
+//! recorder, so a complete trace always replays to the exact snapshot.
 
+use trident_obs::{Event, StatsSnapshot};
 use trident_types::PageSize;
 
-/// Where a large-page allocation was attempted, for Table 4's breakdown of
-/// failure rates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AllocSite {
-    /// In the page-fault handler.
-    PageFault,
-    /// In the background promotion daemon.
-    Promotion,
-}
+pub use trident_obs::AllocSite;
 
 /// Counters accumulated by every policy.
+///
+/// Fields stay public for tests and merges, but the supported write path
+/// is [`MmStats::apply`] (usually via
+/// [`MmContext::record`](crate::MmContext::record)) and the supported read
+/// path is [`MmStats::snapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MmStats {
     /// Faults served, by page size.
@@ -58,6 +63,67 @@ pub struct MmStats {
 }
 
 impl MmStats {
+    /// Folds one event into the counters, mirroring
+    /// [`StatsSnapshot::apply`] exactly (the trace-replay property test in
+    /// `tests/` holds the two in lockstep). Trace-only events are ignored.
+    pub fn apply(&mut self, event: &Event) {
+        match *event {
+            Event::Fault { size, ns, .. } => self.record_fault(size, ns),
+            Event::GiantAttempt { site, failed } => self.record_giant_attempt(site, failed),
+            Event::Promote {
+                size,
+                bytes_copied,
+                bloat_pages,
+            } => {
+                self.promotions[size as usize] += 1;
+                self.promotion_bytes_copied += bytes_copied;
+                self.bloat_pages += bloat_pages;
+            }
+            Event::Demote {
+                size,
+                recovered_pages,
+            } => {
+                self.demotions[size as usize] += 1;
+                self.bloat_recovered_pages += recovered_pages;
+            }
+            Event::PvExchange { bytes, .. } => self.pv_bytes_exchanged += bytes,
+            Event::CompactionRun { succeeded, .. } => {
+                self.compaction_attempts += 1;
+                self.compaction_successes += u64::from(succeeded);
+            }
+            Event::CompactionMove { bytes } => self.compaction_bytes_copied += bytes,
+            Event::ZeroFill { blocks } => self.giant_blocks_prezeroed += blocks,
+            Event::DaemonTick { ns } => self.daemon_ns += ns,
+            Event::BuddySplit { .. } | Event::BuddyCoalesce { .. } | Event::TlbMiss { .. } => {}
+        }
+    }
+
+    /// The versioned aggregate snapshot — the consumption surface for
+    /// experiments, reports and governors.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            faults: self.faults,
+            fault_ns: self.fault_ns,
+            giant_attempts_fault: self.giant_attempts_fault,
+            giant_failures_fault: self.giant_failures_fault,
+            giant_attempts_promo: self.giant_attempts_promo,
+            giant_failures_promo: self.giant_failures_promo,
+            promotions: self.promotions,
+            demotions: self.demotions,
+            compaction_bytes_copied: self.compaction_bytes_copied,
+            promotion_bytes_copied: self.promotion_bytes_copied,
+            pv_bytes_exchanged: self.pv_bytes_exchanged,
+            compaction_attempts: self.compaction_attempts,
+            compaction_successes: self.compaction_successes,
+            daemon_ns: self.daemon_ns,
+            bloat_pages: self.bloat_pages,
+            bloat_recovered_pages: self.bloat_recovered_pages,
+            giant_blocks_prezeroed: self.giant_blocks_prezeroed,
+            ..StatsSnapshot::default()
+        }
+    }
+
     /// Records a fault outcome.
     pub fn record_fault(&mut self, size: PageSize, ns: u64) {
         self.faults[size as usize] += 1;
@@ -84,32 +150,31 @@ impl MmStats {
 
     /// 1GB allocation failure rate at `site`, or `None` if never attempted
     /// (the "NA" entries of Table 4).
+    #[deprecated(since = "0.1.0", note = "use `snapshot().giant_failure_rate(site)`")]
     #[must_use]
     pub fn giant_failure_rate(&self, site: AllocSite) -> Option<f64> {
-        let (attempts, failures) = match site {
-            AllocSite::PageFault => (self.giant_attempts_fault, self.giant_failures_fault),
-            AllocSite::Promotion => (self.giant_attempts_promo, self.giant_failures_promo),
-        };
-        (attempts > 0).then(|| failures as f64 / attempts as f64)
+        self.snapshot().giant_failure_rate(site)
     }
 
     /// Total faults across sizes.
+    #[deprecated(since = "0.1.0", note = "use `snapshot().total_faults()`")]
     #[must_use]
     pub fn total_faults(&self) -> u64 {
-        self.faults.iter().sum()
+        self.snapshot().total_faults()
     }
 
     /// Total fault-handling time.
+    #[deprecated(since = "0.1.0", note = "use `snapshot().total_fault_ns()`")]
     #[must_use]
     pub fn total_fault_ns(&self) -> u64 {
-        self.fault_ns.iter().sum()
+        self.snapshot().total_fault_ns()
     }
 
     /// Mean 1GB fault latency in nanoseconds, if any 1GB faults occurred.
+    #[deprecated(since = "0.1.0", note = "use `snapshot().mean_giant_fault_ns()`")]
     #[must_use]
     pub fn mean_giant_fault_ns(&self) -> Option<u64> {
-        let n = self.faults[PageSize::Giant as usize];
-        (n > 0).then(|| self.fault_ns[PageSize::Giant as usize] / n)
+        self.snapshot().mean_giant_fault_ns()
     }
 }
 
@@ -123,15 +188,16 @@ mod tests {
         s.record_fault(PageSize::Giant, 400);
         s.record_fault(PageSize::Giant, 200);
         s.record_fault(PageSize::Base, 1);
-        assert_eq!(s.total_faults(), 3);
-        assert_eq!(s.total_fault_ns(), 601);
-        assert_eq!(s.mean_giant_fault_ns(), Some(300));
+        let snap = s.snapshot();
+        assert_eq!(snap.total_faults(), 3);
+        assert_eq!(snap.total_fault_ns(), 601);
+        assert_eq!(snap.mean_giant_fault_ns(), Some(300));
     }
 
     #[test]
     fn failure_rate_is_na_without_attempts() {
         let s = MmStats::default();
-        assert_eq!(s.giant_failure_rate(AllocSite::PageFault), None);
+        assert_eq!(s.snapshot().giant_failure_rate(AllocSite::PageFault), None);
     }
 
     #[test]
@@ -140,7 +206,65 @@ mod tests {
         s.record_giant_attempt(AllocSite::PageFault, true);
         s.record_giant_attempt(AllocSite::PageFault, false);
         s.record_giant_attempt(AllocSite::Promotion, false);
-        assert_eq!(s.giant_failure_rate(AllocSite::PageFault), Some(0.5));
-        assert_eq!(s.giant_failure_rate(AllocSite::Promotion), Some(0.0));
+        let snap = s.snapshot();
+        assert_eq!(snap.giant_failure_rate(AllocSite::PageFault), Some(0.5));
+        assert_eq!(snap.giant_failure_rate(AllocSite::Promotion), Some(0.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_snapshot() {
+        let mut s = MmStats::default();
+        s.record_fault(PageSize::Giant, 100);
+        s.record_giant_attempt(AllocSite::Promotion, true);
+        assert_eq!(s.total_faults(), s.snapshot().total_faults());
+        assert_eq!(s.total_fault_ns(), s.snapshot().total_fault_ns());
+        assert_eq!(s.mean_giant_fault_ns(), s.snapshot().mean_giant_fault_ns());
+        assert_eq!(
+            s.giant_failure_rate(AllocSite::Promotion),
+            s.snapshot().giant_failure_rate(AllocSite::Promotion)
+        );
+    }
+
+    #[test]
+    fn apply_mirrors_snapshot_apply() {
+        use trident_obs::StatsSnapshot;
+        let events = [
+            Event::Fault {
+                size: PageSize::Huge,
+                site: AllocSite::PageFault,
+                ns: 40,
+            },
+            Event::Promote {
+                size: PageSize::Huge,
+                bytes_copied: 64,
+                bloat_pages: 2,
+            },
+            Event::Demote {
+                size: PageSize::Huge,
+                recovered_pages: 2,
+            },
+            Event::CompactionRun {
+                smart: false,
+                succeeded: true,
+            },
+            Event::CompactionMove { bytes: 4096 },
+            Event::PvExchange {
+                pairs: 8,
+                bytes: 1024,
+                batched: true,
+            },
+            Event::ZeroFill { blocks: 1 },
+            Event::DaemonTick { ns: 9 },
+            Event::TlbMiss {
+                size: PageSize::Base,
+                walk_cycles: 30,
+            },
+        ];
+        let mut stats = MmStats::default();
+        for ev in &events {
+            stats.apply(ev);
+        }
+        assert_eq!(stats.snapshot(), StatsSnapshot::from_events(events.iter()));
     }
 }

@@ -1,6 +1,7 @@
 //! The Trident policy (§5): transparent dynamic allocation of all page
 //! sizes.
 
+use trident_obs::Event;
 use trident_types::{PageSize, Vpn};
 use trident_vm::AddressSpace;
 
@@ -177,11 +178,11 @@ impl PagePolicy for TridentPolicy {
         if let Some(head) = touched_chunk(space, vpn, PageSize::Giant) {
             match map_chunk(ctx, space, head, PageSize::Giant) {
                 Ok((_, prepared)) => {
-                    ctx.stats.record_giant_attempt(AllocSite::PageFault, false);
+                    ctx.record_giant_attempt(AllocSite::PageFault, false);
                     let latency = ctx
                         .cost
                         .fault_ns(&ctx.geometry(), PageSize::Giant, prepared);
-                    ctx.stats.record_fault(PageSize::Giant, latency);
+                    ctx.record_fault(PageSize::Giant, latency);
                     return Ok(FaultOutcome {
                         size: PageSize::Giant,
                         latency_ns: latency,
@@ -189,7 +190,7 @@ impl PagePolicy for TridentPolicy {
                     });
                 }
                 Err(_) => {
-                    ctx.stats.record_giant_attempt(AllocSite::PageFault, true);
+                    ctx.record_giant_attempt(AllocSite::PageFault, true);
                 }
             }
         }
@@ -197,7 +198,7 @@ impl PagePolicy for TridentPolicy {
             if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
                 if map_chunk(ctx, space, head, PageSize::Huge).is_ok() {
                     let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                    ctx.stats.record_fault(PageSize::Huge, latency);
+                    ctx.record_fault(PageSize::Huge, latency);
                     return Ok(FaultOutcome {
                         size: PageSize::Huge,
                         latency_ns: latency,
@@ -206,9 +207,9 @@ impl PagePolicy for TridentPolicy {
                 }
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base).map_err(PolicyError::OutOfMemory)?;
+        map_chunk(ctx, space, vpn, PageSize::Base)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.stats.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::Base, latency);
         Ok(FaultOutcome {
             size: PageSize::Base,
             latency_ns: latency,
@@ -224,7 +225,9 @@ impl PagePolicy for TridentPolicy {
         let (zero_ns, zeroed) = ctx
             .zero_pool
             .tick(&ctx.mem, &cost, self.config.zero_block_budget);
-        ctx.stats.giant_blocks_prezeroed += zeroed;
+        if zeroed > 0 {
+            ctx.record(Event::ZeroFill { blocks: zeroed });
+        }
         out.daemon_ns += zero_ns;
 
         let (tick, promoted) = self.promoter.tick(ctx, spaces);
@@ -250,7 +253,7 @@ impl PagePolicy for TridentPolicy {
                 PRESSURE_WATERMARK,
             ));
         }
-        ctx.stats.daemon_ns += out.daemon_ns;
+        ctx.record(Event::DaemonTick { ns: out.daemon_ns });
         out
     }
 }

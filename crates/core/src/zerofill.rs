@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use trident_obs::{NoopRecorder, Recorder};
 use trident_phys::{FrameUse, MappingOwner, PhysicalMemory};
 use trident_types::{PageSize, Pfn};
 
@@ -71,6 +72,18 @@ impl ZeroFillPool {
         use_: FrameUse,
         owner: Option<MappingOwner>,
     ) -> Option<Pfn> {
+        self.take_prepared_rec(mem, use_, owner, &mut NoopRecorder)
+    }
+
+    /// [`take_prepared`](Self::take_prepared), reporting buddy events of
+    /// the underlying allocation to `rec`.
+    pub fn take_prepared_rec<R: Recorder>(
+        &mut self,
+        mem: &mut PhysicalMemory,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+        rec: &mut R,
+    ) -> Option<Pfn> {
         let geo = mem.geometry();
         let order = geo.order(PageSize::Giant);
         while let Some(start) = self.prepared.pop_first() {
@@ -79,7 +92,7 @@ impl ZeroFillPool {
             }
             let region = geo.giant_region_of(start);
             let head = mem
-                .allocate_in_region(region, order, use_, owner)
+                .allocate_in_region_rec(region, order, use_, owner, rec)
                 .expect("validated free giant block is allocatable");
             debug_assert_eq!(head.raw(), start);
             return Some(head);

@@ -1,0 +1,470 @@
+//! The typed event vocabulary and its JSONL wire format.
+
+use core::fmt;
+use std::error::Error;
+
+use trident_types::PageSize;
+
+/// Where a large-page allocation was attempted, for Table 4's breakdown of
+/// failure rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocSite {
+    /// In the page-fault handler.
+    PageFault,
+    /// In the background promotion daemon.
+    Promotion,
+}
+
+impl AllocSite {
+    fn as_str(self) -> &'static str {
+        match self {
+            AllocSite::PageFault => "page_fault",
+            AllocSite::Promotion => "promotion",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<AllocSite> {
+        match s {
+            "page_fault" => Some(AllocSite::PageFault),
+            "promotion" => Some(AllocSite::Promotion),
+            _ => None,
+        }
+    }
+}
+
+fn size_str(size: PageSize) -> &'static str {
+    match size {
+        PageSize::Base => "base",
+        PageSize::Huge => "huge",
+        PageSize::Giant => "giant",
+    }
+}
+
+fn size_from_str(s: &str) -> Option<PageSize> {
+    match s {
+        "base" => Some(PageSize::Base),
+        "huge" => Some(PageSize::Huge),
+        "giant" => Some(PageSize::Giant),
+        _ => None,
+    }
+}
+
+/// One observable memory-management action.
+///
+/// Snapshot-bearing events (faults, promotions, compaction, …) contribute
+/// to [`StatsSnapshot`](crate::StatsSnapshot); trace-only events (buddy
+/// churn, TLB misses) appear in traces but carry no aggregate counter —
+/// see [`Event::is_snapshot_bearing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A page fault was served.
+    Fault {
+        /// Page size that was mapped.
+        size: PageSize,
+        /// Which path served it.
+        site: AllocSite,
+        /// Modeled handler latency.
+        ns: u64,
+    },
+    /// A 1GB allocation was attempted.
+    GiantAttempt {
+        /// Fault-time or promotion-time attempt.
+        site: AllocSite,
+        /// Whether it failed for lack of contiguity.
+        failed: bool,
+    },
+    /// A chunk was promoted to a larger page size.
+    Promote {
+        /// The target page size.
+        size: PageSize,
+        /// Bytes physically copied (zero for pure mapping exchanges).
+        bytes_copied: u64,
+        /// Base pages newly mapped beyond what the app ever touched.
+        bloat_pages: u64,
+    },
+    /// A large mapping was demoted back to base pages.
+    Demote {
+        /// The source page size.
+        size: PageSize,
+        /// Bloat pages recovered by the demotion.
+        recovered_pages: u64,
+    },
+    /// A Trident_pv batched mapping exchange with the hypervisor.
+    PvExchange {
+        /// Number of 2MB mappings exchanged.
+        pairs: u64,
+        /// Bytes whose copy the exchange elided.
+        bytes: u64,
+        /// Whether the pairs went through one batched hypercall.
+        batched: bool,
+    },
+    /// A compaction pass ran.
+    CompactionRun {
+        /// Smart (skip-unmovable) or normal compaction.
+        smart: bool,
+        /// Whether it produced the requested free chunk.
+        succeeded: bool,
+    },
+    /// Compaction migrated one allocation unit.
+    CompactionMove {
+        /// Bytes copied by the migration.
+        bytes: u64,
+    },
+    /// The background pool pre-zeroed giant blocks.
+    ZeroFill {
+        /// Number of 1GB blocks zeroed.
+        blocks: u64,
+    },
+    /// One background-daemon tick finished.
+    DaemonTick {
+        /// Modeled daemon CPU time for the tick.
+        ns: u64,
+    },
+    /// The buddy allocator split a free block (trace-only).
+    BuddySplit {
+        /// Order of the block that was split.
+        from_order: u8,
+        /// Order the allocation actually wanted.
+        to_order: u8,
+    },
+    /// The buddy allocator merged two buddies (trace-only).
+    BuddyCoalesce {
+        /// Order of the freed block before merging.
+        from_order: u8,
+        /// Order of the merged block.
+        to_order: u8,
+    },
+    /// A TLB miss walked the page table (trace-only).
+    TlbMiss {
+        /// Page size of the translation.
+        size: PageSize,
+        /// Modeled walk latency in cycles.
+        walk_cycles: u64,
+    },
+}
+
+impl Event {
+    /// Whether the event contributes to [`StatsSnapshot`](crate::StatsSnapshot)
+    /// counters. Trace-only events (buddy churn, TLB misses) return `false`.
+    #[must_use]
+    pub fn is_snapshot_bearing(&self) -> bool {
+        !matches!(
+            self,
+            Event::BuddySplit { .. } | Event::BuddyCoalesce { .. } | Event::TlbMiss { .. }
+        )
+    }
+
+    /// Stable lowercase tag identifying the event kind on the wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Fault { .. } => "fault",
+            Event::GiantAttempt { .. } => "giant_attempt",
+            Event::Promote { .. } => "promote",
+            Event::Demote { .. } => "demote",
+            Event::PvExchange { .. } => "pv_exchange",
+            Event::CompactionRun { .. } => "compaction_run",
+            Event::CompactionMove { .. } => "compaction_move",
+            Event::ZeroFill { .. } => "zero_fill",
+            Event::DaemonTick { .. } => "daemon_tick",
+            Event::BuddySplit { .. } => "buddy_split",
+            Event::BuddyCoalesce { .. } => "buddy_coalesce",
+            Event::TlbMiss { .. } => "tlb_miss",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// The schema is versioned by the `"v"` field; see
+    /// [`SNAPSHOT_VERSION`](crate::SNAPSHOT_VERSION).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let v = crate::SNAPSHOT_VERSION;
+        let k = self.kind();
+        match *self {
+            Event::Fault { size, site, ns } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\",\"site\":\"{}\",\"ns\":{ns}}}",
+                size_str(size),
+                site.as_str()
+            ),
+            Event::GiantAttempt { site, failed } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"site\":\"{}\",\"failed\":{failed}}}",
+                site.as_str()
+            ),
+            Event::Promote {
+                size,
+                bytes_copied,
+                bloat_pages,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\",\"bytes_copied\":{bytes_copied},\"bloat_pages\":{bloat_pages}}}",
+                size_str(size)
+            ),
+            Event::Demote {
+                size,
+                recovered_pages,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\",\"recovered_pages\":{recovered_pages}}}",
+                size_str(size)
+            ),
+            Event::PvExchange {
+                pairs,
+                bytes,
+                batched,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"pairs\":{pairs},\"bytes\":{bytes},\"batched\":{batched}}}"
+            ),
+            Event::CompactionRun { smart, succeeded } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"smart\":{smart},\"succeeded\":{succeeded}}}"
+            ),
+            Event::CompactionMove { bytes } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"bytes\":{bytes}}}")
+            }
+            Event::ZeroFill { blocks } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"blocks\":{blocks}}}")
+            }
+            Event::DaemonTick { ns } => format!("{{\"v\":{v},\"ev\":\"{k}\",\"ns\":{ns}}}"),
+            Event::BuddySplit {
+                from_order,
+                to_order,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"from_order\":{from_order},\"to_order\":{to_order}}}"
+            ),
+            Event::BuddyCoalesce {
+                from_order,
+                to_order,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"from_order\":{from_order},\"to_order\":{to_order}}}"
+            ),
+            Event::TlbMiss { size, walk_cycles } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\",\"walk_cycles\":{walk_cycles}}}",
+                size_str(size)
+            ),
+        }
+    }
+
+    /// Parses one JSONL line back into an event.
+    ///
+    /// Accepts exactly the output of [`Event::to_jsonl`] (field order is
+    /// not significant; unknown fields are ignored).
+    pub fn parse_jsonl(line: &str) -> Result<Event, ParseError> {
+        let err = |reason: &str| ParseError {
+            line: line.to_owned(),
+            reason: reason.to_owned(),
+        };
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(err("not a JSON object"));
+        }
+        let v = field_u64(line, "v").ok_or_else(|| err("missing \"v\""))?;
+        if v != u64::from(crate::SNAPSHOT_VERSION) {
+            return Err(err("unsupported schema version"));
+        }
+        let kind = field_str(line, "ev").ok_or_else(|| err("missing \"ev\""))?;
+        let size = || {
+            field_str(line, "size")
+                .and_then(size_from_str)
+                .ok_or_else(|| err("bad \"size\""))
+        };
+        let site = || {
+            field_str(line, "site")
+                .and_then(AllocSite::from_str)
+                .ok_or_else(|| err("bad \"site\""))
+        };
+        let num = |key: &str| field_u64(line, key).ok_or_else(|| err("missing numeric field"));
+        let flag = |key: &str| field_bool(line, key).ok_or_else(|| err("missing boolean field"));
+        match kind {
+            "fault" => Ok(Event::Fault {
+                size: size()?,
+                site: site()?,
+                ns: num("ns")?,
+            }),
+            "giant_attempt" => Ok(Event::GiantAttempt {
+                site: site()?,
+                failed: flag("failed")?,
+            }),
+            "promote" => Ok(Event::Promote {
+                size: size()?,
+                bytes_copied: num("bytes_copied")?,
+                bloat_pages: num("bloat_pages")?,
+            }),
+            "demote" => Ok(Event::Demote {
+                size: size()?,
+                recovered_pages: num("recovered_pages")?,
+            }),
+            "pv_exchange" => Ok(Event::PvExchange {
+                pairs: num("pairs")?,
+                bytes: num("bytes")?,
+                batched: flag("batched")?,
+            }),
+            "compaction_run" => Ok(Event::CompactionRun {
+                smart: flag("smart")?,
+                succeeded: flag("succeeded")?,
+            }),
+            "compaction_move" => Ok(Event::CompactionMove {
+                bytes: num("bytes")?,
+            }),
+            "zero_fill" => Ok(Event::ZeroFill {
+                blocks: num("blocks")?,
+            }),
+            "daemon_tick" => Ok(Event::DaemonTick { ns: num("ns")? }),
+            "buddy_split" => Ok(Event::BuddySplit {
+                from_order: num("from_order")? as u8,
+                to_order: num("to_order")? as u8,
+            }),
+            "buddy_coalesce" => Ok(Event::BuddyCoalesce {
+                from_order: num("from_order")? as u8,
+                to_order: num("to_order")? as u8,
+            }),
+            "tlb_miss" => Ok(Event::TlbMiss {
+                size: size()?,
+                walk_cycles: num("walk_cycles")?,
+            }),
+            _ => Err(err("unknown event kind")),
+        }
+    }
+}
+
+/// A JSONL line that could not be parsed back into an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The offending line.
+    pub line: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad trace line ({}): {}", self.reason, self.line)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Extracts the raw text after `"key":`, up to the next `,` or `}`.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|(i, c)| {
+            if rest[..*i].starts_with('"') {
+                // String value: ends at the closing quote (no escapes in
+                // our vocabulary).
+                *c == '"' && *i > 0
+            } else {
+                *c == ',' || *c == '}'
+            }
+        })
+        .map(|(i, c)| if c == '"' { i + 1 } else { i })?;
+    Some(rest[..end].trim())
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let raw = field_raw(line, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    match field_raw(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::Fault {
+                size: PageSize::Giant,
+                site: AllocSite::PageFault,
+                ns: 123_456,
+            },
+            Event::GiantAttempt {
+                site: AllocSite::Promotion,
+                failed: true,
+            },
+            Event::Promote {
+                size: PageSize::Huge,
+                bytes_copied: 2 * 1024 * 1024,
+                bloat_pages: 7,
+            },
+            Event::Demote {
+                size: PageSize::Giant,
+                recovered_pages: 11,
+            },
+            Event::PvExchange {
+                pairs: 512,
+                bytes: 1 << 30,
+                batched: true,
+            },
+            Event::CompactionRun {
+                smart: true,
+                succeeded: false,
+            },
+            Event::CompactionMove { bytes: 4096 },
+            Event::ZeroFill { blocks: 3 },
+            Event::DaemonTick { ns: 987 },
+            Event::BuddySplit {
+                from_order: 18,
+                to_order: 9,
+            },
+            Event::BuddyCoalesce {
+                from_order: 9,
+                to_order: 10,
+            },
+            Event::TlbMiss {
+                size: PageSize::Base,
+                walk_cycles: 40,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        for ev in all_events() {
+            let line = ev.to_jsonl();
+            assert_eq!(Event::parse_jsonl(&line), Ok(ev), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_version_skew() {
+        assert!(Event::parse_jsonl("not json").is_err());
+        assert!(Event::parse_jsonl("{\"v\":1}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":999,\"ev\":\"fault\"}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"warp_drive\"}").is_err());
+    }
+
+    #[test]
+    fn snapshot_bearing_excludes_trace_only_kinds() {
+        let bearing: Vec<&str> = all_events()
+            .iter()
+            .filter(|e| !e.is_snapshot_bearing())
+            .map(Event::kind)
+            .collect();
+        assert_eq!(bearing, ["buddy_split", "buddy_coalesce", "tlb_miss"]);
+    }
+
+    #[test]
+    fn field_order_is_not_significant() {
+        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":1}";
+        assert_eq!(
+            Event::parse_jsonl(line),
+            Ok(Event::Fault {
+                size: PageSize::Base,
+                site: AllocSite::PageFault,
+                ns: 5
+            })
+        );
+    }
+}

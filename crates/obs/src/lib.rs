@@ -1,0 +1,54 @@
+//! Observability spine for the Trident memory-management simulator.
+//!
+//! Every interesting thing the simulated memory manager does — buddy
+//! splits and coalesces, page faults by size, promotions, demotions,
+//! compaction moves, paravirtual mapping exchanges, TLB misses — is a
+//! typed [`Event`]. Components report events through the [`Recorder`]
+//! trait; the two shipped implementations are:
+//!
+//! - [`NoopRecorder`]: the default. Its `record` is an empty inlined
+//!   function, so instrumented hot paths cost nothing when tracing is off.
+//! - [`RingTracer`]: a bounded ring buffer that retains the most recent
+//!   events and exports them as JSONL (one event per line) for offline
+//!   analysis; see [`Event::to_jsonl`] / [`Event::parse_jsonl`].
+//!
+//! Aggregate counters live in the versioned [`StatsSnapshot`], which can
+//! be produced two ways that are guaranteed to agree: from the live
+//! counters a policy maintains while running, or by replaying a recorded
+//! trace with [`StatsSnapshot::from_events`]. Events that carry no
+//! snapshot counter (buddy churn, TLB misses) are trace-only; see
+//! [`Event::is_snapshot_bearing`].
+//!
+//! # Examples
+//!
+//! ```
+//! use trident_obs::{Event, Recorder, RingTracer, StatsSnapshot};
+//! use trident_types::PageSize;
+//!
+//! let mut tracer = RingTracer::new(1024);
+//! tracer.record(Event::Fault {
+//!     size: PageSize::Huge,
+//!     site: trident_obs::AllocSite::PageFault,
+//!     ns: 1800,
+//! });
+//! let jsonl = tracer.to_jsonl();
+//! let replayed: Vec<Event> = jsonl
+//!     .lines()
+//!     .map(|l| Event::parse_jsonl(l).unwrap())
+//!     .collect();
+//! let snap = StatsSnapshot::from_events(replayed.iter());
+//! assert_eq!(snap.faults[PageSize::Huge as usize], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use event::{AllocSite, Event, ParseError};
+pub use metrics::{Counter, Histogram};
+pub use recorder::{NoopRecorder, ObsRecorder, Recorder, RingTracer};
+pub use snapshot::{StatsSnapshot, SNAPSHOT_VERSION};

@@ -1,0 +1,185 @@
+//! Minimal metric primitives: a monotonic counter and a power-of-two
+//! bucketed histogram.
+//!
+//! These are plain values, not registries: components that want a derived
+//! metric build it from events (see
+//! [`RingTracer::fault_latency_histogram`](crate::RingTracer::fault_latency_histogram))
+//! or keep one as a field. No atomics — the simulator's parallelism is
+//! across independent experiment cells, never within one.
+
+use core::fmt;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Number of power-of-two buckets: values up to `2^63` land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A histogram with power-of-two buckets.
+///
+/// Value `v` lands in bucket `⌊log2(v)⌋ + 1` (zero in bucket 0), so bucket
+/// `i > 0` spans `[2^(i-1), 2^i)`. Good enough to eyeball latency
+/// distributions without per-sample storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = match value {
+            0 => 0,
+            v => (63 - v.leading_zeros() as usize) + 1,
+        };
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, if any were recorded.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest sample, if any were recorded.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `(bucket_upper_bound_exclusive, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let upper = if i == 0 { 1 } else { 1u64 << i.min(63) };
+                (upper, *c)
+            })
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            None => write!(f, "empty"),
+            Some(mean) => {
+                write!(
+                    f,
+                    "n={} mean={mean:.1} min={} max={}",
+                    self.count, self.min, self.max
+                )?;
+                for (upper, count) in self.nonzero_buckets() {
+                    write!(f, " <{upper}:{count}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1034);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 -> <1; 1 -> <2; 2,3 -> <4; 4 -> <8; 1024 -> <2048.
+        assert_eq!(buckets, [(1, 1), (2, 1), (4, 2), (8, 1), (2048, 1)]);
+    }
+
+    #[test]
+    fn histogram_display_is_compact() {
+        let mut h = Histogram::new();
+        assert_eq!(h.to_string(), "empty");
+        h.record(7);
+        assert!(h.to_string().contains("n=1"));
+    }
+}

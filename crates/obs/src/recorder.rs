@@ -1,0 +1,278 @@
+//! The recorder trait, the zero-cost no-op recorder and the ring tracer.
+
+use std::collections::VecDeque;
+
+use crate::{Event, Histogram};
+
+/// A sink for [`Event`]s.
+///
+/// Instrumented components take `&mut impl Recorder` (or `&mut dyn
+/// Recorder`) and report every observable action through it. Callers that
+/// do not care pass [`NoopRecorder`], whose `record` is an empty `#[inline]`
+/// function — the compiler erases the call, so the instrumented hot path
+/// costs nothing when tracing is off.
+pub trait Recorder {
+    /// Whether events are retained. Instrumentation may skip *computing*
+    /// expensive event payloads when this is `false`; cheap events should
+    /// be reported unconditionally.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Reports one event.
+    fn record(&mut self, event: Event);
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// The recorder that discards everything, at zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A bounded ring buffer of the most recent events.
+///
+/// When full, the oldest event is evicted and counted in
+/// [`dropped`](RingTracer::dropped); a trace with `dropped() == 0` is
+/// complete and replays to the exact live snapshot (see
+/// [`StatsSnapshot::from_events`](crate::StatsSnapshot::from_events)).
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Creates a tracer retaining at most `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingTracer {
+        let capacity = capacity.max(1);
+        RingTracer {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Removes and returns the retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Serializes the retained events as JSONL, one event per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Histogram of fault latencies (power-of-two ns buckets) over the
+    /// retained events.
+    #[must_use]
+    pub fn fault_latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for ev in &self.events {
+            if let Event::Fault { ns, .. } = ev {
+                h.record(*ns);
+            }
+        }
+        h
+    }
+
+    /// Count of retained events per translation page size, for quick TLB
+    /// trace inspection.
+    #[must_use]
+    pub fn tlb_miss_counts(&self) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for ev in &self.events {
+            if let Event::TlbMiss { size, .. } = ev {
+                counts[*size as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl Recorder for RingTracer {
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The concrete recorder stored inside simulation contexts.
+///
+/// `MmContext` derives `Clone` and `Debug`, so it cannot hold a
+/// `Box<dyn Recorder>`; this enum dispatches between the two shipped
+/// recorders while staying cloneable. The no-op arm is a single match on
+/// a fieldless variant, which the optimizer folds away.
+#[derive(Debug, Clone, Default)]
+pub enum ObsRecorder {
+    /// Discard everything (the default).
+    #[default]
+    Noop,
+    /// Retain events in a bounded ring.
+    Ring(RingTracer),
+}
+
+impl ObsRecorder {
+    /// A ring-buffer recorder with the given capacity.
+    #[must_use]
+    pub fn ring(capacity: usize) -> ObsRecorder {
+        ObsRecorder::Ring(RingTracer::new(capacity))
+    }
+
+    /// The underlying tracer, if tracing is on.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&RingTracer> {
+        match self {
+            ObsRecorder::Noop => None,
+            ObsRecorder::Ring(t) => Some(t),
+        }
+    }
+
+    /// Mutable access to the underlying tracer, if tracing is on.
+    pub fn tracer_mut(&mut self) -> Option<&mut RingTracer> {
+        match self {
+            ObsRecorder::Noop => None,
+            ObsRecorder::Ring(t) => Some(t),
+        }
+    }
+}
+
+impl Recorder for ObsRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        match self {
+            ObsRecorder::Noop => false,
+            ObsRecorder::Ring(_) => true,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        match self {
+            ObsRecorder::Noop => {}
+            ObsRecorder::Ring(t) => t.record(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocSite;
+    use trident_types::PageSize;
+
+    fn fault(ns: u64) -> Event {
+        Event::Fault {
+            size: PageSize::Base,
+            site: AllocSite::PageFault,
+            ns,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = RingTracer::new(3);
+        for ns in 0..5 {
+            t.record(fault(ns));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let retained: Vec<u64> = t
+            .events()
+            .map(|e| match e {
+                Event::Fault { ns, .. } => *ns,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(retained, [2, 3, 4]);
+    }
+
+    #[test]
+    fn noop_recorder_reports_disabled() {
+        let mut n = NoopRecorder;
+        assert!(!n.enabled());
+        n.record(fault(1));
+        let mut o = ObsRecorder::default();
+        assert!(!o.enabled());
+        o.record(fault(1));
+        assert!(o.tracer().is_none());
+    }
+
+    #[test]
+    fn obs_recorder_ring_retains_and_drains() {
+        let mut o = ObsRecorder::ring(8);
+        assert!(o.enabled());
+        o.record(fault(7));
+        o.record(Event::TlbMiss {
+            size: PageSize::Huge,
+            walk_cycles: 20,
+        });
+        let tracer = o.tracer().expect("tracing on");
+        assert_eq!(tracer.len(), 2);
+        assert_eq!(tracer.tlb_miss_counts(), [0, 1, 0]);
+        assert_eq!(tracer.fault_latency_histogram().count(), 1);
+        let drained = o.tracer_mut().expect("tracing on").drain();
+        assert_eq!(drained.len(), 2);
+        assert!(o.tracer().expect("still on").is_empty());
+    }
+
+    #[test]
+    fn jsonl_export_parses_back() {
+        let mut t = RingTracer::new(16);
+        t.record(fault(3));
+        t.record(Event::ZeroFill { blocks: 1 });
+        let parsed: Result<Vec<Event>, _> = t.to_jsonl().lines().map(Event::parse_jsonl).collect();
+        assert_eq!(parsed.unwrap(), t.drain());
+    }
+}

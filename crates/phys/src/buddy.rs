@@ -9,6 +9,8 @@
 use std::collections::BTreeSet;
 use std::ops::Range;
 
+use trident_obs::{Event, NoopRecorder, Recorder};
+
 use crate::AllocError;
 
 /// A binary buddy allocator over base-page frame numbers.
@@ -124,6 +126,20 @@ impl BuddyAllocator {
     ///
     /// Panics if `order > max_order`.
     pub fn alloc(&mut self, order: u8) -> Result<u64, AllocError> {
+        self.alloc_rec(order, &mut NoopRecorder)
+    }
+
+    /// [`alloc`](Self::alloc), reporting a [`Event::BuddySplit`] to `rec`
+    /// when the allocation had to split a larger free block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if no free block of at least `order` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > max_order`.
+    pub fn alloc_rec<R: Recorder>(&mut self, order: u8, rec: &mut R) -> Result<u64, AllocError> {
         assert!(order <= self.max_order, "order exceeds max_order");
         let found = (order..=self.max_order)
             .find(|o| !self.free_lists[usize::from(*o)].is_empty())
@@ -134,6 +150,12 @@ impl BuddyAllocator {
             .expect("non-empty list");
         self.free_lists[usize::from(found)].remove(&start);
         self.split_down(start, found, order);
+        if found > order {
+            rec.record(Event::BuddySplit {
+                from_order: found,
+                to_order: order,
+            });
+        }
         self.free_pages -= 1 << order;
         Ok(start)
     }
@@ -152,6 +174,25 @@ impl BuddyAllocator {
     ///
     /// Panics if `order > max_order`.
     pub fn alloc_in_range(&mut self, order: u8, range: Range<u64>) -> Result<u64, AllocError> {
+        self.alloc_in_range_rec(order, range, &mut NoopRecorder)
+    }
+
+    /// [`alloc_in_range`](Self::alloc_in_range), reporting a
+    /// [`Event::BuddySplit`] to `rec` when a larger block was split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if no suitably-placed block exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > max_order`.
+    pub fn alloc_in_range_rec<R: Recorder>(
+        &mut self,
+        order: u8,
+        range: Range<u64>,
+        rec: &mut R,
+    ) -> Result<u64, AllocError> {
         assert!(order <= self.max_order, "order exceeds max_order");
         for o in order..=self.max_order {
             let candidate = self.free_lists[usize::from(o)]
@@ -161,6 +202,12 @@ impl BuddyAllocator {
             if let Some(start) = candidate {
                 self.free_lists[usize::from(o)].remove(&start);
                 self.split_down(start, o, order);
+                if o > order {
+                    rec.record(Event::BuddySplit {
+                        from_order: o,
+                        to_order: order,
+                    });
+                }
                 self.free_pages -= 1 << order;
                 return Ok(start);
             }
@@ -186,12 +233,24 @@ impl BuddyAllocator {
     /// Panics (in debug builds) if `start` is not aligned to `order` or the
     /// block exceeds physical memory.
     pub fn free(&mut self, start: u64, order: u8) {
+        self.free_rec(start, order, &mut NoopRecorder);
+    }
+
+    /// [`free`](Self::free), reporting a [`Event::BuddyCoalesce`] to `rec`
+    /// when the freed block merged with free buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start` is not aligned to `order` or the
+    /// block exceeds physical memory.
+    pub fn free_rec<R: Recorder>(&mut self, start: u64, order: u8, rec: &mut R) {
         debug_assert_eq!(start % (1u64 << order), 0, "misaligned free");
         debug_assert!(
             start + (1u64 << order) <= self.total_pages,
             "free beyond end of memory"
         );
         self.free_pages += 1 << order;
+        let from_order = order;
         let mut start = start;
         let mut order = order;
         while order < self.max_order {
@@ -204,6 +263,12 @@ impl BuddyAllocator {
             } else {
                 break;
             }
+        }
+        if order > from_order {
+            rec.record(Event::BuddyCoalesce {
+                from_order,
+                to_order: order,
+            });
         }
         self.free_lists[usize::from(order)].insert(start);
     }

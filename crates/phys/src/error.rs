@@ -1,101 +1,32 @@
 //! Error types for physical-memory operations.
+//!
+//! Since the workspace-wide error unification these are aliases into
+//! [`trident_types`]: [`PhysMemError`] is the physical-memory-flavored view
+//! of [`TridentError`], and [`AllocError`] is re-exported unchanged. Old
+//! signatures (`Result<_, PhysMemError>`) keep compiling and now compose
+//! with virtual-memory and policy errors without wrapper enums.
 
-use core::fmt;
-use std::error::Error;
-
-/// A contiguous chunk of the requested order could not be allocated.
-///
-/// This is the signal that makes Trident fall back from 1GB to 2MB to 4KB
-/// pages, or trigger compaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct AllocError {
-    /// The buddy order that was requested (in base pages: `2^order`).
-    pub order: u8,
-}
-
-impl fmt::Display for AllocError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "no contiguous free chunk of order {} available",
-            self.order
-        )
-    }
-}
-
-impl Error for AllocError {}
+pub use trident_types::{AllocError, TridentError};
 
 /// Errors raised by [`PhysicalMemory`](crate::PhysicalMemory) operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PhysMemError {
-    /// Allocation failed for lack of a contiguous chunk.
-    OutOfContiguousMemory(AllocError),
-    /// The frame number lies outside the configured physical memory.
-    FrameOutOfBounds {
-        /// The offending frame number.
-        pfn: u64,
-    },
-    /// The operation expected the head frame of an allocation unit.
-    NotAUnitHead {
-        /// The offending frame number.
-        pfn: u64,
-    },
-    /// The frame is already free.
-    AlreadyFree {
-        /// The offending frame number.
-        pfn: u64,
-    },
-}
-
-impl fmt::Display for PhysMemError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PhysMemError::OutOfContiguousMemory(e) => write!(f, "{e}"),
-            PhysMemError::FrameOutOfBounds { pfn } => {
-                write!(f, "frame {pfn:#x} is outside physical memory")
-            }
-            PhysMemError::NotAUnitHead { pfn } => {
-                write!(f, "frame {pfn:#x} is not the head of an allocation unit")
-            }
-            PhysMemError::AlreadyFree { pfn } => write!(f, "frame {pfn:#x} is already free"),
-        }
-    }
-}
-
-impl Error for PhysMemError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            PhysMemError::OutOfContiguousMemory(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<AllocError> for PhysMemError {
-    fn from(e: AllocError) -> Self {
-        PhysMemError::OutOfContiguousMemory(e)
-    }
-}
+///
+/// Alias of the unified [`TridentError`]; the variants used here are
+/// `OutOfContiguousMemory`, `FrameOutOfBounds`, `NotAUnitHead` and
+/// `AlreadyFree`.
+pub type PhysMemError = TridentError;
 
 #[cfg(test)]
 mod tests {
+    use std::error::Error;
+
     use super::*;
 
     #[test]
-    fn display_messages_are_lowercase_and_informative() {
+    fn alias_preserves_display_and_source() {
         let e = AllocError { order: 18 };
-        assert!(e.to_string().contains("order 18"));
         let p: PhysMemError = e.into();
         assert_eq!(p.to_string(), e.to_string());
-        assert!(PhysMemError::AlreadyFree { pfn: 16 }
-            .to_string()
-            .contains("0x10"));
-    }
-
-    #[test]
-    fn source_chains_to_alloc_error() {
-        let p = PhysMemError::from(AllocError { order: 9 });
         assert!(p.source().is_some());
-        assert!(PhysMemError::FrameOutOfBounds { pfn: 1 }.source().is_none());
+        assert!(matches!(p, PhysMemError::OutOfContiguousMemory(_)));
     }
 }

@@ -1,5 +1,6 @@
 //! The physical-memory façade: buddy + frame table + region statistics.
 
+use trident_obs::{NoopRecorder, Recorder};
 use trident_types::{PageGeometry, PageSize, Pfn};
 
 use crate::{
@@ -107,7 +108,23 @@ impl PhysicalMemory {
         use_: FrameUse,
         owner: Option<MappingOwner>,
     ) -> Result<Pfn, PhysMemError> {
-        self.allocate_order(self.geo.order(size), use_, owner)
+        self.allocate_rec(size, use_, owner, &mut NoopRecorder)
+    }
+
+    /// [`allocate`](Self::allocate), reporting buddy split events to `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no contiguous
+    /// chunk of that size exists.
+    pub fn allocate_rec<R: Recorder>(
+        &mut self,
+        size: PageSize,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+        rec: &mut R,
+    ) -> Result<Pfn, PhysMemError> {
+        self.allocate_order_rec(self.geo.order(size), use_, owner, rec)
     }
 
     /// Allocates a raw buddy block of `2^order` frames (used by the
@@ -124,7 +141,24 @@ impl PhysicalMemory {
         use_: FrameUse,
         owner: Option<MappingOwner>,
     ) -> Result<Pfn, PhysMemError> {
-        let start = self.buddy.alloc(order)?;
+        self.allocate_order_rec(order, use_, owner, &mut NoopRecorder)
+    }
+
+    /// [`allocate_order`](Self::allocate_order), reporting buddy split
+    /// events to `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no block of
+    /// `order` exists.
+    pub fn allocate_order_rec<R: Recorder>(
+        &mut self,
+        order: u8,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+        rec: &mut R,
+    ) -> Result<Pfn, PhysMemError> {
+        let start = self.buddy.alloc_rec(order, rec)?;
         self.finish_alloc(start, order, use_, owner);
         Ok(Pfn::new(start))
     }
@@ -144,9 +178,29 @@ impl PhysicalMemory {
         use_: FrameUse,
         owner: Option<MappingOwner>,
     ) -> Result<Pfn, PhysMemError> {
+        self.allocate_in_region_rec(region, order, use_, owner, &mut NoopRecorder)
+    }
+
+    /// [`allocate_in_region`](Self::allocate_in_region), reporting buddy
+    /// split events to `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::OutOfContiguousMemory`] when the region has
+    /// no suitably-sized free block.
+    pub fn allocate_in_region_rec<R: Recorder>(
+        &mut self,
+        region: RegionId,
+        order: u8,
+        use_: FrameUse,
+        owner: Option<MappingOwner>,
+        rec: &mut R,
+    ) -> Result<Pfn, PhysMemError> {
         let range = self.regions.region_range(region);
         let end = range.end.min(self.total_pages());
-        let start = self.buddy.alloc_in_range(order, range.start..end)?;
+        let start = self
+            .buddy
+            .alloc_in_range_rec(order, range.start..end, rec)?;
         self.finish_alloc(start, order, use_, owner);
         Ok(Pfn::new(start))
     }
@@ -166,6 +220,21 @@ impl PhysicalMemory {
     /// live allocation unit, or [`PhysMemError::FrameOutOfBounds`] if it is
     /// outside memory.
     pub fn free(&mut self, head: Pfn) -> Result<AllocationUnit, PhysMemError> {
+        self.free_rec(head, &mut NoopRecorder)
+    }
+
+    /// [`free`](Self::free), reporting buddy coalesce events to `rec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysMemError::NotAUnitHead`] if `head` does not identify a
+    /// live allocation unit, or [`PhysMemError::FrameOutOfBounds`] if it is
+    /// outside memory.
+    pub fn free_rec<R: Recorder>(
+        &mut self,
+        head: Pfn,
+        rec: &mut R,
+    ) -> Result<AllocationUnit, PhysMemError> {
         if head.raw() >= self.total_pages() {
             return Err(PhysMemError::FrameOutOfBounds { pfn: head.raw() });
         }
@@ -176,7 +245,7 @@ impl PhysicalMemory {
         self.frames.mark_freed(head);
         self.regions
             .on_free(head.raw(), unit.pages(), !unit.use_.is_movable());
-        self.buddy.free(head.raw(), unit.order);
+        self.buddy.free_rec(head.raw(), unit.order, rec);
         Ok(unit)
     }
 

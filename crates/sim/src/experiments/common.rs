@@ -15,6 +15,9 @@ pub struct ExpOptions {
     /// Results are bit-identical for every value — see DESIGN.md's
     /// determinism contract.
     pub threads: usize,
+    /// Ring-tracer capacity, in events (`None` = tracing off). Tracing
+    /// never changes results — see DESIGN.md §8.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ExpOptions {
@@ -26,11 +29,12 @@ impl ExpOptions {
             samples: 8_000,
             seed: 42,
             threads: 0,
+            trace_capacity: None,
         }
     }
 
-    /// Parses `--scale N`, `--samples N`, `--seed N` and `--threads N`
-    /// from an argument list, starting from the defaults.
+    /// Parses `--scale N`, `--samples N`, `--seed N`, `--threads N` and
+    /// `--trace N` from an argument list, starting from the defaults.
     #[must_use]
     pub fn from_args(args: &[String]) -> ExpOptions {
         let mut opts = ExpOptions::default();
@@ -54,6 +58,11 @@ impl ExpOptions {
                         opts.threads = v;
                     }
                 }
+                "--trace" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        opts.trace_capacity = Some(v);
+                    }
+                }
                 _ => {}
             }
         }
@@ -67,6 +76,7 @@ impl ExpOptions {
         c.measure_samples = self.samples;
         c.measure_tick_every = (self.samples / 6).max(1);
         c.seed = self.seed;
+        c.trace_capacity = self.trace_capacity;
         c
     }
 }
@@ -78,6 +88,7 @@ impl Default for ExpOptions {
             samples: 120_000,
             seed: 42,
             threads: 0,
+            trace_capacity: None,
         }
     }
 }
@@ -127,6 +138,14 @@ mod tests {
         assert_eq!(opts.samples, 9000);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 3);
+        assert_eq!(opts.trace_capacity, None);
+    }
+
+    #[test]
+    fn from_args_parses_trace_capacity() {
+        let args: Vec<String> = ["--trace", "65536"].iter().map(|s| s.to_string()).collect();
+        let opts = ExpOptions::from_args(&args);
+        assert_eq!(opts.trace_capacity, Some(65536));
     }
 
     #[test]
@@ -143,6 +162,7 @@ mod tests {
             samples: 60_000,
             seed: 1,
             threads: 1,
+            trace_capacity: None,
         };
         let c = opts.config();
         assert_eq!(c.measure_samples, 60_000);

@@ -45,7 +45,7 @@ fn copied_bytes(opts: &ExpOptions, kind: PolicyKind, spec: &WorkloadSpec) -> u64
     let config = opts.config().fragmented();
     let mut system = System::launch(config, kind, *spec).expect("trident launch");
     system.settle();
-    system.ctx.stats.compaction_bytes_copied
+    system.ctx.snapshot().compaction_bytes_copied
 }
 
 /// Runs the experiment.

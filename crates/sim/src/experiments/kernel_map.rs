@@ -144,6 +144,7 @@ mod tests {
             samples: 40_000,
             seed: 7,
             threads: 0,
+            trace_capacity: None,
         };
         let r = run(&opts);
         let gain = r.giant_gain();

@@ -62,9 +62,10 @@ pub fn run(opts: &ExpOptions) -> Result {
         let mut system =
             System::launch(*config, PolicyKind::Trident, *spec).expect("trident launch");
         system.settle();
+        let snap = system.ctx.snapshot();
         (
-            system.ctx.stats.giant_failure_rate(AllocSite::PageFault),
-            system.ctx.stats.giant_failure_rate(AllocSite::Promotion),
+            snap.giant_failure_rate(AllocSite::PageFault),
+            snap.giant_failure_rate(AllocSite::Promotion),
         )
     });
     let rows = specs

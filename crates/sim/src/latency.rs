@@ -73,7 +73,7 @@ pub fn request_p99_ms(model: &LatencyModel, m: &Measurement, seed: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trident_core::MmStats;
+    use trident_core::StatsSnapshot;
     use trident_tlb::TranslationStats;
 
     fn measurement(walk_cycles: u64) -> Measurement {
@@ -82,7 +82,8 @@ mod tests {
             walks: walk_cycles / 200,
             walk_cycles,
             tlb: TranslationStats::default(),
-            stats: MmStats::default(),
+            snapshot: StatsSnapshot::default(),
+            trace: Vec::new(),
             mapped_bytes: [0; 3],
             miss_by_chunk: Vec::new(),
         }

@@ -213,10 +213,10 @@ impl PerfModel {
         let total_accesses = heap_pages * TOUCHES_PER_PAGE;
         let app_cycles = per_access * total_accesses;
         // Fault latency is on the faulting thread's critical path.
-        let fault_cycles = cost.ns_to_cycles(m.stats.total_fault_ns()) as f64;
+        let fault_cycles = cost.ns_to_cycles(m.snapshot.total_fault_ns()) as f64;
         // Daemon CPU contends in proportion to machine occupancy.
         let contention = f64::from(spec.threads).min(MACHINE_CORES) / MACHINE_CORES;
-        let daemon_cycles = cost.ns_to_cycles(m.stats.daemon_ns) as f64 * contention;
+        let daemon_cycles = cost.ns_to_cycles(m.snapshot.daemon_ns) as f64 * contention;
         PerfPoint {
             walk_fraction: walk / per_access,
             total_cycles: app_cycles + fault_cycles + daemon_cycles,
@@ -228,7 +228,7 @@ impl PerfModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trident_core::MmStats;
+    use trident_core::StatsSnapshot;
     use trident_tlb::TranslationStats;
 
     fn fake_measurement(samples: usize, walk_cycles: u64) -> Measurement {
@@ -237,7 +237,8 @@ mod tests {
             walks: walk_cycles / 200,
             walk_cycles,
             tlb: TranslationStats::default(),
-            stats: MmStats::default(),
+            snapshot: StatsSnapshot::default(),
+            trace: Vec::new(),
             mapped_bytes: [0; 3],
             miss_by_chunk: Vec::new(),
         }
@@ -306,7 +307,7 @@ mod tests {
         let mut model = PerfModel::new();
         let clean = model.evaluate(&spec, &config, &fake_measurement(3_000, 300_000));
         let mut costly = fake_measurement(3_000, 300_000);
-        costly.stats.fault_ns = [0, 0, 4_000_000_000]; // 4s of 1GB faults
+        costly.snapshot.fault_ns = [0, 0, 4_000_000_000]; // 4s of 1GB faults
         let burdened = model.evaluate(&spec, &config, &costly);
         assert!(clean.speedup_over(&burdened) > 1.0);
     }

@@ -75,9 +75,9 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "faults: {} total ({} at 1GB, mean 1GB fault {})",
-            m.stats.total_faults(),
-            m.stats.faults[PageSize::Giant as usize],
-            m.stats
+            m.snapshot.total_faults(),
+            m.snapshot.faults[PageSize::Giant as usize],
+            m.snapshot
                 .mean_giant_fault_ns()
                 .map(|ns| format!("{:.2} ms", ns as f64 / 1e6))
                 .unwrap_or_else(|| "n/a".into()),
@@ -85,29 +85,29 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "promotion: {} to 2MB, {} to 1GB; {} MB copied; {} MB exchanged (pv)",
-            m.stats.promotions[PageSize::Huge as usize],
-            m.stats.promotions[PageSize::Giant as usize],
-            m.stats.promotion_bytes_copied >> 20,
-            m.stats.pv_bytes_exchanged >> 20,
+            m.snapshot.promotions[PageSize::Huge as usize],
+            m.snapshot.promotions[PageSize::Giant as usize],
+            m.snapshot.promotion_bytes_copied >> 20,
+            m.snapshot.pv_bytes_exchanged >> 20,
         )?;
         writeln!(
             f,
             "compaction: {}/{} successful runs, {} MB migrated",
-            m.stats.compaction_successes,
-            m.stats.compaction_attempts,
-            m.stats.compaction_bytes_copied >> 20,
+            m.snapshot.compaction_successes,
+            m.snapshot.compaction_attempts,
+            m.snapshot.compaction_bytes_copied >> 20,
         )?;
         writeln!(
             f,
             "bloat: {} pages added, {} recovered",
-            m.stats.bloat_pages, m.stats.bloat_recovered_pages
+            m.snapshot.bloat_pages, m.snapshot.bloat_recovered_pages
         )?;
         write!(
             f,
             "machine: {:.1}% free, FMFI(1GB) = {:.3}, daemon CPU {:.1} ms",
             self.free_fraction * 100.0,
             self.fmfi_giant,
-            m.stats.daemon_ns as f64 / 1e6,
+            m.snapshot.daemon_ns as f64 / 1e6,
         )
     }
 }

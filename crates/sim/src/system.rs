@@ -4,7 +4,9 @@ use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use trident_core::{MmContext, MmStats, PagePolicy, PolicyError, SpaceSet};
+use trident_core::{
+    Event, MmContext, ObsRecorder, PagePolicy, PolicyError, RingTracer, SpaceSet, StatsSnapshot,
+};
 use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
 use trident_tlb::{TlbHierarchy, TlbOutcome, TranslationEngine, TranslationStats, WalkCostModel};
 use trident_types::{AsId, PageSize, Vpn};
@@ -26,7 +28,11 @@ pub struct Measurement {
     pub tlb: TranslationStats,
     /// Snapshot of the MM statistics at measurement end (cumulative
     /// since boot).
-    pub stats: MmStats,
+    pub snapshot: StatsSnapshot,
+    /// Events recorded since tracing started (empty unless the config
+    /// enables a trace capacity); drained from the ring at measurement
+    /// end.
+    pub trace: Vec<Event>,
     /// Bytes mapped by each page size at measurement end.
     pub mapped_bytes: [u64; 3],
     /// Page-walk counts per giant-aligned virtual chunk (Figure 4).
@@ -139,13 +145,16 @@ impl System {
 
     fn finish_launch(
         config: SimConfig,
-        ctx: MmContext,
+        mut ctx: MmContext,
         rng: SmallRng,
         fragmenter: Option<Fragmenter>,
         policy: Box<dyn PagePolicy>,
         spec: WorkloadSpec,
     ) -> Result<System, PhysMemError> {
         let geo = config.geo;
+        if let Some(capacity) = config.trace_capacity {
+            ctx.recorder = ObsRecorder::ring(capacity);
+        }
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
         let asid = AsId::new(1);
@@ -268,7 +277,7 @@ impl System {
         if space.page_table().translate(vpn).is_none() {
             match self.policy.on_fault(&mut self.ctx, space, vpn) {
                 Ok(_) => {}
-                Err(PolicyError::OutOfMemory(_)) => {
+                Err(PolicyError::OutOfContiguousMemory(_)) => {
                     let f = self
                         .fragmenter
                         .as_mut()
@@ -336,13 +345,20 @@ impl System {
             }
         }
         let tlb = *self.engine.stats();
+        let trace = self
+            .ctx
+            .recorder
+            .tracer_mut()
+            .map(RingTracer::drain)
+            .unwrap_or_default();
         let space = self.spaces.get(self.asid).expect("workload space");
         Measurement {
             samples: self.config.measure_samples,
             walks: tlb.total_walks(),
             walk_cycles: tlb.total_walk_cycles(),
             tlb,
-            stats: self.ctx.stats,
+            snapshot: self.ctx.snapshot(),
+            trace,
             mapped_bytes: [
                 space.page_table().mapped_bytes(PageSize::Base),
                 space.page_table().mapped_bytes(PageSize::Huge),
@@ -369,7 +385,9 @@ impl System {
                     .expect("fault installed a mapping")
             }
         };
-        let result = self.engine.translate(access.vpn, translation.size);
+        let result =
+            self.engine
+                .translate_rec(access.vpn, translation.size, &mut self.ctx.recorder);
         if result.outcome == TlbOutcome::Miss {
             if let Some(map) = miss_by_chunk {
                 let chunk = self.config.geo.giant_region_of(access.vpn.raw());

@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use trident_core::PolicyError;
+use trident_core::{ObsRecorder, PolicyError, RingTracer};
 use trident_phys::{Fragmenter, PhysMemError};
 use trident_tlb::{TlbHierarchy, TranslationEngine, WalkCostModel};
 use trident_types::{AsId, PageSize, Vpn};
@@ -104,6 +104,10 @@ impl VirtSystem {
         };
         let asid = AsId::new(1);
         vm.kernel.spaces.insert(AddressSpace::new(asid, geo));
+        if let Some(capacity) = config.trace_capacity {
+            vm.kernel.ctx.recorder = ObsRecorder::ring(capacity);
+            hyp.ctx.recorder = ObsRecorder::ring(capacity);
+        }
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
         let mut vs = VirtSystem {
@@ -158,7 +162,7 @@ impl VirtSystem {
         }
         match self.vm.touch(&mut self.hyp, self.asid, vpn, false) {
             Ok(_) => {}
-            Err(PolicyError::OutOfMemory(_)) => {
+            Err(PolicyError::OutOfContiguousMemory(_)) => {
                 let f = self
                     .guest_fragmenter
                     .as_mut()
@@ -228,13 +232,31 @@ impl VirtSystem {
         let tlb = *self.engine.stats();
         // Combine the two levels' MM costs: guest faults and daemons plus
         // host (EPT) faults and daemons all stall or contend with the VM.
-        let mut stats = self.vm.kernel.ctx.stats;
-        let host = self.hyp.ctx.stats;
+        let mut snapshot = self.vm.kernel.ctx.snapshot();
+        let host = self.hyp.ctx.snapshot();
         for i in 0..3 {
-            stats.fault_ns[i] += host.fault_ns[i];
-            stats.faults[i] += host.faults[i];
+            snapshot.fault_ns[i] += host.fault_ns[i];
+            snapshot.faults[i] += host.faults[i];
         }
-        stats.daemon_ns += host.daemon_ns;
+        snapshot.daemon_ns += host.daemon_ns;
+        // Guest events first, then host: a fixed merge order keeps traces
+        // deterministic.
+        let mut trace = self
+            .vm
+            .kernel
+            .ctx
+            .recorder
+            .tracer_mut()
+            .map(RingTracer::drain)
+            .unwrap_or_default();
+        trace.extend(
+            self.hyp
+                .ctx
+                .recorder
+                .tracer_mut()
+                .map(RingTracer::drain)
+                .unwrap_or_default(),
+        );
         let space = self
             .vm
             .kernel
@@ -246,7 +268,8 @@ impl VirtSystem {
             walks: tlb.total_walks(),
             walk_cycles: tlb.total_walk_cycles(),
             tlb,
-            stats,
+            snapshot,
+            trace,
             mapped_bytes: [
                 space.page_table().mapped_bytes(PageSize::Base),
                 space.page_table().mapped_bytes(PageSize::Huge),
@@ -262,8 +285,12 @@ impl VirtSystem {
             .vm
             .touch(&mut self.hyp, self.asid, access.vpn, access.write)
             .expect("measurement touch");
-        self.engine
-            .translate_nested(access.vpn, nested.guest_size, nested.host_size);
+        self.engine.translate_nested_rec(
+            access.vpn,
+            nested.guest_size,
+            nested.host_size,
+            &mut self.vm.kernel.ctx.recorder,
+        );
     }
 
     /// Bytes mapped at `size` in the guest workload's page table.

@@ -43,6 +43,7 @@ pub use walk::{
     WalkCostModel,
 };
 
+use trident_obs::{Event, NoopRecorder, Recorder};
 use trident_types::{PageSize, Vpn};
 
 /// Outcome of one simulated address translation.
@@ -99,6 +100,17 @@ impl TranslationEngine {
     /// Translates one access to `vpn`, mapped by a leaf of `guest_size`.
     /// Returns the outcome and accumulates statistics.
     pub fn translate(&mut self, vpn: Vpn, guest_size: PageSize) -> AccessResult {
+        self.translate_rec(vpn, guest_size, &mut NoopRecorder)
+    }
+
+    /// [`translate`](Self::translate), reporting each full miss to `rec` as
+    /// an [`Event::TlbMiss`] carrying the walk cost.
+    pub fn translate_rec<R: Recorder>(
+        &mut self,
+        vpn: Vpn,
+        guest_size: PageSize,
+        rec: &mut R,
+    ) -> AccessResult {
         let effective = match self.nested_host_size {
             Some(host) => guest_size.min(host),
             None => guest_size,
@@ -112,6 +124,12 @@ impl TranslationEngine {
                 None => self.cost.walk_cycles(guest_size),
             },
         };
+        if outcome == TlbOutcome::Miss && rec.enabled() {
+            rec.record(Event::TlbMiss {
+                size: effective,
+                walk_cycles: cycles,
+            });
+        }
         self.stats.record(effective, outcome, cycles);
         AccessResult { outcome, cycles }
     }
@@ -126,6 +144,18 @@ impl TranslationEngine {
         guest_size: PageSize,
         host_size: PageSize,
     ) -> AccessResult {
+        self.translate_nested_rec(vpn, guest_size, host_size, &mut NoopRecorder)
+    }
+
+    /// [`translate_nested`](Self::translate_nested), reporting each full
+    /// miss to `rec` as an [`Event::TlbMiss`].
+    pub fn translate_nested_rec<R: Recorder>(
+        &mut self,
+        vpn: Vpn,
+        guest_size: PageSize,
+        host_size: PageSize,
+        rec: &mut R,
+    ) -> AccessResult {
         let effective = guest_size.min(host_size);
         let outcome = self.hierarchy.access(vpn, effective);
         let cycles = match outcome {
@@ -133,6 +163,12 @@ impl TranslationEngine {
             TlbOutcome::L2Hit => self.cost.l2_hit_cycles,
             TlbOutcome::Miss => self.cost.nested_walk_cycles(guest_size, host_size),
         };
+        if outcome == TlbOutcome::Miss && rec.enabled() {
+            rec.record(Event::TlbMiss {
+                size: effective,
+                walk_cycles: cycles,
+            });
+        }
         self.stats.record(effective, outcome, cycles);
         AccessResult { outcome, cycles }
     }
@@ -152,5 +188,49 @@ impl TranslationEngine {
     /// phase.
     pub fn reset_stats(&mut self) {
         self.stats = TranslationStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_obs::RingTracer;
+
+    #[test]
+    fn translate_rec_reports_each_walk_with_its_cost() {
+        let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
+        let mut tracer = RingTracer::new(16);
+        // Cold access misses; the immediate repeat hits L1 and is silent.
+        let miss = engine.translate_rec(Vpn::new(7), PageSize::Base, &mut tracer);
+        engine.translate_rec(Vpn::new(7), PageSize::Base, &mut tracer);
+        assert_eq!(miss.outcome, TlbOutcome::Miss);
+        let events: Vec<&Event> = tracer.events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            &Event::TlbMiss {
+                size: PageSize::Base,
+                walk_cycles: miss.cycles,
+            }
+        );
+        assert_eq!(engine.stats().total_walks(), 1);
+    }
+
+    #[test]
+    fn translate_nested_rec_charges_the_two_dimensional_walk() {
+        let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
+        let mut tracer = RingTracer::new(4);
+        let r =
+            engine.translate_nested_rec(Vpn::new(0), PageSize::Huge, PageSize::Base, &mut tracer);
+        assert_eq!(r.outcome, TlbOutcome::Miss);
+        // Nested walk at (2MB, 4KB): (3+1)*(4+1)-1 = 19 accesses.
+        assert_eq!(r.cycles, 19 * WalkCostModel::default().mem_access_cycles);
+        assert_eq!(
+            tracer.events().next(),
+            Some(&Event::TlbMiss {
+                size: PageSize::Base,
+                walk_cycles: r.cycles,
+            })
+        );
     }
 }

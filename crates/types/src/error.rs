@@ -1,0 +1,193 @@
+//! The unified error type for the Trident workspace.
+//!
+//! Physical-memory, virtual-memory and policy failures used to live in
+//! three separate enums (`phys::PhysMemError`, `vm::MapError`,
+//! `core::PolicyError`), which forced `core::fault` to double-wrap
+//! allocation failures on their way up to the simulator. They are now a
+//! single flat [`TridentError`]; the old names survive as type aliases
+//! so existing signatures keep compiling.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::{PageSize, Vpn};
+
+/// A contiguous chunk of the requested order could not be allocated.
+///
+/// This is the signal that makes Trident fall back from 1GB to 2MB to 4KB
+/// pages, or trigger compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocError {
+    /// The buddy order that was requested (in base pages: `2^order`).
+    pub order: u8,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no contiguous free chunk of order {} available",
+            self.order
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+/// Every error the memory-management stack can raise, in one flat enum.
+///
+/// Grouped by origin:
+/// - physical memory: [`OutOfContiguousMemory`](Self::OutOfContiguousMemory),
+///   [`FrameOutOfBounds`](Self::FrameOutOfBounds),
+///   [`NotAUnitHead`](Self::NotAUnitHead), [`AlreadyFree`](Self::AlreadyFree)
+/// - virtual memory: [`Unaligned`](Self::Unaligned),
+///   [`Overlap`](Self::Overlap), [`NotMapped`](Self::NotMapped),
+///   [`NotAMappingHead`](Self::NotAMappingHead),
+///   [`NoVirtualSpace`](Self::NoVirtualSpace)
+/// - policy / simulator: [`BadAddress`](Self::BadAddress),
+///   [`InvalidConfig`](Self::InvalidConfig)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TridentError {
+    /// Allocation failed for lack of a contiguous chunk.
+    OutOfContiguousMemory(AllocError),
+    /// The frame number lies outside the configured physical memory.
+    FrameOutOfBounds {
+        /// The offending frame number.
+        pfn: u64,
+    },
+    /// The operation expected the head frame of an allocation unit.
+    NotAUnitHead {
+        /// The offending frame number.
+        pfn: u64,
+    },
+    /// The frame is already free.
+    AlreadyFree {
+        /// The offending frame number.
+        pfn: u64,
+    },
+    /// The virtual or physical page number is not aligned to the page size.
+    Unaligned {
+        /// The offending virtual page.
+        vpn: Vpn,
+        /// The requested page size.
+        size: PageSize,
+    },
+    /// Part of the requested span is already mapped.
+    Overlap {
+        /// The virtual page where the conflict was found.
+        vpn: Vpn,
+    },
+    /// No mapping exists where one was expected.
+    NotMapped {
+        /// The virtual page that was expected to be mapped.
+        vpn: Vpn,
+    },
+    /// The operation requires the head page of a mapping, but `vpn` lies in
+    /// the middle of a larger leaf.
+    NotAMappingHead {
+        /// The offending virtual page.
+        vpn: Vpn,
+    },
+    /// The requested virtual address range does not fit in any hole of the
+    /// address space.
+    NoVirtualSpace {
+        /// The number of bytes requested.
+        bytes: u64,
+    },
+    /// The faulting address does not belong to any VMA.
+    BadAddress(Vpn),
+    /// A configuration builder rejected its inputs.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TridentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TridentError::OutOfContiguousMemory(e) => write!(f, "{e}"),
+            TridentError::FrameOutOfBounds { pfn } => {
+                write!(f, "frame {pfn:#x} is outside physical memory")
+            }
+            TridentError::NotAUnitHead { pfn } => {
+                write!(f, "frame {pfn:#x} is not the head of an allocation unit")
+            }
+            TridentError::AlreadyFree { pfn } => write!(f, "frame {pfn:#x} is already free"),
+            TridentError::Unaligned { vpn, size } => {
+                write!(f, "page {vpn} is not aligned for a {size} mapping")
+            }
+            TridentError::Overlap { vpn } => write!(f, "page {vpn} is already mapped"),
+            TridentError::NotMapped { vpn } => write!(f, "page {vpn} is not mapped"),
+            TridentError::NotAMappingHead { vpn } => {
+                write!(f, "page {vpn} is not the head of a mapping")
+            }
+            TridentError::NoVirtualSpace { bytes } => {
+                write!(f, "no virtual-address hole of {bytes} bytes available")
+            }
+            TridentError::BadAddress(vpn) => {
+                write!(f, "page {vpn} does not belong to any VMA")
+            }
+            TridentError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field} {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TridentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TridentError::OutOfContiguousMemory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for TridentError {
+    fn from(e: AllocError) -> Self {
+        TridentError::OutOfContiguousMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = AllocError { order: 18 };
+        assert!(e.to_string().contains("order 18"));
+        let p: TridentError = e.into();
+        assert_eq!(p.to_string(), e.to_string());
+        assert!(TridentError::AlreadyFree { pfn: 16 }
+            .to_string()
+            .contains("0x10"));
+        assert!(TridentError::InvalidConfig {
+            field: "chunk_budget",
+            reason: "must be nonzero",
+        }
+        .to_string()
+        .contains("chunk_budget"));
+    }
+
+    #[test]
+    fn source_chains_to_alloc_error() {
+        let p = TridentError::from(AllocError { order: 9 });
+        assert!(p.source().is_some());
+        assert!(TridentError::FrameOutOfBounds { pfn: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn vm_variants_mention_the_page() {
+        let e = TridentError::Overlap { vpn: Vpn::new(16) };
+        assert!(e.to_string().contains("0x10"));
+        let u = TridentError::Unaligned {
+            vpn: Vpn::new(3),
+            size: PageSize::Giant,
+        };
+        assert!(u.to_string().contains("1GB"));
+    }
+}

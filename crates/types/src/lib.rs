@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod error;
 mod geometry;
 mod ids;
 mod page_size;
 mod units;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use error::{AllocError, TridentError};
 pub use geometry::PageGeometry;
 pub use ids::AsId;
 pub use page_size::PageSize;

@@ -12,7 +12,7 @@
 use core::fmt;
 use std::error::Error;
 
-use trident_core::PromoteError;
+use trident_core::{Event, PromoteError};
 use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, PageSize, Pfn, Vpn};
 
@@ -255,7 +255,11 @@ pub fn copyless_promote_giant(
         match hyp.exchange_mappings(vm, &pairs, true) {
             Ok(hyp_ns) => {
                 ns += hyp_ns;
-                guest.ctx.stats.pv_bytes_exchanged += exchanged * geo.bytes(PageSize::Huge);
+                guest.ctx.record(Event::PvExchange {
+                    pairs: exchanged,
+                    bytes: exchanged * geo.bytes(PageSize::Huge),
+                    batched: true,
+                });
             }
             Err(_) => {
                 // Fall back to copying everything (§6).
@@ -284,9 +288,11 @@ pub fn copyless_promote_giant(
 
     let bytes_copied = copied_pages * geo.base_bytes();
     ns += guest.ctx.cost.copy_ns(bytes_copied) + guest.ctx.cost.tlb_shootdown_ns;
-    guest.ctx.stats.promotions[PageSize::Giant as usize] += 1;
-    guest.ctx.stats.promotion_bytes_copied += bytes_copied;
-    guest.ctx.stats.bloat_pages += profile.unmapped;
+    guest.ctx.record(Event::Promote {
+        size: PageSize::Giant,
+        bytes_copied,
+        bloat_pages: profile.unmapped,
+    });
 
     Ok(PvPromoteReport {
         ns,

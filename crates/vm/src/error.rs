@@ -1,66 +1,22 @@
 //! Errors for page-table and address-space manipulation.
+//!
+//! Since the workspace-wide error unification [`MapError`] is an alias of
+//! [`trident_types::TridentError`], so mapping failures flow through fault
+//! handling and policies without wrapper enums.
 
-use core::fmt;
-use std::error::Error;
-
-use trident_types::{PageSize, Vpn};
+pub use trident_types::TridentError;
 
 /// Errors raised when manipulating mappings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MapError {
-    /// The virtual or physical page number is not aligned to the page size.
-    Unaligned {
-        /// The offending virtual page.
-        vpn: Vpn,
-        /// The requested page size.
-        size: PageSize,
-    },
-    /// Part of the requested span is already mapped.
-    Overlap {
-        /// The virtual page where the conflict was found.
-        vpn: Vpn,
-    },
-    /// No mapping exists where one was expected.
-    NotMapped {
-        /// The virtual page that was expected to be mapped.
-        vpn: Vpn,
-    },
-    /// The operation requires the head page of a mapping, but `vpn` lies in
-    /// the middle of a larger leaf.
-    NotAMappingHead {
-        /// The offending virtual page.
-        vpn: Vpn,
-    },
-    /// The requested virtual address range does not fit in any hole of the
-    /// address space.
-    NoVirtualSpace {
-        /// The number of bytes requested.
-        bytes: u64,
-    },
-}
-
-impl fmt::Display for MapError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MapError::Unaligned { vpn, size } => {
-                write!(f, "page {vpn} is not aligned for a {size} mapping")
-            }
-            MapError::Overlap { vpn } => write!(f, "page {vpn} is already mapped"),
-            MapError::NotMapped { vpn } => write!(f, "page {vpn} is not mapped"),
-            MapError::NotAMappingHead { vpn } => {
-                write!(f, "page {vpn} is not the head of a mapping")
-            }
-            MapError::NoVirtualSpace { bytes } => {
-                write!(f, "no virtual-address hole of {bytes} bytes available")
-            }
-        }
-    }
-}
-
-impl Error for MapError {}
+///
+/// Alias of the unified [`TridentError`]; the variants used here are
+/// `Unaligned`, `Overlap`, `NotMapped`, `NotAMappingHead` and
+/// `NoVirtualSpace`.
+pub type MapError = TridentError;
 
 #[cfg(test)]
 mod tests {
+    use trident_types::{PageSize, Vpn};
+
     use super::*;
 
     #[test]

@@ -43,9 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "  MM:  {} faults, {} promotions to 1GB, {} MB copied by compaction\n",
-            m.stats.total_faults(),
-            m.stats.promotions[PageSize::Giant as usize],
-            m.stats.compaction_bytes_copied >> 20
+            m.snapshot.total_faults(),
+            m.snapshot.promotions[PageSize::Giant as usize],
+            m.snapshot.compaction_bytes_copied >> 20
         );
     }
     println!("Fewer walk cycles under Trident is the paper's headline effect:");

@@ -67,7 +67,7 @@ fn incremental_allocators_get_no_giant_pages_from_faults_alone() {
     s.settle();
     // Table 3 / Table 4: Redis never even attempts a fault-time 1GB
     // allocation — its VA grows too incrementally.
-    assert_eq!(s.ctx.stats.giant_attempts_fault, 0);
+    assert_eq!(s.ctx.snapshot().giant_attempts_fault, 0);
     assert_eq!(s.mapped_bytes(PageSize::Giant), 0);
 }
 
@@ -78,7 +78,7 @@ fn smart_compaction_copies_fewer_bytes_than_normal() {
         let mut s = System::launch(quick(128).fragmented(), kind, spec).unwrap();
         s.settle();
         (
-            s.ctx.stats.compaction_bytes_copied,
+            s.ctx.snapshot().compaction_bytes_copied,
             s.mapped_bytes(PageSize::Giant),
         )
     };
@@ -114,7 +114,7 @@ fn giant_allocation_failures_are_recorded_under_fragmentation() {
     let spec = WorkloadSpec::by_name("XSBench").unwrap();
     let mut s = System::launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
     s.settle();
-    let fault_rate = s.ctx.stats.giant_failure_rate(AllocSite::PageFault);
+    let fault_rate = s.ctx.snapshot().giant_failure_rate(AllocSite::PageFault);
     assert!(
         fault_rate.unwrap_or(0.0) > 0.5,
         "most fault-time 1GB attempts fail under fragmentation: {fault_rate:?}"
@@ -126,12 +126,12 @@ fn zero_fill_pool_accelerates_giant_faults() {
     let spec = WorkloadSpec::by_name("XSBench").unwrap();
     let mut s = System::launch(quick(128), PolicyKind::Trident, spec).unwrap();
     s.settle();
-    let giant_faults = s.ctx.stats.faults[PageSize::Giant as usize];
+    let giant_faults = s.ctx.snapshot().faults[PageSize::Giant as usize];
     assert!(giant_faults > 0);
     // With the background zero-fill thread running during load, the mean
     // 1GB fault should be far below the synchronous zeroing latency.
     let sync_ns = s.ctx.cost.fault_ns(&s.config.geo, PageSize::Giant, false);
-    let mean = s.ctx.stats.mean_giant_fault_ns().unwrap();
+    let mean = s.ctx.snapshot().mean_giant_fault_ns().unwrap();
     assert!(
         mean < sync_ns / 2,
         "mean giant fault {mean}ns should be well under sync {sync_ns}ns"
@@ -148,7 +148,7 @@ fn deterministic_across_identical_runs() {
         (
             m.walk_cycles,
             m.mapped_bytes,
-            m.stats.compaction_bytes_copied,
+            m.snapshot.compaction_bytes_copied,
         )
     };
     assert_eq!(run(), run());
