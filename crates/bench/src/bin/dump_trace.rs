@@ -5,12 +5,17 @@
 //! Flags: the standard experiment flags (`--scale`, `--samples`,
 //! `--seed`, `--trace N` for the ring capacity, default 1Mi events)
 //! plus `--workload NAME`, `--policy LABEL` (paper labels, e.g.
-//! `Trident`, `2MB-THP`) and `--check`.
+//! `Trident`, `2MB-THP`), `--check` and `--strict`.
 //!
 //! With `--check`, nothing is dumped; instead the run's trace is pushed
 //! through the full schema contract — every event must survive a JSONL
 //! round-trip, and replaying the trace must reconstruct the exact live
-//! snapshot — exiting nonzero on any violation.
+//! snapshot — exiting nonzero on any violation. With `--strict`, ring
+//! overflow (dropped events) also fails the check.
+//!
+//! When the ring dropped events, the dump is prefixed with a
+//! `trace_gap` line so downstream readers (`trace_analyze`) can
+//! annotate the gap, and a drop summary goes to stderr.
 
 use std::process::ExitCode;
 
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
     }
     let capacity = opts.trace_capacity.unwrap_or(1 << 20);
     let check = args.iter().any(|a| a == "--check");
+    let strict = args.iter().any(|a| a == "--strict");
 
     let workload = flag_value(&args, "--workload").unwrap_or_else(|| "GUPS".to_owned());
     let Some(spec) = WorkloadSpec::by_name(&workload) else {
@@ -82,11 +88,38 @@ fn main() -> ExitCode {
         m.snapshot.version,
         m.snapshot.total_faults()
     );
+    if m.trace_dropped > 0 {
+        eprintln!(
+            "# ring overflow: {} events dropped (capacity {capacity}; raise --trace)",
+            m.trace_dropped
+        );
+    } else {
+        eprintln!("# ring overflow: none");
+    }
 
     if check {
+        if strict && m.trace_dropped > 0 {
+            eprintln!(
+                "schema check: FAIL — --strict and {} events dropped",
+                m.trace_dropped
+            );
+            return ExitCode::FAILURE;
+        }
         return run_schema_check(&m.trace, &m.snapshot);
     }
     let mut out = String::with_capacity(m.trace.len() * 64);
+    if m.trace_dropped > 0 {
+        // Annotate the overflow in-band so readers see the gap where it
+        // happened: the ring evicts oldest-first, so the gap precedes
+        // everything that survived.
+        out.push_str(
+            &Event::TraceGap {
+                dropped: m.trace_dropped,
+            }
+            .to_jsonl(),
+        );
+        out.push('\n');
+    }
     for ev in &m.trace {
         out.push_str(&ev.to_jsonl());
         out.push('\n');

@@ -1,0 +1,246 @@
+//! `trace_analyze` — the profiling pipeline's CLI: turn a JSONL trace
+//! into a profile report, self-check the pipeline, or gate on a bench
+//! regression.
+//!
+//! ```sh
+//! trace_analyze run.jsonl [--window N] [--json F] [--md F] [--prom F]
+//! trace_analyze --check
+//! trace_analyze --bench-gate BENCH_1.json --baseline OLD.json [--threshold 15]
+//! ```
+//!
+//! **Analyze** (default): stream `FILE` through [`TraceReader`], fold a
+//! [`Profile`] with `--window N`-tick windows (default 1) and print the
+//! markdown report on stdout; `--json`/`--md`/`--prom` additionally
+//! write those renderings to files. Unknown schema versions and
+//! malformed lines abort with a line number.
+//!
+//! **`--check`** (CI smoke): run a small fig1-style cell twice with the
+//! live profiler on, replay each run's trace through the reader, and
+//! require (a) replayed profile == live profile, (b) equal profiles
+//! render byte-identical reports, (c) both runs produce the same bytes.
+//! Exits nonzero on any divergence.
+//!
+//! **`--bench-gate`**: compare a fresh `BENCH_1.json` against a
+//! committed baseline and fail when `serial_seconds` regressed by more
+//! than `--threshold` percent (default 15).
+
+use std::fs::File;
+use std::io::{BufReader, Cursor};
+use std::process::ExitCode;
+
+use trident_prof::report::{render_json, render_markdown, render_prometheus};
+use trident_prof::{Profile, TraceReader};
+use trident_sim::experiments::ExpOptions;
+use trident_sim::{PolicyKind, System};
+use trident_workloads::WorkloadSpec;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        return run_check();
+    }
+    if let Some(fresh) = flag_value(&args, "--bench-gate") {
+        let Some(baseline) = flag_value(&args, "--baseline") else {
+            eprintln!("--bench-gate needs --baseline FILE");
+            return ExitCode::FAILURE;
+        };
+        let threshold = flag_value(&args, "--threshold")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(15.0);
+        return run_bench_gate(&fresh, &baseline, threshold);
+    }
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: trace_analyze FILE [--window N] [--json F] [--md F] [--prom F]");
+        eprintln!("       trace_analyze --check");
+        eprintln!("       trace_analyze --bench-gate FRESH --baseline OLD [--threshold PCT]");
+        return ExitCode::FAILURE;
+    };
+    let window = flag_value(&args, "--window")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    run_analyze(&path, window, &args)
+}
+
+fn run_analyze(path: &str, window: u64, args: &[String]) -> ExitCode {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut profile = Profile::new(window);
+    for item in TraceReader::new(BufReader::new(file)) {
+        match item {
+            Ok(ev) => profile.fold(&ev),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    profile.finish();
+    eprintln!(
+        "# trace_analyze: {} events from {path}, {} windows",
+        profile.events_seen,
+        profile.series.windows().len()
+    );
+    for (flag, render) in [
+        ("--json", render_json as fn(&Profile) -> String),
+        ("--md", render_markdown),
+        ("--prom", render_prometheus),
+    ] {
+        if let Some(out) = flag_value(args, flag) {
+            if let Err(e) = std::fs::write(&out, render(&profile)) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {out}");
+        }
+    }
+    print!("{}", render_markdown(&profile));
+    ExitCode::SUCCESS
+}
+
+/// One profiled smoke run: a fig1-style GUPS/Trident cell with the live
+/// profiler and ring tracing on. Returns the live profile and the three
+/// rendered reports of the trace-replayed profile.
+fn profiled_smoke_run() -> Result<(Profile, [String; 3]), String> {
+    let mut opts = ExpOptions::quick();
+    opts.profile = true;
+    opts.trace_capacity = Some(1 << 20);
+    let spec = WorkloadSpec::by_name("GUPS").expect("GUPS exists");
+    let mut system = System::launch(opts.config(), PolicyKind::Trident, spec)
+        .map_err(|e| format!("launch failed: {e}"))?;
+    system.settle();
+    let m = system.measure();
+    if m.trace_dropped > 0 {
+        return Err(format!(
+            "ring dropped {} events; raise the check's capacity",
+            m.trace_dropped
+        ));
+    }
+    let live = *m.profile.ok_or("no live profile despite --profile")?;
+
+    // Replay: serialize the trace exactly as dump_trace would, then
+    // stream it back through the reader.
+    let mut jsonl = String::with_capacity(m.trace.len() * 64);
+    for ev in &m.trace {
+        jsonl.push_str(&ev.to_jsonl());
+        jsonl.push('\n');
+    }
+    let mut replayed = Profile::new(1);
+    for item in TraceReader::new(Cursor::new(jsonl)) {
+        let ev = item.map_err(|e| format!("replay: {e}"))?;
+        replayed.fold(&ev);
+    }
+    replayed.finish();
+    if replayed != live {
+        return Err(format!(
+            "replayed profile diverges from live\n  live:     {} events, {} windows\n  replayed: {} events, {} windows",
+            live.events_seen,
+            live.series.windows().len(),
+            replayed.events_seen,
+            replayed.series.windows().len()
+        ));
+    }
+    let reports = [
+        render_json(&replayed),
+        render_markdown(&replayed),
+        render_prometheus(&replayed),
+    ];
+    let live_reports = [
+        render_json(&live),
+        render_markdown(&live),
+        render_prometheus(&live),
+    ];
+    if reports != live_reports {
+        return Err("equal profiles rendered different bytes".to_owned());
+    }
+    Ok((live, reports))
+}
+
+/// CI's profiling-pipeline gate: live == replay, and two identical runs
+/// render byte-identical reports.
+fn run_check() -> ExitCode {
+    let first = match profiled_smoke_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profile check: FAIL — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let second = match profiled_smoke_run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profile check: FAIL (second run) — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if first.1 != second.1 {
+        eprintln!("profile check: FAIL — two identical runs rendered different reports");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "profile check: ok — {} events, {} windows, replay == live, reports deterministic",
+        first.0.events_seen,
+        first.0.series.windows().len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Pulls `"key": <number>` out of a flat JSON object like `BENCH_1.json`
+/// without a JSON parser (the bench file is machine-written with a fixed
+/// shape).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Fails when the fresh bench file's `serial_seconds` exceeds the
+/// baseline's by more than `threshold` percent.
+fn run_bench_gate(fresh_path: &str, baseline_path: &str, threshold: f64) -> ExitCode {
+    let read = |path: &str| -> Result<(f64, u64), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let secs = json_number(&text, "serial_seconds")
+            .ok_or_else(|| format!("{path}: no serial_seconds field"))?;
+        let rows = json_number(&text, "rows").map_or(0, |r| r as u64);
+        Ok((secs, rows))
+    };
+    let ((fresh_s, fresh_rows), (base_s, base_rows)) = match (read(fresh_path), read(baseline_path))
+    {
+        (Ok(f), Ok(b)) => (f, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench gate: FAIL — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fresh_rows != base_rows {
+        eprintln!("bench gate: FAIL — row count changed {base_rows} -> {fresh_rows}; the grids are not comparable");
+        return ExitCode::FAILURE;
+    }
+    let limit = base_s * (1.0 + threshold / 100.0);
+    let delta = (fresh_s / base_s.max(1e-9) - 1.0) * 100.0;
+    if fresh_s > limit {
+        eprintln!(
+            "bench gate: FAIL — serial {fresh_s:.3}s vs baseline {base_s:.3}s ({delta:+.1}%, limit +{threshold:.0}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench gate: ok — serial {fresh_s:.3}s vs baseline {base_s:.3}s ({delta:+.1}%, limit +{threshold:.0}%)"
+    );
+    ExitCode::SUCCESS
+}

@@ -4,8 +4,17 @@
 //! ```sh
 //! tridentctl list
 //! tridentctl run --workload Redis --policy Trident --scale 64 [--fragment]
+//! tridentctl run --workload GUPS --policy Trident --trace-out run.jsonl
 //! ```
+//!
+//! `--trace-out FILE` streams the run's event trace to `FILE` as JSONL
+//! while the simulation executes — no ring, no capacity limit, no
+//! drops — ready for `trace_analyze`.
 
+use std::io::BufWriter;
+
+use trident_core::ObsRecorder;
+use trident_prof::JsonlWriter;
 use trident_sim::{PolicyKind, RunReport, SimConfig, System};
 use trident_workloads::WorkloadSpec;
 
@@ -23,7 +32,7 @@ const POLICIES: &[(&str, PolicyKind)] = &[
 
 fn usage() -> ! {
     eprintln!("usage: tridentctl list");
-    eprintln!("       tridentctl run --workload <name> --policy <name> [--scale N] [--samples N] [--seed N] [--fragment]");
+    eprintln!("       tridentctl run --workload <name> --policy <name> [--scale N] [--samples N] [--seed N] [--fragment] [--trace-out FILE]");
     std::process::exit(2);
 }
 
@@ -79,11 +88,36 @@ fn main() {
             if args.iter().any(|a| a == "--fragment") {
                 config = config.fragmented();
             }
-            match System::launch(config, kind, spec) {
+            let writer = get("--trace-out").map(|path| {
+                let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                });
+                (path, JsonlWriter::new(Box::new(BufWriter::new(file))))
+            });
+            let launched = match &writer {
+                Some((_, w)) => System::launch_recording(
+                    config,
+                    kind,
+                    spec,
+                    ObsRecorder::custom(Box::new(w.clone())),
+                ),
+                None => System::launch(config, kind, spec),
+            };
+            match launched {
                 Ok(mut system) => {
                     system.settle();
                     let m = system.measure();
                     println!("{}", RunReport::new(&system, &m));
+                    if let Some((path, w)) = writer {
+                        match w.finish() {
+                            Ok(lines) => eprintln!("# trace: {lines} events -> {path}"),
+                            Err(e) => {
+                                eprintln!("trace write to {path} failed: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!(

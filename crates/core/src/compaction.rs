@@ -9,7 +9,7 @@
 //! movable-only region as its source (minimizing the bytes that must move)
 //! and the fullest regions as targets.
 
-use trident_obs::Event;
+use trident_obs::{Event, SpanKind};
 use trident_phys::{AllocationUnit, RegionId};
 use trident_types::PageSize;
 
@@ -98,12 +98,14 @@ impl Compactor {
     ) -> CompactionOutcome {
         let smart = self.kind == CompactionKind::Smart;
         let mut out = CompactionOutcome::default();
+        ctx.span_begin(SpanKind::Compaction);
         if ctx.mem.has_free(target) {
             out.success = true;
             ctx.record(Event::CompactionRun {
                 smart,
                 succeeded: true,
             });
+            ctx.span_end(SpanKind::Compaction, out.ns);
             return out;
         }
         match (self.kind, target) {
@@ -115,6 +117,7 @@ impl Compactor {
             smart,
             succeeded: out.success,
         });
+        ctx.span_end(SpanKind::Compaction, out.ns);
         #[cfg(debug_assertions)]
         crate::assert_mm_consistent(ctx, spaces);
         out

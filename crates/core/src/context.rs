@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use trident_obs::{AllocSite, Event, ObsRecorder, Recorder, StatsSnapshot};
+use trident_obs::{AllocSite, Event, ObsRecorder, Recorder, SpanKind, StatsSnapshot};
 use trident_phys::PhysicalMemory;
 use trident_types::{AsId, PageGeometry, PageSize};
 use trident_vm::AddressSpace;
@@ -56,13 +56,33 @@ impl MmContext {
         self.recorder.record(event);
     }
 
-    /// Records a served fault ([`Event::Fault`] at the page-fault site).
+    /// Records a served fault ([`Event::Fault`] at the page-fault site),
+    /// bracketed by a [`SpanKind::Fault`] span whose duration is the
+    /// modeled handler latency.
     pub fn record_fault(&mut self, size: PageSize, ns: u64) {
+        self.recorder.record(Event::SpanBegin {
+            kind: SpanKind::Fault,
+        });
         self.record(Event::Fault {
             size,
             site: AllocSite::PageFault,
             ns,
         });
+        self.recorder.record(Event::SpanEnd {
+            kind: SpanKind::Fault,
+            ns,
+        });
+    }
+
+    /// Emits a span begin directly to the recorder (spans are trace-only;
+    /// they never touch [`MmStats`]).
+    pub fn span_begin(&mut self, kind: SpanKind) {
+        self.recorder.record(Event::SpanBegin { kind });
+    }
+
+    /// Emits the matching span end with the span's modeled duration.
+    pub fn span_end(&mut self, kind: SpanKind, ns: u64) {
+        self.recorder.record(Event::SpanEnd { kind, ns });
     }
 
     /// Records a 1GB allocation attempt ([`Event::GiantAttempt`]).
@@ -197,7 +217,10 @@ mod tests {
         ctx.record_fault(PageSize::Huge, 250);
         ctx.record_giant_attempt(AllocSite::PageFault, true);
         let trace: Vec<Event> = ctx.recorder.tracer().unwrap().events().copied().collect();
-        assert_eq!(trace.len(), 2);
+        // The fault is bracketed by trace-only span events.
+        assert_eq!(trace.len(), 4);
+        assert!(matches!(trace[0], Event::SpanBegin { .. }));
+        assert!(matches!(trace[2], Event::SpanEnd { .. }));
         assert_eq!(ctx.snapshot(), StatsSnapshot::from_events(trace.iter()));
     }
 }

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod baselines;
 mod compaction;
@@ -57,6 +58,7 @@ pub use stats::{AllocSite, MmStats};
 // depend on `trident-obs` directly.
 pub use trident::{TridentConfig, TridentPolicy};
 pub use trident_obs::{
-    Event, NoopRecorder, ObsRecorder, Recorder, RingTracer, StatsSnapshot, SNAPSHOT_VERSION,
+    Event, NoopRecorder, ObsRecorder, Recorder, RingTracer, SpanKind, StatsSnapshot,
+    SNAPSHOT_VERSION,
 };
 pub use zerofill::ZeroFillPool;

@@ -13,7 +13,7 @@ use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 
-use trident_obs::Event;
+use trident_obs::{Event, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, PageSize, TridentError, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
@@ -189,11 +189,13 @@ pub fn promote_chunk(
                 _ => ctx.cost.pv_unbatched_exchange_ns(pairs),
             };
             if huge_bytes > 0 {
+                ctx.span_begin(SpanKind::PvExchange);
                 ctx.record(Event::PvExchange {
                     pairs,
                     bytes: huge_bytes,
                     batched: style == PromotionStyle::PvBatched,
                 });
+                ctx.span_end(SpanKind::PvExchange, exchange_ns);
             }
             (
                 small_bytes,
@@ -570,6 +572,7 @@ impl Promoter {
         let mut budget = self.config.chunk_budget;
         let geo = ctx.geometry();
         self.huge_hopeless = false;
+        ctx.span_begin(SpanKind::PromoScan);
 
         // Scanning the VA space costs daemon CPU proportional to its size.
         // The *simulated* cost stays the full-scan cost the paper models
@@ -652,6 +655,7 @@ impl Promoter {
             }
         }
 
+        ctx.span_end(SpanKind::PromoScan, out.daemon_ns);
         (out, promoted)
     }
 

@@ -94,7 +94,13 @@ impl MmStats {
             Event::CompactionMove { bytes } => self.compaction_bytes_copied += bytes,
             Event::ZeroFill { blocks } => self.giant_blocks_prezeroed += blocks,
             Event::DaemonTick { ns } => self.daemon_ns += ns,
-            Event::BuddySplit { .. } | Event::BuddyCoalesce { .. } | Event::TlbMiss { .. } => {}
+            Event::BuddySplit { .. }
+            | Event::BuddyCoalesce { .. }
+            | Event::TlbMiss { .. }
+            | Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::TraceGap { .. }
+            | Event::Gauge { .. } => {}
         }
     }
 

@@ -1,7 +1,7 @@
 //! The Trident policy (§5): transparent dynamic allocation of all page
 //! sizes.
 
-use trident_obs::Event;
+use trident_obs::{Event, SpanKind};
 use trident_types::{PageSize, Vpn};
 use trident_vm::AddressSpace;
 
@@ -222,12 +222,14 @@ impl PagePolicy for TridentPolicy {
     fn on_tick(&mut self, ctx: &mut MmContext, spaces: &mut SpaceSet) -> TickOutcome {
         let mut out = TickOutcome::default();
         let cost = ctx.cost;
+        ctx.span_begin(SpanKind::ZeroFill);
         let (zero_ns, zeroed) = ctx
             .zero_pool
             .tick(&ctx.mem, &cost, self.config.zero_block_budget);
         if zeroed > 0 {
             ctx.record(Event::ZeroFill { blocks: zeroed });
         }
+        ctx.span_end(SpanKind::ZeroFill, zero_ns);
         out.daemon_ns += zero_ns;
 
         let (tick, promoted) = self.promoter.tick(ctx, spaces);

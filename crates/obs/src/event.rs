@@ -32,6 +32,64 @@ impl AllocSite {
     }
 }
 
+/// The instrumented operations whose begin/end pairs form duration spans.
+///
+/// Span events are trace-only: they never touch [`StatsSnapshot`] counters.
+/// A [`SpanBegin`](Event::SpanBegin) opens a span; the matching
+/// [`SpanEnd`](Event::SpanEnd) carries the modeled duration (the simulator
+/// runs on modeled time, so the duration is known — and deterministic — at
+/// end). Consumers that aggregate spans live in `trident-prof`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One page-fault handling, any page size.
+    Fault,
+    /// One promotion-daemon address-space scan.
+    PromoScan,
+    /// One compaction pass.
+    Compaction,
+    /// One Trident_pv mapping-exchange batch.
+    PvExchange,
+    /// One governed background-daemon tick.
+    DaemonTick,
+    /// One background zero-fill pass.
+    ZeroFill,
+}
+
+impl SpanKind {
+    /// Every span kind, in wire order (indexable by `kind as usize`).
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Fault,
+        SpanKind::PromoScan,
+        SpanKind::Compaction,
+        SpanKind::PvExchange,
+        SpanKind::DaemonTick,
+        SpanKind::ZeroFill,
+    ];
+
+    /// Stable lowercase wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Fault => "fault",
+            SpanKind::PromoScan => "promo_scan",
+            SpanKind::Compaction => "compaction",
+            SpanKind::PvExchange => "pv_exchange",
+            SpanKind::DaemonTick => "daemon_tick",
+            SpanKind::ZeroFill => "zero_fill",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 fn size_str(size: PageSize) -> &'static str {
     match size {
         PageSize::Base => "base",
@@ -141,6 +199,36 @@ pub enum Event {
         /// Modeled walk latency in cycles.
         walk_cycles: u64,
     },
+    /// An instrumented operation started (trace-only).
+    SpanBegin {
+        /// Which operation.
+        kind: SpanKind,
+    },
+    /// An instrumented operation finished (trace-only).
+    SpanEnd {
+        /// Which operation.
+        kind: SpanKind,
+        /// Modeled duration of the whole span.
+        ns: u64,
+    },
+    /// The ring tracer evicted events before this point (trace-only).
+    ///
+    /// Emitted by trace *writers* (e.g. `dump_trace`) ahead of a lossy
+    /// dump so streaming readers can annotate the gap; never produced by
+    /// live instrumentation.
+    TraceGap {
+        /// Number of events lost to eviction.
+        dropped: u64,
+    },
+    /// A periodic fragmentation/contiguity gauge sample (trace-only).
+    Gauge {
+        /// Free-memory fragmentation index for 1GB blocks, in thousandths.
+        fmfi_milli: u64,
+        /// Free 2MB-or-larger capacity, in 2MB units.
+        free_huge: u64,
+        /// Free 1GB-or-larger capacity, in 1GB units.
+        free_giant: u64,
+    },
 }
 
 impl Event {
@@ -150,7 +238,13 @@ impl Event {
     pub fn is_snapshot_bearing(&self) -> bool {
         !matches!(
             self,
-            Event::BuddySplit { .. } | Event::BuddyCoalesce { .. } | Event::TlbMiss { .. }
+            Event::BuddySplit { .. }
+                | Event::BuddyCoalesce { .. }
+                | Event::TlbMiss { .. }
+                | Event::SpanBegin { .. }
+                | Event::SpanEnd { .. }
+                | Event::TraceGap { .. }
+                | Event::Gauge { .. }
         )
     }
 
@@ -170,6 +264,10 @@ impl Event {
             Event::BuddySplit { .. } => "buddy_split",
             Event::BuddyCoalesce { .. } => "buddy_coalesce",
             Event::TlbMiss { .. } => "tlb_miss",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::TraceGap { .. } => "trace_gap",
+            Event::Gauge { .. } => "gauge",
         }
     }
 
@@ -239,6 +337,23 @@ impl Event {
                 "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\",\"walk_cycles\":{walk_cycles}}}",
                 size_str(size)
             ),
+            Event::SpanBegin { kind } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"span\":\"{}\"}}", kind.as_str())
+            }
+            Event::SpanEnd { kind, ns } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"span\":\"{}\",\"ns\":{ns}}}",
+                kind.as_str()
+            ),
+            Event::TraceGap { dropped } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"dropped\":{dropped}}}")
+            }
+            Event::Gauge {
+                fmfi_milli,
+                free_huge,
+                free_giant,
+            } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"fmfi_milli\":{fmfi_milli},\"free_huge\":{free_huge},\"free_giant\":{free_giant}}}"
+            ),
         }
     }
 
@@ -269,6 +384,11 @@ impl Event {
             field_str(line, "site")
                 .and_then(AllocSite::from_str)
                 .ok_or_else(|| err("bad \"site\""))
+        };
+        let span = || {
+            field_str(line, "span")
+                .and_then(SpanKind::from_str)
+                .ok_or_else(|| err("bad \"span\""))
         };
         let num = |key: &str| field_u64(line, key).ok_or_else(|| err("missing numeric field"));
         let flag = |key: &str| field_bool(line, key).ok_or_else(|| err("missing boolean field"));
@@ -319,9 +439,29 @@ impl Event {
                 size: size()?,
                 walk_cycles: num("walk_cycles")?,
             }),
+            "span_begin" => Ok(Event::SpanBegin { kind: span()? }),
+            "span_end" => Ok(Event::SpanEnd {
+                kind: span()?,
+                ns: num("ns")?,
+            }),
+            "trace_gap" => Ok(Event::TraceGap {
+                dropped: num("dropped")?,
+            }),
+            "gauge" => Ok(Event::Gauge {
+                fmfi_milli: num("fmfi_milli")?,
+                free_huge: num("free_huge")?,
+                free_giant: num("free_giant")?,
+            }),
             _ => Err(err("unknown event kind")),
         }
     }
+}
+
+/// Reads the `"v"` schema-version field of a JSONL trace line without
+/// parsing the rest, so readers can distinguish version skew from garbage.
+#[must_use]
+pub fn jsonl_schema_version(line: &str) -> Option<u64> {
+    field_u64(line.trim(), "v")
 }
 
 /// A JSONL line that could not be parsed back into an [`Event`].
@@ -426,6 +566,19 @@ mod tests {
                 size: PageSize::Base,
                 walk_cycles: 40,
             },
+            Event::SpanBegin {
+                kind: SpanKind::Fault,
+            },
+            Event::SpanEnd {
+                kind: SpanKind::Compaction,
+                ns: 5_000,
+            },
+            Event::TraceGap { dropped: 17 },
+            Event::Gauge {
+                fmfi_milli: 120,
+                free_huge: 44,
+                free_giant: 2,
+            },
         ]
     }
 
@@ -440,9 +593,13 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_and_version_skew() {
         assert!(Event::parse_jsonl("not json").is_err());
-        assert!(Event::parse_jsonl("{\"v\":1}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":2}").is_err());
         assert!(Event::parse_jsonl("{\"v\":999,\"ev\":\"fault\"}").is_err());
-        assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"warp_drive\"}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":2,\"ev\":\"warp_drive\"}").is_err());
+        assert!(
+            Event::parse_jsonl("{\"v\":2,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
+        );
     }
 
     #[test]
@@ -452,12 +609,23 @@ mod tests {
             .filter(|e| !e.is_snapshot_bearing())
             .map(Event::kind)
             .collect();
-        assert_eq!(bearing, ["buddy_split", "buddy_coalesce", "tlb_miss"]);
+        assert_eq!(
+            bearing,
+            [
+                "buddy_split",
+                "buddy_coalesce",
+                "tlb_miss",
+                "span_begin",
+                "span_end",
+                "trace_gap",
+                "gauge"
+            ]
+        );
     }
 
     #[test]
     fn field_order_is_not_significant() {
-        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":1}";
+        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":2}";
         assert_eq!(
             Event::parse_jsonl(line),
             Ok(Event::Fault {

@@ -42,13 +42,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod event;
 mod metrics;
 mod recorder;
 mod snapshot;
 
-pub use event::{AllocSite, Event, ParseError};
+pub use event::{jsonl_schema_version, AllocSite, Event, ParseError, SpanKind};
 pub use metrics::{Counter, Histogram};
-pub use recorder::{NoopRecorder, ObsRecorder, Recorder, RingTracer};
+pub use recorder::{DynRecorder, NoopRecorder, ObsRecorder, Recorder, RingTracer};
 pub use snapshot::{StatsSnapshot, SNAPSHOT_VERSION};

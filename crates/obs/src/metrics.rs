@@ -116,6 +116,21 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Folds another histogram's samples into this one. The result equals
+    /// a histogram fed both sample streams in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// `(bucket_upper_bound_exclusive, count)` for every non-empty bucket.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -173,6 +188,25 @@ mod tests {
         let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
         // 0 -> <1; 1 -> <2; 2,3 -> <4; 4 -> <8; 1024 -> <2048.
         assert_eq!(buckets, [(1, 1), (2, 1), (4, 2), (8, 1), (2048, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0, 3, 900] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        a.merge(&Histogram::new());
+        assert_eq!(a, both, "merging an empty histogram is a no-op");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The recorder trait, the zero-cost no-op recorder and the ring tracer.
 
+use std::any::Any;
 use std::collections::VecDeque;
 
 use crate::{Event, Histogram};
@@ -148,19 +149,63 @@ impl Recorder for RingTracer {
     }
 }
 
+/// A clonable, inspectable recorder that can live behind
+/// [`ObsRecorder::Custom`].
+///
+/// `MmContext` derives `Clone` and `Debug`, so any recorder stored there
+/// must be clonable through a box; `clone_box` provides that, and the
+/// `as_any*` hooks let callers downcast back to the concrete type after a
+/// run (e.g. to pull a finished profile out). Recorders that wrap a
+/// [`RingTracer`] should override [`ring`](DynRecorder::ring) /
+/// [`ring_mut`](DynRecorder::ring_mut) so trace draining keeps working
+/// through the wrapper.
+pub trait DynRecorder: Recorder + std::fmt::Debug + Send {
+    /// Clones the recorder into a fresh box.
+    fn clone_box(&self) -> Box<dyn DynRecorder>;
+
+    /// The recorder as `Any`, for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// The recorder as mutable `Any`, for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// The wrapped ring tracer, if this recorder keeps one.
+    fn ring(&self) -> Option<&RingTracer> {
+        None
+    }
+
+    /// Mutable access to the wrapped ring tracer, if any.
+    fn ring_mut(&mut self) -> Option<&mut RingTracer> {
+        None
+    }
+}
+
 /// The concrete recorder stored inside simulation contexts.
 ///
-/// `MmContext` derives `Clone` and `Debug`, so it cannot hold a
-/// `Box<dyn Recorder>`; this enum dispatches between the two shipped
-/// recorders while staying cloneable. The no-op arm is a single match on
-/// a fieldless variant, which the optimizer folds away.
-#[derive(Debug, Clone, Default)]
+/// `MmContext` derives `Clone` and `Debug`, so it cannot hold a bare
+/// `Box<dyn Recorder>`; this enum dispatches between the shipped
+/// recorders (and boxed [`DynRecorder`]s) while staying cloneable. The
+/// no-op arm is a single match on a fieldless variant, which the
+/// optimizer folds away.
+#[derive(Debug, Default)]
 pub enum ObsRecorder {
     /// Discard everything (the default).
     #[default]
     Noop,
     /// Retain events in a bounded ring.
     Ring(RingTracer),
+    /// A caller-supplied recorder (profiler, streaming writer, …).
+    Custom(Box<dyn DynRecorder>),
+}
+
+impl Clone for ObsRecorder {
+    fn clone(&self) -> ObsRecorder {
+        match self {
+            ObsRecorder::Noop => ObsRecorder::Noop,
+            ObsRecorder::Ring(t) => ObsRecorder::Ring(t.clone()),
+            ObsRecorder::Custom(c) => ObsRecorder::Custom(c.clone_box()),
+        }
+    }
 }
 
 impl ObsRecorder {
@@ -170,20 +215,47 @@ impl ObsRecorder {
         ObsRecorder::Ring(RingTracer::new(capacity))
     }
 
-    /// The underlying tracer, if tracing is on.
+    /// Wraps a caller-supplied recorder.
+    #[must_use]
+    pub fn custom(recorder: Box<dyn DynRecorder>) -> ObsRecorder {
+        ObsRecorder::Custom(recorder)
+    }
+
+    /// Downcasts a [`Custom`](ObsRecorder::Custom) recorder to its
+    /// concrete type.
+    #[must_use]
+    pub fn custom_ref<T: Any>(&self) -> Option<&T> {
+        match self {
+            ObsRecorder::Custom(c) => c.as_any().downcast_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable downcast of a [`Custom`](ObsRecorder::Custom) recorder.
+    pub fn custom_mut<T: Any>(&mut self) -> Option<&mut T> {
+        match self {
+            ObsRecorder::Custom(c) => c.as_any_mut().downcast_mut(),
+            _ => None,
+        }
+    }
+
+    /// The underlying tracer, if this recorder keeps one (directly or
+    /// through a custom wrapper).
     #[must_use]
     pub fn tracer(&self) -> Option<&RingTracer> {
         match self {
             ObsRecorder::Noop => None,
             ObsRecorder::Ring(t) => Some(t),
+            ObsRecorder::Custom(c) => c.ring(),
         }
     }
 
-    /// Mutable access to the underlying tracer, if tracing is on.
+    /// Mutable access to the underlying tracer, if any.
     pub fn tracer_mut(&mut self) -> Option<&mut RingTracer> {
         match self {
             ObsRecorder::Noop => None,
             ObsRecorder::Ring(t) => Some(t),
+            ObsRecorder::Custom(c) => c.ring_mut(),
         }
     }
 }
@@ -194,6 +266,7 @@ impl Recorder for ObsRecorder {
         match self {
             ObsRecorder::Noop => false,
             ObsRecorder::Ring(_) => true,
+            ObsRecorder::Custom(c) => c.enabled(),
         }
     }
 
@@ -202,6 +275,7 @@ impl Recorder for ObsRecorder {
         match self {
             ObsRecorder::Noop => {}
             ObsRecorder::Ring(t) => t.record(event),
+            ObsRecorder::Custom(c) => c.record(event),
         }
     }
 }

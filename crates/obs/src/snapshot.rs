@@ -8,7 +8,7 @@ use crate::{AllocSite, Event};
 ///
 /// Bump when a field is added, removed or changes meaning; traces and
 /// snapshots from different versions must not be mixed.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Aggregate memory-management counters at one point in time.
 ///
@@ -128,7 +128,13 @@ impl StatsSnapshot {
             Event::CompactionMove { bytes } => self.compaction_bytes_copied += bytes,
             Event::ZeroFill { blocks } => self.giant_blocks_prezeroed += blocks,
             Event::DaemonTick { ns } => self.daemon_ns += ns,
-            Event::BuddySplit { .. } | Event::BuddyCoalesce { .. } | Event::TlbMiss { .. } => {}
+            Event::BuddySplit { .. }
+            | Event::BuddyCoalesce { .. }
+            | Event::TlbMiss { .. }
+            | Event::SpanBegin { .. }
+            | Event::SpanEnd { .. }
+            | Event::TraceGap { .. }
+            | Event::Gauge { .. } => {}
         }
     }
 

@@ -4,7 +4,7 @@
 //! reconstruct the exact live snapshot (DESIGN.md §8).
 
 use proptest::prelude::*;
-use trident_obs::{AllocSite, Event, Recorder, RingTracer, StatsSnapshot};
+use trident_obs::{AllocSite, Event, Recorder, RingTracer, SpanKind, StatsSnapshot};
 use trident_types::PageSize;
 
 fn sizes() -> impl Strategy<Value = PageSize> {
@@ -17,6 +17,17 @@ fn sizes() -> impl Strategy<Value = PageSize> {
 
 fn sites() -> impl Strategy<Value = AllocSite> {
     prop_oneof![Just(AllocSite::PageFault), Just(AllocSite::Promotion)]
+}
+
+fn span_kinds() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Fault),
+        Just(SpanKind::PromoScan),
+        Just(SpanKind::Compaction),
+        Just(SpanKind::PvExchange),
+        Just(SpanKind::DaemonTick),
+        Just(SpanKind::ZeroFill),
+    ]
 }
 
 fn events() -> impl Strategy<Value = Event> {
@@ -60,6 +71,16 @@ fn events() -> impl Strategy<Value = Event> {
         }),
         (sizes(), 0u64..100_000)
             .prop_map(|(size, walk_cycles)| Event::TlbMiss { size, walk_cycles }),
+        span_kinds().prop_map(|kind| Event::SpanBegin { kind }),
+        (span_kinds(), 0u64..10_000_000).prop_map(|(kind, ns)| Event::SpanEnd { kind, ns }),
+        (1u64..1_000_000).prop_map(|dropped| Event::TraceGap { dropped }),
+        (0u64..=1_000, 0u64..1_000_000, 0u64..10_000).prop_map(
+            |(fmfi_milli, free_huge, free_giant)| Event::Gauge {
+                fmfi_milli,
+                free_huge,
+                free_giant,
+            }
+        ),
     ]
 }
 

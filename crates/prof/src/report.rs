@@ -1,0 +1,357 @@
+//! Deterministic report rendering: markdown, JSON and Prometheus text.
+//!
+//! Every renderer is a pure function of the [`Profile`] with fixed field
+//! order and fixed-precision number formatting, so equal profiles render
+//! to byte-identical reports — the property `trace_analyze --check`
+//! leans on.
+
+use std::fmt::Write as _;
+
+use trident_obs::SpanKind;
+use trident_types::PageSize;
+
+use crate::{LatencyHistogram, Profile};
+
+const SIZES: [PageSize; 3] = [PageSize::Base, PageSize::Huge, PageSize::Giant];
+
+fn size_label(size: PageSize) -> &'static str {
+    match size {
+        PageSize::Base => "base",
+        PageSize::Huge => "huge",
+        PageSize::Giant => "giant",
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+/// Renders the profile as a markdown report.
+#[must_use]
+pub fn render_markdown(profile: &Profile) -> String {
+    let mut out = String::new();
+    let snap = &profile.snapshot;
+    let _ = writeln!(out, "# Trident profile");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "- events: {} folded, {} lost to ring eviction",
+        profile.events_seen, profile.events_lost
+    );
+    let _ = writeln!(
+        out,
+        "- faults: {} ({} ns total)",
+        snap.total_faults(),
+        snap.total_fault_ns()
+    );
+    let _ = writeln!(out, "- daemon CPU: {} ns", snap.daemon_ns);
+    let _ = writeln!(
+        out,
+        "- compaction: {} attempts, {} succeeded, {} bytes moved",
+        snap.compaction_attempts, snap.compaction_successes, snap.compaction_bytes_copied
+    );
+    let _ = writeln!(out, "- pv bytes exchanged: {}", snap.pv_bytes_exchanged);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Spans");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| span | count | p50 ns | p90 ns | p99 ns | max ns |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for kind in SpanKind::ALL {
+        let h = profile.spans.histogram(kind);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            kind.as_str(),
+            h.count(),
+            opt(h.p50()),
+            opt(h.p90()),
+            opt(h.p99()),
+            opt(h.max()),
+        );
+    }
+    if profile.spans.abandoned() > 0 || profile.spans.unmatched_ends() > 0 {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} spans abandoned at trace gaps, {} ends without a begin.",
+            profile.spans.abandoned(),
+            profile.spans.unmatched_ends()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "## Time series ({} windows of {} ticks)",
+        profile.series.windows().len(),
+        profile.series.window_ticks()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| window | faults b/h/g | promos b/h/g | compact runs | compact bytes | pv pairs | zero blocks | tlb misses | fmfi | free 2M | free 1G |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    for (i, w) in profile.series.windows().iter().enumerate() {
+        let fmfi = w
+            .fmfi()
+            .map_or_else(|| "-".to_owned(), |f| format!("{f:.3}"));
+        let _ = writeln!(
+            out,
+            "| {} | {}/{}/{} | {}/{}/{} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            i,
+            w.faults[0],
+            w.faults[1],
+            w.faults[2],
+            w.promotions[0],
+            w.promotions[1],
+            w.promotions[2],
+            w.compaction_runs,
+            w.compaction_bytes,
+            w.pv_pairs,
+            w.zero_blocks,
+            w.tlb_misses,
+            fmfi,
+            w.free_huge,
+            w.free_giant,
+        );
+    }
+    out
+}
+
+fn json_hist(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        h.count(),
+        h.sum(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.p50().unwrap_or(0),
+        h.p90().unwrap_or(0),
+        h.p99().unwrap_or(0),
+    )
+}
+
+/// Renders the profile as one deterministic JSON document.
+#[must_use]
+pub fn render_json(profile: &Profile) -> String {
+    let mut out = String::new();
+    let snap = &profile.snapshot;
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {},", snap.version);
+    let _ = writeln!(out, "  \"events_seen\": {},", profile.events_seen);
+    let _ = writeln!(out, "  \"events_lost\": {},", profile.events_lost);
+    let _ = writeln!(
+        out,
+        "  \"faults\": {{\"base\":{},\"huge\":{},\"giant\":{}}},",
+        snap.faults[0], snap.faults[1], snap.faults[2]
+    );
+    let _ = writeln!(
+        out,
+        "  \"fault_ns\": {{\"base\":{},\"huge\":{},\"giant\":{}}},",
+        snap.fault_ns[0], snap.fault_ns[1], snap.fault_ns[2]
+    );
+    let _ = writeln!(out, "  \"daemon_ns\": {},", snap.daemon_ns);
+    let _ = writeln!(
+        out,
+        "  \"compaction\": {{\"attempts\":{},\"successes\":{},\"bytes\":{}}},",
+        snap.compaction_attempts, snap.compaction_successes, snap.compaction_bytes_copied
+    );
+    let _ = writeln!(
+        out,
+        "  \"pv_bytes_exchanged\": {},",
+        snap.pv_bytes_exchanged
+    );
+    out.push_str("  \"spans\": {\n");
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        let comma = if i + 1 < SpanKind::ALL.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {}{comma}",
+            kind.as_str(),
+            json_hist(profile.spans.histogram(kind))
+        );
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"window_ticks\": {},",
+        profile.series.window_ticks()
+    );
+    out.push_str("  \"windows\": [\n");
+    let windows = profile.series.windows();
+    for (i, w) in windows.iter().enumerate() {
+        let comma = if i + 1 < windows.len() { "," } else { "" };
+        let fmfi = w
+            .fmfi()
+            .map_or_else(|| "null".to_owned(), |f| format!("{f:.3}"));
+        let _ = writeln!(
+            out,
+            "    {{\"ticks\":{},\"faults\":[{},{},{}],\"fault_ns\":[{},{},{}],\"promotions\":[{},{},{}],\"demotions\":[{},{},{}],\"compaction_runs\":{},\"compaction_bytes\":{},\"pv_pairs\":{},\"zero_blocks\":{},\"daemon_ns\":{},\"tlb_misses\":{},\"walk_cycles\":{},\"fmfi\":{fmfi},\"free_huge\":{},\"free_giant\":{}}}{comma}",
+            w.ticks,
+            w.faults[0], w.faults[1], w.faults[2],
+            w.fault_ns[0], w.fault_ns[1], w.fault_ns[2],
+            w.promotions[0], w.promotions[1], w.promotions[2],
+            w.demotions[0], w.demotions[1], w.demotions[2],
+            w.compaction_runs,
+            w.compaction_bytes,
+            w.pv_pairs,
+            w.zero_blocks,
+            w.daemon_ns,
+            w.tlb_misses,
+            w.walk_cycles,
+            w.free_huge,
+            w.free_giant,
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the profile in the Prometheus text exposition format.
+#[must_use]
+pub fn render_prometheus(profile: &Profile) -> String {
+    let mut out = String::new();
+    let snap = &profile.snapshot;
+    out.push_str("# HELP trident_faults_total Page faults served, by page size.\n");
+    out.push_str("# TYPE trident_faults_total counter\n");
+    for size in SIZES {
+        let _ = writeln!(
+            out,
+            "trident_faults_total{{size=\"{}\"}} {}",
+            size_label(size),
+            snap.faults[size as usize]
+        );
+    }
+    out.push_str("# HELP trident_fault_ns_total Modeled fault-handling nanoseconds.\n");
+    out.push_str("# TYPE trident_fault_ns_total counter\n");
+    for size in SIZES {
+        let _ = writeln!(
+            out,
+            "trident_fault_ns_total{{size=\"{}\"}} {}",
+            size_label(size),
+            snap.fault_ns[size as usize]
+        );
+    }
+    out.push_str("# HELP trident_promotions_total Promotions, by target page size.\n");
+    out.push_str("# TYPE trident_promotions_total counter\n");
+    for size in SIZES {
+        let _ = writeln!(
+            out,
+            "trident_promotions_total{{size=\"{}\"}} {}",
+            size_label(size),
+            snap.promotions[size as usize]
+        );
+    }
+    out.push_str("# HELP trident_daemon_ns_total Background-daemon CPU nanoseconds.\n");
+    out.push_str("# TYPE trident_daemon_ns_total counter\n");
+    let _ = writeln!(out, "trident_daemon_ns_total {}", snap.daemon_ns);
+    out.push_str("# HELP trident_compaction_bytes_total Bytes migrated by compaction.\n");
+    out.push_str("# TYPE trident_compaction_bytes_total counter\n");
+    let _ = writeln!(
+        out,
+        "trident_compaction_bytes_total {}",
+        snap.compaction_bytes_copied
+    );
+    out.push_str("# HELP trident_pv_bytes_exchanged_total Bytes whose copy Trident_pv elided.\n");
+    out.push_str("# TYPE trident_pv_bytes_exchanged_total counter\n");
+    let _ = writeln!(
+        out,
+        "trident_pv_bytes_exchanged_total {}",
+        snap.pv_bytes_exchanged
+    );
+    out.push_str("# HELP trident_span_ns Span duration quantiles in nanoseconds.\n");
+    out.push_str("# TYPE trident_span_ns summary\n");
+    for kind in SpanKind::ALL {
+        let h = profile.spans.histogram(kind);
+        for (q, v) in [
+            ("0.5", h.p50()),
+            ("0.9", h.p90()),
+            ("0.99", h.p99()),
+            ("1", h.max()),
+        ] {
+            let _ = writeln!(
+                out,
+                "trident_span_ns{{span=\"{}\",quantile=\"{q}\"}} {}",
+                kind.as_str(),
+                v.unwrap_or(0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "trident_span_ns_sum{{span=\"{}\"}} {}",
+            kind.as_str(),
+            h.sum()
+        );
+        let _ = writeln!(
+            out,
+            "trident_span_ns_count{{span=\"{}\"}} {}",
+            kind.as_str(),
+            h.count()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_obs::{AllocSite, Event};
+
+    fn sample_profile() -> Profile {
+        Profile::from_events(
+            1,
+            [
+                Event::SpanBegin {
+                    kind: SpanKind::Fault,
+                },
+                Event::Fault {
+                    size: PageSize::Huge,
+                    site: AllocSite::PageFault,
+                    ns: 1800,
+                },
+                Event::SpanEnd {
+                    kind: SpanKind::Fault,
+                    ns: 1800,
+                },
+                Event::Gauge {
+                    fmfi_milli: 42,
+                    free_huge: 10,
+                    free_giant: 1,
+                },
+                Event::DaemonTick { ns: 12 },
+            ]
+            .iter(),
+        )
+    }
+
+    #[test]
+    fn renderers_are_deterministic() {
+        let p = sample_profile();
+        assert_eq!(render_markdown(&p), render_markdown(&p.clone()));
+        assert_eq!(render_json(&p), render_json(&p.clone()));
+        assert_eq!(render_prometheus(&p), render_prometheus(&p.clone()));
+    }
+
+    #[test]
+    fn markdown_mentions_spans_and_windows() {
+        let md = render_markdown(&sample_profile());
+        assert!(md.contains("| fault | 1 |"));
+        assert!(md.contains("0.042"));
+    }
+
+    #[test]
+    fn json_windows_round_numbers() {
+        let js = render_json(&sample_profile());
+        assert!(js.contains("\"faults\": {\"base\":0,\"huge\":1,\"giant\":0}"));
+        assert!(js.contains("\"fmfi\":0.042"));
+    }
+
+    #[test]
+    fn prometheus_has_summary_lines() {
+        let prom = render_prometheus(&sample_profile());
+        assert!(prom.contains("trident_faults_total{size=\"huge\"} 1"));
+        assert!(prom.contains("trident_span_ns{span=\"fault\",quantile=\"0.5\"} "));
+        assert!(prom.contains("trident_span_ns_count{span=\"fault\"} 1"));
+    }
+}

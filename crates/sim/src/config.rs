@@ -37,6 +37,11 @@ pub struct SimConfig {
     /// When set, the system records events into a ring tracer of this
     /// capacity (in events); `None` runs with the free no-op recorder.
     pub trace_capacity: Option<usize>,
+    /// When true, a live profiler aggregates spans, time-series windows
+    /// and counters during the run (on top of the ring tracer if
+    /// `trace_capacity` is also set); the result lands in
+    /// `Measurement::profile`.
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -86,6 +91,13 @@ impl SimConfig {
     #[must_use]
     pub fn traced(mut self, capacity: usize) -> SimConfig {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Returns a copy with live profiling enabled.
+    #[must_use]
+    pub fn profiled(mut self) -> SimConfig {
+        self.profile = true;
         self
     }
 
@@ -195,6 +207,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables or disables live profiling.
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.config.profile = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -278,6 +297,7 @@ impl Default for SimConfig {
             daemon_cap: None,
             tick_interval_app_ns: 50_000_000,
             trace_capacity: None,
+            profile: false,
         }
     }
 }
@@ -348,5 +368,18 @@ mod tests {
     #[test]
     fn traced_toggle_sets_capacity() {
         assert_eq!(SimConfig::default().traced(512).trace_capacity, Some(512));
+    }
+
+    #[test]
+    fn profile_toggles() {
+        assert!(!SimConfig::default().profile);
+        assert!(SimConfig::default().profiled().profile);
+        assert!(
+            SimConfig::builder(64)
+                .profile(true)
+                .build()
+                .unwrap()
+                .profile
+        );
     }
 }

@@ -18,6 +18,9 @@ pub struct ExpOptions {
     /// Ring-tracer capacity, in events (`None` = tracing off). Tracing
     /// never changes results — see DESIGN.md §8.
     pub trace_capacity: Option<usize>,
+    /// Fold a live [`trident_prof::Profile`] during measurement
+    /// (DESIGN.md §9). Profiling never changes results.
+    pub profile: bool,
 }
 
 impl ExpOptions {
@@ -30,11 +33,13 @@ impl ExpOptions {
             seed: 42,
             threads: 0,
             trace_capacity: None,
+            profile: false,
         }
     }
 
-    /// Parses `--scale N`, `--samples N`, `--seed N`, `--threads N` and
-    /// `--trace N` from an argument list, starting from the defaults.
+    /// Parses `--scale N`, `--samples N`, `--seed N`, `--threads N`,
+    /// `--trace N` and `--profile` from an argument list, starting from
+    /// the defaults.
     #[must_use]
     pub fn from_args(args: &[String]) -> ExpOptions {
         let mut opts = ExpOptions::default();
@@ -63,6 +68,7 @@ impl ExpOptions {
                         opts.trace_capacity = Some(v);
                     }
                 }
+                "--profile" => opts.profile = true,
                 _ => {}
             }
         }
@@ -77,6 +83,7 @@ impl ExpOptions {
         c.measure_tick_every = (self.samples / 6).max(1);
         c.seed = self.seed;
         c.trace_capacity = self.trace_capacity;
+        c.profile = self.profile;
         c
     }
 }
@@ -89,6 +96,7 @@ impl Default for ExpOptions {
             seed: 42,
             threads: 0,
             trace_capacity: None,
+            profile: false,
         }
     }
 }
@@ -139,6 +147,15 @@ mod tests {
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.trace_capacity, None);
+        assert!(!opts.profile);
+    }
+
+    #[test]
+    fn from_args_parses_profile_flag() {
+        let args: Vec<String> = ["--profile"].iter().map(|s| s.to_string()).collect();
+        let opts = ExpOptions::from_args(&args);
+        assert!(opts.profile);
+        assert!(opts.config().profile);
     }
 
     #[test]
@@ -163,6 +180,7 @@ mod tests {
             seed: 1,
             threads: 1,
             trace_capacity: None,
+            profile: false,
         };
         let c = opts.config();
         assert_eq!(c.measure_samples, 60_000);

@@ -145,6 +145,7 @@ mod tests {
             seed: 7,
             threads: 0,
             trace_capacity: None,
+            profile: false,
         };
         let r = run(&opts);
         let gain = r.giant_gain();

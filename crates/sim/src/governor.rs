@@ -8,7 +8,7 @@
 //! intervals, while Trident_pv's ≈500µs promotions run freely — the
 //! mechanism behind Figure 13.
 
-use trident_core::{MmContext, PagePolicy, SpaceSet, TickOutcome};
+use trident_core::{MmContext, PagePolicy, SpaceSet, SpanKind, TickOutcome};
 
 /// Rations daemon CPU time to a fraction of one CPU.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +53,11 @@ impl DaemonGovernor {
                 return TickOutcome::default();
             }
         }
+        // Debt-skipped ticks (the early return above) get no span: the
+        // daemon did no work.
+        ctx.span_begin(SpanKind::DaemonTick);
         let out = policy.on_tick(ctx, spaces);
+        ctx.span_end(SpanKind::DaemonTick, out.daemon_ns);
         if self.cap.is_some() {
             self.debt_ns += out.daemon_ns;
         }

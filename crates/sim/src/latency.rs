@@ -84,6 +84,8 @@ mod tests {
             tlb: TranslationStats::default(),
             snapshot: StatsSnapshot::default(),
             trace: Vec::new(),
+            trace_dropped: 0,
+            profile: None,
             mapped_bytes: [0; 3],
             miss_by_chunk: Vec::new(),
         }

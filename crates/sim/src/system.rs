@@ -5,9 +5,11 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use trident_core::{
-    Event, MmContext, ObsRecorder, PagePolicy, PolicyError, RingTracer, SpaceSet, StatsSnapshot,
+    Event, MmContext, ObsRecorder, PagePolicy, PolicyError, Recorder, RingTracer, SpaceSet,
+    StatsSnapshot,
 };
 use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
+use trident_prof::{Profile, Profiler};
 use trident_tlb::{TlbHierarchy, TlbOutcome, TranslationEngine, TranslationStats, WalkCostModel};
 use trident_types::{AsId, PageSize, Vpn};
 use trident_vm::{mappable_bytes, AddressSpace};
@@ -33,6 +35,13 @@ pub struct Measurement {
     /// enables a trace capacity); drained from the ring at measurement
     /// end.
     pub trace: Vec<Event>,
+    /// Events the ring tracer evicted before measurement end (0 when the
+    /// trace is complete, or when tracing was off).
+    pub trace_dropped: u64,
+    /// The live profile (spans + time-series + counters), present when
+    /// the config enables profiling. Boxed: a profile is several KB and
+    /// most measurements carry none.
+    pub profile: Option<Box<Profile>>,
     /// Bytes mapped by each page size at measurement end.
     pub mapped_bytes: [u64; 3],
     /// Page-walk counts per giant-aligned virtual chunk (Figure 4).
@@ -117,7 +126,40 @@ impl System {
             .pages_for_bytes(config.scale.apply(spec.footprint_bytes))
             .max(1);
         let policy = kind.build(&mut ctx, workload_pages)?;
-        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec)
+        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, None)
+    }
+
+    /// Like [`System::launch`] but with a caller-supplied recorder
+    /// installed *before* the load phase, so load-time events are
+    /// captured too — the hook `--trace-out` uses to stream a run's
+    /// full event stream to disk instead of buffering it in a ring.
+    ///
+    /// The supplied recorder overrides whatever `config.trace_capacity`
+    /// and `config.profile` would have installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the allocation error when a hugetlbfs reservation cannot
+    /// be satisfied.
+    pub fn launch_recording(
+        config: SimConfig,
+        kind: PolicyKind,
+        spec: WorkloadSpec,
+        recorder: ObsRecorder,
+    ) -> Result<System, PhysMemError> {
+        let geo = config.geo;
+        let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let fragmenter = config.fragment.map(|profile| {
+            let mut f = Fragmenter::new(profile);
+            f.run(&mut ctx.mem, &mut rng);
+            f
+        });
+        let workload_pages = geo
+            .pages_for_bytes(config.scale.apply(spec.footprint_bytes))
+            .max(1);
+        let policy = kind.build(&mut ctx, workload_pages)?;
+        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, Some(recorder))
     }
 
     /// Like [`System::launch`] but with a caller-constructed policy —
@@ -140,7 +182,7 @@ impl System {
             f.run(&mut ctx.mem, &mut rng);
             f
         });
-        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec)
+        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, None)
     }
 
     fn finish_launch(
@@ -150,11 +192,23 @@ impl System {
         fragmenter: Option<Fragmenter>,
         policy: Box<dyn PagePolicy>,
         spec: WorkloadSpec,
+        recorder_override: Option<ObsRecorder>,
     ) -> Result<System, PhysMemError> {
         let geo = config.geo;
-        if let Some(capacity) = config.trace_capacity {
-            ctx.recorder = ObsRecorder::ring(capacity);
-        }
+        ctx.recorder = match recorder_override {
+            Some(recorder) => recorder,
+            None => {
+                let inner = match config.trace_capacity {
+                    Some(capacity) => ObsRecorder::ring(capacity),
+                    None => ObsRecorder::default(),
+                };
+                if config.profile {
+                    ObsRecorder::custom(Box::new(Profiler::new(1, inner)))
+                } else {
+                    inner
+                }
+            }
+        };
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
         let asid = AsId::new(1);
@@ -297,14 +351,37 @@ impl System {
         }
     }
 
-    /// One governed background-daemon tick.
+    /// One governed background-daemon tick. When a recorder is active,
+    /// a fragmentation/contiguity gauge sample follows the tick so the
+    /// time-series can chart FMFI and free large-block capacity.
     pub fn tick(&mut self) -> trident_core::TickOutcome {
         let out = self
             .governor
             .tick(self.policy.as_mut(), &mut self.ctx, &mut self.spaces);
+        if self.ctx.recorder.enabled() {
+            self.ctx.recorder.record(self.gauge_sample());
+        }
         #[cfg(debug_assertions)]
         trident_core::assert_mm_consistent(&self.ctx, &self.spaces);
         out
+    }
+
+    /// The current fragmentation/contiguity gauge: 1GB FMFI in
+    /// thousandths plus free capacity at 2MB and 1GB granularity
+    /// (higher-order free blocks count at their full capacity).
+    fn gauge_sample(&self) -> Event {
+        let geo = self.config.geo;
+        let buddy = self.ctx.mem.buddy();
+        let capacity_at = |order: u8| -> u64 {
+            (order..=buddy.max_order())
+                .map(|o| (buddy.free_blocks(o) as u64) << (o - order))
+                .sum()
+        };
+        Event::Gauge {
+            fmfi_milli: (self.ctx.mem.fmfi(PageSize::Giant) * 1000.0).round() as u64,
+            free_huge: capacity_at(geo.order(PageSize::Huge)),
+            free_giant: capacity_at(geo.order(PageSize::Giant)),
+        }
     }
 
     /// Runs daemon ticks until promotions and compactions go quiet (or
@@ -345,12 +422,18 @@ impl System {
             }
         }
         let tlb = *self.engine.stats();
+        let trace_dropped = self.ctx.recorder.tracer().map_or(0, RingTracer::dropped);
         let trace = self
             .ctx
             .recorder
             .tracer_mut()
             .map(RingTracer::drain)
             .unwrap_or_default();
+        let profile = self
+            .ctx
+            .recorder
+            .custom_mut::<Profiler>()
+            .map(|p| Box::new(p.finish_profile()));
         let space = self.spaces.get(self.asid).expect("workload space");
         Measurement {
             samples: self.config.measure_samples,
@@ -359,6 +442,8 @@ impl System {
             tlb,
             snapshot: self.ctx.snapshot(),
             trace,
+            trace_dropped,
+            profile,
             mapped_bytes: [
                 space.page_table().mapped_bytes(PageSize::Base),
                 space.page_table().mapped_bytes(PageSize::Huge),

@@ -104,7 +104,13 @@ impl VirtSystem {
         };
         let asid = AsId::new(1);
         vm.kernel.spaces.insert(AddressSpace::new(asid, geo));
-        if let Some(capacity) = config.trace_capacity {
+        // Profiling a virtualized run derives the profile from the merged
+        // guest+host trace at measurement end, so it needs rings even when
+        // the caller did not ask for a trace explicitly.
+        let ring_capacity = config
+            .trace_capacity
+            .or_else(|| config.profile.then_some(1 << 20));
+        if let Some(capacity) = ring_capacity {
             vm.kernel.ctx.recorder = ObsRecorder::ring(capacity);
             hyp.ctx.recorder = ObsRecorder::ring(capacity);
         }
@@ -241,6 +247,19 @@ impl VirtSystem {
         snapshot.daemon_ns += host.daemon_ns;
         // Guest events first, then host: a fixed merge order keeps traces
         // deterministic.
+        let trace_dropped = self
+            .vm
+            .kernel
+            .ctx
+            .recorder
+            .tracer()
+            .map_or(0, RingTracer::dropped)
+            + self
+                .hyp
+                .ctx
+                .recorder
+                .tracer()
+                .map_or(0, RingTracer::dropped);
         let mut trace = self
             .vm
             .kernel
@@ -257,6 +276,14 @@ impl VirtSystem {
                 .map(RingTracer::drain)
                 .unwrap_or_default(),
         );
+        // The virtualized profile is a replay of the merged trace (a pure
+        // fold, so "replay == live" holds by construction); span pairing
+        // is per-level because the merge order keeps each level's events
+        // contiguous.
+        let profile = self
+            .config
+            .profile
+            .then(|| Box::new(trident_prof::Profile::from_events(1, trace.iter())));
         let space = self
             .vm
             .kernel
@@ -270,6 +297,8 @@ impl VirtSystem {
             tlb,
             snapshot,
             trace,
+            trace_dropped,
+            profile,
             mapped_bytes: [
                 space.page_table().mapped_bytes(PageSize::Base),
                 space.page_table().mapped_bytes(PageSize::Huge),

@@ -12,7 +12,7 @@
 use core::fmt;
 use std::error::Error;
 
-use trident_core::{Event, PromoteError};
+use trident_core::{Event, PromoteError, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, PageSize, Pfn, Vpn};
 
@@ -255,11 +255,13 @@ pub fn copyless_promote_giant(
         match hyp.exchange_mappings(vm, &pairs, true) {
             Ok(hyp_ns) => {
                 ns += hyp_ns;
+                guest.ctx.span_begin(SpanKind::PvExchange);
                 guest.ctx.record(Event::PvExchange {
                     pairs: exchanged,
                     bytes: exchanged * geo.bytes(PageSize::Huge),
                     batched: true,
                 });
+                guest.ctx.span_end(SpanKind::PvExchange, hyp_ns);
             }
             Err(_) => {
                 // Fall back to copying everything (§6).
