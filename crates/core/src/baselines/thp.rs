@@ -65,8 +65,12 @@ impl PagePolicy for ThpPolicy {
             return Err(PolicyError::BadAddress(vpn));
         }
         if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
-            if ctx.mem.has_free(PageSize::Huge) {
-                map_chunk(ctx, space, head, PageSize::Huge)?;
+            // An injected allocation fault degrades to the 4KB path below;
+            // without injection the has_free check makes map_chunk
+            // infallible here.
+            if ctx.mem.has_free(PageSize::Huge)
+                && map_chunk(ctx, space, head, PageSize::Huge).is_ok()
+            {
                 let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
                 ctx.record_fault(PageSize::Huge, latency);
                 return Ok(FaultOutcome {

@@ -108,6 +108,17 @@ impl Compactor {
             ctx.span_end(SpanKind::Compaction, out.ns);
             return out;
         }
+        // An injected abort models kcompactd bailing before migrating
+        // anything (lock contention, OOM-killer interference): the pass is
+        // attempted and fails, producing no contiguity and copying nothing.
+        if ctx.inject(trident_obs::InjectSite::Compaction) {
+            ctx.record(Event::CompactionRun {
+                smart,
+                succeeded: false,
+            });
+            ctx.span_end(SpanKind::Compaction, out.ns);
+            return out;
+        }
         match (self.kind, target) {
             (CompactionKind::Smart, PageSize::Giant) => self.smart(ctx, spaces, &mut out),
             _ => self.normal(ctx, spaces, target, &mut out),

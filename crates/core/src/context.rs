@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use trident_obs::{AllocSite, Event, ObsRecorder, Recorder, SpanKind, StatsSnapshot};
+use trident_fault::FaultInjector;
+use trident_obs::{AllocSite, Event, InjectSite, ObsRecorder, Recorder, SpanKind, StatsSnapshot};
 use trident_phys::PhysicalMemory;
 use trident_types::{AsId, PageGeometry, PageSize};
 use trident_vm::AddressSpace;
@@ -26,6 +27,10 @@ pub struct MmContext {
     /// requested. Borrowable disjointly from `mem`/`stats`, so hot paths
     /// can pass `&mut ctx.recorder` into `ctx.mem.allocate_rec(..)`.
     pub recorder: ObsRecorder,
+    /// Deterministic fault injector; disabled (free) unless a fault plan
+    /// was installed. Lives alongside the recorder so every failure-capable
+    /// layer can consult it through [`MmContext::inject`].
+    pub fault: FaultInjector,
 }
 
 impl MmContext {
@@ -39,6 +44,7 @@ impl MmContext {
             stats: MmStats::default(),
             cost: CostModel::default(),
             recorder: ObsRecorder::default(),
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -51,9 +57,42 @@ impl MmContext {
     /// Reports one event: folds it into [`MmStats`] and forwards it to the
     /// recorder. This is the single write path for every aggregate counter,
     /// which is what makes a complete trace replay to the exact snapshot.
+    ///
+    /// Under a fault plan with an active
+    /// [`TraceRing`](InjectSite::TraceRing) rule, an event can be lost to
+    /// simulated ring pressure: its counters stand, but the trace retains
+    /// a [`Event::FaultInjected`] marker in its place and the loss is
+    /// accounted via the tracer's dropped counter, keeping trace
+    /// lossiness honest.
     pub fn record(&mut self, event: Event) {
         self.stats.apply(&event);
+        if self.fault.enabled()
+            && self.recorder.enabled()
+            && self.fault.should_inject(InjectSite::TraceRing)
+        {
+            let marker = Event::FaultInjected {
+                site: InjectSite::TraceRing,
+            };
+            self.stats.apply(&marker);
+            self.recorder.record(marker);
+            if let Some(t) = self.recorder.tracer_mut() {
+                t.note_dropped(1);
+            }
+            return;
+        }
         self.recorder.record(event);
+    }
+
+    /// Consults the fault injector at `site`. When the plan fires, records
+    /// an [`Event::FaultInjected`] and returns `true`; the caller then
+    /// fails the operation the site names (and degrades gracefully).
+    pub fn inject(&mut self, site: InjectSite) -> bool {
+        if self.fault.enabled() && self.fault.should_inject(site) {
+            self.record(Event::FaultInjected { site });
+            true
+        } else {
+            false
+        }
     }
 
     /// Records a served fault ([`Event::Fault`] at the page-fault site),

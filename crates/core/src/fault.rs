@@ -60,6 +60,11 @@ pub fn touched_chunk_reserved(space: &AddressSpace, vpn: Vpn, size: PageSize) ->
 /// reverse-map owner registered. For giant pages, tries the pre-zeroed pool
 /// first; returns whether a prepared block was used.
 ///
+/// Under a fault plan with an active [`Alloc`](trident_obs::InjectSite::Alloc)
+/// rule, a large-page allocation can fail by injection before reaching the
+/// allocator; base-page allocations are the last-resort path every fallback
+/// chain ends in and are never injected.
+///
 /// # Errors
 ///
 /// Propagates [`PhysMemError`] when no contiguous chunk exists — the signal
@@ -70,6 +75,13 @@ pub fn map_chunk(
     head_vpn: Vpn,
     size: PageSize,
 ) -> Result<(Pfn, bool), PhysMemError> {
+    if size != PageSize::Base && ctx.inject(trident_obs::InjectSite::Alloc) {
+        return Err(PhysMemError::OutOfContiguousMemory(
+            trident_types::AllocError {
+                order: ctx.geometry().order(size),
+            },
+        ));
+    }
     let owner = MappingOwner {
         asid: space.id(),
         vpn: head_vpn,

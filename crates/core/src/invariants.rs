@@ -1,56 +1,86 @@
-//! Cross-layer consistency checking (test and diagnostic aid).
+//! Cross-layer consistency checking (test, chaos and diagnostic aid).
 
-use trident_types::PageSize;
+use trident_types::InvariantViolation;
 
 use crate::{MmContext, SpaceSet};
 
-/// Asserts that physical memory and every page table agree:
+/// Non-panicking audit that physical memory and every page table agree:
 ///
+/// * physical memory's own invariants hold (buddy alignment, bounds,
+///   overlap and free-count agreement — see
+///   [`PhysicalMemory::check_consistent`](trident_phys::PhysicalMemory::check_consistent));
 /// * every mapped leaf's head frame is the head of a live allocation unit
 ///   of exactly the leaf's span;
 /// * the unit's reverse-map owner points back at the leaf.
 ///
-/// # Panics
+/// Collects *every* violation rather than stopping at the first, so chaos
+/// runs can report the full damage of an injected fault.
 ///
-/// Panics with a descriptive message on the first violation.
-pub fn assert_mm_consistent(ctx: &MmContext, spaces: &SpaceSet) {
-    ctx.mem.assert_consistent();
+/// # Errors
+///
+/// The collected [`InvariantViolation`]s, if any invariant is broken.
+pub fn check_mm_consistent(
+    ctx: &MmContext,
+    spaces: &SpaceSet,
+) -> Result<(), Vec<InvariantViolation>> {
+    let mut violations = match ctx.mem.check_consistent() {
+        Ok(()) => Vec::new(),
+        Err(v) => v,
+    };
     let geo = ctx.geometry();
     for space in spaces.iter() {
+        let asid = space.id();
         for vma in space.vmas() {
             for leaf in space.page_table().mappings_in(vma.start, vma.pages) {
-                let unit = ctx.mem.unit_at(leaf.pfn).unwrap_or_else(|| {
-                    panic!(
-                        "{}: leaf {} -> {} ({}) maps a frame that is not a live unit head",
-                        space.id(),
-                        leaf.vpn,
-                        leaf.pfn,
-                        leaf.size
-                    )
-                });
-                assert_eq!(
-                    unit.pages(),
-                    geo.base_pages(leaf.size),
-                    "{}: leaf {} ({}) backed by a unit of {} pages",
-                    space.id(),
-                    leaf.vpn,
-                    leaf.size,
-                    unit.pages()
-                );
-                let owner = unit.owner.unwrap_or_else(|| {
-                    panic!("{}: unit {} has no reverse-map owner", space.id(), leaf.pfn)
-                });
-                assert_eq!(
-                    owner.vpn,
-                    leaf.vpn,
-                    "{}: unit {} owner points at {} but leaf is {}",
-                    space.id(),
-                    leaf.pfn,
-                    owner.vpn,
-                    leaf.vpn
-                );
+                let Some(unit) = ctx.mem.unit_at(leaf.pfn) else {
+                    violations.push(InvariantViolation::LeafNotUnitHead {
+                        asid,
+                        vpn: leaf.vpn,
+                        pfn: leaf.pfn,
+                    });
+                    continue;
+                };
+                if unit.pages() != geo.base_pages(leaf.size) {
+                    violations.push(InvariantViolation::UnitSpanMismatch {
+                        asid,
+                        vpn: leaf.vpn,
+                        unit_pages: unit.pages(),
+                        leaf_pages: geo.base_pages(leaf.size),
+                    });
+                }
+                match unit.owner {
+                    None => violations.push(InvariantViolation::MissingOwner {
+                        asid,
+                        pfn: leaf.pfn,
+                    }),
+                    Some(owner) if owner.vpn != leaf.vpn => {
+                        violations.push(InvariantViolation::OwnerMismatch {
+                            asid,
+                            pfn: leaf.pfn,
+                            owner_vpn: owner.vpn,
+                            leaf_vpn: leaf.vpn,
+                        });
+                    }
+                    Some(_) => {}
+                }
             }
         }
     }
-    let _ = PageSize::Base;
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Thin panicking wrapper over [`check_mm_consistent`], for tests and
+/// debug builds.
+///
+/// # Panics
+///
+/// Panics with a message listing every violation found.
+pub fn assert_mm_consistent(ctx: &MmContext, spaces: &SpaceSet) {
+    if let Err(violations) = check_mm_consistent(ctx, spaces) {
+        panic!("{}", trident_types::violations_message(&violations));
+    }
 }

@@ -47,7 +47,7 @@ pub use compaction::{CompactionKind, CompactionOutcome, Compactor};
 pub use context::{MmContext, SpaceSet};
 pub use cost::{CostModel, CostModelBuilder};
 pub use fault::{map_chunk, touched_chunk, touched_chunk_reserved, FaultOutcome};
-pub use invariants::assert_mm_consistent;
+pub use invariants::{assert_mm_consistent, check_mm_consistent};
 pub use policy::{PagePolicy, PolicyError, TickOutcome};
 pub use promote::{
     demote_chunk, promote_chunk, recover_bloat, PromoteError, PromoteOutcome, PromotedChunk,
@@ -57,8 +57,11 @@ pub use stats::{AllocSite, MmStats};
 // Observability vocabulary, re-exported so policy consumers need not
 // depend on `trident-obs` directly.
 pub use trident::{TridentConfig, TridentPolicy};
+// Fault-injection vocabulary, re-exported for the same reason.
+pub use trident_fault::{FaultInjector, FaultPlan, FaultPlanBuilder, SiteRule};
 pub use trident_obs::{
-    Event, NoopRecorder, ObsRecorder, Recorder, RingTracer, SpanKind, StatsSnapshot,
+    Event, InjectSite, NoopRecorder, ObsRecorder, Recorder, RingTracer, SpanKind, StatsSnapshot,
     SNAPSHOT_VERSION,
 };
+pub use trident_types::{violations_message, InvariantViolation};
 pub use zerofill::ZeroFillPool;

@@ -13,7 +13,7 @@ use core::fmt;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 
-use trident_obs::{Event, SpanKind};
+use trident_obs::{Event, InjectSite, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, PageSize, TridentError, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
@@ -444,14 +444,92 @@ struct CandidateCache {
     primed: bool,
 }
 
+/// Exponential-backoff state for one compaction target size.
+///
+/// Replaces the old per-tick "hopeless" latch. Within a tick the behavior
+/// is unchanged (one failed compaction stops retries for the rest of the
+/// tick); across ticks, consecutive failing ticks impose a doubling
+/// sit-out window — retry after 1 tick, then 2, 4, … up to
+/// [`MAX_DELAY_TICKS`](CompactionBackoff::MAX_DELAY_TICKS) — instead of
+/// burning a full compaction scan every tick on a machine with no movable
+/// contiguity. Observing contiguity (a free chunk, or a compaction
+/// success) resets the window, so promotion resumes on the next tick once
+/// contiguity returns.
+///
+/// The cross-tick window only arms when a fault plan is active
+/// (`note_failure(true)`): the repository's experiment outputs are
+/// calibrated against the retry-every-tick daemon schedule, so chaos runs
+/// get the full backoff while baseline runs stay bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct CompactionBackoff {
+    /// Whether a compaction for this size already failed this tick.
+    failed_this_tick: bool,
+    /// Ticks left to sit out before compaction may be retried.
+    skip_ticks: u32,
+    /// Sit-out window to impose on the next failure (doubles, capped).
+    next_delay: u32,
+}
+
+impl CompactionBackoff {
+    /// Longest sit-out between compaction retries, in ticks.
+    const MAX_DELAY_TICKS: u32 = 32;
+
+    fn new() -> CompactionBackoff {
+        CompactionBackoff {
+            failed_this_tick: false,
+            // A window of 1 means "retry next tick" — exactly the old
+            // latch's behavior for the first failure.
+            skip_ticks: 0,
+            next_delay: 1,
+        }
+    }
+
+    /// Opens a new tick: clears the intra-tick latch and burns one tick
+    /// of any pending sit-out window.
+    fn tick_start(&mut self) {
+        self.failed_this_tick = false;
+        self.skip_ticks = self.skip_ticks.saturating_sub(1);
+    }
+
+    /// Whether compaction may be attempted now.
+    fn ready(&self) -> bool {
+        !self.failed_this_tick && self.skip_ticks == 0
+    }
+
+    /// Whether the *cross-tick* sit-out window (not the intra-tick latch)
+    /// is suppressing compaction this tick.
+    fn sitting_out(&self) -> bool {
+        self.skip_ticks > 0 && !self.failed_this_tick
+    }
+
+    /// Notes a failed compaction: latches the rest of the tick and, when
+    /// `cross_tick` is set, arms the next (doubled) sit-out window.
+    fn note_failure(&mut self, cross_tick: bool) {
+        self.failed_this_tick = true;
+        if cross_tick {
+            self.skip_ticks = self.next_delay;
+            self.next_delay = (self.next_delay * 2).min(Self::MAX_DELAY_TICKS);
+        }
+    }
+
+    /// Notes observed contiguity: the situation changed, so retry eagerly
+    /// again.
+    fn note_contiguity(&mut self) {
+        self.skip_ticks = 0;
+        self.next_delay = 1;
+    }
+}
+
 /// The `khugepaged`-style background promoter.
 #[derive(Debug, Clone)]
 pub struct Promoter {
     config: PromoterConfig,
     compactor: Compactor,
     next_space: usize,
-    /// Set when a 2MB compaction failed during the current tick.
-    huge_hopeless: bool,
+    /// Compaction backoff for the 2MB target size.
+    huge_backoff: CompactionBackoff,
+    /// Compaction backoff for the 1GB target size.
+    giant_backoff: CompactionBackoff,
     /// Candidate indexes, one per scanned space.
     caches: BTreeMap<AsId, CandidateCache>,
 }
@@ -486,7 +564,8 @@ impl Promoter {
             config,
             compactor: Compactor::new(config.compaction),
             next_space: 0,
-            huge_hopeless: false,
+            huge_backoff: CompactionBackoff::new(),
+            giant_backoff: CompactionBackoff::new(),
             caches: BTreeMap::new(),
         }
     }
@@ -571,7 +650,8 @@ impl Promoter {
         let mut promoted = Vec::new();
         let mut budget = self.config.chunk_budget;
         let geo = ctx.geometry();
-        self.huge_hopeless = false;
+        self.huge_backoff.tick_start();
+        self.giant_backoff.tick_start();
         ctx.span_begin(SpanKind::PromoScan);
 
         // Scanning the VA space costs daemon CPU proportional to its size.
@@ -588,8 +668,9 @@ impl Promoter {
 
         // Once compaction fails, retrying it for every remaining candidate
         // in the same tick is pointless (and expensive): the machine-wide
-        // contiguity situation has not changed.
-        let mut giant_hopeless = false;
+        // contiguity situation has not changed. Across ticks the backoff
+        // additionally imposes a doubling sit-out window (§ graceful
+        // degradation), re-armed as soon as contiguity is observed again.
         if self.config.use_giant {
             let candidates = self.ordered_candidates(spaces, asid, PageSize::Giant);
             for head in candidates {
@@ -597,13 +678,29 @@ impl Promoter {
                     break;
                 }
                 budget -= 1;
+                if ctx.inject(InjectSite::Promotion) {
+                    ctx.record(Event::PromotionDeferred {
+                        size: PageSize::Giant,
+                    });
+                    continue;
+                }
                 let mut have = ctx.mem.has_free(PageSize::Giant);
-                if !have && !giant_hopeless {
+                if have {
+                    self.giant_backoff.note_contiguity();
+                } else if self.giant_backoff.ready() {
                     out.compaction_runs += 1;
                     let c = self.compactor.compact(ctx, spaces, PageSize::Giant);
                     out.daemon_ns += c.ns;
                     have = c.success;
-                    giant_hopeless = !c.success;
+                    if c.success {
+                        self.giant_backoff.note_contiguity();
+                    } else {
+                        self.giant_backoff.note_failure(ctx.fault.enabled());
+                    }
+                } else if self.giant_backoff.sitting_out() {
+                    ctx.record(Event::PromotionDeferred {
+                        size: PageSize::Giant,
+                    });
                 }
                 ctx.record_giant_attempt(crate::AllocSite::Promotion, !have);
                 if have {
@@ -694,17 +791,31 @@ impl Promoter {
         out: &mut TickOutcome,
         promoted: &mut Vec<PromotedChunk>,
     ) {
-        if !ctx.mem.has_free(PageSize::Huge) {
-            if self.huge_hopeless {
+        if ctx.inject(InjectSite::Promotion) {
+            ctx.record(Event::PromotionDeferred {
+                size: PageSize::Huge,
+            });
+            return;
+        }
+        if ctx.mem.has_free(PageSize::Huge) {
+            self.huge_backoff.note_contiguity();
+        } else {
+            if !self.huge_backoff.ready() {
+                if self.huge_backoff.sitting_out() {
+                    ctx.record(Event::PromotionDeferred {
+                        size: PageSize::Huge,
+                    });
+                }
                 return;
             }
             out.compaction_runs += 1;
             let c = self.compactor.compact(ctx, spaces, PageSize::Huge);
             out.daemon_ns += c.ns;
             if !c.success {
-                self.huge_hopeless = true;
+                self.huge_backoff.note_failure(ctx.fault.enabled());
                 return;
             }
+            self.huge_backoff.note_contiguity();
         }
         // 4KB→2MB promotion always copies; pv exchange only pays for
         // 2MB→1GB (§6).
@@ -1058,5 +1169,59 @@ mod tests {
         let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
         assert_eq!(promoted.len(), 1);
         assert_eq!(promoted[0].head, Vpn::new(64), "hot chunk goes first");
+    }
+
+    /// Regression test for the compaction backoff: on a machine with no
+    /// movable contiguity the promoter must stop burning a compaction run
+    /// on every tick (doubling sit-out windows, surfaced as
+    /// `promotions_deferred`), and the moment contiguity returns — even in
+    /// the middle of a sit-out window — promotion must resume.
+    #[test]
+    fn promotion_backs_off_and_resumes_after_contiguity_returns() {
+        use trident_phys::FrameUse;
+        let (mut ctx, mut spaces) = setup(2);
+        // One 2MB candidate of base pages.
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 8);
+        // Pin the rest of memory with unmovable kernel frames so
+        // compaction cannot manufacture a free 2MB chunk.
+        let mut pins = Vec::new();
+        while ctx.mem.has_free(PageSize::Base) {
+            pins.push(
+                ctx.mem
+                    .allocate(PageSize::Base, FrameUse::Kernel, None)
+                    .unwrap(),
+            );
+        }
+        // The cross-tick window arms only under an active fault plan; a
+        // trace-ring rule never fires without a tracer, so this plan is
+        // inert apart from enabling the backoff.
+        ctx.fault = crate::FaultInjector::new(
+            crate::FaultPlan::builder(1)
+                .site(trident_obs::InjectSite::TraceRing, 1)
+                .build()
+                .unwrap(),
+        );
+        let mut promoter = Promoter::new(PromoterConfig::thp());
+        let mut compaction_runs = 0;
+        for _ in 0..12 {
+            let (out, promoted) = promoter.tick(&mut ctx, &mut spaces);
+            assert!(promoted.is_empty(), "nothing can be promoted while pinned");
+            compaction_runs += out.compaction_runs;
+        }
+        // Doubling backoff: retries at ticks 1, 2, 4 and 8 only.
+        assert_eq!(compaction_runs, 4, "backoff must suppress hopeless runs");
+        assert_eq!(
+            ctx.stats.promotions_deferred, 8,
+            "sat-out ticks surface as deferrals"
+        );
+        // Contiguity returns mid-window (skip_ticks > 0 at this point).
+        for pfn in pins {
+            ctx.mem.free(pfn).unwrap();
+        }
+        let (out, promoted) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!(promoted.len(), 1, "promotion resumes immediately");
+        assert_eq!(out.promotions, 1);
+        assert_eq!(promoted[0].head, Vpn::new(0));
+        crate::assert_mm_consistent(&ctx, &spaces);
     }
 }

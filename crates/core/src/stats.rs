@@ -60,6 +60,15 @@ pub struct MmStats {
     pub bloat_recovered_pages: u64,
     /// Giant blocks zero-filled in the background.
     pub giant_blocks_prezeroed: u64,
+    /// Faults injected by a deterministic fault plan, by
+    /// [`InjectSite`](trident_obs::InjectSite) wire order.
+    pub injected_faults: [u64; 5],
+    /// Promotions deferred for a later re-arm tick.
+    pub promotions_deferred: u64,
+    /// Trident_pv exchanges that fell back to copying.
+    pub pv_fallbacks: u64,
+    /// Bytes copied by Trident_pv fallbacks instead of exchanged.
+    pub pv_fallback_bytes: u64,
 }
 
 impl MmStats {
@@ -94,6 +103,12 @@ impl MmStats {
             Event::CompactionMove { bytes } => self.compaction_bytes_copied += bytes,
             Event::ZeroFill { blocks } => self.giant_blocks_prezeroed += blocks,
             Event::DaemonTick { ns } => self.daemon_ns += ns,
+            Event::FaultInjected { site } => self.injected_faults[site as usize] += 1,
+            Event::PromotionDeferred { .. } => self.promotions_deferred += 1,
+            Event::PvFallback { bytes } => {
+                self.pv_fallbacks += 1;
+                self.pv_fallback_bytes += bytes;
+            }
             Event::BuddySplit { .. }
             | Event::BuddyCoalesce { .. }
             | Event::TlbMiss { .. }
@@ -126,6 +141,10 @@ impl MmStats {
             bloat_pages: self.bloat_pages,
             bloat_recovered_pages: self.bloat_recovered_pages,
             giant_blocks_prezeroed: self.giant_blocks_prezeroed,
+            injected_faults: self.injected_faults,
+            promotions_deferred: self.promotions_deferred,
+            pv_fallbacks: self.pv_fallbacks,
+            pv_fallback_bytes: self.pv_fallback_bytes,
             ..StatsSnapshot::default()
         }
     }
@@ -262,6 +281,13 @@ mod tests {
             },
             Event::ZeroFill { blocks: 1 },
             Event::DaemonTick { ns: 9 },
+            Event::FaultInjected {
+                site: trident_obs::InjectSite::Alloc,
+            },
+            Event::PromotionDeferred {
+                size: PageSize::Giant,
+            },
+            Event::PvFallback { bytes: 2048 },
             Event::TlbMiss {
                 size: PageSize::Base,
                 walk_cycles: 30,

@@ -32,6 +32,58 @@ impl AllocSite {
     }
 }
 
+/// Where a deterministic fault plan can inject a failure.
+///
+/// Each site names one failure-capable operation in the stack; the
+/// injector in `trident-fault` decides per-site, and every injected fault
+/// is reported as an [`Event::FaultInjected`] carrying its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectSite {
+    /// A large-page buddy allocation (fault- or promotion-time).
+    Alloc,
+    /// A compaction pass aborted before migrating anything.
+    Compaction,
+    /// A Trident_pv exchange hypercall rejected by the hypervisor.
+    PvExchange,
+    /// A promotion candidate invalidated under the daemon (raced away).
+    Promotion,
+    /// Trace-ring pressure: one event lost to a simulated full ring.
+    TraceRing,
+}
+
+impl InjectSite {
+    /// Every injection site, in wire order (indexable by `site as usize`).
+    pub const ALL: [InjectSite; 5] = [
+        InjectSite::Alloc,
+        InjectSite::Compaction,
+        InjectSite::PvExchange,
+        InjectSite::Promotion,
+        InjectSite::TraceRing,
+    ];
+
+    /// Stable lowercase wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectSite::Alloc => "alloc",
+            InjectSite::Compaction => "compaction",
+            InjectSite::PvExchange => "pv_exchange",
+            InjectSite::Promotion => "promotion",
+            InjectSite::TraceRing => "trace_ring",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<InjectSite> {
+        InjectSite::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for InjectSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The instrumented operations whose begin/end pairs form duration spans.
 ///
 /// Span events are trace-only: they never touch [`StatsSnapshot`] counters.
@@ -229,6 +281,22 @@ pub enum Event {
         /// Free 1GB-or-larger capacity, in 1GB units.
         free_giant: u64,
     },
+    /// A fault plan injected a failure at `site`.
+    FaultInjected {
+        /// The injection site that fired.
+        site: InjectSite,
+    },
+    /// A promotion was deferred (candidate invalidated, or compaction in
+    /// backoff) and will be re-armed on a later tick.
+    PromotionDeferred {
+        /// Target size of the deferred promotion.
+        size: PageSize,
+    },
+    /// A Trident_pv exchange fell back to copying.
+    PvFallback {
+        /// Bytes copied instead of exchanged.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -268,6 +336,9 @@ impl Event {
             Event::SpanEnd { .. } => "span_end",
             Event::TraceGap { .. } => "trace_gap",
             Event::Gauge { .. } => "gauge",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::PromotionDeferred { .. } => "promotion_deferred",
+            Event::PvFallback { .. } => "pv_fallback",
         }
     }
 
@@ -354,6 +425,16 @@ impl Event {
             } => format!(
                 "{{\"v\":{v},\"ev\":\"{k}\",\"fmfi_milli\":{fmfi_milli},\"free_huge\":{free_huge},\"free_giant\":{free_giant}}}"
             ),
+            Event::FaultInjected { site } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"site\":\"{}\"}}", site.as_str())
+            }
+            Event::PromotionDeferred { size } => format!(
+                "{{\"v\":{v},\"ev\":\"{k}\",\"size\":\"{}\"}}",
+                size_str(size)
+            ),
+            Event::PvFallback { bytes } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"bytes\":{bytes}}}")
+            }
         }
     }
 
@@ -451,6 +532,15 @@ impl Event {
                 fmfi_milli: num("fmfi_milli")?,
                 free_huge: num("free_huge")?,
                 free_giant: num("free_giant")?,
+            }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                site: field_str(line, "site")
+                    .and_then(InjectSite::from_str)
+                    .ok_or_else(|| err("bad \"site\""))?,
+            }),
+            "promotion_deferred" => Ok(Event::PromotionDeferred { size: size()? }),
+            "pv_fallback" => Ok(Event::PvFallback {
+                bytes: num("bytes")?,
             }),
             _ => Err(err("unknown event kind")),
         }
@@ -579,6 +669,13 @@ mod tests {
                 free_huge: 44,
                 free_giant: 2,
             },
+            Event::FaultInjected {
+                site: InjectSite::Compaction,
+            },
+            Event::PromotionDeferred {
+                size: PageSize::Giant,
+            },
+            Event::PvFallback { bytes: 1 << 21 },
         ]
     }
 
@@ -593,12 +690,16 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_and_version_skew() {
         assert!(Event::parse_jsonl("not json").is_err());
-        assert!(Event::parse_jsonl("{\"v\":2}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":3}").is_err());
         assert!(Event::parse_jsonl("{\"v\":999,\"ev\":\"fault\"}").is_err());
         assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
-        assert!(Event::parse_jsonl("{\"v\":2,\"ev\":\"warp_drive\"}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":2,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":3,\"ev\":\"warp_drive\"}").is_err());
         assert!(
-            Event::parse_jsonl("{\"v\":2,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
+            Event::parse_jsonl("{\"v\":3,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
+        );
+        assert!(
+            Event::parse_jsonl("{\"v\":3,\"ev\":\"fault_injected\",\"site\":\"warp\"}").is_err()
         );
     }
 
@@ -625,7 +726,7 @@ mod tests {
 
     #[test]
     fn field_order_is_not_significant() {
-        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":2}";
+        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":3}";
         assert_eq!(
             Event::parse_jsonl(line),
             Ok(Event::Fault {

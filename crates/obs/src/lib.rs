@@ -49,7 +49,7 @@ mod metrics;
 mod recorder;
 mod snapshot;
 
-pub use event::{jsonl_schema_version, AllocSite, Event, ParseError, SpanKind};
+pub use event::{jsonl_schema_version, AllocSite, Event, InjectSite, ParseError, SpanKind};
 pub use metrics::{Counter, Histogram};
 pub use recorder::{DynRecorder, NoopRecorder, ObsRecorder, Recorder, RingTracer};
 pub use snapshot::{StatsSnapshot, SNAPSHOT_VERSION};

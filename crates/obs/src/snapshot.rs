@@ -2,13 +2,13 @@
 
 use trident_types::PageSize;
 
-use crate::{AllocSite, Event};
+use crate::{AllocSite, Event, InjectSite};
 
 /// Version of the snapshot layout and of the JSONL event schema.
 ///
 /// Bump when a field is added, removed or changes meaning; traces and
 /// snapshots from different versions must not be mixed.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Aggregate memory-management counters at one point in time.
 ///
@@ -59,6 +59,16 @@ pub struct StatsSnapshot {
     pub bloat_recovered_pages: u64,
     /// Giant blocks zero-filled in the background.
     pub giant_blocks_prezeroed: u64,
+    /// Faults injected by a deterministic fault plan, by
+    /// [`InjectSite`] wire order.
+    pub injected_faults: [u64; 5],
+    /// Promotions deferred (candidate invalidated or compaction backoff)
+    /// for a later re-arm tick.
+    pub promotions_deferred: u64,
+    /// Trident_pv exchanges that fell back to copying.
+    pub pv_fallbacks: u64,
+    /// Bytes copied by Trident_pv fallbacks instead of exchanged.
+    pub pv_fallback_bytes: u64,
 }
 
 impl Default for StatsSnapshot {
@@ -82,6 +92,10 @@ impl Default for StatsSnapshot {
             bloat_pages: 0,
             bloat_recovered_pages: 0,
             giant_blocks_prezeroed: 0,
+            injected_faults: [0; 5],
+            promotions_deferred: 0,
+            pv_fallbacks: 0,
+            pv_fallback_bytes: 0,
         }
     }
 }
@@ -128,6 +142,12 @@ impl StatsSnapshot {
             Event::CompactionMove { bytes } => self.compaction_bytes_copied += bytes,
             Event::ZeroFill { blocks } => self.giant_blocks_prezeroed += blocks,
             Event::DaemonTick { ns } => self.daemon_ns += ns,
+            Event::FaultInjected { site } => self.injected_faults[site as usize] += 1,
+            Event::PromotionDeferred { .. } => self.promotions_deferred += 1,
+            Event::PvFallback { bytes } => {
+                self.pv_fallbacks += 1;
+                self.pv_fallback_bytes += bytes;
+            }
             Event::BuddySplit { .. }
             | Event::BuddyCoalesce { .. }
             | Event::TlbMiss { .. }
@@ -171,6 +191,12 @@ impl StatsSnapshot {
         self.bloat_pages += other.bloat_pages;
         self.bloat_recovered_pages += other.bloat_recovered_pages;
         self.giant_blocks_prezeroed += other.giant_blocks_prezeroed;
+        for i in 0..self.injected_faults.len() {
+            self.injected_faults[i] += other.injected_faults[i];
+        }
+        self.promotions_deferred += other.promotions_deferred;
+        self.pv_fallbacks += other.pv_fallbacks;
+        self.pv_fallback_bytes += other.pv_fallback_bytes;
     }
 
     /// 1GB allocation failure rate at `site`, or `None` if never attempted
@@ -208,6 +234,18 @@ impl StatsSnapshot {
     pub fn compaction_success_rate(&self) -> Option<f64> {
         (self.compaction_attempts > 0)
             .then(|| self.compaction_successes as f64 / self.compaction_attempts as f64)
+    }
+
+    /// Total faults injected by a fault plan, across all sites.
+    #[must_use]
+    pub fn total_injected_faults(&self) -> u64 {
+        self.injected_faults.iter().sum()
+    }
+
+    /// Faults injected at one site.
+    #[must_use]
+    pub fn injected_at(&self, site: InjectSite) -> u64 {
+        self.injected_faults[site as usize]
     }
 }
 
@@ -276,5 +314,36 @@ mod tests {
         assert_eq!(a.giant_blocks_prezeroed, 2);
         assert_eq!(a.demotions[PageSize::Huge as usize], 1);
         assert_eq!(a.bloat_recovered_pages, 3);
+    }
+
+    #[test]
+    fn injection_events_land_in_their_counters() {
+        let events = [
+            Event::FaultInjected {
+                site: InjectSite::Alloc,
+            },
+            Event::FaultInjected {
+                site: InjectSite::Alloc,
+            },
+            Event::FaultInjected {
+                site: InjectSite::PvExchange,
+            },
+            Event::PromotionDeferred {
+                size: PageSize::Giant,
+            },
+            Event::PvFallback { bytes: 4096 },
+            Event::PvFallback { bytes: 8192 },
+        ];
+        let mut snap = StatsSnapshot::from_events(events.iter());
+        assert_eq!(snap.injected_at(InjectSite::Alloc), 2);
+        assert_eq!(snap.injected_at(InjectSite::PvExchange), 1);
+        assert_eq!(snap.total_injected_faults(), 3);
+        assert_eq!(snap.promotions_deferred, 1);
+        assert_eq!(snap.pv_fallbacks, 2);
+        assert_eq!(snap.pv_fallback_bytes, 12_288);
+        let copy = snap;
+        snap.absorb(&copy);
+        assert_eq!(snap.total_injected_faults(), 6);
+        assert_eq!(snap.pv_fallback_bytes, 24_576);
     }
 }

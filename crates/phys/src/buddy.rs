@@ -10,6 +10,7 @@ use std::collections::BTreeSet;
 use std::ops::Range;
 
 use trident_obs::{Event, NoopRecorder, Recorder};
+use trident_types::InvariantViolation;
 
 use crate::AllocError;
 
@@ -306,28 +307,65 @@ impl BuddyAllocator {
         order <= self.max_order && self.free_lists[usize::from(order)].contains(&start)
     }
 
-    /// Internal consistency check used by tests: free lists must be aligned,
-    /// in bounds, non-overlapping, and sum to `free_pages`.
+    /// Non-panicking consistency audit: free lists must be aligned, in
+    /// bounds, non-overlapping, and sum to `free_pages`. Returns every
+    /// violation found rather than stopping at the first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any invariant is violated.
-    pub fn assert_consistent(&self) {
+    /// The collected [`InvariantViolation`]s, if any invariant is broken.
+    pub fn check_consistent(&self) -> Result<(), Vec<InvariantViolation>> {
+        let mut violations = Vec::new();
         let mut counted = 0u64;
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for (order, list) in self.free_lists.iter().enumerate() {
             for &start in list {
                 let len = 1u64 << order;
-                assert_eq!(start % len, 0, "block {start} misaligned at order {order}");
-                assert!(start + len <= self.total_pages, "block out of bounds");
+                if start % len != 0 {
+                    violations.push(InvariantViolation::BuddyBlockMisaligned { start, pages: len });
+                }
+                if start + len > self.total_pages {
+                    violations.push(InvariantViolation::BuddyBlockOutOfBounds {
+                        start,
+                        pages: len,
+                        total_pages: self.total_pages,
+                    });
+                }
                 spans.push((start, start + len));
                 counted += len;
             }
         }
-        assert_eq!(counted, self.free_pages, "free page accounting drifted");
+        if counted != self.free_pages {
+            violations.push(InvariantViolation::BuddyFreeCountDrift {
+                counted,
+                recorded: self.free_pages,
+            });
+        }
         spans.sort_unstable();
         for pair in spans.windows(2) {
-            assert!(pair[0].1 <= pair[1].0, "free blocks overlap: {pair:?}");
+            if pair[0].1 > pair[1].0 {
+                violations.push(InvariantViolation::BuddyBlocksOverlap {
+                    first: pair[0].0,
+                    second: pair[1].0,
+                });
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Internal consistency check used by tests; thin panicking wrapper
+    /// over [`check_consistent`](BuddyAllocator::check_consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_consistent(&self) {
+        if let Err(violations) = self.check_consistent() {
+            panic!("{}", trident_types::violations_message(&violations));
         }
     }
 }

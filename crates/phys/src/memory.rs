@@ -1,7 +1,7 @@
 //! The physical-memory façade: buddy + frame table + region statistics.
 
 use trident_obs::{NoopRecorder, Recorder};
-use trident_types::{PageGeometry, PageSize, Pfn};
+use trident_types::{InvariantViolation, PageGeometry, PageSize, Pfn};
 
 use crate::{
     AllocationUnit, BuddyAllocator, FrameTable, FrameUse, MappingOwner, PhysMemError, RegionId,
@@ -296,19 +296,40 @@ impl PhysicalMemory {
         &self.frames
     }
 
-    /// Internal consistency check for tests: buddy accounting matches the
-    /// region counters.
+    /// Non-panicking consistency audit: the buddy allocator's own
+    /// invariants plus agreement between buddy and region free counts.
+    ///
+    /// # Errors
+    ///
+    /// The collected [`InvariantViolation`]s, if any invariant is broken.
+    pub fn check_consistent(&self) -> Result<(), Vec<InvariantViolation>> {
+        let mut violations = match self.buddy.check_consistent() {
+            Ok(()) => Vec::new(),
+            Err(v) => v,
+        };
+        if self.buddy.free_pages() != self.regions.total_free() {
+            violations.push(InvariantViolation::FreeCountMismatch {
+                buddy_free: self.buddy.free_pages(),
+                region_free: self.regions.total_free(),
+            });
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Internal consistency check for tests; thin panicking wrapper over
+    /// [`check_consistent`](PhysicalMemory::check_consistent).
     ///
     /// # Panics
     ///
     /// Panics if an invariant is violated.
     pub fn assert_consistent(&self) {
-        self.buddy.assert_consistent();
-        assert_eq!(
-            self.buddy.free_pages(),
-            self.regions.total_free(),
-            "buddy and region free counts drifted"
-        );
+        if let Err(violations) = self.check_consistent() {
+            panic!("{}", trident_types::violations_message(&violations));
+        }
     }
 }
 

@@ -88,16 +88,19 @@ pub fn render_markdown(profile: &Profile) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
-        "| window | faults b/h/g | promos b/h/g | compact runs | compact bytes | pv pairs | zero blocks | tlb misses | fmfi | free 2M | free 1G |"
+        "| window | faults b/h/g | promos b/h/g | compact runs | compact bytes | pv pairs | zero blocks | tlb misses | fmfi | free 2M | free 1G | injected | deferred | pv fb bytes |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
     for (i, w) in profile.series.windows().iter().enumerate() {
         let fmfi = w
             .fmfi()
             .map_or_else(|| "-".to_owned(), |f| format!("{f:.3}"));
         let _ = writeln!(
             out,
-            "| {} | {}/{}/{} | {}/{}/{} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {}/{}/{} | {}/{}/{} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             i,
             w.faults[0],
             w.faults[1],
@@ -113,6 +116,9 @@ pub fn render_markdown(profile: &Profile) -> String {
             fmfi,
             w.free_huge,
             w.free_giant,
+            w.injected_faults,
+            w.promotions_deferred,
+            w.pv_fallback_bytes,
         );
     }
     out
@@ -161,6 +167,21 @@ pub fn render_json(profile: &Profile) -> String {
         "  \"pv_bytes_exchanged\": {},",
         snap.pv_bytes_exchanged
     );
+    let _ = writeln!(
+        out,
+        "  \"pv_fallbacks\": {{\"count\":{},\"bytes\":{}}},",
+        snap.pv_fallbacks, snap.pv_fallback_bytes
+    );
+    let _ = writeln!(
+        out,
+        "  \"promotions_deferred\": {},",
+        snap.promotions_deferred
+    );
+    let _ = writeln!(
+        out,
+        "  \"injected_faults\": {},",
+        snap.total_injected_faults()
+    );
     out.push_str("  \"spans\": {\n");
     for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
         let comma = if i + 1 < SpanKind::ALL.len() { "," } else { "" };
@@ -186,7 +207,7 @@ pub fn render_json(profile: &Profile) -> String {
             .map_or_else(|| "null".to_owned(), |f| format!("{f:.3}"));
         let _ = writeln!(
             out,
-            "    {{\"ticks\":{},\"faults\":[{},{},{}],\"fault_ns\":[{},{},{}],\"promotions\":[{},{},{}],\"demotions\":[{},{},{}],\"compaction_runs\":{},\"compaction_bytes\":{},\"pv_pairs\":{},\"zero_blocks\":{},\"daemon_ns\":{},\"tlb_misses\":{},\"walk_cycles\":{},\"fmfi\":{fmfi},\"free_huge\":{},\"free_giant\":{}}}{comma}",
+            "    {{\"ticks\":{},\"faults\":[{},{},{}],\"fault_ns\":[{},{},{}],\"promotions\":[{},{},{}],\"demotions\":[{},{},{}],\"compaction_runs\":{},\"compaction_bytes\":{},\"pv_pairs\":{},\"zero_blocks\":{},\"daemon_ns\":{},\"tlb_misses\":{},\"walk_cycles\":{},\"fmfi\":{fmfi},\"free_huge\":{},\"free_giant\":{},\"injected_faults\":{},\"promotions_deferred\":{},\"pv_fallback_bytes\":{}}}{comma}",
             w.ticks,
             w.faults[0], w.faults[1], w.faults[2],
             w.fault_ns[0], w.fault_ns[1], w.fault_ns[2],
@@ -201,6 +222,9 @@ pub fn render_json(profile: &Profile) -> String {
             w.walk_cycles,
             w.free_huge,
             w.free_giant,
+            w.injected_faults,
+            w.promotions_deferred,
+            w.pv_fallback_bytes,
         );
     }
     out.push_str("  ]\n");
@@ -259,6 +283,36 @@ pub fn render_prometheus(profile: &Profile) -> String {
         out,
         "trident_pv_bytes_exchanged_total {}",
         snap.pv_bytes_exchanged
+    );
+    out.push_str(
+        "# HELP trident_injected_faults_total Faults injected by a fault plan, by site.\n",
+    );
+    out.push_str("# TYPE trident_injected_faults_total counter\n");
+    for site in trident_obs::InjectSite::ALL {
+        let _ = writeln!(
+            out,
+            "trident_injected_faults_total{{site=\"{}\"}} {}",
+            site.as_str(),
+            snap.injected_at(site)
+        );
+    }
+    out.push_str(
+        "# HELP trident_promotions_deferred_total Promotions deferred by backoff or injection.\n",
+    );
+    out.push_str("# TYPE trident_promotions_deferred_total counter\n");
+    let _ = writeln!(
+        out,
+        "trident_promotions_deferred_total {}",
+        snap.promotions_deferred
+    );
+    out.push_str(
+        "# HELP trident_pv_fallback_bytes_total Bytes copied by Trident_pv exchange fallbacks.\n",
+    );
+    out.push_str("# TYPE trident_pv_fallback_bytes_total counter\n");
+    let _ = writeln!(
+        out,
+        "trident_pv_fallback_bytes_total {}",
+        snap.pv_fallback_bytes
     );
     out.push_str("# HELP trident_span_ns Span duration quantiles in nanoseconds.\n");
     out.push_str("# TYPE trident_span_ns summary\n");

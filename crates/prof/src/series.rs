@@ -45,6 +45,12 @@ pub struct Window {
     pub free_huge: u64,
     /// Last free 1GB-capacity gauge seen, in 1GB units.
     pub free_giant: u64,
+    /// Faults injected by a deterministic fault plan (any site).
+    pub injected_faults: u64,
+    /// Promotions deferred by backoff or injection.
+    pub promotions_deferred: u64,
+    /// Bytes copied by Trident_pv exchange fallbacks.
+    pub pv_fallback_bytes: u64,
 }
 
 impl Window {
@@ -142,6 +148,9 @@ impl TimeSeries {
                     self.current = Window::empty();
                 }
             }
+            Event::FaultInjected { .. } => w.injected_faults += 1,
+            Event::PromotionDeferred { .. } => w.promotions_deferred += 1,
+            Event::PvFallback { bytes } => w.pv_fallback_bytes += bytes,
             Event::GiantAttempt { .. }
             | Event::BuddySplit { .. }
             | Event::BuddyCoalesce { .. }

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use trident_core::FaultPlan;
 use trident_phys::FragmentProfile;
 use trident_types::{PageGeometry, TridentError, GIB};
 use trident_workloads::MemoryScale;
@@ -42,6 +43,15 @@ pub struct SimConfig {
     /// `trace_capacity` is also set); the result lands in
     /// `Measurement::profile`.
     pub profile: bool,
+    /// When set, a deterministic [`FaultInjector`](trident_core::FaultInjector)
+    /// seeded from this plan is installed into every memory-management
+    /// context before load, failing allocations, compactions, promotions,
+    /// hypercalls and trace writes per the plan; `None` runs fault-free.
+    pub fault: Option<FaultPlan>,
+    /// When true, every daemon tick runs the non-panicking cross-layer
+    /// audit ([`check_mm_consistent`](trident_core::check_mm_consistent))
+    /// and collects any violations instead of asserting (chaos harness).
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -214,6 +224,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a deterministic fault-injection plan.
+    #[must_use]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.config.fault = Some(plan);
+        self
+    }
+
+    /// Enables or disables the per-tick consistency audit.
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.config.audit = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -298,6 +322,8 @@ impl Default for SimConfig {
             tick_interval_app_ns: 50_000_000,
             trace_capacity: None,
             profile: false,
+            fault: None,
+            audit: false,
         }
     }
 }

@@ -5,8 +5,8 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use trident_core::{
-    Event, MmContext, ObsRecorder, PagePolicy, PolicyError, Recorder, RingTracer, SpaceSet,
-    StatsSnapshot,
+    Event, FaultInjector, InvariantViolation, MmContext, ObsRecorder, PagePolicy, PolicyError,
+    Recorder, RingTracer, SpaceSet, StatsSnapshot,
 };
 use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
 use trident_prof::{Profile, Profiler};
@@ -87,6 +87,10 @@ pub struct System {
     /// (2MB-mappable bytes, 1GB-mappable bytes) sampled after each
     /// allocation step — Figure 3's timeline.
     pub mappable_timeline: Vec<(u64, u64)>,
+    /// Invariant violations collected by the per-tick audit (empty unless
+    /// `config.audit` is set — and expected to stay empty even under
+    /// fault injection; anything here is a bug).
+    violations: Vec<InvariantViolation>,
 }
 
 impl std::fmt::Debug for System {
@@ -209,6 +213,11 @@ impl System {
                 }
             }
         };
+        // The injector must be live before load so load-phase faults are
+        // subject to the plan too.
+        if let Some(plan) = config.fault {
+            ctx.fault = FaultInjector::new(plan);
+        }
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
         let asid = AsId::new(1);
@@ -237,6 +246,7 @@ impl System {
             asid,
             touched: 0,
             mappable_timeline: Vec::new(),
+            violations: Vec::new(),
         };
         system.load(spec);
         Ok(system)
@@ -361,9 +371,23 @@ impl System {
         if self.ctx.recorder.enabled() {
             self.ctx.recorder.record(self.gauge_sample());
         }
-        #[cfg(debug_assertions)]
-        trident_core::assert_mm_consistent(&self.ctx, &self.spaces);
+        if self.config.audit {
+            if let Err(v) = trident_core::check_mm_consistent(&self.ctx, &self.spaces) {
+                self.violations.extend(v);
+            }
+        } else {
+            #[cfg(debug_assertions)]
+            trident_core::assert_mm_consistent(&self.ctx, &self.spaces);
+        }
         out
+    }
+
+    /// Invariant violations collected by the per-tick audit; always empty
+    /// unless the config enables `audit`. A graceful system keeps this
+    /// empty even under fault injection.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
     }
 
     /// The current fragmentation/contiguity gauge: 1GB FMFI in

@@ -114,6 +114,13 @@ impl VirtSystem {
             vm.kernel.ctx.recorder = ObsRecorder::ring(capacity);
             hyp.ctx.recorder = ObsRecorder::ring(capacity);
         }
+        // Both levels fail independently but deterministically: each gets
+        // its own injector over the same plan (per-context decision
+        // streams are keyed by site, not by context).
+        if let Some(plan) = config.fault {
+            vm.kernel.ctx.fault = trident_core::FaultInjector::new(plan);
+            hyp.ctx.fault = trident_core::FaultInjector::new(plan);
+        }
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
         let mut vs = VirtSystem {

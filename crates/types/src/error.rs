@@ -181,6 +181,49 @@ mod tests {
     }
 
     #[test]
+    fn display_is_nonempty_and_distinct_for_every_variant() {
+        let all = [
+            TridentError::OutOfContiguousMemory(AllocError { order: 18 }),
+            TridentError::FrameOutOfBounds { pfn: 1 },
+            TridentError::NotAUnitHead { pfn: 2 },
+            TridentError::AlreadyFree { pfn: 3 },
+            TridentError::Unaligned {
+                vpn: Vpn::new(4),
+                size: PageSize::Huge,
+            },
+            TridentError::Overlap { vpn: Vpn::new(5) },
+            TridentError::NotMapped { vpn: Vpn::new(6) },
+            TridentError::NotAMappingHead { vpn: Vpn::new(7) },
+            TridentError::NoVirtualSpace { bytes: 8 },
+            TridentError::BadAddress(Vpn::new(9)),
+            TridentError::InvalidConfig {
+                field: "seed",
+                reason: "must be set",
+            },
+        ];
+        let messages: Vec<String> = all.iter().map(ToString::to_string).collect();
+        for m in &messages {
+            assert!(!m.is_empty());
+        }
+        let mut dedup = messages.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            messages.len(),
+            "every variant renders a distinct message"
+        );
+        // Only the allocation failure carries a source.
+        for e in &all {
+            assert_eq!(
+                e.source().is_some(),
+                matches!(e, TridentError::OutOfContiguousMemory(_)),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
     fn vm_variants_mention_the_page() {
         let e = TridentError::Overlap { vpn: Vpn::new(16) };
         assert!(e.to_string().contains("0x10"));

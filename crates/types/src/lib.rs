@@ -28,6 +28,7 @@ mod addr;
 mod error;
 mod geometry;
 mod ids;
+mod invariant;
 mod page_size;
 mod units;
 
@@ -35,5 +36,6 @@ pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use error::{AllocError, TridentError};
 pub use geometry::PageGeometry;
 pub use ids::AsId;
+pub use invariant::{violations_message, InvariantViolation};
 pub use page_size::PageSize;
 pub use units::{GIB, KIB, MIB};

@@ -29,6 +29,9 @@ pub enum PvError {
     },
     /// The VM is unknown to the hypervisor.
     UnknownVm,
+    /// The hypercall was failed by an installed fault plan (chaos
+    /// testing); the guest must take its copy fallback.
+    Injected,
 }
 
 impl fmt::Display for PvError {
@@ -38,6 +41,7 @@ impl fmt::Display for PvError {
                 write!(f, "gPA {gpa} is not exchangeable at 2MB granularity")
             }
             PvError::UnknownVm => f.write_str("unknown virtual machine"),
+            PvError::Injected => f.write_str("exchange hypercall failed by fault injection"),
         }
     }
 }
@@ -70,6 +74,12 @@ impl Hypervisor {
     ) -> Result<u64, PvError> {
         if self.spaces.get(vm).is_none() {
             return Err(PvError::UnknownVm);
+        }
+        // Chaos hook: an installed fault plan can fail the whole hypercall
+        // before any pair is exchanged, exercising the guest's copy
+        // fallback deterministically.
+        if self.ctx.inject(trident_core::InjectSite::PvExchange) {
+            return Err(PvError::Injected);
         }
         let cost = self.ctx.cost;
         let mut ns = if batched {
@@ -264,8 +274,12 @@ pub fn copyless_promote_giant(
                 guest.ctx.span_end(SpanKind::PvExchange, hyp_ns);
             }
             Err(_) => {
-                // Fall back to copying everything (§6).
+                // Fall back to copying everything (§6). The fallback event
+                // carries exactly the bytes the exchange would have moved.
                 fell_back = true;
+                guest.ctx.record(Event::PvFallback {
+                    bytes: exchanged * geo.bytes(PageSize::Huge),
+                });
                 copied_pages += exchanged * hp;
                 exchanged = 0;
             }
@@ -456,6 +470,93 @@ mod tests {
             space.page_table().translate(Vpn::new(0)).unwrap().size,
             PageSize::Giant
         );
+    }
+
+    /// Satellite check: under an injected hypercall failure the guest
+    /// falls back to copying *exactly* the bytes the exchange would have
+    /// moved, and the fallback is visible in the guest's stats.
+    #[test]
+    fn injected_hypercall_failure_copies_exactly_the_exchange_bytes() {
+        use trident_core::{FaultInjector, FaultPlan, InjectSite};
+        // A THP host would normally let the exchange succeed — only the
+        // injected fault forces the fallback.
+        let (mut hyp, mut vm) = boot(Box::new(ThpPolicy::new()));
+        back_with_huge(&mut hyp, &mut vm, 0, 2);
+        let vm_id = vm.id();
+        let plan = FaultPlan::builder(7)
+            .site(InjectSite::PvExchange, 1000)
+            .build()
+            .unwrap();
+        hyp.ctx.fault = FaultInjector::new(plan);
+        let report =
+            copyless_promote_giant(&mut vm.kernel, &mut hyp, vm_id, AsId::new(1), Vpn::new(0))
+                .unwrap();
+        assert!(report.fell_back);
+        assert_eq!(report.pairs_exchanged, 0);
+        // The two 2MB pairs (8 base pages each, TINY geometry) that the
+        // exchange would have moved are exactly what got copied.
+        assert_eq!(report.bytes_copied, 2 * 8 * 4096);
+        let guest = vm.kernel.ctx.stats.snapshot();
+        assert_eq!(guest.pv_fallbacks, 1);
+        assert_eq!(guest.pv_fallback_bytes, report.bytes_copied);
+        assert_eq!(guest.pv_bytes_exchanged, 0, "nothing was exchanged");
+        // The promotion itself still completed gracefully.
+        let space = vm.kernel.spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(
+            space.page_table().translate(Vpn::new(0)).unwrap().size,
+            PageSize::Giant
+        );
+        hyp.ctx.mem.assert_consistent();
+        vm.kernel.ctx.mem.assert_consistent();
+    }
+
+    /// Satellite check: guest and host stats reconcile under injected
+    /// hypercall failures — every guest-side fallback matches one
+    /// host-side injected PvExchange fault, and exchange accounting stays
+    /// exclusive (a promotion either exchanges or falls back, never both).
+    #[test]
+    fn guest_and_host_stats_reconcile_under_injected_failures() {
+        use trident_core::{FaultInjector, FaultPlan, InjectSite};
+        let (mut hyp, mut vm) = boot(Box::new(ThpPolicy::new()));
+        // Two independent giant chunks, each backed by two 2MB pages.
+        back_with_huge(&mut hyp, &mut vm, 0, 2);
+        back_with_huge(&mut hyp, &mut vm, 64, 2);
+        let vm_id = vm.id();
+        // 50% per-hypercall failure probability: with seed 3 one of the
+        // two promotions falls back and one succeeds (deterministic).
+        let plan = FaultPlan::builder(3)
+            .site(InjectSite::PvExchange, 500)
+            .build()
+            .unwrap();
+        hyp.ctx.fault = FaultInjector::new(plan);
+        let mut fallbacks = 0u64;
+        let mut exchanged_pairs = 0u64;
+        for head in [0u64, 64] {
+            let report = copyless_promote_giant(
+                &mut vm.kernel,
+                &mut hyp,
+                vm_id,
+                AsId::new(1),
+                Vpn::new(head),
+            )
+            .unwrap();
+            fallbacks += u64::from(report.fell_back);
+            exchanged_pairs += report.pairs_exchanged;
+        }
+        assert_eq!(fallbacks, 1, "seed 3 fails exactly one of two hypercalls");
+        let guest = vm.kernel.ctx.stats.snapshot();
+        let host = hyp.ctx.stats.snapshot();
+        // One-to-one: guest fallbacks == host injected PvExchange faults.
+        assert_eq!(guest.pv_fallbacks, fallbacks);
+        assert_eq!(host.injected_at(InjectSite::PvExchange), fallbacks);
+        assert_eq!(hyp.ctx.fault.injected(InjectSite::PvExchange), 1);
+        // Exclusivity: the surviving promotion's pairs are all exchanged,
+        // the failed one's bytes all fell back.
+        assert_eq!(exchanged_pairs, 2);
+        assert_eq!(guest.pv_bytes_exchanged, 2 * 8 * 4096);
+        assert_eq!(guest.pv_fallback_bytes, 2 * 8 * 4096);
+        hyp.ctx.mem.assert_consistent();
+        vm.kernel.ctx.mem.assert_consistent();
     }
 
     #[test]
