@@ -5,12 +5,18 @@
 
 use std::time::Instant;
 
-use trident_sim::experiments::{fig1, ExpOptions};
+use trident_bench::args::Args;
+use trident_sim::experiments::fig1;
 use trident_sim::Runner;
 
+const USAGE: &str = "usage: bench1 [--seed N] [--threads N]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = ExpOptions::from_args(&args);
+    let mut args = Args::from_env();
+    let mut opts = match args.exp_options().and_then(|o| args.finish().map(|()| o)) {
+        Ok(o) => o,
+        Err(err) => err.exit(USAGE),
+    };
     // The fixed benchmark grid (only --seed and --threads are honored).
     opts.scale = 256;
     opts.samples = 8_000;

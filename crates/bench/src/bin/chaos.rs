@@ -20,6 +20,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use trident_bench::args::{ArgError, Args};
 use trident_core::{FaultPlan, StatsSnapshot};
 use trident_sim::{derive_cell_seed, PolicyKind, Runner, SimConfig, System, VirtSystem};
 use trident_workloads::WorkloadSpec;
@@ -109,28 +110,26 @@ fn run_cell(plan: &CellPlan) -> Result<CellOutcome, String> {
     })
 }
 
-fn parse_prob(args: &[String]) -> u16 {
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg == "--prob" {
-            if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                return v;
-            }
-        }
-    }
-    100
+const USAGE: &str = "usage: chaos [--prob N] [standard experiment flags]";
+
+fn parse_cli(args: &mut Args) -> Result<(trident_bench::ExpOptions, u16), ArgError> {
+    // The chaos grid defaults to a smaller cell than the figures so the
+    // whole grid (with audit on) stays fast.
+    let scale = args.parsed_or("--scale", 64)?;
+    let samples = args.parsed_or("--samples", 20_000)?;
+    let prob: u16 = args.parsed_or("--prob", 100)?;
+    let mut opts = args.exp_options()?;
+    opts.scale = scale;
+    opts.samples = samples;
+    Ok((opts, prob))
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = trident_bench::ExpOptions::from_args(&args);
-    if !args.iter().any(|a| a == "--scale") {
-        opts.scale = 64;
-    }
-    if !args.iter().any(|a| a == "--samples") {
-        opts.samples = 20_000;
-    }
-    let prob = parse_prob(&args);
+    let mut args = Args::from_env();
+    let (opts, prob) = match parse_cli(&mut args).and_then(|v| args.finish().map(|()| v)) {
+        Ok(v) => v,
+        Err(err) => err.exit(USAGE),
+    };
     trident_bench::banner("Chaos: fault-plan grid with per-tick audit", &opts);
     eprintln!("# per-site probability cap: {prob}/1000");
 

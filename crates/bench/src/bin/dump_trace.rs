@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use trident_bench::options_from_env;
+use trident_bench::args::Args;
 use trident_core::{Event, StatsSnapshot, SNAPSHOT_VERSION};
 use trident_sim::{PolicyKind, System};
 use trident_workloads::WorkloadSpec;
@@ -38,16 +38,25 @@ const POLICIES: [PolicyKind; 11] = [
     PolicyKind::TridentFaultOnly,
 ];
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+const USAGE: &str = "usage: dump_trace [--workload NAME] [--policy LABEL] [--check] [--strict] \
+                     [standard experiment flags]";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = options_from_env();
+    let mut args = Args::from_env();
+    let check = args.flag("--check");
+    let strict = args.flag("--strict");
+    let workload = match args.value("--workload") {
+        Ok(v) => v.unwrap_or_else(|| "GUPS".to_owned()),
+        Err(err) => err.exit(USAGE),
+    };
+    let policy_label = match args.value("--policy") {
+        Ok(v) => v.unwrap_or_else(|| "Trident".to_owned()),
+        Err(err) => err.exit(USAGE),
+    };
+    let mut opts = match args.exp_options().and_then(|o| args.finish().map(|()| o)) {
+        Ok(o) => o,
+        Err(err) => err.exit(USAGE),
+    };
     if opts.scale == 32 {
         // The binary default grid is too big for a quick dump; prefer the
         // integration-test scale unless the user asked for more.
@@ -55,15 +64,11 @@ fn main() -> ExitCode {
         opts.samples = 8_000;
     }
     let capacity = opts.trace_capacity.unwrap_or(1 << 20);
-    let check = args.iter().any(|a| a == "--check");
-    let strict = args.iter().any(|a| a == "--strict");
 
-    let workload = flag_value(&args, "--workload").unwrap_or_else(|| "GUPS".to_owned());
     let Some(spec) = WorkloadSpec::by_name(&workload) else {
         eprintln!("unknown workload {workload:?}");
         return ExitCode::FAILURE;
     };
-    let policy_label = flag_value(&args, "--policy").unwrap_or_else(|| "Trident".to_owned());
     let Some(policy) = POLICIES.iter().copied().find(|p| p.label() == policy_label) else {
         eprintln!("unknown policy {policy_label:?}");
         return ExitCode::FAILURE;

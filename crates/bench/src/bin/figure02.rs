@@ -1,10 +1,16 @@
 //! Regenerates Figure 2: page sizes under virtualized execution.
 
+const USAGE: &str = "usage: figure02 [--all-combos] [standard experiment flags]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = trident_bench::ExpOptions::from_args(&args);
+    let mut args = trident_bench::args::Args::from_env();
+    let all_combos = args.flag("--all-combos");
+    let opts = match args.exp_options().and_then(|o| args.finish().map(|()| o)) {
+        Ok(o) => o,
+        Err(err) => err.exit(USAGE),
+    };
     trident_bench::banner("Figure 2: virtualized walk cycles and performance", &opts);
-    if args.iter().any(|a| a == "--all-combos") {
+    if all_combos {
         // The paper explored all nine guest+host combinations.
         print!(
             "{}",

@@ -28,47 +28,77 @@ use std::fs::File;
 use std::io::{BufReader, Cursor};
 use std::process::ExitCode;
 
+use trident_bench::args::{ArgError, Args};
 use trident_prof::report::{render_json, render_markdown, render_prometheus};
 use trident_prof::{Profile, TraceReader};
 use trident_sim::experiments::ExpOptions;
 use trident_sim::{PolicyKind, System};
 use trident_workloads::WorkloadSpec;
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
+const USAGE: &str =
+    "usage: trace_analyze FILE [--window N] [--json F] [--md F] [--prom F]\n       \
+                     trace_analyze --check\n       \
+                     trace_analyze --bench-gate FRESH --baseline OLD [--threshold PCT]";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--check") {
+    let mut args = Args::from_env();
+    if args.flag("--check") {
+        if let Err(err) = args.finish() {
+            err.exit(USAGE);
+        }
         return run_check();
     }
-    if let Some(fresh) = flag_value(&args, "--bench-gate") {
-        let Some(baseline) = flag_value(&args, "--baseline") else {
-            eprintln!("--bench-gate needs --baseline FILE");
-            return ExitCode::FAILURE;
-        };
-        let threshold = flag_value(&args, "--threshold")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(15.0);
-        return run_bench_gate(&fresh, &baseline, threshold);
+    match parse_cli(&mut args).and_then(|cmd| args.finish().map(|()| cmd)) {
+        Ok(Cmd::BenchGate {
+            fresh,
+            baseline,
+            threshold,
+        }) => run_bench_gate(&fresh, &baseline, threshold),
+        Ok(Cmd::Analyze { path, window, outs }) => run_analyze(&path, window, &outs),
+        Err(err) => err.exit(USAGE),
     }
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")).cloned() else {
-        eprintln!("usage: trace_analyze FILE [--window N] [--json F] [--md F] [--prom F]");
-        eprintln!("       trace_analyze --check");
-        eprintln!("       trace_analyze --bench-gate FRESH --baseline OLD [--threshold PCT]");
-        return ExitCode::FAILURE;
-    };
-    let window = flag_value(&args, "--window")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    run_analyze(&path, window, &args)
 }
 
-fn run_analyze(path: &str, window: u64, args: &[String]) -> ExitCode {
+enum Cmd {
+    Analyze {
+        path: String,
+        window: u64,
+        /// `(renderer flag, output path)` pairs that were requested.
+        outs: Vec<(&'static str, String)>,
+    },
+    BenchGate {
+        fresh: String,
+        baseline: String,
+        threshold: f64,
+    },
+}
+
+fn parse_cli(args: &mut Args) -> Result<Cmd, ArgError> {
+    if let Some(fresh) = args.value("--bench-gate")? {
+        let baseline = args.value("--baseline")?.ok_or(ArgError::MissingValue {
+            flag: "--baseline".to_owned(),
+        })?;
+        let threshold = args.parsed_or("--threshold", 15.0)?;
+        return Ok(Cmd::BenchGate {
+            fresh,
+            baseline,
+            threshold,
+        });
+    }
+    let window = args.parsed_or("--window", 1)?;
+    let mut outs = Vec::new();
+    for flag in ["--json", "--md", "--prom"] {
+        if let Some(out) = args.value(flag)? {
+            outs.push((flag, out));
+        }
+    }
+    let path = args.positional().ok_or(ArgError::Unknown {
+        token: "(missing FILE)".to_owned(),
+    })?;
+    Ok(Cmd::Analyze { path, window, outs })
+}
+
+fn run_analyze(path: &str, window: u64, outs: &[(&'static str, String)]) -> ExitCode {
     let file = match File::open(path) {
         Ok(f) => f,
         Err(e) => {
@@ -92,18 +122,17 @@ fn run_analyze(path: &str, window: u64, args: &[String]) -> ExitCode {
         profile.events_seen,
         profile.series.windows().len()
     );
-    for (flag, render) in [
-        ("--json", render_json as fn(&Profile) -> String),
-        ("--md", render_markdown),
-        ("--prom", render_prometheus),
-    ] {
-        if let Some(out) = flag_value(args, flag) {
-            if let Err(e) = std::fs::write(&out, render(&profile)) {
-                eprintln!("cannot write {out}: {e}");
-                return ExitCode::FAILURE;
-            }
-            eprintln!("# wrote {out}");
+    for (flag, out) in outs {
+        let render = match *flag {
+            "--json" => render_json as fn(&Profile) -> String,
+            "--md" => render_markdown,
+            _ => render_prometheus,
+        };
+        if let Err(e) = std::fs::write(out, render(&profile)) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
         }
+        eprintln!("# wrote {out}");
     }
     print!("{}", render_markdown(&profile));
     ExitCode::SUCCESS

@@ -1,132 +1,285 @@
 //! `tridentctl` — run any workload under any policy and print a
-//! `perf stat`-style report.
+//! `perf stat`-style report, locally or against a `tridentd` daemon.
 //!
 //! ```sh
 //! tridentctl list
 //! tridentctl run --workload Redis --policy Trident --scale 64 [--fragment]
 //! tridentctl run --workload GUPS --policy Trident --trace-out run.jsonl
+//! tridentctl run --workload GUPS --policy Trident --connect 127.0.0.1:7117
+//! tridentctl jobs --connect 127.0.0.1:7117
+//! tridentctl shutdown --connect 127.0.0.1:7117
 //! ```
 //!
-//! `--trace-out FILE` streams the run's event trace to `FILE` as JSONL
-//! while the simulation executes — no ring, no capacity limit, no
-//! drops — ready for `trace_analyze`.
+//! With `--connect ADDR` the job travels as a [`trident_serve::proto`]
+//! request and executes on the daemon's worker pool; without it the same
+//! [`JobSpec`] runs in-process. Both paths call
+//! `trident_serve::job::execute`, so the results are bit-identical.
 
-use std::io::BufWriter;
-
-use trident_core::ObsRecorder;
-use trident_prof::JsonlWriter;
-use trident_sim::{PolicyKind, RunReport, SimConfig, System};
+use trident_bench::args::{ArgError, Args};
+use trident_serve::proto::FaultSpec;
+use trident_serve::{Client, JobResult, JobSpec, Request, Response};
+use trident_sim::PolicyKind;
+use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
 
-const POLICIES: &[(&str, PolicyKind)] = &[
-    ("4KB", PolicyKind::Base),
-    ("THP", PolicyKind::Thp),
-    ("Hugetlbfs2M", PolicyKind::HugetlbfsHuge),
-    ("Hugetlbfs1G", PolicyKind::HugetlbfsGiant),
-    ("HawkEye", PolicyKind::HawkEye),
-    ("Ingens", PolicyKind::Ingens),
-    ("Trident", PolicyKind::Trident),
-    ("Trident1G", PolicyKind::Trident1G),
-    ("TridentNC", PolicyKind::TridentNC),
-];
+const USAGE: &str = "\
+usage: tridentctl list
+       tridentctl run --workload <name> --policy <name> [--scale N] [--samples N]
+                      [--seed N] [--cell N] [--fragment] [--trace N] [--profile]
+                      [--trace-out FILE] [--profile-out FILE]
+                      [--fault-seed N] [--fault SITE:PROB]...
+                      [--connect ADDR]
+       tridentctl status <id> --connect ADDR
+       tridentctl cancel <id> --connect ADDR
+       tridentctl jobs --connect ADDR
+       tridentctl shutdown --connect ADDR";
 
 fn usage() -> ! {
-    eprintln!("usage: tridentctl list");
-    eprintln!("       tridentctl run --workload <name> --policy <name> [--scale N] [--samples N] [--seed N] [--fragment] [--trace-out FILE]");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("tridentctl: {msg}");
+    std::process::exit(1);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("list") => {
-            println!("workloads:");
-            for w in WorkloadSpec::all() {
-                println!(
-                    "  {:<10} {:>4} GB, {} threads{}",
-                    w.name,
-                    w.footprint_bytes >> 30,
-                    w.threads,
-                    if w.giant_sensitive {
-                        ", 1GB-sensitive"
-                    } else {
-                        ""
-                    }
-                );
-            }
-            println!("policies:");
-            for (name, kind) in POLICIES {
-                println!("  {:<12} ({})", name, kind.label());
-            }
+    let mut args = Args::from_env();
+    let Some(command) = args.positional() else {
+        usage()
+    };
+    let outcome = match command.as_str() {
+        "list" => {
+            list();
+            args.finish()
         }
-        Some("run") => {
-            let get = |flag: &str| {
-                args.iter()
-                    .position(|a| a == flag)
-                    .and_then(|i| args.get(i + 1))
-                    .cloned()
-            };
-            let workload = get("--workload").unwrap_or_else(|| usage());
-            let policy_name = get("--policy").unwrap_or_else(|| usage());
-            let spec = WorkloadSpec::by_name(&workload).unwrap_or_else(|| {
-                eprintln!("unknown workload {workload}; try `tridentctl list`");
-                std::process::exit(2);
-            });
-            let kind = POLICIES
-                .iter()
-                .find(|(n, _)| n.eq_ignore_ascii_case(&policy_name))
-                .map(|(_, k)| *k)
-                .unwrap_or_else(|| {
-                    eprintln!("unknown policy {policy_name}; try `tridentctl list`");
-                    std::process::exit(2);
-                });
-            let opts = trident_bench::ExpOptions::from_args(&args);
-            let mut config = SimConfig::at_scale(opts.scale);
-            config.measure_samples = opts.samples;
-            config.measure_tick_every = (opts.samples / 6).max(1);
-            config.seed = opts.seed;
-            if args.iter().any(|a| a == "--fragment") {
-                config = config.fragmented();
-            }
-            let writer = get("--trace-out").map(|path| {
-                let file = std::fs::File::create(&path).unwrap_or_else(|e| {
-                    eprintln!("cannot create trace file {path}: {e}");
-                    std::process::exit(1);
-                });
-                (path, JsonlWriter::new(Box::new(BufWriter::new(file))))
-            });
-            let launched = match &writer {
-                Some((_, w)) => System::launch_recording(
-                    config,
-                    kind,
-                    spec,
-                    ObsRecorder::custom(Box::new(w.clone())),
-                ),
-                None => System::launch(config, kind, spec),
-            };
-            match launched {
-                Ok(mut system) => {
-                    system.settle();
-                    let m = system.measure();
-                    println!("{}", RunReport::new(&system, &m));
-                    if let Some((path, w)) = writer {
-                        match w.finish() {
-                            Ok(lines) => eprintln!("# trace: {lines} events -> {path}"),
-                            Err(e) => {
-                                eprintln!("trace write to {path} failed: {e}");
-                                std::process::exit(1);
-                            }
-                        }
-                    }
-                }
-                Err(e) => {
-                    eprintln!(
-                        "launch failed: {e} (hugetlbfs reservations fail on fragmented memory)"
-                    );
-                    std::process::exit(1);
-                }
-            }
-        }
+        "run" => run(args),
+        "status" => remote_by_id(args, |id| Request::Status { id }),
+        "cancel" => remote_by_id(args, |id| Request::Cancel { id }),
+        "jobs" => remote(args, Request::List),
+        "shutdown" => remote(args, Request::Shutdown),
         _ => usage(),
+    };
+    if let Err(err) = outcome {
+        err.exit(USAGE);
+    }
+}
+
+fn list() {
+    println!("workloads:");
+    for w in WorkloadSpec::all() {
+        println!(
+            "  {:<10} {:>4} GB, {} threads{}",
+            w.name,
+            w.footprint_bytes >> 30,
+            w.threads,
+            if w.giant_sensitive {
+                ", 1GB-sensitive"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("policies:");
+    for kind in PolicyKind::ALL {
+        println!("  {:<16} ({})", kind.short_name(), kind.label());
+    }
+}
+
+/// Builds a [`JobSpec`] from the `run` flags.
+fn spec_from_args(args: &mut Args) -> Result<JobSpec, ArgError> {
+    let workload = args.value("--workload")?;
+    let policy = args.value("--policy")?;
+    let (Some(workload), Some(policy)) = (workload, policy) else {
+        usage()
+    };
+    let mut spec = JobSpec::new(&workload, &policy);
+    spec.scale = args.parsed_or("--scale", spec.scale)?;
+    spec.samples = args.parsed_or("--samples", spec.samples)?;
+    spec.seed = args.parsed_or("--seed", spec.seed)?;
+    spec.cell_index = args.parsed("--cell")?;
+    spec.fragment = args.flag("--fragment");
+    spec.trace_capacity = args.parsed("--trace")?;
+    spec.profile = args.flag("--profile");
+    spec.trace_out = args.value("--trace-out")?;
+    spec.profile_out = args.value("--profile-out")?;
+
+    let fault_seed = args.parsed("--fault-seed")?;
+    let mut rules = Vec::new();
+    while let Some(raw) = args.value("--fault")? {
+        let parsed = raw.split_once(':').and_then(|(site, prob)| {
+            Some((
+                trident_core::InjectSite::parse(site)?,
+                prob.parse::<u16>().ok()?,
+            ))
+        });
+        match parsed {
+            Some(rule) => rules.push(rule),
+            None => {
+                return Err(ArgError::InvalidValue {
+                    flag: "--fault".to_owned(),
+                    value: raw,
+                    expected: "SITE:PROB, e.g. alloc:100 (probability in thousandths)",
+                })
+            }
+        }
+    }
+    if !rules.is_empty() || fault_seed.is_some() {
+        spec.fault = Some(FaultSpec {
+            seed: fault_seed.unwrap_or(spec.seed),
+            rules,
+        });
+    }
+    Ok(spec)
+}
+
+fn run(mut args: Args) -> Result<(), ArgError> {
+    let spec = spec_from_args(&mut args)?;
+    let connect = args.value("--connect")?;
+    args.finish()?;
+
+    let result = match connect {
+        Some(addr) => run_remote(&spec, &addr),
+        None => match trident_serve::job::execute(&spec) {
+            Ok(result) => result,
+            Err(msg) => fail(msg),
+        },
+    };
+    print_report(&spec, &result);
+    Ok(())
+}
+
+/// Submits the job to a daemon and blocks for its result.
+fn run_remote(spec: &JobSpec, addr: &str) -> JobResult {
+    let mut client = connect(addr);
+    let id = match request(&mut client, &Request::Submit(spec.clone())) {
+        Response::Submitted { id } => id,
+        other => fail(describe(&other)),
+    };
+    eprintln!("# submitted as job {id} on {addr}");
+    match request(&mut client, &Request::Result { id }) {
+        Response::Result { result, .. } => result,
+        other => fail(describe(&other)),
+    }
+}
+
+/// Subcommands that are pure protocol round-trips (`jobs`, `shutdown`).
+fn remote(mut args: Args, req: Request) -> Result<(), ArgError> {
+    let addr = args.value("--connect")?.unwrap_or_else(|| usage());
+    args.finish()?;
+    let response = request(&mut connect(&addr), &req);
+    println!("{}", describe(&response));
+    Ok(())
+}
+
+/// Subcommands addressing one job by id (`status <id>`, `cancel <id>`).
+fn remote_by_id(mut args: Args, req: impl Fn(u64) -> Request) -> Result<(), ArgError> {
+    let id = match args.positional() {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| fail(format!("job id must be an integer, got {raw:?}"))),
+        None => usage(),
+    };
+    remote(args, req(id))
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
+}
+
+fn request(client: &mut Client, req: &Request) -> Response {
+    match client.request(req) {
+        Ok(Response::Error { code, message }) => {
+            fail(format!("daemon refused ({code}): {message}"))
+        }
+        Ok(response) => response,
+        Err(e) => fail(e),
+    }
+}
+
+/// One line of human-readable text per non-result response.
+fn describe(response: &Response) -> String {
+    match response {
+        Response::Submitted { id } => format!("submitted as job {id}"),
+        Response::Status { id, state } => format!("job {id}: {state}"),
+        Response::Result { id, .. } => format!("job {id}: done"),
+        Response::Cancelled { id } => format!("job {id}: cancelled"),
+        Response::Jobs { jobs } if jobs.is_empty() => "no jobs".to_owned(),
+        Response::Jobs { jobs } => jobs
+            .iter()
+            .map(|j| {
+                format!(
+                    "{:>4}  {:<10} {:<14} {}",
+                    j.id, j.state, j.policy, j.workload
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Response::ShuttingDown => "daemon is draining and will exit".to_owned(),
+        Response::Error { code, message } => format!("error ({code}): {message}"),
+    }
+}
+
+/// The `perf stat`-style report, rendered from the serializable
+/// [`JobResult`] so local and remote runs print identically.
+fn print_report(spec: &JobSpec, r: &JobResult) {
+    let s = &r.snapshot;
+    println!(
+        "── {} under {} (scale 1/{}) ──",
+        spec.workload, spec.policy, spec.scale
+    );
+    println!("memory mix:");
+    for size in PageSize::ALL {
+        println!(
+            "  {:>4}: {:>8} MB mapped",
+            size.label(),
+            r.mapped_bytes[size as usize] >> 20
+        );
+    }
+    let miss = if r.tlb_accesses == 0 {
+        0.0
+    } else {
+        100.0 * r.walks as f64 / r.tlb_accesses as f64
+    };
+    println!(
+        "tlb: {} accesses, {} walks ({miss:.2}% miss), {} walk cycles",
+        r.tlb_accesses, r.walks, r.walk_cycles
+    );
+    println!(
+        "faults: {} total ({} at 1GB, mean 1GB fault {})",
+        s.total_faults(),
+        s.faults[PageSize::Giant as usize],
+        s.mean_giant_fault_ns()
+            .map(|ns| format!("{:.2} ms", ns as f64 / 1e6))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    println!(
+        "promotion: {} to 2MB, {} to 1GB; {} MB copied; {} MB exchanged (pv)",
+        s.promotions[PageSize::Huge as usize],
+        s.promotions[PageSize::Giant as usize],
+        s.promotion_bytes_copied >> 20,
+        s.pv_bytes_exchanged >> 20,
+    );
+    println!(
+        "compaction: {}/{} successful runs, {} MB migrated",
+        s.compaction_successes,
+        s.compaction_attempts,
+        s.compaction_bytes_copied >> 20,
+    );
+    println!(
+        "bloat: {} pages added, {} recovered; daemon CPU {:.1} ms",
+        s.bloat_pages,
+        s.bloat_recovered_pages,
+        s.daemon_ns as f64 / 1e6,
+    );
+    if r.trace_dropped > 0 {
+        println!("trace: {} events dropped by the ring", r.trace_dropped);
+    }
+    if let (Some(lines), Some(path)) = (r.trace_lines, &spec.trace_out) {
+        eprintln!("# trace: {lines} events -> {path}");
+    }
+    if let Some(path) = &spec.profile_out {
+        eprintln!("# profile -> {path}");
     }
 }

@@ -1,0 +1,87 @@
+//! `tridentd` — the Trident job daemon.
+//!
+//! Serves the versioned line-JSON protocol of `trident-serve` over TCP
+//! (default) or stdin/stdout, executing submitted workload×policy cells
+//! on a sharded worker pool. Results are bit-identical to running the
+//! same cell locally — `tridentctl run --connect` is a thin client of
+//! the same request types.
+//!
+//! ```sh
+//! tridentd --listen 127.0.0.1:7117 --workers 4 --queue-depth 64
+//! tridentd --stdin            # serve one request stream on stdin
+//! ```
+//!
+//! A client `shutdown` request (or end of stdin) drains queued and
+//! in-flight jobs before the process exits.
+
+use std::sync::Arc;
+
+use trident_bench::args::Args;
+use trident_serve::service::{Service, ServiceConfig};
+use trident_serve::{serve_lines, serve_tcp};
+
+const USAGE: &str = "usage: tridentd [--listen ADDR] [--stdin] [--workers N] [--queue-depth N]";
+
+fn main() {
+    let mut args = Args::from_env();
+    let use_stdin = args.flag("--stdin");
+    let parsed = (|| {
+        let listen = args
+            .value("--listen")?
+            .unwrap_or_else(|| "127.0.0.1:7117".to_owned());
+        let workers = args.parsed_or("--workers", 0usize)?;
+        let queue_depth = args.parsed_or("--queue-depth", 64usize)?;
+        Ok((listen, workers, queue_depth))
+    })();
+    let (listen, workers, queue_depth) = match parsed.and_then(|v| args.finish().map(|()| v)) {
+        Ok(v) => v,
+        Err(err) => err.exit(USAGE),
+    };
+
+    let service = Service::start(ServiceConfig {
+        workers,
+        queue_depth,
+        start_paused: false,
+    });
+    eprintln!(
+        "# tridentd: {} workers, queue depth {} per shard",
+        service.workers(),
+        queue_depth
+    );
+
+    if use_stdin {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        match serve_lines(&service, stdin.lock(), stdout.lock()) {
+            Ok(_) => {}
+            Err(err) => {
+                eprintln!("tridentd: stdin stream failed: {err}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("# tridentd: draining…");
+        service.shutdown();
+        eprintln!("# tridentd: done");
+        return;
+    }
+
+    let service = Arc::new(service);
+    let handle = match serve_tcp(Arc::clone(&service), &listen) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("tridentd: cannot listen on {listen}: {err}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke tests parse this line for the bound port.
+    eprintln!("# tridentd: listening on {}", handle.addr());
+    if let Err(err) = handle.join() {
+        eprintln!("tridentd: accept loop failed: {err}");
+    }
+    eprintln!("# tridentd: draining…");
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown(),
+        Err(service) => service.request_stop(), // a connection thread still holds a reference
+    }
+    eprintln!("# tridentd: done");
+}

@@ -11,13 +11,24 @@
 #![warn(missing_docs)]
 #![deny(deprecated)]
 
+pub mod args;
+
 pub use trident_sim::experiments::ExpOptions;
 
-/// Parses the standard experiment flags from `std::env::args`.
+/// Usage line shared by the figure/table binaries, which take only the
+/// standard experiment flags.
+const STANDARD_USAGE: &str =
+    "usage: [--scale N] [--samples N] [--seed N] [--threads N] [--trace N] [--profile]";
+
+/// Parses the standard experiment flags from `std::env::args`, exiting
+/// with a usage message on any unknown flag or bad value.
 #[must_use]
 pub fn options_from_env() -> ExpOptions {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    ExpOptions::from_args(&args)
+    let mut a = args::Args::from_env();
+    match a.exp_options().and_then(|opts| a.finish().map(|()| opts)) {
+        Ok(opts) => opts,
+        Err(err) => err.exit(STANDARD_USAGE),
+    }
 }
 
 /// Prints the experiment banner on stderr so stdout stays pure CSV.

@@ -5,8 +5,8 @@
 //! fault versus promotion time, and bytes copied by compaction.
 //!
 //! Consumption goes through the versioned [`StatsSnapshot`] (from
-//! `trident-obs`): call [`MmStats::snapshot`] and use its accessors. The
-//! old per-field getters survive as deprecated shims. Production goes
+//! `trident-obs`): call [`MmStats::snapshot`] and use its accessors —
+//! it is the only read path. Production goes
 //! through [`MmContext::record`](crate::MmContext::record), which folds a
 //! typed [`Event`] into these counters *and* forwards it to the installed
 //! recorder, so a complete trace always replays to the exact snapshot.
@@ -172,35 +172,6 @@ impl MmStats {
             }
         }
     }
-
-    /// 1GB allocation failure rate at `site`, or `None` if never attempted
-    /// (the "NA" entries of Table 4).
-    #[deprecated(since = "0.1.0", note = "use `snapshot().giant_failure_rate(site)`")]
-    #[must_use]
-    pub fn giant_failure_rate(&self, site: AllocSite) -> Option<f64> {
-        self.snapshot().giant_failure_rate(site)
-    }
-
-    /// Total faults across sizes.
-    #[deprecated(since = "0.1.0", note = "use `snapshot().total_faults()`")]
-    #[must_use]
-    pub fn total_faults(&self) -> u64 {
-        self.snapshot().total_faults()
-    }
-
-    /// Total fault-handling time.
-    #[deprecated(since = "0.1.0", note = "use `snapshot().total_fault_ns()`")]
-    #[must_use]
-    pub fn total_fault_ns(&self) -> u64 {
-        self.snapshot().total_fault_ns()
-    }
-
-    /// Mean 1GB fault latency in nanoseconds, if any 1GB faults occurred.
-    #[deprecated(since = "0.1.0", note = "use `snapshot().mean_giant_fault_ns()`")]
-    #[must_use]
-    pub fn mean_giant_fault_ns(&self) -> Option<u64> {
-        self.snapshot().mean_giant_fault_ns()
-    }
 }
 
 #[cfg(test)]
@@ -237,18 +208,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_snapshot() {
+    fn snapshot_exposes_every_derived_accessor() {
+        // Folded in from the old shim-agreement test: `snapshot()` is the
+        // only read path, so the derived accessors are exercised against
+        // counters accumulated through the write path.
         let mut s = MmStats::default();
         s.record_fault(PageSize::Giant, 100);
         s.record_giant_attempt(AllocSite::Promotion, true);
-        assert_eq!(s.total_faults(), s.snapshot().total_faults());
-        assert_eq!(s.total_fault_ns(), s.snapshot().total_fault_ns());
-        assert_eq!(s.mean_giant_fault_ns(), s.snapshot().mean_giant_fault_ns());
-        assert_eq!(
-            s.giant_failure_rate(AllocSite::Promotion),
-            s.snapshot().giant_failure_rate(AllocSite::Promotion)
-        );
+        let snap = s.snapshot();
+        assert_eq!(snap.total_faults(), 1);
+        assert_eq!(snap.total_fault_ns(), 100);
+        assert_eq!(snap.mean_giant_fault_ns(), Some(100));
+        assert_eq!(snap.giant_failure_rate(AllocSite::Promotion), Some(1.0));
+        assert_eq!(snap.giant_failure_rate(AllocSite::PageFault), None);
     }
 
     #[test]

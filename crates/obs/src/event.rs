@@ -73,7 +73,11 @@ impl InjectSite {
         }
     }
 
-    fn from_str(s: &str) -> Option<InjectSite> {
+    /// Parses a wire tag produced by [`as_str`](Self::as_str). Public so
+    /// wire formats beyond the trace (e.g. the job service's fault
+    /// specs) reuse the same site names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<InjectSite> {
         InjectSite::ALL.into_iter().find(|k| k.as_str() == s)
     }
 }
@@ -535,7 +539,7 @@ impl Event {
             }),
             "fault_injected" => Ok(Event::FaultInjected {
                 site: field_str(line, "site")
-                    .and_then(InjectSite::from_str)
+                    .and_then(InjectSite::parse)
                     .ok_or_else(|| err("bad \"site\""))?,
             }),
             "promotion_deferred" => Ok(Event::PromotionDeferred { size: size()? }),

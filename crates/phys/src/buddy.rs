@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::ops::Range;
 
-use trident_obs::{Event, NoopRecorder, Recorder};
+use trident_obs::{Event, Recorder};
 use trident_types::InvariantViolation;
 
 use crate::AllocError;
@@ -116,18 +116,18 @@ impl BuddyAllocator {
         (order..=self.max_order).any(|o| !self.free_lists[usize::from(o)].is_empty())
     }
 
-    /// Allocates a naturally-aligned block of `2^order` pages, returning its
-    /// start frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AllocError`] if no free block of at least `order` exists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `order > max_order`.
-    pub fn alloc(&mut self, order: u8) -> Result<u64, AllocError> {
-        self.alloc_rec(order, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Allocates a naturally-aligned block of `2^order` pages, returning its
+        /// start frame.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`AllocError`] if no free block of at least `order` exists.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `order > max_order`.
+        pub fn alloc => alloc_rec(&mut self, order: u8) -> Result<u64, AllocError>;
     }
 
     /// [`alloc`](Self::alloc), reporting a [`Event::BuddySplit`] to `rec`
@@ -161,21 +161,25 @@ impl BuddyAllocator {
         Ok(start)
     }
 
-    /// Allocates a block of `2^order` pages that lies entirely within
-    /// `range` (frame numbers), returning its start frame.
-    ///
-    /// Smart compaction uses this to place migrated data inside a chosen
-    /// *target* region instead of wherever the global allocator would put it.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AllocError`] if no suitably-placed block exists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `order > max_order`.
-    pub fn alloc_in_range(&mut self, order: u8, range: Range<u64>) -> Result<u64, AllocError> {
-        self.alloc_in_range_rec(order, range, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Allocates a block of `2^order` pages that lies entirely within
+        /// `range` (frame numbers), returning its start frame.
+        ///
+        /// Smart compaction uses this to place migrated data inside a chosen
+        /// *target* region instead of wherever the global allocator would put it.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`AllocError`] if no suitably-placed block exists.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `order > max_order`.
+        pub fn alloc_in_range => alloc_in_range_rec(
+            &mut self,
+            order: u8,
+            range: Range<u64>,
+        ) -> Result<u64, AllocError>;
     }
 
     /// [`alloc_in_range`](Self::alloc_in_range), reporting a
@@ -226,15 +230,15 @@ impl BuddyAllocator {
         }
     }
 
-    /// Returns a block of `2^order` pages starting at `start` to the free
-    /// lists, coalescing with free buddies as far as possible.
-    ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds) if `start` is not aligned to `order` or the
-    /// block exceeds physical memory.
-    pub fn free(&mut self, start: u64, order: u8) {
-        self.free_rec(start, order, &mut NoopRecorder);
+    trident_obs::noop_variant! {
+        /// Returns a block of `2^order` pages starting at `start` to the free
+        /// lists, coalescing with free buddies as far as possible.
+        ///
+        /// # Panics
+        ///
+        /// Panics (in debug builds) if `start` is not aligned to `order` or the
+        /// block exceeds physical memory.
+        pub fn free => free_rec(&mut self, start: u64, order: u8);
     }
 
     /// [`free`](Self::free), reporting a [`Event::BuddyCoalesce`] to `rec`

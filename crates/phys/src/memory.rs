@@ -1,6 +1,6 @@
 //! The physical-memory façade: buddy + frame table + region statistics.
 
-use trident_obs::{NoopRecorder, Recorder};
+use trident_obs::Recorder;
 use trident_types::{InvariantViolation, PageGeometry, PageSize, Pfn};
 
 use crate::{
@@ -95,20 +95,20 @@ impl PhysicalMemory {
         self.buddy.fmfi(self.geo.order(size))
     }
 
-    /// Allocates one page of `size`, returning its head frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no contiguous
-    /// chunk of that size exists — the condition that makes Trident fall
-    /// back to a smaller page size or invoke compaction.
-    pub fn allocate(
-        &mut self,
-        size: PageSize,
-        use_: FrameUse,
-        owner: Option<MappingOwner>,
-    ) -> Result<Pfn, PhysMemError> {
-        self.allocate_rec(size, use_, owner, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Allocates one page of `size`, returning its head frame.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PhysMemError::OutOfContiguousMemory`] when no contiguous
+        /// chunk of that size exists — the condition that makes Trident fall
+        /// back to a smaller page size or invoke compaction.
+        pub fn allocate => allocate_rec(
+            &mut self,
+            size: PageSize,
+            use_: FrameUse,
+            owner: Option<MappingOwner>,
+        ) -> Result<Pfn, PhysMemError>;
     }
 
     /// [`allocate`](Self::allocate), reporting buddy split events to `rec`.
@@ -127,21 +127,21 @@ impl PhysicalMemory {
         self.allocate_order_rec(self.geo.order(size), use_, owner, rec)
     }
 
-    /// Allocates a raw buddy block of `2^order` frames (used by the
-    /// fragmenter, which churns sub-huge-page chunks like the page cache
-    /// does).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PhysMemError::OutOfContiguousMemory`] when no block of
-    /// `order` exists.
-    pub fn allocate_order(
-        &mut self,
-        order: u8,
-        use_: FrameUse,
-        owner: Option<MappingOwner>,
-    ) -> Result<Pfn, PhysMemError> {
-        self.allocate_order_rec(order, use_, owner, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Allocates a raw buddy block of `2^order` frames (used by the
+        /// fragmenter, which churns sub-huge-page chunks like the page cache
+        /// does).
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PhysMemError::OutOfContiguousMemory`] when no block of
+        /// `order` exists.
+        pub fn allocate_order => allocate_order_rec(
+            &mut self,
+            order: u8,
+            use_: FrameUse,
+            owner: Option<MappingOwner>,
+        ) -> Result<Pfn, PhysMemError>;
     }
 
     /// [`allocate_order`](Self::allocate_order), reporting buddy split
@@ -163,22 +163,22 @@ impl PhysicalMemory {
         Ok(Pfn::new(start))
     }
 
-    /// Allocates a block of `2^order` frames entirely inside `region` —
-    /// how smart compaction steers migrated data into its chosen target
-    /// region.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PhysMemError::OutOfContiguousMemory`] when the region has
-    /// no suitably-sized free block.
-    pub fn allocate_in_region(
-        &mut self,
-        region: RegionId,
-        order: u8,
-        use_: FrameUse,
-        owner: Option<MappingOwner>,
-    ) -> Result<Pfn, PhysMemError> {
-        self.allocate_in_region_rec(region, order, use_, owner, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Allocates a block of `2^order` frames entirely inside `region` —
+        /// how smart compaction steers migrated data into its chosen target
+        /// region.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PhysMemError::OutOfContiguousMemory`] when the region has
+        /// no suitably-sized free block.
+        pub fn allocate_in_region => allocate_in_region_rec(
+            &mut self,
+            region: RegionId,
+            order: u8,
+            use_: FrameUse,
+            owner: Option<MappingOwner>,
+        ) -> Result<Pfn, PhysMemError>;
     }
 
     /// [`allocate_in_region`](Self::allocate_in_region), reporting buddy
@@ -211,16 +211,16 @@ impl PhysicalMemory {
         self.regions.on_alloc(start, 1 << order, !use_.is_movable());
     }
 
-    /// Frees the allocation unit headed at `head`, returning its
-    /// description.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PhysMemError::NotAUnitHead`] if `head` does not identify a
-    /// live allocation unit, or [`PhysMemError::FrameOutOfBounds`] if it is
-    /// outside memory.
-    pub fn free(&mut self, head: Pfn) -> Result<AllocationUnit, PhysMemError> {
-        self.free_rec(head, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Frees the allocation unit headed at `head`, returning its
+        /// description.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`PhysMemError::NotAUnitHead`] if `head` does not identify a
+        /// live allocation unit, or [`PhysMemError::FrameOutOfBounds`] if it is
+        /// outside memory.
+        pub fn free => free_rec(&mut self, head: Pfn) -> Result<AllocationUnit, PhysMemError>;
     }
 
     /// [`free`](Self::free), reporting buddy coalesce events to `rec`.

@@ -1,0 +1,77 @@
+//! A blocking client for the job service's TCP transport.
+//!
+//! One [`Client`] owns one connection and speaks strict
+//! request/response: [`Client::request`] writes a line and blocks for
+//! exactly one answer line. `tridentctl --connect` and the integration
+//! tests are built on this.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{ProtoError, Request, Response};
+
+/// Why a round-trip failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading failed.
+    Io(std::io::Error),
+    /// The daemon closed the connection without answering.
+    ConnectionClosed,
+    /// The daemon answered with something this build cannot decode.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+            ClientError::ConnectionClosed => f.write_str("daemon closed the connection"),
+            ClientError::Proto(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> ClientError {
+        ClientError::Io(err)
+    }
+}
+
+/// One connection to a `tridentd` daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (any `host:port` form).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request and blocks for its response. A `result`
+    /// request blocks until the daemon's job settles — there is no
+    /// client-side timeout; use `status` for non-blocking polling.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or an undecodable answer.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(request.to_jsonl().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::ConnectionClosed);
+        }
+        Response::parse_jsonl(line.trim_end()).map_err(ClientError::Proto)
+    }
+}

@@ -1,0 +1,209 @@
+//! Job execution: one [`JobSpec`] → one deterministic simulation run →
+//! one [`JobResult`].
+//!
+//! This is the single execution path shared by the daemon's workers and
+//! by `tridentctl run` without `--connect`: both call [`execute`], so a
+//! cell submitted over a socket is bit-identical to the same cell run
+//! locally — there is no second, subtly different config-assembly path
+//! to drift.
+
+use std::io::BufWriter;
+
+use trident_core::{FaultPlan, ObsRecorder};
+use trident_prof::report::render_json;
+use trident_prof::JsonlWriter;
+use trident_sim::experiments::ExpOptions;
+use trident_sim::{derive_cell_seed, PolicyKind, SimConfig, System};
+use trident_workloads::WorkloadSpec;
+
+use crate::proto::{JobResult, JobSpec};
+
+/// Resolves a spec into the pieces a run needs, validating everything
+/// that can be validated without running: workload and policy names,
+/// scale/samples bounds, fault-plan probabilities, and output-option
+/// combinations. The service calls this at submit time so bad requests
+/// are rejected synchronously instead of becoming failed jobs.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, WorkloadSpec), String> {
+    let workload = WorkloadSpec::by_name(&spec.workload)
+        .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
+    let kind = PolicyKind::from_name(&spec.policy)
+        .ok_or_else(|| format!("unknown policy {:?}", spec.policy))?;
+    if spec.scale == 0 {
+        return Err("scale must be at least 1".to_owned());
+    }
+    if spec.samples == 0 {
+        return Err("samples must be at least 1".to_owned());
+    }
+    if spec.trace_out.is_some() && spec.trace_capacity.is_some() {
+        return Err("trace_out streams the full trace; it excludes a ring capacity".to_owned());
+    }
+    if spec.trace_out.is_some() && (spec.profile || spec.profile_out.is_some()) {
+        return Err("trace_out replaces the run's recorder; it excludes profiling".to_owned());
+    }
+
+    let opts = ExpOptions {
+        scale: spec.scale,
+        samples: spec.samples,
+        seed: spec
+            .cell_index
+            .map_or(spec.seed, |cell| derive_cell_seed(spec.seed, cell)),
+        threads: 0,
+        trace_capacity: spec.trace_capacity,
+        profile: spec.profile || spec.profile_out.is_some(),
+    };
+    let mut config = opts.config();
+    if spec.fragment {
+        config = config.fragmented();
+    }
+    if let Some(fault) = &spec.fault {
+        let mut builder = FaultPlan::builder(fault.seed);
+        for &(site, prob) in &fault.rules {
+            builder = builder.site(site, prob);
+        }
+        config.fault = Some(
+            builder
+                .build()
+                .map_err(|e| format!("invalid fault plan: {e}"))?,
+        );
+    }
+    Ok((config, kind, workload))
+}
+
+/// Runs one job to completion and returns its measurement.
+///
+/// # Errors
+///
+/// Any [`resolve`] failure, a launch failure (hugetlbfs reservation on
+/// fragmented memory), or an I/O failure on the job's output files.
+pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
+    let (config, kind, workload) = resolve(spec)?;
+    let writer = match &spec.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            Some(JsonlWriter::new(Box::new(BufWriter::new(file))))
+        }
+        None => None,
+    };
+    let launched = match &writer {
+        Some(w) => System::launch_recording(
+            config,
+            kind,
+            workload,
+            ObsRecorder::custom(Box::new(w.clone())),
+        ),
+        None => System::launch(config, kind, workload),
+    };
+    let mut system = launched.map_err(|e| {
+        format!("launch failed: {e} (hugetlbfs reservations fail on fragmented memory)")
+    })?;
+    system.settle();
+    let m = system.measure();
+
+    let trace_lines = match (&writer, &spec.trace_out) {
+        (Some(w), Some(path)) => Some(
+            w.finish()
+                .map_err(|e| format!("trace write to {path} failed: {e}"))?,
+        ),
+        _ => None,
+    };
+    if let Some(path) = &spec.profile_out {
+        let profile = m
+            .profile
+            .as_deref()
+            .ok_or("no live profile despite profile_out")?;
+        std::fs::write(path, render_json(profile))
+            .map_err(|e| format!("profile write to {path} failed: {e}"))?;
+    }
+
+    Ok(JobResult {
+        samples: m.samples as u64,
+        tlb_accesses: m.tlb.total_accesses(),
+        walks: m.walks,
+        walk_cycles: m.walk_cycles,
+        mapped_bytes: m.mapped_bytes,
+        trace_dropped: m.trace_dropped,
+        trace_lines,
+        snapshot: m.snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::FaultSpec;
+    use trident_core::InjectSite;
+
+    fn quick_spec() -> JobSpec {
+        let mut spec = JobSpec::new("GUPS", "Trident");
+        spec.scale = 256;
+        spec.samples = 2_000;
+        spec
+    }
+
+    #[test]
+    fn resolve_rejects_what_cannot_run() {
+        let unknown_wl = JobSpec::new("NoSuchWorkload", "Trident");
+        assert!(resolve(&unknown_wl).unwrap_err().contains("workload"));
+        let unknown_pol = JobSpec::new("GUPS", "NoSuchPolicy");
+        assert!(resolve(&unknown_pol).unwrap_err().contains("policy"));
+
+        let mut zero_scale = quick_spec();
+        zero_scale.scale = 0;
+        assert!(resolve(&zero_scale).is_err());
+
+        let mut bad_plan = quick_spec();
+        bad_plan.fault = Some(FaultSpec {
+            seed: 1,
+            rules: vec![(InjectSite::Alloc, 5_000)],
+        });
+        assert!(resolve(&bad_plan).unwrap_err().contains("fault plan"));
+
+        let mut both = quick_spec();
+        both.trace_out = Some("x.jsonl".to_owned());
+        both.trace_capacity = Some(16);
+        assert!(resolve(&both).is_err());
+    }
+
+    #[test]
+    fn resolve_derives_the_cell_seed() {
+        let mut spec = quick_spec();
+        spec.seed = 42;
+        spec.cell_index = Some(3);
+        let (config, _, _) = resolve(&spec).unwrap();
+        assert_eq!(config.seed, derive_cell_seed(42, 3));
+        spec.cell_index = None;
+        let (config, _, _) = resolve(&spec).unwrap();
+        assert_eq!(config.seed, 42);
+    }
+
+    #[test]
+    fn execute_matches_a_direct_system_run() {
+        let spec = quick_spec();
+        let result = execute(&spec).unwrap();
+
+        let opts = ExpOptions {
+            scale: 256,
+            samples: 2_000,
+            seed: 42,
+            threads: 0,
+            trace_capacity: None,
+            profile: false,
+        };
+        let mut system = System::launch(
+            opts.config(),
+            PolicyKind::Trident,
+            WorkloadSpec::by_name("GUPS").unwrap(),
+        )
+        .unwrap();
+        system.settle();
+        let m = system.measure();
+        assert_eq!(result.snapshot, m.snapshot);
+        assert_eq!(result.walk_cycles, m.walk_cycles);
+        assert_eq!(result.mapped_bytes, m.mapped_bytes);
+    }
+}

@@ -1,0 +1,265 @@
+//! Minimal nesting-aware JSON field extraction.
+//!
+//! The repository speaks hand-rolled line-JSON everywhere (the trace
+//! wire format in `trident-obs`, `BENCH_1.json` in the bench gate).
+//! Protocol messages are the first place values nest — a submit request
+//! embeds a job object, a result response embeds a snapshot object and
+//! arrays — so the flat `find(",")`-based scanning the trace format uses
+//! is not enough. This module scans with a depth counter and a
+//! string-state flag instead: `field` returns the raw text of one
+//! top-level key's value, and `items` splits a raw array into element
+//! texts. Both are zero-copy.
+//!
+//! This is deliberately not a general JSON parser: no unicode escapes,
+//! no floats (the protocol carries only integers, strings, booleans,
+//! arrays and objects), duplicate keys take the first occurrence.
+
+/// Returns the raw value text of `key` in the top level of the JSON
+/// object `obj` (which must start at its opening `{`). The returned
+/// slice is trimmed and may itself be an object, array, string, number,
+/// boolean or `null`.
+#[must_use]
+pub fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let obj = obj.trim();
+    let body = obj.strip_prefix('{')?.strip_suffix('}')?;
+    let mut rest = body;
+    loop {
+        rest = rest
+            .trim_start()
+            .strip_prefix(',')
+            .unwrap_or(rest)
+            .trim_start();
+        if rest.is_empty() {
+            return None;
+        }
+        let (found_key, after_key) = take_string(rest)?;
+        let after_colon = after_key.trim_start().strip_prefix(':')?;
+        let (value, after_value) = take_value(after_colon.trim_start())?;
+        if found_key == key {
+            return Some(value.trim());
+        }
+        rest = after_value;
+    }
+}
+
+/// Splits a raw JSON array (starting at `[`) into the raw texts of its
+/// top-level elements.
+#[must_use]
+pub fn items(array: &str) -> Option<Vec<&str>> {
+    let body = array.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let (value, after) = take_value(rest)?;
+        out.push(value.trim());
+        rest = after.trim_start();
+        rest = match rest.strip_prefix(',') {
+            // A comma promises another element.
+            Some(r) if !r.trim_start().is_empty() => r.trim_start(),
+            Some(_) => return None,
+            None if rest.is_empty() => rest,
+            None => return None,
+        };
+    }
+    Some(out)
+}
+
+/// `field` + string decode.
+#[must_use]
+pub fn str_field(obj: &str, key: &str) -> Option<String> {
+    unescape(field(obj, key)?)
+}
+
+/// `field` + integer parse (fails on quotes or non-digits).
+#[must_use]
+pub fn u64_field(obj: &str, key: &str) -> Option<u64> {
+    field(obj, key)?.parse().ok()
+}
+
+/// `field` + boolean parse.
+#[must_use]
+pub fn bool_field(obj: &str, key: &str) -> Option<bool> {
+    match field(obj, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// `field` + `[u64; N]` parse.
+#[must_use]
+pub fn u64_array_field<const N: usize>(obj: &str, key: &str) -> Option<[u64; N]> {
+    let raw = items(field(obj, key)?)?;
+    if raw.len() != N {
+        return None;
+    }
+    let mut out = [0u64; N];
+    for (slot, text) in out.iter_mut().zip(raw) {
+        *slot = text.parse().ok()?;
+    }
+    Some(out)
+}
+
+/// Encodes a string value, escaping the characters the decoder
+/// understands (`"` and `\`, plus newline/tab/CR so a value can never
+/// break the one-line framing).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Decodes a quoted string value produced by [`escape`].
+#[must_use]
+pub fn unescape(raw: &str) -> Option<String> {
+    let body = raw.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Consumes one quoted string starting at `rest[0] == '"'`; returns the
+/// decoded content and the remainder after the closing quote.
+fn take_string(rest: &str) -> Option<(String, &str)> {
+    let end = string_end(rest)?;
+    Some((unescape(&rest[..end])?, &rest[end..]))
+}
+
+/// Byte index one past the closing quote of the string starting at
+/// `rest[0] == '"'`.
+fn string_end(rest: &str) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in rest.char_indices().skip(1) {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// Consumes one JSON value (scalar, string, object or array) from the
+/// start of `rest`; returns the value text and the remainder.
+fn take_value(rest: &str) -> Option<(&str, &str)> {
+    let first = rest.chars().next()?;
+    if first == '"' {
+        let end = string_end(rest)?;
+        return Some((&rest[..end], &rest[end..]));
+    }
+    if first == '{' || first == '[' {
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((&rest[..=i], &rest[i + 1..]));
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    // Scalar: runs to the next top-level comma or end of input.
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    if rest[..end].trim().is_empty() {
+        return None;
+    }
+    Some((&rest[..end], &rest[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_skips_nested_objects_and_arrays() {
+        let obj = r#"{"a":{"b":1,"c":[1,2]},"d":[{"e":"}x{"}],"f":7}"#;
+        assert_eq!(field(obj, "a"), Some(r#"{"b":1,"c":[1,2]}"#));
+        assert_eq!(field(obj, "b"), None, "nested keys are invisible");
+        assert_eq!(field(obj, "f"), Some("7"));
+        assert_eq!(u64_field(obj, "f"), Some(7));
+        assert_eq!(field(obj, "d"), Some(r#"[{"e":"}x{"}]"#));
+    }
+
+    #[test]
+    fn items_splits_top_level_elements() {
+        assert_eq!(items("[1, 2,3]"), Some(vec!["1", "2", "3"]));
+        assert_eq!(
+            items(r#"[{"a":[1,2]},"x,y"]"#),
+            Some(vec![r#"{"a":[1,2]}"#, r#""x,y""#])
+        );
+        assert_eq!(items("[]"), Some(vec![]));
+        assert_eq!(items("[1,]"), None, "trailing comma is malformed");
+    }
+
+    #[test]
+    fn strings_round_trip_through_escape() {
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "line\nbreak\ttab",
+        ] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn u64_array_field_checks_length() {
+        let obj = r#"{"xs":[1,2,3]}"#;
+        assert_eq!(u64_array_field::<3>(obj, "xs"), Some([1, 2, 3]));
+        assert_eq!(u64_array_field::<2>(obj, "xs"), None);
+    }
+
+    #[test]
+    fn keys_containing_escapes_match_decoded() {
+        let obj = r#"{"we\"ird":5}"#;
+        assert_eq!(field(obj, "we\"ird"), Some("5"));
+    }
+}

@@ -1,0 +1,885 @@
+//! The versioned request/response protocol of the job service.
+//!
+//! Every message is one line of JSON carrying a `"v"` field; a daemon
+//! and a client must speak the same [`PROTO_VERSION`] — unknown versions
+//! are rejected with a typed [`ProtoError::Version`], never guessed at.
+//! `tridentctl` (client) and `tridentd` (server) share these types, so
+//! a request built locally and one decoded off a socket are the same
+//! value — the foundation of the service's bit-identity guarantee.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"v":1,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
+//! {"v":1,"op":"status","id":3}
+//! {"v":1,"op":"result","id":3}
+//! {"v":1,"op":"cancel","id":3}
+//! {"v":1,"op":"list"}
+//! {"v":1,"op":"shutdown"}
+//! ```
+//!
+//! Responses mirror the request vocabulary (`"ok"` discriminator) or
+//! carry a typed error (`"err"` code plus human-readable `"msg"`).
+
+use core::fmt;
+
+use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
+
+use crate::json;
+
+/// Version of the request/response wire format. Bump on any change to
+/// message shapes; both sides refuse to interoperate across versions.
+pub const PROTO_VERSION: u32 = 1;
+
+/// One simulation cell to run: workload × policy plus the knobs the
+/// `SimConfig` builders expose. Mirrors what `tridentctl run` accepted
+/// as flags, so the CLI is a thin encoder of this struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload name (`WorkloadSpec::by_name`).
+    pub workload: String,
+    /// Policy name or paper label (`PolicyKind::from_name`).
+    pub policy: String,
+    /// Memory-scale divisor.
+    pub scale: u64,
+    /// Sampled accesses in the measurement phase.
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// When set, the effective seed is `derive_cell_seed(seed, index)` —
+    /// the same derivation the parallel experiment runner applies, so a
+    /// submitted job can reproduce any cell of a local grid exactly.
+    pub cell_index: Option<u64>,
+    /// Fragment physical memory before the run.
+    pub fragment: bool,
+    /// Ring-tracer capacity in events (`None` = tracing off).
+    pub trace_capacity: Option<usize>,
+    /// Fold a live profile during measurement.
+    pub profile: bool,
+    /// Deterministic fault plan (seed + per-site probabilities).
+    pub fault: Option<FaultSpec>,
+    /// Stream the run's full event trace to this file as JSONL (no
+    /// ring, no drops).
+    pub trace_out: Option<String>,
+    /// Write the run's profile report to this file as JSON (implies
+    /// profiling).
+    pub profile_out: Option<String>,
+}
+
+impl JobSpec {
+    /// A spec with the given cell identity and the experiment defaults
+    /// for everything else.
+    #[must_use]
+    pub fn new(workload: &str, policy: &str) -> JobSpec {
+        JobSpec {
+            workload: workload.to_owned(),
+            policy: policy.to_owned(),
+            scale: 32,
+            samples: 120_000,
+            seed: 42,
+            cell_index: None,
+            fragment: false,
+            trace_capacity: None,
+            profile: false,
+            fault: None,
+            trace_out: None,
+            profile_out: None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"workload\":{},\"policy\":{},\"scale\":{},\"samples\":{},\"seed\":{}",
+            json::escape(&self.workload),
+            json::escape(&self.policy),
+            self.scale,
+            self.samples,
+            self.seed,
+        );
+        if let Some(cell) = self.cell_index {
+            s.push_str(&format!(",\"cell\":{cell}"));
+        }
+        s.push_str(&format!(
+            ",\"fragment\":{},\"profile\":{}",
+            self.fragment, self.profile
+        ));
+        if let Some(cap) = self.trace_capacity {
+            s.push_str(&format!(",\"trace\":{cap}"));
+        }
+        if let Some(fault) = &self.fault {
+            s.push_str(",\"fault\":");
+            s.push_str(&fault.to_json());
+        }
+        if let Some(path) = &self.trace_out {
+            s.push_str(",\"trace_out\":");
+            s.push_str(&json::escape(path));
+        }
+        if let Some(path) = &self.profile_out {
+            s.push_str(",\"profile_out\":");
+            s.push_str(&json::escape(path));
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_json(obj: &str) -> Result<JobSpec, ProtoError> {
+        Ok(JobSpec {
+            workload: json::str_field(obj, "workload").ok_or_else(|| bad("job.workload"))?,
+            policy: json::str_field(obj, "policy").ok_or_else(|| bad("job.policy"))?,
+            scale: json::u64_field(obj, "scale").ok_or_else(|| bad("job.scale"))?,
+            samples: usize_field(obj, "samples").ok_or_else(|| bad("job.samples"))?,
+            seed: json::u64_field(obj, "seed").ok_or_else(|| bad("job.seed"))?,
+            cell_index: optional(obj, "cell", json::u64_field)?,
+            fragment: json::bool_field(obj, "fragment").ok_or_else(|| bad("job.fragment"))?,
+            trace_capacity: optional(obj, "trace", usize_field)?,
+            profile: json::bool_field(obj, "profile").ok_or_else(|| bad("job.profile"))?,
+            fault: match json::field(obj, "fault") {
+                None => None,
+                Some(raw) => Some(FaultSpec::from_json(raw)?),
+            },
+            trace_out: optional(obj, "trace_out", json::str_field)?,
+            profile_out: optional(obj, "profile_out", json::str_field)?,
+        })
+    }
+}
+
+/// A deterministic fault plan on the wire: a plan seed plus per-site
+/// probabilities in thousandths, keyed by the sites' stable trace tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The plan's decision seed (decorrelated from the run seed).
+    pub seed: u64,
+    /// `(site, probability in thousandths)` rules; unlisted sites never
+    /// inject.
+    pub rules: Vec<(InjectSite, u16)>,
+}
+
+impl FaultSpec {
+    fn to_json(&self) -> String {
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|(site, prob)| format!("{{\"site\":\"{}\",\"prob\":{prob}}}", site.as_str()))
+            .collect();
+        format!("{{\"seed\":{},\"rules\":[{}]}}", self.seed, rules.join(","))
+    }
+
+    fn from_json(obj: &str) -> Result<FaultSpec, ProtoError> {
+        let seed = json::u64_field(obj, "seed").ok_or_else(|| bad("fault.seed"))?;
+        let raw_rules = json::field(obj, "rules")
+            .and_then(json::items)
+            .ok_or_else(|| bad("fault.rules"))?;
+        let mut rules = Vec::with_capacity(raw_rules.len());
+        for raw in raw_rules {
+            let site = json::str_field(raw, "site")
+                .as_deref()
+                .and_then(InjectSite::parse)
+                .ok_or_else(|| bad("fault.rules[].site"))?;
+            let prob = json::u64_field(raw, "prob")
+                .and_then(|p| u16::try_from(p).ok())
+                .ok_or_else(|| bad("fault.rules[].prob"))?;
+            rules.push((site, prob));
+        }
+        Ok(FaultSpec { seed, rules })
+    }
+}
+
+/// Lifecycle state of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for its shard's worker.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// Finished; its result is available.
+    Done,
+    /// The simulation failed or panicked; the error text is available.
+    Failed,
+    /// Cancelled while still queued; it will never run.
+    Cancelled,
+}
+
+impl JobState {
+    /// All states, for table-driven parsing and tests.
+    pub const ALL: [JobState; 5] = [
+        JobState::Queued,
+        JobState::Running,
+        JobState::Done,
+        JobState::Failed,
+        JobState::Cancelled,
+    ];
+
+    /// Whether the job can no longer change state.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Stable lowercase wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire tag produced by [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobState> {
+        JobState::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One row of a `list` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSummary {
+    /// The job's id.
+    pub id: u64,
+    /// Its current state.
+    pub state: JobState,
+    /// The cell it runs (workload name).
+    pub workload: String,
+    /// The cell it runs (policy name as submitted).
+    pub policy: String,
+}
+
+impl JobSummary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"state\":\"{}\",\"workload\":{},\"policy\":{}}}",
+            self.id,
+            self.state.as_str(),
+            json::escape(&self.workload),
+            json::escape(&self.policy),
+        )
+    }
+
+    fn from_json(obj: &str) -> Result<JobSummary, ProtoError> {
+        Ok(JobSummary {
+            id: json::u64_field(obj, "id").ok_or_else(|| bad("jobs[].id"))?,
+            state: json::str_field(obj, "state")
+                .as_deref()
+                .and_then(JobState::parse)
+                .ok_or_else(|| bad("jobs[].state"))?,
+            workload: json::str_field(obj, "workload").ok_or_else(|| bad("jobs[].workload"))?,
+            policy: json::str_field(obj, "policy").ok_or_else(|| bad("jobs[].policy"))?,
+        })
+    }
+}
+
+/// What a finished job measured — the subset of a `Measurement` that
+/// serializes: the versioned snapshot plus the translation headlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Sampled accesses.
+    pub samples: u64,
+    /// TLB accesses among them (all hits and misses).
+    pub tlb_accesses: u64,
+    /// Page walks (full TLB misses).
+    pub walks: u64,
+    /// Cycles spent translating.
+    pub walk_cycles: u64,
+    /// Bytes mapped by each page size at measurement end.
+    pub mapped_bytes: [u64; 3],
+    /// Events the ring tracer dropped (0 when tracing was off or lossless).
+    pub trace_dropped: u64,
+    /// Lines written to the job's `trace_out` file, when one was set.
+    pub trace_lines: Option<u64>,
+    /// The full memory-management counter snapshot.
+    pub snapshot: StatsSnapshot,
+}
+
+impl JobResult {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"samples\":{},\"tlb_accesses\":{},\"walks\":{},\"walk_cycles\":{},\
+             \"mapped_bytes\":[{},{},{}],\"trace_dropped\":{}",
+            self.samples,
+            self.tlb_accesses,
+            self.walks,
+            self.walk_cycles,
+            self.mapped_bytes[0],
+            self.mapped_bytes[1],
+            self.mapped_bytes[2],
+            self.trace_dropped,
+        );
+        if let Some(lines) = self.trace_lines {
+            s.push_str(&format!(",\"trace_lines\":{lines}"));
+        }
+        s.push_str(",\"snapshot\":");
+        s.push_str(&snapshot_to_json(&self.snapshot));
+        s.push('}');
+        s
+    }
+
+    fn from_json(obj: &str) -> Result<JobResult, ProtoError> {
+        Ok(JobResult {
+            samples: json::u64_field(obj, "samples").ok_or_else(|| bad("result.samples"))?,
+            tlb_accesses: json::u64_field(obj, "tlb_accesses")
+                .ok_or_else(|| bad("result.tlb_accesses"))?,
+            walks: json::u64_field(obj, "walks").ok_or_else(|| bad("result.walks"))?,
+            walk_cycles: json::u64_field(obj, "walk_cycles")
+                .ok_or_else(|| bad("result.walk_cycles"))?,
+            mapped_bytes: json::u64_array_field(obj, "mapped_bytes")
+                .ok_or_else(|| bad("result.mapped_bytes"))?,
+            trace_dropped: json::u64_field(obj, "trace_dropped")
+                .ok_or_else(|| bad("result.trace_dropped"))?,
+            trace_lines: optional(obj, "trace_lines", json::u64_field)?,
+            snapshot: snapshot_from_json(
+                json::field(obj, "snapshot").ok_or_else(|| bad("result.snapshot"))?,
+            )?,
+        })
+    }
+}
+
+/// Serializes a [`StatsSnapshot`] with its own schema version embedded;
+/// the decoder refuses snapshots from a different schema.
+#[must_use]
+pub fn snapshot_to_json(s: &StatsSnapshot) -> String {
+    let arr = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    format!(
+        "{{\"version\":{},\"faults\":[{}],\"fault_ns\":[{}],\
+         \"giant_attempts_fault\":{},\"giant_failures_fault\":{},\
+         \"giant_attempts_promo\":{},\"giant_failures_promo\":{},\
+         \"promotions\":[{}],\"demotions\":[{}],\
+         \"compaction_bytes_copied\":{},\"promotion_bytes_copied\":{},\
+         \"pv_bytes_exchanged\":{},\"compaction_attempts\":{},\
+         \"compaction_successes\":{},\"daemon_ns\":{},\"bloat_pages\":{},\
+         \"bloat_recovered_pages\":{},\"giant_blocks_prezeroed\":{},\
+         \"injected_faults\":[{}],\"promotions_deferred\":{},\
+         \"pv_fallbacks\":{},\"pv_fallback_bytes\":{}}}",
+        s.version,
+        arr(&s.faults),
+        arr(&s.fault_ns),
+        s.giant_attempts_fault,
+        s.giant_failures_fault,
+        s.giant_attempts_promo,
+        s.giant_failures_promo,
+        arr(&s.promotions),
+        arr(&s.demotions),
+        s.compaction_bytes_copied,
+        s.promotion_bytes_copied,
+        s.pv_bytes_exchanged,
+        s.compaction_attempts,
+        s.compaction_successes,
+        s.daemon_ns,
+        s.bloat_pages,
+        s.bloat_recovered_pages,
+        s.giant_blocks_prezeroed,
+        arr(&s.injected_faults),
+        s.promotions_deferred,
+        s.pv_fallbacks,
+        s.pv_fallback_bytes,
+    )
+}
+
+/// Decodes a snapshot serialized by [`snapshot_to_json`].
+///
+/// # Errors
+///
+/// [`ProtoError::Version`] when the embedded snapshot schema version is
+/// not this build's [`SNAPSHOT_VERSION`]; [`ProtoError::Malformed`] on
+/// any missing or unparsable field.
+pub fn snapshot_from_json(obj: &str) -> Result<StatsSnapshot, ProtoError> {
+    let version = u32_field(obj, "version").ok_or_else(|| bad("snapshot.version"))?;
+    if version != SNAPSHOT_VERSION {
+        return Err(ProtoError::Version { got: version });
+    }
+    let req = |key: &'static str| json::u64_field(obj, key).ok_or(ProtoError::Malformed(key));
+    Ok(StatsSnapshot {
+        version,
+        faults: json::u64_array_field(obj, "faults").ok_or_else(|| bad("snapshot.faults"))?,
+        fault_ns: json::u64_array_field(obj, "fault_ns").ok_or_else(|| bad("snapshot.fault_ns"))?,
+        giant_attempts_fault: req("giant_attempts_fault")?,
+        giant_failures_fault: req("giant_failures_fault")?,
+        giant_attempts_promo: req("giant_attempts_promo")?,
+        giant_failures_promo: req("giant_failures_promo")?,
+        promotions: json::u64_array_field(obj, "promotions")
+            .ok_or_else(|| bad("snapshot.promotions"))?,
+        demotions: json::u64_array_field(obj, "demotions")
+            .ok_or_else(|| bad("snapshot.demotions"))?,
+        compaction_bytes_copied: req("compaction_bytes_copied")?,
+        promotion_bytes_copied: req("promotion_bytes_copied")?,
+        pv_bytes_exchanged: req("pv_bytes_exchanged")?,
+        compaction_attempts: req("compaction_attempts")?,
+        compaction_successes: req("compaction_successes")?,
+        daemon_ns: req("daemon_ns")?,
+        bloat_pages: req("bloat_pages")?,
+        bloat_recovered_pages: req("bloat_recovered_pages")?,
+        giant_blocks_prezeroed: req("giant_blocks_prezeroed")?,
+        injected_faults: json::u64_array_field(obj, "injected_faults")
+            .ok_or_else(|| bad("snapshot.injected_faults"))?,
+        promotions_deferred: req("promotions_deferred")?,
+        pv_fallbacks: req("pv_fallbacks")?,
+        pv_fallback_bytes: req("pv_fallback_bytes")?,
+    })
+}
+
+/// A client-to-daemon message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job; answered with `Submitted` or `Error(queue_full)`.
+    Submit(JobSpec),
+    /// Non-blocking state query.
+    Status {
+        /// The job to query.
+        id: u64,
+    },
+    /// Blocking result fetch: answered once the job reaches a terminal
+    /// state.
+    Result {
+        /// The job to wait for.
+        id: u64,
+    },
+    /// Cancel a queued job (running jobs cannot be interrupted).
+    Cancel {
+        /// The job to cancel.
+        id: u64,
+    },
+    /// List all jobs the daemon knows about.
+    List,
+    /// Drain queued and in-flight jobs, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let v = PROTO_VERSION;
+        match self {
+            Request::Submit(job) => {
+                format!("{{\"v\":{v},\"op\":\"submit\",\"job\":{}}}", job.to_json())
+            }
+            Request::Status { id } => format!("{{\"v\":{v},\"op\":\"status\",\"id\":{id}}}"),
+            Request::Result { id } => format!("{{\"v\":{v},\"op\":\"result\",\"id\":{id}}}"),
+            Request::Cancel { id } => format!("{{\"v\":{v},\"op\":\"cancel\",\"id\":{id}}}"),
+            Request::List => format!("{{\"v\":{v},\"op\":\"list\"}}"),
+            Request::Shutdown => format!("{{\"v\":{v},\"op\":\"shutdown\"}}"),
+        }
+    }
+
+    /// Decodes one line produced by [`to_jsonl`](Self::to_jsonl).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Version`] for any version other than
+    /// [`PROTO_VERSION`]; [`ProtoError::Malformed`] otherwise.
+    pub fn parse_jsonl(line: &str) -> Result<Request, ProtoError> {
+        check_version(line)?;
+        let id =
+            |field: &'static str| json::u64_field(line, "id").ok_or(ProtoError::Malformed(field));
+        match json::str_field(line, "op")
+            .ok_or_else(|| bad("op"))?
+            .as_str()
+        {
+            "submit" => Ok(Request::Submit(JobSpec::from_json(
+                json::field(line, "job").ok_or_else(|| bad("job"))?,
+            )?)),
+            "status" => Ok(Request::Status {
+                id: id("status.id")?,
+            }),
+            "result" => Ok(Request::Result {
+                id: id("result.id")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                id: id("cancel.id")?,
+            }),
+            "list" => Ok(Request::List),
+            "shutdown" => Ok(Request::Shutdown),
+            _ => Err(bad("op")),
+        }
+    }
+}
+
+/// Typed error codes a daemon can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The target shard's admission queue is at capacity; resubmit later.
+    QueueFull,
+    /// No job with the given id.
+    UnknownJob,
+    /// The request was understood but its content is invalid (bad
+    /// workload/policy name, malformed fault plan, job not cancellable).
+    BadRequest,
+    /// The daemon is draining and accepts no new jobs.
+    ShuttingDown,
+    /// The job ran and failed; the message carries the failure text.
+    JobFailed,
+}
+
+impl ErrorCode {
+    /// All codes, for table-driven parsing and tests.
+    pub const ALL: [ErrorCode; 5] = [
+        ErrorCode::QueueFull,
+        ErrorCode::UnknownJob,
+        ErrorCode::BadRequest,
+        ErrorCode::ShuttingDown,
+        ErrorCode::JobFailed,
+    ];
+
+    /// Stable wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::JobFailed => "job_failed",
+        }
+    }
+
+    /// Parses a wire tag produced by [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A daemon-to-client message.
+// The size skew comes from `Result`'s embedded snapshot; a response is
+// built once per round-trip and immediately serialized or consumed, so
+// boxing would buy nothing but API noise.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was admitted under this id.
+    Submitted {
+        /// The new job's id.
+        id: u64,
+    },
+    /// Answer to `Status`.
+    Status {
+        /// The queried job.
+        id: u64,
+        /// Its state at answer time.
+        state: JobState,
+    },
+    /// Answer to `Result` for a job that finished successfully.
+    Result {
+        /// The finished job.
+        id: u64,
+        /// What it measured.
+        result: JobResult,
+    },
+    /// The job was cancelled while queued.
+    Cancelled {
+        /// The cancelled job.
+        id: u64,
+    },
+    /// Answer to `List`.
+    Jobs {
+        /// Every known job, in submission order.
+        jobs: Vec<JobSummary>,
+    },
+    /// Acknowledges `Shutdown`; the daemon drains and exits after this.
+    ShuttingDown,
+    /// A typed failure.
+    Error {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let v = PROTO_VERSION;
+        match self {
+            Response::Submitted { id } => {
+                format!("{{\"v\":{v},\"ok\":\"submitted\",\"id\":{id}}}")
+            }
+            Response::Status { id, state } => format!(
+                "{{\"v\":{v},\"ok\":\"status\",\"id\":{id},\"state\":\"{}\"}}",
+                state.as_str()
+            ),
+            Response::Result { id, result } => format!(
+                "{{\"v\":{v},\"ok\":\"result\",\"id\":{id},\"result\":{}}}",
+                result.to_json()
+            ),
+            Response::Cancelled { id } => {
+                format!("{{\"v\":{v},\"ok\":\"cancelled\",\"id\":{id}}}")
+            }
+            Response::Jobs { jobs } => {
+                let rows: Vec<String> = jobs.iter().map(JobSummary::to_json).collect();
+                format!(
+                    "{{\"v\":{v},\"ok\":\"jobs\",\"jobs\":[{}]}}",
+                    rows.join(",")
+                )
+            }
+            Response::ShuttingDown => format!("{{\"v\":{v},\"ok\":\"shutting_down\"}}"),
+            Response::Error { code, message } => format!(
+                "{{\"v\":{v},\"err\":\"{}\",\"msg\":{}}}",
+                code.as_str(),
+                json::escape(message)
+            ),
+        }
+    }
+
+    /// Decodes one line produced by [`to_jsonl`](Self::to_jsonl).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Version`] for any version other than
+    /// [`PROTO_VERSION`]; [`ProtoError::Malformed`] otherwise.
+    pub fn parse_jsonl(line: &str) -> Result<Response, ProtoError> {
+        check_version(line)?;
+        if let Some(code) = json::str_field(line, "err") {
+            return Ok(Response::Error {
+                code: ErrorCode::parse(&code).ok_or_else(|| bad("err"))?,
+                message: json::str_field(line, "msg").ok_or_else(|| bad("msg"))?,
+            });
+        }
+        let id =
+            |field: &'static str| json::u64_field(line, "id").ok_or(ProtoError::Malformed(field));
+        match json::str_field(line, "ok")
+            .ok_or_else(|| bad("ok"))?
+            .as_str()
+        {
+            "submitted" => Ok(Response::Submitted {
+                id: id("submitted.id")?,
+            }),
+            "status" => Ok(Response::Status {
+                id: id("status.id")?,
+                state: json::str_field(line, "state")
+                    .as_deref()
+                    .and_then(JobState::parse)
+                    .ok_or_else(|| bad("state"))?,
+            }),
+            "result" => Ok(Response::Result {
+                id: id("result.id")?,
+                result: JobResult::from_json(
+                    json::field(line, "result").ok_or_else(|| bad("result"))?,
+                )?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                id: id("cancelled.id")?,
+            }),
+            "jobs" => {
+                let raw = json::field(line, "jobs")
+                    .and_then(json::items)
+                    .ok_or_else(|| bad("jobs"))?;
+                let jobs = raw
+                    .into_iter()
+                    .map(JobSummary::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Jobs { jobs })
+            }
+            "shutting_down" => Ok(Response::ShuttingDown),
+            _ => Err(bad("ok")),
+        }
+    }
+}
+
+/// Why a protocol line could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The message declares a version this build does not speak.
+    Version {
+        /// The version the peer sent.
+        got: u32,
+    },
+    /// A required field is missing or unparsable; carries the field's
+    /// dotted path.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Version { got } => write!(
+                f,
+                "protocol version mismatch: peer speaks v{got}, this build speaks v{PROTO_VERSION}"
+            ),
+            ProtoError::Malformed(field) => write!(f, "malformed message: bad field {field:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(field: &'static str) -> ProtoError {
+    ProtoError::Malformed(field)
+}
+
+fn check_version(line: &str) -> Result<(), ProtoError> {
+    let got = u32_field(line, "v").ok_or_else(|| bad("v"))?;
+    if got == PROTO_VERSION {
+        Ok(())
+    } else {
+        Err(ProtoError::Version { got })
+    }
+}
+
+fn u32_field(obj: &str, key: &str) -> Option<u32> {
+    json::u64_field(obj, key).and_then(|v| u32::try_from(v).ok())
+}
+
+fn usize_field(obj: &str, key: &str) -> Option<usize> {
+    json::u64_field(obj, key).and_then(|v| usize::try_from(v).ok())
+}
+
+/// Distinguishes "absent" (Ok(None)) from "present but unparsable"
+/// (Err), so a typo'd optional field fails loudly instead of silently
+/// reverting to a default.
+fn optional<T>(
+    obj: &str,
+    key: &'static str,
+    get: impl Fn(&str, &str) -> Option<T>,
+) -> Result<Option<T>, ProtoError> {
+    match json::field(obj, key) {
+        None | Some("null") => Ok(None),
+        Some(_) => get(obj, key).map(Some).ok_or(ProtoError::Malformed(key)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> JobSpec {
+        JobSpec {
+            workload: "GUPS".to_owned(),
+            policy: "Trident".to_owned(),
+            scale: 256,
+            samples: 8_000,
+            seed: 7,
+            cell_index: Some(3),
+            fragment: true,
+            trace_capacity: Some(4_096),
+            profile: true,
+            fault: Some(FaultSpec {
+                seed: 99,
+                rules: vec![(InjectSite::Alloc, 100), (InjectSite::PvExchange, 5)],
+            }),
+            trace_out: Some("out dir/run \"a\".jsonl".to_owned()),
+            profile_out: Some("prof.json".to_owned()),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(full_spec()),
+            Request::Submit(JobSpec::new("Redis", "2MB-THP")),
+            Request::Status { id: 3 },
+            Request::Result { id: u64::MAX },
+            Request::Cancel { id: 0 },
+            Request::List,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_jsonl();
+            assert_eq!(Request::parse_jsonl(&line), Ok(req), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let snapshot = StatsSnapshot {
+            faults: [3, 2, 1],
+            daemon_ns: u64::MAX,
+            ..StatsSnapshot::default()
+        };
+        let resps = [
+            Response::Submitted { id: 1 },
+            Response::Status {
+                id: 2,
+                state: JobState::Running,
+            },
+            Response::Result {
+                id: 3,
+                result: JobResult {
+                    samples: 8_000,
+                    tlb_accesses: 8_000,
+                    walks: 120,
+                    walk_cycles: 4_200,
+                    mapped_bytes: [1, 2, 3],
+                    trace_dropped: 0,
+                    trace_lines: Some(17),
+                    snapshot,
+                },
+            },
+            Response::Cancelled { id: 4 },
+            Response::Jobs {
+                jobs: vec![JobSummary {
+                    id: 1,
+                    state: JobState::Done,
+                    workload: "GUPS".to_owned(),
+                    policy: "Trident".to_owned(),
+                }],
+            },
+            Response::Jobs { jobs: vec![] },
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::QueueFull,
+                message: "shard 2 at depth 64".to_owned(),
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_jsonl();
+            assert_eq!(Response::parse_jsonl(&line), Ok(resp), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_not_guessed() {
+        let line = Request::List.to_jsonl().replace("\"v\":1", "\"v\":2");
+        assert_eq!(
+            Request::parse_jsonl(&line),
+            Err(ProtoError::Version { got: 2 })
+        );
+        let line = Response::ShuttingDown
+            .to_jsonl()
+            .replace("\"v\":1", "\"v\":99");
+        assert_eq!(
+            Response::parse_jsonl(&line),
+            Err(ProtoError::Version { got: 99 })
+        );
+    }
+
+    #[test]
+    fn snapshot_schema_version_is_checked() {
+        let snap = StatsSnapshot::default();
+        let json = snapshot_to_json(&snap);
+        assert_eq!(snapshot_from_json(&json), Ok(snap));
+        let stale = json.replace(&format!("\"version\":{SNAPSHOT_VERSION}"), "\"version\":1");
+        assert_eq!(
+            snapshot_from_json(&stale),
+            Err(ProtoError::Version { got: 1 })
+        );
+    }
+
+    #[test]
+    fn present_but_malformed_optionals_fail_loudly() {
+        let good = Request::Submit(JobSpec::new("GUPS", "Trident")).to_jsonl();
+        let bad_cell = good.replace("\"fragment\"", "\"cell\":\"x\",\"fragment\"");
+        assert_eq!(
+            Request::parse_jsonl(&bad_cell),
+            Err(ProtoError::Malformed("cell"))
+        );
+    }
+}

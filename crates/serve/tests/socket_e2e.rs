@@ -1,0 +1,171 @@
+//! End-to-end tests over a real TCP socket: a cell submitted to a
+//! daemon must measure bit-identically to a direct `System` run, at any
+//! worker count, and the bounded admission queue must push back with a
+//! typed `queue_full` and then drain.
+
+use std::sync::Arc;
+
+use trident_serve::proto::{ErrorCode, FaultSpec, JobResult, JobSpec, Request, Response};
+use trident_serve::{serve_tcp, Client, Service, ServiceConfig};
+use trident_sim::experiments::ExpOptions;
+use trident_sim::{derive_cell_seed, PolicyKind, System};
+use trident_workloads::WorkloadSpec;
+
+fn spec(cell_index: Option<u64>) -> JobSpec {
+    let mut spec = JobSpec::new("GUPS", "Trident");
+    spec.scale = 256;
+    spec.samples = 2_000;
+    spec.seed = 42;
+    spec.cell_index = cell_index;
+    spec
+}
+
+/// What the daemon should have measured for [`spec`], computed by
+/// running the `System` directly — no service, no socket, no JSON.
+fn direct_run(cell_index: Option<u64>) -> (u64, u64, [u64; 3], trident_core::StatsSnapshot) {
+    let opts = ExpOptions {
+        scale: 256,
+        samples: 2_000,
+        seed: cell_index.map_or(42, |c| derive_cell_seed(42, c)),
+        threads: 0,
+        trace_capacity: None,
+        profile: false,
+    };
+    let mut system = System::launch(
+        opts.config(),
+        PolicyKind::Trident,
+        WorkloadSpec::by_name("GUPS").unwrap(),
+    )
+    .unwrap();
+    system.settle();
+    let m = system.measure();
+    (m.walks, m.walk_cycles, m.mapped_bytes, m.snapshot)
+}
+
+/// Disconnects, stops the accept loop, waits for the connection thread
+/// to release its service handle, and drains the pool.
+fn teardown(client: Client, handle: trident_serve::ServerHandle, mut service: Arc<Service>) {
+    drop(client);
+    handle.stop();
+    handle.join().unwrap();
+    let service = loop {
+        match Arc::try_unwrap(service) {
+            Ok(service) => break service,
+            Err(back) => {
+                // The connection thread is between observing EOF and
+                // exiting; it drops its Arc momentarily.
+                service = back;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    };
+    service.shutdown();
+}
+
+fn submit(client: &mut Client, job: JobSpec) -> u64 {
+    match client.request(&Request::Submit(job)).unwrap() {
+        Response::Submitted { id } => id,
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+}
+
+fn fetch(client: &mut Client, id: u64) -> JobResult {
+    match client.request(&Request::Result { id }).unwrap() {
+        Response::Result { id: rid, result } => {
+            assert_eq!(rid, id);
+            result
+        }
+        other => panic!("expected Result, got {other:?}"),
+    }
+}
+
+#[test]
+fn socket_results_are_bit_identical_at_any_worker_count() {
+    // Three cells of a grid, each with its own derived seed. The same
+    // three expected measurements must come back from a 1-, 2- and
+    // 4-worker daemon: sharding can move a job between workers but must
+    // never change what it computes.
+    let cells = [None, Some(0), Some(3)];
+    let expected: Vec<_> = cells.iter().map(|&c| direct_run(c)).collect();
+
+    for workers in [1usize, 2, 4] {
+        let service = Arc::new(Service::start(ServiceConfig {
+            workers,
+            queue_depth: 16,
+            start_paused: false,
+        }));
+        let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let ids: Vec<u64> = cells
+            .iter()
+            .map(|&c| submit(&mut client, spec(c)))
+            .collect();
+        for (id, (walks, walk_cycles, mapped_bytes, snapshot)) in ids.into_iter().zip(&expected) {
+            let result = fetch(&mut client, id);
+            assert_eq!(result.walks, *walks, "workers={workers}");
+            assert_eq!(result.walk_cycles, *walk_cycles, "workers={workers}");
+            assert_eq!(result.mapped_bytes, *mapped_bytes, "workers={workers}");
+            assert_eq!(result.snapshot, *snapshot, "workers={workers}");
+        }
+
+        teardown(client, handle, service);
+    }
+}
+
+#[test]
+fn socket_backpressure_is_typed_and_drains() {
+    // One paused worker, depth 2: the third submission must bounce with
+    // the wire code `queue_full`, and after resume the backlog drains
+    // and the bounced job fits on resubmission.
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 2,
+        start_paused: true,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let a = submit(&mut client, spec(None));
+    let b = submit(&mut client, spec(Some(1)));
+    match client.request(&Request::Submit(spec(Some(2)))).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::QueueFull);
+            assert!(message.contains("depth of 2"), "{message}");
+        }
+        other => panic!("expected queue_full, got {other:?}"),
+    }
+
+    service.resume();
+    fetch(&mut client, a);
+    fetch(&mut client, b);
+    let c = submit(&mut client, spec(Some(2)));
+    fetch(&mut client, c);
+
+    teardown(client, handle, service);
+}
+
+#[test]
+fn socket_rejects_what_resolve_rejects() {
+    // Submit-time validation reaches the client as a typed bad_request:
+    // an impossible fault probability (> 1000 thousandths).
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 4,
+        start_paused: false,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let mut bad = spec(None);
+    bad.fault = Some(FaultSpec {
+        seed: 9,
+        rules: vec![(trident_core::InjectSite::Alloc, 5_000)],
+    });
+    match client.request(&Request::Submit(bad)).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    teardown(client, handle, service);
+}

@@ -3,6 +3,8 @@
 use crate::SimConfig;
 
 /// Command-line-tunable options shared by every experiment binary.
+/// (Flag parsing lives downstream in `trident_bench::args`; this crate
+/// only defines the option set and its mapping to [`SimConfig`].)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExpOptions {
     /// Memory-scale divisor (DESIGN.md §2; default 32 for the binaries).
@@ -35,44 +37,6 @@ impl ExpOptions {
             trace_capacity: None,
             profile: false,
         }
-    }
-
-    /// Parses `--scale N`, `--samples N`, `--seed N`, `--threads N`,
-    /// `--trace N` and `--profile` from an argument list, starting from
-    /// the defaults.
-    #[must_use]
-    pub fn from_args(args: &[String]) -> ExpOptions {
-        let mut opts = ExpOptions::default();
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            let mut set = |target: &mut u64| {
-                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                    *target = v;
-                }
-            };
-            match arg.as_str() {
-                "--scale" => set(&mut opts.scale),
-                "--seed" => set(&mut opts.seed),
-                "--samples" => {
-                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                        opts.samples = v;
-                    }
-                }
-                "--threads" => {
-                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                        opts.threads = v;
-                    }
-                }
-                "--trace" => {
-                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                        opts.trace_capacity = Some(v);
-                    }
-                }
-                "--profile" => opts.profile = true,
-                _ => {}
-            }
-        }
-        opts
     }
 
     /// Builds the base [`SimConfig`] for these options.
@@ -125,51 +89,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn from_args_parses_known_flags_and_ignores_noise() {
-        let args: Vec<String> = [
-            "--scale",
-            "64",
-            "--noise",
-            "--samples",
-            "9000",
-            "--seed",
-            "7",
-            "--threads",
-            "3",
-            "--fragment",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let opts = ExpOptions::from_args(&args);
-        assert_eq!(opts.scale, 64);
-        assert_eq!(opts.samples, 9000);
-        assert_eq!(opts.seed, 7);
-        assert_eq!(opts.threads, 3);
+    fn defaults_match_the_documented_binaries() {
+        let opts = ExpOptions::default();
+        assert_eq!(opts.scale, 32);
+        assert_eq!(opts.samples, 120_000);
         assert_eq!(opts.trace_capacity, None);
         assert!(!opts.profile);
-    }
-
-    #[test]
-    fn from_args_parses_profile_flag() {
-        let args: Vec<String> = ["--profile"].iter().map(|s| s.to_string()).collect();
-        let opts = ExpOptions::from_args(&args);
-        assert!(opts.profile);
-        assert!(opts.config().profile);
-    }
-
-    #[test]
-    fn from_args_parses_trace_capacity() {
-        let args: Vec<String> = ["--trace", "65536"].iter().map(|s| s.to_string()).collect();
-        let opts = ExpOptions::from_args(&args);
-        assert_eq!(opts.trace_capacity, Some(65536));
-    }
-
-    #[test]
-    fn from_args_defaults_when_empty() {
-        let opts = ExpOptions::from_args(&[]);
-        assert_eq!(opts, ExpOptions::default());
-        assert_eq!(opts.scale, 32);
     }
 
     #[test]

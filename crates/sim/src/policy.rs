@@ -37,6 +37,50 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// Every policy, in figure order.
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::Base,
+        PolicyKind::Thp,
+        PolicyKind::HugetlbfsHuge,
+        PolicyKind::HugetlbfsGiant,
+        PolicyKind::HawkEye,
+        PolicyKind::Ingens,
+        PolicyKind::Trident,
+        PolicyKind::Trident1G,
+        PolicyKind::TridentNC,
+        PolicyKind::TridentPv,
+        PolicyKind::TridentFaultOnly,
+    ];
+
+    /// The short name `tridentctl` and the job service accept on the
+    /// command line and the wire (the paper label is also accepted by
+    /// [`from_name`](Self::from_name)).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            PolicyKind::Base => "4KB",
+            PolicyKind::Thp => "THP",
+            PolicyKind::HugetlbfsHuge => "Hugetlbfs2M",
+            PolicyKind::HugetlbfsGiant => "Hugetlbfs1G",
+            PolicyKind::HawkEye => "HawkEye",
+            PolicyKind::Ingens => "Ingens",
+            PolicyKind::Trident => "Trident",
+            PolicyKind::Trident1G => "Trident1G",
+            PolicyKind::TridentNC => "TridentNC",
+            PolicyKind::TridentPv => "TridentPv",
+            PolicyKind::TridentFaultOnly => "TridentFaultOnly",
+        }
+    }
+
+    /// Resolves a policy from its [`short_name`](Self::short_name) or
+    /// its paper [`label`](Self::label), case-insensitively.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| {
+            k.short_name().eq_ignore_ascii_case(name) || k.label().eq_ignore_ascii_case(name)
+        })
+    }
+
     /// The label used in the paper's figures.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -114,6 +158,20 @@ mod tests {
         assert_eq!(PolicyKind::Thp.label(), "2MB-THP");
         assert_eq!(PolicyKind::HugetlbfsGiant.label(), "1GB-Hugetlbfs");
         assert_eq!(PolicyKind::Trident1G.label(), "Trident-1Gonly");
+    }
+
+    #[test]
+    fn from_name_resolves_both_spellings_of_every_policy() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(kind.short_name()), Some(kind));
+            assert_eq!(PolicyKind::from_name(kind.label()), Some(kind));
+            assert_eq!(
+                PolicyKind::from_name(&kind.label().to_uppercase()),
+                Some(kind),
+                "matching is case-insensitive"
+            );
+        }
+        assert_eq!(PolicyKind::from_name("NotAPolicy"), None);
     }
 
     #[test]

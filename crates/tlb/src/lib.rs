@@ -44,7 +44,7 @@ pub use walk::{
     WalkCostModel,
 };
 
-use trident_obs::{Event, NoopRecorder, Recorder};
+use trident_obs::{Event, Recorder};
 use trident_types::{PageSize, Vpn};
 
 /// Outcome of one simulated address translation.
@@ -98,10 +98,10 @@ impl TranslationEngine {
         }
     }
 
-    /// Translates one access to `vpn`, mapped by a leaf of `guest_size`.
-    /// Returns the outcome and accumulates statistics.
-    pub fn translate(&mut self, vpn: Vpn, guest_size: PageSize) -> AccessResult {
-        self.translate_rec(vpn, guest_size, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Translates one access to `vpn`, mapped by a leaf of `guest_size`.
+        /// Returns the outcome and accumulates statistics.
+        pub fn translate => translate_rec(&mut self, vpn: Vpn, guest_size: PageSize) -> AccessResult;
     }
 
     /// [`translate`](Self::translate), reporting each full miss to `rec` as
@@ -135,17 +135,17 @@ impl TranslationEngine {
         AccessResult { outcome, cycles }
     }
 
-    /// Translates one virtualized access where the host-level page size is
-    /// known per access (the host may back different gPA ranges with
-    /// different sizes). The TLB caches gVA→hPA at the smaller of the two
-    /// sizes; a miss pays the two-dimensional walk for the actual pair.
-    pub fn translate_nested(
-        &mut self,
-        vpn: Vpn,
-        guest_size: PageSize,
-        host_size: PageSize,
-    ) -> AccessResult {
-        self.translate_nested_rec(vpn, guest_size, host_size, &mut NoopRecorder)
+    trident_obs::noop_variant! {
+        /// Translates one virtualized access where the host-level page size is
+        /// known per access (the host may back different gPA ranges with
+        /// different sizes). The TLB caches gVA→hPA at the smaller of the two
+        /// sizes; a miss pays the two-dimensional walk for the actual pair.
+        pub fn translate_nested => translate_nested_rec(
+            &mut self,
+            vpn: Vpn,
+            guest_size: PageSize,
+            host_size: PageSize,
+        ) -> AccessResult;
     }
 
     /// [`translate_nested`](Self::translate_nested), reporting each full
