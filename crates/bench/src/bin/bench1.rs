@@ -44,6 +44,14 @@ fn main() {
     );
 
     let rows = serial_csv.lines().count().saturating_sub(1);
+    // "Speedup" is only honest when the parallel run actually had more
+    // than one worker; on a single-core machine Runner resolves 0 to 1
+    // and the two runs are the same experiment twice.
+    let speedup_field = if threads > 1 {
+        format!("  \"speedup\": {:.2},\n", serial_s / parallel_s.max(1e-9))
+    } else {
+        String::new()
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -55,7 +63,7 @@ fn main() {
             "  \"serial_seconds\": {serial:.3},\n",
             "  \"parallel_seconds\": {par:.3},\n",
             "  \"parallel_threads\": {threads},\n",
-            "  \"speedup\": {speedup:.2},\n",
+            "{speedup}",
             "  \"bit_identical\": true\n",
             "}}\n"
         ),
@@ -66,12 +74,18 @@ fn main() {
         serial = serial_s,
         par = parallel_s,
         threads = threads,
-        speedup = serial_s / parallel_s.max(1e-9),
+        speedup = speedup_field,
     );
     std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
-    eprintln!(
-        "# bench1: serial {serial_s:.3}s, parallel {parallel_s:.3}s ({:.2}x) -> BENCH_1.json",
-        serial_s / parallel_s.max(1e-9)
-    );
+    if threads > 1 {
+        eprintln!(
+            "# bench1: serial {serial_s:.3}s, parallel {parallel_s:.3}s ({:.2}x) -> BENCH_1.json",
+            serial_s / parallel_s.max(1e-9)
+        );
+    } else {
+        eprintln!(
+            "# bench1: serial {serial_s:.3}s, single worker (no speedup to report) -> BENCH_1.json"
+        );
+    }
     print!("{json}");
 }

@@ -1,0 +1,340 @@
+//! `bench_matrix` — the real bench matrix behind `BENCH_2.json`.
+//!
+//! Runs three grids — the fig1 native grid, the table4 fragmentation
+//! grid, and a chaos grid (fig1 kinds + Trident under randomized fault
+//! plans with the per-tick audit on) — at every thread count in
+//! `--threads-list` (default `1,2,4,8,16`), asserting that each grid's
+//! output is bit-identical across all thread counts before recording
+//! anything. Wall-clock per (grid, threads) cell lands in a flat JSON
+//! file (default `BENCH_2.json`) that `trace_analyze --bench-gate`
+//! understands: `serial_seconds`/`rows` mirror `BENCH_1.json`'s fields
+//! (fig1 grid at one thread) so the existing no-regression gate applies
+//! unchanged, and `fig1_best_seconds`/`cpus` feed the `--min-speedup`
+//! gate.
+//!
+//! Honesty rules, same as `bench1`: thread counts are the *resolved*
+//! worker counts, and `speedup_vs_seed` is only emitted when
+//! `--seed-serial SECS` supplies a same-machine measurement of the seed
+//! revision's serial fig1 grid. On a machine with fewer cores than a
+//! requested thread count the extra workers cannot help; the matrix
+//! records what actually happened and the gate scales its requirement by
+//! `cpus` (see `trace_analyze`).
+//!
+//! ```sh
+//! bench_matrix [--seed N] [--scale N] [--samples N] \
+//!              [--threads-list 1,2,4,8,16] [--out BENCH_2.json] \
+//!              [--chaos-scale N] [--chaos-samples N] [--prob N] \
+//!              [--seed-serial SECS]
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use trident_bench::args::{ArgError, Args};
+use trident_core::FaultPlan;
+use trident_sim::experiments::{fig1, table4, ExpOptions};
+use trident_sim::{derive_cell_seed, PolicyKind, Runner, SimConfig, System};
+use trident_workloads::WorkloadSpec;
+
+const USAGE: &str = "usage: bench_matrix [--threads-list 1,2,4,8,16] [--out FILE] \
+                     [--chaos-scale N] [--chaos-samples N] [--prob N] \
+                     [--seed-serial SECS] [standard experiment flags]";
+
+/// Chaos wing: the fig1 kinds plus Trident itself, as in the `chaos` bin.
+const CHAOS_KINDS: [PolicyKind; 5] = [
+    PolicyKind::Base,
+    PolicyKind::Thp,
+    PolicyKind::HugetlbfsHuge,
+    PolicyKind::HugetlbfsGiant,
+    PolicyKind::Trident,
+];
+
+/// Salt decorrelating fault-plan seeds from run seeds (shared with `chaos`).
+const PLAN_SALT: u64 = 0xC4A0_5CA0;
+
+struct Cli {
+    opts: ExpOptions,
+    threads_list: Vec<usize>,
+    out: String,
+    chaos_scale: u64,
+    chaos_samples: usize,
+    prob: u16,
+    seed_serial: Option<f64>,
+}
+
+fn parse_cli(args: &mut Args) -> Result<Cli, ArgError> {
+    // Fixed-grid defaults match bench1 so serial_seconds stays comparable
+    // with BENCH_1.json; both stay overridable for reduced-scale CI runs.
+    let scale = args.parsed_or("--scale", 256)?;
+    let samples = args.parsed_or("--samples", 8_000)?;
+    let threads_list = match args.value("--threads-list")? {
+        None => vec![1, 2, 4, 8, 16],
+        Some(csv) => {
+            let mut list = Vec::new();
+            for tok in csv.split(',') {
+                let t: usize = tok.trim().parse().map_err(|_| ArgError::Unknown {
+                    token: format!("--threads-list entry {tok:?}"),
+                })?;
+                list.push(t.max(1));
+            }
+            list
+        }
+    };
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+    let chaos_scale = args.parsed_or("--chaos-scale", 64)?;
+    let chaos_samples = args.parsed_or("--chaos-samples", 5_000)?;
+    let prob: u16 = args.parsed_or("--prob", 100)?;
+    let seed_serial: Option<f64> = args.parsed("--seed-serial")?;
+    let mut opts = args.exp_options()?;
+    opts.scale = scale;
+    opts.samples = samples;
+    Ok(Cli {
+        opts,
+        threads_list,
+        out,
+        chaos_scale,
+        chaos_samples,
+        prob,
+        seed_serial,
+    })
+}
+
+/// One chaos cell: a policy/workload pair under a seeded fault plan.
+struct ChaosCell {
+    label: String,
+    kind: PolicyKind,
+    spec: WorkloadSpec,
+    config: SimConfig,
+}
+
+fn chaos_cells(opts: &ExpOptions, scale: u64, samples: usize, prob: u16) -> Vec<ChaosCell> {
+    let specs = WorkloadSpec::all();
+    let mut cells = Vec::new();
+    for (row, spec) in specs.iter().enumerate() {
+        let mut config = SimConfig::at_scale(scale);
+        config.measure_samples = samples;
+        config.measure_tick_every = (samples / 6).max(1);
+        config.seed = derive_cell_seed(opts.seed, row as u64);
+        config.audit = true;
+        for kind in CHAOS_KINDS {
+            let idx = cells.len() as u64;
+            let mut c = config;
+            c.fault = Some(FaultPlan::randomized(
+                derive_cell_seed(opts.seed ^ PLAN_SALT, idx),
+                prob,
+            ));
+            cells.push(ChaosCell {
+                label: format!("{:?}/{}", kind, spec.name),
+                kind,
+                spec: *spec,
+                config: c,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs one chaos cell to a deterministic CSV line. Panics and invariant
+/// violations are rendered into the line (and therefore break both the
+/// cross-thread identity check and the clean-run check below).
+fn run_chaos_cell(cell: &ChaosCell) -> String {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        match System::launch(cell.config, cell.kind, cell.spec) {
+            Ok(mut sys) => {
+                sys.settle();
+                let m = sys.measure();
+                let injected = m.snapshot.total_injected_faults();
+                format!(
+                    "{},true,{},{},{}",
+                    cell.label,
+                    injected,
+                    sys.violations().len(),
+                    m.walk_cycles
+                )
+            }
+            Err(_) => format!("{},false,0,0,0", cell.label),
+        }
+    }));
+    outcome.unwrap_or_else(|_| format!("{},panicked,0,1,0", cell.label))
+}
+
+/// Renders the whole chaos grid at a given thread count.
+fn run_chaos_grid(cells: &[ChaosCell], threads: usize) -> String {
+    let lines = Runner::new(threads).map(cells, |_, c| run_chaos_cell(c));
+    let mut out = String::from("cell,booted,injected,violations,walk_cycles\n");
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-grid timing record.
+struct GridTimes {
+    name: &'static str,
+    rows: usize,
+    /// `(resolved thread count, wall seconds)` in `--threads-list` order.
+    times: Vec<(usize, f64)>,
+}
+
+impl GridTimes {
+    fn best(&self) -> (usize, f64) {
+        self.times
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one thread count ran")
+    }
+    fn at_one_thread(&self) -> f64 {
+        self.times
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .expect("threads-list includes 1")
+            .1
+    }
+}
+
+fn main() {
+    let mut args = Args::from_env();
+    let cli = match parse_cli(&mut args).and_then(|c| args.finish().map(|()| c)) {
+        Ok(c) => c,
+        Err(err) => err.exit(USAGE),
+    };
+    if !cli.threads_list.contains(&1) {
+        eprintln!("bench_matrix: --threads-list must include 1 (the serial reference run)");
+        std::process::exit(2);
+    }
+    trident_bench::banner(
+        "Bench matrix: fig1 + table4 + chaos across thread counts",
+        &cli.opts,
+    );
+    let cpus = Runner::new(0).threads();
+    eprintln!(
+        "# threads list: {:?} on a {cpus}-cpu machine; chaos scale 1/{}, {} samples, prob {}/1000",
+        cli.threads_list, cli.chaos_scale, cli.chaos_samples, cli.prob
+    );
+
+    let chaos = chaos_cells(&cli.opts, cli.chaos_scale, cli.chaos_samples, cli.prob);
+    let mut grids: Vec<GridTimes> = Vec::new();
+    let mut references: Vec<String> = Vec::new();
+    let mut failures = Vec::new();
+
+    for (gi, name) in ["fig1", "table4", "chaos"].iter().enumerate() {
+        let mut times = Vec::new();
+        for &t in &cli.threads_list {
+            let resolved = Runner::new(t).threads();
+            let t0 = Instant::now();
+            let output = match gi {
+                0 => {
+                    let mut o = cli.opts;
+                    o.threads = t;
+                    fig1::run(&o).to_csv()
+                }
+                1 => {
+                    let mut o = cli.opts;
+                    o.threads = t;
+                    table4::run(&o).to_csv()
+                }
+                _ => run_chaos_grid(&chaos, t),
+            };
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "# {name:>6} threads={t:<2} ({resolved} worker{}): {secs:.3}s",
+                if resolved == 1 { "" } else { "s" }
+            );
+            if t == 1 {
+                references.push(output.clone());
+            } else if output != references[gi] {
+                failures.push(format!(
+                    "{name}: output at threads={t} diverges from the serial run"
+                ));
+            }
+            // Record the *resolved* count once per distinct resolution;
+            // requested counts beyond the machine's cores all resolve to
+            // real worker counts and stay in the record regardless.
+            times.push((resolved, secs));
+        }
+        let rows = references[gi].lines().count().saturating_sub(1);
+        grids.push(GridTimes { name, rows, times });
+    }
+    if grids[2].rows != chaos.len() {
+        failures.push(format!(
+            "chaos: expected {} cells, rendered {}",
+            chaos.len(),
+            grids[2].rows
+        ));
+    }
+    for line in references[2].lines().skip(1) {
+        let mut fields = line.split(',');
+        let label = fields.next().unwrap_or("?");
+        let booted = fields.next().unwrap_or("?");
+        let violations = fields.nth(1).unwrap_or("0");
+        if booted == "panicked" {
+            failures.push(format!("chaos cell {label} panicked"));
+        } else if violations != "0" {
+            failures.push(format!(
+                "chaos cell {label}: {violations} invariant violations"
+            ));
+        }
+    }
+
+    let bit_identical = failures.iter().all(|f| !f.contains("diverges"));
+    let mut json = String::from("{\n  \"benchmark\": \"bench_matrix\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", cli.opts.scale));
+    json.push_str(&format!("  \"samples\": {},\n", cli.opts.samples));
+    json.push_str(&format!("  \"seed\": {},\n", cli.opts.seed));
+    json.push_str(&format!("  \"cpus\": {cpus},\n"));
+    json.push_str(&format!(
+        "  \"threads_list\": \"{}\",\n",
+        cli.threads_list
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    // BENCH_1.json-compatible fields: the fig1 grid's serial run.
+    json.push_str(&format!("  \"rows\": {},\n", grids[0].rows));
+    json.push_str(&format!(
+        "  \"serial_seconds\": {:.3},\n",
+        grids[0].at_one_thread()
+    ));
+    for grid in &grids {
+        json.push_str(&format!("  \"{}_rows\": {},\n", grid.name, grid.rows));
+        for (i, &(_resolved, secs)) in grid.times.iter().enumerate() {
+            json.push_str(&format!(
+                "  \"{}_t{}_seconds\": {secs:.3},\n",
+                grid.name, cli.threads_list[i]
+            ));
+        }
+        let (best_t, best_s) = grid.best();
+        json.push_str(&format!("  \"{}_best_seconds\": {best_s:.3},\n", grid.name));
+        json.push_str(&format!("  \"{}_best_threads\": {best_t},\n", grid.name));
+    }
+    if let Some(seed_s) = cli.seed_serial {
+        let (_, best) = grids[0].best();
+        json.push_str(&format!("  \"seed_serial_seconds\": {seed_s:.3},\n"));
+        json.push_str(&format!(
+            "  \"speedup_vs_seed\": {:.2},\n",
+            seed_s / best.max(1e-9)
+        ));
+    }
+    json.push_str(&format!("  \"bit_identical\": {bit_identical}\n}}\n"));
+
+    std::fs::write(&cli.out, &json).expect("write bench matrix json");
+    print!("{json}");
+    if failures.is_empty() {
+        let (best_t, best_s) = grids[0].best();
+        eprintln!(
+            "# bench_matrix PASS: fig1 serial {:.3}s, best {best_s:.3}s at {best_t} worker(s) -> {}",
+            grids[0].at_one_thread(),
+            cli.out
+        );
+    } else {
+        for f in &failures {
+            eprintln!("# bench_matrix FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,12 +10,11 @@
 //! frequency.
 
 use core::fmt;
-use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 
 use trident_obs::{Event, InjectSite, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
-use trident_types::{AsId, PageSize, TridentError, Vpn};
+use trident_types::{AsId, DenseBitSet, PageSize, TridentError, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
 
 use crate::{CompactionKind, Compactor, MmContext, SpaceSet, TickOutcome};
@@ -434,12 +433,16 @@ impl PromoterConfigBuilder {
 /// tick. A full `promotion_candidates` enumeration primes it once; after
 /// that, only chunks whose mappings or covering VMAs changed are
 /// re-examined — O(changed chunks) per tick.
+///
+/// Candidates are packed bitmaps keyed by *chunk index* (head VPN divided
+/// by the chunk span), so insert/remove during dirty replay are single bit
+/// flips and enumeration is already in address order.
 #[derive(Debug, Clone, Default)]
 struct CandidateCache {
-    /// Raw head VPNs of chunks promotable to 1GB, in address order.
-    giant: BTreeSet<u64>,
-    /// Raw head VPNs of chunks promotable to 2MB, in address order.
-    huge: BTreeSet<u64>,
+    /// Giant-chunk indices promotable to 1GB.
+    giant: DenseBitSet,
+    /// Huge-chunk indices promotable to 2MB.
+    huge: DenseBitSet,
     /// Whether the priming scan has run.
     primed: bool,
 }
@@ -530,8 +533,12 @@ pub struct Promoter {
     huge_backoff: CompactionBackoff,
     /// Compaction backoff for the 1GB target size.
     giant_backoff: CompactionBackoff,
-    /// Candidate indexes, one per scanned space.
-    caches: BTreeMap<AsId, CandidateCache>,
+    /// Candidate indexes, a dense arena indexed by raw address-space id.
+    caches: Vec<Option<CandidateCache>>,
+    /// Reusable candidate-head buffer for the per-tick scan loops.
+    head_buf: Vec<Vpn>,
+    /// Reusable dirty-chunk drain buffer for candidate refresh.
+    dirty_buf: Vec<u64>,
 }
 
 /// Whether the `size`-aligned chunk at `head` is currently worth promoting
@@ -566,55 +573,73 @@ impl Promoter {
             next_space: 0,
             huge_backoff: CompactionBackoff::new(),
             giant_backoff: CompactionBackoff::new(),
-            caches: BTreeMap::new(),
+            caches: Vec::new(),
+            head_buf: Vec::new(),
+            dirty_buf: Vec::new(),
         }
+    }
+
+    fn cache_slot(&mut self, asid: AsId) -> &mut Option<CandidateCache> {
+        let idx = usize::try_from(asid.raw()).expect("asid fits usize");
+        if idx >= self.caches.len() {
+            self.caches.resize_with(idx + 1, || None);
+        }
+        &mut self.caches[idx]
+    }
+
+    fn cache(&self, asid: AsId) -> Option<&CandidateCache> {
+        self.caches
+            .get(usize::try_from(asid.raw()).expect("asid fits usize"))
+            .and_then(Option::as_ref)
     }
 
     /// Brings the candidate index for `asid` up to date: a full priming
     /// scan on first contact, then only the chunks drained from the page
-    /// table's dirty feed.
+    /// table's dirty feed. Zero-alloc in steady state: the drain buffer is
+    /// reused and candidate membership updates are bit flips.
     fn refresh_candidates(&mut self, spaces: &mut SpaceSet, asid: AsId) {
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
         let Some(space) = spaces.get_mut(asid) else {
-            self.caches.remove(&asid);
+            *self.cache_slot(asid) = None;
+            self.dirty_buf = dirty;
             return;
         };
-        let cache = self.caches.entry(asid).or_default();
-        if !cache.primed {
-            // The priming enumeration subsumes any dirty backlog.
-            let _ = space.page_table_mut().take_dirty_chunks();
-            cache.giant = promotion_candidates(space, PageSize::Giant)
-                .into_iter()
-                .map(|(head, _)| head.raw())
-                .collect();
-            cache.huge = promotion_candidates(space, PageSize::Huge)
-                .into_iter()
-                .map(|(head, _)| head.raw())
-                .collect();
-            cache.primed = true;
-            return;
-        }
-        let dirty = space.page_table_mut().take_dirty_chunks();
-        if dirty.is_empty() {
-            return;
-        }
         let geo = space.geometry();
         let giant_span = geo.base_pages(PageSize::Giant);
         let huge_span = geo.base_pages(PageSize::Huge);
-        for gi in dirty {
+        let cache = self.cache_slot(asid).get_or_insert_with(Default::default);
+        if !cache.primed {
+            // The priming enumeration subsumes any dirty backlog.
+            space.page_table_mut().drain_dirty_chunks_into(&mut dirty);
+            cache.giant = promotion_candidates(space, PageSize::Giant)
+                .into_iter()
+                .map(|(head, _)| head.raw() / giant_span)
+                .collect();
+            cache.huge = promotion_candidates(space, PageSize::Huge)
+                .into_iter()
+                .map(|(head, _)| head.raw() / huge_span)
+                .collect();
+            cache.primed = true;
+            self.dirty_buf = dirty;
+            return;
+        }
+        space.page_table_mut().drain_dirty_chunks_into(&mut dirty);
+        for &gi in &dirty {
             let head = gi * giant_span;
             if is_candidate(space, Vpn::new(head), PageSize::Giant) {
-                cache.giant.insert(head);
+                cache.giant.insert(gi);
             } else {
-                cache.giant.remove(&head);
+                cache.giant.remove(gi);
             }
             for sub_head in (head..head + giant_span).step_by(huge_span as usize) {
                 if is_candidate(space, Vpn::new(sub_head), PageSize::Huge) {
-                    cache.huge.insert(sub_head);
+                    cache.huge.insert(sub_head / huge_span);
                 } else {
-                    cache.huge.remove(&sub_head);
+                    cache.huge.remove(sub_head / huge_span);
                 }
             }
         }
+        self.dirty_buf = dirty;
     }
 
     /// The configuration.
@@ -671,9 +696,10 @@ impl Promoter {
         // contiguity situation has not changed. Across ticks the backoff
         // additionally imposes a doubling sit-out window (§ graceful
         // degradation), re-armed as soon as contiguity is observed again.
+        let mut heads = std::mem::take(&mut self.head_buf);
         if self.config.use_giant {
-            let candidates = self.ordered_candidates(spaces, asid, PageSize::Giant);
-            for head in candidates {
+            self.ordered_candidates_into(spaces, asid, PageSize::Giant, &mut heads);
+            for &head in &heads {
                 if budget == 0 {
                     break;
                 }
@@ -742,8 +768,8 @@ impl Promoter {
             // Fold in this tick's own giant promotions so the 2MB pass sees
             // the same candidate set a fresh enumeration would.
             self.refresh_candidates(spaces, asid);
-            let candidates = self.ordered_candidates(spaces, asid, PageSize::Huge);
-            for head in candidates {
+            self.ordered_candidates_into(spaces, asid, PageSize::Huge, &mut heads);
+            for &head in &heads {
                 if budget == 0 {
                     break;
                 }
@@ -751,35 +777,44 @@ impl Promoter {
                 self.try_promote_huge(ctx, spaces, asid, head, &mut out, &mut promoted);
             }
         }
+        self.head_buf = heads;
 
         ctx.span_end(SpanKind::PromoScan, out.daemon_ns);
         (out, promoted)
     }
 
-    /// Candidate chunk heads for promotion to `size`, in scan order
-    /// (address order, or hottest-first for HawkEye), read from the
-    /// incrementally maintained index.
-    fn ordered_candidates(&self, spaces: &SpaceSet, asid: AsId, size: PageSize) -> Vec<Vpn> {
+    /// Fills `out` (cleared first) with candidate chunk heads for promotion
+    /// to `size`, in scan order (address order, or hottest-first for
+    /// HawkEye), read from the incrementally maintained index. Reuses the
+    /// buffer's storage — the scan loop's head enumeration stays
+    /// zero-alloc in steady state.
+    fn ordered_candidates_into(
+        &self,
+        spaces: &SpaceSet,
+        asid: AsId,
+        size: PageSize,
+        out: &mut Vec<Vpn>,
+    ) {
+        out.clear();
         let Some(space) = spaces.get(asid) else {
-            return Vec::new();
+            return;
         };
-        let Some(cache) = self.caches.get(&asid) else {
-            return Vec::new();
+        let Some(cache) = self.cache(asid) else {
+            return;
         };
+        let geo = space.geometry();
+        let span = geo.base_pages(size);
         let set = match size {
             PageSize::Giant => &cache.giant,
             PageSize::Huge => &cache.huge,
-            PageSize::Base => return Vec::new(),
+            PageSize::Base => return,
         };
-        let mut candidates: Vec<Vpn> = set.iter().map(|&head| Vpn::new(head)).collect();
+        out.extend(set.iter().map(|chunk| Vpn::new(chunk * span)));
         if self.config.order_by_access {
-            let geo = space.geometry();
-            let span = geo.base_pages(size);
-            candidates.sort_by_key(|head| {
+            out.sort_by_key(|head| {
                 std::cmp::Reverse(space.page_table().accessed_leaves_in(*head, span))
             });
         }
-        candidates
     }
 
     fn try_promote_huge(
@@ -1016,17 +1051,22 @@ mod tests {
         promoter.refresh_candidates(&mut spaces, asid);
 
         let space = spaces.get(asid).unwrap();
+        let geo = space.geometry();
         for size in [PageSize::Giant, PageSize::Huge] {
-            let fresh: BTreeSet<u64> = promotion_candidates(space, size)
+            let span = geo.base_pages(size);
+            let fresh: Vec<u64> = promotion_candidates(space, size)
                 .into_iter()
                 .map(|(head, _)| head.raw())
                 .collect();
-            let cache = promoter.caches.get(&asid).expect("primed cache");
-            let cached = match size {
+            let cache = promoter.cache(asid).expect("primed cache");
+            let cached: Vec<u64> = match size {
                 PageSize::Giant => &cache.giant,
                 _ => &cache.huge,
-            };
-            assert_eq!(cached, &fresh, "cache diverged at {size:?}");
+            }
+            .iter()
+            .map(|chunk| chunk * span)
+            .collect();
+            assert_eq!(cached, fresh, "cache diverged at {size:?}");
         }
     }
 

@@ -2,17 +2,63 @@
 //!
 //! Linux's buddy allocator tracks free chunks only up to `MAX_ORDER` = 4MB;
 //! the paper extends it with separate lists for every order up to 1GB
-//! (§5.1.1). This implementation keeps one ordered set of free-block start
-//! frames per order, which also lets compaction allocate *within* a specific
-//! 1GB region via [`BuddyAllocator::alloc_in_range`].
+//! (§5.1.1). Each order's free list is a packed bitmap over block start
+//! frames ([`OrderList`]): allocation pops the lowest-addressed block by
+//! word-scanning from a floor cursor instead of walking a tree, and ranged
+//! scans let compaction allocate *within* a specific 1GB region via
+//! [`BuddyAllocator::alloc_in_range`].
 
-use std::collections::BTreeSet;
 use std::ops::Range;
 
 use trident_obs::{Event, Recorder};
-use trident_types::InvariantViolation;
+use trident_types::{DenseBitSet, InvariantViolation};
 
 use crate::AllocError;
+
+/// One order's free list: a bitmap over block start frames plus a floor
+/// cursor below which no block of this order starts. Insert and remove are
+/// single word operations; popping the minimum scans words upward from the
+/// floor, and since the floor only moves down when a block is inserted
+/// there, the scan cost is bounded by cursor churn rather than list size.
+#[derive(Debug, Clone)]
+struct OrderList {
+    blocks: DenseBitSet,
+    /// No free block of this order starts below `floor`.
+    floor: u64,
+}
+
+impl OrderList {
+    fn new(total_pages: u64) -> OrderList {
+        OrderList {
+            blocks: DenseBitSet::with_capacity(total_pages),
+            floor: 0,
+        }
+    }
+
+    fn insert(&mut self, start: u64) {
+        self.blocks.insert(start);
+        self.floor = self.floor.min(start);
+    }
+
+    fn remove(&mut self, start: u64) -> bool {
+        self.blocks.remove(start)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The lowest block start, advancing the floor to it.
+    fn first(&mut self, total_pages: u64) -> Option<u64> {
+        let first = self.blocks.iter_range(self.floor, total_pages).next()?;
+        self.floor = first;
+        Some(first)
+    }
+}
 
 /// A binary buddy allocator over base-page frame numbers.
 ///
@@ -42,7 +88,7 @@ pub struct BuddyAllocator {
     total_pages: u64,
     max_order: u8,
     /// `free_lists[o]` holds the start frame of every free block of order `o`.
-    free_lists: Vec<BTreeSet<u64>>,
+    free_lists: Vec<OrderList>,
     free_pages: u64,
 }
 
@@ -60,7 +106,9 @@ impl BuddyAllocator {
         let mut buddy = BuddyAllocator {
             total_pages,
             max_order,
-            free_lists: vec![BTreeSet::new(); usize::from(max_order) + 1],
+            free_lists: (0..=max_order)
+                .map(|_| OrderList::new(total_pages))
+                .collect(),
             free_pages: 0,
         };
         // Seed with maximal naturally-aligned blocks.
@@ -145,11 +193,10 @@ impl BuddyAllocator {
         let found = (order..=self.max_order)
             .find(|o| !self.free_lists[usize::from(*o)].is_empty())
             .ok_or(AllocError { order })?;
-        let start = *self.free_lists[usize::from(found)]
-            .iter()
-            .next()
+        let start = self.free_lists[usize::from(found)]
+            .first(self.total_pages)
             .expect("non-empty list");
-        self.free_lists[usize::from(found)].remove(&start);
+        self.free_lists[usize::from(found)].remove(start);
         self.split_down(start, found, order);
         if found > order {
             rec.record(Event::BuddySplit {
@@ -201,11 +248,11 @@ impl BuddyAllocator {
         assert!(order <= self.max_order, "order exceeds max_order");
         for o in order..=self.max_order {
             let candidate = self.free_lists[usize::from(o)]
-                .range(range.clone())
-                .find(|&&start| start + (1u64 << o) <= range.end)
-                .copied();
+                .blocks
+                .iter_range(range.start, range.end)
+                .find(|&start| start + (1u64 << o) <= range.end);
             if let Some(start) = candidate {
-                self.free_lists[usize::from(o)].remove(&start);
+                self.free_lists[usize::from(o)].remove(start);
                 self.split_down(start, o, order);
                 if o > order {
                     rec.record(Event::BuddySplit {
@@ -261,7 +308,7 @@ impl BuddyAllocator {
         while order < self.max_order {
             let buddy = start ^ (1u64 << order);
             if buddy + (1u64 << order) <= self.total_pages
-                && self.free_lists[usize::from(order)].remove(&buddy)
+                && self.free_lists[usize::from(order)].remove(buddy)
             {
                 start = start.min(buddy);
                 order += 1;
@@ -301,14 +348,14 @@ impl BuddyAllocator {
 
     /// Iterates over the start frames of free blocks of exactly `order`.
     pub fn free_blocks_iter(&self, order: u8) -> impl Iterator<Item = u64> + '_ {
-        self.free_lists[usize::from(order)].iter().copied()
+        self.free_lists[usize::from(order)].blocks.iter()
     }
 
     /// Whether a free block of exactly `order` starts at `start` — used to
     /// validate pre-zeroed block handles lazily.
     #[must_use]
     pub fn is_block_free(&self, start: u64, order: u8) -> bool {
-        order <= self.max_order && self.free_lists[usize::from(order)].contains(&start)
+        order <= self.max_order && self.free_lists[usize::from(order)].blocks.contains(start)
     }
 
     /// Non-panicking consistency audit: free lists must be aligned, in
@@ -323,7 +370,7 @@ impl BuddyAllocator {
         let mut counted = 0u64;
         let mut spans: Vec<(u64, u64)> = Vec::new();
         for (order, list) in self.free_lists.iter().enumerate() {
-            for &start in list {
+            for start in list.blocks.iter() {
                 let len = 1u64 << order;
                 if start % len != 0 {
                     violations.push(InvariantViolation::BuddyBlockMisaligned { start, pages: len });

@@ -3,12 +3,13 @@
 //! Compaction must know, for every physical frame, whether it is used,
 //! whether its contents can be moved, where its allocation unit begins, and
 //! which virtual page maps it (so the page tables can be updated after
-//! migration). The [`FrameTable`] stores a compact two-byte record per frame
-//! plus a side map of owners keyed by unit head.
+//! migration). The [`FrameTable`] stores a compact two-byte record per
+//! frame; the frame's *use* is packed into the record's flag bits, the set
+//! of unit heads is a packed bitmap (so ranged unit enumeration skips free
+//! space a word at a time), and reverse-map owners live in per-region
+//! slabs allocated lazily — no hash maps on the allocation hot path.
 
-use std::collections::HashMap;
-
-use trident_types::{AsId, Pfn, Vpn};
+use trident_types::{AsId, DenseBitSet, Pfn, Vpn};
 
 /// What a physical frame is used for. Determines movability: kernel frames
 /// are unmovable and poison their 1GB region for compaction (§5.1.3).
@@ -28,6 +29,22 @@ impl FrameUse {
     #[must_use]
     pub fn is_movable(self) -> bool {
         !matches!(self, FrameUse::Kernel)
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            FrameUse::User => 0,
+            FrameUse::PageCache => 1,
+            FrameUse::Kernel => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> FrameUse {
+        match code {
+            0 => FrameUse::User,
+            1 => FrameUse::PageCache,
+            _ => FrameUse::Kernel,
+        }
     }
 }
 
@@ -66,8 +83,18 @@ impl AllocationUnit {
 const FLAG_USED: u8 = 1 << 0;
 const FLAG_UNMOVABLE: u8 = 1 << 1;
 const FLAG_HEAD: u8 = 1 << 2;
+/// Set on a head frame whose owner slab slot holds a live reverse-map
+/// entry; cleared slots make stale slab contents unreachable.
+const FLAG_HAS_OWNER: u8 = 1 << 3;
+const USE_SHIFT: u8 = 4;
+const USE_MASK: u8 = 0b11 << USE_SHIFT;
 
-/// Compact per-frame record: flag bits plus the unit order (valid on heads).
+/// Frames per owner-slab region. Slabs materialize only for regions that
+/// actually register owners, so page-cache/kernel churn costs nothing.
+const OWNER_REGION: usize = 1024;
+
+/// Compact per-frame record: flag bits (including the packed use code)
+/// plus the unit order (valid on heads).
 #[derive(Debug, Clone, Copy, Default)]
 struct FrameInfo {
     flags: u8,
@@ -84,6 +111,20 @@ impl FrameInfo {
     fn is_unmovable(self) -> bool {
         self.flags & FLAG_UNMOVABLE != 0
     }
+    fn has_owner(self) -> bool {
+        self.flags & FLAG_HAS_OWNER != 0
+    }
+    fn use_(self) -> FrameUse {
+        FrameUse::from_code((self.flags & USE_MASK) >> USE_SHIFT)
+    }
+}
+
+/// One reverse-map slab slot; valid only when the head frame carries
+/// `FLAG_HAS_OWNER`.
+#[derive(Debug, Clone, Copy, Default)]
+struct OwnerSlot {
+    asid: u32,
+    vpn: u64,
 }
 
 /// Metadata for every physical frame, with unit-granularity bookkeeping.
@@ -103,18 +144,23 @@ impl FrameInfo {
 #[derive(Debug, Clone, Default)]
 pub struct FrameTable {
     frames: Vec<FrameInfo>,
-    owners: HashMap<u64, MappingOwner>,
-    uses: HashMap<u64, FrameUse>,
+    /// Unit heads as a packed bitmap — ranged enumeration skips free and
+    /// tail frames a word at a time.
+    heads: DenseBitSet,
+    /// Lazily-allocated per-region reverse-map slabs, indexed by
+    /// `pfn / OWNER_REGION` then `pfn % OWNER_REGION`.
+    owners: Vec<Option<Box<[OwnerSlot]>>>,
 }
 
 impl FrameTable {
     /// Creates a table for `total_pages` frames, all free.
     #[must_use]
     pub fn new(total_pages: u64) -> FrameTable {
+        let total = usize::try_from(total_pages).expect("fits usize");
         FrameTable {
-            frames: vec![FrameInfo::default(); usize::try_from(total_pages).expect("fits usize")],
-            owners: HashMap::new(),
-            uses: HashMap::new(),
+            frames: vec![FrameInfo::default(); total],
+            heads: DenseBitSet::with_capacity(total_pages),
+            owners: vec![None; total.div_ceil(OWNER_REGION)],
         }
     }
 
@@ -126,6 +172,18 @@ impl FrameTable {
 
     fn idx(&self, pfn: Pfn) -> usize {
         usize::try_from(pfn.raw()).expect("fits usize")
+    }
+
+    fn owner_slot(&self, idx: usize) -> Option<&OwnerSlot> {
+        self.owners[idx / OWNER_REGION]
+            .as_ref()
+            .map(|slab| &slab[idx % OWNER_REGION])
+    }
+
+    fn owner_slot_mut(&mut self, idx: usize) -> &mut OwnerSlot {
+        let slab = self.owners[idx / OWNER_REGION]
+            .get_or_insert_with(|| vec![OwnerSlot::default(); OWNER_REGION].into_boxed_slice());
+        &mut slab[idx % OWNER_REGION]
     }
 
     /// Records a freshly-allocated unit of `2^order` frames starting at
@@ -144,7 +202,7 @@ impl FrameTable {
         let start = self.idx(head);
         let len = 1usize << order;
         assert!(start + len <= self.frames.len(), "unit out of bounds");
-        let mut flags = FLAG_USED;
+        let mut flags = FLAG_USED | (use_.code() << USE_SHIFT);
         if !use_.is_movable() {
             flags |= FLAG_UNMOVABLE;
         }
@@ -154,9 +212,13 @@ impl FrameTable {
             frame.order = order;
         }
         self.frames[start].flags |= FLAG_HEAD;
-        self.uses.insert(head.raw(), use_);
+        self.heads.insert(head.raw());
         if let Some(owner) = owner {
-            self.owners.insert(head.raw(), owner);
+            self.frames[start].flags |= FLAG_HAS_OWNER;
+            *self.owner_slot_mut(start) = OwnerSlot {
+                asid: owner.asid.raw(),
+                vpn: owner.vpn.raw(),
+            };
         }
     }
 
@@ -171,8 +233,7 @@ impl FrameTable {
         for frame in &mut self.frames[start..start + (1usize << unit.order)] {
             *frame = FrameInfo::default();
         }
-        self.owners.remove(&head.raw());
-        self.uses.remove(&head.raw());
+        self.heads.remove(head.raw());
         unit
     }
 
@@ -199,15 +260,27 @@ impl FrameTable {
     /// The unit whose head is `pfn`, if `pfn` is a head.
     #[must_use]
     pub fn unit_at(&self, pfn: Pfn) -> Option<AllocationUnit> {
-        let info = *self.frames.get(self.idx(pfn))?;
+        let idx = self.idx(pfn);
+        let info = *self.frames.get(idx)?;
         if !info.is_head() {
             return None;
         }
         Some(AllocationUnit {
             head: pfn,
             order: info.order,
-            use_: *self.uses.get(&pfn.raw()).expect("head has a use record"),
-            owner: self.owners.get(&pfn.raw()).copied(),
+            use_: info.use_(),
+            owner: self.read_owner(idx, info),
+        })
+    }
+
+    fn read_owner(&self, idx: usize, info: FrameInfo) -> Option<MappingOwner> {
+        if !info.has_owner() {
+            return None;
+        }
+        let slot = self.owner_slot(idx).expect("owner flag implies slab");
+        Some(MappingOwner {
+            asid: AsId::new(slot.asid),
+            vpn: Vpn::new(slot.vpn),
         })
     }
 
@@ -231,12 +304,17 @@ impl FrameTable {
     /// Panics if `head` is not a unit head.
     pub fn set_owner(&mut self, head: Pfn, owner: Option<MappingOwner>) {
         assert!(self.is_unit_head(head), "set_owner requires a unit head");
+        let idx = self.idx(head);
         match owner {
             Some(o) => {
-                self.owners.insert(head.raw(), o);
+                self.frames[idx].flags |= FLAG_HAS_OWNER;
+                *self.owner_slot_mut(idx) = OwnerSlot {
+                    asid: o.asid.raw(),
+                    vpn: o.vpn.raw(),
+                };
             }
             None => {
-                self.owners.remove(&head.raw());
+                self.frames[idx].flags &= !FLAG_HAS_OWNER;
             }
         }
     }
@@ -244,7 +322,10 @@ impl FrameTable {
     /// The reverse-map owner of the unit headed at `head`, if any.
     #[must_use]
     pub fn owner(&self, head: Pfn) -> Option<MappingOwner> {
-        self.owners.get(&head.raw()).copied()
+        let idx = self.idx(head);
+        self.frames
+            .get(idx)
+            .and_then(|info| self.read_owner(idx, *info))
     }
 
     /// Enumerates the allocation units whose head lies in `[start, end)`.
@@ -252,28 +333,35 @@ impl FrameTable {
     /// Units are naturally aligned, so every unit overlapping a giant region
     /// has its head inside it; this is exactly the set compaction must
     /// migrate to free the region.
+    ///
+    /// Allocates a fresh `Vec` per call; steady-state callers should prefer
+    /// [`FrameTable::units_in_into`].
     pub fn units_in(&self, start: Pfn, end: Pfn) -> Vec<AllocationUnit> {
-        let mut units = Vec::new();
-        let mut page = start.raw();
-        while page < end.raw() {
-            let info = self.frames[usize::try_from(page).expect("fits usize")];
-            if info.is_head() {
-                units.push(
-                    self.unit_at(Pfn::new(page))
-                        .expect("head implies unit exists"),
-                );
-                page += 1u64 << info.order;
-            } else {
-                page += 1;
-            }
+        let mut out = Vec::new();
+        self.units_in_into(start, end, &mut out);
+        out
+    }
+
+    /// Enumerates the allocation units whose head lies in `[start, end)`
+    /// into `out` (cleared first), reusing the buffer's storage and
+    /// skipping headless stretches a bitmap word at a time.
+    pub fn units_in_into(&self, start: Pfn, end: Pfn, out: &mut Vec<AllocationUnit>) {
+        out.clear();
+        for head in self.heads.iter_range(start.raw(), end.raw()) {
+            out.push(
+                self.unit_at(Pfn::new(head))
+                    .expect("head bitmap implies unit exists"),
+            );
         }
-        units
     }
 
     /// Counts used frames in `[start, end)`.
     #[must_use]
     pub fn used_in(&self, start: Pfn, end: Pfn) -> u64 {
-        self.units_in(start, end).iter().map(|u| u.pages()).sum()
+        self.heads
+            .iter_range(start.raw(), end.raw())
+            .map(|head| 1u64 << self.frames[usize::try_from(head).expect("fits usize")].order)
+            .sum()
     }
 }
 
@@ -354,5 +442,36 @@ mod tests {
         assert_eq!(t.owner(Pfn::new(0)), Some(o));
         t.set_owner(Pfn::new(0), None);
         assert_eq!(t.owner(Pfn::new(0)), None);
+    }
+
+    #[test]
+    fn owner_slab_is_region_lazy_and_survives_reuse() {
+        let mut t = FrameTable::new(4096);
+        // Owner far from frame 0 materializes only that region's slab.
+        let o = MappingOwner {
+            asid: AsId::new(9),
+            vpn: Vpn::new(1234),
+        };
+        t.mark_allocated(Pfn::new(2048), 0, FrameUse::User, Some(o));
+        assert_eq!(t.owner(Pfn::new(2048)), Some(o));
+        assert!(t.owners[0].is_none());
+        assert!(t.owners[2].is_some());
+        // Free then re-allocate without an owner: stale slab contents must
+        // not resurface.
+        t.mark_freed(Pfn::new(2048));
+        t.mark_allocated(Pfn::new(2048), 0, FrameUse::User, None);
+        assert_eq!(t.owner(Pfn::new(2048)), None);
+        assert_eq!(t.unit_at(Pfn::new(2048)).unwrap().owner, None);
+    }
+
+    #[test]
+    fn use_codes_roundtrip_through_flags() {
+        let mut t = FrameTable::new(8);
+        t.mark_allocated(Pfn::new(0), 0, FrameUse::User, None);
+        t.mark_allocated(Pfn::new(1), 0, FrameUse::PageCache, None);
+        t.mark_allocated(Pfn::new(2), 0, FrameUse::Kernel, None);
+        assert_eq!(t.unit_at(Pfn::new(0)).unwrap().use_, FrameUse::User);
+        assert_eq!(t.unit_at(Pfn::new(1)).unwrap().use_, FrameUse::PageCache);
+        assert_eq!(t.unit_at(Pfn::new(2)).unwrap().use_, FrameUse::Kernel);
     }
 }

@@ -1,7 +1,5 @@
 //! A native simulated machine running one workload under one policy.
 
-use std::collections::BTreeMap;
-
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use trident_core::{
@@ -434,7 +432,9 @@ impl System {
             self.measured_access(None);
         }
         self.engine.reset_stats();
-        let mut miss_by_chunk: BTreeMap<u64, u64> = BTreeMap::new();
+        // Dense per-giant-chunk miss counters (chunk indexes are small and
+        // contiguous); folded into sorted pairs once at the end.
+        let mut miss_by_chunk: Vec<u64> = Vec::new();
         for i in 0..self.config.measure_samples {
             self.measured_access(Some(&mut miss_by_chunk));
             if (i + 1) % self.config.measure_tick_every == 0 {
@@ -473,11 +473,16 @@ impl System {
                 space.page_table().mapped_bytes(PageSize::Huge),
                 space.page_table().mapped_bytes(PageSize::Giant),
             ],
-            miss_by_chunk: miss_by_chunk.into_iter().collect(),
+            miss_by_chunk: miss_by_chunk
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n != 0)
+                .map(|(chunk, &n)| (chunk as u64, n))
+                .collect(),
         }
     }
 
-    fn measured_access(&mut self, miss_by_chunk: Option<&mut BTreeMap<u64, u64>>) {
+    fn measured_access(&mut self, miss_by_chunk: Option<&mut Vec<u64>>) {
         let access = self.workload.sampler.sample(&mut self.rng);
         let space = self.spaces.get_mut(self.asid).expect("workload space");
         let translation = match space.page_table_mut().access(access.vpn, access.write) {
@@ -498,9 +503,12 @@ impl System {
             self.engine
                 .translate_rec(access.vpn, translation.size, &mut self.ctx.recorder);
         if result.outcome == TlbOutcome::Miss {
-            if let Some(map) = miss_by_chunk {
-                let chunk = self.config.geo.giant_region_of(access.vpn.raw());
-                *map.entry(chunk).or_insert(0) += 1;
+            if let Some(counts) = miss_by_chunk {
+                let chunk = self.config.geo.giant_region_of(access.vpn.raw()) as usize;
+                if chunk >= counts.len() {
+                    counts.resize(chunk + 1, 0);
+                }
+                counts[chunk] += 1;
             }
         }
     }

@@ -25,6 +25,7 @@
 #![deny(deprecated)]
 
 mod addr;
+mod bitset;
 mod error;
 mod geometry;
 mod ids;
@@ -33,6 +34,7 @@ mod page_size;
 mod units;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use bitset::DenseBitSet;
 pub use error::{AllocError, TridentError};
 pub use geometry::PageGeometry;
 pub use ids::AsId;

@@ -1,0 +1,107 @@
+//! Property-based tests for [`DenseBitSet`]: the packed-word set must be
+//! indistinguishable from a sorted-`Vec` reference model under arbitrary
+//! mutation sequences — including the drain API that feeds the promotion
+//! daemon's dirty-chunk scan.
+
+use proptest::prelude::*;
+use trident_types::DenseBitSet;
+
+/// One mutation against the set.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Clear,
+    Drain,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        // The vendored proptest's `prop_oneof` is uniform; listing the
+        // insert arm twice biases toward growth so drains see real sets.
+        prop_oneof![
+            (0u64..400).prop_map(Op::Insert),
+            (0u64..400).prop_map(Op::Insert),
+            (0u64..400).prop_map(Op::Remove),
+            Just(Op::Clear),
+            Just(Op::Drain),
+        ],
+        1..120,
+    )
+}
+
+/// Applies `ops` to both the packed set and a sorted-Vec model, checking
+/// agreement after every step (membership, length, iteration order, and
+/// drain output).
+fn check_against_model(ops: &[Op]) {
+    let mut set = DenseBitSet::new();
+    let mut model: Vec<u64> = Vec::new();
+    let mut drained = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Insert(k) => {
+                let fresh = set.insert(k);
+                prop_assert_eq!(fresh, !model.contains(&k));
+                if fresh {
+                    let at = model.partition_point(|&m| m < k);
+                    model.insert(at, k);
+                }
+            }
+            Op::Remove(k) => {
+                let had = set.remove(k);
+                prop_assert_eq!(had, model.contains(&k));
+                model.retain(|&m| m != k);
+            }
+            Op::Clear => {
+                set.clear();
+                model.clear();
+            }
+            Op::Drain => {
+                drained.clear();
+                set.drain_into(&mut drained);
+                // Drain yields the model in ascending order and empties
+                // the set, exactly like taking the reference Vec.
+                prop_assert_eq!(&drained, &model);
+                prop_assert!(set.is_empty());
+                model.clear();
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), model.clone());
+        prop_assert_eq!(set.first(), model.first().copied());
+    }
+}
+
+proptest! {
+    /// Forward order: packed set == Vec model after every mutation.
+    #[test]
+    fn bitset_matches_vec_model(ops in ops()) {
+        check_against_model(&ops);
+    }
+
+    /// The same sequences replayed in reverse must also agree — the model
+    /// equivalence cannot depend on insertion order.
+    #[test]
+    fn bitset_matches_vec_model_reversed(ops in ops()) {
+        let reversed: Vec<Op> = ops.into_iter().rev().collect();
+        check_against_model(&reversed);
+    }
+
+    /// `iter_range` agrees with filtering the full iteration, for every
+    /// window — including windows that straddle word boundaries.
+    #[test]
+    fn iter_range_matches_filtered_iter(
+        keys in prop::collection::vec(0u64..300, 0..80),
+        start in 0u64..310,
+        len in 0u64..310,
+    ) {
+        let set: DenseBitSet = keys.iter().copied().collect();
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let end = start + len;
+        let ranged: Vec<u64> = set.iter_range(start, end).collect();
+        let filtered: Vec<u64> = sorted.into_iter().filter(|&k| k >= start && k < end).collect();
+        prop_assert_eq!(ranged, filtered);
+    }
+}

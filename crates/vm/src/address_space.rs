@@ -1,6 +1,6 @@
 //! Per-process address spaces: VMAs plus a page table.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use trident_types::{AsId, PageGeometry, PageSize, Vpn};
 
@@ -33,7 +33,15 @@ use crate::{MapError, MappingRecord, PageTable, Vma, VmaKind};
 pub struct AddressSpace {
     id: AsId,
     geo: PageGeometry,
-    vmas: BTreeMap<u64, Vma>,
+    /// VMAs sorted by start page. A flat sorted vector: containment
+    /// lookups binary-search contiguous memory instead of chasing tree
+    /// nodes, and the fault path's sequential locality is captured by
+    /// `last_vma` below.
+    vmas: Vec<Vma>,
+    /// Index of the VMA the last containment lookup hit. Purely an
+    /// accelerator: a stale index is re-validated before use, so mutation
+    /// never has to reset it.
+    last_vma: Cell<usize>,
     page_table: PageTable,
     cursor: u64,
     /// Bytes mappable at each page size (index by `PageSize as usize`),
@@ -51,7 +59,8 @@ impl AddressSpace {
         AddressSpace {
             id,
             geo,
-            vmas: BTreeMap::new(),
+            vmas: Vec::new(),
+            last_vma: Cell::new(0),
             page_table: PageTable::new(geo),
             cursor: 0,
             mappable: [0; 3],
@@ -138,11 +147,16 @@ impl AddressSpace {
 
     fn vmas_overlapping<'a>(&'a self, new: &'a Vma) -> impl Iterator<Item = &'a Vma> + 'a {
         self.vmas
-            .values()
+            .iter()
             .filter(move |existing| existing.overlaps(new))
     }
 
-    /// Adds `vma` to the map, maintaining the mappability counters and
+    /// Index of the first VMA starting at or after `start`.
+    fn position_of(&self, start: u64) -> usize {
+        self.vmas.partition_point(|v| v.start.raw() < start)
+    }
+
+    /// Adds `vma` to the set, maintaining the mappability counters and
     /// marking its span dirty for the promotion daemon (a VMA change can
     /// alter chunk candidacy without touching a PTE).
     fn attach(&mut self, vma: Vma) {
@@ -150,12 +164,17 @@ impl AddressSpace {
             self.mappable[size as usize] += vma.mappable_bytes(&self.geo, size);
         }
         self.page_table.mark_span_dirty(vma.start, vma.pages);
-        self.vmas.insert(vma.start.raw(), vma);
+        let pos = self.position_of(vma.start.raw());
+        self.vmas.insert(pos, vma);
     }
 
-    /// Removes the VMA keyed at `start`, maintaining the counters.
+    /// Removes the VMA starting at `start`, maintaining the counters.
     fn detach(&mut self, start: u64) -> Option<Vma> {
-        let vma = self.vmas.remove(&start)?;
+        let pos = self.position_of(start);
+        if self.vmas.get(pos).is_none_or(|v| v.start.raw() != start) {
+            return None;
+        }
+        let vma = self.vmas.remove(pos);
         for size in PageSize::ALL {
             self.mappable[size as usize] -= vma.mappable_bytes(&self.geo, size);
         }
@@ -165,21 +184,24 @@ impl AddressSpace {
 
     fn insert_vma(&mut self, mut new: Vma) {
         // Merge with an adjacent predecessor of the same kind.
-        if let Some((&prev_start, prev)) = self.vmas.range(..new.start.raw()).next_back() {
+        let pos = self.position_of(new.start.raw());
+        if pos > 0 {
+            let prev = self.vmas[pos - 1];
             if prev.kind == new.kind && prev.end() == new.start {
                 new = Vma {
                     start: prev.start,
                     pages: prev.pages + new.pages,
                     kind: new.kind,
                 };
-                self.detach(prev_start);
+                self.detach(prev.start.raw());
             }
         }
         // Merge with an adjacent successor of the same kind.
-        if let Some((&next_start, next)) = self.vmas.range(new.start.raw()..).next() {
+        let pos = self.position_of(new.start.raw());
+        if let Some(&next) = self.vmas.get(pos) {
             if next.kind == new.kind && new.end() == next.start {
                 new.pages += next.pages;
-                self.detach(next_start);
+                self.detach(next.start.raw());
             }
         }
         self.attach(new);
@@ -227,7 +249,7 @@ impl AddressSpace {
         let end = start + pages;
         let affected: Vec<Vma> = self
             .vmas
-            .values()
+            .iter()
             .filter(|v| v.start < end && start < v.end())
             .copied()
             .collect();
@@ -252,23 +274,34 @@ impl AddressSpace {
 
     /// Iterates the VMAs in address order.
     pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
-        self.vmas.values()
+        self.vmas.iter()
     }
 
     /// The VMA containing `vpn`, if any.
+    ///
+    /// Fault streams touch pages in runs within one area, so the last hit
+    /// is checked before falling back to binary search.
     #[must_use]
     pub fn vma_containing(&self, vpn: Vpn) -> Option<&Vma> {
-        self.vmas
-            .range(..=vpn.raw())
-            .next_back()
-            .map(|(_, v)| v)
-            .filter(|v| v.contains(vpn))
+        if let Some(v) = self.vmas.get(self.last_vma.get()) {
+            if v.contains(vpn) {
+                return Some(v);
+            }
+        }
+        let pos = self.position_of(vpn.raw() + 1);
+        let v = self.vmas.get(pos.checked_sub(1)?)?;
+        if v.contains(vpn) {
+            self.last_vma.set(pos - 1);
+            Some(v)
+        } else {
+            None
+        }
     }
 
     /// Total allocated virtual pages.
     #[must_use]
     pub fn total_vma_pages(&self) -> u64 {
-        self.vmas.values().map(|v| v.pages).sum()
+        self.vmas.iter().map(|v| v.pages).sum()
     }
 }
 

@@ -5,11 +5,34 @@
 //! mid-level table whose entries either map a huge (2MB) page — a PMD leaf
 //! — or point to a leaf table of base (4KB) PTEs. All entry words are
 //! packed [`RawPte`]s, with hardware-set accessed/dirty bits.
+//!
+//! # Packed layout
+//!
+//! The levels are stored the way a kernel would lay them out in physical
+//! memory, not as a pointer-chasing tree of heap enums:
+//!
+//! * The PUD level is a dense directory (`Vec<RawPte>`) indexed directly by
+//!   giant-chunk index. A non-leaf entry carries a software `TABLE` tag in
+//!   an x86 available bit and stores the mid-level table's arena index in
+//!   its frame field, so a walk is two array indexings instead of a
+//!   `BTreeMap` descent.
+//! * PMD and PTE tables live in per-level arenas (`Vec<Box<[RawPte]>>`)
+//!   with free lists. Tearing down a table returns its slot (and its entry
+//!   storage) to the arena, so steady-state map/unmap churn allocates
+//!   nothing.
+//! * Each table's occupancy count is packed into the entries themselves:
+//!   one bit per entry in the x86 software-available bit (bit 9) of the
+//!   table's first few entries — the `set_count`/`read_count` idiom. The
+//!   promotion scanner reads a table's population without sweeping it.
+//! * Per-giant-chunk base/huge occupancy totals are kept in a side array,
+//!   making a giant [`PageTable::chunk_profile`] O(1) — it was a full
+//!   mid-level sweep per fault in the promotion-eligibility hot path.
+//! * The dirty-chunk feed is a packed bitmap ([`DenseBitSet`]) drained in
+//!   place, not a `BTreeSet` that is rebuilt every promotion tick.
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet};
 
-use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
+use trident_types::{DenseBitSet, PageGeometry, PageSize, Pfn, Vpn};
 
 use crate::{MapError, RawPte};
 
@@ -64,29 +87,61 @@ impl ChunkProfile {
     }
 }
 
-#[derive(Debug, Clone)]
-enum PudEntry {
-    GiantLeaf(RawPte),
-    Table(PmdTable),
+/// Per-giant-chunk base-page totals, maintained on map/unmap so the
+/// promotion scanner's giant-chunk profile never sweeps the mid level.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkCounts {
+    /// Base pages mapped by 4KB leaves in this chunk.
+    base: u32,
+    /// Base pages mapped by 2MB leaves in this chunk.
+    huge: u32,
 }
 
-#[derive(Debug, Clone)]
-struct PmdTable {
-    entries: Vec<PmdEntry>,
-    live: u32,
+/// An arena of equal-length entry tables packed into one contiguous
+/// store, addressed by table index. Growing appends one table's worth of
+/// zeroed entries to the store (amortized — no per-table heap
+/// allocation), and freed tables are zeroed eagerly and recycled through
+/// the free list, so steady-state churn allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct TableArena {
+    store: Vec<RawPte>,
+    /// Entries per table; every table in one arena has the same length.
+    len: usize,
+    free: Vec<u32>,
 }
 
-#[derive(Debug, Clone)]
-enum PmdEntry {
-    None,
-    HugeLeaf(RawPte),
-    Table(PteTable),
-}
+impl TableArena {
+    fn alloc(&mut self, len: usize) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            return idx;
+        }
+        debug_assert!(self.store.is_empty() || self.len == len);
+        self.len = len;
+        let idx = self.store.len() / len;
+        self.store
+            .resize(self.store.len() + len, RawPte::NOT_PRESENT);
+        u32::try_from(idx).expect("table arena index fits u32")
+    }
 
-#[derive(Debug, Clone)]
-struct PteTable {
-    entries: Vec<RawPte>,
-    live: u32,
+    fn free(&mut self, idx: u32) {
+        self.get_mut(idx).fill(RawPte::NOT_PRESENT);
+        self.free.push(idx);
+    }
+
+    #[cfg(test)]
+    fn num_tables(&self) -> usize {
+        self.store.len().checked_div(self.len).unwrap_or(0)
+    }
+
+    fn get(&self, idx: u32) -> &[RawPte] {
+        let base = idx as usize * self.len;
+        &self.store[base..base + self.len]
+    }
+
+    fn get_mut(&mut self, idx: u32) -> &mut [RawPte] {
+        let base = idx as usize * self.len;
+        &mut self.store[base..base + self.len]
+    }
 }
 
 /// A per-address-space page table.
@@ -108,13 +163,22 @@ struct PteTable {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     geo: PageGeometry,
-    puds: BTreeMap<u64, PudEntry>,
+    /// Dense PUD directory indexed by giant-chunk index. `NOT_PRESENT`
+    /// means nothing mapped in the chunk; a leaf entry maps the whole
+    /// chunk; a `TABLE`-tagged entry holds a `pmds` arena index.
+    puds: Vec<RawPte>,
+    /// Parallel to `puds`: per-chunk base/huge occupancy totals.
+    chunk_counts: Vec<ChunkCounts>,
+    /// Mid-level (PMD) table arena.
+    pmds: TableArena,
+    /// Leaf-level (PTE) table arena.
+    ptes: TableArena,
     /// Number of leaves of each size (index by `PageSize as usize`).
     leaves: [u64; 3],
     /// Giant-chunk indices whose mappings (or covering VMAs) changed since
     /// the last [`PageTable::take_dirty_chunks`] drain — the promotion
     /// daemon's incremental work list.
-    dirty_chunks: BTreeSet<u64>,
+    dirty_chunks: DenseBitSet,
     /// Bumped on every mutation that could stale [`PageTable::last_walk`]:
     /// unmap, remap, and accessed-bit clearing. (`map` never alters an
     /// existing leaf — it errors on overlap — so it leaves the stamp
@@ -154,15 +218,44 @@ impl WalkerHit {
     }
 }
 
+/// How many leading entries of a `len`-entry table carry occupancy-count
+/// bits: enough bits for counts `0..=len`, never more than the table has.
+fn count_bits(len: usize) -> usize {
+    (len.trailing_zeros() as usize + 1).min(len)
+}
+
+/// Reads a table's occupancy count out of the available bits of its first
+/// few entries (twizzler-style `read_count`).
+fn read_count(entries: &[RawPte]) -> u32 {
+    let mut count = 0u32;
+    for (bit, entry) in entries.iter().take(count_bits(entries.len())).enumerate() {
+        count |= u32::from(entry.avail_bit()) << bit;
+    }
+    count
+}
+
+/// Writes a table's occupancy count into the available bits of its first
+/// few entries (twizzler-style `set_count`). Must run after any structural
+/// entry overwrite, which may have clobbered a count bit.
+fn write_count(entries: &mut [RawPte], count: u32) {
+    let bits = count_bits(entries.len());
+    for (bit, entry) in entries.iter_mut().take(bits).enumerate() {
+        entry.set_avail_bit(count & (1 << bit) != 0);
+    }
+}
+
 impl PageTable {
     /// Creates an empty page table for the given geometry.
     #[must_use]
     pub fn new(geo: PageGeometry) -> PageTable {
         PageTable {
             geo,
-            puds: BTreeMap::new(),
+            puds: Vec::new(),
+            chunk_counts: Vec::new(),
+            pmds: TableArena::default(),
+            ptes: TableArena::default(),
             leaves: [0; 3],
-            dirty_chunks: BTreeSet::new(),
+            dirty_chunks: DenseBitSet::new(),
             walk_stamp: 0,
             last_walk: Cell::new(None),
         }
@@ -194,6 +287,17 @@ impl PageTable {
         (vpn.raw() & (self.pte_len() as u64 - 1)) as usize
     }
 
+    /// Grows the dense PUD directory to cover `gi`, returning it as an
+    /// index.
+    fn ensure_gi(&mut self, gi: u64) -> usize {
+        let gi = usize::try_from(gi).expect("giant index fits usize");
+        if gi >= self.puds.len() {
+            self.puds.resize(gi + 1, RawPte::NOT_PRESENT);
+            self.chunk_counts.resize(gi + 1, ChunkCounts::default());
+        }
+        gi
+    }
+
     /// Marks every giant chunk overlapping `[start, start + pages)` dirty —
     /// called on mapping changes here and by the address space when a VMA
     /// appears, grows, or shrinks (which changes chunk mappability without
@@ -212,8 +316,20 @@ impl PageTable {
     /// Drains the set of giant-chunk indices touched since the last drain,
     /// in address order. The promotion daemon uses this to re-examine only
     /// chunks whose candidacy could have changed.
+    ///
+    /// Allocates a fresh `Vec` per call; steady-state callers should prefer
+    /// [`PageTable::drain_dirty_chunks_into`].
     pub fn take_dirty_chunks(&mut self) -> Vec<u64> {
-        std::mem::take(&mut self.dirty_chunks).into_iter().collect()
+        let mut out = Vec::new();
+        self.dirty_chunks.drain_into(&mut out);
+        out
+    }
+
+    /// Drains the dirty-chunk set into `out` (cleared first) in address
+    /// order, keeping both the bitmap's and the buffer's storage — the
+    /// zero-alloc form of [`PageTable::take_dirty_chunks`].
+    pub fn drain_dirty_chunks_into(&mut self, out: &mut Vec<u64>) {
+        self.dirty_chunks.drain_into(out);
     }
 
     fn invalidate_walks(&mut self) {
@@ -254,78 +370,91 @@ impl PageTable {
             return Err(MapError::Unaligned { vpn, size });
         }
         let gi = self.giant_index(vpn);
+        let gix = self.ensure_gi(gi);
         match size {
             PageSize::Giant => {
-                match self.puds.get(&gi) {
-                    Some(PudEntry::GiantLeaf(_)) => return Err(MapError::Overlap { vpn }),
-                    Some(PudEntry::Table(t)) if t.live > 0 => {
-                        return Err(MapError::Overlap { vpn })
+                let slot = self.puds[gix];
+                if slot.is_present() {
+                    if !slot.is_table() || read_count(self.pmds.get(slot.table_index())) > 0 {
+                        return Err(MapError::Overlap { vpn });
                     }
-                    _ => {}
+                    // An empty mid-level table can be replaced outright.
+                    self.pmds.free(slot.table_index());
                 }
-                self.puds
-                    .insert(gi, PudEntry::GiantLeaf(RawPte::new_leaf(pfn)));
+                self.puds[gix] = RawPte::new_leaf(pfn);
             }
             PageSize::Huge => {
-                let pmd_len = self.pmd_len();
                 let pi = self.pmd_index(vpn);
-                let pud = self.puds.entry(gi).or_insert_with(|| {
-                    PudEntry::Table(PmdTable {
-                        entries: vec_none(pmd_len),
-                        live: 0,
-                    })
-                });
-                let table = match pud {
-                    PudEntry::GiantLeaf(_) => return Err(MapError::Overlap { vpn }),
-                    PudEntry::Table(t) => t,
-                };
-                match &table.entries[pi] {
-                    PmdEntry::None => {}
-                    PmdEntry::Table(t) if t.live == 0 => {}
-                    _ => return Err(MapError::Overlap { vpn }),
+                let pmd_idx = self.pud_table_index(gix, vpn)?;
+                let entry = self.pmds.get(pmd_idx)[pi];
+                if entry.is_present() {
+                    if !entry.is_table() || read_count(self.ptes.get(entry.table_index())) > 0 {
+                        return Err(MapError::Overlap { vpn });
+                    }
+                    // Replace an empty leaf table; the PMD slot stays
+                    // occupied, so its count is unchanged.
+                    self.ptes.free(entry.table_index());
+                    let table = self.pmds.get_mut(pmd_idx);
+                    let live = read_count(table);
+                    table[pi] = RawPte::new_leaf(pfn);
+                    write_count(table, live);
+                } else {
+                    let table = self.pmds.get_mut(pmd_idx);
+                    let live = read_count(table);
+                    table[pi] = RawPte::new_leaf(pfn);
+                    write_count(table, live + 1);
                 }
-                if matches!(table.entries[pi], PmdEntry::None) {
-                    table.live += 1;
-                }
-                table.entries[pi] = PmdEntry::HugeLeaf(RawPte::new_leaf(pfn));
+                self.chunk_counts[gix].huge += self.pte_len() as u32;
             }
             PageSize::Base => {
-                let pmd_len = self.pmd_len();
-                let pte_len = self.pte_len();
                 let pi = self.pmd_index(vpn);
                 let ti = self.pte_index(vpn);
-                let pud = self.puds.entry(gi).or_insert_with(|| {
-                    PudEntry::Table(PmdTable {
-                        entries: vec_none(pmd_len),
-                        live: 0,
-                    })
-                });
-                let pmd = match pud {
-                    PudEntry::GiantLeaf(_) => return Err(MapError::Overlap { vpn }),
-                    PudEntry::Table(t) => t,
+                let pmd_idx = self.pud_table_index(gix, vpn)?;
+                let entry = self.pmds.get(pmd_idx)[pi];
+                let pte_idx = if entry.is_present() {
+                    if !entry.is_table() {
+                        return Err(MapError::Overlap { vpn });
+                    }
+                    entry.table_index()
+                } else {
+                    let pte_len = self.pte_len();
+                    let idx = self.ptes.alloc(pte_len);
+                    let table = self.pmds.get_mut(pmd_idx);
+                    let live = read_count(table);
+                    table[pi] = RawPte::table_ptr(idx);
+                    write_count(table, live + 1);
+                    idx
                 };
-                if matches!(pmd.entries[pi], PmdEntry::None) {
-                    pmd.entries[pi] = PmdEntry::Table(PteTable {
-                        entries: vec![RawPte::NOT_PRESENT; pte_len],
-                        live: 0,
-                    });
-                    pmd.live += 1;
-                }
-                let ptes = match &mut pmd.entries[pi] {
-                    PmdEntry::HugeLeaf(_) => return Err(MapError::Overlap { vpn }),
-                    PmdEntry::Table(t) => t,
-                    PmdEntry::None => unreachable!("just materialized"),
-                };
-                if ptes.entries[ti].is_present() {
+                let table = self.ptes.get_mut(pte_idx);
+                if table[ti].is_present() {
                     return Err(MapError::Overlap { vpn });
                 }
-                ptes.entries[ti] = RawPte::new_leaf(pfn);
-                ptes.live += 1;
+                let live = read_count(table);
+                table[ti] = RawPte::new_leaf(pfn);
+                write_count(table, live + 1);
+                self.chunk_counts[gix].base += 1;
             }
         }
         self.leaves[size as usize] += 1;
         self.dirty_chunks.insert(gi);
         Ok(())
+    }
+
+    /// Resolves (materializing if absent) the mid-level table for PUD slot
+    /// `gix`, erroring when the slot holds a giant leaf.
+    fn pud_table_index(&mut self, gix: usize, vpn: Vpn) -> Result<u32, MapError> {
+        let slot = self.puds[gix];
+        if !slot.is_present() {
+            let pmd_len = self.pmd_len();
+            let idx = self.pmds.alloc(pmd_len);
+            self.puds[gix] = RawPte::table_ptr(idx);
+            return Ok(idx);
+        }
+        if slot.is_table() {
+            Ok(slot.table_index())
+        } else {
+            Err(MapError::Overlap { vpn })
+        }
     }
 
     /// Walks the table for `vpn` without touching accessed/dirty bits.
@@ -351,25 +480,26 @@ impl PageTable {
     }
 
     fn translate_slow(&self, vpn: Vpn) -> Option<Translation> {
-        let gi = self.giant_index(vpn);
-        match self.puds.get(&gi)? {
-            PudEntry::GiantLeaf(pte) => {
-                let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Giant));
-                Some(self.leaf_translation(vpn, head_vpn, *pte, PageSize::Giant))
-            }
-            PudEntry::Table(pmd) => match &pmd.entries[self.pmd_index(vpn)] {
-                PmdEntry::None => None,
-                PmdEntry::HugeLeaf(pte) => {
-                    let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Huge));
-                    Some(self.leaf_translation(vpn, head_vpn, *pte, PageSize::Huge))
-                }
-                PmdEntry::Table(ptes) => {
-                    let pte = ptes.entries[self.pte_index(vpn)];
-                    pte.is_present()
-                        .then(|| self.leaf_translation(vpn, vpn, pte, PageSize::Base))
-                }
-            },
+        let gi = usize::try_from(self.giant_index(vpn)).expect("giant index fits usize");
+        let slot = *self.puds.get(gi)?;
+        if !slot.is_present() {
+            return None;
         }
+        if !slot.is_table() {
+            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Giant));
+            return Some(self.leaf_translation(vpn, head_vpn, slot, PageSize::Giant));
+        }
+        let entry = self.pmds.get(slot.table_index())[self.pmd_index(vpn)];
+        if !entry.is_present() {
+            return None;
+        }
+        if !entry.is_table() {
+            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Huge));
+            return Some(self.leaf_translation(vpn, head_vpn, entry, PageSize::Huge));
+        }
+        let pte = self.ptes.get(entry.table_index())[self.pte_index(vpn)];
+        pte.is_present()
+            .then(|| self.leaf_translation(vpn, vpn, pte, PageSize::Base))
     }
 
     fn leaf_translation(
@@ -418,20 +548,46 @@ impl PageTable {
 
     /// Mutable access to the leaf entry headed exactly at `head_vpn`.
     fn leaf_mut(&mut self, head_vpn: Vpn) -> Option<&mut RawPte> {
-        let gi = self.giant_index(head_vpn);
+        let gi = usize::try_from(self.giant_index(head_vpn)).expect("giant index fits usize");
         let pmd_index = self.pmd_index(head_vpn);
         let pte_index = self.pte_index(head_vpn);
-        match self.puds.get_mut(&gi)? {
-            PudEntry::GiantLeaf(pte) => Some(pte),
-            PudEntry::Table(pmd) => match &mut pmd.entries[pmd_index] {
-                PmdEntry::None => None,
-                PmdEntry::HugeLeaf(pte) => Some(pte),
-                PmdEntry::Table(ptes) => {
-                    let pte = &mut ptes.entries[pte_index];
-                    pte.is_present().then_some(pte)
-                }
-            },
+        let slot = *self.puds.get(gi)?;
+        if !slot.is_present() {
+            return None;
         }
+        if !slot.is_table() {
+            return Some(&mut self.puds[gi]);
+        }
+        let entry = self.pmds.get(slot.table_index())[pmd_index];
+        if !entry.is_present() {
+            return None;
+        }
+        if !entry.is_table() {
+            return Some(&mut self.pmds.get_mut(slot.table_index())[pmd_index]);
+        }
+        let pte = &mut self.ptes.get_mut(entry.table_index())[pte_index];
+        pte.is_present().then_some(pte)
+    }
+
+    /// Shared access to the leaf entry headed exactly at `head_vpn`.
+    fn leaf_ref(&self, head_vpn: Vpn) -> Option<&RawPte> {
+        let gi = usize::try_from(self.giant_index(head_vpn)).expect("giant index fits usize");
+        let slot = self.puds.get(gi)?;
+        if !slot.is_present() {
+            return None;
+        }
+        if !slot.is_table() {
+            return Some(slot);
+        }
+        let entry = &self.pmds.get(slot.table_index())[self.pmd_index(head_vpn)];
+        if !entry.is_present() {
+            return None;
+        }
+        if !entry.is_table() {
+            return Some(entry);
+        }
+        let pte = &self.ptes.get(entry.table_index())[self.pte_index(head_vpn)];
+        pte.is_present().then_some(pte)
     }
 
     /// Removes the leaf headed exactly at `head_vpn`, returning its record.
@@ -449,48 +605,55 @@ impl PageTable {
             return Err(MapError::NotAMappingHead { vpn: head_vpn });
         }
         let gi = self.giant_index(head_vpn);
+        let gix = usize::try_from(gi).expect("giant index fits usize");
         let pmd_index = self.pmd_index(head_vpn);
         let pte_index = self.pte_index(head_vpn);
         let record;
         match translation.size {
             PageSize::Giant => {
-                let Some(PudEntry::GiantLeaf(pte)) = self.puds.remove(&gi) else {
-                    unreachable!("translate said giant leaf");
-                };
-                record = self.record(head_vpn, pte, PageSize::Giant);
+                let pte = self.puds[gix];
+                debug_assert!(pte.is_present() && !pte.is_table());
+                self.puds[gix] = RawPte::NOT_PRESENT;
+                record = Self::record(head_vpn, pte, PageSize::Giant);
             }
             PageSize::Huge => {
-                let Some(PudEntry::Table(pmd)) = self.puds.get_mut(&gi) else {
-                    unreachable!("translate said huge leaf");
-                };
-                let entry = std::mem::replace(&mut pmd.entries[pmd_index], PmdEntry::None);
-                let PmdEntry::HugeLeaf(pte) = entry else {
-                    unreachable!("translate said huge leaf");
-                };
-                pmd.live -= 1;
-                if pmd.live == 0 {
-                    self.puds.remove(&gi);
+                let pmd_idx = self.puds[gix].table_index();
+                let table = self.pmds.get_mut(pmd_idx);
+                let pte = table[pmd_index];
+                let live = read_count(table);
+                table[pmd_index] = RawPte::NOT_PRESENT;
+                if live == 1 {
+                    self.pmds.free(pmd_idx);
+                    self.puds[gix] = RawPte::NOT_PRESENT;
+                } else {
+                    write_count(table, live - 1);
                 }
-                record = self.record(head_vpn, pte, PageSize::Huge);
+                self.chunk_counts[gix].huge -= self.pte_len() as u32;
+                record = Self::record(head_vpn, pte, PageSize::Huge);
             }
             PageSize::Base => {
-                let Some(PudEntry::Table(pmd)) = self.puds.get_mut(&gi) else {
-                    unreachable!("translate said base leaf");
-                };
-                let PmdEntry::Table(ptes) = &mut pmd.entries[pmd_index] else {
-                    unreachable!("translate said base leaf");
-                };
-                let pte = ptes.entries[pte_index];
-                ptes.entries[pte_index] = RawPte::NOT_PRESENT;
-                ptes.live -= 1;
-                if ptes.live == 0 {
-                    pmd.entries[pmd_index] = PmdEntry::None;
-                    pmd.live -= 1;
-                    if pmd.live == 0 {
-                        self.puds.remove(&gi);
+                let pmd_idx = self.puds[gix].table_index();
+                let pte_idx = self.pmds.get(pmd_idx)[pmd_index].table_index();
+                let table = self.ptes.get_mut(pte_idx);
+                let pte = table[pte_index];
+                let live = read_count(table);
+                table[pte_index] = RawPte::NOT_PRESENT;
+                if live == 1 {
+                    self.ptes.free(pte_idx);
+                    let pmd = self.pmds.get_mut(pmd_idx);
+                    let pmd_live = read_count(pmd);
+                    pmd[pmd_index] = RawPte::NOT_PRESENT;
+                    if pmd_live == 1 {
+                        self.pmds.free(pmd_idx);
+                        self.puds[gix] = RawPte::NOT_PRESENT;
+                    } else {
+                        write_count(pmd, pmd_live - 1);
                     }
+                } else {
+                    write_count(table, live - 1);
                 }
-                record = self.record(head_vpn, pte, PageSize::Base);
+                self.chunk_counts[gix].base -= 1;
+                record = Self::record(head_vpn, pte, PageSize::Base);
             }
         }
         self.leaves[translation.size as usize] -= 1;
@@ -499,7 +662,7 @@ impl PageTable {
         Ok(record)
     }
 
-    fn record(&self, vpn: Vpn, pte: RawPte, size: PageSize) -> MappingRecord {
+    fn record(vpn: Vpn, pte: RawPte, size: PageSize) -> MappingRecord {
         MappingRecord {
             vpn,
             pfn: pte.pfn(),
@@ -547,51 +710,98 @@ impl PageTable {
     /// Leaves that straddle the window boundary (a giant leaf around a
     /// smaller window) are *not* reported; scan windows should be aligned
     /// to the largest page size of interest.
+    ///
+    /// Allocates a fresh `Vec` per call; steady-state callers should prefer
+    /// [`PageTable::mappings_into`].
     #[must_use]
     pub fn mappings_in(&self, start: Vpn, pages: u64) -> Vec<MappingRecord> {
         let mut out = Vec::new();
-        let end = start.raw() + pages;
-        let mut vpn = start.raw();
-        while vpn < end {
-            match self.translate(Vpn::new(vpn)) {
-                Some(t) => {
-                    let leaf_pages = self.geo.base_pages(t.size);
-                    if t.head_vpn.raw() >= start.raw() {
-                        let pte = *self.leaf_ref(t.head_vpn).expect("translation implies leaf");
-                        out.push(self.record(t.head_vpn, pte, t.size));
-                    }
-                    vpn = t.head_vpn.raw() + leaf_pages;
-                }
-                None => vpn += 1,
-            }
-        }
+        self.mappings_into(start, pages, &mut out);
         out
     }
 
-    /// Shared access to the leaf entry headed exactly at `head_vpn`.
-    fn leaf_ref(&self, head_vpn: Vpn) -> Option<&RawPte> {
-        let gi = self.giant_index(head_vpn);
-        match self.puds.get(&gi)? {
-            PudEntry::GiantLeaf(pte) => Some(pte),
-            PudEntry::Table(pmd) => match &pmd.entries[self.pmd_index(head_vpn)] {
-                PmdEntry::None => None,
-                PmdEntry::HugeLeaf(pte) => Some(pte),
-                PmdEntry::Table(ptes) => {
-                    let pte = &ptes.entries[self.pte_index(head_vpn)];
-                    pte.is_present().then_some(pte)
+    /// Enumerates all leaves whose head lies in `[start, start + pages)`
+    /// into `out` (cleared first), reusing the buffer's storage — the
+    /// zero-alloc form of [`PageTable::mappings_in`].
+    pub fn mappings_into(&self, start: Vpn, pages: u64, out: &mut Vec<MappingRecord>) {
+        out.clear();
+        self.for_each_leaf_in(start, pages, |vpn, pte, size| {
+            out.push(Self::record(vpn, pte, size));
+        });
+    }
+
+    /// Visits every leaf headed in `[start, start + pages)` in address
+    /// order by walking the packed radix directly — no per-page translate,
+    /// no allocation.
+    fn for_each_leaf_in(
+        &self,
+        start: Vpn,
+        pages: u64,
+        mut visit: impl FnMut(Vpn, RawPte, PageSize),
+    ) {
+        if pages == 0 {
+            return;
+        }
+        let start = start.raw();
+        let end = start + pages;
+        let giant_span = self.geo.base_pages(PageSize::Giant);
+        let huge_span = self.geo.base_pages(PageSize::Huge);
+        let first_gi = start / giant_span;
+        let last_gi = (end - 1) / giant_span;
+        for gi in first_gi..=last_gi {
+            let Some(&slot) = self
+                .puds
+                .get(usize::try_from(gi).expect("giant index fits usize"))
+            else {
+                // The dense directory covers every mapped chunk; past its
+                // end there is nothing left to visit.
+                return;
+            };
+            if !slot.is_present() {
+                continue;
+            }
+            let chunk_base = gi * giant_span;
+            if !slot.is_table() {
+                if chunk_base >= start {
+                    visit(Vpn::new(chunk_base), slot, PageSize::Giant);
                 }
-            },
+                continue;
+            }
+            let pmd = self.pmds.get(slot.table_index());
+            let chunk_end = chunk_base + giant_span;
+            let pi_lo = (start.max(chunk_base) - chunk_base) / huge_span;
+            let pi_hi = (end.min(chunk_end) - 1 - chunk_base) / huge_span;
+            for pi in pi_lo..=pi_hi {
+                let entry = pmd[pi as usize];
+                if !entry.is_present() {
+                    continue;
+                }
+                let head = chunk_base + pi * huge_span;
+                if !entry.is_table() {
+                    if head >= start {
+                        visit(Vpn::new(head), entry, PageSize::Huge);
+                    }
+                    continue;
+                }
+                let table = self.ptes.get(entry.table_index());
+                let ti_lo = start.max(head) - head;
+                let ti_hi = end.min(head + huge_span) - head;
+                for ti in ti_lo..ti_hi {
+                    let pte = table[ti as usize];
+                    if pte.is_present() {
+                        visit(Vpn::new(head + ti), pte, PageSize::Base);
+                    }
+                }
+            }
         }
     }
 
     /// Summarizes how the aligned chunk of `size` starting at `start` is
     /// mapped. `start` must be `size`-aligned.
     ///
-    /// Descends the radix structure directly instead of translating every
-    /// base page, so a giant-chunk profile costs one mid-level sweep
-    /// (reading the per-table `live` counters) and a huge-chunk profile is
-    /// O(1) — cheap enough for the promotion daemon to call per dirty
-    /// chunk.
+    /// A giant-chunk profile reads the per-chunk occupancy totals — O(1),
+    /// cheap enough for the fault path's promotion-eligibility check — and
+    /// a huge-chunk profile reads one packed table count.
     ///
     /// # Panics
     ///
@@ -604,59 +814,107 @@ impl PageTable {
         );
         let span = self.geo.base_pages(size);
         let mut profile = ChunkProfile::default();
-        let Some(pud) = self.puds.get(&self.giant_index(start)) else {
+        let gi = usize::try_from(self.giant_index(start)).expect("giant index fits usize");
+        let Some(&slot) = self.puds.get(gi) else {
             profile.unmapped = span;
             return profile;
         };
-        match (pud, size) {
-            (PudEntry::GiantLeaf(_), _) => profile.giant_mapped = span,
-            (PudEntry::Table(pmd), PageSize::Giant) => {
-                let pte_len = self.pte_len() as u64;
-                for entry in &pmd.entries {
-                    match entry {
-                        PmdEntry::None => profile.unmapped += pte_len,
-                        PmdEntry::HugeLeaf(_) => profile.huge_mapped += pte_len,
-                        PmdEntry::Table(ptes) => {
-                            profile.base_mapped += u64::from(ptes.live);
-                            profile.unmapped += pte_len - u64::from(ptes.live);
-                        }
-                    }
+        if !slot.is_present() {
+            profile.unmapped = span;
+            return profile;
+        }
+        if !slot.is_table() {
+            profile.giant_mapped = span;
+            return profile;
+        }
+        match size {
+            PageSize::Giant => {
+                let counts = self.chunk_counts[gi];
+                profile.base_mapped = u64::from(counts.base);
+                profile.huge_mapped = u64::from(counts.huge);
+                profile.unmapped = span - profile.base_mapped - profile.huge_mapped;
+            }
+            PageSize::Huge => {
+                let entry = self.pmds.get(slot.table_index())[self.pmd_index(start)];
+                if !entry.is_present() {
+                    profile.unmapped = span;
+                } else if !entry.is_table() {
+                    profile.huge_mapped = span;
+                } else {
+                    profile.base_mapped = u64::from(read_count(self.ptes.get(entry.table_index())));
+                    profile.unmapped = span - profile.base_mapped;
                 }
             }
-            (PudEntry::Table(pmd), PageSize::Huge) => match &pmd.entries[self.pmd_index(start)] {
-                PmdEntry::None => profile.unmapped = span,
-                PmdEntry::HugeLeaf(_) => profile.huge_mapped = span,
-                PmdEntry::Table(ptes) => {
-                    profile.base_mapped = u64::from(ptes.live);
-                    profile.unmapped = span - u64::from(ptes.live);
+            PageSize::Base => {
+                let entry = self.pmds.get(slot.table_index())[self.pmd_index(start)];
+                if !entry.is_present() {
+                    profile.unmapped = 1;
+                } else if !entry.is_table() {
+                    profile.huge_mapped = 1;
+                } else if self.ptes.get(entry.table_index())[self.pte_index(start)].is_present() {
+                    profile.base_mapped = 1;
+                } else {
+                    profile.unmapped = 1;
                 }
-            },
-            (PudEntry::Table(pmd), PageSize::Base) => match &pmd.entries[self.pmd_index(start)] {
-                PmdEntry::None => profile.unmapped = 1,
-                PmdEntry::HugeLeaf(_) => profile.huge_mapped = 1,
-                PmdEntry::Table(ptes) => {
-                    if ptes.entries[self.pte_index(start)].is_present() {
-                        profile.base_mapped = 1;
-                    } else {
-                        profile.unmapped = 1;
-                    }
-                }
-            },
+            }
         }
         profile
     }
 
     /// Clears accessed bits on every leaf in the window — the sampling-
-    /// interval reset of the paper's Figure 4 methodology.
+    /// interval reset of the paper's Figure 4 methodology. Walks the packed
+    /// radix in place; no enumeration buffer.
     pub fn clear_accessed_in(&mut self, start: Vpn, pages: u64) {
-        let heads: Vec<Vpn> = self
-            .mappings_in(start, pages)
-            .into_iter()
-            .map(|m| m.vpn)
-            .collect();
-        for head in heads {
-            if let Some(pte) = self.leaf_mut(head) {
-                pte.clear_accessed();
+        if pages == 0 {
+            self.invalidate_walks();
+            return;
+        }
+        let start = start.raw();
+        let end = start + pages;
+        let giant_span = self.geo.base_pages(PageSize::Giant);
+        let huge_span = self.geo.base_pages(PageSize::Huge);
+        let first_gi = start / giant_span;
+        let last_gi = ((end - 1) / giant_span).min(self.puds.len().saturating_sub(1) as u64);
+        for gi in first_gi..=last_gi {
+            let gix = usize::try_from(gi).expect("giant index fits usize");
+            if gix >= self.puds.len() {
+                break;
+            }
+            let slot = self.puds[gix];
+            if !slot.is_present() {
+                continue;
+            }
+            let chunk_base = gi * giant_span;
+            if !slot.is_table() {
+                if chunk_base >= start {
+                    self.puds[gix].clear_accessed();
+                }
+                continue;
+            }
+            let pmd_idx = slot.table_index();
+            let chunk_end = chunk_base + giant_span;
+            let pi_lo = (start.max(chunk_base) - chunk_base) / huge_span;
+            let pi_hi = (end.min(chunk_end) - 1 - chunk_base) / huge_span;
+            for pi in pi_lo..=pi_hi {
+                let entry = self.pmds.get(pmd_idx)[pi as usize];
+                if !entry.is_present() {
+                    continue;
+                }
+                let head = chunk_base + pi * huge_span;
+                if !entry.is_table() {
+                    if head >= start {
+                        self.pmds.get_mut(pmd_idx)[pi as usize].clear_accessed();
+                    }
+                    continue;
+                }
+                let table = self.ptes.get_mut(entry.table_index());
+                let ti_lo = start.max(head) - head;
+                let ti_hi = end.min(head + huge_span) - head;
+                for pte in &mut table[ti_lo as usize..ti_hi as usize] {
+                    if pte.is_present() {
+                        pte.clear_accessed();
+                    }
+                }
             }
         }
         self.invalidate_walks();
@@ -665,17 +923,12 @@ impl PageTable {
     /// Counts leaves in the window whose accessed bit is set.
     #[must_use]
     pub fn accessed_leaves_in(&self, start: Vpn, pages: u64) -> u64 {
-        self.mappings_in(start, pages)
-            .iter()
-            .filter(|m| m.accessed)
-            .count() as u64
+        let mut count = 0;
+        self.for_each_leaf_in(start, pages, |_, pte, _| {
+            count += u64::from(pte.accessed());
+        });
+        count
     }
-}
-
-fn vec_none(len: usize) -> Vec<PmdEntry> {
-    let mut v = Vec::with_capacity(len);
-    v.resize_with(len, || PmdEntry::None);
-    v
 }
 
 /// Extension: align a page number down to a page-size boundary.
@@ -857,5 +1110,97 @@ mod tests {
         assert_eq!(t.mapped_bytes(PageSize::Huge), 8 * 4096);
         t.unmap(Vpn::new(2)).unwrap();
         assert_eq!(t.mapped_pages(PageSize::Base), 3);
+    }
+
+    #[test]
+    fn packed_counts_survive_count_bit_entry_churn() {
+        // The occupancy count lives in the avail bits of a table's first
+        // entries — exercise mapping/unmapping exactly those entries.
+        let mut t = pt();
+        for i in 0..8 {
+            t.map(Vpn::new(i), Pfn::new(i), PageSize::Base).unwrap();
+        }
+        let p = t.chunk_profile(Vpn::new(0), PageSize::Huge);
+        assert_eq!(p.base_mapped, 8);
+        // Remove entries 0..4 (count-bit carriers for an 8-entry table).
+        for i in 0..4 {
+            t.unmap(Vpn::new(i)).unwrap();
+        }
+        let p = t.chunk_profile(Vpn::new(0), PageSize::Huge);
+        assert_eq!(p.base_mapped, 4);
+        assert_eq!(p.unmapped, 4);
+        for i in 0..4 {
+            t.map(Vpn::new(i), Pfn::new(20 + i), PageSize::Base)
+                .unwrap();
+        }
+        assert_eq!(t.chunk_profile(Vpn::new(0), PageSize::Huge).base_mapped, 8);
+        for i in 0..8 {
+            t.unmap(Vpn::new(i)).unwrap();
+        }
+        assert_eq!(t.chunk_profile(Vpn::new(0), PageSize::Huge).unmapped, 8);
+        assert_eq!(t.mapped_base_pages(), 0);
+    }
+
+    #[test]
+    fn giant_chunk_profile_matches_counts_after_churn() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(8), Pfn::new(16), PageSize::Huge).unwrap();
+        t.map(Vpn::new(16), Pfn::new(1), PageSize::Base).unwrap();
+        t.unmap(Vpn::new(8)).unwrap();
+        let p = t.chunk_profile(Vpn::new(0), PageSize::Giant);
+        assert_eq!(p.huge_mapped, 8);
+        assert_eq!(p.base_mapped, 1);
+        assert_eq!(p.unmapped, 64 - 9);
+    }
+
+    #[test]
+    fn arena_slots_are_reused_after_teardown() {
+        let mut t = pt();
+        for round in 0..5u64 {
+            for i in 0..8 {
+                t.map(Vpn::new(i), Pfn::new(round * 8 + i), PageSize::Base)
+                    .unwrap();
+            }
+            for i in 0..8 {
+                t.unmap(Vpn::new(i)).unwrap();
+            }
+        }
+        // Churn reused the freed table slots instead of growing the arenas.
+        assert!(t.pmds.num_tables() <= 1);
+        assert!(t.ptes.num_tables() <= 1);
+    }
+
+    #[test]
+    fn mappings_into_reuses_buffer() {
+        let mut t = pt();
+        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(9), Pfn::new(2), PageSize::Base).unwrap();
+        let stale = MappingRecord {
+            vpn: Vpn::new(999),
+            pfn: Pfn::new(999),
+            size: PageSize::Base,
+            accessed: false,
+            dirty: false,
+        };
+        let mut buf = vec![stale];
+        t.mappings_into(Vpn::new(0), 64, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].vpn, Vpn::new(0));
+        assert_eq!(buf[1].vpn, Vpn::new(9));
+        assert_eq!(buf, t.mappings_in(Vpn::new(0), 64));
+    }
+
+    #[test]
+    fn dirty_chunk_drain_is_in_address_order_and_in_place() {
+        let mut t = pt();
+        t.mark_span_dirty(Vpn::new(128), 64); // chunk 2
+        t.mark_span_dirty(Vpn::new(0), 1); // chunk 0
+        let mut buf = Vec::new();
+        t.drain_dirty_chunks_into(&mut buf);
+        assert_eq!(buf, vec![0, 2]);
+        t.drain_dirty_chunks_into(&mut buf);
+        assert!(buf.is_empty());
+        assert!(t.take_dirty_chunks().is_empty());
     }
 }

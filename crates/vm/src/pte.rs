@@ -29,6 +29,14 @@ impl RawPte {
     const PRESENT: u64 = 1 << 0;
     const ACCESSED: u64 = 1 << 5;
     const DIRTY: u64 = 1 << 6;
+    /// x86's first software-available bit (bit 9). The hardware walker
+    /// never reads it, so tables borrow it to store their occupancy count
+    /// one bit per entry (see `PageTable`'s `set_count`/`read_count`).
+    const AVAIL: u64 = 1 << 9;
+    /// Software tag (another avail bit, bit 10) marking a non-leaf entry:
+    /// the "frame number" field then holds the arena index of the next-
+    /// level table instead of a physical frame.
+    const TABLE: u64 = 1 << 10;
     const PFN_SHIFT: u32 = 12;
 
     /// The canonical non-present entry.
@@ -89,6 +97,39 @@ impl RawPte {
     pub fn set_dirty(&mut self) {
         self.0 |= Self::DIRTY;
     }
+
+    /// Reads the software-available bit (bit 9) — ignored by the hardware
+    /// walker, used by tables to pack per-table occupancy counts into
+    /// their first entries.
+    #[must_use]
+    pub fn avail_bit(self) -> bool {
+        self.0 & Self::AVAIL != 0
+    }
+
+    /// Writes the software-available bit (bit 9).
+    pub fn set_avail_bit(&mut self, on: bool) {
+        if on {
+            self.0 |= Self::AVAIL;
+        } else {
+            self.0 &= !Self::AVAIL;
+        }
+    }
+
+    /// Creates a present non-leaf entry whose frame field holds the arena
+    /// index of the next-level table.
+    pub(crate) fn table_ptr(index: u32) -> RawPte {
+        RawPte(Self::PRESENT | Self::TABLE | (u64::from(index) << Self::PFN_SHIFT))
+    }
+
+    /// Whether this is a non-leaf (table-pointer) entry.
+    pub(crate) fn is_table(self) -> bool {
+        self.0 & Self::TABLE != 0
+    }
+
+    /// The arena index a table-pointer entry refers to.
+    pub(crate) fn table_index(self) -> u32 {
+        (self.0 >> Self::PFN_SHIFT) as u32
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +155,22 @@ mod tests {
         pte.clear_accessed();
         assert!(!pte.accessed());
         assert!(pte.dirty());
+    }
+
+    #[test]
+    fn avail_bit_is_independent_of_everything_else() {
+        let mut pte = RawPte::new_leaf(Pfn::new(5));
+        assert!(!pte.avail_bit());
+        pte.set_avail_bit(true);
+        pte.set_accessed();
+        pte.set_dirty();
+        pte.set_pfn(Pfn::new(77));
+        assert!(pte.avail_bit());
+        assert!(pte.accessed() && pte.dirty() && pte.is_present());
+        assert_eq!(pte.pfn(), Pfn::new(77));
+        pte.set_avail_bit(false);
+        assert!(!pte.avail_bit());
+        assert!(pte.accessed() && pte.dirty());
     }
 
     #[test]

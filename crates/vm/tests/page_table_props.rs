@@ -81,6 +81,38 @@ proptest! {
         }
     }
 
+    /// Packed radix tables == BTreeMap model, forward order: see
+    /// [`check_radix_against_btreemap`].
+    #[test]
+    fn packed_radix_matches_btreemap_model(
+        ops in prop::collection::vec((0u64..64, any_size(), any::<bool>()), 1..80)
+    ) {
+        check_radix_against_btreemap(&ops);
+    }
+
+    /// The same op sequences replayed in reverse must also agree — the
+    /// arena layout (free-list reuse, table recycling) cannot leak into
+    /// observable results whatever the allocation order.
+    #[test]
+    fn packed_radix_matches_btreemap_model_reversed(
+        ops in prop::collection::vec((0u64..64, any_size(), any::<bool>()), 1..80)
+    ) {
+        let reversed: Vec<_> = ops.iter().rev().copied().collect();
+        check_radix_against_btreemap(&reversed);
+    }
+
+    /// The dirty-chunk bitmap's drain == a sorted-Vec reference under
+    /// arbitrary span-marking sequences interleaved with drains, in both
+    /// replay orders.
+    #[test]
+    fn dirty_drain_matches_vec_reference(
+        ops in prop::collection::vec((0u64..256, 0u64..70, any::<bool>()), 1..80)
+    ) {
+        check_dirty_against_vec(&ops);
+        let reversed: Vec<_> = ops.iter().rev().copied().collect();
+        check_dirty_against_vec(&reversed);
+    }
+
     /// chunk_profile partitions every chunk exactly.
     #[test]
     fn chunk_profile_partitions_the_chunk(
@@ -102,4 +134,100 @@ proptest! {
             prop_assert_eq!(p.mapped() + p.unmapped, 64);
         }
     }
+}
+
+/// Applies a map/unmap sequence to both the arena-backed radix table and
+/// a `BTreeMap` model, requiring after every op that translation, the
+/// ordered mapping scan (both its allocating and buffer-reusing forms),
+/// and leaf accounting all agree with the model.
+fn check_radix_against_btreemap(ops: &[(u64, PageSize, bool)]) {
+    let geo = PageGeometry::TINY;
+    let total = 4 * geo.base_pages(PageSize::Giant);
+    let mut pt = PageTable::new(geo);
+    let mut model: std::collections::BTreeMap<u64, (u64, PageSize)> =
+        std::collections::BTreeMap::new();
+    let mut next_frame = 0u64;
+    let mut scratch = Vec::new();
+    for &(slot, size, unmap) in ops {
+        let span = geo.base_pages(size);
+        if unmap && !model.is_empty() {
+            // Unmap the nth live head (modulo), per the model.
+            let nth = slot as usize % model.len();
+            let head = *model.keys().nth(nth).expect("nth < len");
+            let (pfn, sz) = model.remove(&head).expect("key exists");
+            let rec = pt.unmap(Vpn::new(head)).expect("model says mapped");
+            prop_assert_eq!(rec.pfn.raw(), pfn);
+            prop_assert_eq!(rec.size, sz);
+        } else {
+            let vpn = (slot * span) % total;
+            let pfn = next_frame.next_multiple_of(span);
+            let overlaps = model
+                .range(..vpn + span)
+                .next_back()
+                .is_some_and(|(&h, &(_, s))| h + geo.base_pages(s) > vpn);
+            let result = pt.map(Vpn::new(vpn), Pfn::new(pfn), size);
+            prop_assert_eq!(result.is_ok(), !overlaps);
+            if result.is_ok() {
+                model.insert(vpn, (pfn, size));
+                next_frame = pfn + span;
+            }
+        }
+        // The ordered scan equals the model's iteration exactly.
+        let records = pt.mappings_in(Vpn::new(0), total);
+        let got: Vec<(u64, u64, PageSize)> = records
+            .iter()
+            .map(|r| (r.vpn.raw(), r.pfn.raw(), r.size))
+            .collect();
+        let expect: Vec<(u64, u64, PageSize)> =
+            model.iter().map(|(&v, &(p, s))| (v, p, s)).collect();
+        prop_assert_eq!(got, expect);
+        pt.mappings_into(Vpn::new(0), total, &mut scratch);
+        prop_assert_eq!(&records, &scratch);
+        let mapped: u64 = model.values().map(|&(_, s)| geo.base_pages(s)).sum();
+        prop_assert_eq!(pt.mapped_base_pages(), mapped);
+    }
+    // Spot-check translation over the whole space against the model.
+    for vpn in 0..total {
+        let expect = model
+            .range(..=vpn)
+            .next_back()
+            .filter(|(&h, &(_, s))| h + geo.base_pages(s) > vpn)
+            .map(|(&h, &(p, _))| p + (vpn - h));
+        let got = pt.translate(Vpn::new(vpn)).map(|t| t.pfn.raw());
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// Applies `(start, pages, drain?)` ops to the page table's dirty-chunk
+/// bitmap and a sorted-Vec reference, requiring every drain to yield the
+/// reference exactly and leave the bitmap empty.
+fn check_dirty_against_vec(ops: &[(u64, u64, bool)]) {
+    let geo = PageGeometry::TINY;
+    let giant_span = geo.base_pages(PageSize::Giant);
+    let total = 4 * giant_span;
+    let mut pt = PageTable::new(geo);
+    let mut reference: Vec<u64> = Vec::new();
+    let mut drained = Vec::new();
+    for &(start, pages, drain) in ops {
+        if drain {
+            pt.drain_dirty_chunks_into(&mut drained);
+            prop_assert_eq!(&drained, &reference);
+            prop_assert!(pt.take_dirty_chunks().is_empty());
+            reference.clear();
+        } else {
+            let start = start % total;
+            let pages = pages.min(total - start);
+            pt.mark_span_dirty(Vpn::new(start), pages);
+            if pages > 0 {
+                for gi in start / giant_span..=(start + pages - 1) / giant_span {
+                    if !reference.contains(&gi) {
+                        let at = reference.partition_point(|&g| g < gi);
+                        reference.insert(at, gi);
+                    }
+                }
+            }
+        }
+    }
+    pt.drain_dirty_chunks_into(&mut drained);
+    prop_assert_eq!(&drained, &reference);
 }
