@@ -3,7 +3,7 @@
 //!
 //! `mappable/*` compares the O(1) counter read against the full-VMA
 //! rescan it replaced (the rescan cost grows with the VMA count; the
-//! counter read does not). `system_load/*` times `System::launch` — which
+//! counter read does not). `system_load/*` times system boot — which
 //! is dominated by the load loop sampling `mappable_bytes` per
 //! allocation step — across doubling scales: with incremental counters
 //! the time grows near-linearly in the number of load steps instead of
@@ -52,10 +52,26 @@ fn bench_system_load(c: &mut Criterion) {
     for scale in [256u64, 128, 64] {
         let config = SimConfig::at_scale(scale);
         group.bench_function(BenchmarkId::new("thp", scale), |b| {
-            b.iter(|| black_box(System::launch(config, PolicyKind::Thp, spec).unwrap()))
+            b.iter(|| {
+                black_box(
+                    System::builder(config)
+                        .policy(PolicyKind::Thp)
+                        .workload(spec)
+                        .build()
+                        .unwrap(),
+                )
+            })
         });
         group.bench_function(BenchmarkId::new("trident", scale), |b| {
-            b.iter(|| black_box(System::launch(config, PolicyKind::Trident, spec).unwrap()))
+            b.iter(|| {
+                black_box(
+                    System::builder(config)
+                        .policy(PolicyKind::Trident)
+                        .workload(spec)
+                        .build()
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();

@@ -141,7 +141,11 @@ fn chaos_cells(opts: &ExpOptions, scale: u64, samples: usize, prob: u16) -> Vec<
 /// cross-thread identity check and the clean-run check below).
 fn run_chaos_cell(cell: &ChaosCell) -> String {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        match System::launch(cell.config, cell.kind, cell.spec) {
+        let built = System::builder(cell.config)
+            .policy(cell.kind)
+            .workload(cell.spec)
+            .build();
+        match built {
             Ok(mut sys) => {
                 sys.settle();
                 let m = sys.measure();

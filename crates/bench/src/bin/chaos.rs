@@ -64,7 +64,11 @@ struct CellOutcome {
 fn run_cell(plan: &CellPlan) -> Result<CellOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
         if let Some((kind, spec)) = plan.native {
-            match System::launch(plan.config, kind, spec) {
+            let built = System::builder(plan.config)
+                .policy(kind)
+                .workload(spec)
+                .build();
+            match built {
                 Ok(mut sys) => {
                     sys.settle();
                     let m = sys.measure();

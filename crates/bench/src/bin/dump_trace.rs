@@ -84,7 +84,11 @@ fn main() -> ExitCode {
         opts.samples,
         capacity
     );
-    let mut system = System::launch(config, policy, spec).expect("launch");
+    let mut system = System::builder(config)
+        .policy(policy)
+        .workload(spec)
+        .build()
+        .expect("launch");
     system.settle();
     let m = system.measure();
     eprintln!(

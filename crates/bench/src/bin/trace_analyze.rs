@@ -158,7 +158,10 @@ fn profiled_smoke_run() -> Result<(Profile, [String; 3]), String> {
     opts.profile = true;
     opts.trace_capacity = Some(1 << 20);
     let spec = WorkloadSpec::by_name("GUPS").expect("GUPS exists");
-    let mut system = System::launch(opts.config(), PolicyKind::Trident, spec)
+    let mut system = System::builder(opts.config())
+        .policy(PolicyKind::Trident)
+        .workload(spec)
+        .build()
         .map_err(|e| format!("launch failed: {e}"))?;
     system.settle();
     let m = system.measure();

@@ -17,7 +17,7 @@
 
 use trident_bench::args::{ArgError, Args};
 use trident_serve::proto::FaultSpec;
-use trident_serve::{Client, JobResult, JobSpec, Request, Response};
+use trident_serve::{Client, JobResult, JobSpec, Request, Response, TenantJob};
 use trident_sim::PolicyKind;
 use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
@@ -28,6 +28,8 @@ usage: tridentctl list
                       [--seed N] [--cell N] [--fragment] [--trace N] [--profile]
                       [--trace-out FILE] [--profile-out FILE]
                       [--fault-seed N] [--fault SITE:PROB]...
+                      [--audit] [--tenant NAME[,weight=N][,budget=N]
+                                 [,prefer=4KB|2MB|1GB][,optout][,pin=START+PAGES]]...
                       [--connect ADDR]
        tridentctl status <id> --connect ADDR
        tridentctl cancel <id> --connect ADDR
@@ -131,7 +133,53 @@ fn spec_from_args(args: &mut Args) -> Result<JobSpec, ArgError> {
             rules,
         });
     }
+
+    spec.audit = args.flag("--audit");
+    while let Some(raw) = args.value("--tenant")? {
+        match parse_tenant(&raw) {
+            Some(tenant) => spec.tenants.push(tenant),
+            None => {
+                return Err(ArgError::InvalidValue {
+                    flag: "--tenant".to_owned(),
+                    value: raw,
+                    expected: "NAME[,weight=N][,budget=N][,prefer=4KB|2MB|1GB]\
+                               [,optout][,pin=START+PAGES]",
+                })
+            }
+        }
+    }
     Ok(spec)
+}
+
+/// Parses one `--tenant` value: a workload name followed by
+/// comma-separated policy knobs.
+fn parse_tenant(raw: &str) -> Option<TenantJob> {
+    let mut parts = raw.split(',');
+    let name = parts.next()?;
+    if name.is_empty() {
+        return None;
+    }
+    let mut tenant = TenantJob::new(name);
+    for part in parts {
+        if part == "optout" {
+            tenant.opt_out = true;
+            continue;
+        }
+        let (key, value) = part.split_once('=')?;
+        match key {
+            "weight" => tenant.weight = value.parse().ok()?,
+            "budget" => tenant.chunk_budget = Some(value.parse().ok()?),
+            "prefer" => {
+                tenant.prefer = Some(PageSize::ALL.into_iter().find(|s| s.label() == value)?);
+            }
+            "pin" => {
+                let (start, pages) = value.split_once('+')?;
+                tenant.pins.push((start.parse().ok()?, pages.parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(tenant)
 }
 
 fn run(mut args: Args) -> Result<(), ArgError> {
@@ -273,6 +321,26 @@ fn print_report(spec: &JobSpec, r: &JobResult) {
         s.bloat_recovered_pages,
         s.daemon_ns as f64 / 1e6,
     );
+    if r.tenants.len() > 1 {
+        println!("tenants:");
+        for t in &r.tenants {
+            println!(
+                "  {} {:<10} {:>8} samples, {:>7} walks, {:>10} walk cycles, \
+                 FMFI(1GB) {}.{:03}, {} faults",
+                t.tenant,
+                t.workload,
+                t.samples,
+                t.walks,
+                t.walk_cycles,
+                t.fmfi_milli / 1000,
+                t.fmfi_milli % 1000,
+                t.faults,
+            );
+        }
+    }
+    if spec.audit {
+        println!("audit: {} violations", r.violations);
+    }
     if r.trace_dropped > 0 {
         println!("trace: {} events dropped by the ring", r.trace_dropped);
     }

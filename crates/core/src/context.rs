@@ -5,10 +5,10 @@ use std::collections::BTreeMap;
 use trident_fault::FaultInjector;
 use trident_obs::{AllocSite, Event, InjectSite, ObsRecorder, Recorder, SpanKind, StatsSnapshot};
 use trident_phys::PhysicalMemory;
-use trident_types::{AsId, PageGeometry, PageSize};
+use trident_types::{AsId, PageGeometry, PageSize, TenantId};
 use trident_vm::AddressSpace;
 
-use crate::{CostModel, MmStats, ZeroFillPool};
+use crate::{CostModel, MmStats, TenantDirectory, ZeroFillPool};
 
 /// System-wide memory-management state: the physical memory, the async
 /// zero-fill pool, the cost model, the event recorder and the statistics
@@ -31,6 +31,15 @@ pub struct MmContext {
     /// was installed. Lives alongside the recorder so every failure-capable
     /// layer can consult it through [`MmContext::inject`].
     pub fault: FaultInjector,
+    /// Who owns each address space; empty on single-tenant machines.
+    pub tenants: TenantDirectory,
+    /// Per-tenant counters, indexed densely by raw [`TenantId`]. Every
+    /// event recorded while a scope is set folds into the pooled `stats`
+    /// *and* the scoped tenant's row, so per-tenant rows always sum to the
+    /// pooled totals.
+    tenant_stats: Vec<MmStats>,
+    /// The tenant currently being worked for, if attribution is on.
+    scope: Option<TenantId>,
 }
 
 impl MmContext {
@@ -45,7 +54,43 @@ impl MmContext {
             cost: CostModel::default(),
             recorder: ObsRecorder::default(),
             fault: FaultInjector::disabled(),
+            tenants: TenantDirectory::new(),
+            tenant_stats: Vec::new(),
+            scope: None,
         }
+    }
+
+    /// Switches event attribution to `tenant` (or off with `None`). On a
+    /// change to a live scope, a trace-only [`Event::TenantScope`] marker
+    /// is emitted so traces stay attributable offline; the marker never
+    /// touches counters, so single-tenant snapshots are unaffected.
+    pub fn set_tenant_scope(&mut self, scope: Option<TenantId>) {
+        if self.scope == scope {
+            return;
+        }
+        self.scope = scope;
+        if let Some(tenant) = scope {
+            let idx = tenant.raw() as usize;
+            if self.tenant_stats.len() <= idx {
+                self.tenant_stats.resize_with(idx + 1, MmStats::default);
+            }
+            self.recorder.record(Event::TenantScope { tenant });
+        }
+    }
+
+    /// The tenant currently being attributed, if any.
+    #[must_use]
+    pub fn tenant_scope(&self) -> Option<TenantId> {
+        self.scope
+    }
+
+    /// The snapshot of one tenant's attributed counters (zeros for a
+    /// tenant that never held the scope).
+    #[must_use]
+    pub fn tenant_snapshot(&self, tenant: TenantId) -> StatsSnapshot {
+        self.tenant_stats
+            .get(tenant.raw() as usize)
+            .map_or_else(StatsSnapshot::default, MmStats::snapshot)
     }
 
     /// The page geometry of the underlying memory.
@@ -66,6 +111,7 @@ impl MmContext {
     /// lossiness honest.
     pub fn record(&mut self, event: Event) {
         self.stats.apply(&event);
+        self.apply_scoped(&event);
         if self.fault.enabled()
             && self.recorder.enabled()
             && self.fault.should_inject(InjectSite::TraceRing)
@@ -74,6 +120,7 @@ impl MmContext {
                 site: InjectSite::TraceRing,
             };
             self.stats.apply(&marker);
+            self.apply_scoped(&marker);
             self.recorder.record(marker);
             if let Some(t) = self.recorder.tracer_mut() {
                 t.note_dropped(1);
@@ -81,6 +128,14 @@ impl MmContext {
             return;
         }
         self.recorder.record(event);
+    }
+
+    /// Folds `event` into the scoped tenant's row, when a scope is set.
+    /// `set_tenant_scope` sizes the row vector, so the index always hits.
+    fn apply_scoped(&mut self, event: &Event) {
+        if let Some(tenant) = self.scope {
+            self.tenant_stats[tenant.raw() as usize].apply(event);
+        }
     }
 
     /// Consults the fault injector at `site`. When the plan fires, records
@@ -243,6 +298,43 @@ mod tests {
         ));
         assert_eq!(ctx.geometry(), geo);
         assert_eq!(ctx.snapshot().total_faults(), 0);
+    }
+
+    #[test]
+    fn tenant_scope_attributes_and_sums_to_pooled() {
+        let geo = PageGeometry::TINY;
+        let mut ctx = MmContext::new(PhysicalMemory::new(
+            geo,
+            4 * geo.base_pages(PageSize::Giant),
+        ));
+        ctx.recorder = ObsRecorder::ring(16);
+        let (t0, t1) = (TenantId::new(0), TenantId::new(1));
+        ctx.set_tenant_scope(Some(t0));
+        ctx.record_fault(PageSize::Huge, 100);
+        ctx.set_tenant_scope(Some(t1));
+        ctx.record_fault(PageSize::Base, 10);
+        ctx.record_fault(PageSize::Base, 10);
+        // Same-scope re-set emits no duplicate marker.
+        ctx.set_tenant_scope(Some(t1));
+
+        assert_eq!(ctx.tenant_scope(), Some(t1));
+        assert_eq!(ctx.tenant_snapshot(t0).total_faults(), 1);
+        assert_eq!(ctx.tenant_snapshot(t1).total_faults(), 2);
+        // A tenant that never held the scope reads as zeros.
+        assert_eq!(ctx.tenant_snapshot(TenantId::new(7)).total_faults(), 0);
+        assert_eq!(
+            ctx.tenant_snapshot(t0).total_fault_ns() + ctx.tenant_snapshot(t1).total_fault_ns(),
+            ctx.snapshot().total_fault_ns()
+        );
+        // Scope markers are trace-only: one per transition, none counted.
+        let markers = ctx
+            .recorder
+            .tracer()
+            .unwrap()
+            .events()
+            .filter(|e| matches!(e, Event::TenantScope { .. }))
+            .count();
+        assert_eq!(markers, 2);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod invariants;
 mod policy;
 mod promote;
 mod stats;
+mod tenant;
 mod trident;
 mod zerofill;
 
@@ -54,6 +55,9 @@ pub use promote::{
     Promoter, PromoterConfig, PromoterConfigBuilder, PromotionStyle,
 };
 pub use stats::{AllocSite, MmStats};
+pub use tenant::{
+    violation_asid, violations_by_tenant, PinnedRange, PolicyHint, TenantDirectory, TenantPolicy,
+};
 // Observability vocabulary, re-exported so policy consumers need not
 // depend on `trident-obs` directly.
 pub use trident::{TridentConfig, TridentPolicy};

@@ -17,7 +17,7 @@ use trident_phys::{FrameUse, MappingOwner};
 use trident_types::{AsId, DenseBitSet, PageSize, TridentError, Vpn};
 use trident_vm::{promotion_candidates, AddressSpace};
 
-use crate::{CompactionKind, Compactor, MmContext, SpaceSet, TickOutcome};
+use crate::{CompactionKind, Compactor, MmContext, PolicyHint, SpaceSet, TickOutcome};
 
 /// How the data lands in the newly promoted page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -648,9 +648,17 @@ impl Promoter {
         self.config
     }
 
-    /// One daemon tick: select the next candidate process round-robin and
-    /// scan its address space per Figure 5. Returns the tick summary and
-    /// the chunks promoted (for bloat-recovery registries).
+    /// One daemon tick: select the next candidate process weighted
+    /// round-robin and scan its address space per Figure 5. Returns the
+    /// tick summary and the chunks promoted (for bloat-recovery
+    /// registries).
+    ///
+    /// The rotation consults the context's [`TenantDirectory`]: each round
+    /// visits every space in id order, `weight` times each, so a tenant
+    /// with weight 2 gets twice the daemon's attention. An empty directory
+    /// (or all-ones weights) degenerates to the legacy plain rotation.
+    ///
+    /// [`TenantDirectory`]: crate::TenantDirectory
     pub fn tick(
         &mut self,
         ctx: &mut MmContext,
@@ -660,20 +668,52 @@ impl Promoter {
         if ids.is_empty() {
             return (TickOutcome::default(), Vec::new());
         }
-        let asid = ids[self.next_space % ids.len()];
+        let schedule: Vec<AsId> = ids
+            .iter()
+            .flat_map(|&a| std::iter::repeat_n(a, ctx.tenants.weight(a) as usize))
+            .collect();
+        let asid = schedule[self.next_space % schedule.len()];
         self.next_space = self.next_space.wrapping_add(1);
         self.scan_space(ctx, spaces, asid)
     }
 
+    /// Scans one space per Figure 5, consulting the owning tenant's
+    /// [`PolicyHint`] when the space is registered: an opted-out tenant is
+    /// skipped entirely, a preferred page size masks the other promotion
+    /// pass, a budget override replaces the daemon-wide one, and pinned
+    /// ranges go to the front of the candidate order. While scanning, the
+    /// context's attribution scope is the owning tenant, so daemon work
+    /// lands in that tenant's counters.
     fn scan_space(
         &mut self,
         ctx: &mut MmContext,
         spaces: &mut SpaceSet,
         asid: AsId,
     ) -> (TickOutcome, Vec<PromotedChunk>) {
+        let policy = ctx.tenants.policy(asid).cloned();
+        let prev_scope = ctx.tenant_scope();
+        if let Some(p) = &policy {
+            ctx.set_tenant_scope(Some(p.tenant));
+        }
+        if policy.as_ref().is_some_and(|p| p.hint.promotion_opt_out) {
+            ctx.set_tenant_scope(prev_scope);
+            return (TickOutcome::default(), Vec::new());
+        }
+        let hint = policy.as_ref().map(|p| p.hint.clone());
+        let preferred = hint.as_ref().and_then(|h| h.preferred_size);
+        // A preference masks the *other* pass; preferring Base declines
+        // both (promotion would only create larger pages).
+        let use_giant =
+            self.config.use_giant && !matches!(preferred, Some(PageSize::Huge | PageSize::Base));
+        let use_huge =
+            self.config.use_huge && !matches!(preferred, Some(PageSize::Giant | PageSize::Base));
+
         let mut out = TickOutcome::default();
         let mut promoted = Vec::new();
-        let mut budget = self.config.chunk_budget;
+        let mut budget = policy
+            .as_ref()
+            .and_then(|p| p.chunk_budget)
+            .unwrap_or(self.config.chunk_budget);
         let geo = ctx.geometry();
         self.huge_backoff.tick_start();
         self.giant_backoff.tick_start();
@@ -697,8 +737,8 @@ impl Promoter {
         // additionally imposes a doubling sit-out window (§ graceful
         // degradation), re-armed as soon as contiguity is observed again.
         let mut heads = std::mem::take(&mut self.head_buf);
-        if self.config.use_giant {
-            self.ordered_candidates_into(spaces, asid, PageSize::Giant, &mut heads);
+        if use_giant {
+            self.ordered_candidates_into(spaces, asid, PageSize::Giant, hint.as_ref(), &mut heads);
             for &head in &heads {
                 if budget == 0 {
                     break;
@@ -751,7 +791,7 @@ impl Promoter {
                         Err(PromoteError::NotACandidate) => {}
                     }
                 }
-                if !have && self.config.use_huge {
+                if !have && use_huge {
                     // Figure 5's right-hand branch: map what we can of this
                     // giant chunk with 2MB pages instead.
                     let span = geo.base_pages(PageSize::Giant);
@@ -764,11 +804,11 @@ impl Promoter {
             }
         }
 
-        if self.config.use_huge {
+        if use_huge {
             // Fold in this tick's own giant promotions so the 2MB pass sees
             // the same candidate set a fresh enumeration would.
             self.refresh_candidates(spaces, asid);
-            self.ordered_candidates_into(spaces, asid, PageSize::Huge, &mut heads);
+            self.ordered_candidates_into(spaces, asid, PageSize::Huge, hint.as_ref(), &mut heads);
             for &head in &heads {
                 if budget == 0 {
                     break;
@@ -780,12 +820,15 @@ impl Promoter {
         self.head_buf = heads;
 
         ctx.span_end(SpanKind::PromoScan, out.daemon_ns);
+        ctx.set_tenant_scope(prev_scope);
         (out, promoted)
     }
 
     /// Fills `out` (cleared first) with candidate chunk heads for promotion
     /// to `size`, in scan order (address order, or hottest-first for
-    /// HawkEye), read from the incrementally maintained index. Reuses the
+    /// HawkEye), read from the incrementally maintained index. A tenant
+    /// hint's pinned ranges are moved to the front (stably, so the
+    /// access/address order is preserved within each group). Reuses the
     /// buffer's storage — the scan loop's head enumeration stays
     /// zero-alloc in steady state.
     fn ordered_candidates_into(
@@ -793,6 +836,7 @@ impl Promoter {
         spaces: &SpaceSet,
         asid: AsId,
         size: PageSize,
+        hint: Option<&PolicyHint>,
         out: &mut Vec<Vpn>,
     ) {
         out.clear();
@@ -814,6 +858,13 @@ impl Promoter {
             out.sort_by_key(|head| {
                 std::cmp::Reverse(space.page_table().accessed_leaves_in(*head, span))
             });
+        }
+        if let Some(h) = hint {
+            if !h.pinned.is_empty() {
+                // Stable, so pinning dominates without scrambling the
+                // base ordering inside each group.
+                out.sort_by_key(|head| !h.pins(*head, span));
+            }
         }
     }
 
@@ -1209,6 +1260,122 @@ mod tests {
         let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
         assert_eq!(promoted.len(), 1);
         assert_eq!(promoted[0].head, Vpn::new(64), "hot chunk goes first");
+    }
+
+    /// Regression test for the hint API: a pinned range must promote
+    /// before an unhinted chunk that the access ordering ranks hotter.
+    #[test]
+    fn pinned_range_promotes_before_hotter_unhinted_chunk() {
+        use crate::{PolicyHint, TenantPolicy};
+        use trident_types::TenantId;
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        // The *second* giant chunk is the hot one (same layout as the
+        // HawkEye ordering test, where it wins)...
+        {
+            let space = spaces.get_mut(AsId::new(1)).unwrap();
+            for i in 64..128 {
+                space.page_table_mut().access(Vpn::new(i), false).unwrap();
+            }
+        }
+        // ...but the tenant pins the cold first chunk.
+        ctx.tenants.register(
+            AsId::new(1),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().pin(Vpn::new(0), 64)),
+        );
+        let mut cfg = PromoterConfig::trident();
+        cfg.order_by_access = true;
+        cfg.chunk_budget = 1;
+        let mut promoter = Promoter::new(cfg);
+        let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].head, Vpn::new(0), "pinning beats hotness");
+        // Daemon work done in the scan is attributed to the owning tenant.
+        assert_eq!(ctx.tenant_snapshot(TenantId::new(0)).promotions[2], 1);
+    }
+
+    #[test]
+    fn opted_out_tenant_is_never_promoted() {
+        use crate::{PolicyHint, TenantPolicy};
+        use trident_types::TenantId;
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        ctx.tenants.register(
+            AsId::new(1),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().opt_out()),
+        );
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+        for _ in 0..4 {
+            let (out, promoted) = promoter.tick(&mut ctx, &mut spaces);
+            assert_eq!(out.promotions, 0);
+            assert!(promoted.is_empty());
+        }
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+    }
+
+    #[test]
+    fn preferred_size_masks_the_other_pass() {
+        use crate::{PolicyHint, TenantPolicy};
+        use trident_types::TenantId;
+        // Preferring 2MB on a Trident promoter behaves like THP...
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 64);
+        ctx.tenants.register(
+            AsId::new(1),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::Huge)),
+        );
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+        promoter.tick(&mut ctx, &mut spaces);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 8);
+
+        // ...and preferring 1GB disables the 2MB pass (and its fallback).
+        let (mut ctx, mut spaces) = setup(8);
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        ctx.tenants.register(
+            AsId::new(1),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::Giant)),
+        );
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+        promoter.tick(&mut ctx, &mut spaces);
+        let space = spaces.get(AsId::new(1)).unwrap();
+        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 2);
+        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+    }
+
+    #[test]
+    fn weighted_rotation_and_budget_override() {
+        use crate::TenantPolicy;
+        use trident_types::TenantId;
+        let (mut ctx, mut spaces) = setup(16);
+        spaces.insert(AddressSpace::new(AsId::new(2), ctx.geometry()));
+        fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
+        fault_base(&mut ctx, &mut spaces, AsId::new(2), 0, 128);
+        // Tenant 0 (space 1): double weight but a budget of one chunk per
+        // visit. Tenant 1 (space 2): single weight, default budget.
+        ctx.tenants.register(
+            AsId::new(1),
+            TenantPolicy::new(TenantId::new(0))
+                .weight(2)
+                .chunk_budget(1),
+        );
+        ctx.tenants
+            .register(AsId::new(2), TenantPolicy::new(TenantId::new(1)));
+        let mut promoter = Promoter::new(PromoterConfig::trident());
+        // Schedule is [1, 1, 2]: two visits to space 1, then one to 2.
+        let (_, p) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!((p.len(), p[0].asid), (1, AsId::new(1)), "budget capped");
+        let (_, p) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!((p.len(), p[0].asid), (1, AsId::new(1)));
+        let (_, p) = promoter.tick(&mut ctx, &mut spaces);
+        assert_eq!(p.len(), 2, "space 2 drains both chunks in one visit");
+        assert!(p.iter().all(|c| c.asid == AsId::new(2)));
+        // Attribution followed the rotation.
+        assert_eq!(ctx.tenant_snapshot(TenantId::new(0)).promotions[2], 2);
+        assert_eq!(ctx.tenant_snapshot(TenantId::new(1)).promotions[2], 2);
     }
 
     /// Regression test for the compaction backoff: on a machine with no

@@ -115,7 +115,8 @@ impl MmStats {
             | Event::SpanBegin { .. }
             | Event::SpanEnd { .. }
             | Event::TraceGap { .. }
-            | Event::Gauge { .. } => {}
+            | Event::Gauge { .. }
+            | Event::TenantScope { .. } => {}
         }
     }
 

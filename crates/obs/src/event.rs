@@ -3,7 +3,7 @@
 use core::fmt;
 use std::error::Error;
 
-use trident_types::PageSize;
+use trident_types::{PageSize, TenantId};
 
 /// Where a large-page allocation was attempted, for Table 4's breakdown of
 /// failure rates.
@@ -301,6 +301,14 @@ pub enum Event {
         /// Bytes copied instead of exchanged.
         bytes: u64,
     },
+    /// Attribution marker (trace-only): every following event belongs to
+    /// this tenant, until the next marker. Emitted only by multi-tenant
+    /// engines — single-tenant traces carry none, so their byte streams
+    /// are unchanged.
+    TenantScope {
+        /// The tenant now on stage.
+        tenant: TenantId,
+    },
 }
 
 impl Event {
@@ -317,6 +325,7 @@ impl Event {
                 | Event::SpanEnd { .. }
                 | Event::TraceGap { .. }
                 | Event::Gauge { .. }
+                | Event::TenantScope { .. }
         )
     }
 
@@ -343,6 +352,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::PromotionDeferred { .. } => "promotion_deferred",
             Event::PvFallback { .. } => "pv_fallback",
+            Event::TenantScope { .. } => "tenant_scope",
         }
     }
 
@@ -438,6 +448,9 @@ impl Event {
             ),
             Event::PvFallback { bytes } => {
                 format!("{{\"v\":{v},\"ev\":\"{k}\",\"bytes\":{bytes}}}")
+            }
+            Event::TenantScope { tenant } => {
+                format!("{{\"v\":{v},\"ev\":\"{k}\",\"tenant\":{}}}", tenant.raw())
             }
         }
     }
@@ -545,6 +558,11 @@ impl Event {
             "promotion_deferred" => Ok(Event::PromotionDeferred { size: size()? }),
             "pv_fallback" => Ok(Event::PvFallback {
                 bytes: num("bytes")?,
+            }),
+            "tenant_scope" => Ok(Event::TenantScope {
+                tenant: TenantId::new(
+                    u32::try_from(num("tenant")?).map_err(|_| err("bad \"tenant\""))?,
+                ),
             }),
             _ => Err(err("unknown event kind")),
         }
@@ -680,6 +698,9 @@ mod tests {
                 size: PageSize::Giant,
             },
             Event::PvFallback { bytes: 1 << 21 },
+            Event::TenantScope {
+                tenant: TenantId::new(2),
+            },
         ]
     }
 
@@ -694,16 +715,19 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_and_version_skew() {
         assert!(Event::parse_jsonl("not json").is_err());
-        assert!(Event::parse_jsonl("{\"v\":3}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":4}").is_err());
         assert!(Event::parse_jsonl("{\"v\":999,\"ev\":\"fault\"}").is_err());
         assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
-        assert!(Event::parse_jsonl("{\"v\":2,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
-        assert!(Event::parse_jsonl("{\"v\":3,\"ev\":\"warp_drive\"}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":3,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":4,\"ev\":\"warp_drive\"}").is_err());
         assert!(
-            Event::parse_jsonl("{\"v\":3,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
+            Event::parse_jsonl("{\"v\":4,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
         );
         assert!(
-            Event::parse_jsonl("{\"v\":3,\"ev\":\"fault_injected\",\"site\":\"warp\"}").is_err()
+            Event::parse_jsonl("{\"v\":4,\"ev\":\"fault_injected\",\"site\":\"warp\"}").is_err()
+        );
+        assert!(
+            Event::parse_jsonl("{\"v\":4,\"ev\":\"tenant_scope\",\"tenant\":99999999999}").is_err()
         );
     }
 
@@ -723,14 +747,15 @@ mod tests {
                 "span_begin",
                 "span_end",
                 "trace_gap",
-                "gauge"
+                "gauge",
+                "tenant_scope"
             ]
         );
     }
 
     #[test]
     fn field_order_is_not_significant() {
-        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":3}";
+        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":4}";
         assert_eq!(
             Event::parse_jsonl(line),
             Ok(Event::Fault {

@@ -8,7 +8,7 @@ use crate::{AllocSite, Event, InjectSite};
 ///
 /// Bump when a field is added, removed or changes meaning; traces and
 /// snapshots from different versions must not be mixed.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Aggregate memory-management counters at one point in time.
 ///
@@ -154,7 +154,8 @@ impl StatsSnapshot {
             | Event::SpanBegin { .. }
             | Event::SpanEnd { .. }
             | Event::TraceGap { .. }
-            | Event::Gauge { .. } => {}
+            | Event::Gauge { .. }
+            | Event::TenantScope { .. } => {}
         }
     }
 

@@ -156,7 +156,8 @@ impl TimeSeries {
             | Event::BuddyCoalesce { .. }
             | Event::SpanBegin { .. }
             | Event::SpanEnd { .. }
-            | Event::TraceGap { .. } => {}
+            | Event::TraceGap { .. }
+            | Event::TenantScope { .. } => {}
         }
     }
 

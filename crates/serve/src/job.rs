@@ -13,10 +13,11 @@ use trident_core::{FaultPlan, ObsRecorder};
 use trident_prof::report::render_json;
 use trident_prof::JsonlWriter;
 use trident_sim::experiments::ExpOptions;
-use trident_sim::{derive_cell_seed, PolicyKind, SimConfig, System};
+use trident_sim::{derive_cell_seed, PolicyHint, PolicyKind, SimConfig, System, TenantSpec};
+use trident_types::Vpn;
 use trident_workloads::WorkloadSpec;
 
-use crate::proto::{JobResult, JobSpec};
+use crate::proto::{JobResult, JobSpec, TenantRow};
 
 /// Resolves a spec into the pieces a run needs, validating everything
 /// that can be validated without running: workload and policy names,
@@ -27,11 +28,35 @@ use crate::proto::{JobResult, JobSpec};
 /// # Errors
 ///
 /// A human-readable description of the first problem found.
-pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, WorkloadSpec), String> {
+pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>), String> {
     let workload = WorkloadSpec::by_name(&spec.workload)
         .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
     let kind = PolicyKind::from_name(&spec.policy)
         .ok_or_else(|| format!("unknown policy {:?}", spec.policy))?;
+    let mut tenants = vec![TenantSpec::new(workload)];
+    for t in &spec.tenants {
+        let neighbor = WorkloadSpec::by_name(&t.workload)
+            .ok_or_else(|| format!("unknown tenant workload {:?}", t.workload))?;
+        if t.chunk_budget == Some(0) {
+            return Err(format!(
+                "tenant {:?}: a budget override must be nonzero",
+                t.workload
+            ));
+        }
+        let mut hint = PolicyHint::new();
+        for &(start, pages) in &t.pins {
+            hint = hint.pin(Vpn::new(start), pages);
+        }
+        if let Some(size) = t.prefer {
+            hint = hint.prefer(size);
+        }
+        if t.opt_out {
+            hint = hint.opt_out();
+        }
+        let mut ts = TenantSpec::new(neighbor).weight(t.weight).hint(hint);
+        ts.chunk_budget = t.chunk_budget;
+        tenants.push(ts);
+    }
     if spec.scale == 0 {
         return Err("scale must be at least 1".to_owned());
     }
@@ -70,7 +95,8 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, WorkloadSpec), 
                 .map_err(|e| format!("invalid fault plan: {e}"))?,
         );
     }
-    Ok((config, kind, workload))
+    config.audit = spec.audit;
+    Ok((config, kind, tenants))
 }
 
 /// Runs one job to completion and returns its measurement.
@@ -80,7 +106,7 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, WorkloadSpec), 
 /// Any [`resolve`] failure, a launch failure (hugetlbfs reservation on
 /// fragmented memory), or an I/O failure on the job's output files.
 pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
-    let (config, kind, workload) = resolve(spec)?;
+    let (config, kind, tenants) = resolve(spec)?;
     let writer = match &spec.trace_out {
         Some(path) => {
             let file = std::fs::File::create(path)
@@ -89,16 +115,14 @@ pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
         }
         None => None,
     };
-    let launched = match &writer {
-        Some(w) => System::launch_recording(
-            config,
-            kind,
-            workload,
-            ObsRecorder::custom(Box::new(w.clone())),
-        ),
-        None => System::launch(config, kind, workload),
-    };
-    let mut system = launched.map_err(|e| {
+    let mut builder = System::builder(config).policy(kind);
+    for tenant in tenants {
+        builder = builder.tenant(tenant);
+    }
+    if let Some(w) = &writer {
+        builder = builder.recorder(ObsRecorder::custom(Box::new(w.clone())));
+    }
+    let mut system = builder.build().map_err(|e| {
         format!("launch failed: {e} (hugetlbfs reservations fail on fragmented memory)")
     })?;
     system.settle();
@@ -128,6 +152,21 @@ pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
         mapped_bytes: m.mapped_bytes,
         trace_dropped: m.trace_dropped,
         trace_lines,
+        violations: system.violations().len() as u64,
+        tenants: m
+            .tenants
+            .iter()
+            .map(|t| TenantRow {
+                tenant: t.tenant.raw(),
+                workload: t.workload.to_owned(),
+                samples: t.samples as u64,
+                walks: t.walks,
+                walk_cycles: t.walk_cycles,
+                mapped_bytes: t.mapped_bytes,
+                fmfi_milli: (t.fmfi_giant * 1000.0).round() as u64,
+                faults: t.snapshot.total_faults(),
+            })
+            .collect(),
         snapshot: m.snapshot,
     })
 }
@@ -194,12 +233,11 @@ mod tests {
             trace_capacity: None,
             profile: false,
         };
-        let mut system = System::launch(
-            opts.config(),
-            PolicyKind::Trident,
-            WorkloadSpec::by_name("GUPS").unwrap(),
-        )
-        .unwrap();
+        let mut system = System::builder(opts.config())
+            .policy(PolicyKind::Trident)
+            .workload(WorkloadSpec::by_name("GUPS").unwrap())
+            .build()
+            .unwrap();
         system.settle();
         let m = system.measure();
         assert_eq!(result.snapshot, m.snapshot);

@@ -54,6 +54,9 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError};
-pub use proto::{JobResult, JobSpec, JobState, ProtoError, Request, Response, PROTO_VERSION};
+pub use proto::{
+    JobResult, JobSpec, JobState, ProtoError, Request, Response, TenantJob, TenantRow,
+    PROTO_VERSION,
+};
 pub use server::{serve_lines, serve_tcp, ServerHandle};
 pub use service::{JobWait, Service, ServiceConfig, SubmitError};

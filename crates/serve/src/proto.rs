@@ -10,12 +10,12 @@
 //! Requests:
 //!
 //! ```json
-//! {"v":1,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
-//! {"v":1,"op":"status","id":3}
-//! {"v":1,"op":"result","id":3}
-//! {"v":1,"op":"cancel","id":3}
-//! {"v":1,"op":"list"}
-//! {"v":1,"op":"shutdown"}
+//! {"v":2,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
+//! {"v":2,"op":"status","id":3}
+//! {"v":2,"op":"result","id":3}
+//! {"v":2,"op":"cancel","id":3}
+//! {"v":2,"op":"list"}
+//! {"v":2,"op":"shutdown"}
 //! ```
 //!
 //! Responses mirror the request vocabulary (`"ok"` discriminator) or
@@ -24,12 +24,15 @@
 use core::fmt;
 
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
+use trident_types::PageSize;
 
 use crate::json;
 
 /// Version of the request/response wire format. Bump on any change to
 /// message shapes; both sides refuse to interoperate across versions.
-pub const PROTO_VERSION: u32 = 1;
+/// v2: jobs gained co-located tenants and the audit flag; results gained
+/// per-tenant rows and the audit-violation count.
+pub const PROTO_VERSION: u32 = 2;
 
 /// One simulation cell to run: workload × policy plus the knobs the
 /// `SimConfig` builders expose. Mirrors what `tridentctl run` accepted
@@ -64,6 +67,13 @@ pub struct JobSpec {
     /// Write the run's profile report to this file as JSON (implies
     /// profiling).
     pub profile_out: Option<String>,
+    /// Run the per-tick consistency audit and report the violation count
+    /// in the result (off by default — it is O(machine) per tick).
+    pub audit: bool,
+    /// Tenants co-located *beside* the primary workload (which runs as
+    /// tenant 0 with neutral scheduling). Empty = classic single-tenant
+    /// job.
+    pub tenants: Vec<TenantJob>,
 }
 
 impl JobSpec {
@@ -84,6 +94,8 @@ impl JobSpec {
             fault: None,
             trace_out: None,
             profile_out: None,
+            audit: false,
+            tenants: Vec::new(),
         }
     }
 
@@ -100,9 +112,13 @@ impl JobSpec {
             s.push_str(&format!(",\"cell\":{cell}"));
         }
         s.push_str(&format!(
-            ",\"fragment\":{},\"profile\":{}",
-            self.fragment, self.profile
+            ",\"fragment\":{},\"profile\":{},\"audit\":{}",
+            self.fragment, self.profile, self.audit
         ));
+        if !self.tenants.is_empty() {
+            let rows: Vec<String> = self.tenants.iter().map(TenantJob::to_json).collect();
+            s.push_str(&format!(",\"tenants\":[{}]", rows.join(",")));
+        }
         if let Some(cap) = self.trace_capacity {
             s.push_str(&format!(",\"trace\":{cap}"));
         }
@@ -139,6 +155,104 @@ impl JobSpec {
             },
             trace_out: optional(obj, "trace_out", json::str_field)?,
             profile_out: optional(obj, "profile_out", json::str_field)?,
+            audit: json::bool_field(obj, "audit").ok_or_else(|| bad("job.audit"))?,
+            tenants: match json::field(obj, "tenants").and_then(json::items) {
+                None => Vec::new(),
+                Some(raw) => raw
+                    .into_iter()
+                    .map(TenantJob::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+        })
+    }
+}
+
+/// One co-located tenant on the wire: its workload plus the scheduling
+/// parameters and promotion hints the engine registers for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantJob {
+    /// Workload name (`WorkloadSpec::by_name`).
+    pub workload: String,
+    /// Weighted-round-robin share of the promotion daemon (≥ 1).
+    pub weight: u32,
+    /// Per-tick promotion-budget override (`None` = daemon default).
+    pub chunk_budget: Option<usize>,
+    /// Restrict background promotion to one page size, by label
+    /// (`"4KB"`, `"2MB"`, `"1GB"`).
+    pub prefer: Option<PageSize>,
+    /// Decline background promotion entirely.
+    pub opt_out: bool,
+    /// Pinned hot ranges as `(start page, pages)` pairs.
+    pub pins: Vec<(u64, u64)>,
+}
+
+impl TenantJob {
+    /// A neutral tenant running `workload`.
+    #[must_use]
+    pub fn new(workload: &str) -> TenantJob {
+        TenantJob {
+            workload: workload.to_owned(),
+            weight: 1,
+            chunk_budget: None,
+            prefer: None,
+            opt_out: false,
+            pins: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"workload\":{},\"weight\":{},\"opt_out\":{}",
+            json::escape(&self.workload),
+            self.weight,
+            self.opt_out,
+        );
+        if let Some(budget) = self.chunk_budget {
+            s.push_str(&format!(",\"budget\":{budget}"));
+        }
+        if let Some(size) = self.prefer {
+            s.push_str(&format!(",\"prefer\":\"{}\"", size.label()));
+        }
+        if !self.pins.is_empty() {
+            let pins: Vec<String> = self
+                .pins
+                .iter()
+                .map(|(start, pages)| format!("{{\"start\":{start},\"pages\":{pages}}}"))
+                .collect();
+            s.push_str(&format!(",\"pins\":[{}]", pins.join(",")));
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_json(obj: &str) -> Result<TenantJob, ProtoError> {
+        let prefer = match optional(obj, "prefer", json::str_field)? {
+            None => None,
+            Some(label) => Some(
+                PageSize::ALL
+                    .into_iter()
+                    .find(|s| s.label() == label)
+                    .ok_or_else(|| bad("tenants[].prefer"))?,
+            ),
+        };
+        let pins = match json::field(obj, "pins").and_then(json::items) {
+            None => Vec::new(),
+            Some(raw) => raw
+                .into_iter()
+                .map(|p| {
+                    let start = json::u64_field(p, "start").ok_or_else(|| bad("pins[].start"))?;
+                    let pages = json::u64_field(p, "pages").ok_or_else(|| bad("pins[].pages"))?;
+                    Ok((start, pages))
+                })
+                .collect::<Result<Vec<_>, ProtoError>>()?,
+        };
+        Ok(TenantJob {
+            workload: json::str_field(obj, "workload").ok_or_else(|| bad("tenants[].workload"))?,
+            weight: u32_field(obj, "weight").ok_or_else(|| bad("tenants[].weight"))?,
+            chunk_budget: optional(obj, "budget", usize_field)?,
+            prefer,
+            opt_out: json::bool_field(obj, "opt_out").ok_or_else(|| bad("tenants[].opt_out"))?,
+            pins,
         })
     }
 }
@@ -298,8 +412,72 @@ pub struct JobResult {
     pub trace_dropped: u64,
     /// Lines written to the job's `trace_out` file, when one was set.
     pub trace_lines: Option<u64>,
+    /// Invariant violations the per-tick audit collected (always 0 when
+    /// the job did not set `audit`; anything nonzero under a co-located
+    /// job is an isolation violation).
+    pub violations: u64,
+    /// Per-tenant rows in tenant order — one per tenant, including
+    /// single-tenant jobs (whose one row equals the pooled headlines).
+    pub tenants: Vec<TenantRow>,
     /// The full memory-management counter snapshot.
     pub snapshot: StatsSnapshot,
+}
+
+/// One tenant's share of a finished job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRow {
+    /// The tenant's index (0 = the job's primary workload).
+    pub tenant: u32,
+    /// The workload this tenant ran.
+    pub workload: String,
+    /// Accesses sampled from this tenant.
+    pub samples: u64,
+    /// Page walks among them.
+    pub walks: u64,
+    /// Cycles this tenant spent translating.
+    pub walk_cycles: u64,
+    /// Bytes this tenant mapped at each page size.
+    pub mapped_bytes: [u64; 3],
+    /// The tenant's 1GB fragmentation experience in thousandths (the
+    /// fraction of its resident bytes not giant-backed).
+    pub fmfi_milli: u64,
+    /// Faults attributed to this tenant.
+    pub faults: u64,
+}
+
+impl TenantRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"tenant\":{},\"workload\":{},\"samples\":{},\"walks\":{},\
+             \"walk_cycles\":{},\"mapped_bytes\":[{},{},{}],\"fmfi_milli\":{},\
+             \"faults\":{}}}",
+            self.tenant,
+            json::escape(&self.workload),
+            self.samples,
+            self.walks,
+            self.walk_cycles,
+            self.mapped_bytes[0],
+            self.mapped_bytes[1],
+            self.mapped_bytes[2],
+            self.fmfi_milli,
+            self.faults,
+        )
+    }
+
+    fn from_json(obj: &str) -> Result<TenantRow, ProtoError> {
+        let req = |key: &'static str| json::u64_field(obj, key).ok_or(ProtoError::Malformed(key));
+        Ok(TenantRow {
+            tenant: u32_field(obj, "tenant").ok_or_else(|| bad("tenants[].tenant"))?,
+            workload: json::str_field(obj, "workload").ok_or_else(|| bad("tenants[].workload"))?,
+            samples: req("samples")?,
+            walks: req("walks")?,
+            walk_cycles: req("walk_cycles")?,
+            mapped_bytes: json::u64_array_field(obj, "mapped_bytes")
+                .ok_or_else(|| bad("tenants[].mapped_bytes"))?,
+            fmfi_milli: req("fmfi_milli")?,
+            faults: req("faults")?,
+        })
+    }
 }
 
 impl JobResult {
@@ -319,6 +497,9 @@ impl JobResult {
         if let Some(lines) = self.trace_lines {
             s.push_str(&format!(",\"trace_lines\":{lines}"));
         }
+        s.push_str(&format!(",\"violations\":{}", self.violations));
+        let rows: Vec<String> = self.tenants.iter().map(TenantRow::to_json).collect();
+        s.push_str(&format!(",\"tenants\":[{}]", rows.join(",")));
         s.push_str(",\"snapshot\":");
         s.push_str(&snapshot_to_json(&self.snapshot));
         s.push('}');
@@ -338,6 +519,14 @@ impl JobResult {
             trace_dropped: json::u64_field(obj, "trace_dropped")
                 .ok_or_else(|| bad("result.trace_dropped"))?,
             trace_lines: optional(obj, "trace_lines", json::u64_field)?,
+            violations: json::u64_field(obj, "violations")
+                .ok_or_else(|| bad("result.violations"))?,
+            tenants: json::field(obj, "tenants")
+                .and_then(json::items)
+                .ok_or_else(|| bad("result.tenants"))?
+                .into_iter()
+                .map(TenantRow::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
             snapshot: snapshot_from_json(
                 json::field(obj, "snapshot").ok_or_else(|| bad("result.snapshot"))?,
             )?,
@@ -429,6 +618,10 @@ pub fn snapshot_from_json(obj: &str) -> Result<StatsSnapshot, ProtoError> {
 }
 
 /// A client-to-daemon message.
+//
+// `Submit` dwarfs the id-only variants, but requests are built once per
+// protocol round-trip on a cold path; boxing the spec would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Submit a job; answered with `Submitted` or `Error(queue_full)`.
@@ -777,6 +970,18 @@ mod tests {
             }),
             trace_out: Some("out dir/run \"a\".jsonl".to_owned()),
             profile_out: Some("prof.json".to_owned()),
+            audit: true,
+            tenants: vec![
+                TenantJob {
+                    workload: "Redis".to_owned(),
+                    weight: 2,
+                    chunk_budget: Some(4),
+                    prefer: Some(PageSize::Huge),
+                    opt_out: false,
+                    pins: vec![(0, 4_096), (1 << 20, 512)],
+                },
+                TenantJob::new("XSBench"),
+            ],
         }
     }
 
@@ -820,6 +1025,29 @@ mod tests {
                     mapped_bytes: [1, 2, 3],
                     trace_dropped: 0,
                     trace_lines: Some(17),
+                    violations: 0,
+                    tenants: vec![
+                        TenantRow {
+                            tenant: 0,
+                            workload: "GUPS".to_owned(),
+                            samples: 4_000,
+                            walks: 80,
+                            walk_cycles: 2_100,
+                            mapped_bytes: [1, 2, 0],
+                            fmfi_milli: 1_000,
+                            faults: 6,
+                        },
+                        TenantRow {
+                            tenant: 1,
+                            workload: "Redis".to_owned(),
+                            samples: 4_000,
+                            walks: 40,
+                            walk_cycles: 2_100,
+                            mapped_bytes: [0, 0, 3],
+                            fmfi_milli: 0,
+                            faults: 0,
+                        },
+                    ],
                     snapshot,
                 },
             },
@@ -847,14 +1075,14 @@ mod tests {
 
     #[test]
     fn unknown_version_is_rejected_not_guessed() {
-        let line = Request::List.to_jsonl().replace("\"v\":1", "\"v\":2");
+        let line = Request::List.to_jsonl().replace("\"v\":2", "\"v\":1");
         assert_eq!(
             Request::parse_jsonl(&line),
-            Err(ProtoError::Version { got: 2 })
+            Err(ProtoError::Version { got: 1 })
         );
         let line = Response::ShuttingDown
             .to_jsonl()
-            .replace("\"v\":1", "\"v\":99");
+            .replace("\"v\":2", "\"v\":99");
         assert_eq!(
             Response::parse_jsonl(&line),
             Err(ProtoError::Version { got: 99 })

@@ -7,8 +7,9 @@ use proptest::prelude::*;
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
 use trident_serve::proto::{
     ErrorCode, FaultSpec, JobResult, JobSpec, JobState, JobSummary, ProtoError, Request, Response,
-    PROTO_VERSION,
+    TenantJob, TenantRow, PROTO_VERSION,
 };
+use trident_types::PageSize;
 
 /// Characters chosen to stress the scanner: JSON structure, the escape
 /// set, whitespace, and multi-byte code points.
@@ -51,6 +52,31 @@ fn fault_specs() -> impl Strategy<Value = FaultSpec> {
         })
 }
 
+fn page_sizes() -> impl Strategy<Value = PageSize> {
+    (0usize..PageSize::ALL.len()).prop_map(|i| PageSize::ALL[i])
+}
+
+fn tenant_jobs() -> impl Strategy<Value = TenantJob> {
+    (
+        (wire_strings(), any::<u32>()),
+        (options(1u64..(1 << 20)), options(page_sizes())),
+        (
+            any::<bool>(),
+            prop::collection::vec((any::<u64>(), any::<u64>()), 0..4),
+        ),
+    )
+        .prop_map(
+            |((workload, weight), (chunk_budget, prefer), (opt_out, pins))| TenantJob {
+                workload,
+                weight,
+                chunk_budget: chunk_budget.map(|c| c as usize),
+                prefer,
+                opt_out,
+                pins,
+            },
+        )
+}
+
 fn job_specs() -> impl Strategy<Value = JobSpec> {
     (
         (
@@ -66,6 +92,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
             options(fault_specs()),
         ),
         (options(wire_strings()), options(wire_strings())),
+        (any::<bool>(), prop::collection::vec(tenant_jobs(), 0..4)),
     )
         .prop_map(
             |(
@@ -73,6 +100,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 (seed, cell_index, fragment),
                 (trace_capacity, profile, fault),
                 (trace_out, profile_out),
+                (audit, tenants),
             )| JobSpec {
                 workload,
                 policy,
@@ -86,6 +114,8 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 fault,
                 trace_out,
                 profile_out,
+                audit,
+                tenants,
             },
         )
 }
@@ -120,15 +150,45 @@ fn snapshots() -> impl Strategy<Value = StatsSnapshot> {
     })
 }
 
+fn tenant_rows() -> impl Strategy<Value = TenantRow> {
+    (
+        (any::<u32>(), wire_strings()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        prop::collection::vec(any::<u64>(), 3..4),
+        (0u64..=1_000, any::<u64>()),
+    )
+        .prop_map(
+            |((tenant, workload), (samples, walks, walk_cycles), mapped, (fmfi_milli, faults))| {
+                TenantRow {
+                    tenant,
+                    workload,
+                    samples,
+                    walks,
+                    walk_cycles,
+                    mapped_bytes: [mapped[0], mapped[1], mapped[2]],
+                    fmfi_milli,
+                    faults,
+                }
+            },
+        )
+}
+
 fn job_results() -> impl Strategy<Value = JobResult> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         prop::collection::vec(any::<u64>(), 3..4),
         (any::<u64>(), options(any::<u64>())),
+        (any::<u64>(), prop::collection::vec(tenant_rows(), 0..4)),
         snapshots(),
     )
         .prop_map(
-            |((samples, tlb_accesses, walks, walk_cycles), mapped, (dropped, lines), snapshot)| {
+            |(
+                (samples, tlb_accesses, walks, walk_cycles),
+                mapped,
+                (dropped, lines),
+                (violations, tenants),
+                snapshot,
+            )| {
                 JobResult {
                     samples,
                     tlb_accesses,
@@ -137,6 +197,8 @@ fn job_results() -> impl Strategy<Value = JobResult> {
                     mapped_bytes: [mapped[0], mapped[1], mapped[2]],
                     trace_dropped: dropped,
                     trace_lines: lines,
+                    violations,
+                    tenants,
                     snapshot,
                 }
             },

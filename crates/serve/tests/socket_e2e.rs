@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use trident_serve::proto::{ErrorCode, FaultSpec, JobResult, JobSpec, Request, Response};
+use trident_serve::proto::{
+    ErrorCode, FaultSpec, JobResult, JobSpec, Request, Response, TenantJob,
+};
 use trident_serve::{serve_tcp, Client, Service, ServiceConfig};
 use trident_sim::experiments::ExpOptions;
 use trident_sim::{derive_cell_seed, PolicyKind, System};
@@ -31,12 +33,11 @@ fn direct_run(cell_index: Option<u64>) -> (u64, u64, [u64; 3], trident_core::Sta
         trace_capacity: None,
         profile: false,
     };
-    let mut system = System::launch(
-        opts.config(),
-        PolicyKind::Trident,
-        WorkloadSpec::by_name("GUPS").unwrap(),
-    )
-    .unwrap();
+    let mut system = System::builder(opts.config())
+        .policy(PolicyKind::Trident)
+        .workload(WorkloadSpec::by_name("GUPS").unwrap())
+        .build()
+        .unwrap();
     system.settle();
     let m = system.measure();
     (m.walks, m.walk_cycles, m.mapped_bytes, m.snapshot)
@@ -141,6 +142,46 @@ fn socket_backpressure_is_typed_and_drains() {
     fetch(&mut client, b);
     let c = submit(&mut client, spec(Some(2)));
     fetch(&mut client, c);
+
+    teardown(client, handle, service);
+}
+
+#[test]
+fn socket_colocation_smoke_matches_local_and_stays_isolated() {
+    // The CI co-location smoke cell: a 3-tenant machine (GUPS primary,
+    // Redis weighted and pinned beside it, XSBench unweighted) with the
+    // per-tick audit on and a seeded fault plan biting allocations. The
+    // daemon's answer must be bit-identical to the local `job::execute`
+    // path, carry one row per tenant, and report zero isolation
+    // violations even while faults are being injected.
+    let mut job = spec(None);
+    job.audit = true;
+    job.fault = Some(FaultSpec {
+        seed: 7,
+        rules: vec![(trident_core::InjectSite::Alloc, 10)],
+    });
+    let mut redis = TenantJob::new("Redis");
+    redis.weight = 2;
+    redis.pins = vec![(0, 512)];
+    job.tenants = vec![redis, TenantJob::new("XSBench")];
+
+    let local = trident_serve::job::execute(&job).unwrap();
+    assert_eq!(local.tenants.len(), 3, "one row per tenant");
+    assert_eq!(local.violations, 0, "audit must stay clean under faults");
+    let per_tenant: u64 = local.tenants.iter().map(|t| t.samples).sum();
+    assert_eq!(per_tenant, local.samples, "rows must cover every sample");
+
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 4,
+        start_paused: false,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let id = submit(&mut client, job);
+    let remote = fetch(&mut client, id);
+    assert_eq!(remote, local, "remote co-location cell drifted from local");
 
     teardown(client, handle, service);
 }

@@ -70,7 +70,11 @@ pub fn run(opts: &ExpOptions) -> Result {
             let mut config = opts.config();
             // Memory pressure triggers recovery; leave head-room tight.
             config.settle_ticks = 32;
-            let mut system = System::launch(config, kind, spec).expect("launch");
+            let mut system = System::builder(config)
+                .policy(kind)
+                .workload(spec)
+                .build()
+                .expect("launch");
             system.settle();
             system
         };
@@ -79,15 +83,14 @@ pub fn run(opts: &ExpOptions) -> Result {
         // Trident + HawkEye-style recovery, squeezed by memory pressure.
         let mut config = opts.config();
         config.settle_ticks = 32;
-        let mut recovered = System::launch_with(
-            config,
-            Box::new(TridentPolicy::new(TridentConfig {
+        let mut recovered = System::builder(config)
+            .policy_instance(Box::new(TridentPolicy::new(TridentConfig {
                 bloat_recovery: true,
                 ..TridentConfig::full()
-            })),
-            spec,
-        )
-        .expect("launch");
+            })))
+            .workload(spec)
+            .build()
+            .expect("launch");
         // Apply memory pressure so the watermark trips, then settle.
         recovered.apply_memory_pressure(0.06);
         recovered.settle();

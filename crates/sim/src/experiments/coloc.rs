@@ -1,0 +1,193 @@
+//! The co-location grid: three tenants — Redis beside GUPS beside
+//! XSBench — sharing one physical pool under one kernel policy, with and
+//! without cross-tenant fragmentation.
+//!
+//! This is the multi-tenant extension of the paper's evaluation: every
+//! number the single-tenant experiments report machine-wide is reported
+//! here *per tenant* (walk cycles, FMFI, faults), plus the isolation
+//! headline — the per-tick audit must collect zero violations, because
+//! on a shared pool a bookkeeping violation in one tenant's space is an
+//! isolation violation.
+//!
+//! Redis runs weighted (2× promotion-daemon share) with its first giant
+//! region pinned hot, so the grid also exercises the [`PolicyHint`]
+//! surface end to end.
+
+use trident_types::{PageSize, TenantId, Vpn};
+use trident_workloads::WorkloadSpec;
+
+use crate::experiments::common::{f3, row_config, ExpOptions};
+use crate::runner::Runner;
+use crate::{Measurement, PolicyHint, PolicyKind, System, TenantSpec};
+
+/// The tenants of the grid, in tenant order.
+pub const TENANT_WORKLOADS: [&str; 3] = ["Redis", "GUPS", "XSBench"];
+
+/// One tenant's row of one grid cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Policy label.
+    pub config: &'static str,
+    /// Whether memory was fragmented before the tenants loaded.
+    pub fragmented: bool,
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Its workload.
+    pub workload: &'static str,
+    /// Accesses sampled from this tenant.
+    pub samples: usize,
+    /// Page walks among them.
+    pub walks: u64,
+    /// Cycles this tenant spent translating.
+    pub walk_cycles: u64,
+    /// The tenant's 1GB fragmentation experience (fraction of its
+    /// resident bytes not giant-backed).
+    pub fmfi_giant: f64,
+    /// Faults attributed to this tenant.
+    pub faults: u64,
+}
+
+/// The full grid.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Per-tenant rows, cell-major in grid order.
+    pub rows: Vec<Row>,
+    /// Audit violations per cell, in grid order — the isolation check;
+    /// every entry must be 0.
+    pub violations: Vec<(String, u64)>,
+}
+
+impl Result {
+    /// CSV rendering of the per-tenant rows.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "config,fragmented,tenant,workload,samples,walks,walk_cycles,fmfi_giant,faults\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.config,
+                r.fragmented,
+                r.tenant,
+                r.workload,
+                r.samples,
+                r.walks,
+                r.walk_cycles,
+                f3(r.fmfi_giant),
+                r.faults,
+            ));
+        }
+        out
+    }
+
+    /// Total audit violations across the grid (0 on a correct engine).
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.violations.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// One grid cell: the three tenants under `kind`, audited.
+fn run_cell(
+    opts: &ExpOptions,
+    group: u64,
+    kind: PolicyKind,
+    fragmented: bool,
+) -> (Measurement, u64) {
+    let mut config = row_config(opts, group);
+    config.audit = true;
+    if fragmented {
+        config = config.fragmented();
+    }
+    // Redis gets 2× the promotion daemon's attention and pins its first
+    // giant region (its hot keyspace) so the hint surface is exercised
+    // under contention, not just in unit tests.
+    let pin_pages = config.geo.base_pages(PageSize::Giant);
+    let mut system = System::builder(config)
+        .policy(kind)
+        .tenant(
+            TenantSpec::new(WorkloadSpec::by_name("Redis").expect("known workload"))
+                .weight(2)
+                .hint(PolicyHint::new().pin(Vpn::new(0), pin_pages)),
+        )
+        .tenant(TenantSpec::new(
+            WorkloadSpec::by_name("GUPS").expect("known workload"),
+        ))
+        .tenant(TenantSpec::new(
+            WorkloadSpec::by_name("XSBench").expect("known workload"),
+        ))
+        .build()
+        .expect("no reservation in the grid; boot cannot fail");
+    system.settle();
+    let m = system.measure();
+    (m, system.violations().len() as u64)
+}
+
+/// Runs the grid on the parallel runner: {THP, Trident} × {clean,
+/// fragmented}, every cell a 3-tenant machine. Cell results are
+/// bit-identical at any thread count.
+pub fn run(opts: &ExpOptions) -> Result {
+    let kinds = [PolicyKind::Thp, PolicyKind::Trident];
+    let mut cells = Vec::new();
+    let mut group = 0u64;
+    for fragmented in [false, true] {
+        for kind in kinds {
+            cells.push((group, kind, fragmented));
+            group += 1;
+        }
+    }
+    let measured = Runner::new(opts.threads).map(&cells, |_, &(group, kind, fragmented)| {
+        run_cell(opts, group, kind, fragmented)
+    });
+
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    for (&(_, kind, fragmented), (m, v)) in cells.iter().zip(measured) {
+        for t in &m.tenants {
+            rows.push(Row {
+                config: kind.label(),
+                fragmented,
+                tenant: t.tenant,
+                workload: t.workload,
+                samples: t.samples,
+                walks: t.walks,
+                walk_cycles: t.walk_cycles,
+                fmfi_giant: t.fmfi_giant,
+                faults: t.snapshot.total_faults(),
+            });
+        }
+        violations.push((format!("{}/{fragmented}", kind.label()), v));
+    }
+    Result { rows, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_attributes_work_to_every_tenant_with_zero_violations() {
+        let result = run(&ExpOptions::quick());
+        assert_eq!(result.rows.len(), 4 * TENANT_WORKLOADS.len());
+        for row in &result.rows {
+            assert!(row.samples > 0, "{row:?}");
+            assert!((0.0..=1.0).contains(&row.fmfi_giant));
+        }
+        assert_eq!(result.total_violations(), 0, "{:?}", result.violations);
+        let csv = result.to_csv();
+        assert!(csv.contains("Redis") && csv.contains("GUPS") && csv.contains("XSBench"));
+    }
+
+    #[test]
+    fn grid_is_bit_identical_across_thread_counts() {
+        let csv_at = |threads| {
+            let mut opts = ExpOptions::quick();
+            opts.threads = threads;
+            run(&opts).to_csv()
+        };
+        let serial = csv_at(1);
+        assert_eq!(serial, csv_at(4));
+        assert_eq!(serial, csv_at(8));
+    }
+}

@@ -61,7 +61,11 @@ pub fn run(opts: &ExpOptions) -> Result {
     let mut series = Vec::new();
     for name in ["Graph500", "SVM"] {
         let spec = WorkloadSpec::by_name(name).expect("known workload");
-        let system = System::launch(config, PolicyKind::Thp, spec).expect("unfragmented launch");
+        let system = System::builder(config)
+            .policy(PolicyKind::Thp)
+            .workload(spec)
+            .build()
+            .expect("unfragmented launch");
         let points = system
             .mappable_timeline
             .iter()

@@ -102,8 +102,11 @@ pub fn run(opts: &ExpOptions) -> Result {
     for name in ["Graph500", "SVM"] {
         let spec = WorkloadSpec::by_name(name).expect("known workload");
         // 4KB pages per the measurement methodology.
-        let mut system =
-            System::launch(config, PolicyKind::Base, spec).expect("unfragmented launch");
+        let mut system = System::builder(config)
+            .policy(PolicyKind::Base)
+            .workload(spec)
+            .build()
+            .expect("unfragmented launch");
         let m = system.measure();
         let geo = config.geo;
         let giant_chunks: HashSet<u64> = mappable_ranges(system.space(), PageSize::Giant)

@@ -43,7 +43,11 @@ impl Result {
 
 fn copied_bytes(opts: &ExpOptions, kind: PolicyKind, spec: &WorkloadSpec) -> u64 {
     let config = opts.config().fragmented();
-    let mut system = System::launch(config, kind, *spec).expect("trident launch");
+    let mut system = System::builder(config)
+        .policy(kind)
+        .workload(*spec)
+        .build()
+        .expect("trident launch");
     system.settle();
     system.ctx.snapshot().compaction_bytes_copied
 }

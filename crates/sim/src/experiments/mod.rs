@@ -5,6 +5,7 @@
 //! DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
 
 pub mod bloat;
+pub mod coloc;
 mod common;
 pub mod extension;
 pub mod fig1;

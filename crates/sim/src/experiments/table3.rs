@@ -113,7 +113,11 @@ impl TableCell {
             Mechanism::PromotionNormal => PolicyKind::TridentNC,
             Mechanism::PromotionSmart => PolicyKind::Trident,
         };
-        let mut system = System::launch(self.config, kind, self.spec).ok()?;
+        let mut system = System::builder(self.config)
+            .policy(kind)
+            .workload(self.spec)
+            .build()
+            .ok()?;
         system.settle();
         // A few extra settle rounds give promotion a fair shot.
         for _ in 0..4 {

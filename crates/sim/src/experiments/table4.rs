@@ -59,8 +59,11 @@ pub fn run(opts: &ExpOptions) -> Result {
         .map(|(row, spec)| (*spec, row_config(opts, row as u64).fragmented()))
         .collect();
     let measured = Runner::new(opts.threads).map(&cells, |_, (spec, config)| {
-        let mut system =
-            System::launch(*config, PolicyKind::Trident, *spec).expect("trident launch");
+        let mut system = System::builder(*config)
+            .policy(PolicyKind::Trident)
+            .workload(*spec)
+            .build()
+            .expect("trident launch");
         system.settle();
         let snap = system.ctx.snapshot();
         (

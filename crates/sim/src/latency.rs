@@ -88,6 +88,7 @@ mod tests {
             profile: None,
             mapped_bytes: [0; 3],
             miss_by_chunk: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 

@@ -3,11 +3,13 @@
 //! Ties every substrate together into runnable systems:
 //!
 //! * [`System`] — a native machine: physical memory (optionally
-//!   fragmented per the paper's §3 methodology), one workload process, a
-//!   page-size policy, and the Skylake TLB model. Workloads are *loaded*
-//!   (allocation interleaved with first-touch faults and daemon ticks),
-//!   *settled* (daemons run to quiescence) and *measured* (sampled
-//!   accesses drive the TLB).
+//!   fragmented per the paper's §3 methodology), N co-located tenant
+//!   processes on the one pool, a page-size policy, and the Skylake TLB
+//!   model. Boot one with [`System::builder`]. Workloads are *loaded*
+//!   (allocation interleaved with first-touch faults and daemon ticks,
+//!   round-robin across tenants), *settled* (daemons run to quiescence)
+//!   and *measured* (sampled accesses drive the TLB, attributed per
+//!   tenant).
 //! * [`VirtSystem`] — the same under virtualization: a guest kernel with
 //!   its own policy over guest-physical memory, a hypervisor with its own
 //!   policy over host memory, nested walk costs.
@@ -42,5 +44,9 @@ pub use model::{PerfModel, PerfPoint};
 pub use policy::PolicyKind;
 pub use report::RunReport;
 pub use runner::{derive_cell_seed, Cell, Runner, VirtCell};
-pub use system::{Measurement, System};
+pub use system::{Measurement, System, SystemBuilder, TenantMeasurement, TenantSpec};
+// Tenant vocabulary, re-exported so experiment authors need not depend on
+// `trident-core`/`trident-types` directly.
+pub use trident_core::{PinnedRange, PolicyHint};
+pub use trident_types::TenantId;
 pub use virt_system::VirtSystem;

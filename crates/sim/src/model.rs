@@ -163,7 +163,10 @@ impl PerfModel {
             vs.settle();
             vs.measure()
         } else {
-            let mut system = System::launch(base_config, PolicyKind::Base, *spec)
+            let mut system = System::builder(base_config)
+                .policy(PolicyKind::Base)
+                .workload(*spec)
+                .build()
                 .expect("4KB anchor run cannot fail");
             system.settle();
             system.measure()
@@ -243,6 +246,7 @@ mod tests {
             profile: None,
             mapped_bytes: [0; 3],
             miss_by_chunk: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -289,7 +293,11 @@ mod tests {
         let mut lazy = PerfModel::new();
         let hidden = lazy.compute_anchor(&spec, &config);
         // Run the same Base cell explicitly, as the parallel runner does.
-        let mut system = System::launch(config, PolicyKind::Base, spec).unwrap();
+        let mut system = System::builder(config)
+            .policy(PolicyKind::Base)
+            .workload(spec)
+            .build()
+            .unwrap();
         system.settle();
         let m = system.measure();
         let mut primed = PerfModel::new();

@@ -16,7 +16,10 @@ use crate::{Measurement, System};
 /// use trident_workloads::WorkloadSpec;
 ///
 /// let spec = WorkloadSpec::by_name("GUPS").unwrap();
-/// let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+/// let mut system = System::builder(SimConfig::at_scale(64))
+///     .policy(PolicyKind::Trident)
+///     .workload(spec)
+///     .build()?;
 /// system.settle();
 /// let measurement = system.measure();
 /// println!("{}", RunReport::new(&system, &measurement));
@@ -102,6 +105,26 @@ impl fmt::Display for RunReport {
             "bloat: {} pages added, {} recovered",
             m.snapshot.bloat_pages, m.snapshot.bloat_recovered_pages
         )?;
+        // Per-tenant attribution is only worth a section when there is
+        // more than one tenant; single-tenant reports keep their
+        // historical shape.
+        if m.tenants.len() > 1 {
+            writeln!(f, "tenants:")?;
+            for t in &m.tenants {
+                writeln!(
+                    f,
+                    "  {} {:<10} {:>7} samples, {:>6} walks, {:>9} walk cycles, \
+                     FMFI(1GB) {:.3}, {} faults",
+                    t.tenant,
+                    t.workload,
+                    t.samples,
+                    t.walks,
+                    t.walk_cycles,
+                    t.fmfi_giant,
+                    t.snapshot.total_faults(),
+                )?;
+            }
+        }
         write!(
             f,
             "machine: {:.1}% free, FMFI(1GB) = {:.3}, daemon CPU {:.1} ms",
@@ -124,7 +147,11 @@ mod tests {
         config.measure_samples = 2_000;
         config.measure_tick_every = 1_000;
         let spec = WorkloadSpec::by_name("Btree").unwrap();
-        let mut system = System::launch(config, PolicyKind::Trident, spec).unwrap();
+        let mut system = System::builder(config)
+            .policy(PolicyKind::Trident)
+            .workload(spec)
+            .build()
+            .unwrap();
         system.settle();
         let m = system.measure();
         let text = RunReport::new(&system, &m).to_string();

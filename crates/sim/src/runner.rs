@@ -58,7 +58,11 @@ impl Cell {
     /// policy cannot boot (hugetlbfs reservation on fragmented memory).
     #[must_use]
     pub fn measure(&self) -> Option<Measurement> {
-        let mut system = System::launch(self.config, self.kind, self.spec).ok()?;
+        let mut system = System::builder(self.config)
+            .policy(self.kind)
+            .workload(self.spec)
+            .build()
+            .ok()?;
         system.settle();
         Some(system.measure())
     }

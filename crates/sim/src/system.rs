@@ -1,24 +1,62 @@
-//! A native simulated machine running one workload under one policy.
+//! A native simulated machine running N co-located workloads — one per
+//! tenant — on one physical pool under one kernel policy.
+//!
+//! Single-tenant machines are the degenerate case (and stay bit-identical
+//! to the historical single-workload engine); multi-tenant machines
+//! interleave tenant loads on the shared buddy allocator, attribute every
+//! memory-management event to the tenant it was done for, and let each
+//! tenant steer the shared promotion daemon through a
+//! [`PolicyHint`](trident_core::PolicyHint).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use trident_core::{
     Event, FaultInjector, InvariantViolation, MmContext, ObsRecorder, PagePolicy, PolicyError,
-    Recorder, RingTracer, SpaceSet, StatsSnapshot,
+    PolicyHint, Recorder, RingTracer, SpaceSet, StatsSnapshot, TenantPolicy,
 };
 use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
 use trident_prof::{Profile, Profiler};
 use trident_tlb::{TlbHierarchy, TlbOutcome, TranslationEngine, TranslationStats, WalkCostModel};
-use trident_types::{AsId, PageSize, Vpn};
+use trident_types::{AsId, PageSize, TenantId, TridentError, Vpn};
 use trident_vm::{mappable_bytes, AddressSpace};
 use trident_workloads::{AccessSampler, AllocPlan, Layout, WorkloadSpec};
 
 use crate::{DaemonGovernor, PolicyKind, SimConfig};
 
+/// Virtual-page-number offset separating co-located tenants in the shared
+/// TLB (the model has no ASID tagging, so distinct high bits stand in for
+/// it). Tenant 0's offset is zero, preserving single-tenant bit-identity.
+const TENANT_VPN_SALT_SHIFT: u32 = 44;
+
+/// What one tenant experienced during the measurement phase.
+#[derive(Debug, Clone)]
+pub struct TenantMeasurement {
+    /// The tenant these numbers belong to.
+    pub tenant: TenantId,
+    /// This tenant's workload name.
+    pub workload: &'static str,
+    /// Accesses sampled from this tenant.
+    pub samples: usize,
+    /// TLB-miss page walks among them.
+    pub walks: u64,
+    /// Cycles this tenant spent translating (walks + L2-hit latency).
+    pub walk_cycles: u64,
+    /// Snapshot of the MM events attributed to this tenant (cumulative
+    /// since boot).
+    pub snapshot: StatsSnapshot,
+    /// Bytes this tenant has mapped at each page size.
+    pub mapped_bytes: [u64; 3],
+    /// The tenant's fragmentation experience: the fraction of its
+    /// resident bytes *not* backed by 1GB mappings (0.0 when everything
+    /// giant-backed, 1.0 when nothing is). The machine-wide FMFI is a
+    /// pool property; this is the per-tenant projection of it.
+    pub fmfi_giant: f64,
+}
+
 /// What one measurement phase observed.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Sampled accesses.
+    /// Sampled accesses (across all tenants).
     pub samples: usize,
     /// TLB-miss page walks among them.
     pub walks: u64,
@@ -26,8 +64,8 @@ pub struct Measurement {
     pub walk_cycles: u64,
     /// Full TLB statistics.
     pub tlb: TranslationStats,
-    /// Snapshot of the MM statistics at measurement end (cumulative
-    /// since boot).
+    /// Snapshot of the pooled MM statistics at measurement end
+    /// (cumulative since boot).
     pub snapshot: StatsSnapshot,
     /// Events recorded since tracing started (empty unless the config
     /// enables a trace capacity); drained from the ring at measurement
@@ -40,10 +78,17 @@ pub struct Measurement {
     /// the config enables profiling. Boxed: a profile is several KB and
     /// most measurements carry none.
     pub profile: Option<Box<Profile>>,
-    /// Bytes mapped by each page size at measurement end.
+    /// Bytes mapped by each page size at measurement end, summed over
+    /// every tenant.
     pub mapped_bytes: [u64; 3],
-    /// Page-walk counts per giant-aligned virtual chunk (Figure 4).
+    /// Page-walk counts per giant-aligned virtual chunk of tenant 0's
+    /// address space (Figure 4).
     pub miss_by_chunk: Vec<(u64, u64)>,
+    /// Per-tenant breakdown, in tenant order. One entry per tenant; the
+    /// per-tenant `samples`/`walks`/`walk_cycles` sum to the pooled
+    /// fields above, and each snapshot holds only the events attributed
+    /// to that tenant.
+    pub tenants: Vec<TenantMeasurement>,
 }
 
 struct LoadedWorkload {
@@ -51,71 +96,206 @@ struct LoadedWorkload {
     sampler: AccessSampler,
 }
 
-/// A native machine: physical memory, one workload process, one policy,
-/// and the (scaled) Skylake TLB.
+/// One co-located tenant's runtime state: its address space id, its
+/// workload sampler, and its own RNG stream (tenant 0 owns the machine
+/// RNG; later tenants get derived streams, so adding a tenant never
+/// perturbs an earlier tenant's sequence).
+struct Tenant {
+    id: TenantId,
+    asid: AsId,
+    workload: LoadedWorkload,
+    rng: SmallRng,
+    touched: u64,
+    vpn_salt: u64,
+}
+
+/// Launch-time description of one tenant: its workload plus the
+/// scheduling parameters and [`PolicyHint`] registered with the engine.
+///
+/// # Examples
+///
+/// ```
+/// use trident_sim::TenantSpec;
+/// use trident_workloads::WorkloadSpec;
+///
+/// let spec = TenantSpec::new(WorkloadSpec::by_name("Redis").unwrap())
+///     .weight(2)
+///     .chunk_budget(4);
+/// assert_eq!(spec.weight, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The workload this tenant runs.
+    pub workload: WorkloadSpec,
+    /// Weighted-round-robin share of the promotion daemon (≥ 1).
+    pub weight: u32,
+    /// Per-tick promotion-budget override (`None` = daemon default).
+    pub chunk_budget: Option<usize>,
+    /// Promotion guidance the tenant supplies.
+    pub hint: PolicyHint,
+}
+
+impl TenantSpec {
+    /// A neutral tenant: weight 1, default budget, no hints.
+    #[must_use]
+    pub fn new(workload: WorkloadSpec) -> TenantSpec {
+        TenantSpec {
+            workload,
+            weight: 1,
+            chunk_budget: None,
+            hint: PolicyHint::new(),
+        }
+    }
+
+    /// Sets the fairness weight.
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Overrides the per-tick promotion budget.
+    #[must_use]
+    pub fn chunk_budget(mut self, budget: usize) -> TenantSpec {
+        self.chunk_budget = Some(budget);
+        self
+    }
+
+    /// Installs promotion guidance.
+    #[must_use]
+    pub fn hint(mut self, hint: PolicyHint) -> TenantSpec {
+        self.hint = hint;
+        self
+    }
+}
+
+/// Builds a [`System`]: the one way to boot a machine.
+///
+/// Replaces the old `launch`/`launch_recording`/`launch_with` triad with
+/// chained setters; [`build`](SystemBuilder::build) validates the whole
+/// description before booting.
 ///
 /// # Examples
 ///
 /// ```no_run
-/// use trident_sim::{PolicyKind, SimConfig, System};
+/// use trident_sim::{PolicyKind, SimConfig, System, TenantSpec};
 /// use trident_workloads::WorkloadSpec;
 ///
-/// let spec = WorkloadSpec::by_name("GUPS").unwrap();
-/// let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+/// // Single tenant — the common case:
+/// let mut system = System::builder(SimConfig::at_scale(64))
+///     .policy(PolicyKind::Trident)
+///     .workload(WorkloadSpec::by_name("GUPS").unwrap())
+///     .build()?;
 /// system.settle();
 /// let m = system.measure();
 /// println!("walk cycles: {}", m.walk_cycles);
+///
+/// // Co-location — three tenants on one pool:
+/// let mut cell = System::builder(SimConfig::at_scale(64))
+///     .policy(PolicyKind::Trident)
+///     .tenant(TenantSpec::new(WorkloadSpec::by_name("Redis").unwrap()).weight(2))
+///     .tenant(TenantSpec::new(WorkloadSpec::by_name("GUPS").unwrap()))
+///     .tenant(TenantSpec::new(WorkloadSpec::by_name("XSBench").unwrap()))
+///     .build()?;
+/// cell.settle();
+/// for t in &cell.measure().tenants {
+///     println!("{}: {} walk cycles", t.tenant, t.walk_cycles);
+/// }
 /// # Ok::<(), trident_phys::PhysMemError>(())
 /// ```
-pub struct System {
-    /// The configuration this system was launched with.
-    pub config: SimConfig,
-    /// Memory-management state.
-    pub ctx: MmContext,
-    /// Process address spaces (one workload process).
-    pub spaces: SpaceSet,
-    policy: Box<dyn PagePolicy>,
-    engine: TranslationEngine,
-    rng: SmallRng,
-    governor: DaemonGovernor,
-    fragmenter: Option<Fragmenter>,
-    workload: LoadedWorkload,
-    asid: AsId,
-    touched: u64,
-    /// (2MB-mappable bytes, 1GB-mappable bytes) sampled after each
-    /// allocation step — Figure 3's timeline.
-    pub mappable_timeline: Vec<(u64, u64)>,
-    /// Invariant violations collected by the per-tick audit (empty unless
-    /// `config.audit` is set — and expected to stay empty even under
-    /// fault injection; anything here is a bug).
-    violations: Vec<InvariantViolation>,
+pub struct SystemBuilder {
+    config: SimConfig,
+    kind: Option<PolicyKind>,
+    policy: Option<Box<dyn PagePolicy>>,
+    recorder: Option<ObsRecorder>,
+    tenants: Vec<TenantSpec>,
 }
 
-impl std::fmt::Debug for System {
+impl std::fmt::Debug for SystemBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("System")
-            .field("policy", &self.policy.name())
-            .field("workload", &self.workload.spec.name)
+        f.debug_struct("SystemBuilder")
+            .field("kind", &self.kind)
+            .field("tenants", &self.tenants.len())
             .finish()
     }
 }
 
-impl System {
-    /// Boots a machine, optionally fragments it, builds the policy
+impl SystemBuilder {
+    /// Selects the kernel policy by kind.
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Installs a caller-constructed policy — for configurations outside
+    /// the standard [`PolicyKind`] set (e.g. Trident with bloat recovery
+    /// enabled). Mutually exclusive with [`policy`](Self::policy).
+    #[must_use]
+    pub fn policy_instance(mut self, policy: Box<dyn PagePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Adds a neutral tenant running `spec` — shorthand for
+    /// `.tenant(TenantSpec::new(spec))`.
+    #[must_use]
+    pub fn workload(self, spec: WorkloadSpec) -> Self {
+        self.tenant(TenantSpec::new(spec))
+    }
+
+    /// Adds a tenant. Tenants are numbered in insertion order: the first
+    /// becomes tenant 0 (whose view legacy accessors like
+    /// [`System::space`] expose).
+    #[must_use]
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Installs a caller-supplied recorder *before* the load phase, so
+    /// load-time events are captured too — the hook `--trace-out` uses to
+    /// stream a run's full event stream to disk instead of buffering it
+    /// in a ring. Overrides whatever `config.trace_capacity` and
+    /// `config.profile` would have installed.
+    #[must_use]
+    pub fn recorder(mut self, recorder: ObsRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Validates the description and boots the machine: fragments memory
+    /// if configured, registers the tenant directory, builds the policy
     /// (hugetlbfs variants reserve their pool here — failing on
-    /// fragmented memory exactly as the paper reports), loads the
-    /// workload with faults interleaved with allocation, and returns the
-    /// ready system.
+    /// fragmented memory exactly as the paper reports), and loads every
+    /// tenant with faults interleaved with allocation.
     ///
     /// # Errors
     ///
-    /// Returns the allocation error when a hugetlbfs reservation cannot
-    /// be satisfied.
-    pub fn launch(
-        config: SimConfig,
-        kind: PolicyKind,
-        spec: WorkloadSpec,
-    ) -> Result<System, PhysMemError> {
+    /// [`TridentError::InvalidConfig`] when no tenant or no policy was
+    /// given, both a [`PolicyKind`] and a policy instance were given, or
+    /// a tenant's budget override is zero; otherwise the allocation error
+    /// when a hugetlbfs reservation cannot be satisfied.
+    pub fn build(self) -> Result<System, PhysMemError> {
+        if self.tenants.is_empty() {
+            return Err(TridentError::InvalidConfig {
+                field: "tenants",
+                reason: "at least one tenant (or workload) is required",
+            });
+        }
+        if self.kind.is_some() && self.policy.is_some() {
+            return Err(TridentError::InvalidConfig {
+                field: "policy",
+                reason: "policy kind and policy instance are mutually exclusive",
+            });
+        }
+        if self.tenants.iter().any(|t| t.chunk_budget == Some(0)) {
+            return Err(TridentError::InvalidConfig {
+                field: "chunk_budget",
+                reason: "a tenant budget override must be nonzero",
+            });
+        }
+        let config = self.config;
         let geo = config.geo;
         let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
         let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -124,80 +304,76 @@ impl System {
             f.run(&mut ctx.mem, &mut rng);
             f
         });
-        let workload_pages = geo
-            .pages_for_bytes(config.scale.apply(spec.footprint_bytes))
-            .max(1);
-        let policy = kind.build(&mut ctx, workload_pages)?;
-        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, None)
-    }
 
-    /// Like [`System::launch`] but with a caller-supplied recorder
-    /// installed *before* the load phase, so load-time events are
-    /// captured too — the hook `--trace-out` uses to stream a run's
-    /// full event stream to disk instead of buffering it in a ring.
-    ///
-    /// The supplied recorder overrides whatever `config.trace_capacity`
-    /// and `config.profile` would have installed.
-    ///
-    /// # Errors
-    ///
-    /// Returns the allocation error when a hugetlbfs reservation cannot
-    /// be satisfied.
-    pub fn launch_recording(
-        config: SimConfig,
-        kind: PolicyKind,
-        spec: WorkloadSpec,
-        recorder: ObsRecorder,
-    ) -> Result<System, PhysMemError> {
-        let geo = config.geo;
-        let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let fragmenter = config.fragment.map(|profile| {
-            let mut f = Fragmenter::new(profile);
-            f.run(&mut ctx.mem, &mut rng);
-            f
-        });
-        let workload_pages = geo
-            .pages_for_bytes(config.scale.apply(spec.footprint_bytes))
-            .max(1);
-        let policy = kind.build(&mut ctx, workload_pages)?;
-        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, Some(recorder))
-    }
+        // Register who owns what before anything records or promotes, and
+        // open attribution on tenant 0 while the recorder is still the
+        // no-op (so no scope marker lands in single-tenant traces). From
+        // here on the scope is always some tenant, which is what makes
+        // per-tenant snapshots sum to the pooled totals.
+        let mut spaces = SpaceSet::new();
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for (i, spec) in self.tenants.iter().enumerate() {
+            let id = TenantId::new(u32::try_from(i).expect("tenant count fits u32"));
+            let asid = AsId::new(u32::try_from(i + 1).expect("tenant count fits u32"));
+            ctx.tenants.register(
+                asid,
+                TenantPolicy {
+                    tenant: id,
+                    weight: spec.weight,
+                    chunk_budget: spec.chunk_budget,
+                    hint: spec.hint.clone(),
+                },
+            );
+            spaces.insert(AddressSpace::new(asid, geo));
+            tenants.push(Tenant {
+                id,
+                asid,
+                workload: LoadedWorkload {
+                    spec: spec.workload,
+                    // Placeholder sampler; replaced after load.
+                    sampler: AccessSampler::new(
+                        spec.workload,
+                        Layout::from_ranges(vec![trident_workloads::ChunkRange {
+                            start: Vpn::new(0),
+                            pages: 1,
+                        }]),
+                    ),
+                },
+                // Tenant 0 takes over the machine RNG (continuing the
+                // fragmenter's stream, exactly as the single-workload
+                // engine did); later tenants get derived streams.
+                rng: SmallRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64)),
+                ),
+                touched: 0,
+                vpn_salt: (i as u64) << TENANT_VPN_SALT_SHIFT,
+            });
+        }
+        tenants[0].rng = rng;
+        ctx.set_tenant_scope(Some(TenantId::new(0)));
 
-    /// Like [`System::launch`] but with a caller-constructed policy —
-    /// for configurations outside the standard [`PolicyKind`] set (e.g.
-    /// Trident with bloat recovery enabled).
-    ///
-    /// # Errors
-    ///
-    /// Currently infallible in practice; kept fallible for symmetry.
-    pub fn launch_with(
-        config: SimConfig,
-        policy: Box<dyn PagePolicy>,
-        spec: WorkloadSpec,
-    ) -> Result<System, PhysMemError> {
-        let geo = config.geo;
-        let mut ctx = MmContext::new(PhysicalMemory::new(geo, config.host_pages()));
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-        let fragmenter = config.fragment.map(|profile| {
-            let mut f = Fragmenter::new(profile);
-            f.run(&mut ctx.mem, &mut rng);
-            f
-        });
-        Self::finish_launch(config, ctx, rng, fragmenter, policy, spec, None)
-    }
+        let workload_pages: u64 = self
+            .tenants
+            .iter()
+            .map(|t| {
+                geo.pages_for_bytes(config.scale.apply(t.workload.footprint_bytes))
+                    .max(1)
+            })
+            .sum();
+        let policy = match self.policy {
+            Some(policy) => policy,
+            None => {
+                let kind = self.kind.ok_or(TridentError::InvalidConfig {
+                    field: "policy",
+                    reason: "a policy kind or policy instance is required",
+                })?;
+                kind.build(&mut ctx, workload_pages)?
+            }
+        };
 
-    fn finish_launch(
-        config: SimConfig,
-        mut ctx: MmContext,
-        rng: SmallRng,
-        fragmenter: Option<Fragmenter>,
-        policy: Box<dyn PagePolicy>,
-        spec: WorkloadSpec,
-        recorder_override: Option<ObsRecorder>,
-    ) -> Result<System, PhysMemError> {
-        let geo = config.geo;
-        ctx.recorder = match recorder_override {
+        ctx.recorder = match self.recorder {
             Some(recorder) => recorder,
             None => {
                 let inner = match config.trace_capacity {
@@ -218,9 +394,6 @@ impl System {
         }
         let engine =
             TranslationEngine::new(TlbHierarchy::with_geometry(geo), WalkCostModel::default());
-        let asid = AsId::new(1);
-        let mut spaces = SpaceSet::new();
-        spaces.insert(AddressSpace::new(asid, geo));
         let mut system = System {
             governor: DaemonGovernor::new(config.daemon_cap, config.tick_interval_app_ns),
             config,
@@ -228,26 +401,70 @@ impl System {
             spaces,
             policy,
             engine,
-            rng,
             fragmenter,
-            workload: LoadedWorkload {
-                spec,
-                // Placeholder sampler; replaced after load.
-                sampler: AccessSampler::new(
-                    spec,
-                    Layout::from_ranges(vec![trident_workloads::ChunkRange {
-                        start: Vpn::new(0),
-                        pages: 1,
-                    }]),
-                ),
-            },
-            asid,
+            tenants,
             touched: 0,
             mappable_timeline: Vec::new(),
             violations: Vec::new(),
         };
-        system.load(spec);
+        system.load_all();
         Ok(system)
+    }
+}
+
+/// A native machine: one physical pool, N tenant processes, one kernel
+/// policy, and the (scaled) Skylake TLB. Boot one with
+/// [`System::builder`].
+pub struct System {
+    /// The configuration this system was launched with.
+    pub config: SimConfig,
+    /// Memory-management state.
+    pub ctx: MmContext,
+    /// Process address spaces (one per tenant).
+    pub spaces: SpaceSet,
+    policy: Box<dyn PagePolicy>,
+    engine: TranslationEngine,
+    governor: DaemonGovernor,
+    fragmenter: Option<Fragmenter>,
+    tenants: Vec<Tenant>,
+    touched: u64,
+    /// (2MB-mappable bytes, 1GB-mappable bytes) of tenant 0's space,
+    /// sampled after each of its allocation steps — Figure 3's timeline.
+    pub mappable_timeline: Vec<(u64, u64)>,
+    /// Invariant violations collected by the per-tick audit (empty unless
+    /// `config.audit` is set — and expected to stay empty even under
+    /// fault injection; anything here is a bug).
+    violations: Vec<InvariantViolation>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("policy", &self.policy.name())
+            .field(
+                "workloads",
+                &self
+                    .tenants
+                    .iter()
+                    .map(|t| t.workload.spec.name)
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl System {
+    /// Starts describing a machine; finish with
+    /// [`SystemBuilder::build`].
+    #[must_use]
+    pub fn builder(config: SimConfig) -> SystemBuilder {
+        SystemBuilder {
+            config,
+            kind: None,
+            policy: None,
+            recorder: None,
+            tenants: Vec::new(),
+        }
     }
 
     /// The policy's display name.
@@ -256,50 +473,103 @@ impl System {
         self.policy.name()
     }
 
-    /// The loaded workload.
+    /// Tenant 0's workload.
     #[must_use]
     pub fn workload(&self) -> &WorkloadSpec {
-        &self.workload.spec
+        &self.tenants[0].workload.spec
     }
 
-    /// Executes the allocation plan with first-touch faults interleaved —
-    /// how real applications populate memory — running daemon ticks
-    /// along the way and recording the Figure 3 mappability timeline.
-    fn load(&mut self, spec: WorkloadSpec) {
+    /// Number of co-located tenants.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The registered tenant ids, in order.
+    #[must_use]
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|t| t.id).collect()
+    }
+
+    /// Executes every tenant's allocation plan with first-touch faults
+    /// interleaved — both within a tenant (how real applications populate
+    /// memory) and *across* tenants (how co-located processes interleave
+    /// on the shared pool) — running daemon ticks along the way and
+    /// recording the Figure 3 mappability timeline for tenant 0.
+    fn load_all(&mut self) {
         let geo = self.config.geo;
-        let plan = spec.plan(geo, self.config.scale, &mut self.rng);
-        let mut ranges = Vec::with_capacity(plan.steps.len());
-        // Arena allocators reserve virtual memory ahead of first touch:
+        struct TenantLoad {
+            plan: AllocPlan,
+            next_step: usize,
+            ranges: Vec<trident_workloads::ChunkRange>,
+            pending: std::collections::VecDeque<trident_workloads::ChunkRange>,
+        }
+        // Plans are drawn per tenant from that tenant's own RNG stream,
+        // in tenant order, so a tenant's plan never depends on who else
+        // is on the machine.
+        let mut loads: Vec<TenantLoad> = self
+            .tenants
+            .iter_mut()
+            .map(|t| {
+                let plan = t.workload.spec.plan(geo, self.config.scale, &mut t.rng);
+                let steps = plan.steps.len();
+                TenantLoad {
+                    plan,
+                    next_step: 0,
+                    ranges: Vec::with_capacity(steps),
+                    pending: std::collections::VecDeque::new(),
+                }
+            })
+            .collect();
+        // Round-robin one allocation step per tenant per round. Arena
+        // allocators reserve virtual memory ahead of first touch:
         // touching trails allocation by `alloc_touch_lag` steps, which is
         // what lets the fault handler see 1GB-mappable ranges even for
         // incremental allocators (Table 4's fault-time attempts).
-        let lag = spec.alloc_touch_lag as usize;
-        let mut pending = std::collections::VecDeque::new();
-        for step in &plan.steps {
-            let range = {
-                let space = self.spaces.get_mut(self.asid).expect("workload space");
-                AllocPlan::execute_step(space, step)
-            };
-            ranges.push(range);
-            pending.push_back(range);
-            if pending.len() > lag {
-                let due: trident_workloads::ChunkRange = pending.pop_front().expect("just checked");
-                self.touch_range(&spec, due);
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (i, load) in loads.iter_mut().enumerate() {
+                let Some(step) = load.plan.steps.get(load.next_step) else {
+                    continue;
+                };
+                progressed = true;
+                load.next_step += 1;
+                self.ctx.set_tenant_scope(Some(self.tenants[i].id));
+                let range = {
+                    let space = self
+                        .spaces
+                        .get_mut(self.tenants[i].asid)
+                        .expect("tenant space");
+                    AllocPlan::execute_step(space, step)
+                };
+                load.ranges.push(range);
+                load.pending.push_back(range);
+                let lag = self.tenants[i].workload.spec.alloc_touch_lag as usize;
+                if load.pending.len() > lag {
+                    let due = load.pending.pop_front().expect("just checked");
+                    self.touch_range(i, due);
+                }
+                if i == 0 {
+                    let space = self.spaces.get(self.tenants[0].asid).expect("tenant space");
+                    self.mappable_timeline.push((
+                        mappable_bytes(space, PageSize::Huge),
+                        mappable_bytes(space, PageSize::Giant),
+                    ));
+                }
             }
-            let space = self.spaces.get(self.asid).expect("workload space");
-            self.mappable_timeline.push((
-                mappable_bytes(space, PageSize::Huge),
-                mappable_bytes(space, PageSize::Giant),
-            ));
         }
-        while let Some(due) = pending.pop_front() {
-            self.touch_range(&spec, due);
+        for (i, load) in loads.iter_mut().enumerate() {
+            self.ctx.set_tenant_scope(Some(self.tenants[i].id));
+            while let Some(due) = load.pending.pop_front() {
+                self.touch_range(i, due);
+            }
         }
-        let layout = Layout::from_ranges(ranges);
-        self.workload = LoadedWorkload {
-            spec,
-            sampler: AccessSampler::new(spec, layout),
-        };
+        for (t, load) in self.tenants.iter_mut().zip(loads) {
+            let layout = Layout::from_ranges(load.ranges);
+            t.workload.sampler = AccessSampler::new(t.workload.spec, layout);
+        }
+        self.ctx.set_tenant_scope(Some(self.tenants[0].id));
     }
 
     /// Touches the portion of a chunk the application actually uses
@@ -308,25 +578,29 @@ impl System {
     /// allocation chunks are touched all-or-none (a slab either holds
     /// objects or sits empty), which is what lets 1GB promotion back
     /// memory THP never would.
-    fn touch_range(&mut self, spec: &WorkloadSpec, range: trident_workloads::ChunkRange) {
+    fn touch_range(&mut self, tenant_idx: usize, range: trident_workloads::ChunkRange) {
         use rand::Rng;
         let geo = self.config.geo;
+        let tenant = &mut self.tenants[tenant_idx];
+        let spec = tenant.workload.spec;
         let touched = if range.pages >= geo.base_pages(PageSize::Giant) {
             ((range.pages as f64) * spec.touch_fraction).ceil() as u64
-        } else if spec.touch_fraction >= 1.0 || self.rng.gen_bool(spec.touch_fraction) {
+        } else if spec.touch_fraction >= 1.0 || tenant.rng.gen_bool(spec.touch_fraction) {
             range.pages
         } else {
             0
         };
         for i in 0..touched.min(range.pages) {
-            self.touch_populate(range.start + i);
+            self.touch_populate(tenant_idx, range.start + i);
         }
     }
 
     /// First-touch of one page: fault it in if unmapped, reclaiming page
     /// cache under memory pressure (kswapd's job), and run a governed
-    /// daemon tick every `tick_interval_pages` touches.
-    fn touch_populate(&mut self, vpn: Vpn) {
+    /// daemon tick every `tick_interval_pages` touches (machine-wide —
+    /// the daemons do not know which tenant's touch tripped the
+    /// interval).
+    fn touch_populate(&mut self, tenant_idx: usize, vpn: Vpn) {
         // Keep a small free reserve like kswapd does, so allocations
         // don't hit hard OOM while the page cache holds reclaimable
         // memory.
@@ -335,7 +609,8 @@ impl System {
                 f.reclaim(&mut self.ctx.mem, 1 << 15);
             }
         }
-        let space = self.spaces.get_mut(self.asid).expect("workload space");
+        let asid = self.tenants[tenant_idx].asid;
+        let space = self.spaces.get_mut(asid).expect("tenant space");
         if space.page_table().translate(vpn).is_none() {
             match self.policy.on_fault(&mut self.ctx, space, vpn) {
                 Ok(_) => {}
@@ -345,7 +620,7 @@ impl System {
                         .as_mut()
                         .expect("OOM can only happen with a resident page cache");
                     f.reclaim(&mut self.ctx.mem, 1 << 16);
-                    let space = self.spaces.get_mut(self.asid).expect("workload space");
+                    let space = self.spaces.get_mut(asid).expect("tenant space");
                     self.policy
                         .on_fault(&mut self.ctx, space, vpn)
                         .expect("fault succeeds after reclaim");
@@ -353,6 +628,7 @@ impl System {
                 Err(e) => panic!("populate fault failed: {e}"),
             }
         }
+        self.tenants[tenant_idx].touched += 1;
         self.touched += 1;
         if self.touched.is_multiple_of(self.config.tick_interval_pages) {
             self.tick();
@@ -382,10 +658,18 @@ impl System {
 
     /// Invariant violations collected by the per-tick audit; always empty
     /// unless the config enables `audit`. A graceful system keeps this
-    /// empty even under fault injection.
+    /// empty even under fault injection — in a co-location cell, a
+    /// violation here is an isolation violation.
     #[must_use]
     pub fn violations(&self) -> &[InvariantViolation] {
         &self.violations
+    }
+
+    /// Audit violations bucketed by the tenant whose space they landed
+    /// in; machine-wide (buddy/region) violations land under `None`.
+    #[must_use]
+    pub fn violations_by_tenant(&self) -> Vec<(Option<TenantId>, u64)> {
+        trident_core::violations_by_tenant(&self.ctx.tenants, &self.violations)
     }
 
     /// The current fragmentation/contiguity gauge: 1GB FMFI in
@@ -423,20 +707,31 @@ impl System {
         }
     }
 
-    /// Samples accesses through the page tables and the TLB, with daemon
-    /// ticks interleaved; returns the measurement. A warm-up of 10% of
-    /// the samples primes the TLB before counting starts.
+    /// Samples accesses through the page tables and the TLB — round-robin
+    /// over the tenants — with daemon ticks interleaved; returns the
+    /// measurement. A warm-up of 10% of the samples primes the TLB before
+    /// counting starts.
     pub fn measure(&mut self) -> Measurement {
+        let n = self.tenants.len();
         let warmup = self.config.measure_samples / 10;
-        for _ in 0..warmup {
-            self.measured_access(None);
+        for i in 0..warmup {
+            self.measured_access(i % n, None);
         }
         self.engine.reset_stats();
         // Dense per-giant-chunk miss counters (chunk indexes are small and
         // contiguous); folded into sorted pairs once at the end.
         let mut miss_by_chunk: Vec<u64> = Vec::new();
+        let mut per_samples = vec![0usize; n];
+        let mut per_walks = vec![0u64; n];
+        let mut per_cycles = vec![0u64; n];
         for i in 0..self.config.measure_samples {
-            self.measured_access(Some(&mut miss_by_chunk));
+            let idx = i % n;
+            let result = self.measured_access(idx, Some(&mut miss_by_chunk));
+            per_samples[idx] += 1;
+            per_cycles[idx] += result.cycles;
+            if result.outcome == TlbOutcome::Miss {
+                per_walks[idx] += 1;
+            }
             if (i + 1) % self.config.measure_tick_every == 0 {
                 let out = self.tick();
                 if out.promotions > 0 {
@@ -458,7 +753,38 @@ impl System {
             .recorder
             .custom_mut::<Profiler>()
             .map(|p| Box::new(p.finish_profile()));
-        let space = self.spaces.get(self.asid).expect("workload space");
+        let mut mapped_bytes = [0u64; 3];
+        let tenants: Vec<TenantMeasurement> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let space = self.spaces.get(t.asid).expect("tenant space");
+                let mapped = [
+                    space.page_table().mapped_bytes(PageSize::Base),
+                    space.page_table().mapped_bytes(PageSize::Huge),
+                    space.page_table().mapped_bytes(PageSize::Giant),
+                ];
+                for (total, bytes) in mapped_bytes.iter_mut().zip(mapped) {
+                    *total += bytes;
+                }
+                let resident: u64 = mapped.iter().sum();
+                TenantMeasurement {
+                    tenant: t.id,
+                    workload: t.workload.spec.name,
+                    samples: per_samples[i],
+                    walks: per_walks[i],
+                    walk_cycles: per_cycles[i],
+                    snapshot: self.ctx.tenant_snapshot(t.id),
+                    mapped_bytes: mapped,
+                    fmfi_giant: if resident == 0 {
+                        0.0
+                    } else {
+                        1.0 - (mapped[2] as f64 / resident as f64)
+                    },
+                }
+            })
+            .collect();
         Measurement {
             samples: self.config.measure_samples,
             walks: tlb.total_walks(),
@@ -468,23 +794,27 @@ impl System {
             trace,
             trace_dropped,
             profile,
-            mapped_bytes: [
-                space.page_table().mapped_bytes(PageSize::Base),
-                space.page_table().mapped_bytes(PageSize::Huge),
-                space.page_table().mapped_bytes(PageSize::Giant),
-            ],
+            mapped_bytes,
             miss_by_chunk: miss_by_chunk
                 .iter()
                 .enumerate()
                 .filter(|(_, &n)| n != 0)
                 .map(|(chunk, &n)| (chunk as u64, n))
                 .collect(),
+            tenants,
         }
     }
 
-    fn measured_access(&mut self, miss_by_chunk: Option<&mut Vec<u64>>) {
-        let access = self.workload.sampler.sample(&mut self.rng);
-        let space = self.spaces.get_mut(self.asid).expect("workload space");
+    fn measured_access(
+        &mut self,
+        tenant_idx: usize,
+        miss_by_chunk: Option<&mut Vec<u64>>,
+    ) -> trident_tlb::AccessResult {
+        let tenant = &mut self.tenants[tenant_idx];
+        let access = tenant.workload.sampler.sample(&mut tenant.rng);
+        let (asid, salt, id) = (tenant.asid, tenant.vpn_salt, tenant.id);
+        self.ctx.set_tenant_scope(Some(id));
+        let space = self.spaces.get_mut(asid).expect("tenant space");
         let translation = match space.page_table_mut().access(access.vpn, access.write) {
             Some(t) => t,
             None => {
@@ -492,17 +822,21 @@ impl System {
                 self.policy
                     .on_fault(&mut self.ctx, space, access.vpn)
                     .expect("measurement fault");
-                let space = self.spaces.get_mut(self.asid).expect("workload space");
+                let space = self.spaces.get_mut(asid).expect("tenant space");
                 space
                     .page_table_mut()
                     .access(access.vpn, access.write)
                     .expect("fault installed a mapping")
             }
         };
-        let result =
-            self.engine
-                .translate_rec(access.vpn, translation.size, &mut self.ctx.recorder);
-        if result.outcome == TlbOutcome::Miss {
+        // The shared TLB keys on the salted VPN, standing in for ASID
+        // tagging (tenant 0's salt is zero).
+        let result = self.engine.translate_rec(
+            Vpn::new(access.vpn.raw() + salt),
+            translation.size,
+            &mut self.ctx.recorder,
+        );
+        if result.outcome == TlbOutcome::Miss && tenant_idx == 0 {
             if let Some(counts) = miss_by_chunk {
                 let chunk = self.config.geo.giant_region_of(access.vpn.raw()) as usize;
                 if chunk >= counts.len() {
@@ -511,22 +845,19 @@ impl System {
                 counts[chunk] += 1;
             }
         }
+        result
     }
 
-    /// Bytes currently mapped at `size` in the workload's address space.
+    /// Bytes currently mapped at `size` in tenant 0's address space.
     #[must_use]
     pub fn mapped_bytes(&self, size: PageSize) -> u64 {
-        self.spaces
-            .get(self.asid)
-            .expect("workload space")
-            .page_table()
-            .mapped_bytes(size)
+        self.space().page_table().mapped_bytes(size)
     }
 
-    /// Base pages the workload has actually touched (first-touch count
-    /// from the load phase). `resident - touched` is the §7 memory bloat,
-    /// and `touched` is the floor that HawkEye-style zero-page
-    /// deduplication can recover to.
+    /// Base pages the tenants have actually touched (first-touch count
+    /// from the load phase, machine-wide). `resident - touched` is the §7
+    /// memory bloat, and `touched` is the floor that HawkEye-style
+    /// zero-page deduplication can recover to.
     #[must_use]
     pub fn touched_pages(&self) -> u64 {
         self.touched
@@ -547,15 +878,23 @@ impl System {
         }
     }
 
-    /// The workload's address space.
+    /// Tenant 0's address space — the legacy single-tenant view.
     #[must_use]
     pub fn space(&self) -> &AddressSpace {
-        self.spaces.get(self.asid).expect("workload space")
+        self.spaces.get(self.tenants[0].asid).expect("tenant space")
     }
 
-    /// Mutable access to the RNG (experiments draw auxiliary randomness).
+    /// One tenant's address space, or `None` for an unknown tenant.
+    #[must_use]
+    pub fn tenant_space(&self, tenant: TenantId) -> Option<&AddressSpace> {
+        let t = self.tenants.get(tenant.raw() as usize)?;
+        self.spaces.get(t.asid)
+    }
+
+    /// Mutable access to tenant 0's RNG (experiments draw auxiliary
+    /// randomness).
     pub fn rng_mut(&mut self) -> &mut SmallRng {
-        &mut self.rng
+        &mut self.tenants[0].rng
     }
 }
 
@@ -571,10 +910,18 @@ mod tests {
         c
     }
 
+    fn launch(config: SimConfig, kind: PolicyKind, spec: WorkloadSpec) -> System {
+        System::builder(config)
+            .policy(kind)
+            .workload(spec)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn bulk_workload_under_trident_gets_giant_pages_at_fault() {
         let spec = WorkloadSpec::by_name("GUPS").unwrap();
-        let sys = System::launch(quick_config(), PolicyKind::Trident, spec).unwrap();
+        let sys = launch(quick_config(), PolicyKind::Trident, spec);
         // 32GB/256 = 128MB heap: at least some giant mappings (scaled
         // giant pages are 1GB... at scale 256 the heap is 32768 pages,
         // which is smaller than a giant page) — so expect huge pages
@@ -586,7 +933,7 @@ mod tests {
     #[test]
     fn thp_never_produces_giant_mappings() {
         let spec = WorkloadSpec::by_name("GUPS").unwrap();
-        let mut sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        let mut sys = launch(quick_config(), PolicyKind::Thp, spec);
         sys.settle();
         assert_eq!(sys.mapped_bytes(PageSize::Giant), 0);
         assert!(sys.mapped_bytes(PageSize::Huge) > 0);
@@ -595,7 +942,7 @@ mod tests {
     #[test]
     fn measure_accounts_every_sample() {
         let spec = WorkloadSpec::by_name("Btree").unwrap();
-        let mut sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        let mut sys = launch(quick_config(), PolicyKind::Thp, spec);
         sys.settle();
         let m = sys.measure();
         assert_eq!(m.samples, 5_000);
@@ -603,13 +950,25 @@ mod tests {
         assert!(m.walks <= 5_000);
         let chunk_misses: u64 = m.miss_by_chunk.iter().map(|(_, n)| n).sum();
         assert_eq!(chunk_misses, m.walks);
+        // The per-tenant breakdown of a single-tenant run is the whole
+        // run.
+        assert_eq!(m.tenants.len(), 1);
+        assert_eq!(m.tenants[0].tenant, TenantId::new(0));
+        assert_eq!(m.tenants[0].samples, m.samples);
+        assert_eq!(m.tenants[0].walks, m.walks);
+        assert_eq!(m.tenants[0].walk_cycles, m.walk_cycles);
+        assert_eq!(m.tenants[0].mapped_bytes, m.mapped_bytes);
+        assert_eq!(
+            m.tenants[0].snapshot.total_faults(),
+            m.snapshot.total_faults()
+        );
     }
 
     #[test]
     fn fragmented_launch_reclaims_instead_of_oom() {
         let spec = WorkloadSpec::by_name("Canneal").unwrap();
         let config = quick_config().fragmented();
-        let sys = System::launch(config, PolicyKind::Trident, spec).unwrap();
+        let sys = launch(config, PolicyKind::Trident, spec);
         // The workload fit despite the page cache having filled memory.
         assert!(
             sys.mapped_bytes(PageSize::Base)
@@ -624,14 +983,45 @@ mod tests {
     fn hugetlbfs_reservation_fails_on_fragmented_memory() {
         let spec = WorkloadSpec::by_name("Canneal").unwrap();
         let config = quick_config().fragmented();
-        let result = System::launch(config, PolicyKind::HugetlbfsGiant, spec);
+        let result = System::builder(config)
+            .policy(PolicyKind::HugetlbfsGiant)
+            .workload(spec)
+            .build();
         assert!(result.is_err(), "1GB reservation must fail when fragmented");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_descriptions() {
+        let spec = WorkloadSpec::by_name("GUPS").unwrap();
+        // No tenant.
+        assert!(System::builder(quick_config())
+            .policy(PolicyKind::Thp)
+            .build()
+            .is_err());
+        // No policy.
+        assert!(System::builder(quick_config())
+            .workload(spec)
+            .build()
+            .is_err());
+        // Kind and instance together.
+        assert!(System::builder(quick_config())
+            .policy(PolicyKind::Thp)
+            .policy_instance(Box::new(trident_core::ThpPolicy::new()))
+            .workload(spec)
+            .build()
+            .is_err());
+        // Zero budget override.
+        assert!(System::builder(quick_config())
+            .policy(PolicyKind::Thp)
+            .tenant(TenantSpec::new(spec).chunk_budget(0))
+            .build()
+            .is_err());
     }
 
     #[test]
     fn mappable_timeline_grows_monotonically_for_bulk() {
         let spec = WorkloadSpec::by_name("XSBench").unwrap();
-        let sys = System::launch(quick_config(), PolicyKind::Thp, spec).unwrap();
+        let sys = launch(quick_config(), PolicyKind::Thp, spec);
         assert!(!sys.mappable_timeline.is_empty());
         let (huge, giant) = *sys.mappable_timeline.last().unwrap();
         assert!(huge >= giant);
@@ -641,11 +1031,99 @@ mod tests {
     fn runs_are_deterministic() {
         let spec = WorkloadSpec::by_name("Redis").unwrap();
         let run = || {
-            let mut sys = System::launch(quick_config(), PolicyKind::Trident, spec).unwrap();
+            let mut sys = launch(quick_config(), PolicyKind::Trident, spec);
             sys.settle();
             let m = sys.measure();
             (m.walk_cycles, m.mapped_bytes)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn colocated_tenants_share_the_pool_and_sum_to_the_machine() {
+        let mut sys = System::builder(quick_config())
+            .policy(PolicyKind::Trident)
+            .tenant(TenantSpec::new(WorkloadSpec::by_name("Redis").unwrap()).weight(2))
+            .tenant(TenantSpec::new(WorkloadSpec::by_name("GUPS").unwrap()))
+            .tenant(TenantSpec::new(WorkloadSpec::by_name("XSBench").unwrap()))
+            .build()
+            .unwrap();
+        assert_eq!(sys.tenant_count(), 3);
+        sys.settle();
+        let m = sys.measure();
+        assert_eq!(m.tenants.len(), 3);
+        // Every sample and walk cycle is attributed to exactly one
+        // tenant.
+        assert_eq!(
+            m.tenants.iter().map(|t| t.samples).sum::<usize>(),
+            m.samples
+        );
+        assert_eq!(m.tenants.iter().map(|t| t.walks).sum::<u64>(), m.walks);
+        assert_eq!(
+            m.tenants.iter().map(|t| t.walk_cycles).sum::<u64>(),
+            m.walk_cycles
+        );
+        // Per-tenant fault counts sum to the pooled snapshot.
+        assert_eq!(
+            m.tenants
+                .iter()
+                .map(|t| t.snapshot.total_faults())
+                .sum::<u64>(),
+            m.snapshot.total_faults()
+        );
+        // Every tenant did real work on the one pool.
+        for t in &m.tenants {
+            assert!(t.samples > 0);
+            assert!(t.mapped_bytes.iter().sum::<u64>() > 0);
+            assert!((0.0..=1.0).contains(&t.fmfi_giant));
+        }
+        assert!(sys.tenant_space(TenantId::new(2)).is_some());
+        assert!(sys.tenant_space(TenantId::new(9)).is_none());
+    }
+
+    #[test]
+    fn colocated_runs_are_deterministic() {
+        let run = || {
+            let mut sys = System::builder(quick_config())
+                .policy(PolicyKind::Trident)
+                .tenant(TenantSpec::new(WorkloadSpec::by_name("Redis").unwrap()))
+                .tenant(TenantSpec::new(WorkloadSpec::by_name("GUPS").unwrap()))
+                .build()
+                .unwrap();
+            sys.settle();
+            let m = sys.measure();
+            (
+                m.walk_cycles,
+                m.mapped_bytes,
+                m.tenants
+                    .iter()
+                    .map(|t| (t.walk_cycles, t.mapped_bytes))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adding_a_tenant_does_not_perturb_tenant_zeros_plan() {
+        // Tenant RNG streams are independent: tenant 0 draws the same
+        // allocation plan whether or not a neighbor is present. The
+        // *outcomes* (placement, promotions) legitimately differ — the
+        // pool is shared — but the sampler layout must match.
+        let solo = launch(
+            quick_config(),
+            PolicyKind::Base,
+            WorkloadSpec::by_name("Redis").unwrap(),
+        );
+        let duo = System::builder(quick_config())
+            .policy(PolicyKind::Base)
+            .tenant(TenantSpec::new(WorkloadSpec::by_name("Redis").unwrap()))
+            .tenant(TenantSpec::new(WorkloadSpec::by_name("GUPS").unwrap()))
+            .build()
+            .unwrap();
+        assert_eq!(
+            solo.space().total_vma_pages(),
+            duo.space().total_vma_pages()
+        );
     }
 }

@@ -312,6 +312,7 @@ impl VirtSystem {
                 space.page_table().mapped_bytes(PageSize::Giant),
             ],
             miss_by_chunk: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 

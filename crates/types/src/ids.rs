@@ -41,6 +41,46 @@ impl fmt::Display for AsId {
     }
 }
 
+/// Identifier of a tenant (one co-located customer of the shared
+/// physical pool; a tenant owns one or more address spaces).
+///
+/// # Examples
+///
+/// ```
+/// use trident_types::TenantId;
+/// let id = TenantId::new(2);
+/// assert_eq!(id.raw(), 2);
+/// assert_eq!(id.to_string(), "t2");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// Wraps a raw identifier.
+    #[must_use]
+    pub const fn new(raw: u32) -> TenantId {
+        TenantId(raw)
+    }
+
+    /// The raw identifier.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for TenantId {
+    fn from(raw: u32) -> TenantId {
+        TenantId(raw)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +89,7 @@ mod tests {
     fn roundtrip_and_display() {
         assert_eq!(AsId::from(9).raw(), 9);
         assert_eq!(AsId::new(0).to_string(), "as0");
+        assert_eq!(TenantId::from(7).raw(), 7);
+        assert_eq!(TenantId::new(0).to_string(), "t0");
     }
 }

@@ -37,7 +37,7 @@ pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use bitset::DenseBitSet;
 pub use error::{AllocError, TridentError};
 pub use geometry::PageGeometry;
-pub use ids::AsId;
+pub use ids::{AsId, TenantId};
 pub use invariant::{violations_message, InvariantViolation};
 pub use page_size::PageSize;
 pub use units::{GIB, KIB, MIB};

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for kind in [PolicyKind::Thp, PolicyKind::Trident] {
-        let mut system = System::launch(config, kind, spec)?;
+        let mut system = System::builder(config)
+            .policy(kind)
+            .workload(spec)
+            .build()?;
         system.settle();
         let m = system.measure();
         println!("— {} —", system.policy_name());

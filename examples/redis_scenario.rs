@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.measure_samples = 10_000;
 
     let spec = WorkloadSpec::by_name("Redis").expect("Redis is built in");
-    let mut system = System::launch(config, PolicyKind::Trident, spec)?;
+    let mut system = System::builder(config)
+        .policy(PolicyKind::Trident)
+        .workload(spec)
+        .build()?;
 
     println!(
         "Redis loaded {} GB of key-value data incrementally.",

@@ -11,7 +11,10 @@
 //! use trident_repro::workloads::WorkloadSpec;
 //!
 //! let spec = WorkloadSpec::by_name("Canneal").unwrap();
-//! let mut system = System::launch(SimConfig::at_scale(64), PolicyKind::Trident, spec)?;
+//! let mut system = System::builder(SimConfig::at_scale(64))
+//!     .policy(PolicyKind::Trident)
+//!     .workload(spec)
+//!     .build()?;
 //! system.settle();
 //! println!("{} walk cycles", system.measure().walk_cycles);
 //! # Ok::<(), trident_repro::phys::PhysMemError>(())

@@ -1,0 +1,59 @@
+//! Bit-identity proof for the `SystemBuilder` migration.
+//!
+//! The golden hashes below were captured from the pre-refactor
+//! single-tenant `System::launch` path (fig1/table4/table5 at quick
+//! scale, seed 42, threads 1 and 4). A one-tenant `SystemBuilder` run
+//! must reproduce them bit for bit: the builder is a re-plumbing of the
+//! launch path, not a behavioural change.
+
+use trident_repro::sim::experiments::{self, ExpOptions};
+
+/// FNV-1a, the repository's stable test fingerprint for CSV blobs.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn opts(threads: usize) -> ExpOptions {
+    let mut o = ExpOptions::quick();
+    o.threads = threads;
+    o
+}
+
+#[test]
+fn fig1_matches_pre_refactor_golden_at_1_and_4_threads() {
+    let h1 = fnv1a(&experiments::fig1::run(&opts(1)).to_csv());
+    let h4 = fnv1a(&experiments::fig1::run(&opts(4)).to_csv());
+    assert_eq!(h1, h4, "fig1 must be thread-count invariant");
+    assert_eq!(h1, GOLDEN_FIG1, "fig1 drifted from the pre-refactor path");
+}
+
+#[test]
+fn table4_matches_pre_refactor_golden_at_1_and_4_threads() {
+    let h1 = fnv1a(&experiments::table4::run(&opts(1)).to_csv());
+    let h4 = fnv1a(&experiments::table4::run(&opts(4)).to_csv());
+    assert_eq!(h1, h4, "table4 must be thread-count invariant");
+    assert_eq!(
+        h1, GOLDEN_TABLE4,
+        "table4 drifted from the pre-refactor path"
+    );
+}
+
+#[test]
+fn table5_matches_pre_refactor_golden_at_1_and_4_threads() {
+    let h1 = fnv1a(&experiments::table5::run(&opts(1)).to_csv());
+    let h4 = fnv1a(&experiments::table5::run(&opts(4)).to_csv());
+    assert_eq!(h1, h4, "table5 must be thread-count invariant");
+    assert_eq!(
+        h1, GOLDEN_TABLE5,
+        "table5 drifted from the pre-refactor path"
+    );
+}
+
+const GOLDEN_FIG1: u64 = 678_687_198_921_039_402;
+const GOLDEN_TABLE4: u64 = 6_290_351_268_904_539_716;
+const GOLDEN_TABLE5: u64 = 9_598_922_431_288_726_740;

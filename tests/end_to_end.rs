@@ -15,11 +15,19 @@ fn quick(scale: u64) -> SimConfig {
     c
 }
 
+fn launch(
+    config: SimConfig,
+    kind: PolicyKind,
+    spec: WorkloadSpec,
+) -> Result<System, trident_repro::phys::PhysMemError> {
+    System::builder(config).policy(kind).workload(spec).build()
+}
+
 #[test]
 fn trident_beats_thp_on_walk_cycles_for_a_giant_sensitive_workload() {
     let spec = WorkloadSpec::by_name("Canneal").unwrap();
     let run = |kind| {
-        let mut s = System::launch(quick(128), kind, spec).unwrap();
+        let mut s = launch(quick(128), kind, spec).unwrap();
         s.settle();
         s.measure().walk_cycles
     };
@@ -34,7 +42,7 @@ fn trident_beats_thp_on_walk_cycles_for_a_giant_sensitive_workload() {
 #[test]
 fn trident_uses_all_three_page_sizes_on_an_incremental_workload() {
     let spec = WorkloadSpec::by_name("Redis").unwrap();
-    let mut s = System::launch(quick(128), PolicyKind::Trident, spec).unwrap();
+    let mut s = launch(quick(128), PolicyKind::Trident, spec).unwrap();
     s.settle();
     assert!(
         s.mapped_bytes(PageSize::Giant) > 0,
@@ -50,8 +58,8 @@ fn trident_uses_all_three_page_sizes_on_an_incremental_workload() {
 fn fragmentation_defeats_hugetlbfs_but_not_trident() {
     let spec = WorkloadSpec::by_name("Canneal").unwrap();
     let config = quick(128).fragmented();
-    assert!(System::launch(config, PolicyKind::HugetlbfsGiant, spec).is_err());
-    let mut s = System::launch(config, PolicyKind::Trident, spec).unwrap();
+    assert!(launch(config, PolicyKind::HugetlbfsGiant, spec).is_err());
+    let mut s = launch(config, PolicyKind::Trident, spec).unwrap();
     s.settle();
     assert!(
         s.mapped_bytes(PageSize::Giant) > 0,
@@ -63,7 +71,7 @@ fn fragmentation_defeats_hugetlbfs_but_not_trident() {
 #[test]
 fn incremental_allocators_get_no_giant_pages_from_faults_alone() {
     let spec = WorkloadSpec::by_name("Redis").unwrap();
-    let mut s = System::launch(quick(128), PolicyKind::TridentFaultOnly, spec).unwrap();
+    let mut s = launch(quick(128), PolicyKind::TridentFaultOnly, spec).unwrap();
     s.settle();
     // Table 3 / Table 4: Redis never even attempts a fault-time 1GB
     // allocation — its VA grows too incrementally.
@@ -75,7 +83,7 @@ fn incremental_allocators_get_no_giant_pages_from_faults_alone() {
 fn smart_compaction_copies_fewer_bytes_than_normal() {
     let spec = WorkloadSpec::by_name("Btree").unwrap();
     let run = |kind| {
-        let mut s = System::launch(quick(128).fragmented(), kind, spec).unwrap();
+        let mut s = launch(quick(128).fragmented(), kind, spec).unwrap();
         s.settle();
         (
             s.ctx.snapshot().compaction_bytes_copied,
@@ -112,7 +120,7 @@ fn nested_translation_prefers_bigger_pages_at_both_levels() {
 #[test]
 fn giant_allocation_failures_are_recorded_under_fragmentation() {
     let spec = WorkloadSpec::by_name("XSBench").unwrap();
-    let mut s = System::launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
+    let mut s = launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
     s.settle();
     let fault_rate = s.ctx.snapshot().giant_failure_rate(AllocSite::PageFault);
     assert!(
@@ -124,7 +132,7 @@ fn giant_allocation_failures_are_recorded_under_fragmentation() {
 #[test]
 fn zero_fill_pool_accelerates_giant_faults() {
     let spec = WorkloadSpec::by_name("XSBench").unwrap();
-    let mut s = System::launch(quick(128), PolicyKind::Trident, spec).unwrap();
+    let mut s = launch(quick(128), PolicyKind::Trident, spec).unwrap();
     s.settle();
     let giant_faults = s.ctx.snapshot().faults[PageSize::Giant as usize];
     assert!(giant_faults > 0);
@@ -142,7 +150,7 @@ fn zero_fill_pool_accelerates_giant_faults() {
 fn deterministic_across_identical_runs() {
     let spec = WorkloadSpec::by_name("SVM").unwrap();
     let run = || {
-        let mut s = System::launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
+        let mut s = launch(quick(128).fragmented(), PolicyKind::Trident, spec).unwrap();
         s.settle();
         let m = s.measure();
         (

@@ -48,7 +48,11 @@ fn traced_run() -> trident_repro::sim::Measurement {
     config.measure_tick_every = 1_000;
     config.trace_capacity = Some(1 << 20);
     let spec = WorkloadSpec::by_name("GUPS").unwrap();
-    let mut system = System::launch(config, PolicyKind::Trident, spec).unwrap();
+    let mut system = System::builder(config)
+        .policy(PolicyKind::Trident)
+        .workload(spec)
+        .build()
+        .unwrap();
     system.settle();
     system.measure()
 }
@@ -83,7 +87,11 @@ fn untraced_runs_report_an_empty_trace() {
     config.measure_samples = 2_000;
     config.measure_tick_every = 1_000;
     let spec = WorkloadSpec::by_name("GUPS").unwrap();
-    let mut system = System::launch(config, PolicyKind::Trident, spec).unwrap();
+    let mut system = System::builder(config)
+        .policy(PolicyKind::Trident)
+        .workload(spec)
+        .build()
+        .unwrap();
     system.settle();
     let m = system.measure();
     assert!(m.trace.is_empty());
