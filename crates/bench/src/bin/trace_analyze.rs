@@ -5,6 +5,7 @@
 //! ```sh
 //! trace_analyze run.jsonl [--window N] [--json F] [--md F] [--prom F]
 //! trace_analyze --check
+//! trace_analyze --lint-prom SCRAPE.txt
 //! trace_analyze --bench-gate BENCH_1.json --baseline OLD.json [--threshold 15]
 //! ```
 //!
@@ -19,6 +20,12 @@
 //! require (a) replayed profile == live profile, (b) equal profiles
 //! render byte-identical reports, (c) both runs produce the same bytes.
 //! Exits nonzero on any divergence.
+//!
+//! **`--lint-prom`**: check a Prometheus text file — e.g. a `/metrics`
+//! body scraped from a live `tridentd` — against the exposition rules
+//! the shared encoder guarantees: every sample preceded by a `# TYPE`
+//! declaration, no duplicate families, summaries complete. Exits
+//! nonzero listing each violation.
 //!
 //! **`--bench-gate`**: compare a fresh bench file (`BENCH_1.json` or a
 //! `bench_matrix` `BENCH_2.json`) against a committed baseline and fail
@@ -46,6 +53,7 @@ use trident_workloads::WorkloadSpec;
 const USAGE: &str =
     "usage: trace_analyze FILE [--window N] [--json F] [--md F] [--prom F]\n       \
                      trace_analyze --check\n       \
+                     trace_analyze --lint-prom FILE\n       \
                      trace_analyze --bench-gate FRESH --baseline OLD [--threshold PCT] [--min-speedup X]";
 
 fn main() -> ExitCode {
@@ -55,6 +63,16 @@ fn main() -> ExitCode {
             err.exit(USAGE);
         }
         return run_check();
+    }
+    match args.value("--lint-prom") {
+        Ok(Some(path)) => {
+            if let Err(err) = args.finish() {
+                err.exit(USAGE);
+            }
+            return run_lint_prom(&path);
+        }
+        Ok(None) => {}
+        Err(err) => err.exit(USAGE),
     }
     match parse_cli(&mut args).and_then(|cmd| args.finish().map(|()| cmd)) {
         Ok(Cmd::BenchGate {
@@ -150,6 +168,34 @@ fn run_analyze(path: &str, window: u64, outs: &[(&'static str, String)]) -> Exit
     ExitCode::SUCCESS
 }
 
+/// `--lint-prom FILE`: applies the shared encoder's exposition lint to
+/// an arbitrary Prometheus text file (typically a live scrape).
+fn run_lint_prom(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trident_prof::prom::lint(&text) {
+        Ok(()) => {
+            eprintln!(
+                "prom lint: ok — {path}, {} lines",
+                text.lines().filter(|l| !l.trim().is_empty()).count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(problems) => {
+            for problem in &problems {
+                eprintln!("prom lint: {path}: {problem}");
+            }
+            eprintln!("prom lint: FAIL — {} problem(s)", problems.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// One profiled smoke run: a fig1-style GUPS/Trident cell with the live
 /// profiler and ring tracing on. Returns the live profile and the three
 /// rendered reports of the trace-replayed profile.
@@ -207,6 +253,9 @@ fn profiled_smoke_run() -> Result<(Profile, [String; 3]), String> {
     ];
     if reports != live_reports {
         return Err("equal profiles rendered different bytes".to_owned());
+    }
+    if let Err(problems) = trident_prof::prom::lint(&reports[2]) {
+        return Err(format!("prometheus rendering fails lint: {problems:?}"));
     }
     Ok((live, reports))
 }

@@ -7,6 +7,8 @@
 //! tridentctl run --workload GUPS --policy Trident --trace-out run.jsonl
 //! tridentctl run --workload GUPS --policy Trident --connect 127.0.0.1:7117
 //! tridentctl jobs --connect 127.0.0.1:7117
+//! tridentctl watch 3 --connect 127.0.0.1:7117
+//! tridentctl metrics --connect 127.0.0.1:7117
 //! tridentctl shutdown --connect 127.0.0.1:7117
 //! ```
 //!
@@ -33,7 +35,9 @@ usage: tridentctl list
                       [--connect ADDR]
        tridentctl status <id> --connect ADDR
        tridentctl cancel <id> --connect ADDR
+       tridentctl watch <id> --connect ADDR [--interval-ms N]
        tridentctl jobs --connect ADDR
+       tridentctl metrics --connect ADDR
        tridentctl shutdown --connect ADDR";
 
 fn usage() -> ! {
@@ -59,7 +63,9 @@ fn main() {
         "run" => run(args),
         "status" => remote_by_id(args, |id| Request::Status { id }),
         "cancel" => remote_by_id(args, |id| Request::Cancel { id }),
+        "watch" => watch(args),
         "jobs" => remote(args, Request::List),
+        "metrics" => remote(args, Request::Metrics),
         "shutdown" => remote(args, Request::Shutdown),
         _ => usage(),
     };
@@ -221,6 +227,60 @@ fn remote(mut args: Args, req: Request) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `watch <id>`: polls the daemon's per-tick progress table and prints
+/// one line per change until the job reaches a terminal state.
+fn watch(mut args: Args) -> Result<(), ArgError> {
+    let id = match args.positional() {
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| fail(format!("job id must be an integer, got {raw:?}"))),
+        None => usage(),
+    };
+    let addr = args.value("--connect")?.unwrap_or_else(|| usage());
+    let interval_ms: u64 = args.parsed_or("--interval-ms", 200)?;
+    args.finish()?;
+
+    let mut client = connect(&addr);
+    let mut last = None;
+    loop {
+        let (state, progress) = match request(&mut client, &Request::Progress { id }) {
+            Response::Progress {
+                state, progress, ..
+            } => (state, progress),
+            other => fail(describe(&other)),
+        };
+        let line = render_progress(id, state, &progress);
+        if last.as_ref() != Some(&line) {
+            println!("{line}");
+            last = Some(line);
+        }
+        if state.is_terminal() {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+}
+
+/// One `watch` line: state, sample progress with a percentage when the
+/// total is known, tick count, and the live 1GB FMFI.
+fn render_progress(
+    id: u64,
+    state: trident_serve::JobState,
+    p: &trident_serve::JobProgress,
+) -> String {
+    let pct = (100 * p.samples_done)
+        .checked_div(p.samples_total)
+        .map_or_else(String::new, |pct| format!(" ({pct}%)"));
+    format!(
+        "job {id}: {state}  samples {}/{}{pct}  ticks {}  FMFI(1GB) {}.{:03}",
+        p.samples_done,
+        p.samples_total,
+        p.ticks,
+        p.fmfi_milli / 1000,
+        p.fmfi_milli % 1000,
+    )
+}
+
 /// Subcommands addressing one job by id (`status <id>`, `cancel <id>`).
 fn remote_by_id(mut args: Args, req: impl Fn(u64) -> Request) -> Result<(), ArgError> {
     let id = match args.positional() {
@@ -246,24 +306,53 @@ fn request(client: &mut Client, req: &Request) -> Response {
     }
 }
 
+/// One line describing the daemon itself, appended to `status`/`jobs`.
+fn describe_service(info: &trident_serve::ServiceInfo) -> String {
+    let queues = info
+        .queues
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "daemon: {} workers{}, queue depth {} per shard, queued [{queues}]",
+        info.workers,
+        if info.paused { " (paused)" } else { "" },
+        info.queue_depth,
+    )
+}
+
 /// One line of human-readable text per non-result response.
 fn describe(response: &Response) -> String {
     match response {
         Response::Submitted { id } => format!("submitted as job {id}"),
-        Response::Status { id, state } => format!("job {id}: {state}"),
+        Response::Status { id, state, service } => {
+            format!("job {id}: {state}\n{}", describe_service(service))
+        }
         Response::Result { id, .. } => format!("job {id}: done"),
         Response::Cancelled { id } => format!("job {id}: cancelled"),
-        Response::Jobs { jobs } if jobs.is_empty() => "no jobs".to_owned(),
-        Response::Jobs { jobs } => jobs
-            .iter()
-            .map(|j| {
-                format!(
-                    "{:>4}  {:<10} {:<14} {}",
-                    j.id, j.state, j.policy, j.workload
-                )
-            })
-            .collect::<Vec<_>>()
-            .join("\n"),
+        Response::Jobs { jobs, service } if jobs.is_empty() => {
+            format!("no jobs\n{}", describe_service(service))
+        }
+        Response::Jobs { jobs, service } => {
+            let mut lines: Vec<String> = jobs
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{:>4}  {:<10} {:<14} {}",
+                        j.id, j.state, j.policy, j.workload
+                    )
+                })
+                .collect();
+            lines.push(describe_service(service));
+            lines.join("\n")
+        }
+        Response::Metrics { text } => text.trim_end().to_owned(),
+        Response::Progress {
+            id,
+            state,
+            progress,
+        } => render_progress(*id, *state, progress),
         Response::ShuttingDown => "daemon is draining and will exit".to_owned(),
         Response::Error { code, message } => format!("error ({code}): {message}"),
     }

@@ -9,7 +9,13 @@
 //! ```sh
 //! tridentd --listen 127.0.0.1:7117 --workers 4 --queue-depth 64
 //! tridentd --stdin            # serve one request stream on stdin
+//! tridentd --metrics-listen 127.0.0.1:9117   # add a /metrics scraper
 //! ```
+//!
+//! With `--metrics-listen`, a second listener serves `GET /metrics`
+//! (Prometheus text) and `GET /healthz` (200 while serving, 503 once
+//! draining) on its own thread; scrapes read an in-memory registry and
+//! never contend with job execution.
 //!
 //! A client `shutdown` request (or end of stdin) drains queued and
 //! in-flight jobs before the process exits.
@@ -18,9 +24,10 @@ use std::sync::Arc;
 
 use trident_bench::args::Args;
 use trident_serve::service::{Service, ServiceConfig};
-use trident_serve::{serve_lines, serve_tcp};
+use trident_serve::{serve_lines, serve_metrics, serve_tcp, MetricsHandle};
 
-const USAGE: &str = "usage: tridentd [--listen ADDR] [--stdin] [--workers N] [--queue-depth N]";
+const USAGE: &str = "usage: tridentd [--listen ADDR] [--stdin] [--workers N] [--queue-depth N] \
+                     [--metrics-listen ADDR]";
 
 fn main() {
     let mut args = Args::from_env();
@@ -31,12 +38,14 @@ fn main() {
             .unwrap_or_else(|| "127.0.0.1:7117".to_owned());
         let workers = args.parsed_or("--workers", 0usize)?;
         let queue_depth = args.parsed_or("--queue-depth", 64usize)?;
-        Ok((listen, workers, queue_depth))
+        let metrics_listen = args.value("--metrics-listen")?;
+        Ok((listen, workers, queue_depth, metrics_listen))
     })();
-    let (listen, workers, queue_depth) = match parsed.and_then(|v| args.finish().map(|()| v)) {
-        Ok(v) => v,
-        Err(err) => err.exit(USAGE),
-    };
+    let (listen, workers, queue_depth, metrics_listen) =
+        match parsed.and_then(|v| args.finish().map(|()| v)) {
+            Ok(v) => v,
+            Err(err) => err.exit(USAGE),
+        };
 
     let service = Service::start(ServiceConfig {
         workers,
@@ -48,6 +57,28 @@ fn main() {
         service.workers(),
         queue_depth
     );
+
+    let metrics_handle: Option<MetricsHandle> = metrics_listen.map(|addr| {
+        match serve_metrics(service.metrics(), &addr) {
+            Ok(handle) => {
+                // The smoke tests parse this line for the bound port.
+                eprintln!("# tridentd: metrics on http://{}/metrics", handle.addr());
+                handle
+            }
+            Err(err) => {
+                eprintln!("tridentd: cannot serve metrics on {addr}: {err}");
+                std::process::exit(1);
+            }
+        }
+    });
+    let stop_metrics = |handle: Option<MetricsHandle>| {
+        if let Some(handle) = handle {
+            handle.stop();
+            if let Err(err) = handle.join() {
+                eprintln!("tridentd: metrics listener failed: {err}");
+            }
+        }
+    };
 
     if use_stdin {
         let stdin = std::io::stdin();
@@ -61,6 +92,7 @@ fn main() {
         }
         eprintln!("# tridentd: draining…");
         service.shutdown();
+        stop_metrics(metrics_handle);
         eprintln!("# tridentd: done");
         return;
     }
@@ -83,5 +115,6 @@ fn main() {
         Ok(service) => service.shutdown(),
         Err(service) => service.request_stop(), // a connection thread still holds a reference
     }
+    stop_metrics(metrics_handle);
     eprintln!("# tridentd: done");
 }

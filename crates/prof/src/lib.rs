@@ -43,6 +43,7 @@
 
 mod hist;
 mod profile;
+pub mod prom;
 mod reader;
 mod recorder;
 pub mod report;

@@ -8,19 +8,8 @@
 use std::fmt::Write as _;
 
 use trident_obs::SpanKind;
-use trident_types::PageSize;
 
-use crate::{LatencyHistogram, Profile};
-
-const SIZES: [PageSize; 3] = [PageSize::Base, PageSize::Huge, PageSize::Giant];
-
-fn size_label(size: PageSize) -> &'static str {
-    match size {
-        PageSize::Base => "base",
-        PageSize::Huge => "huge",
-        PageSize::Giant => "giant",
-    }
-}
+use crate::{prom, LatencyHistogram, Profile};
 
 fn opt(v: Option<u64>) -> String {
     v.map_or_else(|| "-".to_owned(), |v| v.to_string())
@@ -233,124 +222,31 @@ pub fn render_json(profile: &Profile) -> String {
 }
 
 /// Renders the profile in the Prometheus text exposition format.
+///
+/// Built on the shared [`crate::prom`] encoder, so the snapshot counter
+/// block here is byte-identical to the one a live `tridentd /metrics`
+/// scrape embeds for the same counters.
 #[must_use]
 pub fn render_prometheus(profile: &Profile) -> String {
-    let mut out = String::new();
-    let snap = &profile.snapshot;
-    out.push_str("# HELP trident_faults_total Page faults served, by page size.\n");
-    out.push_str("# TYPE trident_faults_total counter\n");
-    for size in SIZES {
-        let _ = writeln!(
-            out,
-            "trident_faults_total{{size=\"{}\"}} {}",
-            size_label(size),
-            snap.faults[size as usize]
-        );
-    }
-    out.push_str("# HELP trident_fault_ns_total Modeled fault-handling nanoseconds.\n");
-    out.push_str("# TYPE trident_fault_ns_total counter\n");
-    for size in SIZES {
-        let _ = writeln!(
-            out,
-            "trident_fault_ns_total{{size=\"{}\"}} {}",
-            size_label(size),
-            snap.fault_ns[size as usize]
-        );
-    }
-    out.push_str("# HELP trident_promotions_total Promotions, by target page size.\n");
-    out.push_str("# TYPE trident_promotions_total counter\n");
-    for size in SIZES {
-        let _ = writeln!(
-            out,
-            "trident_promotions_total{{size=\"{}\"}} {}",
-            size_label(size),
-            snap.promotions[size as usize]
-        );
-    }
-    out.push_str("# HELP trident_daemon_ns_total Background-daemon CPU nanoseconds.\n");
-    out.push_str("# TYPE trident_daemon_ns_total counter\n");
-    let _ = writeln!(out, "trident_daemon_ns_total {}", snap.daemon_ns);
-    out.push_str("# HELP trident_compaction_bytes_total Bytes migrated by compaction.\n");
-    out.push_str("# TYPE trident_compaction_bytes_total counter\n");
-    let _ = writeln!(
-        out,
-        "trident_compaction_bytes_total {}",
-        snap.compaction_bytes_copied
-    );
-    out.push_str("# HELP trident_pv_bytes_exchanged_total Bytes whose copy Trident_pv elided.\n");
-    out.push_str("# TYPE trident_pv_bytes_exchanged_total counter\n");
-    let _ = writeln!(
-        out,
-        "trident_pv_bytes_exchanged_total {}",
-        snap.pv_bytes_exchanged
-    );
-    out.push_str(
-        "# HELP trident_injected_faults_total Faults injected by a fault plan, by site.\n",
-    );
-    out.push_str("# TYPE trident_injected_faults_total counter\n");
-    for site in trident_obs::InjectSite::ALL {
-        let _ = writeln!(
-            out,
-            "trident_injected_faults_total{{site=\"{}\"}} {}",
-            site.as_str(),
-            snap.injected_at(site)
-        );
-    }
-    out.push_str(
-        "# HELP trident_promotions_deferred_total Promotions deferred by backoff or injection.\n",
-    );
-    out.push_str("# TYPE trident_promotions_deferred_total counter\n");
-    let _ = writeln!(
-        out,
-        "trident_promotions_deferred_total {}",
-        snap.promotions_deferred
-    );
-    out.push_str(
-        "# HELP trident_pv_fallback_bytes_total Bytes copied by Trident_pv exchange fallbacks.\n",
-    );
-    out.push_str("# TYPE trident_pv_fallback_bytes_total counter\n");
-    let _ = writeln!(
-        out,
-        "trident_pv_fallback_bytes_total {}",
-        snap.pv_fallback_bytes
-    );
-    out.push_str("# HELP trident_span_ns Span duration quantiles in nanoseconds.\n");
-    out.push_str("# TYPE trident_span_ns summary\n");
+    let mut enc = prom::TextEncoder::new();
+    prom::snapshot_counters(&mut enc, &profile.snapshot);
+    enc.summary("trident_span_ns", "Span duration quantiles in nanoseconds.");
     for kind in SpanKind::ALL {
-        let h = profile.spans.histogram(kind);
-        for (q, v) in [
-            ("0.5", h.p50()),
-            ("0.9", h.p90()),
-            ("0.99", h.p99()),
-            ("1", h.max()),
-        ] {
-            let _ = writeln!(
-                out,
-                "trident_span_ns{{span=\"{}\",quantile=\"{q}\"}} {}",
-                kind.as_str(),
-                v.unwrap_or(0)
-            );
-        }
-        let _ = writeln!(
-            out,
-            "trident_span_ns_sum{{span=\"{}\"}} {}",
-            kind.as_str(),
-            h.sum()
-        );
-        let _ = writeln!(
-            out,
-            "trident_span_ns_count{{span=\"{}\"}} {}",
-            kind.as_str(),
-            h.count()
+        prom::summary_samples(
+            &mut enc,
+            "trident_span_ns",
+            &[("span", kind.as_str())],
+            profile.spans.histogram(kind),
         );
     }
-    out
+    enc.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use trident_obs::{AllocSite, Event};
+    use trident_types::PageSize;
 
     fn sample_profile() -> Profile {
         Profile::from_events(
@@ -407,5 +303,10 @@ mod tests {
         assert!(prom.contains("trident_faults_total{size=\"huge\"} 1"));
         assert!(prom.contains("trident_span_ns{span=\"fault\",quantile=\"0.5\"} "));
         assert!(prom.contains("trident_span_ns_count{span=\"fault\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_lint_clean() {
+        crate::prom::lint(&render_prometheus(&sample_profile())).unwrap();
     }
 }

@@ -13,7 +13,9 @@ use trident_core::{FaultPlan, ObsRecorder};
 use trident_prof::report::render_json;
 use trident_prof::JsonlWriter;
 use trident_sim::experiments::ExpOptions;
-use trident_sim::{derive_cell_seed, PolicyHint, PolicyKind, SimConfig, System, TenantSpec};
+use trident_sim::{
+    derive_cell_seed, PolicyHint, PolicyKind, RunProgress, SimConfig, System, TenantSpec,
+};
 use trident_types::Vpn;
 use trident_workloads::WorkloadSpec;
 
@@ -106,6 +108,21 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>
 /// Any [`resolve`] failure, a launch failure (hugetlbfs reservation on
 /// fragmented memory), or an I/O failure on the job's output files.
 pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
+    execute_with_progress(spec, None)
+}
+
+/// [`execute`], with an optional per-tick progress hook installed on the
+/// system before it settles. The hook only *reads* simulation state
+/// (ticks, samples, the giant-frame FMFI), so installing one cannot
+/// perturb the run: results stay bit-identical with or without it.
+///
+/// # Errors
+///
+/// Same failure modes as [`execute`].
+pub fn execute_with_progress(
+    spec: &JobSpec,
+    progress: Option<Box<dyn FnMut(RunProgress) + Send>>,
+) -> Result<JobResult, String> {
     let (config, kind, tenants) = resolve(spec)?;
     let writer = match &spec.trace_out {
         Some(path) => {
@@ -125,6 +142,9 @@ pub fn execute(spec: &JobSpec) -> Result<JobResult, String> {
     let mut system = builder.build().map_err(|e| {
         format!("launch failed: {e} (hugetlbfs reservations fail on fragmented memory)")
     })?;
+    if let Some(hook) = progress {
+        system.set_progress_hook(hook);
+    }
     system.settle();
     let m = system.measure();
 

@@ -22,7 +22,12 @@
 //!   results, cancellation of queued jobs, pause/resume, and draining
 //!   shutdown;
 //! - [`server`] / [`client`]: TCP and stdin framing, and the blocking
-//!   client `tridentctl --connect` uses.
+//!   client `tridentctl --connect` uses;
+//! - [`metrics`] / [`http`]: the observability plane — a lock-light
+//!   [`metrics::DaemonMetrics`] registry updated at every job
+//!   transition and per-tick heartbeat, rendered to Prometheus text
+//!   and served by a dependency-free `GET /metrics` + `GET /healthz`
+//!   listener ([`http::serve_metrics`]).
 //!
 //! # Examples
 //!
@@ -47,16 +52,20 @@
 #![deny(deprecated)]
 
 pub mod client;
+pub mod http;
 pub mod job;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError};
+pub use http::{serve_metrics, MetricsHandle};
+pub use metrics::DaemonMetrics;
 pub use proto::{
-    JobResult, JobSpec, JobState, ProtoError, Request, Response, TenantJob, TenantRow,
-    PROTO_VERSION,
+    JobProgress, JobResult, JobSpec, JobState, ProtoError, Request, Response, ServiceInfo,
+    TenantJob, TenantRow, PROTO_VERSION,
 };
 pub use server::{serve_lines, serve_tcp, ServerHandle};
 pub use service::{JobWait, Service, ServiceConfig, SubmitError};

@@ -10,12 +10,14 @@
 //! Requests:
 //!
 //! ```json
-//! {"v":2,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
-//! {"v":2,"op":"status","id":3}
-//! {"v":2,"op":"result","id":3}
-//! {"v":2,"op":"cancel","id":3}
-//! {"v":2,"op":"list"}
-//! {"v":2,"op":"shutdown"}
+//! {"v":3,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
+//! {"v":3,"op":"status","id":3}
+//! {"v":3,"op":"result","id":3}
+//! {"v":3,"op":"cancel","id":3}
+//! {"v":3,"op":"list"}
+//! {"v":3,"op":"metrics"}
+//! {"v":3,"op":"progress","id":3}
+//! {"v":3,"op":"shutdown"}
 //! ```
 //!
 //! Responses mirror the request vocabulary (`"ok"` discriminator) or
@@ -32,7 +34,10 @@ use crate::json;
 /// message shapes; both sides refuse to interoperate across versions.
 /// v2: jobs gained co-located tenants and the audit flag; results gained
 /// per-tenant rows and the audit-violation count.
-pub const PROTO_VERSION: u32 = 2;
+/// v3: the observability plane — `metrics`/`progress` requests, the
+/// `Metrics`/`Progress` responses, and a `service` block (paused flag +
+/// per-shard queue occupancy) on `Status` and `Jobs` answers.
+pub const PROTO_VERSION: u32 = 3;
 
 /// One simulation cell to run: workload × policy plus the knobs the
 /// `SimConfig` builders expose. Mirrors what `tridentctl run` accepted
@@ -298,6 +303,68 @@ impl FaultSpec {
     }
 }
 
+/// A snapshot of the service itself, attached to `Status` and `Jobs`
+/// answers so operators see pool health alongside job state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// Whether workers are paused (jobs queue but none execute).
+    pub paused: bool,
+    /// Worker threads (= shards).
+    pub workers: usize,
+    /// Maximum queued jobs per shard.
+    pub queue_depth: usize,
+    /// Current queued occupancy of each shard, in shard order.
+    pub queues: Vec<u64>,
+}
+
+impl ServiceInfo {
+    fn to_json(&self) -> String {
+        let queues: Vec<String> = self.queues.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"paused\":{},\"workers\":{},\"queue_depth\":{},\"queues\":[{}]}}",
+            self.paused,
+            self.workers,
+            self.queue_depth,
+            queues.join(",")
+        )
+    }
+
+    fn from_json(obj: &str) -> Result<ServiceInfo, ProtoError> {
+        let queues = json::field(obj, "queues")
+            .and_then(json::items)
+            .ok_or_else(|| bad("service.queues"))?
+            .into_iter()
+            .map(|raw| {
+                raw.trim()
+                    .parse::<u64>()
+                    .map_err(|_| bad("service.queues[]"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServiceInfo {
+            paused: json::bool_field(obj, "paused").ok_or_else(|| bad("service.paused"))?,
+            workers: usize_field(obj, "workers").ok_or_else(|| bad("service.workers"))?,
+            queue_depth: usize_field(obj, "queue_depth")
+                .ok_or_else(|| bad("service.queue_depth"))?,
+            queues,
+        })
+    }
+}
+
+/// A point-in-time progress report for one job, fed by the simulator's
+/// per-tick hook. All zeros until the job's first daemon tick; pinned
+/// at its final sample counts once it settles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Daemon ticks executed so far (load, settle and measure phases).
+    pub ticks: u64,
+    /// Measured accesses completed so far.
+    pub samples_done: u64,
+    /// Total accesses the measurement phase will perform.
+    pub samples_total: u64,
+    /// Current 1GB free-memory fragmentation index, in thousandths.
+    pub fmfi_milli: u64,
+}
+
 /// Lifecycle state of a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
@@ -516,8 +583,9 @@ impl JobResult {
                 .ok_or_else(|| bad("result.walk_cycles"))?,
             mapped_bytes: json::u64_array_field(obj, "mapped_bytes")
                 .ok_or_else(|| bad("result.mapped_bytes"))?,
-            trace_dropped: json::u64_field(obj, "trace_dropped")
-                .ok_or_else(|| bad("result.trace_dropped"))?,
+            // Additive field: absent (older encoder) means no drops; a
+            // present-but-malformed value still fails loudly.
+            trace_dropped: optional(obj, "trace_dropped", json::u64_field)?.unwrap_or(0),
             trace_lines: optional(obj, "trace_lines", json::u64_field)?,
             violations: json::u64_field(obj, "violations")
                 .ok_or_else(|| bad("result.violations"))?,
@@ -644,6 +712,13 @@ pub enum Request {
     },
     /// List all jobs the daemon knows about.
     List,
+    /// Fetch the daemon's live metrics as a Prometheus text body.
+    Metrics,
+    /// Fetch a job's latest in-flight progress report.
+    Progress {
+        /// The job to query.
+        id: u64,
+    },
     /// Drain queued and in-flight jobs, then exit.
     Shutdown,
 }
@@ -661,6 +736,8 @@ impl Request {
             Request::Result { id } => format!("{{\"v\":{v},\"op\":\"result\",\"id\":{id}}}"),
             Request::Cancel { id } => format!("{{\"v\":{v},\"op\":\"cancel\",\"id\":{id}}}"),
             Request::List => format!("{{\"v\":{v},\"op\":\"list\"}}"),
+            Request::Metrics => format!("{{\"v\":{v},\"op\":\"metrics\"}}"),
+            Request::Progress { id } => format!("{{\"v\":{v},\"op\":\"progress\",\"id\":{id}}}"),
             Request::Shutdown => format!("{{\"v\":{v},\"op\":\"shutdown\"}}"),
         }
     }
@@ -692,6 +769,10 @@ impl Request {
                 id: id("cancel.id")?,
             }),
             "list" => Ok(Request::List),
+            "metrics" => Ok(Request::Metrics),
+            "progress" => Ok(Request::Progress {
+                id: id("progress.id")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             _ => Err(bad("op")),
         }
@@ -767,6 +848,8 @@ pub enum Response {
         id: u64,
         /// Its state at answer time.
         state: JobState,
+        /// Pool health at answer time.
+        service: ServiceInfo,
     },
     /// Answer to `Result` for a job that finished successfully.
     Result {
@@ -784,6 +867,23 @@ pub enum Response {
     Jobs {
         /// Every known job, in submission order.
         jobs: Vec<JobSummary>,
+        /// Pool health at answer time.
+        service: ServiceInfo,
+    },
+    /// Answer to `Metrics`.
+    Metrics {
+        /// The Prometheus text body the daemon's registry rendered.
+        text: String,
+    },
+    /// Answer to `Progress`.
+    Progress {
+        /// The queried job.
+        id: u64,
+        /// Its state at answer time.
+        state: JobState,
+        /// Its latest progress report (all zeros for a job that has not
+        /// started ticking yet).
+        progress: JobProgress,
     },
     /// Acknowledges `Shutdown`; the daemon drains and exits after this.
     ShuttingDown,
@@ -805,9 +905,10 @@ impl Response {
             Response::Submitted { id } => {
                 format!("{{\"v\":{v},\"ok\":\"submitted\",\"id\":{id}}}")
             }
-            Response::Status { id, state } => format!(
-                "{{\"v\":{v},\"ok\":\"status\",\"id\":{id},\"state\":\"{}\"}}",
-                state.as_str()
+            Response::Status { id, state, service } => format!(
+                "{{\"v\":{v},\"ok\":\"status\",\"id\":{id},\"state\":\"{}\",\"service\":{}}}",
+                state.as_str(),
+                service.to_json()
             ),
             Response::Result { id, result } => format!(
                 "{{\"v\":{v},\"ok\":\"result\",\"id\":{id},\"result\":{}}}",
@@ -816,13 +917,31 @@ impl Response {
             Response::Cancelled { id } => {
                 format!("{{\"v\":{v},\"ok\":\"cancelled\",\"id\":{id}}}")
             }
-            Response::Jobs { jobs } => {
+            Response::Jobs { jobs, service } => {
                 let rows: Vec<String> = jobs.iter().map(JobSummary::to_json).collect();
                 format!(
-                    "{{\"v\":{v},\"ok\":\"jobs\",\"jobs\":[{}]}}",
-                    rows.join(",")
+                    "{{\"v\":{v},\"ok\":\"jobs\",\"jobs\":[{}],\"service\":{}}}",
+                    rows.join(","),
+                    service.to_json()
                 )
             }
+            Response::Metrics { text } => format!(
+                "{{\"v\":{v},\"ok\":\"metrics\",\"text\":{}}}",
+                json::escape(text)
+            ),
+            Response::Progress {
+                id,
+                state,
+                progress,
+            } => format!(
+                "{{\"v\":{v},\"ok\":\"progress\",\"id\":{id},\"state\":\"{}\",\
+                 \"ticks\":{},\"samples_done\":{},\"samples_total\":{},\"fmfi_milli\":{}}}",
+                state.as_str(),
+                progress.ticks,
+                progress.samples_done,
+                progress.samples_total,
+                progress.fmfi_milli
+            ),
             Response::ShuttingDown => format!("{{\"v\":{v},\"ok\":\"shutting_down\"}}"),
             Response::Error { code, message } => format!(
                 "{{\"v\":{v},\"err\":\"{}\",\"msg\":{}}}",
@@ -861,6 +980,9 @@ impl Response {
                     .as_deref()
                     .and_then(JobState::parse)
                     .ok_or_else(|| bad("state"))?,
+                service: ServiceInfo::from_json(
+                    json::field(line, "service").ok_or_else(|| bad("service"))?,
+                )?,
             }),
             "result" => Ok(Response::Result {
                 id: id("result.id")?,
@@ -879,7 +1001,33 @@ impl Response {
                     .into_iter()
                     .map(JobSummary::from_json)
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Response::Jobs { jobs })
+                Ok(Response::Jobs {
+                    jobs,
+                    service: ServiceInfo::from_json(
+                        json::field(line, "service").ok_or_else(|| bad("service"))?,
+                    )?,
+                })
+            }
+            "metrics" => Ok(Response::Metrics {
+                text: json::str_field(line, "text").ok_or_else(|| bad("text"))?,
+            }),
+            "progress" => {
+                let num = |field: &'static str, key: &str| {
+                    json::u64_field(line, key).ok_or(ProtoError::Malformed(field))
+                };
+                Ok(Response::Progress {
+                    id: id("progress.id")?,
+                    state: json::str_field(line, "state")
+                        .as_deref()
+                        .and_then(JobState::parse)
+                        .ok_or_else(|| bad("state"))?,
+                    progress: JobProgress {
+                        ticks: num("progress.ticks", "ticks")?,
+                        samples_done: num("progress.samples_done", "samples_done")?,
+                        samples_total: num("progress.samples_total", "samples_total")?,
+                        fmfi_milli: num("progress.fmfi_milli", "fmfi_milli")?,
+                    },
+                })
             }
             "shutting_down" => Ok(Response::ShuttingDown),
             _ => Err(bad("ok")),
@@ -985,6 +1133,15 @@ mod tests {
         }
     }
 
+    fn service_info() -> ServiceInfo {
+        ServiceInfo {
+            paused: true,
+            workers: 2,
+            queue_depth: 64,
+            queues: vec![3, 0],
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let reqs = [
@@ -994,6 +1151,8 @@ mod tests {
             Request::Result { id: u64::MAX },
             Request::Cancel { id: 0 },
             Request::List,
+            Request::Metrics,
+            Request::Progress { id: 12 },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -1014,6 +1173,7 @@ mod tests {
             Response::Status {
                 id: 2,
                 state: JobState::Running,
+                service: service_info(),
             },
             Response::Result {
                 id: 3,
@@ -1059,8 +1219,30 @@ mod tests {
                     workload: "GUPS".to_owned(),
                     policy: "Trident".to_owned(),
                 }],
+                service: service_info(),
             },
-            Response::Jobs { jobs: vec![] },
+            Response::Jobs {
+                jobs: vec![],
+                service: ServiceInfo {
+                    paused: false,
+                    workers: 1,
+                    queue_depth: 1,
+                    queues: vec![0],
+                },
+            },
+            Response::Metrics {
+                text: "# TYPE a counter\na{k=\"v\"} 1\n".to_owned(),
+            },
+            Response::Progress {
+                id: 9,
+                state: JobState::Running,
+                progress: JobProgress {
+                    ticks: 41,
+                    samples_done: 2_000,
+                    samples_total: 120_000,
+                    fmfi_milli: 875,
+                },
+            },
             Response::ShuttingDown,
             Response::Error {
                 code: ErrorCode::QueueFull,
@@ -1075,17 +1257,49 @@ mod tests {
 
     #[test]
     fn unknown_version_is_rejected_not_guessed() {
-        let line = Request::List.to_jsonl().replace("\"v\":2", "\"v\":1");
+        let stamp = format!("\"v\":{PROTO_VERSION}");
+        let line = Request::List.to_jsonl().replace(&stamp, "\"v\":1");
         assert_eq!(
             Request::parse_jsonl(&line),
             Err(ProtoError::Version { got: 1 })
         );
         let line = Response::ShuttingDown
             .to_jsonl()
-            .replace("\"v\":2", "\"v\":99");
+            .replace(&stamp, "\"v\":99");
         assert_eq!(
             Response::parse_jsonl(&line),
             Err(ProtoError::Version { got: 99 })
+        );
+    }
+
+    #[test]
+    fn absent_trace_dropped_decodes_as_zero() {
+        // The field was added after v2 shipped results without it; the
+        // decoder must treat absence as "no drops", not as malformed.
+        let result = JobResult {
+            samples: 10,
+            tlb_accesses: 10,
+            walks: 1,
+            walk_cycles: 35,
+            mapped_bytes: [1, 0, 0],
+            trace_dropped: 0,
+            trace_lines: None,
+            violations: 0,
+            tenants: vec![],
+            snapshot: StatsSnapshot::default(),
+        };
+        let line = Response::Result { id: 1, result }.to_jsonl();
+        let without = line.replace(",\"trace_dropped\":0", "");
+        assert_ne!(line, without, "the field must have been present");
+        match Response::parse_jsonl(&without).unwrap() {
+            Response::Result { result, .. } => assert_eq!(result.trace_dropped, 0),
+            other => panic!("expected Result, got {other:?}"),
+        }
+        // Present but unparsable still fails loudly.
+        let mangled = line.replace(",\"trace_dropped\":0", ",\"trace_dropped\":\"x\"");
+        assert_eq!(
+            Response::parse_jsonl(&mangled),
+            Err(ProtoError::Malformed("trace_dropped"))
         );
     }
 

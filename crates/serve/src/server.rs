@@ -224,7 +224,16 @@ mod tests {
             }
             other => panic!("expected version error, got {other:?}"),
         }
-        assert_eq!(lines[2], Response::Jobs { jobs: vec![] });
+        match &lines[2] {
+            Response::Jobs {
+                jobs,
+                service: info,
+            } => {
+                assert!(jobs.is_empty());
+                assert_eq!(info.workers, 1);
+            }
+            other => panic!("expected Jobs, got {other:?}"),
+        }
         service.request_stop();
         service.shutdown();
     }

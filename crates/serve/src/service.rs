@@ -19,9 +19,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use trident_sim::RunProgress;
 
 use crate::job;
-use crate::proto::{ErrorCode, JobResult, JobSpec, JobState, JobSummary, Request, Response};
+use crate::metrics::DaemonMetrics;
+use crate::proto::{
+    ErrorCode, JobProgress, JobResult, JobSpec, JobState, JobSummary, Request, Response,
+    ServiceInfo,
+};
 
 /// Sizing knobs for a [`Service`].
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +116,9 @@ struct JobEntry {
     state: JobState,
     result: Option<JobResult>,
     error: Option<String>,
+    /// Wall-clock admission time, for the queue-wait histogram. Never
+    /// feeds the simulation — daemon latency only.
+    queued_at: Instant,
 }
 
 struct JobTable {
@@ -129,6 +139,7 @@ struct Inner {
     queue_depth: usize,
     stopping: AtomicBool,
     paused: AtomicBool,
+    metrics: Arc<DaemonMetrics>,
 }
 
 /// A running job service. Dropping without [`shutdown`](Service::shutdown)
@@ -162,6 +173,11 @@ impl Service {
             queue_depth: config.queue_depth.max(1),
             stopping: AtomicBool::new(false),
             paused: AtomicBool::new(config.start_paused),
+            metrics: {
+                let metrics = Arc::new(DaemonMetrics::new(workers, config.queue_depth.max(1)));
+                metrics.set_paused(config.start_paused);
+                metrics
+            },
         });
         let handles = (0..workers)
             .map(|shard| {
@@ -189,6 +205,14 @@ impl Service {
     /// [`SubmitError::QueueFull`] when the target shard is at capacity,
     /// [`SubmitError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let result = self.submit_inner(spec);
+        if let Err(err) = &result {
+            self.inner.metrics.on_rejected(err);
+        }
+        result
+    }
+
+    fn submit_inner(&self, spec: JobSpec) -> Result<u64, SubmitError> {
         if self.inner.stopping.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -207,6 +231,7 @@ impl Service {
                 });
             }
             queue.push_back(id);
+            self.inner.metrics.on_accepted(shard_idx, queue.len());
         }
         table.next_id += 1;
         table.jobs.insert(
@@ -216,6 +241,7 @@ impl Service {
                 state: JobState::Queued,
                 result: None,
                 error: None,
+                queued_at: Instant::now(),
             },
         );
         drop(table);
@@ -271,6 +297,7 @@ impl Service {
             // The id stays in its shard queue; the worker skips
             // non-queued entries when it pops them.
             entry.state = JobState::Cancelled;
+            self.inner.metrics.on_cancelled();
             self.inner.settled.notify_all();
         }
         Some(entry.state)
@@ -298,11 +325,13 @@ impl Service {
     /// jobs keep their place and run on [`resume`](Service::resume).
     pub fn pause(&self) {
         self.inner.paused.store(true, Ordering::SeqCst);
+        self.inner.metrics.set_paused(true);
     }
 
     /// Resumes execution after [`pause`](Service::pause).
     pub fn resume(&self) {
         self.inner.paused.store(false, Ordering::SeqCst);
+        self.inner.metrics.set_paused(false);
         for shard in &self.inner.shards {
             shard.wake.notify_one();
         }
@@ -312,8 +341,33 @@ impl Service {
     /// still drain. Idempotent.
     pub fn request_stop(&self) {
         self.inner.stopping.store(true, Ordering::SeqCst);
+        self.inner.metrics.set_draining(true);
         for shard in &self.inner.shards {
             shard.wake.notify_one();
+        }
+    }
+
+    /// The live metrics registry; share it with a scrape endpoint via
+    /// [`serve_metrics`](crate::serve_metrics).
+    #[must_use]
+    pub fn metrics(&self) -> Arc<DaemonMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// A point-in-time health snapshot of the pool: paused flag, sizing,
+    /// and per-shard queue occupancy.
+    #[must_use]
+    pub fn info(&self) -> ServiceInfo {
+        ServiceInfo {
+            paused: self.inner.paused.load(Ordering::SeqCst),
+            workers: self.inner.shards.len(),
+            queue_depth: self.inner.queue_depth,
+            queues: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.queue.lock().expect("shard queue poisoned").len() as u64)
+                .collect(),
         }
     }
 
@@ -342,7 +396,11 @@ impl Service {
                 },
             },
             Request::Status { id } => match self.status(id) {
-                Some(state) => Response::Status { id, state },
+                Some(state) => Response::Status {
+                    id,
+                    state,
+                    service: self.info(),
+                },
                 None => unknown_job(id),
             },
             Request::Result { id } => match self.wait(id) {
@@ -362,7 +420,39 @@ impl Service {
                 },
                 None => unknown_job(id),
             },
-            Request::List => Response::Jobs { jobs: self.list() },
+            Request::List => Response::Jobs {
+                jobs: self.list(),
+                service: self.info(),
+            },
+            Request::Metrics => Response::Metrics {
+                text: self.inner.metrics.render(),
+            },
+            Request::Progress { id } => match self.status(id) {
+                Some(state) => {
+                    let progress = self.inner.metrics.progress(id).unwrap_or_else(|| {
+                        // Not started yet (or already settled without
+                        // running): zeros against the spec's total.
+                        let table = self.inner.table.lock().expect("job table poisoned");
+                        RunProgress {
+                            ticks: 0,
+                            samples_done: 0,
+                            samples_total: table.jobs.get(&id).map_or(0, |j| j.spec.samples as u64),
+                            fmfi_milli: 0,
+                        }
+                    });
+                    Response::Progress {
+                        id,
+                        state,
+                        progress: JobProgress {
+                            ticks: progress.ticks,
+                            samples_done: progress.samples_done,
+                            samples_total: progress.samples_total,
+                            fmfi_milli: progress.fmfi_milli,
+                        },
+                    }
+                }
+                None => unknown_job(id),
+            },
             Request::Shutdown => {
                 self.request_stop();
                 Response::ShuttingDown
@@ -391,6 +481,7 @@ fn worker_loop(inner: &Inner, shard_idx: usize) {
                     continue;
                 }
                 if let Some(id) = queue.pop_front() {
+                    inner.metrics.on_dequeue(shard_idx, queue.len());
                     break id;
                 }
                 if stopping {
@@ -406,7 +497,7 @@ fn worker_loop(inner: &Inner, shard_idx: usize) {
 /// Executes job `id` (or skips it if it was cancelled while queued),
 /// recording the outcome and waking result waiters.
 fn run_one(inner: &Inner, id: u64) {
-    let spec = {
+    let (spec, wait_ns) = {
         let mut table = inner.table.lock().expect("job table poisoned");
         let Some(entry) = table.jobs.get_mut(&id) else {
             return;
@@ -415,19 +506,35 @@ fn run_one(inner: &Inner, id: u64) {
             return; // cancelled while queued
         }
         entry.state = JobState::Running;
-        entry.spec.clone()
+        let wait_ns = u64::try_from(entry.queued_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (entry.spec.clone(), wait_ns)
     };
+    inner.metrics.on_start(id, wait_ns, spec.samples as u64);
+    let started = Instant::now();
+    // Per-tick heartbeats make the in-flight job visible to `watch` and
+    // `/metrics`; the hook only reads state the tick already computed,
+    // so a metered run measures bit-identically to an unmetered one.
+    let heartbeat_metrics = Arc::clone(&inner.metrics);
+    let hook: Box<dyn FnMut(RunProgress) + Send> =
+        Box::new(move |p| heartbeat_metrics.heartbeat(id, p));
     // A panicking simulation must not take its worker (or the whole
     // daemon) down — it becomes a Failed job like any other error.
-    let outcome =
-        catch_unwind(AssertUnwindSafe(|| job::execute(&spec))).unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-                .unwrap_or_else(|| "non-string panic payload".to_owned());
-            Err(format!("job panicked: {msg}"))
-        });
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        job::execute_with_progress(&spec, Some(hook))
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Err(format!("job panicked: {msg}"))
+    });
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    match &outcome {
+        Ok(result) => inner.metrics.on_done(id, wall_ns, result),
+        Err(_) => inner.metrics.on_failed(id, wall_ns),
+    }
     let mut table = inner.table.lock().expect("job table poisoned");
     if let Some(entry) = table.jobs.get_mut(&id) {
         match outcome {
@@ -557,16 +664,57 @@ mod tests {
             Response::Result { id: rid, .. } => assert_eq!(rid, id),
             other => panic!("expected Result, got {other:?}"),
         }
-        assert_eq!(
-            service.handle(Request::Status { id }),
+        match service.handle(Request::Status { id }) {
             Response::Status {
-                id,
-                state: JobState::Done
+                id: rid,
+                state,
+                service: info,
+            } => {
+                assert_eq!(rid, id);
+                assert_eq!(state, JobState::Done);
+                assert_eq!(info.workers, 1);
+                assert_eq!(info.queue_depth, 4);
+                assert!(!info.paused);
+                assert_eq!(info.queues, vec![0]);
             }
-        );
+            other => panic!("expected Status, got {other:?}"),
+        }
         match service.handle(Request::List) {
-            Response::Jobs { jobs } => assert_eq!(jobs.len(), 1),
+            Response::Jobs {
+                jobs,
+                service: info,
+            } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(info.queues.len(), 1);
+            }
             other => panic!("expected Jobs, got {other:?}"),
+        }
+        match service.handle(Request::Metrics) {
+            Response::Metrics { text } => {
+                assert!(
+                    text.contains("tridentd_jobs_total{state=\"done\"} 1\n"),
+                    "{text}"
+                );
+                trident_prof::prom::lint(&text).unwrap();
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        match service.handle(Request::Progress { id }) {
+            Response::Progress {
+                id: rid,
+                state,
+                progress,
+            } => {
+                assert_eq!(rid, id);
+                assert_eq!(state, JobState::Done);
+                assert_eq!(progress.samples_done, progress.samples_total);
+                assert!(progress.samples_total > 0);
+            }
+            other => panic!("expected Progress, got {other:?}"),
+        }
+        match service.handle(Request::Progress { id: 42 }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+            other => panic!("expected Error, got {other:?}"),
         }
         match service.handle(Request::Status { id: 42 }) {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),

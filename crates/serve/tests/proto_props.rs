@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
 use trident_serve::proto::{
-    ErrorCode, FaultSpec, JobResult, JobSpec, JobState, JobSummary, ProtoError, Request, Response,
-    TenantJob, TenantRow, PROTO_VERSION,
+    ErrorCode, FaultSpec, JobProgress, JobResult, JobSpec, JobState, JobSummary, ProtoError,
+    Request, Response, ServiceInfo, TenantJob, TenantRow, PROTO_VERSION,
 };
 use trident_types::PageSize;
 
@@ -211,31 +211,72 @@ fn requests() -> impl Strategy<Value = Request> {
         any::<u64>().prop_map(|id| Request::Status { id }),
         any::<u64>().prop_map(|id| Request::Result { id }),
         any::<u64>().prop_map(|id| Request::Cancel { id }),
+        any::<u64>().prop_map(|id| Request::Progress { id }),
         Just(Request::List),
+        Just(Request::Metrics),
         Just(Request::Shutdown),
     ]
+}
+
+fn service_infos() -> impl Strategy<Value = ServiceInfo> {
+    (
+        any::<bool>(),
+        1u64..64,
+        1u64..(1 << 20),
+        prop::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(|(paused, workers, queue_depth, queues)| ServiceInfo {
+            paused,
+            workers: workers as usize,
+            queue_depth: queue_depth as usize,
+            queues,
+        })
+}
+
+fn job_progresses() -> impl Strategy<Value = JobProgress> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), 0u64..=10_000).prop_map(
+        |(ticks, samples_done, samples_total, fmfi_milli)| JobProgress {
+            ticks,
+            samples_done,
+            samples_total,
+            fmfi_milli,
+        },
+    )
 }
 
 fn responses() -> impl Strategy<Value = Response> {
     prop_oneof![
         any::<u64>().prop_map(|id| Response::Submitted { id }),
-        (any::<u64>(), states()).prop_map(|(id, state)| Response::Status { id, state }),
+        (any::<u64>(), states(), service_infos())
+            .prop_map(|(id, state, service)| Response::Status { id, state, service }),
         (any::<u64>(), job_results()).prop_map(|(id, result)| Response::Result { id, result }),
         any::<u64>().prop_map(|id| Response::Cancelled { id }),
-        prop::collection::vec(
-            ((any::<u64>(), states()), wire_strings(), wire_strings()),
-            0..5
+        (
+            prop::collection::vec(
+                ((any::<u64>(), states()), wire_strings(), wire_strings()),
+                0..5
+            ),
+            service_infos()
         )
-        .prop_map(|rows| Response::Jobs {
-            jobs: rows
-                .into_iter()
-                .map(|((id, state), workload, policy)| JobSummary {
-                    id,
-                    state,
-                    workload,
-                    policy,
-                })
-                .collect(),
+            .prop_map(|(rows, service)| Response::Jobs {
+                jobs: rows
+                    .into_iter()
+                    .map(|((id, state), workload, policy)| JobSummary {
+                        id,
+                        state,
+                        workload,
+                        policy,
+                    })
+                    .collect(),
+                service,
+            }),
+        wire_strings().prop_map(|text| Response::Metrics { text }),
+        (any::<u64>(), states(), job_progresses()).prop_map(|(id, state, progress)| {
+            Response::Progress {
+                id,
+                state,
+                progress,
+            }
         }),
         Just(Response::ShuttingDown),
         (error_codes(), wire_strings())

@@ -187,6 +187,130 @@ fn socket_colocation_smoke_matches_local_and_stays_isolated() {
 }
 
 #[test]
+fn socket_observability_plane_reports_the_run() {
+    // The whole v3 surface over one socket: queue occupancy and the
+    // paused flag ride on Status/Jobs, a finished job answers Progress
+    // with its final sample counts, and Metrics returns a lint-clean
+    // Prometheus body whose counters reflect the job that just ran.
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 4,
+        start_paused: true,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let id = submit(&mut client, spec(None));
+    match client.request(&Request::Status { id }).unwrap() {
+        Response::Status { service: info, .. } => {
+            assert!(info.paused, "daemon started paused");
+            assert_eq!(info.workers, 2);
+            assert_eq!(info.queue_depth, 4);
+            assert_eq!(info.queues.iter().sum::<u64>(), 1, "{:?}", info.queues);
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+
+    service.resume();
+    fetch(&mut client, id);
+
+    match client.request(&Request::List).unwrap() {
+        Response::Jobs {
+            jobs,
+            service: info,
+        } => {
+            assert_eq!(jobs.len(), 1);
+            assert!(!info.paused, "resume must clear the flag on the wire");
+            assert_eq!(info.queues, vec![0, 0], "backlog drained");
+        }
+        other => panic!("expected Jobs, got {other:?}"),
+    }
+
+    match client.request(&Request::Progress { id }).unwrap() {
+        Response::Progress {
+            id: rid,
+            state,
+            progress,
+        } => {
+            assert_eq!(rid, id);
+            assert_eq!(state, trident_serve::proto::JobState::Done);
+            assert_eq!(progress.samples_done, 2_000);
+            assert_eq!(progress.samples_total, 2_000);
+            assert!(progress.ticks > 0, "the per-tick hook must have fired");
+        }
+        other => panic!("expected Progress, got {other:?}"),
+    }
+    match client.request(&Request::Progress { id: 999 }).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+        other => panic!("expected unknown_job, got {other:?}"),
+    }
+
+    match client.request(&Request::Metrics).unwrap() {
+        Response::Metrics { text } => {
+            trident_prof::prom::lint(&text).unwrap();
+            assert!(
+                text.contains("tridentd_jobs_total{state=\"done\"} 1\n"),
+                "{text}"
+            );
+            assert!(
+                text.contains("tridentd_submissions_total{outcome=\"accepted\"} 1\n"),
+                "{text}"
+            );
+            assert!(
+                text.contains("tridentd_tenant_samples_total{workload=\"GUPS\"} 2000\n"),
+                "{text}"
+            );
+            assert!(text.contains("tridentd_heartbeats_total"), "{text}");
+            assert!(text.contains("tridentd_job_wall_ns_count 1\n"), "{text}");
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    teardown(client, handle, service);
+}
+
+#[test]
+fn socket_trace_drops_surface_end_to_end() {
+    // A deliberately tiny trace ring overflows; the drop count must
+    // survive the wire in JobResult and fold into the daemon's
+    // tridentd_trace_dropped_total — and a hookless direct run of the
+    // same spec must drop exactly as many events (the progress hook and
+    // registry never perturb the run).
+    let mut job = spec(None);
+    job.trace_capacity = Some(8);
+    let local = trident_serve::job::execute(&job).unwrap();
+    assert!(local.trace_dropped > 0, "an 8-slot ring must overflow");
+
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 1,
+        queue_depth: 4,
+        start_paused: false,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let id = submit(&mut client, job);
+    let remote = fetch(&mut client, id);
+    assert_eq!(remote.trace_dropped, local.trace_dropped);
+    assert_eq!(remote, local, "metered run drifted from direct run");
+
+    match client.request(&Request::Metrics).unwrap() {
+        Response::Metrics { text } => {
+            assert!(
+                text.contains(&format!(
+                    "tridentd_trace_dropped_total {}\n",
+                    local.trace_dropped
+                )),
+                "{text}"
+            );
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    teardown(client, handle, service);
+}
+
+#[test]
 fn socket_rejects_what_resolve_rejects() {
     // Submit-time validation reaches the client as a typed bad_request:
     // an impossible fault probability (> 1000 thousandths).

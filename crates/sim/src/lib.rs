@@ -44,7 +44,7 @@ pub use model::{PerfModel, PerfPoint};
 pub use policy::PolicyKind;
 pub use report::RunReport;
 pub use runner::{derive_cell_seed, Cell, Runner, VirtCell};
-pub use system::{Measurement, System, SystemBuilder, TenantMeasurement, TenantSpec};
+pub use system::{Measurement, RunProgress, System, SystemBuilder, TenantMeasurement, TenantSpec};
 // Tenant vocabulary, re-exported so experiment authors need not depend on
 // `trident-core`/`trident-types` directly.
 pub use trident_core::{PinnedRange, PolicyHint};

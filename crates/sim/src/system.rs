@@ -406,10 +406,32 @@ impl SystemBuilder {
             touched: 0,
             mappable_timeline: Vec::new(),
             violations: Vec::new(),
+            ticks: 0,
+            samples_done: 0,
+            progress_hook: None,
         };
         system.load_all();
         Ok(system)
     }
+}
+
+/// A point-in-time progress report handed to a [`System`] progress
+/// hook at every daemon tick.
+///
+/// Everything here is read off state the tick already computed — taking
+/// a report never touches the seeded RNG or modeled time, so a run
+/// observed through a hook measures bit-identically to an unobserved
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Daemon ticks executed so far (load, settle and measure phases).
+    pub ticks: u64,
+    /// Measured accesses completed so far (0 until `measure` starts).
+    pub samples_done: u64,
+    /// Total accesses `measure` will perform.
+    pub samples_total: u64,
+    /// Current 1GB free-memory fragmentation index, in thousandths.
+    pub fmfi_milli: u64,
 }
 
 /// A native machine: one physical pool, N tenant processes, one kernel
@@ -435,6 +457,9 @@ pub struct System {
     /// `config.audit` is set — and expected to stay empty even under
     /// fault injection; anything here is a bug).
     violations: Vec<InvariantViolation>,
+    ticks: u64,
+    samples_done: u64,
+    progress_hook: Option<Box<dyn FnMut(RunProgress) + Send>>,
 }
 
 impl std::fmt::Debug for System {
@@ -653,7 +678,38 @@ impl System {
             #[cfg(debug_assertions)]
             trident_core::assert_mm_consistent(&self.ctx, &self.spaces);
         }
+        self.ticks += 1;
+        if self.progress_hook.is_some() {
+            // The gauge is a pure read of buddy state; computed only when
+            // someone is listening, and the hook itself never touches the
+            // RNG or modeled time, so observed and unobserved runs stay
+            // bit-identical.
+            let fmfi_milli = (self.ctx.mem.fmfi(PageSize::Giant) * 1000.0).round() as u64;
+            let progress = RunProgress {
+                ticks: self.ticks,
+                samples_done: self.samples_done,
+                samples_total: self.config.measure_samples as u64,
+                fmfi_milli,
+            };
+            if let Some(hook) = self.progress_hook.as_mut() {
+                hook(progress);
+            }
+        }
         out
+    }
+
+    /// Installs a per-tick progress hook; fired after every daemon tick
+    /// with a [`RunProgress`] report. The hook observes the run without
+    /// perturbing it: installing one must not (and cannot, through this
+    /// API) change what the system computes.
+    pub fn set_progress_hook(&mut self, hook: Box<dyn FnMut(RunProgress) + Send>) {
+        self.progress_hook = Some(hook);
+    }
+
+    /// Daemon ticks executed so far, across all phases.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
     }
 
     /// Invariant violations collected by the per-tick audit; always empty
@@ -727,6 +783,7 @@ impl System {
         for i in 0..self.config.measure_samples {
             let idx = i % n;
             let result = self.measured_access(idx, Some(&mut miss_by_chunk));
+            self.samples_done = (i + 1) as u64;
             per_samples[idx] += 1;
             per_cycles[idx] += result.cycles;
             if result.outcome == TlbOutcome::Miss {
