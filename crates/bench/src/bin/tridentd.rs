@@ -10,12 +10,18 @@
 //! tridentd --listen 127.0.0.1:7117 --workers 4 --queue-depth 64
 //! tridentd --stdin            # serve one request stream on stdin
 //! tridentd --metrics-listen 127.0.0.1:9117   # add a /metrics scraper
+//! tridentd --journal /var/lib/tridentd/jobs.jsonl   # crash durability
 //! ```
 //!
 //! With `--metrics-listen`, a second listener serves `GET /metrics`
 //! (Prometheus text) and `GET /healthz` (200 while serving, 503 once
 //! draining) on its own thread; scrapes read an in-memory registry and
 //! never contend with job execution.
+//!
+//! With `--journal PATH`, every accepted job is fsync'd to an
+//! append-only journal before it runs and marked again when it settles;
+//! on restart the journal is replayed and accepted-but-unfinished jobs
+//! re-execute (safe: results are a pure function of the spec).
 //!
 //! A client `shutdown` request (or end of stdin) drains queued and
 //! in-flight jobs before the process exits.
@@ -27,7 +33,7 @@ use trident_serve::service::{Service, ServiceConfig};
 use trident_serve::{serve_lines, serve_metrics, serve_tcp, MetricsHandle};
 
 const USAGE: &str = "usage: tridentd [--listen ADDR] [--stdin] [--workers N] [--queue-depth N] \
-                     [--metrics-listen ADDR]";
+                     [--metrics-listen ADDR] [--journal PATH]";
 
 fn main() {
     let mut args = Args::from_env();
@@ -39,19 +45,43 @@ fn main() {
         let workers = args.parsed_or("--workers", 0usize)?;
         let queue_depth = args.parsed_or("--queue-depth", 64usize)?;
         let metrics_listen = args.value("--metrics-listen")?;
-        Ok((listen, workers, queue_depth, metrics_listen))
+        let journal = args.value("--journal")?;
+        Ok((listen, workers, queue_depth, metrics_listen, journal))
     })();
-    let (listen, workers, queue_depth, metrics_listen) =
+    let (listen, workers, queue_depth, metrics_listen, journal) =
         match parsed.and_then(|v| args.finish().map(|()| v)) {
             Ok(v) => v,
             Err(err) => err.exit(USAGE),
         };
 
-    let service = Service::start(ServiceConfig {
+    let config = ServiceConfig {
         workers,
         queue_depth,
         start_paused: false,
-    });
+    };
+    let service = match journal {
+        Some(path) => match Service::start_with_journal(config, std::path::Path::new(&path)) {
+            Ok((service, replay)) => {
+                // The smoke tests parse this line for the replay count.
+                eprintln!(
+                    "# tridentd: journal replayed {} jobs ({} records{})",
+                    replay.replayed,
+                    replay.records,
+                    if replay.corrupt > 0 {
+                        format!(", {} corrupt lines skipped", replay.corrupt)
+                    } else {
+                        String::new()
+                    }
+                );
+                service
+            }
+            Err(err) => {
+                eprintln!("tridentd: cannot open journal {path}: {err}");
+                std::process::exit(1);
+            }
+        },
+        None => Service::start(config),
+    };
     eprintln!(
         "# tridentd: {} workers, queue depth {} per shard",
         service.workers(),

@@ -45,7 +45,10 @@
 #![deny(deprecated)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod wire;
+
 pub use trident_obs::InjectSite;
+pub use wire::{mix64, WireInjector, WirePlan, WirePlanError, WireSite, WIRE_SITE_COUNT};
 
 /// Number of injection sites (the length of [`InjectSite::ALL`]).
 pub const SITE_COUNT: usize = InjectSite::ALL.len();
@@ -246,7 +249,7 @@ impl std::error::Error for PlanError {}
 /// argument: the output depends only on the input word, never on
 /// scheduling.
 #[must_use]
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

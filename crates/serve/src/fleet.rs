@@ -1,0 +1,803 @@
+//! Fan a grid of cells across a fleet of `tridentd` daemons.
+//!
+//! [`FleetClient`] owns N endpoints and runs a set of grid cells to
+//! completion across them: every cell is submitted with a derived
+//! idempotency key, endpoints that refuse (`queue_full`), die
+//! (connection loss), or stall (deadline expiry) hand their cells back
+//! for another endpoint to take over, and cells stuck in flight longer
+//! than the hedge threshold are *duplicated* onto an idle endpoint.
+//!
+//! All of that aggression is safe for exactly one reason: a cell's
+//! result is a pure function of its spec (`derive_cell_seed`), so a
+//! retried, failed-over, or hedged cell provably produces the same
+//! bytes the original would have. The fleet dedups by cell, keeps the
+//! first result, and *asserts* byte-identity when a duplicate also
+//! completes — a mismatch is not a race to tolerate but a determinism
+//! violation to report ([`FleetError::ResultMismatch`]).
+//!
+//! Endpoints may carry a metrics address (`ADDR,metrics=ADDR`); those
+//! are scored through `/healthz` before the run — a draining or
+//! unreachable daemon starts dead instead of eating a timeout per cell.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use trident_fault::{mix64, WireInjector, WirePlan};
+
+use crate::client::{Client, ClientError};
+use crate::proto::{ErrorCode, JobResult, JobSpec, JobState, ProtoError, Request, Response};
+use crate::retry::RetryPolicy;
+
+/// Everything a fleet run can be tuned by.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Per-operation retry/backoff/deadline policy, applied per
+    /// endpoint.
+    pub retry: RetryPolicy,
+    /// How long a cell may sit in flight before an idle endpoint
+    /// duplicates it (at most once per cell).
+    pub hedge_after: Duration,
+    /// How often an endpoint polls a submitted job's status.
+    pub poll_interval: Duration,
+    /// Seeded wire-fault plan for chaos runs; each endpoint gets a
+    /// decorrelated reseed of it.
+    pub wire: Option<WirePlan>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            retry: RetryPolicy::default(),
+            hedge_after: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            wire: None,
+        }
+    }
+}
+
+/// Why a fleet run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The endpoint list was empty.
+    NoEndpoints,
+    /// An endpoint spec was not `ADDR` or `ADDR,metrics=ADDR`.
+    BadEndpoint(String),
+    /// Every endpoint died (or started dead) with cells still unrun.
+    AllEndpointsFailed {
+        /// Cells that never produced a result.
+        cells_remaining: usize,
+    },
+    /// A cell's job ran and failed — deterministic, so no retry can
+    /// help; the whole grid aborts.
+    JobFailed {
+        /// The failing cell.
+        cell: u64,
+        /// The daemon's failure text.
+        message: String,
+    },
+    /// Two runs of the same cell returned different bytes: a
+    /// determinism violation, never tolerated.
+    ResultMismatch {
+        /// The offending cell.
+        cell: u64,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoEndpoints => f.write_str("no endpoints given"),
+            FleetError::BadEndpoint(spec) => {
+                write!(f, "bad endpoint spec {spec:?} (want ADDR[,metrics=ADDR])")
+            }
+            FleetError::AllEndpointsFailed { cells_remaining } => write!(
+                f,
+                "every endpoint failed with {cells_remaining} cell(s) unfinished"
+            ),
+            FleetError::JobFailed { cell, message } => {
+                write!(f, "cell {cell} failed deterministically: {message}")
+            }
+            FleetError::ResultMismatch { cell } => write!(
+                f,
+                "cell {cell} produced two different results — determinism violation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Counters a fleet run accumulates; scraped by the chaos CI leg to
+/// prove retries stay bounded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Submit requests sent (first tries and retries).
+    pub submits: u64,
+    /// Submits the daemons accepted.
+    pub accepted: u64,
+    /// Submits refused with `queue_full`.
+    pub queue_full: u64,
+    /// Per-operation deadlines that expired.
+    pub timeouts: u64,
+    /// Transport failures (connection loss, poisoned streams, I/O).
+    pub io_errors: u64,
+    /// Answers that decoded as malformed (wire corruption).
+    pub malformed: u64,
+    /// Cells handed back because their endpoint died.
+    pub failovers: u64,
+    /// Cells duplicated onto an idle endpoint.
+    pub hedges: u64,
+    /// Results that arrived for an already-completed cell.
+    pub duplicates: u64,
+    /// Duplicate results that differed (also a [`FleetError::ResultMismatch`]).
+    pub mismatches: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    submits: AtomicU64,
+    accepted: AtomicU64,
+    queue_full: AtomicU64,
+    timeouts: AtomicU64,
+    io_errors: AtomicU64,
+    malformed: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    duplicates: AtomicU64,
+    mismatches: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> FleetStats {
+        let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
+        FleetStats {
+            submits: load(&self.submits),
+            accepted: load(&self.accepted),
+            queue_full: load(&self.queue_full),
+            timeouts: load(&self.timeouts),
+            io_errors: load(&self.io_errors),
+            malformed: load(&self.malformed),
+            failovers: load(&self.failovers),
+            hedges: load(&self.hedges),
+            duplicates: load(&self.duplicates),
+            mismatches: load(&self.mismatches),
+        }
+    }
+}
+
+/// What a completed fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// One result per requested cell, sorted by cell index — identical
+    /// bytes to running every cell on one daemon.
+    pub results: Vec<(u64, JobResult)>,
+    /// The run's retry/failover accounting.
+    pub stats: FleetStats,
+}
+
+/// What probing an endpoint's `/healthz` found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// 200: accepting work.
+    Serving,
+    /// 503: draining for shutdown.
+    Draining {
+        /// The `Retry-After` hint, in seconds, when the daemon sent one.
+        retry_after: Option<u64>,
+    },
+    /// No HTTP answer within the timeout.
+    Unreachable,
+}
+
+/// Issues one `GET /healthz` to a metrics endpoint and classifies the
+/// answer. Used by `tridentctl health` and by [`FleetClient`] to score
+/// endpoints before a run.
+#[must_use]
+pub fn probe_healthz(addr: &str, timeout: Duration) -> Health {
+    let Some(sock) = addr.to_socket_addrs().ok().and_then(|mut it| it.next()) else {
+        return Health::Unreachable;
+    };
+    let Ok(mut stream) = TcpStream::connect_timeout(&sock, timeout) else {
+        return Health::Unreachable;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+        || stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .is_err()
+    {
+        return Health::Unreachable;
+    }
+    let mut raw = String::new();
+    if stream.read_to_string(&mut raw).is_err() || raw.is_empty() {
+        return Health::Unreachable;
+    }
+    let status = raw.lines().next().unwrap_or("");
+    if status.contains(" 200") {
+        return Health::Serving;
+    }
+    if status.contains(" 503") {
+        let retry_after = raw.lines().find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            if name.eq_ignore_ascii_case("retry-after") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        });
+        return Health::Draining { retry_after };
+    }
+    Health::Unreachable
+}
+
+#[derive(Debug, Clone)]
+struct Endpoint {
+    addr: String,
+    metrics: Option<String>,
+}
+
+fn parse_endpoint(spec: &str) -> Result<Endpoint, FleetError> {
+    let mut parts = spec.split(',');
+    let addr = parts.next().unwrap_or("").trim();
+    if addr.is_empty() {
+        return Err(FleetError::BadEndpoint(spec.to_owned()));
+    }
+    let mut metrics = None;
+    for part in parts {
+        match part.trim().strip_prefix("metrics=") {
+            Some(m) if !m.is_empty() => metrics = Some(m.to_owned()),
+            _ => return Err(FleetError::BadEndpoint(spec.to_owned())),
+        }
+    }
+    Ok(Endpoint {
+        addr: addr.to_owned(),
+        metrics,
+    })
+}
+
+struct Inflight {
+    started: Instant,
+    hedged: bool,
+}
+
+struct Shared {
+    /// Cells waiting for an owner. Lock order: queue → results → inflight.
+    queue: Mutex<VecDeque<u64>>,
+    results: Mutex<HashMap<u64, JobResult>>,
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    failure: Mutex<Option<FleetError>>,
+    /// Cells without a recorded result yet.
+    remaining: AtomicUsize,
+    stats: SharedStats,
+}
+
+impl Shared {
+    fn new(cells: &[u64]) -> Shared {
+        Shared {
+            queue: Mutex::new(cells.iter().copied().collect()),
+            results: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            failure: Mutex::new(None),
+            remaining: AtomicUsize::new(cells.len()),
+            stats: SharedStats::default(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
+            || self.failure.lock().expect("failure poisoned").is_some()
+    }
+
+    fn fail(&self, err: FleetError) {
+        let mut failure = self.failure.lock().expect("failure poisoned");
+        failure.get_or_insert(err);
+    }
+
+    /// The next cell for an idle endpoint: a queued cell if any, else a
+    /// hedge of the oldest over-age in-flight cell (at most one hedge
+    /// per cell).
+    fn take_cell(&self, hedge_after: Duration) -> Option<u64> {
+        loop {
+            let queued = self.queue.lock().expect("queue poisoned").pop_front();
+            match queued {
+                Some(cell) => {
+                    if self
+                        .results
+                        .lock()
+                        .expect("results poisoned")
+                        .contains_key(&cell)
+                    {
+                        continue; // a hedge already finished it
+                    }
+                    self.inflight.lock().expect("inflight poisoned").insert(
+                        cell,
+                        Inflight {
+                            started: Instant::now(),
+                            hedged: false,
+                        },
+                    );
+                    return Some(cell);
+                }
+                None => break,
+            }
+        }
+        let now = Instant::now();
+        let mut inflight = self.inflight.lock().expect("inflight poisoned");
+        let candidate = inflight
+            .iter_mut()
+            .filter(|(_, f)| !f.hedged && now.duration_since(f.started) >= hedge_after)
+            .min_by_key(|(_, f)| f.started)
+            .map(|(cell, f)| {
+                f.hedged = true;
+                *cell
+            });
+        if candidate.is_some() {
+            self.stats.hedges.fetch_add(1, Ordering::SeqCst);
+        }
+        candidate
+    }
+
+    /// Hands a cell back after its endpoint died.
+    fn requeue(&self, cell: u64) {
+        self.inflight
+            .lock()
+            .expect("inflight poisoned")
+            .remove(&cell);
+        self.queue.lock().expect("queue poisoned").push_back(cell);
+        self.stats.failovers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a completed cell; duplicates must match byte-for-byte.
+    /// Returns `false` when a mismatch aborted the run.
+    fn record(&self, cell: u64, result: JobResult) -> bool {
+        let mut results = self.results.lock().expect("results poisoned");
+        if let Some(prev) = results.get(&cell) {
+            self.stats.duplicates.fetch_add(1, Ordering::SeqCst);
+            if *prev != result {
+                self.stats.mismatches.fetch_add(1, Ordering::SeqCst);
+                drop(results);
+                self.fail(FleetError::ResultMismatch { cell });
+                return false;
+            }
+            return true;
+        }
+        results.insert(cell, result);
+        drop(results);
+        self.inflight
+            .lock()
+            .expect("inflight poisoned")
+            .remove(&cell);
+        self.remaining.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+}
+
+/// A client that runs grid cells across a fleet of daemons. See the
+/// module docs for the failover/hedging model.
+#[derive(Debug)]
+pub struct FleetClient {
+    endpoints: Vec<Endpoint>,
+    config: FleetConfig,
+}
+
+impl FleetClient {
+    /// Builds a fleet from endpoint specs (`ADDR` or
+    /// `ADDR,metrics=ADDR`).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoEndpoints`] on an empty list,
+    /// [`FleetError::BadEndpoint`] on an unparsable spec.
+    pub fn new(endpoints: &[String], config: FleetConfig) -> Result<FleetClient, FleetError> {
+        if endpoints.is_empty() {
+            return Err(FleetError::NoEndpoints);
+        }
+        let endpoints = endpoints
+            .iter()
+            .map(|spec| parse_endpoint(spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FleetClient { endpoints, config })
+    }
+
+    /// The parsed endpoint addresses, in the order given.
+    #[must_use]
+    pub fn addrs(&self) -> Vec<String> {
+        self.endpoints.iter().map(|e| e.addr.clone()).collect()
+    }
+
+    /// Runs every cell of `cells` (as `base` with
+    /// `cell_index = Some(cell)` and a derived idempotency key) across
+    /// the fleet and returns one result per cell, sorted by cell index
+    /// — byte-identical to running the same cells on one daemon.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetError`]; on error some daemons may still be running
+    /// already-submitted duplicates (harmless: deterministic).
+    pub fn run_cells(&self, base: &JobSpec, cells: &[u64]) -> Result<FleetOutcome, FleetError> {
+        if cells.is_empty() {
+            return Ok(FleetOutcome {
+                results: Vec::new(),
+                stats: FleetStats::default(),
+            });
+        }
+        // Score endpoints that expose a metrics address: a draining or
+        // unreachable daemon starts dead instead of costing a timeout
+        // per cell.
+        let live: Vec<(usize, &Endpoint)> = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| match &e.metrics {
+                None => true,
+                Some(addr) => {
+                    probe_healthz(addr, self.config.retry.connect_timeout) == Health::Serving
+                }
+            })
+            .collect();
+        if live.is_empty() {
+            return Err(FleetError::AllEndpointsFailed {
+                cells_remaining: cells.len(),
+            });
+        }
+        let shared = Shared::new(cells);
+        std::thread::scope(|scope| {
+            for (idx, endpoint) in &live {
+                let shared = &shared;
+                let config = &self.config;
+                // Each endpoint's chaos stream is decorrelated from its
+                // peers' by reseeding the shared plan per endpoint.
+                let wire = config
+                    .wire
+                    .map(|plan| plan.reseeded(mix64(plan.seed() ^ (*idx as u64 + 1))));
+                let addr = endpoint.addr.clone();
+                scope.spawn(move || endpoint_worker(shared, &addr, config, base, wire));
+            }
+        });
+        let stats = shared.stats.snapshot();
+        if let Some(err) = shared.failure.lock().expect("failure poisoned").take() {
+            return Err(err);
+        }
+        let remaining = shared.remaining.load(Ordering::SeqCst);
+        if remaining > 0 {
+            return Err(FleetError::AllEndpointsFailed {
+                cells_remaining: remaining,
+            });
+        }
+        let mut results: Vec<(u64, JobResult)> = shared
+            .results
+            .into_inner()
+            .expect("results poisoned")
+            .into_iter()
+            .collect();
+        results.sort_by_key(|(cell, _)| *cell);
+        Ok(FleetOutcome { results, stats })
+    }
+}
+
+/// The idempotency key a fleet submission carries: spec identity plus
+/// cell index, so any two submissions of the same logical cell collide.
+fn cell_key(base: &JobSpec, cell: u64) -> String {
+    format!(
+        "{}/{}/s{}/x{}/c{}",
+        base.workload, base.policy, base.seed, base.scale, cell
+    )
+}
+
+enum CellOutcome {
+    /// Result recorded (possibly as a verified duplicate).
+    Recorded,
+    /// The endpoint is unusable; the caller requeues and retires.
+    EndpointDead,
+    /// A grid-level failure was recorded; stop taking cells.
+    Abort,
+}
+
+fn endpoint_worker(
+    shared: &Shared,
+    addr: &str,
+    config: &FleetConfig,
+    base: &JobSpec,
+    wire: Option<WirePlan>,
+) {
+    let mut client: Option<Client> = None;
+    let mut injector = wire.map(WireInjector::new);
+    loop {
+        if shared.done() {
+            return;
+        }
+        let Some(cell) = shared.take_cell(config.hedge_after) else {
+            // Nothing to take right now; cells are in flight elsewhere.
+            std::thread::sleep(config.poll_interval);
+            continue;
+        };
+        match run_cell(shared, &mut client, &mut injector, addr, config, base, cell) {
+            CellOutcome::Recorded => {}
+            CellOutcome::EndpointDead => {
+                shared.requeue(cell);
+                return;
+            }
+            CellOutcome::Abort => return,
+        }
+    }
+}
+
+/// Parks the connection's wire injector and drops the stream, so the
+/// fault stream survives the reconnect.
+fn drop_client(client: &mut Option<Client>, injector: &mut Option<WireInjector>) {
+    if let Some(mut c) = client.take() {
+        if let Some(w) = c.take_wire_faults() {
+            *injector = Some(w);
+        }
+    }
+}
+
+/// Ensures a live connection, re-attaching the parked injector.
+fn ensure_client(
+    client: &mut Option<Client>,
+    injector: &mut Option<WireInjector>,
+    addr: &str,
+    policy: RetryPolicy,
+) -> bool {
+    if client.is_none() {
+        match Client::connect_with(addr, policy) {
+            Ok(mut c) => {
+                if let Some(w) = injector.take() {
+                    c.set_wire_faults(w);
+                }
+                *client = Some(c);
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Notes a transport/protocol error in the stats; returns whether the
+/// connection must be re-established.
+fn note_error(shared: &Shared, err: &ClientError) -> bool {
+    match err {
+        ClientError::Proto(ProtoError::Timeout { .. }) => {
+            shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        ClientError::Proto(_) => {
+            // A mangled-but-consumed line: framing is intact, the
+            // connection stays usable.
+            shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+        ClientError::Io(_) | ClientError::ConnectionClosed | ClientError::Poisoned => {
+            shared.stats.io_errors.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cell(
+    shared: &Shared,
+    client: &mut Option<Client>,
+    injector: &mut Option<WireInjector>,
+    addr: &str,
+    config: &FleetConfig,
+    base: &JobSpec,
+    cell: u64,
+) -> CellOutcome {
+    let mut spec = base.clone();
+    spec.cell_index = Some(cell);
+    spec.key = Some(cell_key(base, cell));
+    let policy = config.retry;
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        if shared.done() {
+            // A peer finished the grid (or failed it) while we retried.
+            return CellOutcome::Recorded;
+        }
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+        if !ensure_client(client, injector, addr, policy) {
+            return CellOutcome::EndpointDead;
+        }
+        let cli = client.as_mut().expect("just ensured");
+        shared.stats.submits.fetch_add(1, Ordering::SeqCst);
+        let id = match cli.request(&Request::Submit(spec.clone())) {
+            Ok(Response::Submitted { id }) => id,
+            Ok(Response::Error { code, message }) => match code {
+                ErrorCode::QueueFull => {
+                    shared.stats.queue_full.fetch_add(1, Ordering::SeqCst);
+                    continue;
+                }
+                ErrorCode::ShuttingDown => return CellOutcome::EndpointDead,
+                _ => {
+                    shared.fail(FleetError::JobFailed { cell, message });
+                    return CellOutcome::Abort;
+                }
+            },
+            Ok(_) => {
+                // A response for some other request: the stream is
+                // confused; start over on a fresh connection.
+                shared.stats.io_errors.fetch_add(1, Ordering::SeqCst);
+                drop_client(client, injector);
+                continue;
+            }
+            Err(err) => {
+                if note_error(shared, &err) {
+                    drop_client(client, injector);
+                }
+                continue;
+            }
+        };
+        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        match poll_cell(shared, client, injector, config, id, cell) {
+            PollOutcome::Recorded => return CellOutcome::Recorded,
+            PollOutcome::Abort => return CellOutcome::Abort,
+            PollOutcome::Retry => {}
+        }
+    }
+    CellOutcome::EndpointDead
+}
+
+enum PollOutcome {
+    Recorded,
+    /// Something went wrong that a fresh submission can fix.
+    Retry,
+    Abort,
+}
+
+fn poll_cell(
+    shared: &Shared,
+    client: &mut Option<Client>,
+    injector: &mut Option<WireInjector>,
+    config: &FleetConfig,
+    id: u64,
+    cell: u64,
+) -> PollOutcome {
+    let deadline = Instant::now() + config.retry.result_timeout;
+    loop {
+        if shared.done() {
+            return PollOutcome::Recorded;
+        }
+        if Instant::now() > deadline {
+            shared.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+            return PollOutcome::Retry;
+        }
+        let Some(cli) = client.as_mut() else {
+            return PollOutcome::Retry;
+        };
+        let state = match cli.request(&Request::Status { id }) {
+            Ok(Response::Status { state, .. }) => state,
+            Ok(Response::Error {
+                code: ErrorCode::UnknownJob,
+                ..
+            }) => {
+                // The daemon restarted and lost the job table (its
+                // journal will also re-run it, but we need the result
+                // now): resubmit.
+                return PollOutcome::Retry;
+            }
+            Ok(_) => return PollOutcome::Retry,
+            Err(err) => {
+                if note_error(shared, &err) {
+                    drop_client(client, injector);
+                }
+                return PollOutcome::Retry;
+            }
+        };
+        match state {
+            JobState::Done => {
+                return match cli.request(&Request::Result { id }) {
+                    Ok(Response::Result { result, .. }) => {
+                        if shared.record(cell, result) {
+                            PollOutcome::Recorded
+                        } else {
+                            PollOutcome::Abort
+                        }
+                    }
+                    Ok(Response::Error {
+                        code: ErrorCode::JobFailed,
+                        message,
+                    }) => {
+                        shared.fail(FleetError::JobFailed { cell, message });
+                        PollOutcome::Abort
+                    }
+                    Ok(_) => PollOutcome::Retry,
+                    Err(err) => {
+                        if note_error(shared, &err) {
+                            drop_client(client, injector);
+                        }
+                        PollOutcome::Retry
+                    }
+                };
+            }
+            JobState::Failed => {
+                // Deterministic failure: retrying elsewhere would fail
+                // identically. Fetch the error text for the report.
+                let message = match cli.request(&Request::Result { id }) {
+                    Ok(Response::Error { message, .. }) => message,
+                    _ => "job failed".to_owned(),
+                };
+                shared.fail(FleetError::JobFailed { cell, message });
+                return PollOutcome::Abort;
+            }
+            JobState::Cancelled => return PollOutcome::Retry,
+            JobState::Queued | JobState::Running => {
+                std::thread::sleep(config.poll_interval);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse_with_optional_metrics() {
+        let e = parse_endpoint("127.0.0.1:7117").unwrap();
+        assert_eq!(e.addr, "127.0.0.1:7117");
+        assert_eq!(e.metrics, None);
+        let e = parse_endpoint("127.0.0.1:7117,metrics=127.0.0.1:9100").unwrap();
+        assert_eq!(e.metrics.as_deref(), Some("127.0.0.1:9100"));
+        assert!(parse_endpoint("").is_err());
+        assert!(parse_endpoint("a:1,bogus=x").is_err());
+        assert!(parse_endpoint("a:1,metrics=").is_err());
+    }
+
+    #[test]
+    fn empty_fleet_is_refused_and_empty_grid_is_trivial() {
+        assert_eq!(
+            FleetClient::new(&[], FleetConfig::default()).unwrap_err(),
+            FleetError::NoEndpoints
+        );
+        let fleet = FleetClient::new(
+            &["127.0.0.1:1".to_owned()], // never contacted for zero cells
+            FleetConfig::default(),
+        )
+        .unwrap();
+        let outcome = fleet
+            .run_cells(&JobSpec::new("GUPS", "Trident"), &[])
+            .unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats, FleetStats::default());
+    }
+
+    #[test]
+    fn cell_keys_bind_spec_identity_and_cell() {
+        let base = JobSpec::new("GUPS", "Trident");
+        let a = cell_key(&base, 3);
+        let b = cell_key(&base, 4);
+        assert_ne!(a, b);
+        let mut other = base.clone();
+        other.seed = 99;
+        assert_ne!(cell_key(&other, 3), a, "seed must be part of the key");
+    }
+
+    #[test]
+    fn take_cell_hedges_only_over_age_cells_once() {
+        let shared = Shared::new(&[1]);
+        assert_eq!(shared.take_cell(Duration::from_secs(0)), Some(1));
+        // Immediately hedgeable with a zero threshold, but only once.
+        assert_eq!(shared.take_cell(Duration::from_secs(0)), Some(1));
+        assert_eq!(shared.take_cell(Duration::from_secs(0)), None);
+        assert_eq!(shared.stats.hedges.load(Ordering::SeqCst), 1);
+        // A generous threshold never hedges a fresh cell.
+        let shared = Shared::new(&[2]);
+        assert_eq!(shared.take_cell(Duration::from_secs(3600)), Some(2));
+        assert_eq!(shared.take_cell(Duration::from_secs(3600)), None);
+    }
+
+    #[test]
+    fn probing_an_unbound_port_is_unreachable() {
+        // Port 1 on localhost: connect refused immediately.
+        assert_eq!(
+            probe_healthz("127.0.0.1:1", Duration::from_millis(200)),
+            Health::Unreachable
+        );
+    }
+}

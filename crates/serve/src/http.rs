@@ -5,8 +5,9 @@
 //!
 //! - `GET /metrics` — the full [`DaemonMetrics::render`] Prometheus
 //!   text body.
-//! - `GET /healthz` — `200 ok` while serving, `503 draining` once
-//!   shutdown began (so orchestrators stop routing to a dying daemon).
+//! - `GET /healthz` — `200 ok` while serving, `503 draining` with a
+//!   `Retry-After` hint once shutdown began (so orchestrators stop
+//!   routing to a dying daemon and know when to look again).
 //!
 //! Connections are handled one at a time with short socket timeouts:
 //! a scrape is a sub-millisecond render of an in-memory registry, and a
@@ -25,6 +26,11 @@ use crate::metrics::DaemonMetrics;
 
 /// How long one request may take to arrive or one response to drain.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The `Retry-After` hint (seconds) a draining `/healthz` sends: long
+/// enough for a typical drain, short enough that a fleet client
+/// re-probes a restarted daemon promptly.
+pub const RETRY_AFTER_SECS: u64 = 2;
 
 /// A listening metrics endpoint; stop it with
 /// [`stop`](MetricsHandle::stop) then [`join`](MetricsHandle::join).
@@ -107,19 +113,20 @@ fn handle_connection(stream: TcpStream, metrics: &DaemonMetrics) -> std::io::Res
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = route(method, path, metrics);
-    respond(stream, status, content_type, &body)
+    let (status, content_type, extra_header, body) = route(method, path, metrics);
+    respond(stream, status, content_type, extra_header, &body)
 }
 
 fn route(
     method: &str,
     path: &str,
     metrics: &DaemonMetrics,
-) -> (&'static str, &'static str, String) {
+) -> (&'static str, &'static str, Option<String>, String) {
     if method != "GET" {
         return (
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
+            None,
             "method not allowed\n".to_owned(),
         );
     }
@@ -127,15 +134,22 @@ fn route(
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
+            None,
             metrics.render(),
         ),
         "/healthz" => {
             if metrics.healthy() {
-                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
+                (
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    None,
+                    "ok\n".to_owned(),
+                )
             } else {
                 (
                     "503 Service Unavailable",
                     "text/plain; charset=utf-8",
+                    Some(format!("Retry-After: {RETRY_AFTER_SECS}")),
                     "draining\n".to_owned(),
                 )
             }
@@ -143,6 +157,7 @@ fn route(
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
+            None,
             "not found\n".to_owned(),
         ),
     }
@@ -152,13 +167,19 @@ fn respond(
     mut stream: TcpStream,
     status: &str,
     content_type: &str,
+    extra_header: Option<String>,
     body: &str,
 ) -> std::io::Result<()> {
-    let head = format!(
+    let mut head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    if let Some(header) = extra_header {
+        head.push_str(&header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -169,7 +190,7 @@ mod tests {
     use super::*;
     use std::io::Read;
 
-    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+    fn get(addr: SocketAddr, target: &str) -> (String, String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
             .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
@@ -178,7 +199,7 @@ mod tests {
         stream.read_to_string(&mut raw).unwrap();
         let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
         let status = head.lines().next().unwrap_or("").to_owned();
-        (status, body.to_owned())
+        (status, head.to_owned(), body.to_owned())
     }
 
     #[test]
@@ -187,22 +208,27 @@ mod tests {
         let handle = serve_metrics(Arc::clone(&metrics), "127.0.0.1:0").unwrap();
         let addr = handle.addr();
 
-        let (status, body) = get(addr, "/healthz");
+        let (status, head, body) = get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
         assert_eq!(body, "ok\n");
+        assert!(!head.contains("Retry-After"), "{head}");
 
-        let (status, body) = get(addr, "/metrics");
+        let (status, _, body) = get(addr, "/metrics");
         assert!(status.contains("200"), "{status}");
         assert!(body.contains("tridentd_workers 2\n"), "{body}");
         trident_prof::prom::lint(&body).unwrap();
 
-        let (status, _) = get(addr, "/nope");
+        let (status, _, _) = get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
 
         metrics.set_draining(true);
-        let (status, body) = get(addr, "/healthz");
+        let (status, head, body) = get(addr, "/healthz");
         assert!(status.contains("503"), "{status}");
         assert_eq!(body, "draining\n");
+        assert!(
+            head.contains(&format!("Retry-After: {RETRY_AFTER_SECS}")),
+            "a draining daemon must hint when to re-probe: {head}"
+        );
 
         handle.stop();
         handle.join().unwrap();

@@ -14,6 +14,80 @@
 //! no floats (the protocol carries only integers, strings, booleans,
 //! arrays and objects), duplicate keys take the first occurrence.
 
+use std::io::BufRead;
+
+/// Upper bound on one protocol line, in bytes. The largest legitimate
+/// message — a `result` response embedding a full snapshot and per-
+/// tenant rows — is a few kilobytes; 4 MiB leaves three orders of
+/// magnitude of headroom while stopping a hostile or corrupted peer
+/// from ballooning the reader's buffer without ever sending a newline.
+pub const MAX_LINE_BYTES: usize = 1 << 22;
+
+/// What [`read_line_bounded`] found on the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedLine {
+    /// One complete line, newline stripped.
+    Line(String),
+    /// The stream ended cleanly before any byte of a new line.
+    Eof,
+    /// The line exceeded the byte bound; it was consumed and discarded
+    /// through its newline (or EOF), so the stream stays framed.
+    Oversized,
+}
+
+/// Reads one newline-terminated line without letting a newline-free
+/// peer grow the buffer past `max` bytes.
+///
+/// Unlike `BufRead::read_line`, an over-long line is *drained* rather
+/// than buffered: the reader ends positioned at the start of the next
+/// line, so a server can answer "line too long" and keep serving.
+///
+/// # Errors
+///
+/// Propagates any transport error from the underlying reader, including
+/// `WouldBlock`/`TimedOut` from a socket read deadline.
+pub fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<BoundedLine> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(match (line.is_empty(), oversized) {
+                (true, false) => BoundedLine::Eof,
+                (_, true) => BoundedLine::Oversized,
+                // A final unterminated line still counts: stdin pipes
+                // may omit the trailing newline.
+                (false, false) => BoundedLine::Line(String::from_utf8_lossy(&line).into_owned()),
+            });
+        }
+        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        if !oversized {
+            let keep = taken - usize::from(done);
+            if line.len() + keep > max {
+                oversized = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&chunk[..keep]);
+            }
+        }
+        reader.consume(taken);
+        if done {
+            if oversized {
+                return Ok(BoundedLine::Oversized);
+            }
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(BoundedLine::Line(
+                String::from_utf8_lossy(&line).into_owned(),
+            ));
+        }
+    }
+}
+
 /// Returns the raw value text of `key` in the top level of the JSON
 /// object `obj` (which must start at its opening `{`). The returned
 /// slice is trimmed and may itself be an object, array, string, number,
@@ -261,5 +335,55 @@ mod tests {
     fn keys_containing_escapes_match_decoded() {
         let obj = r#"{"we\"ird":5}"#;
         assert_eq!(field(obj, "we\"ird"), Some("5"));
+    }
+
+    #[test]
+    fn bounded_read_frames_lines_and_eof() {
+        let mut input = std::io::Cursor::new(b"first\nsecond\r\nlast".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut input, 64).unwrap(),
+            BoundedLine::Line("first".to_owned())
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 64).unwrap(),
+            BoundedLine::Line("second".to_owned()),
+            "CRLF framing strips the carriage return"
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 64).unwrap(),
+            BoundedLine::Line("last".to_owned()),
+            "a final unterminated line is still a line"
+        );
+        assert_eq!(read_line_bounded(&mut input, 64).unwrap(), BoundedLine::Eof);
+    }
+
+    #[test]
+    fn bounded_read_drains_oversized_lines() {
+        let long = "x".repeat(100);
+        let mut input = std::io::Cursor::new(format!("{long}\nshort\n").into_bytes());
+        assert_eq!(
+            read_line_bounded(&mut input, 16).unwrap(),
+            BoundedLine::Oversized
+        );
+        assert_eq!(
+            read_line_bounded(&mut input, 16).unwrap(),
+            BoundedLine::Line("short".to_owned()),
+            "the stream stays framed after an oversized line"
+        );
+    }
+
+    #[test]
+    fn bounded_read_handles_exact_boundary() {
+        let mut at = std::io::Cursor::new(b"abcd\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut at, 4).unwrap(),
+            BoundedLine::Line("abcd".to_owned()),
+            "the newline does not count against the bound"
+        );
+        let mut over = std::io::Cursor::new(b"abcde\n".to_vec());
+        assert_eq!(
+            read_line_bounded(&mut over, 4).unwrap(),
+            BoundedLine::Oversized
+        );
     }
 }

@@ -76,6 +76,10 @@ pub struct DaemonMetrics {
     cancelled: AtomicU64,
     trace_dropped: AtomicU64,
     heartbeats: AtomicU64,
+    journal_records: AtomicU64,
+    journal_replayed: AtomicU64,
+    journal_pending: AtomicU64,
+    journal_errors: AtomicU64,
     paused: AtomicBool,
     draining: AtomicBool,
     shards: Vec<ShardGauges>,
@@ -110,6 +114,10 @@ impl DaemonMetrics {
             cancelled: AtomicU64::new(0),
             trace_dropped: AtomicU64::new(0),
             heartbeats: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            journal_replayed: AtomicU64::new(0),
+            journal_pending: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
             paused: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             shards: (0..workers).map(|_| ShardGauges::default()).collect(),
@@ -232,6 +240,31 @@ impl DaemonMetrics {
     pub fn on_cancelled(&self) {
         dec(&self.queued);
         self.cancelled.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a journaled acceptance: one more record on disk, one
+    /// more job a crash right now would replay.
+    pub fn on_journal_accept(&self) {
+        self.journal_records.fetch_add(1, Ordering::SeqCst);
+        self.journal_pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a journaled terminal mark: one more record on disk, one
+    /// fewer job a crash would replay.
+    pub fn on_journal_terminal(&self) {
+        self.journal_records.fetch_add(1, Ordering::SeqCst);
+        dec(&self.journal_pending);
+    }
+
+    /// Records the replay count of a journal opened at startup.
+    pub fn on_journal_replayed(&self, jobs: u64) {
+        self.journal_replayed.fetch_add(jobs, Ordering::SeqCst);
+    }
+
+    /// Records a failed journal append — the job still runs, but its
+    /// durability is gone; operators alert on this.
+    pub fn on_journal_error(&self) {
+        self.journal_errors.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Mirrors the service's paused flag.
@@ -373,6 +406,38 @@ impl DaemonMetrics {
             "tridentd_trace_dropped_total",
             &[],
             load(&self.trace_dropped),
+        );
+        enc.counter(
+            "tridentd_journal_records_total",
+            "Records appended to the durable job journal.",
+        );
+        enc.sample(
+            "tridentd_journal_records_total",
+            &[],
+            load(&self.journal_records),
+        );
+        enc.counter(
+            "tridentd_journal_replayed_total",
+            "Jobs re-admitted from the journal at startup.",
+        );
+        enc.sample(
+            "tridentd_journal_replayed_total",
+            &[],
+            load(&self.journal_replayed),
+        );
+        enc.gauge(
+            "tridentd_journal_pending",
+            "Journaled jobs a crash right now would replay.",
+        );
+        enc.sample("tridentd_journal_pending", &[], load(&self.journal_pending));
+        enc.counter(
+            "tridentd_journal_errors_total",
+            "Journal appends that failed (durability degraded).",
+        );
+        enc.sample(
+            "tridentd_journal_errors_total",
+            &[],
+            load(&self.journal_errors),
         );
         let folded = self.folded.lock().expect("metrics fold poisoned");
         enc.summary(
@@ -542,6 +607,28 @@ mod tests {
         let text = m.render();
         assert!(text.contains("tridentd_paused 1\n"));
         assert!(text.contains("tridentd_draining 1\n"));
+        prom::lint(&text).unwrap();
+    }
+
+    #[test]
+    fn journal_counters_render_and_pending_is_a_gauge() {
+        let m = DaemonMetrics::new(1, 4);
+        m.on_journal_replayed(2);
+        m.on_journal_accept();
+        m.on_journal_accept();
+        m.on_journal_terminal();
+        m.on_journal_error();
+        let text = m.render();
+        assert!(
+            text.contains("tridentd_journal_records_total 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tridentd_journal_replayed_total 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("tridentd_journal_pending 1\n"), "{text}");
+        assert!(text.contains("tridentd_journal_errors_total 1\n"), "{text}");
         prom::lint(&text).unwrap();
     }
 

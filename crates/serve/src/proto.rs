@@ -10,14 +10,14 @@
 //! Requests:
 //!
 //! ```json
-//! {"v":3,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
-//! {"v":3,"op":"status","id":3}
-//! {"v":3,"op":"result","id":3}
-//! {"v":3,"op":"cancel","id":3}
-//! {"v":3,"op":"list"}
-//! {"v":3,"op":"metrics"}
-//! {"v":3,"op":"progress","id":3}
-//! {"v":3,"op":"shutdown"}
+//! {"v":4,"op":"submit","job":{"workload":"GUPS","policy":"Trident","scale":256,...}}
+//! {"v":4,"op":"status","id":3}
+//! {"v":4,"op":"result","id":3}
+//! {"v":4,"op":"cancel","id":3}
+//! {"v":4,"op":"list"}
+//! {"v":4,"op":"metrics"}
+//! {"v":4,"op":"progress","id":3}
+//! {"v":4,"op":"shutdown"}
 //! ```
 //!
 //! Responses mirror the request vocabulary (`"ok"` discriminator) or
@@ -37,7 +37,12 @@ use crate::json;
 /// v3: the observability plane — `metrics`/`progress` requests, the
 /// `Metrics`/`Progress` responses, and a `service` block (paused flag +
 /// per-shard queue occupancy) on `Status` and `Jobs` answers.
-pub const PROTO_VERSION: u32 = 3;
+/// v4: fleet resilience — jobs carry an optional idempotency `key`, job
+/// summaries carry the key plus an `origin` (client-submitted vs
+/// journal-replayed), and the `service` block gains an optional
+/// `journal` section (records/replayed/pending) when the daemon runs
+/// with a crash-durable job journal.
+pub const PROTO_VERSION: u32 = 4;
 
 /// One simulation cell to run: workload × policy plus the knobs the
 /// `SimConfig` builders expose. Mirrors what `tridentctl run` accepted
@@ -75,6 +80,12 @@ pub struct JobSpec {
     /// Run the per-tick consistency audit and report the violation count
     /// in the result (off by default — it is O(machine) per tick).
     pub audit: bool,
+    /// Caller-chosen idempotency key. Two submissions carrying the same
+    /// key are the same logical cell — since results are a pure function
+    /// of the spec (`derive_cell_seed`), a fleet client dedups retried
+    /// and hedged submissions by this key and asserts byte-identity when
+    /// duplicates both complete.
+    pub key: Option<String>,
     /// Tenants co-located *beside* the primary workload (which runs as
     /// tenant 0 with neutral scheduling). Empty = classic single-tenant
     /// job.
@@ -100,11 +111,12 @@ impl JobSpec {
             trace_out: None,
             profile_out: None,
             audit: false,
+            key: None,
             tenants: Vec::new(),
         }
     }
 
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"workload\":{},\"policy\":{},\"scale\":{},\"samples\":{},\"seed\":{}",
             json::escape(&self.workload),
@@ -139,11 +151,15 @@ impl JobSpec {
             s.push_str(",\"profile_out\":");
             s.push_str(&json::escape(path));
         }
+        if let Some(key) = &self.key {
+            s.push_str(",\"key\":");
+            s.push_str(&json::escape(key));
+        }
         s.push('}');
         s
     }
 
-    fn from_json(obj: &str) -> Result<JobSpec, ProtoError> {
+    pub(crate) fn from_json(obj: &str) -> Result<JobSpec, ProtoError> {
         Ok(JobSpec {
             workload: json::str_field(obj, "workload").ok_or_else(|| bad("job.workload"))?,
             policy: json::str_field(obj, "policy").ok_or_else(|| bad("job.policy"))?,
@@ -161,6 +177,7 @@ impl JobSpec {
             trace_out: optional(obj, "trace_out", json::str_field)?,
             profile_out: optional(obj, "profile_out", json::str_field)?,
             audit: json::bool_field(obj, "audit").ok_or_else(|| bad("job.audit"))?,
+            key: optional(obj, "key", json::str_field)?,
             tenants: match json::field(obj, "tenants").and_then(json::items) {
                 None => Vec::new(),
                 Some(raw) => raw
@@ -303,6 +320,37 @@ impl FaultSpec {
     }
 }
 
+/// The durable-journal slice of a [`ServiceInfo`] — present only when
+/// the daemon runs with `--journal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalInfo {
+    /// Records appended to the journal since it was opened (accepts,
+    /// requeues and terminal marks combined).
+    pub records: u64,
+    /// Jobs replayed from the journal when the daemon last started.
+    pub replayed: u64,
+    /// Jobs currently accepted but not yet terminal — what a crash
+    /// right now would replay.
+    pub pending: u64,
+}
+
+impl JournalInfo {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"records\":{},\"replayed\":{},\"pending\":{}}}",
+            self.records, self.replayed, self.pending
+        )
+    }
+
+    fn from_json(obj: &str) -> Result<JournalInfo, ProtoError> {
+        Ok(JournalInfo {
+            records: json::u64_field(obj, "records").ok_or_else(|| bad("journal.records"))?,
+            replayed: json::u64_field(obj, "replayed").ok_or_else(|| bad("journal.replayed"))?,
+            pending: json::u64_field(obj, "pending").ok_or_else(|| bad("journal.pending"))?,
+        })
+    }
+}
+
 /// A snapshot of the service itself, attached to `Status` and `Jobs`
 /// answers so operators see pool health alongside job state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,18 +363,26 @@ pub struct ServiceInfo {
     pub queue_depth: usize,
     /// Current queued occupancy of each shard, in shard order.
     pub queues: Vec<u64>,
+    /// Durable-journal state, when the daemon journals accepted jobs.
+    pub journal: Option<JournalInfo>,
 }
 
 impl ServiceInfo {
     fn to_json(&self) -> String {
         let queues: Vec<String> = self.queues.iter().map(u64::to_string).collect();
-        format!(
-            "{{\"paused\":{},\"workers\":{},\"queue_depth\":{},\"queues\":[{}]}}",
+        let mut s = format!(
+            "{{\"paused\":{},\"workers\":{},\"queue_depth\":{},\"queues\":[{}]",
             self.paused,
             self.workers,
             self.queue_depth,
             queues.join(",")
-        )
+        );
+        if let Some(journal) = self.journal {
+            s.push_str(",\"journal\":");
+            s.push_str(&journal.to_json());
+        }
+        s.push('}');
+        s
     }
 
     fn from_json(obj: &str) -> Result<ServiceInfo, ProtoError> {
@@ -346,6 +402,10 @@ impl ServiceInfo {
             queue_depth: usize_field(obj, "queue_depth")
                 .ok_or_else(|| bad("service.queue_depth"))?,
             queues,
+            journal: match json::field(obj, "journal") {
+                None => None,
+                Some(raw) => Some(JournalInfo::from_json(raw)?),
+            },
         })
     }
 }
@@ -424,6 +484,43 @@ impl fmt::Display for JobState {
     }
 }
 
+/// Where a job entered the service — directly from a client, or
+/// re-admitted from the durable journal after a restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOrigin {
+    /// Submitted by a connected client.
+    Client,
+    /// Replayed from the journal: it was accepted before a crash and
+    /// re-executes under a fresh id.
+    Journal,
+}
+
+impl JobOrigin {
+    /// All origins, for table-driven parsing and tests.
+    pub const ALL: [JobOrigin; 2] = [JobOrigin::Client, JobOrigin::Journal];
+
+    /// Stable lowercase wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOrigin::Client => "client",
+            JobOrigin::Journal => "journal",
+        }
+    }
+
+    /// Parses a wire tag produced by [`as_str`](Self::as_str).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobOrigin> {
+        JobOrigin::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for JobOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One row of a `list` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSummary {
@@ -435,17 +532,27 @@ pub struct JobSummary {
     pub workload: String,
     /// The cell it runs (policy name as submitted).
     pub policy: String,
+    /// The idempotency key the submitter attached, if any.
+    pub key: Option<String>,
+    /// Whether the job came from a client or a journal replay.
+    pub origin: JobOrigin,
 }
 
 impl JobSummary {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"id\":{},\"state\":\"{}\",\"workload\":{},\"policy\":{}}}",
+        let mut s = format!(
+            "{{\"id\":{},\"state\":\"{}\",\"workload\":{},\"policy\":{}",
             self.id,
             self.state.as_str(),
             json::escape(&self.workload),
             json::escape(&self.policy),
-        )
+        );
+        if let Some(key) = &self.key {
+            s.push_str(",\"key\":");
+            s.push_str(&json::escape(key));
+        }
+        s.push_str(&format!(",\"origin\":\"{}\"}}", self.origin.as_str()));
+        s
     }
 
     fn from_json(obj: &str) -> Result<JobSummary, ProtoError> {
@@ -457,6 +564,11 @@ impl JobSummary {
                 .ok_or_else(|| bad("jobs[].state"))?,
             workload: json::str_field(obj, "workload").ok_or_else(|| bad("jobs[].workload"))?,
             policy: json::str_field(obj, "policy").ok_or_else(|| bad("jobs[].policy"))?,
+            key: optional(obj, "key", json::str_field)?,
+            origin: json::str_field(obj, "origin")
+                .as_deref()
+                .and_then(JobOrigin::parse)
+                .ok_or_else(|| bad("jobs[].origin"))?,
         })
     }
 }
@@ -1046,6 +1158,17 @@ pub enum ProtoError {
     /// A required field is missing or unparsable; carries the field's
     /// dotted path.
     Malformed(&'static str),
+    /// A blocking wait exceeded its per-operation deadline. Raised on
+    /// the client side only — the daemon never answers with this; the
+    /// wire simply went quiet for longer than the [`crate::retry::RetryPolicy`]
+    /// allows.
+    Timeout {
+        /// Which operation timed out (`"connect"`, `"request"`,
+        /// `"result"`).
+        op: &'static str,
+        /// The deadline that expired, in milliseconds.
+        ms: u64,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -1056,6 +1179,9 @@ impl fmt::Display for ProtoError {
                 "protocol version mismatch: peer speaks v{got}, this build speaks v{PROTO_VERSION}"
             ),
             ProtoError::Malformed(field) => write!(f, "malformed message: bad field {field:?}"),
+            ProtoError::Timeout { op, ms } => {
+                write!(f, "operation {op:?} exceeded its {ms}ms deadline")
+            }
         }
     }
 }
@@ -1119,6 +1245,7 @@ mod tests {
             trace_out: Some("out dir/run \"a\".jsonl".to_owned()),
             profile_out: Some("prof.json".to_owned()),
             audit: true,
+            key: Some("fig1/GUPS/Trident/3".to_owned()),
             tenants: vec![
                 TenantJob {
                     workload: "Redis".to_owned(),
@@ -1139,6 +1266,11 @@ mod tests {
             workers: 2,
             queue_depth: 64,
             queues: vec![3, 0],
+            journal: Some(JournalInfo {
+                records: 12,
+                replayed: 2,
+                pending: 1,
+            }),
         }
     }
 
@@ -1213,12 +1345,24 @@ mod tests {
             },
             Response::Cancelled { id: 4 },
             Response::Jobs {
-                jobs: vec![JobSummary {
-                    id: 1,
-                    state: JobState::Done,
-                    workload: "GUPS".to_owned(),
-                    policy: "Trident".to_owned(),
-                }],
+                jobs: vec![
+                    JobSummary {
+                        id: 1,
+                        state: JobState::Done,
+                        workload: "GUPS".to_owned(),
+                        policy: "Trident".to_owned(),
+                        key: Some("cell/7".to_owned()),
+                        origin: JobOrigin::Client,
+                    },
+                    JobSummary {
+                        id: 2,
+                        state: JobState::Queued,
+                        workload: "Redis".to_owned(),
+                        policy: "4KB".to_owned(),
+                        key: None,
+                        origin: JobOrigin::Journal,
+                    },
+                ],
                 service: service_info(),
             },
             Response::Jobs {
@@ -1228,6 +1372,7 @@ mod tests {
                     workers: 1,
                     queue_depth: 1,
                     queues: vec![0],
+                    journal: None,
                 },
             },
             Response::Metrics {
@@ -1322,6 +1467,23 @@ mod tests {
         assert_eq!(
             Request::parse_jsonl(&bad_cell),
             Err(ProtoError::Malformed("cell"))
+        );
+        let bad_key = good.replace("\"fragment\"", "\"key\":7,\"fragment\"");
+        assert_eq!(
+            Request::parse_jsonl(&bad_key),
+            Err(ProtoError::Malformed("key"))
+        );
+    }
+
+    #[test]
+    fn timeout_error_displays_op_and_deadline() {
+        let err = ProtoError::Timeout {
+            op: "result",
+            ms: 120_000,
+        };
+        assert_eq!(
+            err.to_string(),
+            "operation \"result\" exceeded its 120000ms deadline"
         );
     }
 }

@@ -1,0 +1,161 @@
+//! Deterministic retry policy for everything that blocks on the wire.
+//!
+//! Every knob a resilient client needs lives in one [`RetryPolicy`]
+//! value: how many attempts an operation gets, how long to back off
+//! between them, and how long each category of wait may block before it
+//! turns into a typed [`ProtoError::Timeout`](crate::proto::ProtoError)
+//! instead of hanging forever.
+//!
+//! Backoff jitter is *seeded*, not sampled: the delay for attempt `n`
+//! is a pure function of `(jitter_seed, n)` via the same SplitMix64
+//! mixer the fault injectors use. Two clients configured identically
+//! retry identically — chaos runs stay replayable down to their sleep
+//! schedule.
+
+use std::time::Duration;
+
+use trident_fault::mix64;
+
+use crate::proto::Request;
+
+/// Bounded attempts, jittered exponential backoff and per-operation
+/// deadlines for a resilient client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per operation, including the first (≥ 1; 1 = no
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before retry 1; doubles each further retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep, jitter included.
+    pub backoff_cap: Duration,
+    /// Seed for deterministic jitter; same seed → same delays.
+    pub jitter_seed: u64,
+    /// Deadline for establishing one TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one non-blocking round-trip (submit, status,
+    /// cancel, list, metrics, progress, shutdown).
+    pub request_timeout: Duration,
+    /// Deadline for one blocking `result` wait — generous, because the
+    /// daemon legitimately holds the reply until the job settles.
+    pub result_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0,
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            result_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff sleep before retry number `attempt` (0 = before the
+    /// second try). Exponential from [`backoff_base`](Self::backoff_base)
+    /// with up to +50% deterministic jitter, clamped to
+    /// [`backoff_cap`](Self::backoff_cap).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base_ms = self.backoff_base.as_millis().min(u128::from(u64::MAX)) as u64;
+        let cap_ms = self.backoff_cap.as_millis().min(u128::from(u64::MAX)) as u64;
+        let raw = base_ms
+            .saturating_mul(1_u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(cap_ms);
+        // Jitter in per-mille of the raw delay, 0..=500, a pure function
+        // of (seed, attempt) — replayable, but decorrelated across
+        // clients that pick different seeds.
+        let frac =
+            mix64(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 501;
+        let jittered = raw.saturating_add(raw.saturating_mul(frac) / 1000);
+        Duration::from_millis(jittered.min(cap_ms))
+    }
+
+    /// The read deadline for one round-trip of `req`: a blocking
+    /// `result` wait gets [`result_timeout`](Self::result_timeout),
+    /// everything else [`request_timeout`](Self::request_timeout).
+    #[must_use]
+    pub fn deadline_for(&self, req: &Request) -> Duration {
+        match req {
+            Request::Result { .. } => self.result_timeout,
+            _ => self.request_timeout,
+        }
+    }
+
+    /// The operation label [`deadline_for`](Self::deadline_for) pairs
+    /// with, for `ProtoError::Timeout { op, .. }`.
+    #[must_use]
+    pub fn op_for(req: &Request) -> &'static str {
+        match req {
+            Request::Result { .. } => "result",
+            _ => "request",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let again = policy;
+        for attempt in 0..12 {
+            let d = policy.backoff(attempt);
+            assert_eq!(d, again.backoff(attempt), "attempt {attempt}");
+            assert!(d <= policy.backoff_cap, "attempt {attempt}: {d:?}");
+            assert!(d >= policy.backoff_base.min(policy.backoff_cap));
+        }
+        // Exponential shape below the cap: retry 2's floor doubles
+        // retry 1's floor.
+        assert!(policy.backoff(1) >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_jitter() {
+        let a = RetryPolicy {
+            jitter_seed: 1,
+            ..RetryPolicy::default()
+        };
+        let b = RetryPolicy {
+            jitter_seed: 2,
+            ..RetryPolicy::default()
+        };
+        let distinct = (0..8).any(|n| a.backoff(n) != b.backoff(n));
+        assert!(distinct, "eight attempts never diverged");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let policy = RetryPolicy::default();
+        assert_eq!(
+            policy.backoff(200),
+            policy.backoff_cap.max(policy.backoff(200))
+        );
+        assert!(policy.backoff(u32::MAX) <= policy.backoff_cap);
+    }
+
+    #[test]
+    fn deadlines_split_by_operation() {
+        let policy = RetryPolicy::default();
+        assert_eq!(
+            policy.deadline_for(&Request::Result { id: 1 }),
+            policy.result_timeout
+        );
+        assert_eq!(
+            policy.deadline_for(&Request::Status { id: 1 }),
+            policy.request_timeout
+        );
+        assert_eq!(RetryPolicy::op_for(&Request::Result { id: 1 }), "result");
+        assert_eq!(RetryPolicy::op_for(&Request::List), "request");
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::json::{self, BoundedLine};
 use crate::proto::{ErrorCode, ProtoError, Request, Response};
 use crate::service::Service;
 
@@ -25,11 +26,26 @@ use crate::service::Service;
 /// Propagates I/O errors on either stream.
 pub fn serve_lines<R: BufRead, W: Write>(
     service: &Service,
-    input: R,
+    mut input: R,
     mut output: W,
 ) -> std::io::Result<bool> {
-    for line in input.lines() {
-        let line = line?;
+    loop {
+        let line = match json::read_line_bounded(&mut input, json::MAX_LINE_BYTES)? {
+            BoundedLine::Eof => break,
+            // The oversized line was drained, so the stream stays
+            // framed — answer and keep serving.
+            BoundedLine::Oversized => {
+                let response = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("line exceeds {} bytes", json::MAX_LINE_BYTES),
+                };
+                output.write_all(response.to_jsonl().as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                continue;
+            }
+            BoundedLine::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -234,6 +250,34 @@ mod tests {
             }
             other => panic!("expected Jobs, got {other:?}"),
         }
+        service.request_stop();
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_lines_get_a_typed_error_and_the_stream_continues() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 4,
+            start_paused: true,
+        });
+        let huge = "x".repeat(json::MAX_LINE_BYTES + 1);
+        let input = format!("{huge}\n{}\n", Request::List.to_jsonl());
+        let mut output = Vec::new();
+        serve_lines(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<Response> = text
+            .lines()
+            .map(|l| Response::parse_jsonl(l).unwrap())
+            .collect();
+        match &lines[0] {
+            Response::Error { code, message } => {
+                assert_eq!(*code, ErrorCode::BadRequest);
+                assert!(message.contains("exceeds"), "{message}");
+            }
+            other => panic!("expected oversize error, got {other:?}"),
+        }
+        assert!(matches!(&lines[1], Response::Jobs { .. }));
         service.request_stop();
         service.shutdown();
     }

@@ -1,0 +1,291 @@
+//! End-to-end fleet tests over real TCP daemons: a grid fanned across
+//! several endpoints — including dead, hung and chaos-injected ones —
+//! must produce byte-identical results to running every cell directly,
+//! and every blocking wait must resolve to a typed timeout instead of
+//! hanging.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use trident_fault::{WirePlan, WireSite};
+use trident_serve::proto::{JobSpec, ProtoError, Request};
+use trident_serve::{
+    serve_tcp, Client, ClientError, FleetClient, FleetConfig, FleetError, JobResult, RetryPolicy,
+    Service, ServiceConfig,
+};
+
+fn spec() -> JobSpec {
+    let mut spec = JobSpec::new("GUPS", "Trident");
+    spec.scale = 256;
+    spec.samples = 1_000;
+    spec.seed = 42;
+    spec
+}
+
+/// What each fleet cell must measure, computed without any daemon —
+/// the idempotency key is metadata and must not perturb execution.
+fn expected_cells(cells: &[u64]) -> Vec<JobResult> {
+    cells
+        .iter()
+        .map(|&cell| {
+            let mut s = spec();
+            s.cell_index = Some(cell);
+            trident_serve::job::execute(&s).expect("direct run")
+        })
+        .collect()
+}
+
+struct Daemon {
+    service: Arc<Service>,
+    handle: trident_serve::ServerHandle,
+    addr: String,
+}
+
+fn daemon(start_paused: bool) -> Daemon {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        queue_depth: 64,
+        start_paused,
+    }));
+    let handle = serve_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = handle.addr().to_string();
+    Daemon {
+        service,
+        handle,
+        addr,
+    }
+}
+
+fn teardown(d: Daemon) {
+    d.handle.stop();
+    d.handle.join().unwrap();
+    let mut service = d.service;
+    let service = loop {
+        match Arc::try_unwrap(service) {
+            Ok(service) => break service,
+            Err(back) => {
+                service = back;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    service.shutdown();
+}
+
+/// An address that refuses connections: bind an ephemeral port, then
+/// free it before anyone dials.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    addr
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        jitter_seed: 7,
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(500),
+        result_timeout: Duration::from_secs(30),
+    }
+}
+
+#[test]
+fn fleet_grid_is_byte_identical_across_failover() {
+    // Two live daemons plus one endpoint that refuses every connection:
+    // all six cells must complete with exactly the bytes a direct run
+    // produces, with the dead endpoint's cells failing over silently.
+    let cells: Vec<u64> = (0..6).collect();
+    let expected = expected_cells(&cells);
+
+    let a = daemon(false);
+    let b = daemon(false);
+    let endpoints = vec![a.addr.clone(), dead_addr(), b.addr.clone()];
+    let fleet = FleetClient::new(
+        &endpoints,
+        FleetConfig {
+            retry: fast_retry(),
+            poll_interval: Duration::from_millis(10),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let outcome = fleet.run_cells(&spec(), &cells).unwrap();
+    assert_eq!(outcome.results.len(), cells.len());
+    for ((cell, got), (want_cell, want)) in outcome.results.iter().zip(cells.iter().zip(&expected))
+    {
+        assert_eq!(cell, want_cell, "results must come back sorted by cell");
+        assert_eq!(got, want, "cell {cell} drifted from the direct run");
+    }
+    assert!(
+        outcome.stats.submits >= cells.len() as u64,
+        "{:?}",
+        outcome.stats
+    );
+    assert_eq!(outcome.stats.mismatches, 0, "{:?}", outcome.stats);
+
+    teardown(a);
+    teardown(b);
+}
+
+#[test]
+fn fleet_survives_seeded_wire_chaos_byte_identically() {
+    // Every wire fault fires (probability 1000‰, capped at two shots
+    // per site per endpoint): requests vanish, sockets sever, responses
+    // arrive late, truncated and corrupted. The grid must still
+    // complete with the exact direct-run bytes, and the stats must show
+    // the chaos actually bit.
+    let cells: Vec<u64> = (0..4).collect();
+    let expected = expected_cells(&cells);
+
+    let a = daemon(false);
+    let b = daemon(false);
+    let mut builder = WirePlan::builder(9);
+    for site in WireSite::ALL {
+        builder = builder.site_capped(site, 1_000, 2);
+    }
+    let fleet = FleetClient::new(
+        &[a.addr.clone(), b.addr.clone()],
+        FleetConfig {
+            retry: RetryPolicy {
+                max_attempts: 12,
+                backoff_base: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(20),
+                jitter_seed: 9,
+                connect_timeout: Duration::from_millis(500),
+                request_timeout: Duration::from_millis(300),
+                result_timeout: Duration::from_secs(30),
+            },
+            poll_interval: Duration::from_millis(10),
+            wire: Some(builder.build().unwrap()),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let outcome = fleet.run_cells(&spec(), &cells).unwrap();
+    let got: Vec<JobResult> = outcome.results.iter().map(|(_, r)| r.clone()).collect();
+    assert_eq!(got, expected, "chaos must never change the answer");
+    let s = outcome.stats;
+    assert!(
+        s.timeouts + s.io_errors + s.malformed > 0,
+        "the chaos plan never fired: {s:?}"
+    );
+    assert_eq!(s.mismatches, 0, "{s:?}");
+
+    teardown(a);
+    teardown(b);
+}
+
+#[test]
+fn fleet_hedges_a_stuck_cell_and_dedups_by_identity() {
+    // One paused daemon listed as two endpoints: the first worker's
+    // submission sits queued forever, the second worker goes idle and
+    // must hedge the stuck cell. After the daemon resumes, both copies
+    // run; the fleet keeps one result and verifies any duplicate
+    // byte-for-byte.
+    let cells = [3u64];
+    let expected = expected_cells(&cells);
+
+    let d = daemon(true);
+    let service = Arc::clone(&d.service);
+    let resumer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        service.resume();
+    });
+
+    let fleet = FleetClient::new(
+        &[d.addr.clone(), d.addr.clone()],
+        FleetConfig {
+            retry: fast_retry(),
+            hedge_after: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(10),
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let outcome = fleet.run_cells(&spec(), &cells).unwrap();
+    assert_eq!(outcome.results[0].1, expected[0]);
+    assert!(outcome.stats.hedges >= 1, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.mismatches, 0, "{:?}", outcome.stats);
+
+    resumer.join().unwrap();
+    teardown(d);
+}
+
+#[test]
+fn all_dead_endpoints_is_a_typed_fleet_error() {
+    let fleet = FleetClient::new(
+        &[dead_addr(), dead_addr()],
+        FleetConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                connect_timeout: Duration::from_millis(300),
+                ..RetryPolicy::default()
+            },
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap();
+    match fleet.run_cells(&spec(), &[0, 1]) {
+        Err(FleetError::AllEndpointsFailed { cells_remaining }) => {
+            assert_eq!(cells_remaining, 2);
+        }
+        other => panic!("expected AllEndpointsFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn hung_daemon_yields_typed_timeout_not_a_hang() {
+    // A listener that accepts and then never answers: the per-operation
+    // deadline must surface as ProtoError::Timeout within bounded time,
+    // and the connection must refuse reuse (a reply may still be in
+    // flight) until the caller reconnects.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || {
+        // Keep accepted sockets alive so the client sees silence, not
+        // a close. The thread dies with the test process.
+        let mut streams = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            streams.push(stream);
+            if streams.len() >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(10));
+    });
+
+    let policy = RetryPolicy {
+        request_timeout: Duration::from_millis(200),
+        ..RetryPolicy::default()
+    };
+    let mut client = Client::connect_with(addr, policy).unwrap();
+    let started = Instant::now();
+    match client.request(&Request::Status { id: 1 }) {
+        Err(ClientError::Proto(ProtoError::Timeout { op, ms })) => {
+            assert_eq!(op, "request");
+            assert_eq!(ms, 200);
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline did not bound the wait: {:?}",
+        started.elapsed()
+    );
+    match client.request(&Request::Status { id: 1 }) {
+        Err(ClientError::Poisoned) => {}
+        other => panic!("a timed-out connection must refuse reuse, got {other:?}"),
+    }
+    drop(client);
+    drop(hold); // detach; the test process exit reaps it
+}

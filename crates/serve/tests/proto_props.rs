@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
 use trident_serve::proto::{
-    ErrorCode, FaultSpec, JobProgress, JobResult, JobSpec, JobState, JobSummary, ProtoError,
-    Request, Response, ServiceInfo, TenantJob, TenantRow, PROTO_VERSION,
+    ErrorCode, FaultSpec, JobOrigin, JobProgress, JobResult, JobSpec, JobState, JobSummary,
+    JournalInfo, ProtoError, Request, Response, ServiceInfo, TenantJob, TenantRow, PROTO_VERSION,
 };
 use trident_types::PageSize;
 
@@ -28,6 +28,10 @@ fn sites() -> impl Strategy<Value = InjectSite> {
 
 fn states() -> impl Strategy<Value = JobState> {
     (0usize..JobState::ALL.len()).prop_map(|i| JobState::ALL[i])
+}
+
+fn origins() -> impl Strategy<Value = JobOrigin> {
+    (0usize..JobOrigin::ALL.len()).prop_map(|i| JobOrigin::ALL[i])
 }
 
 fn error_codes() -> impl Strategy<Value = ErrorCode> {
@@ -91,7 +95,11 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
             any::<bool>(),
             options(fault_specs()),
         ),
-        (options(wire_strings()), options(wire_strings())),
+        (
+            options(wire_strings()),
+            options(wire_strings()),
+            options(wire_strings()),
+        ),
         (any::<bool>(), prop::collection::vec(tenant_jobs(), 0..4)),
     )
         .prop_map(
@@ -99,7 +107,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 (workload, policy, scale, samples),
                 (seed, cell_index, fragment),
                 (trace_capacity, profile, fault),
-                (trace_out, profile_out),
+                (trace_out, profile_out, key),
                 (audit, tenants),
             )| JobSpec {
                 workload,
@@ -114,6 +122,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 fault,
                 trace_out,
                 profile_out,
+                key,
                 audit,
                 tenants,
             },
@@ -218,19 +227,33 @@ fn requests() -> impl Strategy<Value = Request> {
     ]
 }
 
+fn journal_infos() -> impl Strategy<Value = JournalInfo> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(records, replayed, pending)| {
+        JournalInfo {
+            records,
+            replayed,
+            pending,
+        }
+    })
+}
+
 fn service_infos() -> impl Strategy<Value = ServiceInfo> {
     (
         any::<bool>(),
         1u64..64,
         1u64..(1 << 20),
         prop::collection::vec(any::<u64>(), 0..8),
+        options(journal_infos()),
     )
-        .prop_map(|(paused, workers, queue_depth, queues)| ServiceInfo {
-            paused,
-            workers: workers as usize,
-            queue_depth: queue_depth as usize,
-            queues,
-        })
+        .prop_map(
+            |(paused, workers, queue_depth, queues, journal)| ServiceInfo {
+                paused,
+                workers: workers as usize,
+                queue_depth: queue_depth as usize,
+                queues,
+                journal,
+            },
+        )
 }
 
 fn job_progresses() -> impl Strategy<Value = JobProgress> {
@@ -253,7 +276,12 @@ fn responses() -> impl Strategy<Value = Response> {
         any::<u64>().prop_map(|id| Response::Cancelled { id }),
         (
             prop::collection::vec(
-                ((any::<u64>(), states()), wire_strings(), wire_strings()),
+                (
+                    (any::<u64>(), states(), origins()),
+                    wire_strings(),
+                    wire_strings(),
+                    options(wire_strings())
+                ),
                 0..5
             ),
             service_infos()
@@ -261,11 +289,13 @@ fn responses() -> impl Strategy<Value = Response> {
             .prop_map(|(rows, service)| Response::Jobs {
                 jobs: rows
                     .into_iter()
-                    .map(|((id, state), workload, policy)| JobSummary {
+                    .map(|((id, state, origin), workload, policy, key)| JobSummary {
                         id,
                         state,
                         workload,
                         policy,
+                        key,
+                        origin,
                     })
                     .collect(),
                 service,
