@@ -13,14 +13,14 @@ fn fragmented_machine(regions: u64) -> (MmContext, SpaceSet) {
     let geo = PageGeometry::TINY;
     let mut ctx = MmContext::new(PhysicalMemory::new(
         geo,
-        regions * geo.base_pages(PageSize::Giant),
+        regions * geo.base_pages(PageSize::new(2)),
     ));
     let mut space = AddressSpace::new(AsId::new(1), geo);
-    let total = regions * geo.base_pages(PageSize::Giant);
+    let total = regions * geo.base_pages(PageSize::new(2));
     space.mmap_at(Vpn::new(0), total, VmaKind::Anon).unwrap();
     let mut held = Vec::new();
     for p in 0..total {
-        map_chunk(&mut ctx, &mut space, Vpn::new(p), PageSize::Base).unwrap();
+        map_chunk(&mut ctx, &mut space, Vpn::new(p), PageSize::BASE).unwrap();
         held.push(p);
     }
     for p in held {
@@ -46,7 +46,7 @@ fn bench_compaction(c: &mut Criterion) {
                 || fragmented_machine(32),
                 |(mut ctx, mut spaces)| {
                     let mut compactor = Compactor::new(kind);
-                    black_box(compactor.compact(&mut ctx, &mut spaces, PageSize::Giant))
+                    black_box(compactor.compact(&mut ctx, &mut spaces, PageSize::new(2)))
                 },
                 BatchSize::LargeInput,
             );

@@ -43,8 +43,8 @@ fn bench_tlb(c: &mut Criterion) {
     let geo = PageGeometry::X86_64;
     group.bench_function("hit_l1", |b| {
         let mut tlb = TlbHierarchy::skylake();
-        tlb.access(Vpn::new(0), PageSize::Base);
-        b.iter(|| black_box(tlb.access(Vpn::new(0), PageSize::Base)));
+        tlb.access(Vpn::new(0), PageSize::BASE);
+        b.iter(|| black_box(tlb.access(Vpn::new(0), PageSize::BASE)));
     });
     group.bench_function("random_mix", |b| {
         let mut tlb = TlbHierarchy::skylake();
@@ -54,7 +54,7 @@ fn bench_tlb(c: &mut Criterion) {
         b.iter(|| {
             let vpn = Vpn::new(pages[i % pages.len()]);
             i += 1;
-            black_box(tlb.access(vpn, PageSize::Base))
+            black_box(tlb.access(vpn, PageSize::BASE))
         });
     });
     let _ = geo;
@@ -67,24 +67,24 @@ fn bench_page_table(c: &mut Criterion) {
     group.bench_function("map_unmap_base", |b| {
         let mut pt = PageTable::new(geo);
         b.iter(|| {
-            pt.map(Vpn::new(123), Pfn::new(456), PageSize::Base)
+            pt.map(Vpn::new(123), Pfn::new(456), PageSize::BASE)
                 .unwrap();
             pt.unmap(Vpn::new(123)).unwrap();
         });
     });
     group.bench_function("translate_hot", |b| {
         let mut pt = PageTable::new(geo);
-        pt.map(Vpn::new(0), Pfn::new(1 << 18), PageSize::Giant)
+        pt.map(Vpn::new(0), Pfn::new(1 << 18), PageSize::new(2))
             .unwrap();
         b.iter(|| black_box(pt.translate(Vpn::new(77))));
     });
     group.bench_function("chunk_profile_giant", |b| {
         let mut pt = PageTable::new(geo);
         for i in 0..512u64 {
-            pt.map(Vpn::new(i * 512), Pfn::new(i * 512), PageSize::Huge)
+            pt.map(Vpn::new(i * 512), Pfn::new(i * 512), PageSize::new(1))
                 .unwrap();
         }
-        b.iter(|| black_box(pt.chunk_profile(Vpn::new(0), PageSize::Giant)));
+        b.iter(|| black_box(pt.chunk_profile(Vpn::new(0), PageSize::new(2))));
     });
     group.finish();
 }
@@ -95,7 +95,7 @@ fn bench_zerofill(c: &mut Criterion) {
     let mut group = c.benchmark_group("zerofill");
     let geo = PageGeometry::X86_64;
     group.bench_function("tick_and_take", |b| {
-        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant));
+        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::new(2)));
         let cost = CostModel::default();
         b.iter(|| {
             let mut pool = ZeroFillPool::new(4);

@@ -14,26 +14,26 @@ use trident_vm::{AddressSpace, VmaKind};
 
 fn boot_vm(host: Box<dyn PagePolicy>) -> (Hypervisor, VirtualMachine) {
     let geo = PageGeometry::TINY;
-    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::Giant), host);
+    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::new(2)), host);
     let mut vm = hyp.create_vm(
-        16 * geo.base_pages(PageSize::Giant),
+        16 * geo.base_pages(PageSize::new(2)),
         Box::new(TridentPolicy::new(TridentConfig::paravirt())),
     );
     let mut proc = AddressSpace::new(AsId::new(1), geo);
     proc.mmap_at(
         Vpn::new(0),
-        4 * geo.base_pages(PageSize::Giant),
+        4 * geo.base_pages(PageSize::new(2)),
         VmaKind::Anon,
     )
     .unwrap();
     vm.kernel.spaces.insert(proc);
     // Back the first giant gVA chunk with huge pages, touching the host.
-    let hp = geo.base_pages(PageSize::Huge);
-    let count = geo.base_pages(PageSize::Giant) / hp;
+    let hp = geo.base_pages(PageSize::new(1));
+    let count = geo.base_pages(PageSize::new(2)) / hp;
     for i in 0..count {
         let head = Vpn::new(i * hp);
         let space = vm.kernel.spaces.get_mut(AsId::new(1)).unwrap();
-        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::Huge).unwrap();
+        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::new(1)).unwrap();
         vm.touch(&mut hyp, AsId::new(1), head, true).unwrap();
     }
     (hyp, vm)
@@ -51,7 +51,7 @@ fn bench_promotion(c: &mut Criterion) {
                     &mut vm.kernel.spaces,
                     AsId::new(1),
                     Vpn::new(0),
-                    PageSize::Giant,
+                    PageSize::new(2),
                     PromotionStyle::Copy,
                 )
                 .unwrap();

@@ -1,11 +1,12 @@
 //! `bench_matrix` — the real bench matrix behind `BENCH_2.json`.
 //!
-//! Runs three grids — the fig1 native grid, the table4 fragmentation
-//! grid, and a chaos grid (fig1 kinds + Trident under randomized fault
-//! plans with the per-tick audit on) — at every thread count in
-//! `--threads-list` (default `1,2,4,8,16`), asserting that each grid's
-//! output is bit-identical across all thread counts before recording
-//! anything. Wall-clock per (grid, threads) cell lands in a flat JSON
+//! Runs four grids — the fig1 native grid, the table4 fragmentation
+//! grid, a chaos grid (fig1 kinds + Trident under randomized fault
+//! plans with the per-tick audit on), and the multi-architecture ladder
+//! grid (x86-64, RISC-V SVNAPOT, AArch64 contiguous-bit) — at every
+//! thread count in `--threads-list` (default `1,2,4,8,16`), asserting
+//! that each grid's output is bit-identical across all thread counts
+//! before recording anything. Wall-clock per (grid, threads) cell lands in a flat JSON
 //! file (default `BENCH_2.json`) that `trace_analyze --bench-gate`
 //! understands: `serial_seconds`/`rows` mirror `BENCH_1.json`'s fields
 //! (fig1 grid at one thread) so the existing no-regression gate applies
@@ -20,11 +21,15 @@
 //! records what actually happened and the gate scales its requirement by
 //! `cpus` (see `trace_analyze`).
 //!
+//! With `--ladder-out FILE` the matrix additionally times each shipped
+//! geometry's ladder study on its own serial run and writes the
+//! per-geometry record (`BENCH_3.json` in CI and at the repo root).
+//!
 //! ```sh
 //! bench_matrix [--seed N] [--scale N] [--samples N] \
 //!              [--threads-list 1,2,4,8,16] [--out BENCH_2.json] \
 //!              [--chaos-scale N] [--chaos-samples N] [--prob N] \
-//!              [--seed-serial SECS]
+//!              [--seed-serial SECS] [--ladder-out BENCH_3.json]
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -32,13 +37,14 @@ use std::time::Instant;
 
 use trident_bench::args::{ArgError, Args};
 use trident_core::FaultPlan;
-use trident_sim::experiments::{fig1, table4, ExpOptions};
+use trident_sim::experiments::{fig1, ladder, table4, ExpOptions};
 use trident_sim::{derive_cell_seed, PolicyKind, Runner, SimConfig, System};
 use trident_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: bench_matrix [--threads-list 1,2,4,8,16] [--out FILE] \
                      [--chaos-scale N] [--chaos-samples N] [--prob N] \
-                     [--seed-serial SECS] [standard experiment flags]";
+                     [--seed-serial SECS] [--ladder-out FILE] \
+                     [standard experiment flags]";
 
 /// Chaos wing: the fig1 kinds plus Trident itself, as in the `chaos` bin.
 const CHAOS_KINDS: [PolicyKind; 5] = [
@@ -60,6 +66,7 @@ struct Cli {
     chaos_samples: usize,
     prob: u16,
     seed_serial: Option<f64>,
+    ladder_out: Option<String>,
 }
 
 fn parse_cli(args: &mut Args) -> Result<Cli, ArgError> {
@@ -87,6 +94,7 @@ fn parse_cli(args: &mut Args) -> Result<Cli, ArgError> {
     let chaos_samples = args.parsed_or("--chaos-samples", 5_000)?;
     let prob: u16 = args.parsed_or("--prob", 100)?;
     let seed_serial: Option<f64> = args.parsed("--seed-serial")?;
+    let ladder_out = args.value("--ladder-out")?;
     let mut opts = args.exp_options()?;
     opts.scale = scale;
     opts.samples = samples;
@@ -98,6 +106,7 @@ fn parse_cli(args: &mut Args) -> Result<Cli, ArgError> {
         chaos_samples,
         prob,
         seed_serial,
+        ladder_out,
     })
 }
 
@@ -211,7 +220,7 @@ fn main() {
         std::process::exit(2);
     }
     trident_bench::banner(
-        "Bench matrix: fig1 + table4 + chaos across thread counts",
+        "Bench matrix: fig1 + table4 + chaos + ladder across thread counts",
         &cli.opts,
     );
     let cpus = Runner::new(0).threads();
@@ -225,7 +234,7 @@ fn main() {
     let mut references: Vec<String> = Vec::new();
     let mut failures = Vec::new();
 
-    for (gi, name) in ["fig1", "table4", "chaos"].iter().enumerate() {
+    for (gi, name) in ["fig1", "table4", "chaos", "ladder"].iter().enumerate() {
         let mut times = Vec::new();
         for &t in &cli.threads_list {
             let resolved = Runner::new(t).threads();
@@ -241,7 +250,15 @@ fn main() {
                     o.threads = t;
                     table4::run(&o).to_csv()
                 }
-                _ => run_chaos_grid(&chaos, t),
+                2 => run_chaos_grid(&chaos, t),
+                _ => {
+                    let mut o = cli.opts;
+                    o.threads = t;
+                    let r = ladder::run(&o);
+                    // Identity covers both the measured rows and the
+                    // architectural walk table.
+                    format!("{}{}", r.to_csv(), r.to_walk_csv())
+                }
             };
             let secs = t0.elapsed().as_secs_f64();
             eprintln!(
@@ -328,6 +345,36 @@ fn main() {
 
     std::fs::write(&cli.out, &json).expect("write bench matrix json");
     print!("{json}");
+
+    // Per-geometry ladder record: each shipped architecture's study timed
+    // on its own serial run, so regressions localize to one ladder.
+    if let Some(path) = &cli.ladder_out {
+        let mut lj = String::from("{\n  \"benchmark\": \"bench_matrix_ladder\",\n");
+        lj.push_str(&format!("  \"scale\": {},\n", cli.opts.scale));
+        lj.push_str(&format!("  \"samples\": {},\n", cli.opts.samples));
+        lj.push_str(&format!("  \"seed\": {},\n", cli.opts.seed));
+        lj.push_str(&format!("  \"cpus\": {cpus},\n"));
+        for name in ladder::GEOMETRY_NAMES {
+            let mut o = cli.opts;
+            o.threads = 1;
+            let t0 = Instant::now();
+            let r = ladder::run_geometry(&o, name).expect("shipped geometry id");
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "# ladder {name:>8}: {secs:.3}s serial, {} rungs",
+                r.walk_rows.len()
+            );
+            lj.push_str(&format!("  \"{name}_serial_seconds\": {secs:.3},\n"));
+            lj.push_str(&format!("  \"{name}_rungs\": {},\n", r.walk_rows.len()));
+        }
+        let (best_t, best_s) = grids[3].best();
+        lj.push_str(&format!("  \"ladder_rows\": {},\n", grids[3].rows));
+        lj.push_str(&format!("  \"ladder_best_seconds\": {best_s:.3},\n"));
+        lj.push_str(&format!("  \"ladder_best_threads\": {best_t},\n"));
+        lj.push_str(&format!("  \"bit_identical\": {bit_identical}\n}}\n"));
+        std::fs::write(path, &lj).expect("write ladder bench json");
+        eprintln!("# ladder record -> {path}");
+    }
     if failures.is_empty() {
         let (best_t, best_s) = grids[0].best();
         eprintln!(

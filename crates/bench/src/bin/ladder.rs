@@ -1,0 +1,12 @@
+//! Runs the multi-architecture ladder study: the same workloads and
+//! seeds under the x86-64, RISC-V Sv48+SVNAPOT and AArch64
+//! contiguous-bit ladders. Prints the measured CSV followed by the
+//! per-rung architectural walk table.
+
+fn main() {
+    let opts = trident_bench::options_from_env();
+    trident_bench::banner("Ladders: x86-64 vs Sv48 (NAPOT) vs AArch64 (contig)", &opts);
+    let r = trident_sim::experiments::ladder::run(&opts);
+    print!("{}", r.to_csv());
+    print!("{}", r.to_walk_csv());
+}

@@ -43,10 +43,11 @@ const USAGE: &str = "\
 usage: tridentctl list
        tridentctl run --workload <name> --policy <name> [--scale N] [--samples N]
                       [--seed N] [--cell N] [--fragment] [--trace N] [--profile]
+                      [--geometry x86_64|sv48|aarch64]
                       [--trace-out FILE] [--profile-out FILE]
                       [--fault-seed N] [--fault SITE:PROB]...
                       [--audit] [--tenant NAME[,weight=N][,budget=N]
-                                 [,prefer=4KB|2MB|1GB][,optout][,pin=START+PAGES]]...
+                                 [,prefer=LABEL][,optout][,pin=START+PAGES]]...
                       [--connect ADDR]
        tridentctl status <id> --connect ADDR
        tridentctl cancel <id> --connect ADDR
@@ -150,6 +151,7 @@ fn spec_from_args(args: &mut Args) -> Result<JobSpec, ArgError> {
     spec.profile = args.flag("--profile");
     spec.trace_out = args.value("--trace-out")?;
     spec.profile_out = args.value("--profile-out")?;
+    spec.geometry = args.value("--geometry")?;
 
     let fault_seed = args.parsed("--fault-seed")?;
     let mut rules = Vec::new();
@@ -186,7 +188,7 @@ fn spec_from_args(args: &mut Args) -> Result<JobSpec, ArgError> {
                 return Err(ArgError::InvalidValue {
                     flag: "--tenant".to_owned(),
                     value: raw,
-                    expected: "NAME[,weight=N][,budget=N][,prefer=4KB|2MB|1GB]\
+                    expected: "NAME[,weight=N][,budget=N][,prefer=LABEL]\
                                [,optout][,pin=START+PAGES]",
                 })
             }
@@ -214,7 +216,9 @@ fn parse_tenant(raw: &str) -> Option<TenantJob> {
             "weight" => tenant.weight = value.parse().ok()?,
             "budget" => tenant.chunk_budget = Some(value.parse().ok()?),
             "prefer" => {
-                tenant.prefer = Some(PageSize::ALL.into_iter().find(|s| s.label() == value)?);
+                // A rung label; the daemon validates it against the
+                // job's geometry ladder at admission.
+                tenant.prefer = Some(value.to_owned());
             }
             "pin" => {
                 let (start, pages) = value.split_once('+')?;
@@ -442,14 +446,17 @@ fn fleet(mut args: Args) -> Result<(), ArgError> {
         .run_cells(&spec, &cell_list)
         .unwrap_or_else(|e| fail(e));
     for (cell, r) in &outcome.results {
+        let mapped = r
+            .rungs
+            .iter()
+            .map(|row| row.bytes.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "cell {cell}: walks={} walk_cycles={} tlb={} mapped=[{} {} {}] faults={}",
+            "cell {cell}: walks={} walk_cycles={} tlb={} mapped=[{mapped}] faults={}",
             r.walks,
             r.walk_cycles,
             r.tlb_accesses,
-            r.mapped_bytes[0],
-            r.mapped_bytes[1],
-            r.mapped_bytes[2],
             r.snapshot.total_faults(),
         );
     }
@@ -564,12 +571,8 @@ fn print_report(spec: &JobSpec, r: &JobResult) {
         spec.workload, spec.policy, spec.scale
     );
     println!("memory mix:");
-    for size in PageSize::ALL {
-        println!(
-            "  {:>4}: {:>8} MB mapped",
-            size.label(),
-            r.mapped_bytes[size as usize] >> 20
-        );
+    for row in &r.rungs {
+        println!("  {:>10}: {:>8} MB mapped", row.size, row.bytes >> 20);
     }
     let miss = if r.tlb_accesses == 0 {
         0.0
@@ -580,18 +583,28 @@ fn print_report(spec: &JobSpec, r: &JobResult) {
         "tlb: {} accesses, {} walks ({miss:.2}% miss), {} walk cycles",
         r.tlb_accesses, r.walks, r.walk_cycles
     );
+    // The result's rungs are in ladder order, so the last row is the
+    // top rung and row index i is counter slot i.
+    let top_rung = r.rungs.len().saturating_sub(1);
+    let top_label = r.rungs.last().map_or("top", |row| row.size.as_str());
     println!(
-        "faults: {} total ({} at 1GB, mean 1GB fault {})",
+        "faults: {} total ({} at {top_label}, mean {top_label} fault {})",
         s.total_faults(),
-        s.faults[PageSize::Giant as usize],
-        s.mean_giant_fault_ns()
+        s.faults[top_rung],
+        s.mean_fault_ns(PageSize::new(top_rung))
             .map(|ns| format!("{:.2} ms", ns as f64 / 1e6))
             .unwrap_or_else(|| "n/a".into()),
     );
+    let promoted = r
+        .rungs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, row)| format!("{} to {}", s.promotions[i], row.size))
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "promotion: {} to 2MB, {} to 1GB; {} MB copied; {} MB exchanged (pv)",
-        s.promotions[PageSize::Huge as usize],
-        s.promotions[PageSize::Giant as usize],
+        "promotion: {promoted}; {} MB copied; {} MB exchanged (pv)",
         s.promotion_bytes_copied >> 20,
         s.pv_bytes_exchanged >> 20,
     );
@@ -612,7 +625,7 @@ fn print_report(spec: &JobSpec, r: &JobResult) {
         for t in &r.tenants {
             println!(
                 "  {} {:<10} {:>8} samples, {:>7} walks, {:>10} walk cycles, \
-                 FMFI(1GB) {}.{:03}, {} faults",
+                 FMFI(top) {}.{:03}, {} faults",
                 t.tenant,
                 t.workload,
                 t.samples,

@@ -17,11 +17,11 @@ use crate::{map_chunk, FaultOutcome, MmContext, PagePolicy, PolicyError};
 /// use trident_vm::{AddressSpace, VmaKind};
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant)));
+/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::new(2))));
 /// let mut space = AddressSpace::new(AsId::new(1), geo);
 /// space.mmap_at(Vpn::new(0), 64, VmaKind::Anon)?;
 /// let outcome = BasePolicy::new().on_fault(&mut ctx, &mut space, Vpn::new(5))?;
-/// assert_eq!(outcome.size, PageSize::Base);
+/// assert_eq!(outcome.size, PageSize::BASE);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,11 +49,11 @@ impl PagePolicy for BasePolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -92,6 +92,6 @@ mod tests {
             policy.on_fault(&mut ctx, &mut space, Vpn::new(64)),
             Err(PolicyError::OutOfContiguousMemory(_))
         ));
-        assert_eq!(ctx.stats.faults[PageSize::Base as usize], 64);
+        assert_eq!(ctx.stats.faults[PageSize::BASE.rung()], 64);
     }
 }

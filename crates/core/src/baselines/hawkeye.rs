@@ -72,27 +72,27 @@ impl PagePolicy for HawkEyePolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
+        if let Some(head) = touched_chunk(space, vpn, PageSize::new(1)) {
             // An injected allocation fault degrades to the 4KB path below;
             // without injection the has_free check makes map_chunk
             // infallible here.
-            if ctx.mem.has_free(PageSize::Huge)
-                && map_chunk(ctx, space, head, PageSize::Huge).is_ok()
+            if ctx.mem.has_free(PageSize::new(1))
+                && map_chunk(ctx, space, head, PageSize::new(1)).is_ok()
             {
-                let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                ctx.record_fault(PageSize::Huge, latency);
+                let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::new(1), false);
+                ctx.record_fault(PageSize::new(1), latency);
                 return Ok(FaultOutcome {
-                    size: PageSize::Huge,
+                    size: PageSize::new(1),
                     latency_ns: latency,
                     prepared: false,
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -134,7 +134,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            8 * geo.base_pages(PageSize::Giant),
+            8 * geo.base_pages(PageSize::new(2)),
         ));
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(AsId::new(1), geo));
@@ -187,6 +187,6 @@ mod tests {
         }
         policy.on_tick(&mut ctx, &mut spaces);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
     }
 }

@@ -17,6 +17,9 @@ use crate::{map_chunk, touched_chunk_reserved, FaultOutcome, MmContext, PagePoli
 #[derive(Debug, Clone)]
 pub struct HugetlbfsPolicy {
     size: PageSize,
+    /// Architecture label of `size` (e.g. "2MB"), captured at reservation
+    /// time for the policy's report name.
+    label: String,
     pool: Vec<Pfn>,
     reserved: usize,
 }
@@ -48,6 +51,7 @@ impl HugetlbfsPolicy {
         }
         Ok(HugetlbfsPolicy {
             size,
+            label: ctx.geometry().label(size),
             pool,
             reserved: count,
         })
@@ -68,7 +72,7 @@ impl HugetlbfsPolicy {
 
 impl PagePolicy for HugetlbfsPolicy {
     fn name(&self) -> String {
-        format!("{}-Hugetlbfs", self.size)
+        format!("{}-Hugetlbfs", self.label)
     }
 
     fn on_fault(
@@ -105,11 +109,11 @@ impl PagePolicy for HugetlbfsPolicy {
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -126,7 +130,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            8 * geo.base_pages(PageSize::Giant),
+            8 * geo.base_pages(PageSize::new(2)),
         ));
         (ctx, AddressSpace::new(AsId::new(1), geo))
     }
@@ -134,10 +138,10 @@ mod tests {
     #[test]
     fn reserved_pages_back_eligible_chunks() {
         let (mut ctx, mut space) = setup();
-        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::Giant, 2).unwrap();
+        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::new(2), 2).unwrap();
         space.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
         let out = policy.on_fault(&mut ctx, &mut space, Vpn::new(70)).unwrap();
-        assert_eq!(out.size, PageSize::Giant);
+        assert_eq!(out.size, PageSize::new(2));
         assert!(out.prepared);
         assert_eq!(policy.available(), 1);
     }
@@ -145,21 +149,21 @@ mod tests {
     #[test]
     fn stacks_are_never_backed_by_the_reservation() {
         let (mut ctx, mut space) = setup();
-        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::Giant, 2).unwrap();
+        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::new(2), 2).unwrap();
         space.mmap_at(Vpn::new(0), 64, VmaKind::Stack).unwrap();
         let out = policy.on_fault(&mut ctx, &mut space, Vpn::new(5)).unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
         assert_eq!(policy.available(), 2);
     }
 
     #[test]
     fn exhausted_pool_falls_back_to_base_pages() {
         let (mut ctx, mut space) = setup();
-        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::Giant, 1).unwrap();
+        let mut policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::new(2), 1).unwrap();
         space.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
         policy.on_fault(&mut ctx, &mut space, Vpn::new(0)).unwrap();
         let out = policy.on_fault(&mut ctx, &mut space, Vpn::new(64)).unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
     }
 
     #[test]
@@ -172,7 +176,7 @@ mod tests {
                 .unwrap();
         }
         let free_before = ctx.mem.free_pages();
-        let result = HugetlbfsPolicy::reserve(&mut ctx, PageSize::Giant, 1);
+        let result = HugetlbfsPolicy::reserve(&mut ctx, PageSize::new(2), 1);
         assert!(result.is_err());
         assert_eq!(ctx.mem.free_pages(), free_before);
     }
@@ -180,8 +184,8 @@ mod tests {
     #[test]
     fn name_includes_the_size() {
         let (mut ctx, _) = setup();
-        let policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::Huge, 1).unwrap();
-        assert_eq!(policy.name(), "2MB-Hugetlbfs");
+        let policy = HugetlbfsPolicy::reserve(&mut ctx, PageSize::new(1), 1).unwrap();
+        assert_eq!(policy.name(), "32KB-Hugetlbfs");
         assert_eq!(policy.reserved(), 1);
     }
 }

@@ -84,11 +84,11 @@ impl PagePolicy for IngensPolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -104,7 +104,7 @@ impl PagePolicy for IngensPolicy {
         self.next_space = self.next_space.wrapping_add(1);
 
         let geo = ctx.geometry();
-        let span = geo.base_pages(PageSize::Huge);
+        let span = geo.base_pages(PageSize::new(1));
         let scan_pages = spaces
             .get(asid)
             .map(|s| s.total_vma_pages())
@@ -117,18 +117,18 @@ impl PagePolicy for IngensPolicy {
             let Some(space) = spaces.get(asid) else {
                 return out;
             };
-            promotion_candidates(space, PageSize::Huge)
+            promotion_candidates(space, PageSize::new(1))
                 .into_iter()
                 .filter(|(_, profile)| {
-                    profile.mapped() as f64 >= self.utilization_threshold * span as f64
+                    profile.mapped_total() as f64 >= self.utilization_threshold * span as f64
                 })
                 .map(|(head, _)| head)
                 .collect()
         };
         for head in candidates.into_iter().take(self.chunk_budget) {
-            if !ctx.mem.has_free(PageSize::Huge) {
+            if !ctx.mem.has_free(PageSize::new(1)) {
                 out.compaction_runs += 1;
-                let c = self.compactor.compact(ctx, spaces, PageSize::Huge);
+                let c = self.compactor.compact(ctx, spaces, PageSize::new(1));
                 out.daemon_ns += c.ns;
                 if !c.success {
                     break;
@@ -139,7 +139,7 @@ impl PagePolicy for IngensPolicy {
                 spaces,
                 asid,
                 head,
-                PageSize::Huge,
+                PageSize::new(1),
                 PromotionStyle::Copy,
             ) {
                 Ok(p) => {
@@ -166,7 +166,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            8 * geo.base_pages(PageSize::Giant),
+            8 * geo.base_pages(PageSize::new(2)),
         ));
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(AsId::new(1), geo));
@@ -180,7 +180,7 @@ mod tests {
         let space = spaces.get_mut(AsId::new(1)).unwrap();
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
         let out = policy.on_fault(&mut ctx, space, Vpn::new(0)).unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
     }
 
     #[test]
@@ -197,7 +197,7 @@ mod tests {
         }
         policy.on_tick(&mut ctx, &mut spaces);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 0);
         // Touch the rest; now it promotes.
         {
             let space = spaces.get_mut(AsId::new(1)).unwrap();
@@ -207,7 +207,7 @@ mod tests {
         }
         policy.on_tick(&mut ctx, &mut spaces);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 1);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 1);
     }
 
     #[test]
@@ -233,7 +233,7 @@ mod tests {
             ctx.stats.bloat_pages, 0,
             "Ingens never promotes sparse chunks"
         );
-        assert_eq!(ctx.stats.promotions[PageSize::Huge as usize], 0);
+        assert_eq!(ctx.stats.promotions[1], 0);
     }
 
     #[test]

@@ -22,11 +22,11 @@ use crate::{
 /// use trident_vm::{AddressSpace, VmaKind};
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant)));
+/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::new(2))));
 /// let mut space = AddressSpace::new(AsId::new(1), geo);
 /// space.mmap_at(Vpn::new(0), 64, VmaKind::Anon)?;
 /// let outcome = ThpPolicy::new().on_fault(&mut ctx, &mut space, Vpn::new(9))?;
-/// assert_eq!(outcome.size, PageSize::Huge);
+/// assert_eq!(outcome.size, PageSize::new(1));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -64,27 +64,27 @@ impl PagePolicy for ThpPolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
+        if let Some(head) = touched_chunk(space, vpn, PageSize::new(1)) {
             // An injected allocation fault degrades to the 4KB path below;
             // without injection the has_free check makes map_chunk
             // infallible here.
-            if ctx.mem.has_free(PageSize::Huge)
-                && map_chunk(ctx, space, head, PageSize::Huge).is_ok()
+            if ctx.mem.has_free(PageSize::new(1))
+                && map_chunk(ctx, space, head, PageSize::new(1)).is_ok()
             {
-                let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                ctx.record_fault(PageSize::Huge, latency);
+                let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::new(1), false);
+                ctx.record_fault(PageSize::new(1), latency);
                 return Ok(FaultOutcome {
-                    size: PageSize::Huge,
+                    size: PageSize::new(1),
                     latency_ns: latency,
                     prepared: false,
                 });
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -108,7 +108,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            8 * geo.base_pages(PageSize::Giant),
+            8 * geo.base_pages(PageSize::new(2)),
         ));
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(AsId::new(1), geo));
@@ -124,7 +124,7 @@ mod tests {
         let out = ThpPolicy::new()
             .on_fault(&mut ctx, space, Vpn::new(4))
             .unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
     }
 
     #[test]
@@ -144,8 +144,8 @@ mod tests {
         let out = policy.on_tick(&mut ctx, &mut spaces);
         assert!(out.promotions >= 1);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert!(space.page_table().mapped_pages(PageSize::Huge) >= 1);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
+        assert!(space.page_table().mapped_pages(PageSize::new(1)) >= 1);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
     }
 
     #[test]
@@ -165,7 +165,7 @@ mod tests {
             policy.on_tick(&mut ctx, &mut spaces);
         }
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 16);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 16);
     }
 }

@@ -47,11 +47,11 @@ pub struct CompactionOutcome {
 /// use trident_types::{PageGeometry, PageSize};
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant)));
+/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::new(2))));
 /// let mut spaces = SpaceSet::new();
 /// let mut compactor = Compactor::new(CompactionKind::Smart);
 /// // Memory is pristine: a giant chunk already exists, so this is a no-op.
-/// let outcome = compactor.compact(&mut ctx, &mut spaces, PageSize::Giant);
+/// let outcome = compactor.compact(&mut ctx, &mut spaces, PageSize::new(2));
 /// assert!(outcome.success);
 /// assert_eq!(outcome.bytes_copied, 0);
 /// ```
@@ -119,9 +119,13 @@ impl Compactor {
             ctx.span_end(SpanKind::Compaction, out.ns);
             return out;
         }
-        match (self.kind, target) {
-            (CompactionKind::Smart, PageSize::Giant) => self.smart(ctx, spaces, &mut out),
-            _ => self.normal(ctx, spaces, target, &mut out),
+        // Smart compaction's emptiness/fullness region pairing only pays
+        // when hunting the ladder's top-rung chunk; smaller targets use
+        // the normal linear scan.
+        if self.kind == CompactionKind::Smart && target == ctx.geometry().largest() {
+            self.smart(ctx, spaces, &mut out);
+        } else {
+            self.normal(ctx, spaces, target, &mut out);
         }
         out.ns += ctx.cost.copy_ns(out.bytes_copied);
         ctx.record(Event::CompactionRun {
@@ -137,7 +141,7 @@ impl Compactor {
     /// Smart compaction: pick sources by emptiness, targets by fullness.
     fn smart(&mut self, ctx: &mut MmContext, spaces: &mut SpaceSet, out: &mut CompactionOutcome) {
         let geo = ctx.geometry();
-        let giant_order = geo.order(PageSize::Giant);
+        let giant_order = geo.order(geo.largest());
         let sources: Vec<RegionId> = ctx
             .mem
             .regions()
@@ -177,7 +181,7 @@ impl Compactor {
             }
         }
         // Selection found nothing freeable; report whatever state we left.
-        out.success = ctx.mem.has_free(PageSize::Giant);
+        out.success = ctx.mem.has_free(PageSize::new(2));
     }
 
     /// Normal compaction: sequential region scan from the persistent
@@ -192,7 +196,7 @@ impl Compactor {
         out: &mut CompactionOutcome,
     ) {
         let geo = ctx.geometry();
-        let giant_order = geo.order(PageSize::Giant);
+        let giant_order = geo.order(geo.largest());
         let region_count = ctx.mem.regions().region_count();
         if region_count == 0 {
             return;
@@ -291,7 +295,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let mut ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            regions * geo.base_pages(PageSize::Giant),
+            regions * geo.base_pages(PageSize::new(2)),
         ));
         let mut space = AddressSpace::new(AsId::new(1), geo);
         let total = regions * 64;
@@ -315,7 +319,7 @@ mod tests {
                 .unwrap();
             space
                 .page_table_mut()
-                .map(vpn, pfn, PageSize::Base)
+                .map(vpn, pfn, PageSize::BASE)
                 .unwrap();
             held.push((vpn, pfn));
         }
@@ -325,7 +329,7 @@ mod tests {
                 ctx.mem.free(pfn).unwrap();
             }
         }
-        assert!(!ctx.mem.has_free(PageSize::Giant));
+        assert!(!ctx.mem.has_free(PageSize::new(2)));
         let mut spaces = SpaceSet::new();
         spaces.insert(space);
         (ctx, spaces)
@@ -335,9 +339,9 @@ mod tests {
     fn smart_compaction_creates_a_giant_chunk() {
         let (mut ctx, mut spaces) = fragmented_setup(8);
         let mut c = Compactor::new(CompactionKind::Smart);
-        let out = c.compact(&mut ctx, &mut spaces, PageSize::Giant);
+        let out = c.compact(&mut ctx, &mut spaces, PageSize::new(2));
         assert!(out.success);
-        assert!(ctx.mem.has_free(PageSize::Giant));
+        assert!(ctx.mem.has_free(PageSize::new(2)));
         assert!(out.bytes_copied > 0);
         ctx.mem.assert_consistent();
     }
@@ -348,13 +352,13 @@ mod tests {
         let out_smart = Compactor::new(CompactionKind::Smart).compact(
             &mut ctx_s,
             &mut spaces_s,
-            PageSize::Giant,
+            PageSize::new(2),
         );
         let (mut ctx_n, mut spaces_n) = fragmented_setup(8);
         let out_normal = Compactor::new(CompactionKind::Normal).compact(
             &mut ctx_n,
             &mut spaces_n,
-            PageSize::Giant,
+            PageSize::new(2),
         );
         assert!(out_smart.success && out_normal.success);
         // In a uniform checkerboard they copy similar amounts; smart never
@@ -386,7 +390,7 @@ mod tests {
                         .unwrap();
                     space
                         .page_table_mut()
-                        .map(vpn, pfn, PageSize::Base)
+                        .map(vpn, pfn, PageSize::BASE)
                         .unwrap();
                 }
             };
@@ -396,11 +400,11 @@ mod tests {
         spaces_alloc(&mut ctx, &mut space, 1, 2);
         spaces_alloc(&mut ctx, &mut space, 2, 16);
         spaces_alloc(&mut ctx, &mut space, 3, 16);
-        assert!(!ctx.mem.has_free(PageSize::Giant));
+        assert!(!ctx.mem.has_free(PageSize::new(2)));
         let mut spaces = SpaceSet::new();
         spaces.insert(space);
         let out =
-            Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::Giant);
+            Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::new(2));
         assert!(out.success);
         // Freeing region 1 takes 2 page copies; anything else would take
         // far more.
@@ -423,7 +427,7 @@ mod tests {
         while ctx.mem.allocate_order(2, FrameUse::User, None).is_ok() {}
         let mut spaces = SpaceSet::new();
         let out =
-            Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::Giant);
+            Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::new(2));
         assert!(!out.success);
         assert_eq!(out.bytes_copied, 0);
     }
@@ -444,7 +448,7 @@ mod tests {
         }
         let mut spaces = SpaceSet::new();
         let mut c = Compactor::new(CompactionKind::Normal);
-        let out = c.compact(&mut ctx, &mut spaces, PageSize::Giant);
+        let out = c.compact(&mut ctx, &mut spaces, PageSize::new(2));
         // It copied page-cache pages before hitting the kernel pages —
         // wasted work, both regions stay pinned. Smart compaction would
         // have copied nothing (see unmovable_region_is_never_selected).
@@ -458,10 +462,10 @@ mod tests {
         let mut c = Compactor::new(CompactionKind::Smart);
         // Exhaust huge chunks by checkerboard: order-3 blocks are... the
         // checkerboard leaves order-2 holes, so no order-3 (huge) chunk.
-        assert!(!ctx.mem.has_free(PageSize::Huge));
-        let out = c.compact(&mut ctx, &mut spaces, PageSize::Huge);
+        assert!(!ctx.mem.has_free(PageSize::new(1)));
+        let out = c.compact(&mut ctx, &mut spaces, PageSize::new(1));
         assert!(out.success);
-        assert!(ctx.mem.has_free(PageSize::Huge));
+        assert!(ctx.mem.has_free(PageSize::new(1)));
     }
 
     #[test]
@@ -472,7 +476,7 @@ mod tests {
             .unwrap()
             .page_table()
             .mappings_in(Vpn::new(0), 4 * 64);
-        Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::Giant);
+        Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::new(2));
         let space = spaces.get(AsId::new(1)).unwrap();
         // Every previously mapped page is still mapped, and its frame's
         // reverse map agrees with the page table.

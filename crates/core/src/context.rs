@@ -294,7 +294,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            4 * geo.base_pages(PageSize::Giant),
+            4 * geo.base_pages(PageSize::new(2)),
         ));
         assert_eq!(ctx.geometry(), geo);
         assert_eq!(ctx.snapshot().total_faults(), 0);
@@ -305,15 +305,15 @@ mod tests {
         let geo = PageGeometry::TINY;
         let mut ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            4 * geo.base_pages(PageSize::Giant),
+            4 * geo.base_pages(PageSize::new(2)),
         ));
         ctx.recorder = ObsRecorder::ring(16);
         let (t0, t1) = (TenantId::new(0), TenantId::new(1));
         ctx.set_tenant_scope(Some(t0));
-        ctx.record_fault(PageSize::Huge, 100);
+        ctx.record_fault(PageSize::new(1), 100);
         ctx.set_tenant_scope(Some(t1));
-        ctx.record_fault(PageSize::Base, 10);
-        ctx.record_fault(PageSize::Base, 10);
+        ctx.record_fault(PageSize::BASE, 10);
+        ctx.record_fault(PageSize::BASE, 10);
         // Same-scope re-set emits no duplicate marker.
         ctx.set_tenant_scope(Some(t1));
 
@@ -342,10 +342,10 @@ mod tests {
         let geo = PageGeometry::TINY;
         let mut ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            4 * geo.base_pages(PageSize::Giant),
+            4 * geo.base_pages(PageSize::new(2)),
         ));
         ctx.recorder = ObsRecorder::ring(16);
-        ctx.record_fault(PageSize::Huge, 250);
+        ctx.record_fault(PageSize::new(1), 250);
         ctx.record_giant_attempt(AllocSite::PageFault, true);
         let trace: Vec<Event> = ctx.recorder.tracer().unwrap().events().copied().collect();
         // The fault is bracketed by trace-only span events.

@@ -69,17 +69,16 @@ impl CostModel {
     /// an async-zeroed block and skip it.
     #[must_use]
     pub fn fault_ns(&self, geo: &PageGeometry, size: PageSize, prepared: bool) -> u64 {
-        match size {
-            PageSize::Base => self.fault_base_ns,
-            PageSize::Huge => self.fault_base_ns + self.zero_ns(geo.bytes(PageSize::Huge)),
-            PageSize::Giant => {
-                let sync = self.fault_base_ns + self.zero_ns(geo.bytes(PageSize::Giant));
-                if prepared {
-                    sync / self.prepared_fault_divisor
-                } else {
-                    sync
-                }
-            }
+        if size.is_base() {
+            return self.fault_base_ns;
+        }
+        // Every larger rung (group spans included) zero-fills its bytes;
+        // only the ladder's top rung has a pre-zeroed pool to draw from.
+        let sync = self.fault_base_ns + self.zero_ns(geo.bytes(size));
+        if prepared && size == geo.largest() {
+            sync / self.prepared_fault_divisor
+        } else {
+            sync
         }
     }
 
@@ -282,14 +281,14 @@ mod tests {
         let m = CostModel::default();
         let geo = trident_types::PageGeometry::X86_64;
         // ≈400ms synchronous 1GB fault, 2.7ms prepared (§5.1.2).
-        let giant_sync = m.fault_ns(&geo, PageSize::Giant, false);
+        let giant_sync = m.fault_ns(&geo, PageSize::new(2), false);
         assert!(
             (380_000_000..420_000_000).contains(&giant_sync),
             "{giant_sync}"
         );
-        assert!(giant_sync / m.fault_ns(&geo, PageSize::Giant, true) > 100);
+        assert!(giant_sync / m.fault_ns(&geo, PageSize::new(2), true) > 100);
         // ≈850µs 2MB fault.
-        let huge = m.fault_ns(&geo, PageSize::Huge, false);
+        let huge = m.fault_ns(&geo, PageSize::new(1), false);
         assert!((700_000..1_000_000).contains(&huge), "{huge}");
     }
 
@@ -299,8 +298,8 @@ mod tests {
         let real = trident_types::PageGeometry::X86_64;
         let scaled = trident_types::PageGeometry::new(12, 5, 14); // 1/16
         assert!(
-            m.fault_ns(&scaled, PageSize::Giant, false)
-                < m.fault_ns(&real, PageSize::Giant, false) / 8
+            m.fault_ns(&scaled, PageSize::new(2), false)
+                < m.fault_ns(&real, PageSize::new(2), false) / 8
         );
     }
 

@@ -34,7 +34,7 @@ pub fn touched_chunk(space: &AddressSpace, vpn: Vpn, size: PageSize) -> Option<V
         return None;
     }
     let profile = space.page_table().chunk_profile(head, size);
-    (profile.mapped() == 0).then_some(head)
+    (profile.mapped_total() == 0).then_some(head)
 }
 
 /// Like [`touched_chunk`], but with reservation ("hugetlbfs") semantics:
@@ -53,7 +53,7 @@ pub fn touched_chunk_reserved(space: &AddressSpace, vpn: Vpn, size: PageSize) ->
         return None;
     }
     let profile = space.page_table().chunk_profile(head, size);
-    (profile.mapped() == 0).then_some(head)
+    (profile.mapped_total() == 0).then_some(head)
 }
 
 /// Allocates a frame of `size` and maps it at `head_vpn` with the
@@ -75,7 +75,7 @@ pub fn map_chunk(
     head_vpn: Vpn,
     size: PageSize,
 ) -> Result<(Pfn, bool), PhysMemError> {
-    if size != PageSize::Base && ctx.inject(trident_obs::InjectSite::Alloc) {
+    if size != PageSize::BASE && ctx.inject(trident_obs::InjectSite::Alloc) {
         return Err(PhysMemError::OutOfContiguousMemory(
             trident_types::AllocError {
                 order: ctx.geometry().order(size),
@@ -86,27 +86,27 @@ pub fn map_chunk(
         asid: space.id(),
         vpn: head_vpn,
     };
-    let (pfn, prepared) = match size {
-        PageSize::Giant => {
-            match ctx.zero_pool.take_prepared_rec(
-                &mut ctx.mem,
-                FrameUse::User,
-                Some(owner),
-                &mut ctx.recorder,
-            ) {
-                Some(pfn) => (pfn, true),
-                None => (
-                    ctx.mem
-                        .allocate_rec(size, FrameUse::User, Some(owner), &mut ctx.recorder)?,
-                    false,
-                ),
-            }
+    // The zero-fill pool prepares blocks of the ladder's top rung only.
+    let (pfn, prepared) = if size == ctx.geometry().largest() {
+        match ctx.zero_pool.take_prepared_rec(
+            &mut ctx.mem,
+            FrameUse::User,
+            Some(owner),
+            &mut ctx.recorder,
+        ) {
+            Some(pfn) => (pfn, true),
+            None => (
+                ctx.mem
+                    .allocate_rec(size, FrameUse::User, Some(owner), &mut ctx.recorder)?,
+                false,
+            ),
         }
-        _ => (
+    } else {
+        (
             ctx.mem
                 .allocate_rec(size, FrameUse::User, Some(owner), &mut ctx.recorder)?,
             false,
-        ),
+        )
     };
     space
         .page_table_mut()
@@ -126,7 +126,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            8 * geo.base_pages(PageSize::Giant),
+            8 * geo.base_pages(PageSize::new(2)),
         ));
         (ctx, AddressSpace::new(AsId::new(1), geo))
     }
@@ -137,16 +137,16 @@ mod tests {
         // VMA of 100 pages starting at page 4: giant chunk [0,64) sticks
         // out at the front, [64,128) sticks out at the back.
         space.mmap_at(Vpn::new(4), 100, VmaKind::Anon).unwrap();
-        assert_eq!(touched_chunk(&space, Vpn::new(10), PageSize::Giant), None);
+        assert_eq!(touched_chunk(&space, Vpn::new(10), PageSize::new(2)), None);
         assert_eq!(
-            touched_chunk(&space, Vpn::new(10), PageSize::Huge),
+            touched_chunk(&space, Vpn::new(10), PageSize::new(1)),
             Some(Vpn::new(8))
         );
         // A VMA covering two full giant chunks qualifies.
         let mut s2 = AddressSpace::new(AsId::new(2), PageGeometry::TINY);
         s2.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
         assert_eq!(
-            touched_chunk(&s2, Vpn::new(70), PageSize::Giant),
+            touched_chunk(&s2, Vpn::new(70), PageSize::new(2)),
             Some(Vpn::new(64))
         );
     }
@@ -155,11 +155,11 @@ mod tests {
     fn touched_chunk_rejects_partially_mapped_chunks() {
         let (mut ctx, mut space) = setup();
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
-        map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Base).unwrap();
-        assert_eq!(touched_chunk(&space, Vpn::new(9), PageSize::Giant), None);
+        map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::BASE).unwrap();
+        assert_eq!(touched_chunk(&space, Vpn::new(9), PageSize::new(2)), None);
         // But a fresh huge chunk inside is fine.
         assert_eq!(
-            touched_chunk(&space, Vpn::new(9), PageSize::Huge),
+            touched_chunk(&space, Vpn::new(9), PageSize::new(1)),
             Some(Vpn::new(8))
         );
     }
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn touched_chunk_outside_any_vma_is_none() {
         let (_, space) = setup();
-        assert_eq!(touched_chunk(&space, Vpn::new(5), PageSize::Base), None);
+        assert_eq!(touched_chunk(&space, Vpn::new(5), PageSize::BASE), None);
     }
 
     #[test]
@@ -176,7 +176,7 @@ mod tests {
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
         ctx.zero_pool.tick(&ctx.mem, &ctx.cost.clone(), 1);
         let (pfn, prepared) =
-            map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Giant).unwrap();
+            map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::new(2)).unwrap();
         assert!(prepared);
         let owner = ctx.mem.unit_at(pfn).unwrap().owner.unwrap();
         assert_eq!(owner.asid, AsId::new(1));
@@ -188,7 +188,7 @@ mod tests {
     fn map_chunk_without_prepared_blocks_is_unprepared() {
         let (mut ctx, mut space) = setup();
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
-        let (_, prepared) = map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::Giant).unwrap();
+        let (_, prepared) = map_chunk(&mut ctx, &mut space, Vpn::new(0), PageSize::new(2)).unwrap();
         assert!(!prepared);
     }
 }

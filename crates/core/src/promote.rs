@@ -14,7 +14,7 @@ use std::error::Error;
 
 use trident_obs::{Event, InjectSite, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
-use trident_types::{AsId, DenseBitSet, PageSize, TridentError, Vpn};
+use trident_types::{AsId, DenseBitSet, PageSize, TridentError, Vpn, MAX_RUNGS};
 use trident_vm::{promotion_candidates, AddressSpace};
 
 use crate::{CompactionKind, Compactor, MmContext, PolicyHint, SpaceSet, TickOutcome};
@@ -105,44 +105,43 @@ pub fn promote_chunk(
     let span = geo.base_pages(target);
     let space = spaces.get_mut(asid).expect("candidate space exists");
     let profile = space.page_table().chunk_profile(head, target);
-    let already_at_target = match target {
-        PageSize::Giant => profile.giant_mapped > 0,
-        PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
-        PageSize::Base => true,
-    };
-    if already_at_target || profile.mapped() == 0 {
+    let already_at_target = target.is_base()
+        || profile.mapped[target.rung()..]
+            .iter()
+            .any(|&pages| pages > 0);
+    if already_at_target || profile.mapped_total() == 0 {
         return Err(PromoteError::NotACandidate);
     }
 
-    // Destination frame; for giant pages prefer an async-zeroed block.
+    // Destination frame; for the ladder's top rung prefer an async-zeroed
+    // block from the pool.
     let owner = MappingOwner { asid, vpn: head };
-    let (dst, prepared) = match target {
-        PageSize::Giant => {
-            match ctx.zero_pool.take_prepared_rec(
-                &mut ctx.mem,
-                FrameUse::User,
-                Some(owner),
-                &mut ctx.recorder,
-            ) {
-                Some(pfn) => (pfn, true),
-                None => match ctx.mem.allocate_rec(
-                    target,
-                    FrameUse::User,
-                    Some(owner),
-                    &mut ctx.recorder,
-                ) {
+    let (dst, prepared) = if target == geo.largest() {
+        match ctx.zero_pool.take_prepared_rec(
+            &mut ctx.mem,
+            FrameUse::User,
+            Some(owner),
+            &mut ctx.recorder,
+        ) {
+            Some(pfn) => (pfn, true),
+            None => {
+                match ctx
+                    .mem
+                    .allocate_rec(target, FrameUse::User, Some(owner), &mut ctx.recorder)
+                {
                     Ok(pfn) => (pfn, false),
                     Err(_) => return Err(PromoteError::NoContiguity),
-                },
+                }
             }
         }
-        _ => match ctx
+    } else {
+        match ctx
             .mem
             .allocate_rec(target, FrameUse::User, Some(owner), &mut ctx.recorder)
         {
             Ok(pfn) => (pfn, false),
             Err(_) => return Err(PromoteError::NoContiguity),
-        },
+        }
     };
 
     // Replace the small mappings with the single large leaf.
@@ -163,26 +162,37 @@ pub fn promote_chunk(
             .free_rec(pfn, &mut ctx.recorder)
             .unwrap_or_else(|e| {
                 panic!(
-                    "old frame was live: {e}; leaf size {size} vpn {vpn} unit_at {:?} head_of {:?}",
+                    "old frame was live: {e}; leaf size {size:?} vpn {vpn} unit_at {:?} head_of {:?}",
                     ctx.mem.unit_at(pfn),
                     ctx.mem.frames().head_of(pfn),
                 )
             });
     }
 
-    // Cost accounting.
+    // Cost accounting. Only pages mapped by natural table-level leaves at
+    // PMD level or above can have their gPA→hPA mappings exchanged; base
+    // pages and group leaves (NAPOT / contiguous spans are just runs of
+    // PTEs) are copied as before (§6).
     let base_bytes = geo.base_bytes();
-    let huge_bytes = profile.huge_mapped * base_bytes;
-    let small_bytes = (profile.base_mapped + profile.giant_mapped) * base_bytes;
+    let mut exchangeable_pages = 0;
+    let mut pairs_available = 0;
+    for size in geo.rungs() {
+        if size < target && geo.level(size) >= 2 && !geo.is_group(size) {
+            exchangeable_pages += profile.mapped[size.rung()];
+            pairs_available += profile.mapped[size.rung()] / geo.base_pages(size);
+        }
+    }
+    let huge_bytes = exchangeable_pages * base_bytes;
+    let small_bytes = (profile.mapped_total() - exchangeable_pages) * base_bytes;
     let (copied, pairs, move_ns) = match style {
         PromotionStyle::Copy => {
             let bytes = huge_bytes + small_bytes;
             (bytes, 0, ctx.cost.copy_ns(bytes))
         }
         PromotionStyle::PvBatched | PromotionStyle::PvUnbatched => {
-            // Only 2MB-mapped portions benefit from the exchange; 4KB
-            // mappings are copied as before (§6).
-            let pairs = profile.huge_mapped / geo.base_pages(PageSize::Huge);
+            // Only the table-level large-mapped portions benefit from the
+            // exchange; base mappings are copied as before (§6).
+            let pairs = pairs_available;
             let exchange_ns = match style {
                 PromotionStyle::PvBatched => ctx.cost.pv_batched_exchange_ns(pairs),
                 _ => ctx.cost.pv_unbatched_exchange_ns(pairs),
@@ -205,7 +215,7 @@ pub fn promote_chunk(
     };
     // Untouched parts of the new page must be zero; prepared giant blocks
     // already are.
-    let zero_ns = if target == PageSize::Giant && prepared {
+    let zero_ns = if prepared {
         0
     } else {
         ctx.cost.zero_ns(profile.unmapped * base_bytes)
@@ -263,7 +273,7 @@ pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &Promoted
             vpn,
         };
         let Ok(pfn) = ctx.mem.allocate_rec(
-            PageSize::Base,
+            PageSize::BASE,
             FrameUse::User,
             Some(owner),
             &mut ctx.recorder,
@@ -272,7 +282,7 @@ pub fn demote_chunk(ctx: &mut MmContext, spaces: &mut SpaceSet, chunk: &Promoted
         };
         space
             .page_table_mut()
-            .map(vpn, pfn, PageSize::Base)
+            .map(vpn, pfn, PageSize::BASE)
             .expect("span was emptied");
         restored += 1;
     }
@@ -437,14 +447,22 @@ impl PromoterConfigBuilder {
 /// Candidates are packed bitmaps keyed by *chunk index* (head VPN divided
 /// by the chunk span), so insert/remove during dirty replay are single bit
 /// flips and enumeration is already in address order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct CandidateCache {
-    /// Giant-chunk indices promotable to 1GB.
-    giant: DenseBitSet,
-    /// Huge-chunk indices promotable to 2MB.
-    huge: DenseBitSet,
+    /// Chunk indices promotable to each rung, indexed by
+    /// [`PageSize::rung`] (the base rung’s slot stays empty).
+    sets: [DenseBitSet; MAX_RUNGS],
     /// Whether the priming scan has run.
     primed: bool,
+}
+
+impl Default for CandidateCache {
+    fn default() -> Self {
+        CandidateCache {
+            sets: std::array::from_fn(|_| DenseBitSet::default()),
+            primed: false,
+        }
+    }
 }
 
 /// Exponential-backoff state for one compaction target size.
@@ -529,10 +547,8 @@ pub struct Promoter {
     config: PromoterConfig,
     compactor: Compactor,
     next_space: usize,
-    /// Compaction backoff for the 2MB target size.
-    huge_backoff: CompactionBackoff,
-    /// Compaction backoff for the 1GB target size.
-    giant_backoff: CompactionBackoff,
+    /// Compaction backoff per target rung, indexed by [`PageSize::rung`].
+    backoffs: [CompactionBackoff; MAX_RUNGS],
     /// Candidate indexes, a dense arena indexed by raw address-space id.
     caches: Vec<Option<CandidateCache>>,
     /// Reusable candidate-head buffer for the per-tick scan loops.
@@ -555,12 +571,8 @@ fn is_candidate(space: &AddressSpace, head: Vpn, size: PageSize) -> bool {
         return false;
     }
     let profile = space.page_table().chunk_profile(head, size);
-    let already = match size {
-        PageSize::Giant => profile.giant_mapped > 0,
-        PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
-        PageSize::Base => true,
-    };
-    !already && profile.mapped() > 0
+    let already = size.is_base() || profile.mapped[size.rung()..].iter().any(|&pages| pages > 0);
+    !already && profile.mapped_total() > 0
 }
 
 impl Promoter {
@@ -571,8 +583,7 @@ impl Promoter {
             config,
             compactor: Compactor::new(config.compaction),
             next_space: 0,
-            huge_backoff: CompactionBackoff::new(),
-            giant_backoff: CompactionBackoff::new(),
+            backoffs: [CompactionBackoff::new(); MAX_RUNGS],
             caches: Vec::new(),
             head_buf: Vec::new(),
             dirty_buf: Vec::new(),
@@ -605,37 +616,35 @@ impl Promoter {
             return;
         };
         let geo = space.geometry();
-        let giant_span = geo.base_pages(PageSize::Giant);
-        let huge_span = geo.base_pages(PageSize::Huge);
+        let top_span = geo.base_pages(geo.largest());
         let cache = self.cache_slot(asid).get_or_insert_with(Default::default);
         if !cache.primed {
             // The priming enumeration subsumes any dirty backlog.
             space.page_table_mut().drain_dirty_chunks_into(&mut dirty);
-            cache.giant = promotion_candidates(space, PageSize::Giant)
-                .into_iter()
-                .map(|(head, _)| head.raw() / giant_span)
-                .collect();
-            cache.huge = promotion_candidates(space, PageSize::Huge)
-                .into_iter()
-                .map(|(head, _)| head.raw() / huge_span)
-                .collect();
+            for size in geo.rungs().filter(|s| !s.is_base()) {
+                let span = geo.base_pages(size);
+                cache.sets[size.rung()] = promotion_candidates(space, size)
+                    .into_iter()
+                    .map(|(head, _)| head.raw() / span)
+                    .collect();
+            }
             cache.primed = true;
             self.dirty_buf = dirty;
             return;
         }
+        // The dirty feed is keyed by top-rung chunks; re-examine every
+        // sub-chunk of each dirty chunk at every promotable rung.
         space.page_table_mut().drain_dirty_chunks_into(&mut dirty);
         for &gi in &dirty {
-            let head = gi * giant_span;
-            if is_candidate(space, Vpn::new(head), PageSize::Giant) {
-                cache.giant.insert(gi);
-            } else {
-                cache.giant.remove(gi);
-            }
-            for sub_head in (head..head + giant_span).step_by(huge_span as usize) {
-                if is_candidate(space, Vpn::new(sub_head), PageSize::Huge) {
-                    cache.huge.insert(sub_head / huge_span);
-                } else {
-                    cache.huge.remove(sub_head / huge_span);
+            let head = gi * top_span;
+            for size in geo.rungs().filter(|s| !s.is_base()) {
+                let span = geo.base_pages(size);
+                for sub_head in (head..head + top_span).step_by(span as usize) {
+                    if is_candidate(space, Vpn::new(sub_head), size) {
+                        cache.sets[size.rung()].insert(sub_head / span);
+                    } else {
+                        cache.sets[size.rung()].remove(sub_head / span);
+                    }
                 }
             }
         }
@@ -701,12 +710,25 @@ impl Promoter {
         }
         let hint = policy.as_ref().map(|p| p.hint.clone());
         let preferred = hint.as_ref().and_then(|h| h.preferred_size);
-        // A preference masks the *other* pass; preferring Base declines
-        // both (promotion would only create larger pages).
-        let use_giant =
-            self.config.use_giant && !matches!(preferred, Some(PageSize::Huge | PageSize::Base));
-        let use_huge =
-            self.config.use_huge && !matches!(preferred, Some(PageSize::Giant | PageSize::Base));
+        let geo = ctx.geometry();
+        // The promotion ladder: every rung above base, largest first.
+        // `use_giant` gates the top rung, `use_huge` the intermediate
+        // ones; a tenant preference keeps only the preferred rung, and
+        // preferring the base size declines promotion entirely (it would
+        // only create larger pages).
+        let ladder: Vec<PageSize> = (0..geo.rung_count())
+            .rev()
+            .map(PageSize::new)
+            .filter(|&s| !s.is_base())
+            .filter(|&s| {
+                if s == geo.largest() {
+                    self.config.use_giant
+                } else {
+                    self.config.use_huge
+                }
+            })
+            .filter(|&s| preferred.is_none_or(|p| p == s))
+            .collect();
 
         let mut out = TickOutcome::default();
         let mut promoted = Vec::new();
@@ -714,9 +736,9 @@ impl Promoter {
             .as_ref()
             .and_then(|p| p.chunk_budget)
             .unwrap_or(self.config.chunk_budget);
-        let geo = ctx.geometry();
-        self.huge_backoff.tick_start();
-        self.giant_backoff.tick_start();
+        for backoff in &mut self.backoffs {
+            backoff.tick_start();
+        }
         ctx.span_begin(SpanKind::PromoScan);
 
         // Scanning the VA space costs daemon CPU proportional to its size.
@@ -736,85 +758,42 @@ impl Promoter {
         // contiguity situation has not changed. Across ticks the backoff
         // additionally imposes a doubling sit-out window (§ graceful
         // degradation), re-armed as soon as contiguity is observed again.
+        //
+        // One pass per ladder rung, largest first. When contiguity for a
+        // chunk cannot be had even after compaction, Figure 5's right-hand
+        // branch falls back to backing that chunk with the next rung down.
         let mut heads = std::mem::take(&mut self.head_buf);
-        if use_giant {
-            self.ordered_candidates_into(spaces, asid, PageSize::Giant, hint.as_ref(), &mut heads);
-            for &head in &heads {
-                if budget == 0 {
-                    break;
-                }
-                budget -= 1;
-                if ctx.inject(InjectSite::Promotion) {
-                    ctx.record(Event::PromotionDeferred {
-                        size: PageSize::Giant,
-                    });
-                    continue;
-                }
-                let mut have = ctx.mem.has_free(PageSize::Giant);
-                if have {
-                    self.giant_backoff.note_contiguity();
-                } else if self.giant_backoff.ready() {
-                    out.compaction_runs += 1;
-                    let c = self.compactor.compact(ctx, spaces, PageSize::Giant);
-                    out.daemon_ns += c.ns;
-                    have = c.success;
-                    if c.success {
-                        self.giant_backoff.note_contiguity();
-                    } else {
-                        self.giant_backoff.note_failure(ctx.fault.enabled());
-                    }
-                } else if self.giant_backoff.sitting_out() {
-                    ctx.record(Event::PromotionDeferred {
-                        size: PageSize::Giant,
-                    });
-                }
-                ctx.record_giant_attempt(crate::AllocSite::Promotion, !have);
-                if have {
-                    match promote_chunk(ctx, spaces, asid, head, PageSize::Giant, self.config.style)
-                    {
-                        Ok(p) => {
-                            out.daemon_ns += p.ns;
-                            out.promotions += 1;
-                            promoted.push(PromotedChunk {
-                                asid,
-                                head,
-                                size: PageSize::Giant,
-                                bloat_pages: p.bloat_pages,
-                            });
-                        }
-                        Err(PromoteError::NoContiguity) => {
-                            // The chunk compaction produced was raced away
-                            // (e.g. by another promotion); fall through to
-                            // the 2MB path below.
-                            have = false;
-                        }
-                        Err(PromoteError::NotACandidate) => {}
-                    }
-                }
-                if !have && use_huge {
-                    // Figure 5's right-hand branch: map what we can of this
-                    // giant chunk with 2MB pages instead.
-                    let span = geo.base_pages(PageSize::Giant);
-                    let hp = geo.base_pages(PageSize::Huge);
-                    for sub in 0..(span / hp) {
-                        let sub_head = head + sub * hp;
-                        self.try_promote_huge(ctx, spaces, asid, sub_head, &mut out, &mut promoted);
-                    }
-                }
+        for (idx, &target) in ladder.iter().enumerate() {
+            if idx > 0 {
+                // Fold in the previous pass's promotions so this pass sees
+                // the same candidate set a fresh enumeration would.
+                self.refresh_candidates(spaces, asid);
             }
-        }
-
-        if use_huge {
-            // Fold in this tick's own giant promotions so the 2MB pass sees
-            // the same candidate set a fresh enumeration would.
-            self.refresh_candidates(spaces, asid);
-            self.ordered_candidates_into(spaces, asid, PageSize::Huge, hint.as_ref(), &mut heads);
+            self.ordered_candidates_into(spaces, asid, target, hint.as_ref(), &mut heads);
             for &head in &heads {
                 if budget == 0 {
                     break;
                 }
                 budget -= 1;
-                self.try_promote_huge(ctx, spaces, asid, head, &mut out, &mut promoted);
+                let have =
+                    self.try_promote_at(ctx, spaces, asid, head, target, &mut out, &mut promoted);
+                if !have {
+                    if let Some(&fallback) = ladder.get(idx + 1) {
+                        let span = geo.base_pages(target);
+                        let sub = geo.base_pages(fallback);
+                        for k in 0..(span / sub) {
+                            self.try_promote_at(
+                                ctx,
+                                spaces,
+                                asid,
+                                head + k * sub,
+                                fallback,
+                                &mut out,
+                                &mut promoted,
+                            );
+                        }
+                    }
+                }
             }
         }
         self.head_buf = heads;
@@ -848,11 +827,10 @@ impl Promoter {
         };
         let geo = space.geometry();
         let span = geo.base_pages(size);
-        let set = match size {
-            PageSize::Giant => &cache.giant,
-            PageSize::Huge => &cache.huge,
-            PageSize::Base => return,
-        };
+        if size.is_base() {
+            return;
+        }
+        let set = &cache.sets[size.rung()];
         out.extend(set.iter().map(|chunk| Vpn::new(chunk * span)));
         if self.config.order_by_access {
             out.sort_by_key(|head| {
@@ -868,59 +846,75 @@ impl Promoter {
         }
     }
 
-    fn try_promote_huge(
+    /// Attempts one promotion of the chunk at `head` to `target`: handles
+    /// fault injection, contiguity (with per-rung compaction backoff) and
+    /// accounting. Returns whether contiguity for the target was available
+    /// — `false` is the Figure 5 signal to fall back to the next rung.
+    #[allow(clippy::too_many_arguments)]
+    fn try_promote_at(
         &mut self,
         ctx: &mut MmContext,
         spaces: &mut SpaceSet,
         asid: AsId,
         head: Vpn,
+        target: PageSize,
         out: &mut TickOutcome,
         promoted: &mut Vec<PromotedChunk>,
-    ) {
+    ) -> bool {
+        let top = ctx.geometry().largest();
         if ctx.inject(InjectSite::Promotion) {
-            ctx.record(Event::PromotionDeferred {
-                size: PageSize::Huge,
-            });
-            return;
+            ctx.record(Event::PromotionDeferred { size: target });
+            return true; // a deferral is not a contiguity failure
         }
-        if ctx.mem.has_free(PageSize::Huge) {
-            self.huge_backoff.note_contiguity();
-        } else {
-            if !self.huge_backoff.ready() {
-                if self.huge_backoff.sitting_out() {
-                    ctx.record(Event::PromotionDeferred {
-                        size: PageSize::Huge,
-                    });
-                }
-                return;
-            }
+        let backoff = &mut self.backoffs[target.rung()];
+        let mut have = ctx.mem.has_free(target);
+        if have {
+            backoff.note_contiguity();
+        } else if backoff.ready() {
             out.compaction_runs += 1;
-            let c = self.compactor.compact(ctx, spaces, PageSize::Huge);
+            let c = self.compactor.compact(ctx, spaces, target);
             out.daemon_ns += c.ns;
-            if !c.success {
-                self.huge_backoff.note_failure(ctx.fault.enabled());
-                return;
+            have = c.success;
+            let backoff = &mut self.backoffs[target.rung()];
+            if have {
+                backoff.note_contiguity();
+            } else {
+                backoff.note_failure(ctx.fault.enabled());
             }
-            self.huge_backoff.note_contiguity();
+        } else if backoff.sitting_out() {
+            ctx.record(Event::PromotionDeferred { size: target });
         }
-        // 4KB→2MB promotion always copies; pv exchange only pays for
-        // 2MB→1GB (§6).
-        if let Ok(p) = promote_chunk(
-            ctx,
-            spaces,
-            asid,
-            head,
-            PageSize::Huge,
-            PromotionStyle::Copy,
-        ) {
-            out.daemon_ns += p.ns;
-            out.promotions += 1;
-            promoted.push(PromotedChunk {
-                asid,
-                head,
-                size: PageSize::Huge,
-                bloat_pages: p.bloat_pages,
-            });
+        // Table 4's counters track allocation attempts for the top rung.
+        if target == top {
+            ctx.record_giant_attempt(crate::AllocSite::Promotion, !have);
+        }
+        if !have {
+            return false;
+        }
+        // The pv mapping exchange only pays on the top-rung promotion;
+        // smaller targets always copy (§6).
+        let style = if target == top {
+            self.config.style
+        } else {
+            PromotionStyle::Copy
+        };
+        match promote_chunk(ctx, spaces, asid, head, target, style) {
+            Ok(p) => {
+                out.daemon_ns += p.ns;
+                out.promotions += 1;
+                promoted.push(PromotedChunk {
+                    asid,
+                    head,
+                    size: target,
+                    bloat_pages: p.bloat_pages,
+                });
+                true
+            }
+            // The chunk compaction produced was raced away (e.g. by
+            // another promotion): report a contiguity failure so the
+            // caller can fall back to the next rung down.
+            Err(PromoteError::NoContiguity) => false,
+            Err(PromoteError::NotACandidate) => true,
         }
     }
 }
@@ -961,7 +955,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            regions * geo.base_pages(PageSize::Giant),
+            regions * geo.base_pages(PageSize::new(2)),
         ));
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(AsId::new(1), geo));
@@ -979,7 +973,7 @@ mod tests {
         }
         for i in 0..pages {
             let vpn = Vpn::new(start + i);
-            crate::map_chunk(ctx, space, vpn, PageSize::Base).unwrap();
+            crate::map_chunk(ctx, space, vpn, PageSize::BASE).unwrap();
         }
     }
 
@@ -992,7 +986,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         )
         .unwrap();
@@ -1000,8 +994,8 @@ mod tests {
         assert_eq!(out.bytes_copied, 64 * 4096);
         let space = spaces.get(AsId::new(1)).unwrap();
         let t = space.page_table().translate(Vpn::new(10)).unwrap();
-        assert_eq!(t.size, PageSize::Giant);
-        assert_eq!(ctx.stats.promotions[PageSize::Giant as usize], 1);
+        assert_eq!(t.size, PageSize::new(2));
+        assert_eq!(ctx.stats.promotions[2], 1);
         ctx.mem.assert_consistent();
     }
 
@@ -1019,7 +1013,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         )
         .unwrap();
@@ -1042,7 +1036,7 @@ mod tests {
                 &mut spaces,
                 AsId::new(1),
                 Vpn::new(0),
-                PageSize::Giant,
+                PageSize::new(2),
                 PromotionStyle::Copy
             ),
             Err(PromoteError::NotACandidate)
@@ -1054,7 +1048,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         )
         .unwrap();
@@ -1064,7 +1058,7 @@ mod tests {
                 &mut spaces,
                 AsId::new(1),
                 Vpn::new(0),
-                PageSize::Giant,
+                PageSize::new(2),
                 PromotionStyle::Copy
             ),
             Err(PromoteError::NotACandidate)
@@ -1094,7 +1088,7 @@ mod tests {
             &mut spaces,
             asid,
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         )
         .unwrap();
@@ -1103,20 +1097,17 @@ mod tests {
 
         let space = spaces.get(asid).unwrap();
         let geo = space.geometry();
-        for size in [PageSize::Giant, PageSize::Huge] {
+        for size in [PageSize::new(2), PageSize::new(1)] {
             let span = geo.base_pages(size);
             let fresh: Vec<u64> = promotion_candidates(space, size)
                 .into_iter()
                 .map(|(head, _)| head.raw())
                 .collect();
             let cache = promoter.cache(asid).expect("primed cache");
-            let cached: Vec<u64> = match size {
-                PageSize::Giant => &cache.giant,
-                _ => &cache.huge,
-            }
-            .iter()
-            .map(|chunk| chunk * span)
-            .collect();
+            let cached: Vec<u64> = cache.sets[size.rung()]
+                .iter()
+                .map(|chunk| chunk * span)
+                .collect();
             assert_eq!(cached, fresh, "cache diverged at {size:?}");
         }
     }
@@ -1132,7 +1123,7 @@ mod tests {
                 &mut ctx,
                 spaces.get_mut(AsId::new(1)).unwrap(),
                 Vpn::new(i * 8),
-                PageSize::Huge,
+                PageSize::new(1),
             )
             .unwrap();
         }
@@ -1141,7 +1132,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         );
         let copy = copy.unwrap();
@@ -1159,7 +1150,7 @@ mod tests {
                 &mut ctx,
                 spaces.get_mut(AsId::new(1)).unwrap(),
                 Vpn::new(64 + i * 8),
-                PageSize::Huge,
+                PageSize::new(1),
             )
             .unwrap();
         }
@@ -1168,7 +1159,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(64),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::PvBatched,
         )
         .unwrap();
@@ -1191,7 +1182,7 @@ mod tests {
         assert!(out.promotions >= 2, "both giant chunks promoted");
         assert_eq!(promoted.len() as u64, out.promotions);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 2);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 2);
         assert!(out.daemon_ns > 0);
     }
 
@@ -1201,10 +1192,10 @@ mod tests {
         fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 64);
         let mut promoter = Promoter::new(PromoterConfig::thp());
         let (_, promoted) = promoter.tick(&mut ctx, &mut spaces);
-        assert!(promoted.iter().all(|c| c.size == PageSize::Huge));
+        assert!(promoted.iter().all(|c| c.size == PageSize::new(1)));
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 8);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 8);
     }
 
     #[test]
@@ -1221,7 +1212,7 @@ mod tests {
             &mut spaces,
             AsId::new(1),
             Vpn::new(0),
-            PageSize::Giant,
+            PageSize::new(2),
             PromotionStyle::Copy,
         )
         .unwrap();
@@ -1229,7 +1220,7 @@ mod tests {
         let chunk = PromotedChunk {
             asid: AsId::new(1),
             head: Vpn::new(0),
-            size: PageSize::Giant,
+            size: PageSize::new(2),
             bloat_pages: 56,
         };
         let recovered = demote_chunk(&mut ctx, &mut spaces, &chunk);
@@ -1311,8 +1302,8 @@ mod tests {
             assert!(promoted.is_empty());
         }
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 0);
     }
 
     #[test]
@@ -1324,26 +1315,26 @@ mod tests {
         fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 64);
         ctx.tenants.register(
             AsId::new(1),
-            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::Huge)),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::new(1))),
         );
         let mut promoter = Promoter::new(PromoterConfig::trident());
         promoter.tick(&mut ctx, &mut spaces);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 0);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 8);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 8);
 
         // ...and preferring 1GB disables the 2MB pass (and its fallback).
         let (mut ctx, mut spaces) = setup(8);
         fault_base(&mut ctx, &mut spaces, AsId::new(1), 0, 128);
         ctx.tenants.register(
             AsId::new(1),
-            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::Giant)),
+            TenantPolicy::new(TenantId::new(0)).hint(PolicyHint::new().prefer(PageSize::new(2))),
         );
         let mut promoter = Promoter::new(PromoterConfig::trident());
         promoter.tick(&mut ctx, &mut spaces);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert_eq!(space.page_table().mapped_pages(PageSize::Giant), 2);
-        assert_eq!(space.page_table().mapped_pages(PageSize::Huge), 0);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(2)), 2);
+        assert_eq!(space.page_table().mapped_pages(PageSize::new(1)), 0);
     }
 
     #[test]
@@ -1392,10 +1383,10 @@ mod tests {
         // Pin the rest of memory with unmovable kernel frames so
         // compaction cannot manufacture a free 2MB chunk.
         let mut pins = Vec::new();
-        while ctx.mem.has_free(PageSize::Base) {
+        while ctx.mem.has_free(PageSize::BASE) {
             pins.push(
                 ctx.mem
-                    .allocate(PageSize::Base, FrameUse::Kernel, None)
+                    .allocate(PageSize::BASE, FrameUse::Kernel, None)
                     .unwrap(),
             );
         }

@@ -12,7 +12,7 @@
 //! recorder, so a complete trace always replays to the exact snapshot.
 
 use trident_obs::{Event, StatsSnapshot};
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 pub use trident_obs::AllocSite;
 
@@ -25,9 +25,9 @@ pub use trident_obs::AllocSite;
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MmStats {
     /// Faults served, by page size.
-    pub faults: [u64; 3],
+    pub faults: [u64; MAX_RUNGS],
     /// Nanoseconds spent in fault handling, by page size.
-    pub fault_ns: [u64; 3],
+    pub fault_ns: [u64; MAX_RUNGS],
     /// 1GB allocation attempts at fault time.
     pub giant_attempts_fault: u64,
     /// 1GB allocation failures at fault time (no contiguity).
@@ -38,9 +38,9 @@ pub struct MmStats {
     /// given a chance.
     pub giant_failures_promo: u64,
     /// Promotions performed, by target page size.
-    pub promotions: [u64; 3],
+    pub promotions: [u64; MAX_RUNGS],
     /// Demotions performed (bloat recovery), by source page size.
-    pub demotions: [u64; 3],
+    pub demotions: [u64; MAX_RUNGS],
     /// Bytes copied by compaction (Figure 7's quantity).
     pub compaction_bytes_copied: u64,
     /// Bytes copied by promotion (copying small pages into the large one).
@@ -84,7 +84,7 @@ impl MmStats {
                 bytes_copied,
                 bloat_pages,
             } => {
-                self.promotions[size as usize] += 1;
+                self.promotions[size.rung()] += 1;
                 self.promotion_bytes_copied += bytes_copied;
                 self.bloat_pages += bloat_pages;
             }
@@ -92,7 +92,7 @@ impl MmStats {
                 size,
                 recovered_pages,
             } => {
-                self.demotions[size as usize] += 1;
+                self.demotions[size.rung()] += 1;
                 self.bloat_recovered_pages += recovered_pages;
             }
             Event::PvExchange { bytes, .. } => self.pv_bytes_exchanged += bytes,
@@ -152,8 +152,8 @@ impl MmStats {
 
     /// Records a fault outcome.
     pub fn record_fault(&mut self, size: PageSize, ns: u64) {
-        self.faults[size as usize] += 1;
-        self.fault_ns[size as usize] += ns;
+        self.faults[size.rung()] += 1;
+        self.fault_ns[size.rung()] += ns;
     }
 
     /// Records a 1GB allocation attempt and whether it failed.
@@ -182,13 +182,13 @@ mod tests {
     #[test]
     fn fault_recording_accumulates() {
         let mut s = MmStats::default();
-        s.record_fault(PageSize::Giant, 400);
-        s.record_fault(PageSize::Giant, 200);
-        s.record_fault(PageSize::Base, 1);
+        s.record_fault(PageSize::new(2), 400);
+        s.record_fault(PageSize::new(2), 200);
+        s.record_fault(PageSize::BASE, 1);
         let snap = s.snapshot();
         assert_eq!(snap.total_faults(), 3);
         assert_eq!(snap.total_fault_ns(), 601);
-        assert_eq!(snap.mean_giant_fault_ns(), Some(300));
+        assert_eq!(snap.mean_fault_ns(PageSize::new(2)), Some(300));
     }
 
     #[test]
@@ -214,12 +214,12 @@ mod tests {
         // only read path, so the derived accessors are exercised against
         // counters accumulated through the write path.
         let mut s = MmStats::default();
-        s.record_fault(PageSize::Giant, 100);
+        s.record_fault(PageSize::new(2), 100);
         s.record_giant_attempt(AllocSite::Promotion, true);
         let snap = s.snapshot();
         assert_eq!(snap.total_faults(), 1);
         assert_eq!(snap.total_fault_ns(), 100);
-        assert_eq!(snap.mean_giant_fault_ns(), Some(100));
+        assert_eq!(snap.mean_fault_ns(PageSize::new(2)), Some(100));
         assert_eq!(snap.giant_failure_rate(AllocSite::Promotion), Some(1.0));
         assert_eq!(snap.giant_failure_rate(AllocSite::PageFault), None);
     }
@@ -229,17 +229,17 @@ mod tests {
         use trident_obs::StatsSnapshot;
         let events = [
             Event::Fault {
-                size: PageSize::Huge,
+                size: PageSize::new(1),
                 site: AllocSite::PageFault,
                 ns: 40,
             },
             Event::Promote {
-                size: PageSize::Huge,
+                size: PageSize::new(1),
                 bytes_copied: 64,
                 bloat_pages: 2,
             },
             Event::Demote {
-                size: PageSize::Huge,
+                size: PageSize::new(1),
                 recovered_pages: 2,
             },
             Event::CompactionRun {
@@ -258,11 +258,11 @@ mod tests {
                 site: trident_obs::InjectSite::Alloc,
             },
             Event::PromotionDeferred {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
             },
             Event::PvFallback { bytes: 2048 },
             Event::TlbMiss {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 walk_cycles: 30,
             },
         ];

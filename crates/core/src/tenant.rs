@@ -50,7 +50,7 @@ impl PinnedRange {
 ///
 /// let hint = PolicyHint::new()
 ///     .pin(Vpn::new(0), 4096)
-///     .prefer(PageSize::Huge);
+///     .prefer(PageSize::new(1));
 /// assert!(hint.pins(Vpn::new(1024), 64));
 /// assert!(!hint.pins(Vpn::new(8192), 64));
 /// ```

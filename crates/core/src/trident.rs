@@ -95,12 +95,12 @@ impl Default for TridentConfig {
 /// use trident_vm::{AddressSpace, VmaKind};
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant)));
+/// let mut ctx = MmContext::new(PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::new(2))));
 /// let mut space = AddressSpace::new(AsId::new(1), geo);
 /// space.mmap_at(Vpn::new(0), 64, VmaKind::Anon)?;
 /// let mut trident = TridentPolicy::new(TridentConfig::full());
 /// let outcome = trident.on_fault(&mut ctx, &mut space, Vpn::new(20))?;
-/// assert_eq!(outcome.size, PageSize::Giant);
+/// assert_eq!(outcome.size, PageSize::new(2));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -175,16 +175,16 @@ impl PagePolicy for TridentPolicy {
         if space.vma_containing(vpn).is_none() {
             return Err(PolicyError::BadAddress(vpn));
         }
-        if let Some(head) = touched_chunk(space, vpn, PageSize::Giant) {
-            match map_chunk(ctx, space, head, PageSize::Giant) {
+        if let Some(head) = touched_chunk(space, vpn, PageSize::new(2)) {
+            match map_chunk(ctx, space, head, PageSize::new(2)) {
                 Ok((_, prepared)) => {
                     ctx.record_giant_attempt(AllocSite::PageFault, false);
                     let latency = ctx
                         .cost
-                        .fault_ns(&ctx.geometry(), PageSize::Giant, prepared);
-                    ctx.record_fault(PageSize::Giant, latency);
+                        .fault_ns(&ctx.geometry(), PageSize::new(2), prepared);
+                    ctx.record_fault(PageSize::new(2), latency);
                     return Ok(FaultOutcome {
-                        size: PageSize::Giant,
+                        size: PageSize::new(2),
                         latency_ns: latency,
                         prepared,
                     });
@@ -195,23 +195,23 @@ impl PagePolicy for TridentPolicy {
             }
         }
         if self.config.use_huge {
-            if let Some(head) = touched_chunk(space, vpn, PageSize::Huge) {
-                if map_chunk(ctx, space, head, PageSize::Huge).is_ok() {
-                    let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::Huge, false);
-                    ctx.record_fault(PageSize::Huge, latency);
+            if let Some(head) = touched_chunk(space, vpn, PageSize::new(1)) {
+                if map_chunk(ctx, space, head, PageSize::new(1)).is_ok() {
+                    let latency = ctx.cost.fault_ns(&ctx.geometry(), PageSize::new(1), false);
+                    ctx.record_fault(PageSize::new(1), latency);
                     return Ok(FaultOutcome {
-                        size: PageSize::Huge,
+                        size: PageSize::new(1),
                         latency_ns: latency,
                         prepared: false,
                     });
                 }
             }
         }
-        map_chunk(ctx, space, vpn, PageSize::Base)?;
+        map_chunk(ctx, space, vpn, PageSize::BASE)?;
         let latency = ctx.cost.fault_base_ns;
-        ctx.record_fault(PageSize::Base, latency);
+        ctx.record_fault(PageSize::BASE, latency);
         Ok(FaultOutcome {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             latency_ns: latency,
             prepared: false,
         })
@@ -240,9 +240,9 @@ impl PagePolicy for TridentPolicy {
         // occasionally win a 1GB allocation even under fragmentation; the
         // zero-fill thread will pre-zero it next tick. Runs periodically.
         self.ticks_since_stock += 1;
-        if self.ticks_since_stock >= 8 && !ctx.mem.has_free(PageSize::Giant) {
+        if self.ticks_since_stock >= 8 && !ctx.mem.has_free(PageSize::new(2)) {
             self.ticks_since_stock = 0;
-            let c = self.stock_compactor.compact(ctx, spaces, PageSize::Giant);
+            let c = self.stock_compactor.compact(ctx, spaces, PageSize::new(2));
             out.daemon_ns += c.ns;
             out.compaction_runs += 1;
         }
@@ -271,7 +271,7 @@ mod tests {
         let geo = PageGeometry::TINY;
         let ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            regions * geo.base_pages(PageSize::Giant),
+            regions * geo.base_pages(PageSize::new(2)),
         ));
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(AsId::new(1), geo));
@@ -289,11 +289,11 @@ mod tests {
         // First fault: no prepared blocks -> synchronous 400ms path.
         let space = spaces.get_mut(AsId::new(1)).unwrap();
         let slow = policy.on_fault(&mut ctx, space, Vpn::new(0)).unwrap();
-        assert_eq!(slow.size, PageSize::Giant);
+        assert_eq!(slow.size, PageSize::new(2));
         assert!(!slow.prepared);
         assert_eq!(
             slow.latency_ns,
-            ctx.cost.fault_ns(&ctx.geometry(), PageSize::Giant, false)
+            ctx.cost.fault_ns(&ctx.geometry(), PageSize::new(2), false)
         );
         // Let the zero-fill thread run, then fault the second chunk.
         policy.on_tick(&mut ctx, &mut spaces);
@@ -302,7 +302,7 @@ mod tests {
         assert!(fast.prepared);
         assert_eq!(
             fast.latency_ns,
-            ctx.cost.fault_ns(&ctx.geometry(), PageSize::Giant, true)
+            ctx.cost.fault_ns(&ctx.geometry(), PageSize::new(2), true)
         );
         assert!(fast.latency_ns < slow.latency_ns / 100);
     }
@@ -321,16 +321,16 @@ mod tests {
         let space = spaces.get_mut(AsId::new(1)).unwrap();
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
         let out = policy.on_fault(&mut ctx, space, Vpn::new(9)).unwrap();
-        assert_eq!(out.size, PageSize::Huge);
+        assert_eq!(out.size, PageSize::new(1));
         assert_eq!(ctx.stats.giant_failures_fault, 1);
         // Now exhaust huge chunks too; remaining faults are 4KB.
-        while ctx.mem.has_free(PageSize::Huge) {
+        while ctx.mem.has_free(PageSize::new(1)) {
             ctx.mem
-                .allocate(PageSize::Huge, FrameUse::Kernel, None)
+                .allocate(PageSize::new(1), FrameUse::Kernel, None)
                 .unwrap();
         }
         let out = policy.on_fault(&mut ctx, space, Vpn::new(20)).unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
     }
 
     #[test]
@@ -348,7 +348,7 @@ mod tests {
         space.mmap_at(Vpn::new(0), 64, VmaKind::Anon).unwrap();
         // Giant fails (fragmented), huge disallowed: 4KB it is.
         let out = policy.on_fault(&mut ctx, space, Vpn::new(9)).unwrap();
-        assert_eq!(out.size, PageSize::Base);
+        assert_eq!(out.size, PageSize::BASE);
     }
 
     #[test]
@@ -370,7 +370,7 @@ mod tests {
         assert!(out.promotions >= 1);
         assert!(ctx.stats.giant_blocks_prezeroed >= 1);
         let space = spaces.get(AsId::new(1)).unwrap();
-        assert!(space.page_table().mapped_pages(PageSize::Giant) >= 1);
+        assert!(space.page_table().mapped_pages(PageSize::new(2)) >= 1);
     }
 
     #[test]

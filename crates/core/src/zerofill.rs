@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 
 use trident_obs::{NoopRecorder, Recorder};
 use trident_phys::{FrameUse, MappingOwner, PhysicalMemory};
-use trident_types::{PageSize, Pfn};
+use trident_types::Pfn;
 
 use crate::CostModel;
 
@@ -49,7 +49,8 @@ impl ZeroFillPool {
     /// nanoseconds and the number of blocks zeroed.
     pub fn tick(&mut self, mem: &PhysicalMemory, cost: &CostModel, budget: usize) -> (u64, u64) {
         let geo = mem.geometry();
-        let order = geo.order(PageSize::Giant);
+        let top = geo.largest();
+        let order = geo.order(top);
         let mut zeroed = 0u64;
         let room = self.max_prepared.saturating_sub(self.prepared.len());
         for start in mem.buddy().free_blocks_iter(order) {
@@ -60,7 +61,7 @@ impl ZeroFillPool {
                 zeroed += 1;
             }
         }
-        (cost.zero_ns(geo.bytes(PageSize::Giant)) * zeroed, zeroed)
+        (cost.zero_ns(geo.bytes(top)) * zeroed, zeroed)
     }
 
     /// Takes one prepared giant block and allocates it, returning its head
@@ -85,7 +86,7 @@ impl ZeroFillPool {
         rec: &mut R,
     ) -> Option<Pfn> {
         let geo = mem.geometry();
-        let order = geo.order(PageSize::Giant);
+        let order = geo.order(geo.largest());
         while let Some(start) = self.prepared.pop_first() {
             if !mem.buddy().is_block_free(start, order) {
                 continue; // stale: the block was taken or split meanwhile
@@ -104,12 +105,12 @@ impl ZeroFillPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trident_types::PageGeometry;
+    use trident_types::{PageGeometry, PageSize};
 
     fn setup() -> (PhysicalMemory, ZeroFillPool, CostModel) {
         let geo = PageGeometry::TINY;
         (
-            PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant)),
+            PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::new(2))),
             ZeroFillPool::new(2),
             CostModel::default(),
         )
@@ -145,7 +146,10 @@ mod tests {
         // Destroy the contiguity of every prepared block behind the pool's
         // back: allocate all giants, then a base page, then free giants.
         let g: Vec<_> = (0..4)
-            .map(|_| mem.allocate(PageSize::Giant, FrameUse::User, None).unwrap())
+            .map(|_| {
+                mem.allocate(PageSize::new(2), FrameUse::User, None)
+                    .unwrap()
+            })
             .collect();
         for h in &g[..2] {
             mem.free(*h).unwrap();

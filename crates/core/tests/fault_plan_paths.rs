@@ -22,7 +22,7 @@ fn setup() -> (MmContext, SpaceSet) {
     let geo = PageGeometry::TINY;
     let ctx = MmContext::new(PhysicalMemory::new(
         geo,
-        4 * geo.base_pages(PageSize::Giant),
+        4 * geo.base_pages(PageSize::new(2)),
     ));
     let mut spaces = SpaceSet::new();
     let mut space = AddressSpace::new(AsId::new(1), geo);
@@ -35,7 +35,7 @@ fn setup() -> (MmContext, SpaceSet) {
 fn alloc_injection_surfaces_as_out_of_contiguous_memory() {
     let (mut ctx, mut spaces) = setup();
     ctx.fault = always(InjectSite::Alloc);
-    for size in [PageSize::Huge, PageSize::Giant] {
+    for size in [PageSize::new(1), PageSize::new(2)] {
         let space = spaces.get_mut(AsId::new(1)).unwrap();
         let err = map_chunk(&mut ctx, space, Vpn::new(0), size).unwrap_err();
         let TridentError::OutOfContiguousMemory(alloc) = err else {
@@ -47,7 +47,7 @@ fn alloc_injection_surfaces_as_out_of_contiguous_memory() {
     }
     // Base pages are the last-resort path and are never injected.
     let space = spaces.get_mut(AsId::new(1)).unwrap();
-    assert!(map_chunk(&mut ctx, space, Vpn::new(0), PageSize::Base).is_ok());
+    assert!(map_chunk(&mut ctx, space, Vpn::new(0), PageSize::BASE).is_ok());
     assert_eq!(ctx.fault.injected(InjectSite::Alloc), 2);
     assert_eq!(ctx.stats.injected_faults[InjectSite::Alloc as usize], 2);
 }
@@ -57,16 +57,16 @@ fn compaction_injection_aborts_the_run_and_is_traced() {
     let geo = PageGeometry::TINY;
     // A single giant block: one base mapping breaks it, so `has_free`
     // cannot short-circuit and the compactor actually runs.
-    let mut ctx = MmContext::new(PhysicalMemory::new(geo, geo.base_pages(PageSize::Giant)));
+    let mut ctx = MmContext::new(PhysicalMemory::new(geo, geo.base_pages(PageSize::new(2))));
     let mut spaces = SpaceSet::new();
     let mut space = AddressSpace::new(AsId::new(1), geo);
     space.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
     spaces.insert(space);
     let space = spaces.get_mut(AsId::new(1)).unwrap();
-    map_chunk(&mut ctx, space, Vpn::new(0), PageSize::Base).unwrap();
+    map_chunk(&mut ctx, space, Vpn::new(0), PageSize::BASE).unwrap();
     ctx.fault = always(InjectSite::Compaction);
     let mut compactor = Compactor::new(CompactionKind::Smart);
-    let out = compactor.compact(&mut ctx, &mut spaces, PageSize::Giant);
+    let out = compactor.compact(&mut ctx, &mut spaces, PageSize::new(2));
     assert!(!out.success, "injected abort must fail the run");
     let snap = ctx.stats.snapshot();
     assert_eq!(snap.injected_at(InjectSite::Compaction), 1);
@@ -81,7 +81,7 @@ fn promotion_injection_defers_instead_of_promoting() {
     let (mut ctx, mut spaces) = setup();
     let space = spaces.get_mut(AsId::new(1)).unwrap();
     for i in 0..64 {
-        map_chunk(&mut ctx, space, Vpn::new(i), PageSize::Base).unwrap();
+        map_chunk(&mut ctx, space, Vpn::new(i), PageSize::BASE).unwrap();
     }
     ctx.fault = always(InjectSite::Promotion);
     let mut promoter = Promoter::new(PromoterConfig::trident());

@@ -15,7 +15,7 @@ fn setup(processes: u32) -> (MmContext, SpaceSet) {
     let geo = PageGeometry::TINY;
     let ctx = MmContext::new(PhysicalMemory::new(
         geo,
-        32 * geo.base_pages(PageSize::Giant),
+        32 * geo.base_pages(PageSize::new(2)),
     ));
     let mut spaces = SpaceSet::new();
     for p in 1..=processes {
@@ -27,14 +27,14 @@ fn setup(processes: u32) -> (MmContext, SpaceSet) {
 /// Fault 4KB pages over a fresh giant-aligned VMA in one process.
 fn populate_base(ctx: &mut MmContext, spaces: &mut SpaceSet, asid: AsId, giants: u64) {
     let geo = ctx.geometry();
-    let pages = giants * geo.base_pages(PageSize::Giant);
+    let pages = giants * geo.base_pages(PageSize::new(2));
     let space = spaces.get_mut(asid).expect("space");
     let start = space
-        .mmap(pages, VmaKind::Anon, PageSize::Giant, 0)
+        .mmap(pages, VmaKind::Anon, PageSize::new(2), 0)
         .expect("mmap");
     for i in 0..pages {
         let space = spaces.get_mut(asid).expect("space");
-        map_chunk(ctx, space, start + i, PageSize::Base).expect("fault");
+        map_chunk(ctx, space, start + i, PageSize::BASE).expect("fault");
     }
 }
 
@@ -52,7 +52,7 @@ fn khugepaged_round_robins_across_processes() {
     for p in 1..=3 {
         let space = spaces.get(AsId::new(p)).expect("space");
         assert!(
-            space.page_table().mapped_pages(PageSize::Giant) >= 2,
+            space.page_table().mapped_pages(PageSize::new(2)) >= 2,
             "process {p} was skipped by the round-robin"
         );
     }
@@ -65,7 +65,7 @@ fn compaction_fixes_page_tables_of_every_owner() {
     let geo = ctx.geometry();
     // Interleave single-page allocations from four processes so every
     // region holds frames owned by several address spaces.
-    let gp = geo.base_pages(PageSize::Giant);
+    let gp = geo.base_pages(PageSize::new(2));
     for i in 0..(32 * gp) {
         let asid = AsId::new((i % 4 + 1) as u32);
         let space = spaces.get_mut(asid).expect("space");
@@ -75,7 +75,7 @@ fn compaction_fixes_page_tables_of_every_owner() {
         } else {
             Vpn::new(i)
         };
-        map_chunk(&mut ctx, space, vpn, PageSize::Base).expect("fault");
+        map_chunk(&mut ctx, space, vpn, PageSize::BASE).expect("fault");
     }
     // Free three of every four pages to fragment, keeping process 1's.
     for p in 2..=4 {
@@ -92,8 +92,9 @@ fn compaction_fixes_page_tables_of_every_owner() {
             ctx.mem.free(leaf.pfn).expect("free");
         }
     }
-    assert!(!ctx.mem.has_free(PageSize::Giant));
-    let out = Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::Giant);
+    assert!(!ctx.mem.has_free(PageSize::new(2)));
+    let out =
+        Compactor::new(CompactionKind::Smart).compact(&mut ctx, &mut spaces, PageSize::new(2));
     assert!(out.success);
     assert!(out.migrated_units > 0);
     // Process 1's mappings all survived migration and still resolve.

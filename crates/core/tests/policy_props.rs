@@ -48,7 +48,7 @@ fn run_ops(policy: &mut dyn PagePolicy, ops: &[Op]) {
     let geo = PageGeometry::TINY;
     let mut ctx = MmContext::new(PhysicalMemory::new(
         geo,
-        16 * geo.base_pages(PageSize::Giant),
+        16 * geo.base_pages(PageSize::new(2)),
     ));
     let asid = AsId::new(1);
     let mut spaces = SpaceSet::new();
@@ -60,7 +60,7 @@ fn run_ops(policy: &mut dyn PagePolicy, ops: &[Op]) {
                 let space = spaces.get_mut(asid).expect("space");
                 if space.total_vma_pages() + pages < 12 * 64 {
                     space
-                        .mmap(*pages, VmaKind::Anon, PageSize::Base, *gap)
+                        .mmap(*pages, VmaKind::Anon, PageSize::BASE, *gap)
                         .expect("grow");
                     allocated += pages;
                 }
@@ -116,7 +116,7 @@ proptest! {
     ) {
         let geo = PageGeometry::TINY;
         let mut ctx =
-            MmContext::new(PhysicalMemory::new(geo, 16 * geo.base_pages(PageSize::Giant)));
+            MmContext::new(PhysicalMemory::new(geo, 16 * geo.base_pages(PageSize::new(2))));
         let asid = AsId::new(1);
         let mut spaces = SpaceSet::new();
         spaces.insert(AddressSpace::new(asid, geo));
@@ -124,7 +124,7 @@ proptest! {
         let mut touched = Vec::new();
         for (pages, gap) in grows {
             let space = spaces.get_mut(asid).expect("space");
-            let start = space.mmap(pages, VmaKind::Anon, PageSize::Base, gap).expect("grow");
+            let start = space.mmap(pages, VmaKind::Anon, PageSize::BASE, gap).expect("grow");
             for i in 0..pages {
                 let vpn = start + i;
                 let space = spaces.get_mut(asid).expect("space");

@@ -146,21 +146,18 @@ impl fmt::Display for SpanKind {
     }
 }
 
-fn size_str(size: PageSize) -> &'static str {
-    match size {
-        PageSize::Base => "base",
-        PageSize::Huge => "huge",
-        PageSize::Giant => "giant",
-    }
+/// Stable wire tags for ladder rungs, positional rather than sized: the
+/// same trace schema serves every geometry, and the first three keep their
+/// historical x86 names so existing consumers (Prometheus label values,
+/// CI greps) survive the ladder generalization unchanged.
+const SIZE_TAGS: [&str; trident_types::MAX_RUNGS] = ["base", "huge", "giant", "r3", "r4", "r5"];
+
+pub(crate) fn size_str(size: PageSize) -> &'static str {
+    SIZE_TAGS[size.rung()]
 }
 
 fn size_from_str(s: &str) -> Option<PageSize> {
-    match s {
-        "base" => Some(PageSize::Base),
-        "huge" => Some(PageSize::Huge),
-        "giant" => Some(PageSize::Giant),
-        _ => None,
-    }
+    SIZE_TAGS.iter().position(|t| *t == s).map(PageSize::new)
 }
 
 /// One observable memory-management action.
@@ -637,7 +634,7 @@ mod tests {
     fn all_events() -> Vec<Event> {
         vec![
             Event::Fault {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
                 site: AllocSite::PageFault,
                 ns: 123_456,
             },
@@ -646,12 +643,12 @@ mod tests {
                 failed: true,
             },
             Event::Promote {
-                size: PageSize::Huge,
+                size: PageSize::new(1),
                 bytes_copied: 2 * 1024 * 1024,
                 bloat_pages: 7,
             },
             Event::Demote {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
                 recovered_pages: 11,
             },
             Event::PvExchange {
@@ -675,7 +672,7 @@ mod tests {
                 to_order: 10,
             },
             Event::TlbMiss {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 walk_cycles: 40,
             },
             Event::SpanBegin {
@@ -695,7 +692,7 @@ mod tests {
                 site: InjectSite::Compaction,
             },
             Event::PromotionDeferred {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
             },
             Event::PvFallback { bytes: 1 << 21 },
             Event::TenantScope {
@@ -719,15 +716,15 @@ mod tests {
         assert!(Event::parse_jsonl("{\"v\":999,\"ev\":\"fault\"}").is_err());
         assert!(Event::parse_jsonl("{\"v\":1,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
         assert!(Event::parse_jsonl("{\"v\":3,\"ev\":\"zero_fill\",\"blocks\":1}").is_err());
-        assert!(Event::parse_jsonl("{\"v\":4,\"ev\":\"warp_drive\"}").is_err());
+        assert!(Event::parse_jsonl("{\"v\":5,\"ev\":\"warp_drive\"}").is_err());
         assert!(
-            Event::parse_jsonl("{\"v\":4,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
+            Event::parse_jsonl("{\"v\":5,\"ev\":\"span_end\",\"span\":\"warp\",\"ns\":1}").is_err()
         );
         assert!(
-            Event::parse_jsonl("{\"v\":4,\"ev\":\"fault_injected\",\"site\":\"warp\"}").is_err()
+            Event::parse_jsonl("{\"v\":5,\"ev\":\"fault_injected\",\"site\":\"warp\"}").is_err()
         );
         assert!(
-            Event::parse_jsonl("{\"v\":4,\"ev\":\"tenant_scope\",\"tenant\":99999999999}").is_err()
+            Event::parse_jsonl("{\"v\":5,\"ev\":\"tenant_scope\",\"tenant\":99999999999}").is_err()
         );
     }
 
@@ -755,11 +752,11 @@ mod tests {
 
     #[test]
     fn field_order_is_not_significant() {
-        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":4}";
+        let line = "{\"ns\":5,\"site\":\"page_fault\",\"size\":\"base\",\"ev\":\"fault\",\"v\":5}";
         assert_eq!(
             Event::parse_jsonl(line),
             Ok(Event::Fault {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 site: AllocSite::PageFault,
                 ns: 5
             })

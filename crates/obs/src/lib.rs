@@ -25,9 +25,10 @@
 //! use trident_obs::{Event, Recorder, RingTracer, StatsSnapshot};
 //! use trident_types::PageSize;
 //!
+//! let huge = PageSize::new(1); // rung 1 of the active geometry's ladder
 //! let mut tracer = RingTracer::new(1024);
 //! tracer.record(Event::Fault {
-//!     size: PageSize::Huge,
+//!     size: huge,
 //!     site: trident_obs::AllocSite::PageFault,
 //!     ns: 1800,
 //! });
@@ -37,7 +38,7 @@
 //!     .map(|l| Event::parse_jsonl(l).unwrap())
 //!     .collect();
 //! let snap = StatsSnapshot::from_events(replayed.iter());
-//! assert_eq!(snap.faults[PageSize::Huge as usize], 1);
+//! assert_eq!(snap.faults[huge.rung()], 1);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -182,11 +182,11 @@ impl RingTracer {
     /// Count of retained events per translation page size, for quick TLB
     /// trace inspection.
     #[must_use]
-    pub fn tlb_miss_counts(&self) -> [u64; 3] {
-        let mut counts = [0u64; 3];
+    pub fn tlb_miss_counts(&self) -> [u64; trident_types::MAX_RUNGS] {
+        let mut counts = [0u64; trident_types::MAX_RUNGS];
         for ev in &self.events {
             if let Event::TlbMiss { size, .. } = ev {
-                counts[*size as usize] += 1;
+                counts[size.rung()] += 1;
             }
         }
         counts
@@ -342,7 +342,7 @@ mod tests {
 
     fn fault(ns: u64) -> Event {
         Event::Fault {
-            size: PageSize::Base,
+            size: PageSize::BASE,
             site: AllocSite::PageFault,
             ns,
         }
@@ -383,12 +383,12 @@ mod tests {
         assert!(o.enabled());
         o.record(fault(7));
         o.record(Event::TlbMiss {
-            size: PageSize::Huge,
+            size: PageSize::new(1),
             walk_cycles: 20,
         });
         let tracer = o.tracer().expect("tracing on");
         assert_eq!(tracer.len(), 2);
-        assert_eq!(tracer.tlb_miss_counts(), [0, 1, 0]);
+        assert_eq!(tracer.tlb_miss_counts(), [0, 1, 0, 0, 0, 0]);
         assert_eq!(tracer.fault_latency_histogram().count(), 1);
         let drained = o.tracer_mut().expect("tracing on").drain();
         assert_eq!(drained.len(), 2);

@@ -1,6 +1,6 @@
 //! The versioned aggregate-counter snapshot.
 
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 use crate::{AllocSite, Event, InjectSite};
 
@@ -8,7 +8,7 @@ use crate::{AllocSite, Event, InjectSite};
 ///
 /// Bump when a field is added, removed or changes meaning; traces and
 /// snapshots from different versions must not be mixed.
-pub const SNAPSHOT_VERSION: u32 = 4;
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Aggregate memory-management counters at one point in time.
 ///
@@ -23,10 +23,11 @@ pub struct StatsSnapshot {
     /// Schema version; always [`SNAPSHOT_VERSION`] for values built by
     /// this crate.
     pub version: u32,
-    /// Faults served, by page size.
-    pub faults: [u64; 3],
-    /// Nanoseconds spent in fault handling, by page size.
-    pub fault_ns: [u64; 3],
+    /// Faults served, by ladder rung (indexed by `PageSize::rung()`;
+    /// rungs beyond the active geometry's ladder stay zero).
+    pub faults: [u64; MAX_RUNGS],
+    /// Nanoseconds spent in fault handling, by ladder rung.
+    pub fault_ns: [u64; MAX_RUNGS],
     /// 1GB allocation attempts at fault time.
     pub giant_attempts_fault: u64,
     /// 1GB allocation failures at fault time (no contiguity).
@@ -36,10 +37,10 @@ pub struct StatsSnapshot {
     /// 1GB allocation failures during promotion, *after* compaction was
     /// given a chance.
     pub giant_failures_promo: u64,
-    /// Promotions performed, by target page size.
-    pub promotions: [u64; 3],
-    /// Demotions performed (bloat recovery), by source page size.
-    pub demotions: [u64; 3],
+    /// Promotions performed, by target ladder rung.
+    pub promotions: [u64; MAX_RUNGS],
+    /// Demotions performed (bloat recovery), by source ladder rung.
+    pub demotions: [u64; MAX_RUNGS],
     /// Bytes copied by compaction (Figure 7's quantity).
     pub compaction_bytes_copied: u64,
     /// Bytes copied by promotion (copying small pages into the large one).
@@ -75,14 +76,14 @@ impl Default for StatsSnapshot {
     fn default() -> Self {
         StatsSnapshot {
             version: SNAPSHOT_VERSION,
-            faults: [0; 3],
-            fault_ns: [0; 3],
+            faults: [0; MAX_RUNGS],
+            fault_ns: [0; MAX_RUNGS],
             giant_attempts_fault: 0,
             giant_failures_fault: 0,
             giant_attempts_promo: 0,
             giant_failures_promo: 0,
-            promotions: [0; 3],
-            demotions: [0; 3],
+            promotions: [0; MAX_RUNGS],
+            demotions: [0; MAX_RUNGS],
             compaction_bytes_copied: 0,
             promotion_bytes_copied: 0,
             pv_bytes_exchanged: 0,
@@ -105,8 +106,8 @@ impl StatsSnapshot {
     pub fn apply(&mut self, event: &Event) {
         match *event {
             Event::Fault { size, ns, .. } => {
-                self.faults[size as usize] += 1;
-                self.fault_ns[size as usize] += ns;
+                self.faults[size.rung()] += 1;
+                self.fault_ns[size.rung()] += ns;
             }
             Event::GiantAttempt { site, failed } => match site {
                 AllocSite::PageFault => {
@@ -123,7 +124,7 @@ impl StatsSnapshot {
                 bytes_copied,
                 bloat_pages,
             } => {
-                self.promotions[size as usize] += 1;
+                self.promotions[size.rung()] += 1;
                 self.promotion_bytes_copied += bytes_copied;
                 self.bloat_pages += bloat_pages;
             }
@@ -131,7 +132,7 @@ impl StatsSnapshot {
                 size,
                 recovered_pages,
             } => {
-                self.demotions[size as usize] += 1;
+                self.demotions[size.rung()] += 1;
                 self.bloat_recovered_pages += recovered_pages;
             }
             Event::PvExchange { bytes, .. } => self.pv_bytes_exchanged += bytes,
@@ -173,7 +174,7 @@ impl StatsSnapshot {
     /// guest and hypervisor views, or parallel experiment cells).
     pub fn absorb(&mut self, other: &StatsSnapshot) {
         debug_assert_eq!(self.version, other.version);
-        for i in 0..3 {
+        for i in 0..MAX_RUNGS {
             self.faults[i] += other.faults[i];
             self.fault_ns[i] += other.fault_ns[i];
             self.promotions[i] += other.promotions[i];
@@ -223,11 +224,14 @@ impl StatsSnapshot {
         self.fault_ns.iter().sum()
     }
 
-    /// Mean 1GB fault latency in nanoseconds, if any 1GB faults occurred.
+    /// Mean fault latency at one rung in nanoseconds, if any occurred.
+    ///
+    /// Callers that want the paper's "mean 1GB fault latency" pass their
+    /// geometry's `largest()` rung.
     #[must_use]
-    pub fn mean_giant_fault_ns(&self) -> Option<u64> {
-        let n = self.faults[PageSize::Giant as usize];
-        (n > 0).then(|| self.fault_ns[PageSize::Giant as usize] / n)
+    pub fn mean_fault_ns(&self, size: PageSize) -> Option<u64> {
+        let n = self.faults[size.rung()];
+        (n > 0).then(|| self.fault_ns[size.rung()] / n)
     }
 
     /// Fraction of compaction attempts that succeeded, if any ran.
@@ -258,12 +262,12 @@ mod tests {
     fn replay_matches_manual_accumulation() {
         let events = [
             Event::Fault {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
                 site: AllocSite::PageFault,
                 ns: 400,
             },
             Event::Fault {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
                 site: AllocSite::PageFault,
                 ns: 200,
             },
@@ -280,13 +284,13 @@ mod tests {
                 succeeded: true,
             },
             Event::TlbMiss {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 walk_cycles: 35,
             },
         ];
         let snap = StatsSnapshot::from_events(events.iter());
         assert_eq!(snap.total_faults(), 2);
-        assert_eq!(snap.mean_giant_fault_ns(), Some(300));
+        assert_eq!(snap.mean_fault_ns(PageSize::new(2)), Some(300));
         assert_eq!(
             snap.giant_failure_rate(AllocSite::PageFault),
             Some(0.5),
@@ -304,7 +308,7 @@ mod tests {
                 Event::DaemonTick { ns: 5 },
                 Event::ZeroFill { blocks: 2 },
                 Event::Demote {
-                    size: PageSize::Huge,
+                    size: PageSize::new(1),
                     recovered_pages: 3,
                 },
             ]
@@ -313,7 +317,7 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.daemon_ns, 15);
         assert_eq!(a.giant_blocks_prezeroed, 2);
-        assert_eq!(a.demotions[PageSize::Huge as usize], 1);
+        assert_eq!(a.demotions[1], 1);
         assert_eq!(a.bloat_recovered_pages, 3);
     }
 
@@ -330,7 +334,7 @@ mod tests {
                 site: InjectSite::PvExchange,
             },
             Event::PromotionDeferred {
-                size: PageSize::Giant,
+                size: PageSize::new(2),
             },
             Event::PvFallback { bytes: 4096 },
             Event::PvFallback { bytes: 8192 },

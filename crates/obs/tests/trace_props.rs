@@ -5,14 +5,12 @@
 
 use proptest::prelude::*;
 use trident_obs::{AllocSite, Event, Recorder, RingTracer, SpanKind, StatsSnapshot};
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 fn sizes() -> impl Strategy<Value = PageSize> {
-    prop_oneof![
-        Just(PageSize::Base),
-        Just(PageSize::Huge),
-        Just(PageSize::Giant)
-    ]
+    // Every representable rung, not just x86's three: the wire format
+    // must round-trip whatever ladder a geometry carries.
+    (0..MAX_RUNGS).prop_map(PageSize::new)
 }
 
 fn sites() -> impl Strategy<Value = AllocSite> {

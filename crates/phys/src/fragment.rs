@@ -11,7 +11,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use trident_types::{PageSize, Pfn};
+use trident_types::{Pfn, MAX_RUNGS};
 
 use crate::{FrameUse, PhysicalMemory};
 
@@ -60,14 +60,24 @@ impl Default for FragmentProfile {
 /// Outcome of a fragmentation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragmentReport {
-    /// FMFI for huge (2MB) allocations after fragmentation.
-    pub fmfi_huge: f64,
-    /// FMFI for giant (1GB) allocations after fragmentation.
-    pub fmfi_giant: f64,
+    /// FMFI per ladder rung after fragmentation (indexed by
+    /// `PageSize::rung()`; rungs beyond the geometry's ladder stay 0).
+    pub fmfi: [f64; MAX_RUNGS],
+    /// Index of the geometry's largest rung (the 1GB slot on x86).
+    pub largest_rung: usize,
     /// Fraction of memory free after fragmentation.
     pub free_fraction: f64,
     /// Page-cache units still resident (they may be reclaimed later).
     pub resident_chunks: usize,
+}
+
+impl FragmentReport {
+    /// FMFI at the ladder's largest rung — the paper's headline
+    /// fragmentation number (1GB on x86).
+    #[must_use]
+    pub fn fmfi_largest(&self) -> f64 {
+        self.fmfi[self.largest_rung]
+    }
 }
 
 /// Fragments a [`PhysicalMemory`] according to a [`FragmentProfile`].
@@ -77,13 +87,13 @@ pub struct FragmentReport {
 /// ```
 /// use rand::{rngs::SmallRng, SeedableRng};
 /// use trident_phys::{FragmentProfile, Fragmenter, PhysicalMemory};
-/// use trident_types::{PageGeometry, PageSize};
+/// use trident_types::PageGeometry;
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut mem = PhysicalMemory::new(geo, 32 * geo.base_pages(PageSize::Giant));
+/// let mut mem = PhysicalMemory::new(geo, 32 * geo.base_pages(geo.largest()));
 /// let mut rng = SmallRng::seed_from_u64(7);
 /// let report = Fragmenter::new(FragmentProfile::heavy()).run(&mut mem, &mut rng);
-/// assert!(report.fmfi_giant > 0.9);
+/// assert!(report.fmfi_largest() > 0.9);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fragmenter {
@@ -220,9 +230,14 @@ impl Fragmenter {
     }
 
     fn report(&self, mem: &PhysicalMemory) -> FragmentReport {
+        let geo = mem.geometry();
+        let mut fmfi = [0.0; MAX_RUNGS];
+        for size in geo.rungs() {
+            fmfi[size.rung()] = mem.fmfi(size);
+        }
         FragmentReport {
-            fmfi_huge: mem.fmfi(PageSize::Huge),
-            fmfi_giant: mem.fmfi(PageSize::Giant),
+            fmfi,
+            largest_rung: geo.largest().rung(),
             free_fraction: mem.free_fraction(),
             resident_chunks: self.resident.len(),
         }
@@ -234,11 +249,11 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use trident_types::PageGeometry;
+    use trident_types::{PageGeometry, PageSize};
 
     fn fragmented() -> (PhysicalMemory, Fragmenter, FragmentReport) {
         let geo = PageGeometry::TINY;
-        let mut mem = PhysicalMemory::new(geo, 64 * geo.base_pages(PageSize::Giant));
+        let mut mem = PhysicalMemory::new(geo, 64 * geo.base_pages(geo.largest()));
         let mut rng = SmallRng::seed_from_u64(42);
         let mut frag = Fragmenter::new(FragmentProfile::heavy());
         let report = frag.run(&mut mem, &mut rng);
@@ -249,11 +264,11 @@ mod tests {
     fn heavy_profile_destroys_giant_contiguity() {
         let (mem, _, report) = fragmented();
         assert!(
-            report.fmfi_giant > 0.9,
-            "fmfi_giant = {}",
-            report.fmfi_giant
+            report.fmfi_largest() > 0.9,
+            "fmfi_largest = {}",
+            report.fmfi_largest()
         );
-        assert!(!mem.has_free(PageSize::Giant));
+        assert!(!mem.has_free(mem.geometry().largest()));
         assert!((0.2..0.35).contains(&report.free_fraction));
         mem.assert_consistent();
     }
@@ -261,7 +276,7 @@ mod tests {
     #[test]
     fn fragmentation_leaves_base_pages_allocatable() {
         let (mut mem, _, _) = fragmented();
-        assert!(mem.allocate(PageSize::Base, FrameUse::User, None).is_ok());
+        assert!(mem.allocate(PageSize::BASE, FrameUse::User, None).is_ok());
     }
 
     #[test]
@@ -288,7 +303,7 @@ mod tests {
     fn deterministic_under_same_seed() {
         let run = || {
             let geo = PageGeometry::TINY;
-            let mut mem = PhysicalMemory::new(geo, 16 * geo.base_pages(PageSize::Giant));
+            let mut mem = PhysicalMemory::new(geo, 16 * geo.base_pages(geo.largest()));
             let mut rng = SmallRng::seed_from_u64(7);
             Fragmenter::new(FragmentProfile::moderate()).run(&mut mem, &mut rng)
         };

@@ -27,8 +27,8 @@
 //! use trident_types::{PageGeometry, PageSize};
 //!
 //! let geo = PageGeometry::TINY;
-//! let mut mem = PhysicalMemory::new(geo, 4 * geo.base_pages(PageSize::Giant));
-//! let giant = mem.allocate(PageSize::Giant, FrameUse::User, None)?;
+//! let mut mem = PhysicalMemory::new(geo, 4 * geo.base_pages(geo.largest()));
+//! let giant = mem.allocate(geo.largest(), FrameUse::User, None)?;
 //! assert!(mem.is_unit_head(giant));
 //! mem.free(giant)?;
 //! # Ok::<(), trident_phys::PhysMemError>(())

@@ -22,9 +22,10 @@ use crate::{
 /// use trident_types::{PageGeometry, PageSize};
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut mem = PhysicalMemory::new(geo, 2 * geo.base_pages(PageSize::Giant));
-/// let head = mem.allocate(PageSize::Huge, FrameUse::User, None)?;
-/// assert_eq!(mem.free_pages(), mem.total_pages() - geo.base_pages(PageSize::Huge));
+/// let mut mem = PhysicalMemory::new(geo, 2 * geo.base_pages(geo.largest()));
+/// let huge = PageSize::new(1);
+/// let head = mem.allocate(huge, FrameUse::User, None)?;
+/// assert_eq!(mem.free_pages(), mem.total_pages() - geo.base_pages(huge));
 /// mem.free(head)?;
 /// # Ok::<(), trident_phys::PhysMemError>(())
 /// ```
@@ -350,7 +351,7 @@ mod tests {
             vpn: Vpn::new(0),
         };
         let head = m
-            .allocate(PageSize::Huge, FrameUse::User, Some(owner))
+            .allocate(PageSize::new(1), FrameUse::User, Some(owner))
             .unwrap();
         assert_eq!(m.free_pages(), 4 * 64 - 8);
         assert_eq!(m.unit_at(head).unwrap().owner, Some(owner));
@@ -361,7 +362,7 @@ mod tests {
     #[test]
     fn free_restores_everything() {
         let mut m = mem();
-        let head = m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+        let head = m.allocate(PageSize::new(2), FrameUse::User, None).unwrap();
         let unit = m.free(head).unwrap();
         assert_eq!(unit.pages(), 64);
         assert_eq!(m.free_pages(), 4 * 64);
@@ -372,7 +373,7 @@ mod tests {
     #[test]
     fn double_free_is_an_error() {
         let mut m = mem();
-        let head = m.allocate(PageSize::Base, FrameUse::User, None).unwrap();
+        let head = m.allocate(PageSize::BASE, FrameUse::User, None).unwrap();
         m.free(head).unwrap();
         assert_eq!(
             m.free(head),
@@ -392,9 +393,9 @@ mod tests {
     #[test]
     fn exhaustion_reports_out_of_contiguous_memory() {
         let mut m = PhysicalMemory::new(PageGeometry::TINY, 64);
-        m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+        m.allocate(PageSize::new(2), FrameUse::User, None).unwrap();
         let err = m
-            .allocate(PageSize::Base, FrameUse::User, None)
+            .allocate(PageSize::BASE, FrameUse::User, None)
             .unwrap_err();
         assert!(matches!(err, PhysMemError::OutOfContiguousMemory(_)));
     }
@@ -410,7 +411,7 @@ mod tests {
     #[test]
     fn kernel_allocations_poison_region_counters() {
         let mut m = mem();
-        m.allocate(PageSize::Base, FrameUse::Kernel, None).unwrap();
+        m.allocate(PageSize::BASE, FrameUse::Kernel, None).unwrap();
         assert_eq!(m.regions().counters(0).unmovable_pages, 1);
         assert!(m.regions().source_candidates().is_empty());
     }
@@ -430,11 +431,11 @@ mod tests {
     #[test]
     fn fmfi_surface_matches_buddy() {
         let mut m = mem();
-        assert_eq!(m.fmfi(PageSize::Giant), 0.0);
+        assert_eq!(m.fmfi(PageSize::new(2)), 0.0);
         // Take all giant blocks; giant FMFI becomes 1.
         for _ in 0..4 {
-            m.allocate(PageSize::Giant, FrameUse::User, None).unwrap();
+            m.allocate(PageSize::new(2), FrameUse::User, None).unwrap();
         }
-        assert_eq!(m.fmfi(PageSize::Giant), 1.0);
+        assert_eq!(m.fmfi(PageSize::new(2)), 1.0);
     }
 }

@@ -7,7 +7,7 @@
 //! and target (fullest) regions from these counters instead of scanning
 //! physical memory.
 
-use trident_types::{PageGeometry, PageSize};
+use trident_types::PageGeometry;
 
 /// Index of a giant-page-sized physical region.
 pub type RegionId = u64;
@@ -27,12 +27,12 @@ pub struct RegionCounters {
 ///
 /// ```
 /// use trident_phys::RegionStats;
-/// use trident_types::{PageGeometry, PageSize};
+/// use trident_types::PageGeometry;
 ///
 /// let geo = PageGeometry::TINY;
-/// let mut stats = RegionStats::new(geo, 2 * geo.base_pages(PageSize::Giant));
+/// let mut stats = RegionStats::new(geo, 2 * geo.base_pages(geo.largest()));
 /// stats.on_alloc(0, 8, false);
-/// assert_eq!(stats.counters(0).free_pages, geo.base_pages(PageSize::Giant) - 8);
+/// assert_eq!(stats.counters(0).free_pages, geo.base_pages(geo.largest()) - 8);
 /// ```
 #[derive(Debug, Clone)]
 pub struct RegionStats {
@@ -51,7 +51,7 @@ impl RegionStats {
     /// count.
     #[must_use]
     pub fn new(geo: PageGeometry, total_pages: u64) -> RegionStats {
-        let region_pages = geo.base_pages(PageSize::Giant);
+        let region_pages = geo.base_pages(geo.largest());
         let regions = total_pages.div_ceil(region_pages);
         let mut counters = Vec::with_capacity(usize::try_from(regions).expect("fits usize"));
         let mut remaining = total_pages;

@@ -72,16 +72,27 @@ proptest! {
     }
 
     /// PhysicalMemory keeps buddy, frame table and region counters in sync
-    /// under random page-size traffic.
+    /// under random ladder traffic, on the miniature ladders and on every
+    /// shipped architecture (scaled so the buddy orders stay testable).
     #[test]
     fn physical_memory_layers_stay_in_sync(
-        seq in prop::collection::vec(prop_oneof![
-            Just(PageSize::Base), Just(PageSize::Huge), Just(PageSize::Giant)
-        ], 1..100),
-        frees in prop::collection::vec(any::<prop::sample::Index>(), 0..60),
+        (geo, seq, frees) in prop_oneof![
+            Just(PageGeometry::TINY),
+            Just(PageGeometry::TINY_NAPOT),
+            Just(PageGeometry::X86_64.scaled(8)),
+            Just(PageGeometry::RISCV_SV48.scaled(8)),
+            Just(PageGeometry::AARCH64.scaled(8)),
+        ]
+        .prop_flat_map(|geo| {
+            let sizes = (0..geo.rung_count()).prop_map(PageSize::new);
+            (
+                Just(geo),
+                prop::collection::vec(sizes, 1..100),
+                prop::collection::vec(any::<prop::sample::Index>(), 0..60),
+            )
+        }),
     ) {
-        let geo = PageGeometry::TINY;
-        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant));
+        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(geo.largest()));
         let mut held = Vec::new();
         for size in seq {
             if let Ok(head) = mem.allocate(size, FrameUse::User, None) {

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use trident_phys::{FrameUse, PhysicalMemory};
-use trident_types::{PageGeometry, PageSize, Pfn};
+use trident_types::{PageGeometry, Pfn};
 
 fn any_use() -> impl Strategy<Value = FrameUse> {
     prop_oneof![
@@ -23,7 +23,7 @@ proptest! {
         frees in prop::collection::vec(any::<prop::sample::Index>(), 0..80),
     ) {
         let geo = PageGeometry::TINY;
-        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant));
+        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(geo.largest()));
         let mut held: Vec<Pfn> = Vec::new();
         for (order, use_) in allocs {
             if let Ok(head) = mem.allocate_order(order, use_, None) {
@@ -35,7 +35,7 @@ proptest! {
             let head = held.swap_remove(idx.index(held.len()));
             mem.free(head).unwrap();
         }
-        let region_pages = geo.base_pages(PageSize::Giant);
+        let region_pages = geo.base_pages(geo.largest());
         for region in 0..mem.regions().region_count() {
             let counters = mem.regions().counters(region);
             let start = region * region_pages;
@@ -64,11 +64,11 @@ proptest! {
         allocs in prop::collection::vec((0u8..=5, any_use()), 1..100),
     ) {
         let geo = PageGeometry::TINY;
-        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(PageSize::Giant));
+        let mut mem = PhysicalMemory::new(geo, 8 * geo.base_pages(geo.largest()));
         for (order, use_) in allocs {
             let _ = mem.allocate_order(order, use_, None);
         }
-        let region_pages = geo.base_pages(PageSize::Giant);
+        let region_pages = geo.base_pages(geo.largest());
         for source in mem.regions().source_candidates() {
             let c = mem.regions().counters(source);
             prop_assert_eq!(c.unmovable_pages, 0);

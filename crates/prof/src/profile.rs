@@ -90,7 +90,7 @@ mod tests {
                 kind: SpanKind::Fault,
             },
             Event::Fault {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 site: AllocSite::PageFault,
                 ns: 40,
             },

@@ -16,18 +16,19 @@
 use std::fmt::Write as _;
 
 use trident_obs::{InjectSite, StatsSnapshot};
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 use crate::LatencyHistogram;
 
-const SIZES: [PageSize; 3] = [PageSize::Base, PageSize::Huge, PageSize::Giant];
+/// Stable wire labels for ladder rungs. The first three match the
+/// historical x86-64 names; higher rungs (NAPOT / contiguous-span
+/// classes on wider ladders) are numbered.
+pub const RUNG_LABELS: [&str; MAX_RUNGS] = ["base", "huge", "giant", "rung3", "rung4", "rung5"];
 
-fn size_label(size: PageSize) -> &'static str {
-    match size {
-        PageSize::Base => "base",
-        PageSize::Huge => "huge",
-        PageSize::Giant => "giant",
-    }
+/// The wire label for one rung of the ladder.
+#[must_use]
+pub fn size_label(size: PageSize) -> &'static str {
+    RUNG_LABELS[size.rung()]
 }
 
 /// An append-only Prometheus text-exposition builder.
@@ -139,34 +140,22 @@ pub fn summary_samples(
 /// live daemon registry both embed, byte-identically.
 pub fn snapshot_counters(enc: &mut TextEncoder, snap: &StatsSnapshot) {
     enc.counter("trident_faults_total", "Page faults served, by page size.");
-    for size in SIZES {
-        enc.sample(
-            "trident_faults_total",
-            &[("size", size_label(size))],
-            snap.faults[size as usize],
-        );
+    for (label, value) in RUNG_LABELS.into_iter().zip(snap.faults) {
+        enc.sample("trident_faults_total", &[("size", label)], value);
     }
     enc.counter(
         "trident_fault_ns_total",
         "Modeled fault-handling nanoseconds.",
     );
-    for size in SIZES {
-        enc.sample(
-            "trident_fault_ns_total",
-            &[("size", size_label(size))],
-            snap.fault_ns[size as usize],
-        );
+    for (label, value) in RUNG_LABELS.into_iter().zip(snap.fault_ns) {
+        enc.sample("trident_fault_ns_total", &[("size", label)], value);
     }
     enc.counter(
         "trident_promotions_total",
         "Promotions, by target page size.",
     );
-    for size in SIZES {
-        enc.sample(
-            "trident_promotions_total",
-            &[("size", size_label(size))],
-            snap.promotions[size as usize],
-        );
+    for (label, value) in RUNG_LABELS.into_iter().zip(snap.promotions) {
+        enc.sample("trident_promotions_total", &[("size", label)], value);
     }
     enc.counter(
         "trident_daemon_ns_total",
@@ -329,7 +318,7 @@ mod tests {
     #[test]
     fn snapshot_counters_pass_the_lint() {
         let snap = StatsSnapshot {
-            faults: [3, 2, 1],
+            faults: [3, 2, 1, 0, 0, 0],
             daemon_ns: 99,
             ..StatsSnapshot::default()
         };

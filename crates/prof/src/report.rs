@@ -256,7 +256,7 @@ mod tests {
                     kind: SpanKind::Fault,
                 },
                 Event::Fault {
-                    size: PageSize::Huge,
+                    size: PageSize::new(1),
                     site: AllocSite::PageFault,
                     ns: 1800,
                 },

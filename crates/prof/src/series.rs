@@ -8,7 +8,7 @@
 //! the trace is complete.
 
 use trident_obs::Event;
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 /// Aggregates for one window of consecutive daemon ticks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,14 +16,14 @@ pub struct Window {
     /// Daemon ticks folded into this window (equals the configured width
     /// except for a trailing partial window).
     pub ticks: u64,
-    /// Faults served, by page size.
-    pub faults: [u64; 3],
-    /// Fault-handling nanoseconds, by page size.
-    pub fault_ns: [u64; 3],
-    /// Promotions performed, by target page size.
-    pub promotions: [u64; 3],
-    /// Demotions performed, by source page size.
-    pub demotions: [u64; 3],
+    /// Faults served, by ladder rung.
+    pub faults: [u64; MAX_RUNGS],
+    /// Fault-handling nanoseconds, by ladder rung.
+    pub fault_ns: [u64; MAX_RUNGS],
+    /// Promotions performed, by target rung.
+    pub promotions: [u64; MAX_RUNGS],
+    /// Demotions performed, by source rung.
+    pub demotions: [u64; MAX_RUNGS],
     /// Compaction passes attempted.
     pub compaction_runs: u64,
     /// Bytes migrated by compaction.
@@ -118,11 +118,11 @@ impl TimeSeries {
         let w = &mut self.current;
         match *event {
             Event::Fault { size, ns, .. } => {
-                w.faults[size as usize] += 1;
-                w.fault_ns[size as usize] += ns;
+                w.faults[size.rung()] += 1;
+                w.fault_ns[size.rung()] += ns;
             }
-            Event::Promote { size, .. } => w.promotions[size as usize] += 1,
-            Event::Demote { size, .. } => w.demotions[size as usize] += 1,
+            Event::Promote { size, .. } => w.promotions[size.rung()] += 1,
+            Event::Demote { size, .. } => w.demotions[size.rung()] += 1,
             Event::CompactionRun { .. } => w.compaction_runs += 1,
             Event::CompactionMove { bytes } => w.compaction_bytes += bytes,
             Event::PvExchange { pairs, .. } => w.pv_pairs += pairs,
@@ -183,11 +183,7 @@ impl TimeSeries {
     /// Page-size label for window columns, matching the wire names.
     #[must_use]
     pub fn size_label(size: PageSize) -> &'static str {
-        match size {
-            PageSize::Base => "base",
-            PageSize::Huge => "huge",
-            PageSize::Giant => "giant",
-        }
+        crate::prom::size_label(size)
     }
 }
 
@@ -198,7 +194,7 @@ mod tests {
 
     fn fault(ns: u64) -> Event {
         Event::Fault {
-            size: PageSize::Huge,
+            size: PageSize::new(1),
             site: AllocSite::PageFault,
             ns,
         }
@@ -214,10 +210,10 @@ mod tests {
         s.fold(&fault(30));
         s.finish();
         assert_eq!(s.windows().len(), 2);
-        assert_eq!(s.windows()[0].faults[PageSize::Huge as usize], 2);
+        assert_eq!(s.windows()[0].faults[1], 2);
         assert_eq!(s.windows()[0].ticks, 2);
         assert_eq!(s.windows()[0].daemon_ns, 3);
-        assert_eq!(s.windows()[1].faults[PageSize::Huge as usize], 1);
+        assert_eq!(s.windows()[1].faults[1], 1);
         assert_eq!(s.windows()[1].ticks, 0, "trailing partial window");
     }
 

@@ -11,9 +11,9 @@ use trident_types::PageSize;
 
 fn sizes() -> impl Strategy<Value = PageSize> {
     prop_oneof![
-        Just(PageSize::Base),
-        Just(PageSize::Huge),
-        Just(PageSize::Giant)
+        Just(PageSize::BASE),
+        Just(PageSize::new(1)),
+        Just(PageSize::new(2))
     ]
 }
 

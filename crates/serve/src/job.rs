@@ -14,12 +14,13 @@ use trident_prof::report::render_json;
 use trident_prof::JsonlWriter;
 use trident_sim::experiments::ExpOptions;
 use trident_sim::{
-    derive_cell_seed, PolicyHint, PolicyKind, RunProgress, SimConfig, System, TenantSpec,
+    derive_cell_seed, scaled_geometry_for, PolicyHint, PolicyKind, RunProgress, SimConfig, System,
+    TenantSpec,
 };
-use trident_types::Vpn;
+use trident_types::{PageGeometry, PageSize, Vpn};
 use trident_workloads::WorkloadSpec;
 
-use crate::proto::{JobResult, JobSpec, TenantRow};
+use crate::proto::{JobResult, JobSpec, RungRow, TenantRow};
 
 /// Resolves a spec into the pieces a run needs, validating everything
 /// that can be validated without running: workload and policy names,
@@ -35,6 +36,27 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>
         .ok_or_else(|| format!("unknown workload {:?}", spec.workload))?;
     let kind = PolicyKind::from_name(&spec.policy)
         .ok_or_else(|| format!("unknown policy {:?}", spec.policy))?;
+    let arch = match &spec.geometry {
+        None => PageGeometry::X86_64,
+        Some(name) => PageGeometry::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown geometry {name:?} (expected one of {})",
+                PageGeometry::SHIPPED
+                    .iter()
+                    .map(|g| format!("{:?}", g.name()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?,
+    };
+    // The run's ladder: the architecture, rescaled with the job. Prefer
+    // labels resolve against this, so a rung the scale squeezes out is
+    // an error at admission, not a silently re-aimed hint.
+    let geo = if spec.scale.is_power_of_two() && spec.scale <= 256 {
+        scaled_geometry_for(&arch, spec.scale)
+    } else {
+        arch
+    };
     let mut tenants = vec![TenantSpec::new(workload)];
     for t in &spec.tenants {
         let neighbor = WorkloadSpec::by_name(&t.workload)
@@ -49,7 +71,15 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>
         for &(start, pages) in &t.pins {
             hint = hint.pin(Vpn::new(start), pages);
         }
-        if let Some(size) = t.prefer {
+        if let Some(label) = &t.prefer {
+            let size = resolve_rung(&geo, label).ok_or_else(|| {
+                format!(
+                    "tenant {:?}: no rung labelled {label:?} on the {} ladder at scale 1/{}",
+                    t.workload,
+                    geo.name(),
+                    spec.scale
+                )
+            })?;
             hint = hint.prefer(size);
         }
         if t.opt_out {
@@ -83,6 +113,7 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>
         profile: spec.profile || spec.profile_out.is_some(),
     };
     let mut config = opts.config();
+    config.geo = geo;
     if spec.fragment {
         config = config.fragmented();
     }
@@ -99,6 +130,24 @@ pub fn resolve(spec: &JobSpec) -> Result<(SimConfig, PolicyKind, Vec<TenantSpec>
     }
     config.audit = spec.audit;
     Ok((config, kind, tenants))
+}
+
+/// Finds the rung whose size-class label matches `label` on `arch`'s
+/// ladder. Scaled geometries keep their architecture's labels, so the
+/// lookup is valid for any scale of the same ladder.
+fn resolve_rung(arch: &PageGeometry, label: &str) -> Option<PageSize> {
+    arch.rungs().find(|&s| arch.label(s) == label)
+}
+
+/// Renders a measurement's per-rung mapped-bytes array as wire rows in
+/// ladder order, keyed by the geometry's size-class labels.
+fn rung_rows(geo: &PageGeometry, mapped: &[u64; trident_types::MAX_RUNGS]) -> Vec<RungRow> {
+    geo.rungs()
+        .map(|size| RungRow {
+            size: geo.label(size),
+            bytes: mapped[size.rung()],
+        })
+        .collect()
 }
 
 /// Runs one job to completion and returns its measurement.
@@ -147,6 +196,7 @@ pub fn execute_with_progress(
     }
     system.settle();
     let m = system.measure();
+    let geo = system.geometry();
 
     let trace_lines = match (&writer, &spec.trace_out) {
         (Some(w), Some(path)) => Some(
@@ -169,7 +219,7 @@ pub fn execute_with_progress(
         tlb_accesses: m.tlb.total_accesses(),
         walks: m.walks,
         walk_cycles: m.walk_cycles,
-        mapped_bytes: m.mapped_bytes,
+        rungs: rung_rows(&geo, &m.mapped_bytes),
         trace_dropped: m.trace_dropped,
         trace_lines,
         violations: system.violations().len() as u64,
@@ -182,7 +232,7 @@ pub fn execute_with_progress(
                 samples: t.samples as u64,
                 walks: t.walks,
                 walk_cycles: t.walk_cycles,
-                mapped_bytes: t.mapped_bytes,
+                rungs: rung_rows(&geo, &t.mapped_bytes),
                 fmfi_milli: (t.fmfi_giant * 1000.0).round() as u64,
                 faults: t.snapshot.total_faults(),
             })
@@ -262,6 +312,43 @@ mod tests {
         let m = system.measure();
         assert_eq!(result.snapshot, m.snapshot);
         assert_eq!(result.walk_cycles, m.walk_cycles);
-        assert_eq!(result.mapped_bytes, m.mapped_bytes);
+        let geo = system.geometry();
+        assert_eq!(result.rungs, rung_rows(&geo, &m.mapped_bytes));
+    }
+
+    #[test]
+    fn resolve_applies_and_validates_geometry() {
+        let mut spec = quick_spec();
+        spec.geometry = Some("sv48".to_owned());
+        let (config, _, _) = resolve(&spec).unwrap();
+        assert_eq!(config.geo.name(), "sv48");
+        // Scale 1/256 squeezes the 64KB NAPOT rung out of the ladder.
+        assert_eq!(config.geo.rung_count(), 3);
+        spec.scale = 4;
+        let (config, _, _) = resolve(&spec).unwrap();
+        assert_eq!(config.geo.rung_count(), 4);
+
+        spec.geometry = Some("pdp11".to_owned());
+        assert!(resolve(&spec).unwrap_err().contains("unknown geometry"));
+
+        // A prefer label resolves against the job's scaled ladder: 32MB
+        // is an aarch64 size class, not an sv48 one, and the 64KB rung
+        // only exists at scales that keep it.
+        let mut pref = quick_spec();
+        pref.scale = 4;
+        pref.geometry = Some("sv48".to_owned());
+        pref.tenants.push(crate::proto::TenantJob {
+            workload: "GUPS".to_owned(),
+            weight: 1,
+            pins: vec![],
+            prefer: Some("32MB".to_owned()),
+            opt_out: false,
+            chunk_budget: None,
+        });
+        assert!(resolve(&pref).unwrap_err().contains("no rung"));
+        pref.tenants[0].prefer = Some("64KB".to_owned());
+        assert!(resolve(&pref).is_ok());
+        pref.scale = 256;
+        assert!(resolve(&pref).unwrap_err().contains("no rung"));
     }
 }

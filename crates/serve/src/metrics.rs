@@ -515,7 +515,7 @@ impl DaemonMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{JobResult, TenantRow};
+    use crate::proto::{JobResult, RungRow, TenantRow};
 
     fn result_with_tenant() -> JobResult {
         JobResult {
@@ -523,7 +523,20 @@ mod tests {
             tlb_accesses: 100,
             walks: 10,
             walk_cycles: 350,
-            mapped_bytes: [1, 2, 3],
+            rungs: vec![
+                RungRow {
+                    size: "4KB".to_owned(),
+                    bytes: 1,
+                },
+                RungRow {
+                    size: "2MB".to_owned(),
+                    bytes: 2,
+                },
+                RungRow {
+                    size: "1GB".to_owned(),
+                    bytes: 3,
+                },
+            ],
             trace_dropped: 4,
             trace_lines: None,
             violations: 0,
@@ -533,12 +546,25 @@ mod tests {
                 samples: 100,
                 walks: 10,
                 walk_cycles: 350,
-                mapped_bytes: [1, 2, 3],
+                rungs: vec![
+                    RungRow {
+                        size: "4KB".to_owned(),
+                        bytes: 1,
+                    },
+                    RungRow {
+                        size: "2MB".to_owned(),
+                        bytes: 2,
+                    },
+                    RungRow {
+                        size: "1GB".to_owned(),
+                        bytes: 3,
+                    },
+                ],
                 fmfi_milli: 250,
                 faults: 7,
             }],
             snapshot: StatsSnapshot {
-                faults: [7, 0, 0],
+                faults: [7, 0, 0, 0, 0, 0],
                 ..StatsSnapshot::default()
             },
         }

@@ -26,7 +26,6 @@
 use core::fmt;
 
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
-use trident_types::PageSize;
 
 use crate::json;
 
@@ -42,7 +41,12 @@ use crate::json;
 /// journal-replayed), and the `service` block gains an optional
 /// `journal` section (records/replayed/pending) when the daemon runs
 /// with a crash-durable job journal.
-pub const PROTO_VERSION: u32 = 4;
+/// v5: multi-architecture ladders — jobs carry an optional `geometry`
+/// (architecture id, e.g. `"sv48"`), results and tenant rows replace the
+/// fixed three-element `mapped_bytes` array with per-rung `rungs` rows
+/// keyed by size-class label, and tenant `prefer` hints are rung labels
+/// resolved against the job's geometry at admission.
+pub const PROTO_VERSION: u32 = 5;
 
 /// One simulation cell to run: workload × policy plus the knobs the
 /// `SimConfig` builders expose. Mirrors what `tridentctl run` accepted
@@ -55,6 +59,10 @@ pub struct JobSpec {
     pub policy: String,
     /// Memory-scale divisor.
     pub scale: u64,
+    /// Page-size ladder by architecture id (`PageGeometry::by_name`:
+    /// `"x86_64"`, `"sv48"`, `"aarch64"`); `None` runs the x86-64
+    /// default, bit-identical to pre-v5 jobs.
+    pub geometry: Option<String>,
     /// Sampled accesses in the measurement phase.
     pub samples: usize,
     /// Base RNG seed.
@@ -101,6 +109,7 @@ impl JobSpec {
             workload: workload.to_owned(),
             policy: policy.to_owned(),
             scale: 32,
+            geometry: None,
             samples: 120_000,
             seed: 42,
             cell_index: None,
@@ -127,6 +136,10 @@ impl JobSpec {
         );
         if let Some(cell) = self.cell_index {
             s.push_str(&format!(",\"cell\":{cell}"));
+        }
+        if let Some(geometry) = &self.geometry {
+            s.push_str(",\"geometry\":");
+            s.push_str(&json::escape(geometry));
         }
         s.push_str(&format!(
             ",\"fragment\":{},\"profile\":{},\"audit\":{}",
@@ -167,6 +180,7 @@ impl JobSpec {
             samples: usize_field(obj, "samples").ok_or_else(|| bad("job.samples"))?,
             seed: json::u64_field(obj, "seed").ok_or_else(|| bad("job.seed"))?,
             cell_index: optional(obj, "cell", json::u64_field)?,
+            geometry: optional(obj, "geometry", json::str_field)?,
             fragment: json::bool_field(obj, "fragment").ok_or_else(|| bad("job.fragment"))?,
             trace_capacity: optional(obj, "trace", usize_field)?,
             profile: json::bool_field(obj, "profile").ok_or_else(|| bad("job.profile"))?,
@@ -199,9 +213,10 @@ pub struct TenantJob {
     pub weight: u32,
     /// Per-tick promotion-budget override (`None` = daemon default).
     pub chunk_budget: Option<usize>,
-    /// Restrict background promotion to one page size, by label
-    /// (`"4KB"`, `"2MB"`, `"1GB"`).
-    pub prefer: Option<PageSize>,
+    /// Restrict background promotion to one ladder rung, by the job
+    /// geometry's size-class label (`"2MB"`, `"64KB-napot"`, ...);
+    /// resolved against the geometry at admission.
+    pub prefer: Option<String>,
     /// Decline background promotion entirely.
     pub opt_out: bool,
     /// Pinned hot ranges as `(start page, pages)` pairs.
@@ -232,8 +247,9 @@ impl TenantJob {
         if let Some(budget) = self.chunk_budget {
             s.push_str(&format!(",\"budget\":{budget}"));
         }
-        if let Some(size) = self.prefer {
-            s.push_str(&format!(",\"prefer\":\"{}\"", size.label()));
+        if let Some(label) = &self.prefer {
+            s.push_str(",\"prefer\":");
+            s.push_str(&json::escape(label));
         }
         if !self.pins.is_empty() {
             let pins: Vec<String> = self
@@ -248,15 +264,7 @@ impl TenantJob {
     }
 
     fn from_json(obj: &str) -> Result<TenantJob, ProtoError> {
-        let prefer = match optional(obj, "prefer", json::str_field)? {
-            None => None,
-            Some(label) => Some(
-                PageSize::ALL
-                    .into_iter()
-                    .find(|s| s.label() == label)
-                    .ok_or_else(|| bad("tenants[].prefer"))?,
-            ),
-        };
+        let prefer = optional(obj, "prefer", json::str_field)?;
         let pins = match json::field(obj, "pins").and_then(json::items) {
             None => Vec::new(),
             Some(raw) => raw
@@ -573,6 +581,48 @@ impl JobSummary {
     }
 }
 
+/// Bytes mapped at one ladder rung, keyed by the job geometry's
+/// size-class label — the v5 wire shape that lets one result schema
+/// describe any architecture's ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungRow {
+    /// The rung's size-class label (`"4KB"`, `"2MB"`, `"64KB-napot"`, ...).
+    pub size: String,
+    /// Bytes mapped at this rung at measurement end.
+    pub bytes: u64,
+}
+
+impl RungRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"size\":{},\"bytes\":{}}}",
+            json::escape(&self.size),
+            self.bytes
+        )
+    }
+
+    fn from_json(obj: &str) -> Result<RungRow, ProtoError> {
+        Ok(RungRow {
+            size: json::str_field(obj, "size").ok_or_else(|| bad("rungs[].size"))?,
+            bytes: json::u64_field(obj, "bytes").ok_or_else(|| bad("rungs[].bytes"))?,
+        })
+    }
+}
+
+fn rungs_to_json(rows: &[RungRow]) -> String {
+    let rows: Vec<String> = rows.iter().map(RungRow::to_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn rungs_from_json(obj: &str, key: &str) -> Result<Vec<RungRow>, ProtoError> {
+    json::field(obj, key)
+        .and_then(json::items)
+        .ok_or_else(|| bad("rungs"))?
+        .into_iter()
+        .map(RungRow::from_json)
+        .collect()
+}
+
 /// What a finished job measured — the subset of a `Measurement` that
 /// serializes: the versioned snapshot plus the translation headlines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -585,8 +635,9 @@ pub struct JobResult {
     pub walks: u64,
     /// Cycles spent translating.
     pub walk_cycles: u64,
-    /// Bytes mapped by each page size at measurement end.
-    pub mapped_bytes: [u64; 3],
+    /// Per-rung mapped-bytes rows in ladder order, keyed by size-class
+    /// label.
+    pub rungs: Vec<RungRow>,
     /// Events the ring tracer dropped (0 when tracing was off or lossless).
     pub trace_dropped: u64,
     /// Lines written to the job's `trace_out` file, when one was set.
@@ -615,10 +666,10 @@ pub struct TenantRow {
     pub walks: u64,
     /// Cycles this tenant spent translating.
     pub walk_cycles: u64,
-    /// Bytes this tenant mapped at each page size.
-    pub mapped_bytes: [u64; 3],
-    /// The tenant's 1GB fragmentation experience in thousandths (the
-    /// fraction of its resident bytes not giant-backed).
+    /// Per-rung mapped-bytes rows for this tenant, in ladder order.
+    pub rungs: Vec<RungRow>,
+    /// The tenant's top-rung fragmentation experience in thousandths
+    /// (the fraction of its resident bytes not top-rung-backed).
     pub fmfi_milli: u64,
     /// Faults attributed to this tenant.
     pub faults: u64,
@@ -628,16 +679,14 @@ impl TenantRow {
     fn to_json(&self) -> String {
         format!(
             "{{\"tenant\":{},\"workload\":{},\"samples\":{},\"walks\":{},\
-             \"walk_cycles\":{},\"mapped_bytes\":[{},{},{}],\"fmfi_milli\":{},\
+             \"walk_cycles\":{},\"rungs\":{},\"fmfi_milli\":{},\
              \"faults\":{}}}",
             self.tenant,
             json::escape(&self.workload),
             self.samples,
             self.walks,
             self.walk_cycles,
-            self.mapped_bytes[0],
-            self.mapped_bytes[1],
-            self.mapped_bytes[2],
+            rungs_to_json(&self.rungs),
             self.fmfi_milli,
             self.faults,
         )
@@ -651,8 +700,7 @@ impl TenantRow {
             samples: req("samples")?,
             walks: req("walks")?,
             walk_cycles: req("walk_cycles")?,
-            mapped_bytes: json::u64_array_field(obj, "mapped_bytes")
-                .ok_or_else(|| bad("tenants[].mapped_bytes"))?,
+            rungs: rungs_from_json(obj, "rungs")?,
             fmfi_milli: req("fmfi_milli")?,
             faults: req("faults")?,
         })
@@ -663,14 +711,12 @@ impl JobResult {
     fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"samples\":{},\"tlb_accesses\":{},\"walks\":{},\"walk_cycles\":{},\
-             \"mapped_bytes\":[{},{},{}],\"trace_dropped\":{}",
+             \"rungs\":{},\"trace_dropped\":{}",
             self.samples,
             self.tlb_accesses,
             self.walks,
             self.walk_cycles,
-            self.mapped_bytes[0],
-            self.mapped_bytes[1],
-            self.mapped_bytes[2],
+            rungs_to_json(&self.rungs),
             self.trace_dropped,
         );
         if let Some(lines) = self.trace_lines {
@@ -693,8 +739,7 @@ impl JobResult {
             walks: json::u64_field(obj, "walks").ok_or_else(|| bad("result.walks"))?,
             walk_cycles: json::u64_field(obj, "walk_cycles")
                 .ok_or_else(|| bad("result.walk_cycles"))?,
-            mapped_bytes: json::u64_array_field(obj, "mapped_bytes")
-                .ok_or_else(|| bad("result.mapped_bytes"))?,
+            rungs: rungs_from_json(obj, "rungs")?,
             // Additive field: absent (older encoder) means no drops; a
             // present-but-malformed value still fails loudly.
             trace_dropped: optional(obj, "trace_dropped", json::u64_field)?.unwrap_or(0),
@@ -1246,12 +1291,13 @@ mod tests {
             profile_out: Some("prof.json".to_owned()),
             audit: true,
             key: Some("fig1/GUPS/Trident/3".to_owned()),
+            geometry: Some("sv48".to_owned()),
             tenants: vec![
                 TenantJob {
                     workload: "Redis".to_owned(),
                     weight: 2,
                     chunk_budget: Some(4),
-                    prefer: Some(PageSize::Huge),
+                    prefer: Some("2MB".to_owned()),
                     opt_out: false,
                     pins: vec![(0, 4_096), (1 << 20, 512)],
                 },
@@ -1296,7 +1342,7 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let snapshot = StatsSnapshot {
-            faults: [3, 2, 1],
+            faults: [3, 2, 1, 0, 0, 0],
             daemon_ns: u64::MAX,
             ..StatsSnapshot::default()
         };
@@ -1314,7 +1360,20 @@ mod tests {
                     tlb_accesses: 8_000,
                     walks: 120,
                     walk_cycles: 4_200,
-                    mapped_bytes: [1, 2, 3],
+                    rungs: vec![
+                        RungRow {
+                            size: "4KB".to_owned(),
+                            bytes: 1,
+                        },
+                        RungRow {
+                            size: "2MB".to_owned(),
+                            bytes: 2,
+                        },
+                        RungRow {
+                            size: "1GB".to_owned(),
+                            bytes: 3,
+                        },
+                    ],
                     trace_dropped: 0,
                     trace_lines: Some(17),
                     violations: 0,
@@ -1325,7 +1384,16 @@ mod tests {
                             samples: 4_000,
                             walks: 80,
                             walk_cycles: 2_100,
-                            mapped_bytes: [1, 2, 0],
+                            rungs: vec![
+                                RungRow {
+                                    size: "4KB".to_owned(),
+                                    bytes: 1,
+                                },
+                                RungRow {
+                                    size: "2MB".to_owned(),
+                                    bytes: 2,
+                                },
+                            ],
                             fmfi_milli: 1_000,
                             faults: 6,
                         },
@@ -1335,7 +1403,10 @@ mod tests {
                             samples: 4_000,
                             walks: 40,
                             walk_cycles: 2_100,
-                            mapped_bytes: [0, 0, 3],
+                            rungs: vec![RungRow {
+                                size: "1GB".to_owned(),
+                                bytes: 3,
+                            }],
                             fmfi_milli: 0,
                             faults: 0,
                         },
@@ -1408,6 +1479,13 @@ mod tests {
             Request::parse_jsonl(&line),
             Err(ProtoError::Version { got: 1 })
         );
+        // A v4 peer (pre-geometry, fixed three-wide mapped_bytes) must be
+        // turned away at the version check, not mis-parsed.
+        let line = Request::List.to_jsonl().replace(&stamp, "\"v\":4");
+        assert_eq!(
+            Request::parse_jsonl(&line),
+            Err(ProtoError::Version { got: 4 })
+        );
         let line = Response::ShuttingDown
             .to_jsonl()
             .replace(&stamp, "\"v\":99");
@@ -1426,7 +1504,10 @@ mod tests {
             tlb_accesses: 10,
             walks: 1,
             walk_cycles: 35,
-            mapped_bytes: [1, 0, 0],
+            rungs: vec![RungRow {
+                size: "4KB".to_owned(),
+                bytes: 1,
+            }],
             trace_dropped: 0,
             trace_lines: None,
             violations: 0,

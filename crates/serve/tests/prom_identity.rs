@@ -10,15 +10,15 @@ use trident_prof::prom::{self, TextEncoder};
 use trident_prof::report::render_prometheus;
 use trident_prof::Profile;
 use trident_serve::metrics::DaemonMetrics;
-use trident_serve::proto::JobResult;
+use trident_serve::proto::{JobResult, RungRow};
 
 /// A snapshot with a distinct value in every rendered counter, so a
 /// field mix-up cannot produce an accidental byte match.
 fn distinctive_snapshot() -> StatsSnapshot {
     StatsSnapshot {
-        faults: [101, 102, 103],
-        fault_ns: [201, 202, 203],
-        promotions: [301, 302, 303],
+        faults: [101, 102, 103, 104, 105, 106],
+        fault_ns: [201, 202, 203, 204, 205, 206],
+        promotions: [301, 302, 303, 304, 305, 306],
         daemon_ns: 401,
         compaction_bytes_copied: 501,
         pv_bytes_exchanged: 601,
@@ -69,7 +69,20 @@ fn live_scrape_renders_the_golden_snapshot_block() {
             tlb_accesses: 100,
             walks: 10,
             walk_cycles: 350,
-            mapped_bytes: [1, 2, 3],
+            rungs: vec![
+                RungRow {
+                    size: "4KB".to_owned(),
+                    bytes: 1,
+                },
+                RungRow {
+                    size: "2MB".to_owned(),
+                    bytes: 2,
+                },
+                RungRow {
+                    size: "1GB".to_owned(),
+                    bytes: 3,
+                },
+            ],
             trace_dropped: 0,
             trace_lines: None,
             violations: 0,

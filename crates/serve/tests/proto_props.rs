@@ -7,9 +7,9 @@ use proptest::prelude::*;
 use trident_core::{InjectSite, StatsSnapshot, SNAPSHOT_VERSION};
 use trident_serve::proto::{
     ErrorCode, FaultSpec, JobOrigin, JobProgress, JobResult, JobSpec, JobState, JobSummary,
-    JournalInfo, ProtoError, Request, Response, ServiceInfo, TenantJob, TenantRow, PROTO_VERSION,
+    JournalInfo, ProtoError, Request, Response, RungRow, ServiceInfo, TenantJob, TenantRow,
+    PROTO_VERSION,
 };
-use trident_types::PageSize;
 
 /// Characters chosen to stress the scanner: JSON structure, the escape
 /// set, whitespace, and multi-byte code points.
@@ -56,14 +56,18 @@ fn fault_specs() -> impl Strategy<Value = FaultSpec> {
         })
 }
 
-fn page_sizes() -> impl Strategy<Value = PageSize> {
-    (0usize..PageSize::ALL.len()).prop_map(|i| PageSize::ALL[i])
+fn rung_rows() -> impl Strategy<Value = Vec<RungRow>> {
+    prop::collection::vec((wire_strings(), any::<u64>()), 0..6).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(size, bytes)| RungRow { size, bytes })
+            .collect()
+    })
 }
 
 fn tenant_jobs() -> impl Strategy<Value = TenantJob> {
     (
         (wire_strings(), any::<u32>()),
-        (options(1u64..(1 << 20)), options(page_sizes())),
+        (options(1u64..(1 << 20)), options(wire_strings())),
         (
             any::<bool>(),
             prop::collection::vec((any::<u64>(), any::<u64>()), 0..4),
@@ -99,6 +103,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
             options(wire_strings()),
             options(wire_strings()),
             options(wire_strings()),
+            options(wire_strings()),
         ),
         (any::<bool>(), prop::collection::vec(tenant_jobs(), 0..4)),
     )
@@ -107,7 +112,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 (workload, policy, scale, samples),
                 (seed, cell_index, fragment),
                 (trace_capacity, profile, fault),
-                (trace_out, profile_out, key),
+                (trace_out, profile_out, key, geometry),
                 (audit, tenants),
             )| JobSpec {
                 workload,
@@ -123,6 +128,7 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
                 trace_out,
                 profile_out,
                 key,
+                geometry,
                 audit,
                 tenants,
             },
@@ -131,17 +137,26 @@ fn job_specs() -> impl Strategy<Value = JobSpec> {
 
 fn snapshots() -> impl Strategy<Value = StatsSnapshot> {
     prop::collection::vec(any::<u64>(), 30..31).prop_map(|v| {
-        let arr3 = |at: usize| [v[at], v[at + 1], v[at + 2]];
+        let arr6 = |at: usize| {
+            [
+                v[at],
+                v[at + 1],
+                v[at + 2],
+                v[at + 1].rotate_left(7),
+                v[at + 2].rotate_left(11),
+                v[at].rotate_left(13),
+            ]
+        };
         StatsSnapshot {
             version: SNAPSHOT_VERSION,
-            faults: arr3(0),
-            fault_ns: arr3(3),
+            faults: arr6(0),
+            fault_ns: arr6(3),
             giant_attempts_fault: v[6],
             giant_failures_fault: v[7],
             giant_attempts_promo: v[8],
             giant_failures_promo: v[9],
-            promotions: arr3(10),
-            demotions: arr3(13),
+            promotions: arr6(10),
+            demotions: arr6(13),
             compaction_bytes_copied: v[16],
             promotion_bytes_copied: v[17],
             pv_bytes_exchanged: v[18],
@@ -163,18 +178,18 @@ fn tenant_rows() -> impl Strategy<Value = TenantRow> {
     (
         (any::<u32>(), wire_strings()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
-        prop::collection::vec(any::<u64>(), 3..4),
+        rung_rows(),
         (0u64..=1_000, any::<u64>()),
     )
         .prop_map(
-            |((tenant, workload), (samples, walks, walk_cycles), mapped, (fmfi_milli, faults))| {
+            |((tenant, workload), (samples, walks, walk_cycles), rungs, (fmfi_milli, faults))| {
                 TenantRow {
                     tenant,
                     workload,
                     samples,
                     walks,
                     walk_cycles,
-                    mapped_bytes: [mapped[0], mapped[1], mapped[2]],
+                    rungs,
                     fmfi_milli,
                     faults,
                 }
@@ -185,7 +200,7 @@ fn tenant_rows() -> impl Strategy<Value = TenantRow> {
 fn job_results() -> impl Strategy<Value = JobResult> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        prop::collection::vec(any::<u64>(), 3..4),
+        rung_rows(),
         (any::<u64>(), options(any::<u64>())),
         (any::<u64>(), prop::collection::vec(tenant_rows(), 0..4)),
         snapshots(),
@@ -193,7 +208,7 @@ fn job_results() -> impl Strategy<Value = JobResult> {
         .prop_map(
             |(
                 (samples, tlb_accesses, walks, walk_cycles),
-                mapped,
+                rungs,
                 (dropped, lines),
                 (violations, tenants),
                 snapshot,
@@ -203,7 +218,7 @@ fn job_results() -> impl Strategy<Value = JobResult> {
                     tlb_accesses,
                     walks,
                     walk_cycles,
-                    mapped_bytes: [mapped[0], mapped[1], mapped[2]],
+                    rungs,
                     trace_dropped: dropped,
                     trace_lines: lines,
                     violations,

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use trident_serve::proto::{
-    ErrorCode, FaultSpec, JobResult, JobSpec, Request, Response, TenantJob,
+    ErrorCode, FaultSpec, JobResult, JobSpec, Request, Response, RungRow, TenantJob,
 };
 use trident_serve::{serve_tcp, Client, Service, ServiceConfig};
 use trident_sim::experiments::ExpOptions;
@@ -24,7 +24,7 @@ fn spec(cell_index: Option<u64>) -> JobSpec {
 
 /// What the daemon should have measured for [`spec`], computed by
 /// running the `System` directly — no service, no socket, no JSON.
-fn direct_run(cell_index: Option<u64>) -> (u64, u64, [u64; 3], trident_core::StatsSnapshot) {
+fn direct_run(cell_index: Option<u64>) -> (u64, u64, Vec<RungRow>, trident_core::StatsSnapshot) {
     let opts = ExpOptions {
         scale: 256,
         samples: 2_000,
@@ -40,7 +40,15 @@ fn direct_run(cell_index: Option<u64>) -> (u64, u64, [u64; 3], trident_core::Sta
         .unwrap();
     system.settle();
     let m = system.measure();
-    (m.walks, m.walk_cycles, m.mapped_bytes, m.snapshot)
+    let geo = system.geometry();
+    let rungs = geo
+        .rungs()
+        .map(|size| RungRow {
+            size: geo.label(size),
+            bytes: m.mapped_bytes[size.rung()],
+        })
+        .collect();
+    (m.walks, m.walk_cycles, rungs, m.snapshot)
 }
 
 /// Disconnects, stops the accept loop, waits for the connection thread
@@ -102,11 +110,11 @@ fn socket_results_are_bit_identical_at_any_worker_count() {
             .iter()
             .map(|&c| submit(&mut client, spec(c)))
             .collect();
-        for (id, (walks, walk_cycles, mapped_bytes, snapshot)) in ids.into_iter().zip(&expected) {
+        for (id, (walks, walk_cycles, rungs, snapshot)) in ids.into_iter().zip(&expected) {
             let result = fetch(&mut client, id);
             assert_eq!(result.walks, *walks, "workers={workers}");
             assert_eq!(result.walk_cycles, *walk_cycles, "workers={workers}");
-            assert_eq!(result.mapped_bytes, *mapped_bytes, "workers={workers}");
+            assert_eq!(result.rungs, *rungs, "workers={workers}");
             assert_eq!(result.snapshot, *snapshot, "workers={workers}");
         }
 

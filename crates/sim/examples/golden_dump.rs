@@ -1,0 +1,34 @@
+//! Regenerates the committed golden CSVs (`tests/golden/*.csv`) that
+//! `tests/builder_identity.rs` pins bit for bit: fig1/table4/table5 at
+//! quick scale, seed 42, serial, under the default x86-64 geometry.
+//!
+//! ```sh
+//! cargo run -p trident-sim --example golden_dump [-- DIR]
+//! ```
+
+use std::fs;
+use trident_sim::experiments::{self, ExpOptions};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/golden".into());
+    fs::create_dir_all(&dir).unwrap();
+    let opts = ExpOptions::quick();
+    fs::write(
+        format!("{dir}/fig1.csv"),
+        experiments::fig1::run(&opts).to_csv(),
+    )
+    .unwrap();
+    fs::write(
+        format!("{dir}/table4.csv"),
+        experiments::table4::run(&opts).to_csv(),
+    )
+    .unwrap();
+    fs::write(
+        format!("{dir}/table5.csv"),
+        experiments::table5::run(&opts).to_csv(),
+    )
+    .unwrap();
+    println!("golden CSVs written to {dir}");
+}

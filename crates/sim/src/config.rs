@@ -265,10 +265,10 @@ impl SimConfigBuilder {
                 reason: "must be nonzero",
             });
         }
-        if c.scale.apply(c.host_mem_bytes) < c.geo.bytes(trident_types::PageSize::Giant) {
+        if c.scale.apply(c.host_mem_bytes) < c.geo.bytes(c.geo.largest()) {
             return Err(TridentError::InvalidConfig {
                 field: "host_mem_bytes",
-                reason: "scaled host memory must hold at least one giant page",
+                reason: "scaled host memory must hold at least one top-rung page",
             });
         }
         if let Some(cap) = c.daemon_cap {
@@ -298,12 +298,25 @@ impl SimConfigBuilder {
 /// Panics if `scale` is not a power of two in `1..=256`.
 #[must_use]
 pub fn scaled_geometry(scale: u64) -> PageGeometry {
+    scaled_geometry_for(&PageGeometry::X86_64, scale)
+}
+
+/// Any architecture's ladder with every rung order reduced by
+/// log2(`scale`) — [`PageGeometry::scaled`] applied to the simulator's
+/// power-of-two scale contract. Rung *labels* keep their architectural
+/// names ("2MB", "64KB-napot", ...) so reports and golden CSVs read the
+/// same at every scale.
+///
+/// # Panics
+///
+/// Panics if `scale` is not a power of two in `1..=256`.
+#[must_use]
+pub fn scaled_geometry_for(arch: &PageGeometry, scale: u64) -> PageGeometry {
     assert!(
         scale.is_power_of_two() && scale <= 256,
         "scale must be a power of two <= 256"
     );
-    let shift = scale.trailing_zeros() as u8;
-    PageGeometry::new(12, 9 - shift.min(8), 18 - shift)
+    arch.scaled(scale.trailing_zeros() as u8)
 }
 
 impl Default for SimConfig {

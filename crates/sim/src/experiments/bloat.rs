@@ -4,7 +4,6 @@
 //! demote-and-recover technique wins the memory back.
 
 use trident_core::{TridentConfig, TridentPolicy};
-use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
 
 use crate::experiments::common::ExpOptions;
@@ -55,7 +54,8 @@ impl Result {
 }
 
 fn resident_gb(system: &System, unscale: f64) -> f64 {
-    let bytes: u64 = PageSize::ALL.iter().map(|s| system.mapped_bytes(*s)).sum();
+    let geo = system.geometry();
+    let bytes: u64 = geo.rungs().map(|s| system.mapped_bytes(s)).sum();
     bytes as f64 * unscale / (1u64 << 30) as f64
 }
 

@@ -103,7 +103,7 @@ fn run_cell(
     // Redis gets 2× the promotion daemon's attention and pins its first
     // giant region (its hot keyspace) so the hint surface is exercised
     // under contention, not just in unit tests.
-    let pin_pages = config.geo.base_pages(PageSize::Giant);
+    let pin_pages = config.geo.base_pages(PageSize::new(2));
     let mut system = System::builder(config)
         .policy(kind)
         .tenant(

@@ -19,6 +19,8 @@ use crate::experiments::common::ExpOptions;
 pub struct Row {
     /// Page size (same at both levels for the nested columns).
     pub size: PageSize,
+    /// Architecture label of `size` for the CSV.
+    pub label: String,
     /// Native walk accesses, four-level tables.
     pub native_4l: u64,
     /// Native walk accesses, five-level tables.
@@ -48,7 +50,7 @@ impl Result {
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{},{:.2}\n",
-                r.size, r.native_4l, r.native_5l, r.nested_4l, r.nested_5l, r.pwc_avg
+                r.label, r.native_4l, r.native_5l, r.nested_4l, r.nested_5l, r.pwc_avg
             ));
         }
         out
@@ -60,8 +62,8 @@ pub fn run(opts: &ExpOptions) -> Result {
     let geo = PageGeometry::X86_64;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let footprint_pages = geo.pages_for_bytes(64 * GIB);
-    let rows = PageSize::ALL
-        .into_iter()
+    let rows = geo
+        .rungs()
         .map(|size| {
             // Average PWC-adjusted walk cost over random pages of a 64GB
             // working set (well beyond every PWC's reach at 4KB, within
@@ -73,10 +75,11 @@ pub fn run(opts: &ExpOptions) -> Result {
                 .sum();
             Row {
                 size,
-                native_4l: walk_accesses_at(size, PageTableDepth::FourLevel),
-                native_5l: walk_accesses_at(size, PageTableDepth::FiveLevel),
-                nested_4l: nested_walk_accesses_at(size, size, PageTableDepth::FourLevel),
-                nested_5l: nested_walk_accesses_at(size, size, PageTableDepth::FiveLevel),
+                label: geo.label(size),
+                native_4l: walk_accesses_at(&geo, size, PageTableDepth::FourLevel),
+                native_5l: walk_accesses_at(&geo, size, PageTableDepth::FiveLevel),
+                nested_4l: nested_walk_accesses_at(&geo, size, size, PageTableDepth::FourLevel),
+                nested_5l: nested_walk_accesses_at(&geo, size, size, PageTableDepth::FiveLevel),
                 pwc_avg: total as f64 / samples as f64,
             }
         })

@@ -109,7 +109,7 @@ pub fn run(opts: &ExpOptions) -> Result {
             .expect("unfragmented launch");
         let m = system.measure();
         let geo = config.geo;
-        let giant_chunks: HashSet<u64> = mappable_ranges(system.space(), PageSize::Giant)
+        let giant_chunks: HashSet<u64> = mappable_ranges(system.space(), PageSize::new(2))
             .into_iter()
             .map(|vpn| geo.giant_region_of(vpn.raw()))
             .collect();

@@ -26,6 +26,8 @@ const KERNEL_WALK_FRACTION_4K: f64 = 0.12;
 pub struct Row {
     /// Direct-map page size.
     pub size: PageSize,
+    /// Architecture label of `size` for the CSV.
+    pub label: String,
     /// Page walks over the sampled kernel accesses.
     pub walks: u64,
     /// Walk cycles.
@@ -49,20 +51,16 @@ impl Result {
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{:.3}\n",
-                r.size, r.walks, r.walk_cycles, r.perf_vs_huge
+                r.label, r.walks, r.walk_cycles, r.perf_vs_huge
             ));
         }
         out
     }
 
-    /// The 1GB-over-2MB kernel speedup (the paper's 2–3%).
+    /// The top-rung-over-2MB kernel speedup (the paper's 2–3%).
     #[must_use]
     pub fn giant_gain(&self) -> f64 {
-        self.rows
-            .iter()
-            .find(|r| r.size == PageSize::Giant)
-            .map(|r| r.perf_vs_huge)
-            .unwrap_or(1.0)
+        self.rows.last().map(|r| r.perf_vs_huge).unwrap_or(1.0)
     }
 }
 
@@ -85,7 +83,7 @@ pub fn run(opts: &ExpOptions) -> Result {
         .collect();
 
     let mut measured = Vec::new();
-    for size in PageSize::ALL {
+    for size in geo.rungs() {
         // Build the direct map: all of physical memory, identity-mapped
         // at `size`. The backing frames are physical memory itself.
         let mut mem = PhysicalMemory::new(geo, total_pages);
@@ -116,15 +114,26 @@ pub fn run(opts: &ExpOptions) -> Result {
         measured.push((size, stats.total_walks(), stats.total_walk_cycles()));
     }
 
-    // Anchor kernel compute on the 4KB row.
+    // Anchor kernel compute on the 4KB row and normalize against the
+    // ladder's natural PMD-level (2MB-class) rung.
+    let huge = geo
+        .size_for_order(geo.level_order(2))
+        .expect("every ladder has a natural level-2 rung");
     let e4k = measured[0].2 as f64 / opts.samples as f64;
     let compute = e4k * (1.0 - KERNEL_WALK_FRACTION_4K) / KERNEL_WALK_FRACTION_4K;
     let cycles = |walk_cycles: u64| compute + walk_cycles as f64 / opts.samples as f64;
-    let huge_total = cycles(measured[1].2);
+    let huge_total = cycles(
+        measured
+            .iter()
+            .find(|(s, _, _)| *s == huge)
+            .expect("huge rung measured")
+            .2,
+    );
     let rows = measured
         .into_iter()
         .map(|(size, walks, walk_cycles)| Row {
             size,
+            label: geo.label(size),
             walks,
             walk_cycles,
             perf_vs_huge: huge_total / cycles(walk_cycles),

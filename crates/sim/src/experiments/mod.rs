@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig9;
 pub mod kernel_map;
+pub mod ladder;
 pub mod table3;
 pub mod table4;
 pub mod table5;

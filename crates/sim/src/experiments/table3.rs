@@ -124,8 +124,8 @@ impl TableCell {
             system.settle();
         }
         Some((
-            system.mapped_bytes(PageSize::Giant),
-            system.mapped_bytes(PageSize::Huge),
+            system.mapped_bytes(PageSize::new(2)),
+            system.mapped_bytes(PageSize::new(1)),
         ))
     }
 }

@@ -104,7 +104,7 @@ mod tests {
     fn ctx() -> (MmContext, SpaceSet) {
         let geo = PageGeometry::TINY;
         (
-            MmContext::new(PhysicalMemory::new(geo, geo.base_pages(PageSize::Giant))),
+            MmContext::new(PhysicalMemory::new(geo, geo.base_pages(PageSize::new(2)))),
             SpaceSet::new(),
         )
     }

@@ -86,7 +86,7 @@ mod tests {
             trace: Vec::new(),
             trace_dropped: 0,
             profile: None,
-            mapped_bytes: [0; 3],
+            mapped_bytes: [0; trident_types::MAX_RUNGS],
             miss_by_chunk: Vec::new(),
             tenants: Vec::new(),
         }

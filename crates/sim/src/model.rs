@@ -244,7 +244,7 @@ mod tests {
             trace: Vec::new(),
             trace_dropped: 0,
             profile: None,
-            mapped_bytes: [0; 3],
+            mapped_bytes: [0; trident_types::MAX_RUNGS],
             miss_by_chunk: Vec::new(),
             tenants: Vec::new(),
         }
@@ -317,7 +317,7 @@ mod tests {
         let mut model = PerfModel::new();
         let clean = model.evaluate(&spec, &config, &fake_measurement(3_000, 300_000));
         let mut costly = fake_measurement(3_000, 300_000);
-        costly.snapshot.fault_ns = [0, 0, 4_000_000_000]; // 4s of 1GB faults
+        costly.snapshot.fault_ns = [0, 0, 4_000_000_000, 0, 0, 0]; // 4s of 1GB faults
         let burdened = model.evaluate(&spec, &config, &costly);
         assert!(clean.speedup_over(&burdened) > 1.0);
     }

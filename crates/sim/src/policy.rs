@@ -116,18 +116,18 @@ impl PolicyKind {
             PolicyKind::Base => Box::new(BasePolicy::new()),
             PolicyKind::Thp => Box::new(ThpPolicy::new()),
             PolicyKind::HugetlbfsHuge => {
-                let count = workload_pages.div_ceil(geo.base_pages(PageSize::Huge)) + 2;
+                let count = workload_pages.div_ceil(geo.base_pages(PageSize::new(1))) + 2;
                 Box::new(HugetlbfsPolicy::reserve(
                     ctx,
-                    PageSize::Huge,
+                    PageSize::new(1),
                     usize::try_from(count).expect("fits usize"),
                 )?)
             }
             PolicyKind::HugetlbfsGiant => {
-                let count = workload_pages.div_ceil(geo.base_pages(PageSize::Giant)) + 1;
+                let count = workload_pages.div_ceil(geo.base_pages(PageSize::new(2))) + 1;
                 Box::new(HugetlbfsPolicy::reserve(
                     ctx,
-                    PageSize::Giant,
+                    PageSize::new(2),
                     usize::try_from(count).expect("fits usize"),
                 )?)
             }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use trident_types::PageSize;
+use trident_types::PageGeometry;
 
 use crate::{Measurement, System};
 
@@ -30,6 +30,7 @@ pub struct RunReport {
     workload: String,
     policy: String,
     scale: u64,
+    geo: PageGeometry,
     measurement: Measurement,
     fmfi_giant: f64,
     free_fraction: f64,
@@ -39,12 +40,14 @@ impl RunReport {
     /// Builds a report from a system and its measurement.
     #[must_use]
     pub fn new(system: &System, measurement: &Measurement) -> RunReport {
+        let geo = system.geometry();
         RunReport {
             workload: system.workload().name.to_owned(),
             policy: system.policy_name(),
             scale: system.config.scale.divisor(),
+            geo,
             measurement: measurement.clone(),
-            fmfi_giant: system.ctx.mem.fmfi(PageSize::Giant),
+            fmfi_giant: system.ctx.mem.fmfi(geo.largest()),
             free_fraction: system.ctx.mem.free_fraction(),
         }
     }
@@ -58,13 +61,13 @@ impl fmt::Display for RunReport {
             "── {} under {} (scale 1/{}) ──",
             self.workload, self.policy, self.scale
         )?;
-        writeln!(f, "memory mix:")?;
-        for size in PageSize::ALL {
+        writeln!(f, "memory mix ({} ladder):", self.geo.name())?;
+        for size in self.geo.rungs() {
             writeln!(
                 f,
-                "  {:>4}: {:>8} MB mapped",
-                size.label(),
-                m.mapped_bytes[size as usize] >> 20
+                "  {:>10}: {:>8} MB mapped",
+                self.geo.label(size),
+                m.mapped_bytes[size.rung()] >> 20
             )?;
         }
         writeln!(
@@ -75,21 +78,34 @@ impl fmt::Display for RunReport {
             100.0 * m.tlb.miss_ratio(),
             m.walk_cycles
         )?;
+        let top = self.geo.largest();
+        let top_label = self.geo.label(top);
         writeln!(
             f,
-            "faults: {} total ({} at 1GB, mean 1GB fault {})",
+            "faults: {} total ({} at {top_label}, mean {top_label} fault {})",
             m.snapshot.total_faults(),
-            m.snapshot.faults[PageSize::Giant as usize],
+            m.snapshot.faults[top.rung()],
             m.snapshot
-                .mean_giant_fault_ns()
+                .mean_fault_ns(top)
                 .map(|ns| format!("{:.2} ms", ns as f64 / 1e6))
                 .unwrap_or_else(|| "n/a".into()),
         )?;
+        let promoted: Vec<String> = self
+            .geo
+            .rungs()
+            .filter(|s| !s.is_base())
+            .map(|s| {
+                format!(
+                    "{} to {}",
+                    m.snapshot.promotions[s.rung()],
+                    self.geo.label(s)
+                )
+            })
+            .collect();
         writeln!(
             f,
-            "promotion: {} to 2MB, {} to 1GB; {} MB copied; {} MB exchanged (pv)",
-            m.snapshot.promotions[PageSize::Huge as usize],
-            m.snapshot.promotions[PageSize::Giant as usize],
+            "promotion: {}; {} MB copied; {} MB exchanged (pv)",
+            promoted.join(", "),
             m.snapshot.promotion_bytes_copied >> 20,
             m.snapshot.pv_bytes_exchanged >> 20,
         )?;
@@ -114,7 +130,7 @@ impl fmt::Display for RunReport {
                 writeln!(
                     f,
                     "  {} {:<10} {:>7} samples, {:>6} walks, {:>9} walk cycles, \
-                     FMFI(1GB) {:.3}, {} faults",
+                     FMFI(top) {:.3}, {} faults",
                     t.tenant,
                     t.workload,
                     t.samples,
@@ -127,7 +143,7 @@ impl fmt::Display for RunReport {
         }
         write!(
             f,
-            "machine: {:.1}% free, FMFI(1GB) = {:.3}, daemon CPU {:.1} ms",
+            "machine: {:.1}% free, FMFI(top) = {:.3}, daemon CPU {:.1} ms",
             self.free_fraction * 100.0,
             self.fmfi_giant,
             m.snapshot.daemon_ns as f64 / 1e6,

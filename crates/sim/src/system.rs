@@ -17,7 +17,7 @@ use trident_core::{
 use trident_phys::{Fragmenter, PhysMemError, PhysicalMemory};
 use trident_prof::{Profile, Profiler};
 use trident_tlb::{TlbHierarchy, TlbOutcome, TranslationEngine, TranslationStats, WalkCostModel};
-use trident_types::{AsId, PageSize, TenantId, TridentError, Vpn};
+use trident_types::{AsId, PageGeometry, PageSize, TenantId, TridentError, Vpn, MAX_RUNGS};
 use trident_vm::{mappable_bytes, AddressSpace};
 use trident_workloads::{AccessSampler, AllocPlan, Layout, WorkloadSpec};
 
@@ -44,12 +44,13 @@ pub struct TenantMeasurement {
     /// Snapshot of the MM events attributed to this tenant (cumulative
     /// since boot).
     pub snapshot: StatsSnapshot,
-    /// Bytes this tenant has mapped at each page size.
-    pub mapped_bytes: [u64; 3],
+    /// Bytes this tenant has mapped at each ladder rung.
+    pub mapped_bytes: [u64; MAX_RUNGS],
     /// The tenant's fragmentation experience: the fraction of its
-    /// resident bytes *not* backed by 1GB mappings (0.0 when everything
-    /// giant-backed, 1.0 when nothing is). The machine-wide FMFI is a
-    /// pool property; this is the per-tenant projection of it.
+    /// resident bytes *not* backed by top-rung (1GB on x86-64) mappings
+    /// (0.0 when everything top-backed, 1.0 when nothing is). The
+    /// machine-wide FMFI is a pool property; this is the per-tenant
+    /// projection of it.
     pub fmfi_giant: f64,
 }
 
@@ -78,9 +79,9 @@ pub struct Measurement {
     /// the config enables profiling. Boxed: a profile is several KB and
     /// most measurements carry none.
     pub profile: Option<Box<Profile>>,
-    /// Bytes mapped by each page size at measurement end, summed over
+    /// Bytes mapped at each ladder rung at measurement end, summed over
     /// every tenant.
-    pub mapped_bytes: [u64; 3],
+    pub mapped_bytes: [u64; MAX_RUNGS],
     /// Page-walk counts per giant-aligned virtual chunk of tenant 0's
     /// address space (Figure 4).
     pub miss_by_chunk: Vec<(u64, u64)>,
@@ -250,6 +251,17 @@ impl SystemBuilder {
     #[must_use]
     pub fn tenant(mut self, spec: TenantSpec) -> Self {
         self.tenants.push(spec);
+        self
+    }
+
+    /// Selects the page-size ladder by architecture — the unscaled
+    /// descriptor (e.g. [`PageGeometry::RISCV_SV48`]) is rescaled to the
+    /// config's memory scale, exactly as the default x86-64 ladder is.
+    /// The default is [`PageGeometry::X86_64`], whose runs are
+    /// bit-identical to the historical three-size engine.
+    #[must_use]
+    pub fn geometry(mut self, arch: PageGeometry) -> Self {
+        self.config.geo = crate::config::scaled_geometry_for(&arch, self.config.scale.divisor());
         self
     }
 
@@ -576,10 +588,13 @@ impl System {
                     self.touch_range(i, due);
                 }
                 if i == 0 {
+                    let huge = geo
+                        .size_for_order(geo.level_order(2))
+                        .expect("every ladder has a natural level-2 rung");
                     let space = self.spaces.get(self.tenants[0].asid).expect("tenant space");
                     self.mappable_timeline.push((
-                        mappable_bytes(space, PageSize::Huge),
-                        mappable_bytes(space, PageSize::Giant),
+                        mappable_bytes(space, huge),
+                        mappable_bytes(space, geo.largest()),
                     ));
                 }
             }
@@ -608,7 +623,7 @@ impl System {
         let geo = self.config.geo;
         let tenant = &mut self.tenants[tenant_idx];
         let spec = tenant.workload.spec;
-        let touched = if range.pages >= geo.base_pages(PageSize::Giant) {
+        let touched = if range.pages >= geo.base_pages(geo.largest()) {
             ((range.pages as f64) * spec.touch_fraction).ceil() as u64
         } else if spec.touch_fraction >= 1.0 || tenant.rng.gen_bool(spec.touch_fraction) {
             range.pages
@@ -684,7 +699,8 @@ impl System {
             // someone is listening, and the hook itself never touches the
             // RNG or modeled time, so observed and unobserved runs stay
             // bit-identical.
-            let fmfi_milli = (self.ctx.mem.fmfi(PageSize::Giant) * 1000.0).round() as u64;
+            let top = self.config.geo.largest();
+            let fmfi_milli = (self.ctx.mem.fmfi(top) * 1000.0).round() as u64;
             let progress = RunProgress {
                 ticks: self.ticks,
                 samples_done: self.samples_done,
@@ -739,10 +755,13 @@ impl System {
                 .map(|o| (buddy.free_blocks(o) as u64) << (o - order))
                 .sum()
         };
+        let huge = geo
+            .size_for_order(geo.level_order(2))
+            .expect("every ladder has a natural level-2 rung");
         Event::Gauge {
-            fmfi_milli: (self.ctx.mem.fmfi(PageSize::Giant) * 1000.0).round() as u64,
-            free_huge: capacity_at(geo.order(PageSize::Huge)),
-            free_giant: capacity_at(geo.order(PageSize::Giant)),
+            fmfi_milli: (self.ctx.mem.fmfi(geo.largest()) * 1000.0).round() as u64,
+            free_huge: capacity_at(geo.order(huge)),
+            free_giant: capacity_at(geo.order(geo.largest())),
         }
     }
 
@@ -810,18 +829,19 @@ impl System {
             .recorder
             .custom_mut::<Profiler>()
             .map(|p| Box::new(p.finish_profile()));
-        let mut mapped_bytes = [0u64; 3];
+        let geo = self.config.geo;
+        let top_rung = geo.largest().rung();
+        let mut mapped_bytes = [0u64; MAX_RUNGS];
         let tenants: Vec<TenantMeasurement> = self
             .tenants
             .iter()
             .enumerate()
             .map(|(i, t)| {
                 let space = self.spaces.get(t.asid).expect("tenant space");
-                let mapped = [
-                    space.page_table().mapped_bytes(PageSize::Base),
-                    space.page_table().mapped_bytes(PageSize::Huge),
-                    space.page_table().mapped_bytes(PageSize::Giant),
-                ];
+                let mut mapped = [0u64; MAX_RUNGS];
+                for size in geo.rungs() {
+                    mapped[size.rung()] = space.page_table().mapped_bytes(size);
+                }
                 for (total, bytes) in mapped_bytes.iter_mut().zip(mapped) {
                     *total += bytes;
                 }
@@ -837,7 +857,7 @@ impl System {
                     fmfi_giant: if resident == 0 {
                         0.0
                     } else {
-                        1.0 - (mapped[2] as f64 / resident as f64)
+                        1.0 - (mapped[top_rung] as f64 / resident as f64)
                     },
                 }
             })
@@ -903,6 +923,12 @@ impl System {
             }
         }
         result
+    }
+
+    /// The (scaled) page geometry this machine runs.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.config.geo
     }
 
     /// Bytes currently mapped at `size` in tenant 0's address space.
@@ -983,7 +1009,7 @@ mod tests {
         // giant pages are 1GB... at scale 256 the heap is 32768 pages,
         // which is smaller than a giant page) — so expect huge pages
         // instead. Verify *some* large mapping exists.
-        let large = sys.mapped_bytes(PageSize::Huge) + sys.mapped_bytes(PageSize::Giant);
+        let large = sys.mapped_bytes(PageSize::new(1)) + sys.mapped_bytes(PageSize::new(2));
         assert!(large > 0);
     }
 
@@ -992,8 +1018,8 @@ mod tests {
         let spec = WorkloadSpec::by_name("GUPS").unwrap();
         let mut sys = launch(quick_config(), PolicyKind::Thp, spec);
         sys.settle();
-        assert_eq!(sys.mapped_bytes(PageSize::Giant), 0);
-        assert!(sys.mapped_bytes(PageSize::Huge) > 0);
+        assert_eq!(sys.mapped_bytes(PageSize::new(2)), 0);
+        assert!(sys.mapped_bytes(PageSize::new(1)) > 0);
     }
 
     #[test]
@@ -1028,9 +1054,9 @@ mod tests {
         let sys = launch(config, PolicyKind::Trident, spec);
         // The workload fit despite the page cache having filled memory.
         assert!(
-            sys.mapped_bytes(PageSize::Base)
-                + sys.mapped_bytes(PageSize::Huge)
-                + sys.mapped_bytes(PageSize::Giant)
+            sys.mapped_bytes(PageSize::BASE)
+                + sys.mapped_bytes(PageSize::new(1))
+                + sys.mapped_bytes(PageSize::new(2))
                 > 0
         );
         sys.ctx.mem.assert_consistent();

@@ -83,7 +83,7 @@ impl VirtSystem {
             .max(1);
         // Guest RAM: footprint plus 50% headroom, rounded up to whole
         // giant pages, and never more than the host can back.
-        let gp = geo.base_pages(PageSize::Giant);
+        let gp = geo.base_pages(PageSize::new(2));
         let guest_pages = ((workload_pages + workload_pages / 2).div_ceil(gp).max(1) * gp)
             .min(config.host_pages() / gp * gp)
             .max(gp.min(config.host_pages()));
@@ -306,11 +306,14 @@ impl VirtSystem {
             trace,
             trace_dropped,
             profile,
-            mapped_bytes: [
-                space.page_table().mapped_bytes(PageSize::Base),
-                space.page_table().mapped_bytes(PageSize::Huge),
-                space.page_table().mapped_bytes(PageSize::Giant),
-            ],
+            mapped_bytes: {
+                let geo = self.config.geo;
+                let mut mapped = [0u64; trident_types::MAX_RUNGS];
+                for size in geo.rungs() {
+                    mapped[size.rung()] = space.page_table().mapped_bytes(size);
+                }
+                mapped
+            },
             miss_by_chunk: Vec::new(),
             tenants: Vec::new(),
         }
@@ -367,7 +370,8 @@ mod tests {
         )
         .unwrap();
         vs.settle();
-        let large = vs.guest_mapped_bytes(PageSize::Huge) + vs.guest_mapped_bytes(PageSize::Giant);
+        let large =
+            vs.guest_mapped_bytes(PageSize::new(1)) + vs.guest_mapped_bytes(PageSize::new(2));
         assert!(large > 0);
     }
 

@@ -20,8 +20,8 @@
 //! use trident_types::{PageSize, Vpn};
 //!
 //! let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
-//! let first = engine.translate(Vpn::new(42), PageSize::Base);
-//! let second = engine.translate(Vpn::new(42), PageSize::Base);
+//! let first = engine.translate(Vpn::new(42), PageSize::BASE);
+//! let second = engine.translate(Vpn::new(42), PageSize::BASE);
 //! assert!(first.cycles > second.cycles); // the second access hits the TLB
 //! ```
 
@@ -121,8 +121,13 @@ impl TranslationEngine {
             TlbOutcome::L1Hit => 0,
             TlbOutcome::L2Hit => self.cost.l2_hit_cycles,
             TlbOutcome::Miss => match self.nested_host_size {
-                Some(host) => self.cost.nested_walk_cycles(guest_size, host),
-                None => self.cost.walk_cycles(guest_size),
+                Some(host) => {
+                    self.cost
+                        .nested_walk_cycles(&self.hierarchy.geometry(), guest_size, host)
+                }
+                None => self
+                    .cost
+                    .walk_cycles(&self.hierarchy.geometry(), guest_size),
             },
         };
         if outcome == TlbOutcome::Miss && rec.enabled() {
@@ -162,7 +167,10 @@ impl TranslationEngine {
         let cycles = match outcome {
             TlbOutcome::L1Hit => 0,
             TlbOutcome::L2Hit => self.cost.l2_hit_cycles,
-            TlbOutcome::Miss => self.cost.nested_walk_cycles(guest_size, host_size),
+            TlbOutcome::Miss => {
+                self.cost
+                    .nested_walk_cycles(&self.hierarchy.geometry(), guest_size, host_size)
+            }
         };
         if outcome == TlbOutcome::Miss && rec.enabled() {
             rec.record(Event::TlbMiss {
@@ -202,15 +210,15 @@ mod tests {
         let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
         let mut tracer = RingTracer::new(16);
         // Cold access misses; the immediate repeat hits L1 and is silent.
-        let miss = engine.translate_rec(Vpn::new(7), PageSize::Base, &mut tracer);
-        engine.translate_rec(Vpn::new(7), PageSize::Base, &mut tracer);
+        let miss = engine.translate_rec(Vpn::new(7), PageSize::BASE, &mut tracer);
+        engine.translate_rec(Vpn::new(7), PageSize::BASE, &mut tracer);
         assert_eq!(miss.outcome, TlbOutcome::Miss);
         let events: Vec<&Event> = tracer.events().collect();
         assert_eq!(events.len(), 1);
         assert_eq!(
             events[0],
             &Event::TlbMiss {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 walk_cycles: miss.cycles,
             }
         );
@@ -222,14 +230,14 @@ mod tests {
         let mut engine = TranslationEngine::new(TlbHierarchy::skylake(), WalkCostModel::default());
         let mut tracer = RingTracer::new(4);
         let r =
-            engine.translate_nested_rec(Vpn::new(0), PageSize::Huge, PageSize::Base, &mut tracer);
+            engine.translate_nested_rec(Vpn::new(0), PageSize::new(1), PageSize::BASE, &mut tracer);
         assert_eq!(r.outcome, TlbOutcome::Miss);
         // Nested walk at (2MB, 4KB): (3+1)*(4+1)-1 = 19 accesses.
         assert_eq!(r.cycles, 19 * WalkCostModel::default().mem_access_cycles);
         assert_eq!(
             tracer.events().next(),
             Some(&Event::TlbMiss {
-                size: PageSize::Base,
+                size: PageSize::BASE,
                 walk_cycles: r.cycles,
             })
         );

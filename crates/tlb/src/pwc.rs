@@ -26,8 +26,8 @@ use crate::SetAssocTlb;
 /// use trident_types::{PageGeometry, PageSize, Vpn};
 ///
 /// let mut pwc = PageWalkCache::skylake(PageGeometry::X86_64);
-/// let cold = pwc.walk_accesses(Vpn::new(0), PageSize::Base);
-/// let warm = pwc.walk_accesses(Vpn::new(1), PageSize::Base);
+/// let cold = pwc.walk_accesses(Vpn::new(0), PageSize::BASE);
+/// let warm = pwc.walk_accesses(Vpn::new(1), PageSize::BASE);
 /// assert_eq!(cold, 4); // every level missed
 /// assert_eq!(warm, 1); // upper levels cached; only the PTE is fetched
 /// ```
@@ -57,39 +57,24 @@ impl PageWalkCache {
     /// Memory accesses for one walk of a page of `size`, consulting and
     /// filling the per-level caches. The leaf entry is always fetched.
     pub fn walk_accesses(&mut self, vpn: Vpn, size: PageSize) -> u64 {
-        let giant_span = self.geo.base_pages(PageSize::Giant);
-        let huge_span = self.geo.base_pages(PageSize::Huge);
+        let level3_span = 1u64 << self.geo.level_order(3);
+        let level2_span = 1u64 << self.geo.level_order(2);
         // Tags per level: which upper-level entry covers this page.
-        let pml4_tag = vpn.raw() / (giant_span * 512);
-        let pdpt_tag = vpn.raw() / giant_span;
-        let pd_tag = vpn.raw() / huge_span;
+        let pml4_tag = vpn.raw() / (level3_span * 512);
+        let pdpt_tag = vpn.raw() / level3_span;
+        let pd_tag = vpn.raw() / level2_span;
+        // Group rungs (NAPOT / contiguous spans) walk at their underlying
+        // table level, so `geo.level` is exactly the leaf level here.
+        let leaf_level = self.geo.level(size);
         let mut accesses = 1; // the leaf entry itself
-        match size {
-            PageSize::Giant => {
-                // Leaf at the PDPT level: only the PML4 entry above it.
-                if !self.pml4.access(pml4_tag) {
-                    accesses += 1;
-                }
-            }
-            PageSize::Huge => {
-                if !self.pml4.access(pml4_tag) {
-                    accesses += 1;
-                }
-                if !self.pdpt.access(pdpt_tag) {
-                    accesses += 1;
-                }
-            }
-            PageSize::Base => {
-                if !self.pml4.access(pml4_tag) {
-                    accesses += 1;
-                }
-                if !self.pdpt.access(pdpt_tag) {
-                    accesses += 1;
-                }
-                if !self.pd.access(pd_tag) {
-                    accesses += 1;
-                }
-            }
+        if !self.pml4.access(pml4_tag) {
+            accesses += 1;
+        }
+        if leaf_level < 3 && !self.pdpt.access(pdpt_tag) {
+            accesses += 1;
+        }
+        if leaf_level < 2 && !self.pd.access(pd_tag) {
+            accesses += 1;
         }
         accesses
     }
@@ -113,41 +98,41 @@ mod tests {
     #[test]
     fn cold_walks_match_the_flat_model() {
         let mut p = pwc();
-        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::Base), 4);
+        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::BASE), 4);
         p.flush();
-        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::Huge), 3);
+        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::new(1)), 3);
         p.flush();
-        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::Giant), 2);
+        assert_eq!(p.walk_accesses(Vpn::new(0), PageSize::new(2)), 2);
     }
 
     #[test]
     fn locality_compresses_base_walks_to_one_access() {
         let mut p = pwc();
-        p.walk_accesses(Vpn::new(0), PageSize::Base);
+        p.walk_accesses(Vpn::new(0), PageSize::BASE);
         // Same 2MB region: all upper levels hit.
-        assert_eq!(p.walk_accesses(Vpn::new(100), PageSize::Base), 1);
+        assert_eq!(p.walk_accesses(Vpn::new(100), PageSize::BASE), 1);
     }
 
     #[test]
     fn giant_strided_walks_still_benefit_from_pml4() {
         let geo = PageGeometry::X86_64;
         let mut p = pwc();
-        let gp = geo.base_pages(PageSize::Giant);
-        p.walk_accesses(Vpn::new(0), PageSize::Giant);
+        let gp = geo.base_pages(PageSize::new(2));
+        p.walk_accesses(Vpn::new(0), PageSize::new(2));
         // A different giant page under the same PML4 entry: 1 access.
-        assert_eq!(p.walk_accesses(Vpn::new(gp * 3), PageSize::Giant), 1);
+        assert_eq!(p.walk_accesses(Vpn::new(gp * 3), PageSize::new(2)), 1);
     }
 
     #[test]
     fn pd_cache_thrashes_beyond_its_reach() {
         let geo = PageGeometry::X86_64;
         let mut p = pwc();
-        let hp = geo.base_pages(PageSize::Huge);
+        let hp = geo.base_pages(PageSize::new(1));
         // Touch 64 distinct 2MB regions (PD cache holds 16): round two
         // still misses the PD level.
         for round in 0..2 {
             for i in 0..64u64 {
-                let a = p.walk_accesses(Vpn::new(i * hp), PageSize::Base);
+                let a = p.walk_accesses(Vpn::new(i * hp), PageSize::BASE);
                 if round == 1 {
                     assert!(a >= 2, "PD entry should have been evicted");
                 }

@@ -1,6 +1,6 @@
 //! Accumulated translation statistics.
 
-use trident_types::PageSize;
+use trident_types::{PageSize, MAX_RUNGS};
 
 use crate::TlbOutcome;
 
@@ -22,13 +22,13 @@ pub struct SizeStats {
 /// The simulator's replacement for the walk-cycle performance counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TranslationStats {
-    per_size: [SizeStats; 3],
+    per_size: [SizeStats; MAX_RUNGS],
 }
 
 impl TranslationStats {
     /// Records one translation outcome.
     pub fn record(&mut self, size: PageSize, outcome: TlbOutcome, cycles: u64) {
-        let s = &mut self.per_size[size as usize];
+        let s = &mut self.per_size[size.rung()];
         s.accesses += 1;
         s.cycles += cycles;
         match outcome {
@@ -41,7 +41,7 @@ impl TranslationStats {
     /// Counters for one page size.
     #[must_use]
     pub fn for_size(&self, size: PageSize) -> SizeStats {
-        self.per_size[size as usize]
+        self.per_size[size.rung()]
     }
 
     /// Total translations.
@@ -82,12 +82,12 @@ mod tests {
     #[test]
     fn records_accumulate_per_size() {
         let mut s = TranslationStats::default();
-        s.record(PageSize::Base, TlbOutcome::Miss, 200);
-        s.record(PageSize::Base, TlbOutcome::L1Hit, 0);
-        s.record(PageSize::Giant, TlbOutcome::L2Hit, 7);
-        assert_eq!(s.for_size(PageSize::Base).walks, 1);
-        assert_eq!(s.for_size(PageSize::Base).accesses, 2);
-        assert_eq!(s.for_size(PageSize::Giant).l2_hits, 1);
+        s.record(PageSize::BASE, TlbOutcome::Miss, 200);
+        s.record(PageSize::BASE, TlbOutcome::L1Hit, 0);
+        s.record(PageSize::new(2), TlbOutcome::L2Hit, 7);
+        assert_eq!(s.for_size(PageSize::BASE).walks, 1);
+        assert_eq!(s.for_size(PageSize::BASE).accesses, 2);
+        assert_eq!(s.for_size(PageSize::new(2)).l2_hits, 1);
         assert_eq!(s.total_accesses(), 3);
         assert_eq!(s.total_walk_cycles(), 207);
         assert!((s.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);

@@ -117,7 +117,11 @@ impl fmt::Display for TridentError {
             }
             TridentError::AlreadyFree { pfn } => write!(f, "frame {pfn:#x} is already free"),
             TridentError::Unaligned { vpn, size } => {
-                write!(f, "page {vpn} is not aligned for a {size} mapping")
+                write!(
+                    f,
+                    "page {vpn} is not aligned for a rung-{} mapping",
+                    size.rung()
+                )
             }
             TridentError::Overlap { vpn } => write!(f, "page {vpn} is already mapped"),
             TridentError::NotMapped { vpn } => write!(f, "page {vpn} is not mapped"),
@@ -189,7 +193,7 @@ mod tests {
             TridentError::AlreadyFree { pfn: 3 },
             TridentError::Unaligned {
                 vpn: Vpn::new(4),
-                size: PageSize::Huge,
+                size: PageSize::new(1),
             },
             TridentError::Overlap { vpn: Vpn::new(5) },
             TridentError::NotMapped { vpn: Vpn::new(6) },
@@ -229,8 +233,8 @@ mod tests {
         assert!(e.to_string().contains("0x10"));
         let u = TridentError::Unaligned {
             vpn: Vpn::new(3),
-            size: PageSize::Giant,
+            size: PageSize::new(2),
         };
-        assert!(u.to_string().contains("1GB"));
+        assert!(u.to_string().contains("rung-2"));
     }
 }

@@ -1,12 +1,15 @@
 //! Shared vocabulary types for the Trident memory-system simulator.
 //!
-//! This crate defines the page-size taxonomy ([`PageSize`]), the configurable
-//! address-space geometry ([`PageGeometry`]) and the strongly-typed address
-//! and identifier newtypes used by every other crate in the workspace.
+//! This crate defines the page-size ladder vocabulary ([`PageSize`] rung
+//! indices and [`SizeClass`] descriptors), the per-architecture address-space
+//! geometry ([`PageGeometry`]) and the strongly-typed address and identifier
+//! newtypes used by every other crate in the workspace.
 //!
-//! The geometry is configurable so that unit and property tests can exercise
-//! the same algorithms on a miniature address space (tiny huge/giant orders)
-//! while experiments run with the real x86-64 layout (4KB / 2MB / 1GB).
+//! A geometry carries an ordered ladder of size classes: x86-64's
+//! 4KB / 2MB / 1GB, RISC-V Sv48's 4-rung ladder with a 64KB SVNAPOT page,
+//! or AArch64's contiguous-bit hint rungs. Every layer above iterates the
+//! ladder instead of matching on fixed sizes, and unit tests can run the
+//! same algorithms on a miniature geometry ([`PageGeometry::TINY`]).
 //!
 //! # Examples
 //!
@@ -14,10 +17,15 @@
 //! use trident_types::{PageGeometry, PageSize};
 //!
 //! let geo = PageGeometry::X86_64;
-//! assert_eq!(geo.bytes(PageSize::Base), 4 * 1024);
-//! assert_eq!(geo.bytes(PageSize::Huge), 2 * 1024 * 1024);
-//! assert_eq!(geo.bytes(PageSize::Giant), 1024 * 1024 * 1024);
-//! assert_eq!(geo.base_pages(PageSize::Giant), 262_144);
+//! let rungs: Vec<PageSize> = geo.rungs().collect();
+//! assert_eq!(geo.bytes(rungs[0]), 4 * 1024);
+//! assert_eq!(geo.bytes(rungs[1]), 2 * 1024 * 1024);
+//! assert_eq!(geo.bytes(rungs[2]), 1024 * 1024 * 1024);
+//! assert_eq!(geo.base_pages(geo.largest()), 262_144);
+//!
+//! let sv48 = PageGeometry::by_name("sv48").unwrap();
+//! assert_eq!(sv48.rung_count(), 4);
+//! assert!(sv48.class(PageSize::new(1)).napot); // the 64KB SVNAPOT rung
 //! ```
 
 #![forbid(unsafe_code)]
@@ -36,8 +44,8 @@ mod units;
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use bitset::DenseBitSet;
 pub use error::{AllocError, TridentError};
-pub use geometry::PageGeometry;
+pub use geometry::{PageGeometry, SizeClass};
 pub use ids::{AsId, TenantId};
 pub use invariant::{violations_message, InvariantViolation};
-pub use page_size::PageSize;
+pub use page_size::{PageSize, MAX_RUNGS};
 pub use units::{GIB, KIB, MIB};

@@ -1,94 +1,88 @@
-//! The three-page-size taxonomy of x86-64 processors.
+//! Rung indices into a geometry's page-size ladder.
 
-use core::fmt;
-
-/// One of the three page sizes supported by x86-64 processors.
+/// The maximum number of size classes (rungs) any [`PageGeometry`]
+/// ladder can carry.
 ///
-/// The concrete byte size of each variant is determined by a
-/// [`PageGeometry`](crate::PageGeometry); under the real x86-64 geometry
-/// these are 4KB, 2MB and 1GB respectively.
+/// Six covers every shipped architecture with headroom: x86-64 has 3
+/// rungs, RISC-V Sv48 with SVNAPOT has 4, AArch64 with contiguous-bit
+/// coalescing at both the PTE and PMD level has 5.
+///
+/// [`PageGeometry`]: crate::PageGeometry
+pub const MAX_RUNGS: usize = 6;
+
+/// One rung of a geometry's page-size ladder.
+///
+/// A `PageSize` is an *index* into the ordered ladder of
+/// [`SizeClass`](crate::SizeClass)es carried by a
+/// [`PageGeometry`](crate::PageGeometry) — it no longer names a fixed
+/// x86-64 size. Rung 0 is always the base page; higher rungs are
+/// strictly larger, so the derived `Ord` still expresses "at least as
+/// big as" within one geometry. Everything *about* a rung (its buddy
+/// order, byte size, page-table level, NAPOT/contiguous encoding,
+/// label) lives on the geometry; a bare `PageSize` is only meaningful
+/// next to the geometry it indexes.
 ///
 /// # Examples
 ///
 /// ```
-/// use trident_types::PageSize;
+/// use trident_types::{PageGeometry, PageSize};
 ///
-/// // Ordered smallest to largest, so `Ord` can express "at least as big as".
-/// assert!(PageSize::Giant > PageSize::Huge);
-/// assert!(PageSize::Huge > PageSize::Base);
-/// assert_eq!(PageSize::ALL.len(), 3);
+/// let geo = PageGeometry::X86_64;
+/// let rungs: Vec<PageSize> = geo.rungs().collect();
+/// assert_eq!(rungs.len(), 3);
+/// assert_eq!(rungs[0], PageSize::BASE);
+/// assert!(geo.largest() > PageSize::BASE);
+/// assert_eq!(geo.label(geo.largest()), "1GB");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum PageSize {
-    /// The base page size (4KB on x86-64), mapped by a PTE leaf.
-    Base,
-    /// The huge page size (2MB on x86-64), mapped by a PMD leaf.
-    Huge,
-    /// The giant page size (1GB on x86-64), mapped by a PUD leaf.
-    Giant,
-}
+pub struct PageSize(u8);
 
 impl PageSize {
-    /// All page sizes, smallest first.
-    pub const ALL: [PageSize; 3] = [PageSize::Base, PageSize::Huge, PageSize::Giant];
+    /// The base rung — rung 0 of every ladder.
+    pub const BASE: PageSize = PageSize(0);
 
-    /// All page sizes, largest first — the order in which Trident attempts
-    /// to satisfy a page fault (1GB, then 2MB, then 4KB).
-    pub const LARGEST_FIRST: [PageSize; 3] = [PageSize::Giant, PageSize::Huge, PageSize::Base];
+    /// The rung at `index`. Validity against a concrete ladder is the
+    /// geometry's business; this only checks the universal bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_RUNGS`.
+    #[must_use]
+    pub const fn new(index: usize) -> PageSize {
+        assert!(index < MAX_RUNGS, "rung index out of range");
+        PageSize(index as u8)
+    }
 
-    /// The next smaller page size, or `None` for [`PageSize::Base`].
+    /// This rung's index into its geometry's ladder (and into every
+    /// per-rung counter array, which are all `[_; MAX_RUNGS]`).
+    #[must_use]
+    pub const fn rung(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next smaller rung, or `None` for the base rung.
     ///
     /// This is the fallback order used by Trident's fault handler when a
     /// contiguous physical chunk of the desired size is unavailable.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use trident_types::PageSize;
-    /// assert_eq!(PageSize::Giant.smaller(), Some(PageSize::Huge));
-    /// assert_eq!(PageSize::Base.smaller(), None);
-    /// ```
     #[must_use]
-    pub fn smaller(self) -> Option<PageSize> {
-        match self {
-            PageSize::Giant => Some(PageSize::Huge),
-            PageSize::Huge => Some(PageSize::Base),
-            PageSize::Base => None,
+    pub const fn smaller(self) -> Option<PageSize> {
+        match self.0 {
+            0 => None,
+            n => Some(PageSize(n - 1)),
         }
     }
 
-    /// The next larger page size, or `None` for [`PageSize::Giant`].
+    /// Whether this is the base rung.
     #[must_use]
-    pub fn larger(self) -> Option<PageSize> {
-        match self {
-            PageSize::Base => Some(PageSize::Huge),
-            PageSize::Huge => Some(PageSize::Giant),
-            PageSize::Giant => None,
-        }
+    pub const fn is_base(self) -> bool {
+        self.0 == 0
     }
 
-    /// Whether this is a large page (huge or giant), i.e. anything bigger
-    /// than the base page size.
+    /// Whether this is a large rung, i.e. anything bigger than the base
+    /// page size.
     #[must_use]
-    pub fn is_large(self) -> bool {
-        self != PageSize::Base
-    }
-
-    /// A short human-readable label using the real x86-64 sizes
-    /// (`"4KB"`, `"2MB"`, `"1GB"`), as the paper's figures do.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            PageSize::Base => "4KB",
-            PageSize::Huge => "2MB",
-            PageSize::Giant => "1GB",
-        }
-    }
-}
-
-impl fmt::Display for PageSize {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
+    pub const fn is_large(self) -> bool {
+        self.0 != 0
     }
 }
 
@@ -97,41 +91,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ordering_matches_size() {
-        assert!(PageSize::Base < PageSize::Huge);
-        assert!(PageSize::Huge < PageSize::Giant);
-    }
-
-    #[test]
-    fn smaller_and_larger_are_inverses() {
-        for size in PageSize::ALL {
-            if let Some(s) = size.smaller() {
-                assert_eq!(s.larger(), Some(size));
-            }
-            if let Some(l) = size.larger() {
-                assert_eq!(l.smaller(), Some(size));
-            }
+    fn rung_indices_round_trip() {
+        for i in 0..MAX_RUNGS {
+            assert_eq!(PageSize::new(i).rung(), i);
         }
     }
 
     #[test]
-    fn largest_first_is_reverse_of_all() {
-        let mut rev = PageSize::ALL;
-        rev.reverse();
-        assert_eq!(rev, PageSize::LARGEST_FIRST);
+    fn ordering_follows_rung_index() {
+        assert!(PageSize::new(0) < PageSize::new(1));
+        assert!(PageSize::new(1) < PageSize::new(2));
+    }
+
+    #[test]
+    fn smaller_steps_down_to_base() {
+        assert_eq!(PageSize::new(2).smaller(), Some(PageSize::new(1)));
+        assert_eq!(PageSize::new(1).smaller(), Some(PageSize::BASE));
+        assert_eq!(PageSize::BASE.smaller(), None);
     }
 
     #[test]
     fn only_base_is_not_large() {
-        assert!(!PageSize::Base.is_large());
-        assert!(PageSize::Huge.is_large());
-        assert!(PageSize::Giant.is_large());
+        assert!(!PageSize::BASE.is_large());
+        assert!(PageSize::BASE.is_base());
+        assert!(PageSize::new(1).is_large());
+        assert!(PageSize::new(2).is_large());
     }
 
     #[test]
-    fn display_uses_paper_labels() {
-        assert_eq!(PageSize::Base.to_string(), "4KB");
-        assert_eq!(PageSize::Huge.to_string(), "2MB");
-        assert_eq!(PageSize::Giant.to_string(), "1GB");
+    #[should_panic(expected = "rung index out of range")]
+    fn rejects_out_of_range_rungs() {
+        let _ = PageSize::new(MAX_RUNGS);
     }
 }

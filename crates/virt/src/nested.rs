@@ -300,8 +300,8 @@ mod tests {
         guest_policy: Box<dyn PagePolicy>,
     ) -> (Hypervisor, VirtualMachine) {
         let g = geo();
-        let mut hyp = Hypervisor::new(g, 16 * g.base_pages(PageSize::Giant), host_policy);
-        let mut vm = hyp.create_vm(8 * g.base_pages(PageSize::Giant), guest_policy);
+        let mut hyp = Hypervisor::new(g, 16 * g.base_pages(PageSize::new(2)), host_policy);
+        let mut vm = hyp.create_vm(8 * g.base_pages(PageSize::new(2)), guest_policy);
         let mut proc = AddressSpace::new(AsId::new(1), g);
         proc.mmap_at(Vpn::new(0), 4 * 64, VmaKind::Anon).unwrap();
         vm.kernel.spaces.insert(proc);
@@ -317,8 +317,8 @@ mod tests {
         let a = vm
             .touch(&mut hyp, AsId::new(1), Vpn::new(5), false)
             .unwrap();
-        assert_eq!(a.guest_size, PageSize::Giant);
-        assert_eq!(a.host_size, PageSize::Giant);
+        assert_eq!(a.guest_size, PageSize::new(2));
+        assert_eq!(a.host_size, PageSize::new(2));
         assert!(a.guest_fault.is_some());
         assert!(a.host_fault.is_some());
         // Second touch in the same giant page: no faults at either level.
@@ -335,8 +335,8 @@ mod tests {
         let a = vm
             .touch(&mut hyp, AsId::new(1), Vpn::new(0), false)
             .unwrap();
-        assert_eq!(a.guest_size, PageSize::Base);
-        assert_eq!(a.host_size, PageSize::Huge);
+        assert_eq!(a.guest_size, PageSize::BASE);
+        assert_eq!(a.host_size, PageSize::new(1));
     }
 
     #[test]
@@ -355,7 +355,7 @@ mod tests {
         // whole giant gPA chunk on the first touch.
         assert!(a.host_fault.is_some());
         assert!(b.host_fault.is_none());
-        assert_eq!(b.host_size, PageSize::Giant);
+        assert_eq!(b.host_size, PageSize::new(2));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::error::Error;
 
 use trident_core::{Event, PromoteError, SpanKind};
 use trident_phys::{FrameUse, MappingOwner};
-use trident_types::{AsId, PageSize, Pfn, Vpn};
+use trident_types::{AsId, PageGeometry, PageSize, Pfn, Vpn};
 
 use crate::{GuestKernel, Hypervisor};
 
@@ -131,7 +131,8 @@ impl Hypervisor {
     /// faults it in if unbacked, splits a giant leaf if necessary.
     fn ensure_huge_backing(&mut self, vm: AsId, gpa: Vpn) -> Result<(), PvError> {
         let geo = self.ctx.geometry();
-        let head = Vpn::new(gpa.raw() & !(geo.base_pages(PageSize::Huge) - 1));
+        let huge = exchange_rung(&geo);
+        let head = Vpn::new(gpa.raw() & !(geo.base_pages(huge) - 1));
         loop {
             let space = self.spaces.get_mut(vm).expect("vm exists");
             match space.page_table().translate(head) {
@@ -139,8 +140,8 @@ impl Hypervisor {
                     self.touch_gpa(vm, head, true)
                         .map_err(|_| PvError::SizeMismatch { gpa })?;
                 }
-                Some(t) if t.size == PageSize::Huge && t.head_vpn == head => return Ok(()),
-                Some(t) if t.size == PageSize::Giant => {
+                Some(t) if t.size == huge && t.head_vpn == head => return Ok(()),
+                Some(t) if t.size == geo.largest() => {
                     self.split_giant_leaf(vm, t.head_vpn);
                 }
                 Some(_) => return Err(PvError::SizeMismatch { gpa }),
@@ -154,31 +155,42 @@ impl Hypervisor {
     /// splitting reuses the same frames — so no copy cost is charged.
     fn split_giant_leaf(&mut self, vm: AsId, head_gpa: Vpn) {
         let geo = self.ctx.geometry();
+        let huge = exchange_rung(&geo);
         let space = self.spaces.get_mut(vm).expect("vm exists");
         let t = space
             .page_table()
             .translate(head_gpa)
             .expect("giant leaf exists");
-        debug_assert_eq!(t.size, PageSize::Giant);
+        debug_assert_eq!(t.size, geo.largest());
         space.page_table_mut().unmap(head_gpa).expect("leaf exists");
         self.ctx.mem.free(t.head_pfn).expect("frame was live");
-        let hp = geo.base_pages(PageSize::Huge);
-        let count = geo.base_pages(PageSize::Giant) / hp;
+        let hp = geo.base_pages(huge);
+        let count = geo.base_pages(geo.largest()) / hp;
         for i in 0..count {
             let sub = head_gpa + i * hp;
             let owner = MappingOwner { asid: vm, vpn: sub };
             let pfn = self
                 .ctx
                 .mem
-                .allocate(PageSize::Huge, FrameUse::User, Some(owner))
+                .allocate(huge, FrameUse::User, Some(owner))
                 .expect("the freed giant block provides the huge frames");
             let space = self.spaces.get_mut(vm).expect("vm exists");
             space
                 .page_table_mut()
-                .map(sub, pfn, PageSize::Huge)
+                .map(sub, pfn, huge)
                 .expect("span was emptied");
         }
     }
+}
+
+/// The rung whose mappings the pv exchange trades: the ladder's natural
+/// PMD-level (level-2) rung — "2MB" on x86-64, whatever the architecture
+/// calls it elsewhere. Exchange doesn't pay below it (§6), and group
+/// rungs (NAPOT / contiguous spans) are runs of PTEs, not single
+/// table-level mappings, so they copy like base pages.
+fn exchange_rung(geo: &PageGeometry) -> PageSize {
+    geo.size_for_order(geo.level_order(2))
+        .expect("every ladder has a natural level-2 rung")
 }
 
 /// Report of one copy-less giant-page promotion in the guest.
@@ -220,11 +232,13 @@ pub fn copyless_promote_giant(
     head: Vpn,
 ) -> Result<PvPromoteReport, PromoteError> {
     let geo = guest.ctx.geometry();
-    let span = geo.base_pages(PageSize::Giant);
-    let hp = geo.base_pages(PageSize::Huge);
+    let top = geo.largest();
+    let huge = exchange_rung(&geo);
+    let span = geo.base_pages(top);
+    let hp = geo.base_pages(huge);
     let space = guest.spaces.get_mut(asid).expect("guest process exists");
-    let profile = space.page_table().chunk_profile(head, PageSize::Giant);
-    if profile.giant_mapped > 0 || profile.mapped() == 0 {
+    let profile = space.page_table().chunk_profile(head, top);
+    if profile.mapped[top.rung()] > 0 || profile.mapped_total() == 0 {
         return Err(PromoteError::NotACandidate);
     }
 
@@ -240,7 +254,7 @@ pub fn copyless_promote_giant(
             None => guest
                 .ctx
                 .mem
-                .allocate(PageSize::Giant, FrameUse::User, Some(owner))
+                .allocate(top, FrameUse::User, Some(owner))
                 .map_err(|_| PromoteError::NoContiguity)?,
         };
 
@@ -249,7 +263,7 @@ pub fn copyless_promote_giant(
     let mut pairs = Vec::new();
     let mut copied_pages = 0u64;
     for m in &old {
-        if m.size == PageSize::Huge {
+        if m.size == huge {
             let offset = m.vpn - head;
             pairs.push((Vpn::new(m.pfn.raw()), Vpn::new(dst.raw() + offset)));
         } else {
@@ -268,7 +282,7 @@ pub fn copyless_promote_giant(
                 guest.ctx.span_begin(SpanKind::PvExchange);
                 guest.ctx.record(Event::PvExchange {
                     pairs: exchanged,
-                    bytes: exchanged * geo.bytes(PageSize::Huge),
+                    bytes: exchanged * geo.bytes(huge),
                     batched: true,
                 });
                 guest.ctx.span_end(SpanKind::PvExchange, hyp_ns);
@@ -278,7 +292,7 @@ pub fn copyless_promote_giant(
                 // carries exactly the bytes the exchange would have moved.
                 fell_back = true;
                 guest.ctx.record(Event::PvFallback {
-                    bytes: exchanged * geo.bytes(PageSize::Huge),
+                    bytes: exchanged * geo.bytes(huge),
                 });
                 copied_pages += exchanged * hp;
                 exchanged = 0;
@@ -296,7 +310,7 @@ pub fn copyless_promote_giant(
     }
     space
         .page_table_mut()
-        .map(head, dst, PageSize::Giant)
+        .map(head, dst, top)
         .expect("span was emptied");
     for m in &old {
         guest.ctx.mem.free(m.pfn).expect("old gPA block was live");
@@ -305,7 +319,7 @@ pub fn copyless_promote_giant(
     let bytes_copied = copied_pages * geo.base_bytes();
     ns += guest.ctx.cost.copy_ns(bytes_copied) + guest.ctx.cost.tlb_shootdown_ns;
     guest.ctx.record(Event::Promote {
-        size: PageSize::Giant,
+        size: top,
         bytes_copied,
         bloat_pages: profile.unmapped,
     });
@@ -350,7 +364,7 @@ mod tests {
         for i in 0..huge_count {
             let head = Vpn::new(start + i * 8);
             let space = vm.kernel.spaces.get_mut(AsId::new(1)).unwrap();
-            map_chunk(&mut vm.kernel.ctx, space, head, PageSize::Huge).unwrap();
+            map_chunk(&mut vm.kernel.ctx, space, head, PageSize::new(1)).unwrap();
             // Touch so the host backs the gPA.
             vm.touch(hyp, AsId::new(1), head, true).unwrap();
         }
@@ -393,7 +407,7 @@ mod tests {
         // The guest now has one giant leaf over contiguous gPA...
         let space = vm.kernel.spaces.get(AsId::new(1)).unwrap();
         let t = space.page_table().translate(Vpn::new(0)).unwrap();
-        assert_eq!(t.size, PageSize::Giant);
+        assert_eq!(t.size, PageSize::new(2));
         // ...and the new gPA sub-ranges map to the host frames that held
         // the data (Figure 8c).
         let host = hyp.spaces.get(vm_id).unwrap();
@@ -427,7 +441,7 @@ mod tests {
         };
         assert_eq!(
             host.page_table().translate(gpa0).unwrap().size,
-            PageSize::Giant
+            PageSize::new(2)
         );
         let report =
             copyless_promote_giant(&mut vm.kernel, &mut hyp, vm_id, AsId::new(1), Vpn::new(0))
@@ -437,7 +451,7 @@ mod tests {
         let host = hyp.spaces.get(vm_id).unwrap();
         assert_eq!(
             host.page_table().translate(gpa0).unwrap().size,
-            PageSize::Huge
+            PageSize::new(1)
         );
         hyp.ctx.mem.assert_consistent();
     }
@@ -468,7 +482,7 @@ mod tests {
         let space = vm.kernel.spaces.get(AsId::new(1)).unwrap();
         assert_eq!(
             space.page_table().translate(Vpn::new(0)).unwrap().size,
-            PageSize::Giant
+            PageSize::new(2)
         );
     }
 
@@ -504,7 +518,7 @@ mod tests {
         let space = vm.kernel.spaces.get(AsId::new(1)).unwrap();
         assert_eq!(
             space.page_table().translate(Vpn::new(0)).unwrap().size,
-            PageSize::Giant
+            PageSize::new(2)
         );
         hyp.ctx.mem.assert_consistent();
         vm.kernel.ctx.mem.assert_consistent();

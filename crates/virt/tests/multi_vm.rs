@@ -9,19 +9,19 @@ use trident_vm::{AddressSpace, VmaKind};
 fn host() -> Hypervisor {
     let geo = PageGeometry::TINY;
     let policy: Box<dyn PagePolicy> = Box::new(TridentPolicy::new(TridentConfig::full()));
-    Hypervisor::new(geo, 64 * geo.base_pages(PageSize::Giant), policy)
+    Hypervisor::new(geo, 64 * geo.base_pages(PageSize::new(2)), policy)
 }
 
 fn boot_guest(hyp: &mut Hypervisor, giants: u64) -> VirtualMachine {
     let geo = PageGeometry::TINY;
     let mut vm = hyp.create_vm(
-        giants * geo.base_pages(PageSize::Giant),
+        giants * geo.base_pages(PageSize::new(2)),
         Box::new(ThpPolicy::new()),
     );
     let mut proc = AddressSpace::new(AsId::new(1), geo);
     proc.mmap_at(
         Vpn::new(0),
-        2 * geo.base_pages(PageSize::Giant),
+        2 * geo.base_pages(PageSize::new(2)),
         VmaKind::Anon,
     )
     .unwrap();
@@ -45,7 +45,7 @@ fn guests_share_host_memory_without_frame_aliasing() {
     let mut hyp = host();
     let mut a = boot_guest(&mut hyp, 4);
     let mut b = boot_guest(&mut hyp, 4);
-    let pages = 2 * geo.base_pages(PageSize::Giant);
+    let pages = 2 * geo.base_pages(PageSize::new(2));
     for i in 0..pages {
         a.touch(&mut hyp, AsId::new(1), Vpn::new(i), true).unwrap();
         b.touch(&mut hyp, AsId::new(1), Vpn::new(i), true).unwrap();
@@ -76,7 +76,7 @@ fn one_guest_faulting_beyond_its_ram_does_not_disturb_the_other() {
     let mut a = boot_guest(&mut hyp, 2);
     let mut b = boot_guest(&mut hyp, 2);
     // Guest A touches everything it has.
-    let pages = 2 * geo.base_pages(PageSize::Giant);
+    let pages = 2 * geo.base_pages(PageSize::new(2));
     for i in 0..pages {
         a.touch(&mut hyp, AsId::new(1), Vpn::new(i), false).unwrap();
     }
@@ -95,10 +95,10 @@ fn one_guest_faulting_beyond_its_ram_does_not_disturb_the_other() {
 fn host_daemon_promotes_every_vm_over_time() {
     let geo = PageGeometry::TINY;
     let policy: Box<dyn PagePolicy> = Box::new(ThpPolicy::new());
-    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::Giant), policy);
+    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::new(2)), policy);
     let mut vms: Vec<VirtualMachine> = (0..3).map(|_| boot_guest(&mut hyp, 2)).collect();
     for vm in &mut vms {
-        for i in 0..geo.base_pages(PageSize::Giant) {
+        for i in 0..geo.base_pages(PageSize::new(2)) {
             vm.touch(&mut hyp, AsId::new(1), Vpn::new(i), false)
                 .unwrap();
         }
@@ -109,7 +109,7 @@ fn host_daemon_promotes_every_vm_over_time() {
     for vm in &vms {
         let host_view = hyp.spaces.get(vm.id()).unwrap();
         assert!(
-            host_view.page_table().mapped_pages(PageSize::Huge) > 0,
+            host_view.page_table().mapped_pages(PageSize::new(1)) > 0,
             "vm {} never got huge host mappings",
             vm.id()
         );

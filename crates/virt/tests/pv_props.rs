@@ -13,25 +13,25 @@ use trident_vm::{AddressSpace, VmaKind};
 fn boot(huge_chunks: u64) -> (Hypervisor, VirtualMachine) {
     let geo = PageGeometry::TINY;
     let host: Box<dyn PagePolicy> = Box::new(ThpPolicy::new());
-    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::Giant), host);
+    let mut hyp = Hypervisor::new(geo, 64 * geo.base_pages(PageSize::new(2)), host);
     let mut vm = hyp.create_vm(
-        32 * geo.base_pages(PageSize::Giant),
+        32 * geo.base_pages(PageSize::new(2)),
         Box::new(TridentPolicy::new(TridentConfig::paravirt())),
     );
     let asid = AsId::new(1);
     let mut proc = AddressSpace::new(asid, geo);
     proc.mmap_at(
         Vpn::new(0),
-        8 * geo.base_pages(PageSize::Giant),
+        8 * geo.base_pages(PageSize::new(2)),
         VmaKind::Anon,
     )
     .unwrap();
     vm.kernel.spaces.insert(proc);
-    let hp = geo.base_pages(PageSize::Huge);
+    let hp = geo.base_pages(PageSize::new(1));
     for i in 0..huge_chunks {
         let head = Vpn::new(i * hp);
         let space = vm.kernel.spaces.get_mut(asid).unwrap();
-        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::Huge).unwrap();
+        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::new(1)).unwrap();
         vm.touch(&mut hyp, asid, head, true).unwrap();
     }
     (hyp, vm)
@@ -40,7 +40,7 @@ fn boot(huge_chunks: u64) -> (Hypervisor, VirtualMachine) {
 /// The multiset of host frames backing the first `chunks` huge gPA pages.
 fn host_frames(hyp: &Hypervisor, vm: &VirtualMachine, chunks: u64) -> BTreeSet<u64> {
     let geo = PageGeometry::TINY;
-    let hp = geo.base_pages(PageSize::Huge);
+    let hp = geo.base_pages(PageSize::new(1));
     let host = hyp.spaces.get(vm.id()).unwrap();
     (0..chunks)
         .filter_map(|i| host.page_table().translate(Vpn::new(i * hp)))
@@ -60,7 +60,7 @@ proptest! {
         batched in any::<bool>(),
     ) {
         let geo = PageGeometry::TINY;
-        let hp = geo.base_pages(PageSize::Huge);
+        let hp = geo.base_pages(PageSize::new(1));
         let (mut hyp, vm) = boot(16);
         let vm_id = vm.id();
         let before = host_frames(&hyp, &vm, 16);
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn double_exchange_is_identity(a in 0u64..16, b in 0u64..16) {
         let geo = PageGeometry::TINY;
-        let hp = geo.base_pages(PageSize::Huge);
+        let hp = geo.base_pages(PageSize::new(1));
         let (mut hyp, vm) = boot(16);
         let vm_id = vm.id();
         let gpa_a = Vpn::new(a * hp);

@@ -88,7 +88,7 @@ mod tests {
         s.mmap_at(Vpn::new(0), 128, VmaKind::Anon).unwrap();
         for i in 0..128 {
             s.page_table_mut()
-                .map(Vpn::new(i), Pfn::new(i), PageSize::Base)
+                .map(Vpn::new(i), Pfn::new(i), PageSize::BASE)
                 .unwrap();
         }
         s

@@ -2,7 +2,7 @@
 
 use std::cell::Cell;
 
-use trident_types::{AsId, PageGeometry, PageSize, Vpn};
+use trident_types::{AsId, PageGeometry, PageSize, Vpn, MAX_RUNGS};
 
 use crate::{MapError, MappingRecord, PageTable, Vma, VmaKind};
 
@@ -23,8 +23,8 @@ use crate::{MapError, MappingRecord, PageTable, Vma, VmaKind};
 ///
 /// let geo = PageGeometry::TINY;
 /// let mut space = AddressSpace::new(AsId::new(1), geo);
-/// let a = space.mmap(64, VmaKind::Anon, PageSize::Giant, 0)?;
-/// let b = space.mmap(64, VmaKind::Anon, PageSize::Giant, 0)?;
+/// let a = space.mmap(64, VmaKind::Anon, PageSize::new(2), 0)?;
+/// let b = space.mmap(64, VmaKind::Anon, PageSize::new(2), 0)?;
 /// assert_eq!(b - a, 64);
 /// assert_eq!(space.vmas().count(), 1); // merged
 /// # Ok::<(), trident_vm::MapError>(())
@@ -44,12 +44,12 @@ pub struct AddressSpace {
     last_vma: Cell<usize>,
     page_table: PageTable,
     cursor: u64,
-    /// Bytes mappable at each page size (index by `PageSize as usize`),
+    /// Bytes mappable at each ladder rung (indexed by [`PageSize::rung`]),
     /// maintained incrementally as VMAs come and go. Each VMA's
     /// contribution is O(1) to compute, so keeping the running sums makes
     /// [`AddressSpace::mappable_bytes`] O(1) instead of a full-space scan —
     /// the Figure 3 timeline samples this after every allocation step.
-    mappable: [u64; 3],
+    mappable: [u64; MAX_RUNGS],
 }
 
 impl AddressSpace {
@@ -63,7 +63,7 @@ impl AddressSpace {
             last_vma: Cell::new(0),
             page_table: PageTable::new(geo),
             cursor: 0,
-            mappable: [0; 3],
+            mappable: [0; MAX_RUNGS],
         }
     }
 
@@ -71,7 +71,7 @@ impl AddressSpace {
     /// the incrementally maintained counters.
     #[must_use]
     pub fn mappable_bytes(&self, size: PageSize) -> u64 {
-        self.mappable[size as usize]
+        self.mappable[size.rung()]
     }
 
     /// The address-space identifier.
@@ -160,8 +160,8 @@ impl AddressSpace {
     /// marking its span dirty for the promotion daemon (a VMA change can
     /// alter chunk candidacy without touching a PTE).
     fn attach(&mut self, vma: Vma) {
-        for size in PageSize::ALL {
-            self.mappable[size as usize] += vma.mappable_bytes(&self.geo, size);
+        for size in self.geo.rungs() {
+            self.mappable[size.rung()] += vma.mappable_bytes(&self.geo, size);
         }
         self.page_table.mark_span_dirty(vma.start, vma.pages);
         let pos = self.position_of(vma.start.raw());
@@ -175,8 +175,8 @@ impl AddressSpace {
             return None;
         }
         let vma = self.vmas.remove(pos);
-        for size in PageSize::ALL {
-            self.mappable[size as usize] -= vma.mappable_bytes(&self.geo, size);
+        for size in self.geo.rungs() {
+            self.mappable[size.rung()] -= vma.mappable_bytes(&self.geo, size);
         }
         self.page_table.mark_span_dirty(vma.start, vma.pages);
         Some(vma)
@@ -317,8 +317,8 @@ mod tests {
     #[test]
     fn contiguous_mmaps_merge() {
         let mut s = space();
-        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
-        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::BASE, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::BASE, 0).unwrap();
         assert_eq!(s.vmas().count(), 1);
         assert_eq!(s.total_vma_pages(), 20);
     }
@@ -326,9 +326,9 @@ mod tests {
     #[test]
     fn gaps_and_kind_changes_prevent_merging() {
         let mut s = space();
-        s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
-        s.mmap(10, VmaKind::Anon, PageSize::Base, 2).unwrap();
-        s.mmap(10, VmaKind::Stack, PageSize::Base, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::BASE, 0).unwrap();
+        s.mmap(10, VmaKind::Anon, PageSize::BASE, 2).unwrap();
+        s.mmap(10, VmaKind::Stack, PageSize::BASE, 0).unwrap();
         assert_eq!(s.vmas().count(), 3);
     }
 
@@ -345,8 +345,8 @@ mod tests {
     #[test]
     fn vma_containing_finds_the_right_area() {
         let mut s = space();
-        let a = s.mmap(10, VmaKind::Anon, PageSize::Base, 0).unwrap();
-        let b = s.mmap(10, VmaKind::Stack, PageSize::Base, 5).unwrap();
+        let a = s.mmap(10, VmaKind::Anon, PageSize::BASE, 0).unwrap();
+        let b = s.mmap(10, VmaKind::Stack, PageSize::BASE, 5).unwrap();
         assert_eq!(s.vma_containing(a + 9).unwrap().kind, VmaKind::Anon);
         assert_eq!(s.vma_containing(b).unwrap().kind, VmaKind::Stack);
         assert!(s.vma_containing(a + 12).is_none());
@@ -355,10 +355,10 @@ mod tests {
     #[test]
     fn munmap_middle_splits_vma_and_returns_mappings() {
         let mut s = space();
-        let start = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        let start = s.mmap(64, VmaKind::Anon, PageSize::new(2), 0).unwrap();
         for i in 0..64 {
             s.page_table_mut()
-                .map(start + i, Pfn::new(i), PageSize::Base)
+                .map(start + i, Pfn::new(i), PageSize::BASE)
                 .unwrap();
         }
         let removed = s.munmap(start + 16, 16);
@@ -373,9 +373,9 @@ mod tests {
     #[should_panic(expected = "splits a large-page mapping")]
     fn munmap_through_a_huge_leaf_panics() {
         let mut s = space();
-        let start = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        let start = s.mmap(64, VmaKind::Anon, PageSize::new(2), 0).unwrap();
         s.page_table_mut()
-            .map(start, Pfn::new(8), PageSize::Huge)
+            .map(start, Pfn::new(8), PageSize::new(1))
             .unwrap();
         let _ = s.munmap(start + 4, 8);
     }
@@ -383,8 +383,8 @@ mod tests {
     #[test]
     fn alignment_request_is_honored() {
         let mut s = space();
-        s.mmap(3, VmaKind::Anon, PageSize::Base, 0).unwrap();
-        let aligned = s.mmap(64, VmaKind::Anon, PageSize::Giant, 0).unwrap();
+        s.mmap(3, VmaKind::Anon, PageSize::BASE, 0).unwrap();
+        let aligned = s.mmap(64, VmaKind::Anon, PageSize::new(2), 0).unwrap();
         assert_eq!(aligned.raw() % 64, 0);
     }
 }

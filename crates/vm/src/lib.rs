@@ -1,11 +1,12 @@
 //! Virtual memory model for the Trident simulator.
 //!
 //! This crate models the guest-visible half of the paper's system: virtual
-//! memory areas ([`Vma`]), multi-level page tables with leaves at all three
-//! x86-64 page sizes ([`PageTable`]), and the analyses the paper performs on
-//! them — which parts of an address space are 1GB- or 2MB-*mappable*
-//! (Figure 3) and where TLB misses concentrate, measured through PTE
-//! accessed bits (Figure 4).
+//! memory areas ([`Vma`]), multi-level page tables with leaves at every
+//! rung of the geometry's page-size ladder ([`PageTable`]) — including
+//! multi-entry *group* leaves for RISC-V SVNAPOT and ARM contiguous-bit
+//! rungs — and the analyses the paper performs on them: which parts of an
+//! address space are large-page-*mappable* (Figure 3) and where TLB misses
+//! concentrate, measured through PTE accessed bits (Figure 4).
 //!
 //! # Examples
 //!
@@ -15,9 +16,9 @@
 //!
 //! let geo = PageGeometry::TINY;
 //! let mut pt = PageTable::new(geo);
-//! pt.map(Vpn::new(0), Pfn::new(64), PageSize::Giant)?;
+//! pt.map(Vpn::new(0), Pfn::new(64), geo.largest())?;
 //! let t = pt.translate(Vpn::new(5)).expect("mapped by the giant leaf");
-//! assert_eq!(t.size, PageSize::Giant);
+//! assert_eq!(t.size, geo.largest());
 //! assert_eq!(t.pfn, Pfn::new(64 + 5));
 //! # Ok::<(), trident_vm::MapError>(())
 //! ```

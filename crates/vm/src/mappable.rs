@@ -13,7 +13,7 @@ use crate::{AddressSpace, ChunkProfile};
 /// Total bytes of the address space mappable with pages of `size`.
 ///
 /// Every 1GB-mappable byte is also 2MB-mappable, so
-/// `mappable_bytes(s, Huge) >= mappable_bytes(s, Giant)` always holds; the
+/// `mappable_bytes(s, huge) >= mappable_bytes(s, giant)` always holds; the
 /// gap between the two is the memory that *must* fall back to 2MB pages
 /// (Figure 3's shaded gap).
 ///
@@ -57,12 +57,11 @@ pub fn promotion_candidates(space: &AddressSpace, size: PageSize) -> Vec<(Vpn, C
         .into_iter()
         .filter_map(|start| {
             let profile = space.page_table().chunk_profile(start, size);
-            let already = match size {
-                PageSize::Giant => profile.giant_mapped > 0,
-                PageSize::Huge => profile.huge_mapped > 0 || profile.giant_mapped > 0,
-                PageSize::Base => true,
-            };
-            (!already && profile.mapped() > 0).then_some((start, profile))
+            // Already promoted if anything at this rung or above maps
+            // (part of) the chunk; the base rung is never a target.
+            let already =
+                size.is_base() || profile.mapped[size.rung()..].iter().any(|&pages| pages > 0);
+            (!already && profile.mapped_total() > 0).then_some((start, profile))
         })
         .collect()
 }
@@ -84,8 +83,8 @@ mod tests {
     #[test]
     fn giant_mappable_is_subset_of_huge_mappable() {
         let s = space_with_layout();
-        let huge = mappable_bytes(&s, PageSize::Huge);
-        let giant = mappable_bytes(&s, PageSize::Giant);
+        let huge = mappable_bytes(&s, PageSize::new(1));
+        let giant = mappable_bytes(&s, PageSize::new(2));
         assert_eq!(giant, 128 * 4096);
         // Second VMA [200, 224): huge-aligned [200, 224) = 24 pages.
         assert_eq!(huge, (128 + 24) * 4096);
@@ -95,9 +94,9 @@ mod tests {
     #[test]
     fn mappable_ranges_enumerates_chunk_heads() {
         let s = space_with_layout();
-        let giants = mappable_ranges(&s, PageSize::Giant);
+        let giants = mappable_ranges(&s, PageSize::new(2));
         assert_eq!(giants, vec![Vpn::new(0), Vpn::new(64)]);
-        let huges = mappable_ranges(&s, PageSize::Huge);
+        let huges = mappable_ranges(&s, PageSize::new(1));
         assert_eq!(huges.len(), 16 + 3);
     }
 
@@ -107,28 +106,28 @@ mod tests {
         // Map a few base pages in the first giant chunk only.
         for i in 0..4 {
             s.page_table_mut()
-                .map(Vpn::new(i), Pfn::new(i), PageSize::Base)
+                .map(Vpn::new(i), Pfn::new(i), PageSize::BASE)
                 .unwrap();
         }
-        let cands = promotion_candidates(&s, PageSize::Giant);
+        let cands = promotion_candidates(&s, PageSize::new(2));
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].0, Vpn::new(0));
-        assert_eq!(cands[0].1.base_mapped, 4);
+        assert_eq!(cands[0].1.mapped_at(PageSize::BASE), 4);
         // After promoting (map a giant leaf), no candidates remain.
         let mut s2 = space_with_layout();
         s2.page_table_mut()
-            .map(Vpn::new(0), Pfn::new(0), PageSize::Giant)
+            .map(Vpn::new(0), Pfn::new(0), PageSize::new(2))
             .unwrap();
-        assert!(promotion_candidates(&s2, PageSize::Giant).is_empty());
+        assert!(promotion_candidates(&s2, PageSize::new(2)).is_empty());
     }
 
     #[test]
     fn huge_candidates_exclude_chunks_under_giant_leaves() {
         let mut s = space_with_layout();
         s.page_table_mut()
-            .map(Vpn::new(0), Pfn::new(0), PageSize::Giant)
+            .map(Vpn::new(0), Pfn::new(0), PageSize::new(2))
             .unwrap();
-        for (start, _) in promotion_candidates(&s, PageSize::Huge) {
+        for (start, _) in promotion_candidates(&s, PageSize::new(1)) {
             assert!(start.raw() >= 64, "chunk {start} is inside the giant leaf");
         }
     }

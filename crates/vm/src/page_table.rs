@@ -1,10 +1,23 @@
-//! Multi-level page tables with leaves at all three page sizes.
+//! Multi-level page tables with leaves at every rung of the ladder.
 //!
-//! The structure mirrors the x86-64 radix tree: a top level whose entries
-//! either map an entire giant (1GB) page — a PUD leaf — or point to a
-//! mid-level table whose entries either map a huge (2MB) page — a PMD leaf
-//! — or point to a leaf table of base (4KB) PTEs. All entry words are
-//! packed [`RawPte`]s, with hardware-set accessed/dirty bits.
+//! The structure mirrors a three-level radix tree: a top level whose
+//! entries either map an entire top-rung (e.g. 1GB) page — a PUD leaf —
+//! or point to a mid-level table whose entries either map a level-2
+//! (e.g. 2MB) page — a PMD leaf — or point to a leaf table of base PTEs.
+//! All entry words are packed [`RawPte`]s, with hardware-set
+//! accessed/dirty bits.
+//!
+//! # Group leaves (SVNAPOT / contiguous-bit rungs)
+//!
+//! Ladders with intermediate rungs — RISC-V's 64KB NAPOT pages, ARM's
+//! contiguous-PTE spans — install *group leaves*: `group_span` adjacent
+//! entries at the rung's natural table level, each a present leaf with
+//! its own frame and a software rung tag in the PTE's free low bits.
+//! This is exactly how the real architectures encode them (the table is
+//! never reshaped; only the TLB coalesces), so the walk depth of a group
+//! rung equals the walk depth of its underlying level. Accessed/dirty
+//! state for a group leaf lives on its *head* entry; member entries'
+//! flag bits are ignored.
 //!
 //! # Packed layout
 //!
@@ -24,15 +37,15 @@
 //!   one bit per entry in the x86 software-available bit (bit 9) of the
 //!   table's first few entries — the `set_count`/`read_count` idiom. The
 //!   promotion scanner reads a table's population without sweeping it.
-//! * Per-giant-chunk base/huge occupancy totals are kept in a side array,
-//!   making a giant [`PageTable::chunk_profile`] O(1) — it was a full
+//! * Per-giant-chunk per-rung occupancy totals are kept in a side array,
+//!   making a top-rung [`PageTable::chunk_profile`] O(1) — it was a full
 //!   mid-level sweep per fault in the promotion-eligibility hot path.
 //! * The dirty-chunk feed is a packed bitmap ([`DenseBitSet`]) drained in
 //!   place, not a `BTreeSet` that is rebuilt every promotion tick.
 
 use std::cell::Cell;
 
-use trident_types::{DenseBitSet, PageGeometry, PageSize, Pfn, Vpn};
+use trident_types::{DenseBitSet, PageGeometry, PageSize, Pfn, Vpn, MAX_RUNGS};
 
 use crate::{MapError, RawPte};
 
@@ -69,12 +82,9 @@ pub struct MappingRecord {
 /// promoting. All counts are in base pages.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChunkProfile {
-    /// Base pages mapped by 4KB leaves.
-    pub base_mapped: u64,
-    /// Base pages mapped by 2MB leaves.
-    pub huge_mapped: u64,
-    /// Base pages mapped by 1GB leaves.
-    pub giant_mapped: u64,
+    /// Base pages mapped by leaves of each rung, indexed by
+    /// [`PageSize::rung`].
+    pub mapped: [u64; MAX_RUNGS],
     /// Base pages with no mapping.
     pub unmapped: u64,
 }
@@ -82,19 +92,30 @@ pub struct ChunkProfile {
 impl ChunkProfile {
     /// Total base pages mapped by any leaf size.
     #[must_use]
-    pub fn mapped(&self) -> u64 {
-        self.base_mapped + self.huge_mapped + self.giant_mapped
+    pub fn mapped_total(&self) -> u64 {
+        self.mapped.iter().sum()
+    }
+
+    /// Base pages mapped by leaves of exactly `size`.
+    #[must_use]
+    pub fn mapped_at(&self, size: PageSize) -> u64 {
+        self.mapped[size.rung()]
+    }
+
+    /// Base pages mapped by leaves strictly smaller than `size`.
+    #[must_use]
+    pub fn mapped_below(&self, size: PageSize) -> u64 {
+        self.mapped[..size.rung()].iter().sum()
     }
 }
 
-/// Per-giant-chunk base-page totals, maintained on map/unmap so the
-/// promotion scanner's giant-chunk profile never sweeps the mid level.
+/// Per-giant-chunk base-page totals by rung, maintained on map/unmap so
+/// the promotion scanner's top-rung chunk profile never sweeps the mid
+/// level. The top rung itself is not counted: a top-rung leaf occupies
+/// the PUD slot and short-circuits profiling.
 #[derive(Debug, Clone, Copy, Default)]
 struct ChunkCounts {
-    /// Base pages mapped by 4KB leaves in this chunk.
-    base: u32,
-    /// Base pages mapped by 2MB leaves in this chunk.
-    huge: u32,
+    mapped: [u32; MAX_RUNGS],
 }
 
 /// An arena of equal-length entry tables packed into one contiguous
@@ -154,8 +175,9 @@ impl TableArena {
 ///
 /// let geo = PageGeometry::TINY;
 /// let mut pt = PageTable::new(geo);
-/// pt.map(Vpn::new(8), Pfn::new(16), PageSize::Huge)?;
-/// assert_eq!(pt.mapped_pages(PageSize::Huge), 1);
+/// let huge = PageSize::new(1);
+/// pt.map(Vpn::new(8), Pfn::new(16), huge)?;
+/// assert_eq!(pt.mapped_pages(huge), 1);
 /// let old = pt.remap(Vpn::new(8), Pfn::new(32))?;
 /// assert_eq!(old, Pfn::new(16));
 /// # Ok::<(), trident_vm::MapError>(())
@@ -167,14 +189,18 @@ pub struct PageTable {
     /// means nothing mapped in the chunk; a leaf entry maps the whole
     /// chunk; a `TABLE`-tagged entry holds a `pmds` arena index.
     puds: Vec<RawPte>,
-    /// Parallel to `puds`: per-chunk base/huge occupancy totals.
+    /// Parallel to `puds`: per-chunk per-rung occupancy totals.
     chunk_counts: Vec<ChunkCounts>,
     /// Mid-level (PMD) table arena.
     pmds: TableArena,
     /// Leaf-level (PTE) table arena.
     ptes: TableArena,
-    /// Number of leaves of each size (index by `PageSize as usize`).
-    leaves: [u64; 3],
+    /// Number of leaves of each rung (indexed by [`PageSize::rung`]).
+    leaves: [u64; MAX_RUNGS],
+    /// Whether the ladder has group rungs at the PTE level — when false
+    /// (x86), leaf-table occupancy can be read from the packed count
+    /// instead of sweeping for rung tags.
+    l1_groups: bool,
     /// Giant-chunk indices whose mappings (or covering VMAs) changed since
     /// the last [`PageTable::take_dirty_chunks`] drain — the promotion
     /// daemon's incremental work list.
@@ -248,13 +274,15 @@ impl PageTable {
     /// Creates an empty page table for the given geometry.
     #[must_use]
     pub fn new(geo: PageGeometry) -> PageTable {
+        let l1_groups = geo.rungs().any(|s| geo.is_group(s) && geo.level(s) == 1);
         PageTable {
             geo,
             puds: Vec::new(),
             chunk_counts: Vec::new(),
             pmds: TableArena::default(),
             ptes: TableArena::default(),
-            leaves: [0; 3],
+            leaves: [0; MAX_RUNGS],
+            l1_groups,
             dirty_chunks: DenseBitSet::new(),
             walk_stamp: 0,
             last_walk: Cell::new(None),
@@ -267,20 +295,38 @@ impl PageTable {
         self.geo
     }
 
+    /// The rung of a *natural* leaf at table `level` — every shipped
+    /// ladder has a rung at each level's natural order.
+    fn natural_rung(&self, level: u8) -> PageSize {
+        self.geo
+            .size_for_order(self.geo.level_order(level))
+            .expect("every table level has a natural rung on the ladder")
+    }
+
+    /// The rung a present leaf entry at `level` belongs to: its group tag
+    /// if it is a member of a NAPOT/contiguous span, the level's natural
+    /// rung otherwise.
+    fn entry_size(&self, entry: RawPte, level: u8) -> PageSize {
+        match entry.group_rung() {
+            Some(rung) => PageSize::new(rung),
+            None => self.natural_rung(level),
+        }
+    }
+
     fn pmd_len(&self) -> usize {
-        1 << (self.geo.order(PageSize::Giant) - self.geo.order(PageSize::Huge))
+        1 << (self.geo.level_order(3) - self.geo.level_order(2))
     }
 
     fn pte_len(&self) -> usize {
-        1 << self.geo.order(PageSize::Huge)
+        1 << self.geo.level_order(2)
     }
 
     fn giant_index(&self, vpn: Vpn) -> u64 {
-        vpn.raw() >> self.geo.order(PageSize::Giant)
+        vpn.raw() >> self.geo.level_order(3)
     }
 
     fn pmd_index(&self, vpn: Vpn) -> usize {
-        ((vpn.raw() >> self.geo.order(PageSize::Huge)) & (self.pmd_len() as u64 - 1)) as usize
+        ((vpn.raw() >> self.geo.level_order(2)) & (self.pmd_len() as u64 - 1)) as usize
     }
 
     fn pte_index(&self, vpn: Vpn) -> usize {
@@ -336,28 +382,34 @@ impl PageTable {
         self.walk_stamp = self.walk_stamp.wrapping_add(1);
     }
 
-    /// Number of leaves of the given size currently installed.
+    /// Number of leaves of the given size currently installed. A group
+    /// leaf counts once, not once per member entry.
     #[must_use]
     pub fn mapped_pages(&self, size: PageSize) -> u64 {
-        self.leaves[size as usize]
+        self.leaves[size.rung()]
     }
 
     /// Total mapped memory in base pages.
     #[must_use]
     pub fn mapped_base_pages(&self) -> u64 {
-        PageSize::ALL
-            .into_iter()
-            .map(|s| self.leaves[s as usize] * self.geo.base_pages(s))
+        self.geo
+            .rungs()
+            .map(|s| self.leaves[s.rung()] * self.geo.base_pages(s))
             .sum()
     }
 
     /// Total mapped memory in bytes attributable to leaves of `size`.
     #[must_use]
     pub fn mapped_bytes(&self, size: PageSize) -> u64 {
-        self.leaves[size as usize] * self.geo.bytes(size)
+        self.leaves[size.rung()] * self.geo.bytes(size)
     }
 
     /// Installs a leaf of `size` mapping `vpn.. → pfn..`.
+    ///
+    /// Natural rungs install a single entry at their level; group rungs
+    /// (NAPOT / contiguous spans) install `group_span` adjacent tagged
+    /// entries, each pointing at its own frame, exactly as the underlying
+    /// hardware lays them out.
     ///
     /// # Errors
     ///
@@ -369,10 +421,17 @@ impl PageTable {
         {
             return Err(MapError::Unaligned { vpn, size });
         }
+        let class = self.geo.class(size);
+        let span = self.geo.group_span(size) as usize;
+        let rung_tag = self.geo.is_group(size).then_some(size.rung());
         let gi = self.giant_index(vpn);
         let gix = self.ensure_gi(gi);
-        match size {
-            PageSize::Giant => {
+        match class.level {
+            3 => {
+                assert!(
+                    rung_tag.is_none(),
+                    "group rungs above level 2 are not supported"
+                );
                 let slot = self.puds[gix];
                 if slot.is_present() {
                     if !slot.is_table() || read_count(self.pmds.get(slot.table_index())) > 0 {
@@ -383,30 +442,43 @@ impl PageTable {
                 }
                 self.puds[gix] = RawPte::new_leaf(pfn);
             }
-            PageSize::Huge => {
+            2 => {
                 let pi = self.pmd_index(vpn);
                 let pmd_idx = self.pud_table_index(gix, vpn)?;
-                let entry = self.pmds.get(pmd_idx)[pi];
-                if entry.is_present() {
-                    if !entry.is_table() || read_count(self.ptes.get(entry.table_index())) > 0 {
+                // Every slot of the span must be free (an empty child
+                // table counts as free and is reclaimed below).
+                for k in 0..span {
+                    let entry = self.pmds.get(pmd_idx)[pi + k];
+                    if entry.is_present()
+                        && (!entry.is_table() || read_count(self.ptes.get(entry.table_index())) > 0)
+                    {
                         return Err(MapError::Overlap { vpn });
                     }
-                    // Replace an empty leaf table; the PMD slot stays
-                    // occupied, so its count is unchanged.
-                    self.ptes.free(entry.table_index());
-                    let table = self.pmds.get_mut(pmd_idx);
-                    let live = read_count(table);
-                    table[pi] = RawPte::new_leaf(pfn);
-                    write_count(table, live);
-                } else {
-                    let table = self.pmds.get_mut(pmd_idx);
-                    let live = read_count(table);
-                    table[pi] = RawPte::new_leaf(pfn);
-                    write_count(table, live + 1);
                 }
-                self.chunk_counts[gix].huge += self.pte_len() as u32;
+                let mut replaced = 0u32;
+                for k in 0..span {
+                    let entry = self.pmds.get(pmd_idx)[pi + k];
+                    if entry.is_present() {
+                        // Replacing an empty leaf table keeps the slot
+                        // occupied, so the PMD count is unchanged for it.
+                        self.ptes.free(entry.table_index());
+                        replaced += 1;
+                    }
+                }
+                let level_span = 1u64 << self.geo.level_order(2);
+                let table = self.pmds.get_mut(pmd_idx);
+                let live = read_count(table);
+                for k in 0..span {
+                    let mut leaf = RawPte::new_leaf(pfn + (k as u64) * level_span);
+                    if let Some(rung) = rung_tag {
+                        leaf.set_group_rung(rung);
+                    }
+                    table[pi + k] = leaf;
+                }
+                write_count(table, live + span as u32 - replaced);
+                self.chunk_counts[gix].mapped[size.rung()] += self.geo.base_pages(size) as u32;
             }
-            PageSize::Base => {
+            _ => {
                 let pi = self.pmd_index(vpn);
                 let ti = self.pte_index(vpn);
                 let pmd_idx = self.pud_table_index(gix, vpn)?;
@@ -425,17 +497,25 @@ impl PageTable {
                     write_count(table, live + 1);
                     idx
                 };
+                // Group-rung alignment keeps the span inside one table:
+                // a level-1 group's order is below the level-2 order.
                 let table = self.ptes.get_mut(pte_idx);
-                if table[ti].is_present() {
+                if table[ti..ti + span].iter().any(|pte| pte.is_present()) {
                     return Err(MapError::Overlap { vpn });
                 }
                 let live = read_count(table);
-                table[ti] = RawPte::new_leaf(pfn);
-                write_count(table, live + 1);
-                self.chunk_counts[gix].base += 1;
+                for (k, slot) in table[ti..ti + span].iter_mut().enumerate() {
+                    let mut leaf = RawPte::new_leaf(pfn + k as u64);
+                    if let Some(rung) = rung_tag {
+                        leaf.set_group_rung(rung);
+                    }
+                    *slot = leaf;
+                }
+                write_count(table, live + span as u32);
+                self.chunk_counts[gix].mapped[size.rung()] += self.geo.base_pages(size) as u32;
             }
         }
-        self.leaves[size as usize] += 1;
+        self.leaves[size.rung()] += 1;
         self.dirty_chunks.insert(gi);
         Ok(())
     }
@@ -486,20 +566,32 @@ impl PageTable {
             return None;
         }
         if !slot.is_table() {
-            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Giant));
-            return Some(self.leaf_translation(vpn, head_vpn, slot, PageSize::Giant));
+            let size = self.natural_rung(3);
+            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), size));
+            return Some(self.leaf_translation(vpn, head_vpn, slot, size));
         }
-        let entry = self.pmds.get(slot.table_index())[self.pmd_index(vpn)];
+        let pmd = self.pmds.get(slot.table_index());
+        let entry = pmd[self.pmd_index(vpn)];
         if !entry.is_present() {
             return None;
         }
         if !entry.is_table() {
-            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), PageSize::Huge));
-            return Some(self.leaf_translation(vpn, head_vpn, entry, PageSize::Huge));
+            let size = self.entry_size(entry, 2);
+            let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), size));
+            // A group leaf's A/D state and head frame live on its head
+            // member entry, which (by alignment) is in the same table.
+            let head = pmd[self.pmd_index(head_vpn)];
+            return Some(self.leaf_translation(vpn, head_vpn, head, size));
         }
-        let pte = self.ptes.get(entry.table_index())[self.pte_index(vpn)];
-        pte.is_present()
-            .then(|| self.leaf_translation(vpn, vpn, pte, PageSize::Base))
+        let table = self.ptes.get(entry.table_index());
+        let pte = table[self.pte_index(vpn)];
+        if !pte.is_present() {
+            return None;
+        }
+        let size = self.entry_size(pte, 1);
+        let head_vpn = Vpn::new(self.geo.align_down_page(vpn.raw(), size));
+        let head = table[self.pte_index(head_vpn)];
+        Some(self.leaf_translation(vpn, head_vpn, head, size))
     }
 
     fn leaf_translation(
@@ -519,7 +611,8 @@ impl PageTable {
     }
 
     /// Walks the table for `vpn` like the hardware does on a TLB miss,
-    /// setting the accessed bit (and the dirty bit for writes).
+    /// setting the accessed bit (and the dirty bit for writes) on the
+    /// covering leaf's head entry.
     pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
         // Walker-cache fast path: when the covering leaf already carries
         // the flags this access would set, no table walk is needed at all.
@@ -604,41 +697,48 @@ impl PageTable {
         if translation.head_vpn != head_vpn {
             return Err(MapError::NotAMappingHead { vpn: head_vpn });
         }
+        let size = translation.size;
+        let class = self.geo.class(size);
+        let span = self.geo.group_span(size) as u32;
         let gi = self.giant_index(head_vpn);
         let gix = usize::try_from(gi).expect("giant index fits usize");
         let pmd_index = self.pmd_index(head_vpn);
         let pte_index = self.pte_index(head_vpn);
         let record;
-        match translation.size {
-            PageSize::Giant => {
+        match class.level {
+            3 => {
                 let pte = self.puds[gix];
                 debug_assert!(pte.is_present() && !pte.is_table());
                 self.puds[gix] = RawPte::NOT_PRESENT;
-                record = Self::record(head_vpn, pte, PageSize::Giant);
+                record = Self::record(head_vpn, pte, size);
             }
-            PageSize::Huge => {
+            2 => {
                 let pmd_idx = self.puds[gix].table_index();
                 let table = self.pmds.get_mut(pmd_idx);
                 let pte = table[pmd_index];
                 let live = read_count(table);
-                table[pmd_index] = RawPte::NOT_PRESENT;
-                if live == 1 {
+                for slot in &mut table[pmd_index..pmd_index + span as usize] {
+                    *slot = RawPte::NOT_PRESENT;
+                }
+                if live == span {
                     self.pmds.free(pmd_idx);
                     self.puds[gix] = RawPte::NOT_PRESENT;
                 } else {
-                    write_count(table, live - 1);
+                    write_count(table, live - span);
                 }
-                self.chunk_counts[gix].huge -= self.pte_len() as u32;
-                record = Self::record(head_vpn, pte, PageSize::Huge);
+                self.chunk_counts[gix].mapped[size.rung()] -= self.geo.base_pages(size) as u32;
+                record = Self::record(head_vpn, pte, size);
             }
-            PageSize::Base => {
+            _ => {
                 let pmd_idx = self.puds[gix].table_index();
                 let pte_idx = self.pmds.get(pmd_idx)[pmd_index].table_index();
                 let table = self.ptes.get_mut(pte_idx);
                 let pte = table[pte_index];
                 let live = read_count(table);
-                table[pte_index] = RawPte::NOT_PRESENT;
-                if live == 1 {
+                for slot in &mut table[pte_index..pte_index + span as usize] {
+                    *slot = RawPte::NOT_PRESENT;
+                }
+                if live == span {
                     self.ptes.free(pte_idx);
                     let pmd = self.pmds.get_mut(pmd_idx);
                     let pmd_live = read_count(pmd);
@@ -650,13 +750,13 @@ impl PageTable {
                         write_count(pmd, pmd_live - 1);
                     }
                 } else {
-                    write_count(table, live - 1);
+                    write_count(table, live - span);
                 }
-                self.chunk_counts[gix].base -= 1;
-                record = Self::record(head_vpn, pte, PageSize::Base);
+                self.chunk_counts[gix].mapped[size.rung()] -= self.geo.base_pages(size) as u32;
+                record = Self::record(head_vpn, pte, size);
             }
         }
-        self.leaves[translation.size as usize] -= 1;
+        self.leaves[size.rung()] -= 1;
         self.dirty_chunks.insert(gi);
         self.invalidate_walks();
         Ok(record)
@@ -674,7 +774,8 @@ impl PageTable {
 
     /// Repoints the leaf headed at `head_vpn` to `new_head_pfn`, preserving
     /// flags, and returns the old head frame. Used by migration and by
-    /// Trident_pv's copy-less exchange.
+    /// Trident_pv's copy-less exchange. For a group leaf, every member
+    /// entry is repointed to its offset within the new span.
     ///
     /// # Errors
     ///
@@ -698,11 +799,47 @@ impl PageTable {
                 size: translation.size,
             });
         }
-        let pte = self.leaf_mut(head_vpn).expect("translation implies leaf");
-        let old = pte.pfn();
-        pte.set_pfn(new_head_pfn);
+        let size = translation.size;
+        let span = self.geo.group_span(size);
+        let old = translation.head_pfn;
+        if span == 1 {
+            let pte = self.leaf_mut(head_vpn).expect("translation implies leaf");
+            pte.set_pfn(new_head_pfn);
+        } else {
+            let level_span = 1u64 << self.geo.level_order(self.geo.level(size));
+            for k in 0..span {
+                let member_vpn = head_vpn + k * level_span;
+                let pte = self
+                    .member_mut(member_vpn, self.geo.level(size))
+                    .expect("translation implies every group member is present");
+                pte.set_pfn(new_head_pfn + k * level_span);
+            }
+        }
         self.invalidate_walks();
         Ok(old)
+    }
+
+    /// Mutable access to the entry at `vpn`'s slot at `level` — used to
+    /// reach the member entries of a group leaf, which `leaf_mut` (head
+    /// resolution) cannot address individually.
+    fn member_mut(&mut self, vpn: Vpn, level: u8) -> Option<&mut RawPte> {
+        let gi = usize::try_from(self.giant_index(vpn)).expect("giant index fits usize");
+        let pmd_index = self.pmd_index(vpn);
+        let pte_index = self.pte_index(vpn);
+        let slot = *self.puds.get(gi)?;
+        if !slot.is_present() || !slot.is_table() {
+            return None;
+        }
+        if level == 2 {
+            let entry = &mut self.pmds.get_mut(slot.table_index())[pmd_index];
+            return (entry.is_present() && !entry.is_table()).then_some(entry);
+        }
+        let entry = self.pmds.get(slot.table_index())[pmd_index];
+        if !entry.is_present() || !entry.is_table() {
+            return None;
+        }
+        let pte = &mut self.ptes.get_mut(entry.table_index())[pte_index];
+        pte.is_present().then_some(pte)
     }
 
     /// Enumerates all leaves whose head lies in `[start, start + pages)`.
@@ -732,7 +869,8 @@ impl PageTable {
 
     /// Visits every leaf headed in `[start, start + pages)` in address
     /// order by walking the packed radix directly — no per-page translate,
-    /// no allocation.
+    /// no allocation. A group leaf is visited once, at its head entry;
+    /// member entries are skipped.
     fn for_each_leaf_in(
         &self,
         start: Vpn,
@@ -744,8 +882,9 @@ impl PageTable {
         }
         let start = start.raw();
         let end = start + pages;
-        let giant_span = self.geo.base_pages(PageSize::Giant);
-        let huge_span = self.geo.base_pages(PageSize::Huge);
+        let giant_span = 1u64 << self.geo.level_order(3);
+        let huge_span = 1u64 << self.geo.level_order(2);
+        let top = self.natural_rung(3);
         let first_gi = start / giant_span;
         let last_gi = (end - 1) / giant_span;
         for gi in first_gi..=last_gi {
@@ -763,7 +902,7 @@ impl PageTable {
             let chunk_base = gi * giant_span;
             if !slot.is_table() {
                 if chunk_base >= start {
-                    visit(Vpn::new(chunk_base), slot, PageSize::Giant);
+                    visit(Vpn::new(chunk_base), slot, top);
                 }
                 continue;
             }
@@ -778,8 +917,10 @@ impl PageTable {
                 }
                 let head = chunk_base + pi * huge_span;
                 if !entry.is_table() {
-                    if head >= start {
-                        visit(Vpn::new(head), entry, PageSize::Huge);
+                    let size = self.entry_size(entry, 2);
+                    // Only the head member of a group leaf reports it.
+                    if self.geo.align_down_page(head, size) == head && head >= start {
+                        visit(Vpn::new(head), entry, size);
                     }
                     continue;
                 }
@@ -788,10 +929,28 @@ impl PageTable {
                 let ti_hi = end.min(head + huge_span) - head;
                 for ti in ti_lo..ti_hi {
                     let pte = table[ti as usize];
-                    if pte.is_present() {
-                        visit(Vpn::new(head + ti), pte, PageSize::Base);
+                    if !pte.is_present() {
+                        continue;
+                    }
+                    let vpn = head + ti;
+                    let size = self.entry_size(pte, 1);
+                    if self.geo.align_down_page(vpn, size) == vpn {
+                        visit(Vpn::new(vpn), pte, size);
                     }
                 }
+            }
+        }
+    }
+
+    /// Tallies the present entries of a leaf table window into a profile,
+    /// attributing each entry to its rung (group members count toward
+    /// their group's rung).
+    fn tally_ptes(&self, table: &[RawPte], lo: usize, hi: usize, profile: &mut ChunkProfile) {
+        for pte in &table[lo..hi] {
+            if pte.is_present() {
+                profile.mapped[self.entry_size(*pte, 1).rung()] += 1;
+            } else {
+                profile.unmapped += 1;
             }
         }
     }
@@ -799,9 +958,10 @@ impl PageTable {
     /// Summarizes how the aligned chunk of `size` starting at `start` is
     /// mapped. `start` must be `size`-aligned.
     ///
-    /// A giant-chunk profile reads the per-chunk occupancy totals — O(1),
-    /// cheap enough for the fault path's promotion-eligibility check — and
-    /// a huge-chunk profile reads one packed table count.
+    /// A top-rung chunk profile reads the per-chunk occupancy totals —
+    /// O(1), cheap enough for the fault path's promotion-eligibility
+    /// check — and on ladders without PTE-level group rungs a level-2
+    /// chunk profile reads one packed table count.
     ///
     /// # Panics
     ///
@@ -813,6 +973,7 @@ impl PageTable {
             "chunk_profile start must be size-aligned"
         );
         let span = self.geo.base_pages(size);
+        let top = self.natural_rung(3);
         let mut profile = ChunkProfile::default();
         let gi = usize::try_from(self.giant_index(start)).expect("giant index fits usize");
         let Some(&slot) = self.puds.get(gi) else {
@@ -824,38 +985,48 @@ impl PageTable {
             return profile;
         }
         if !slot.is_table() {
-            profile.giant_mapped = span;
+            profile.mapped[top.rung()] = span;
             return profile;
         }
-        match size {
-            PageSize::Giant => {
-                let counts = self.chunk_counts[gi];
-                profile.base_mapped = u64::from(counts.base);
-                profile.huge_mapped = u64::from(counts.huge);
-                profile.unmapped = span - profile.base_mapped - profile.huge_mapped;
+        if size == top {
+            let counts = self.chunk_counts[gi];
+            for (rung, count) in counts.mapped.iter().enumerate() {
+                profile.mapped[rung] = u64::from(*count);
             }
-            PageSize::Huge => {
-                let entry = self.pmds.get(slot.table_index())[self.pmd_index(start)];
+            profile.unmapped = span - profile.mapped_total();
+            return profile;
+        }
+        let huge_span = 1u64 << self.geo.level_order(2);
+        let pmd = self.pmds.get(slot.table_index());
+        if span >= huge_span {
+            // The window covers whole PMD entries.
+            let pi = self.pmd_index(start);
+            for entry in &pmd[pi..pi + (span / huge_span) as usize] {
                 if !entry.is_present() {
-                    profile.unmapped = span;
+                    profile.unmapped += huge_span;
                 } else if !entry.is_table() {
-                    profile.huge_mapped = span;
+                    profile.mapped[self.entry_size(*entry, 2).rung()] += huge_span;
+                } else if self.l1_groups {
+                    let table = self.ptes.get(entry.table_index());
+                    self.tally_ptes(table, 0, table.len(), &mut profile);
                 } else {
-                    profile.base_mapped = u64::from(read_count(self.ptes.get(entry.table_index())));
-                    profile.unmapped = span - profile.base_mapped;
+                    let live = u64::from(read_count(self.ptes.get(entry.table_index())));
+                    profile.mapped[0] += live;
+                    profile.unmapped += huge_span - live;
                 }
             }
-            PageSize::Base => {
-                let entry = self.pmds.get(slot.table_index())[self.pmd_index(start)];
-                if !entry.is_present() {
-                    profile.unmapped = 1;
-                } else if !entry.is_table() {
-                    profile.huge_mapped = 1;
-                } else if self.ptes.get(entry.table_index())[self.pte_index(start)].is_present() {
-                    profile.base_mapped = 1;
-                } else {
-                    profile.unmapped = 1;
-                }
+        } else {
+            // The window lies inside one PMD entry (a base page or a
+            // PTE-level group span).
+            let entry = pmd[self.pmd_index(start)];
+            if !entry.is_present() {
+                profile.unmapped = span;
+            } else if !entry.is_table() {
+                profile.mapped[self.entry_size(entry, 2).rung()] = span;
+            } else {
+                let ti = self.pte_index(start);
+                let table = self.ptes.get(entry.table_index());
+                self.tally_ptes(table, ti, ti + span as usize, &mut profile);
             }
         }
         profile
@@ -871,8 +1042,8 @@ impl PageTable {
         }
         let start = start.raw();
         let end = start + pages;
-        let giant_span = self.geo.base_pages(PageSize::Giant);
-        let huge_span = self.geo.base_pages(PageSize::Huge);
+        let giant_span = 1u64 << self.geo.level_order(3);
+        let huge_span = 1u64 << self.geo.level_order(2);
         let first_gi = start / giant_span;
         let last_gi = ((end - 1) / giant_span).min(self.puds.len().saturating_sub(1) as u64);
         for gi in first_gi..=last_gi {
@@ -902,6 +1073,8 @@ impl PageTable {
                 }
                 let head = chunk_base + pi * huge_span;
                 if !entry.is_table() {
+                    // Clearing member entries of a group leaf is harmless:
+                    // only the head entry's bits are ever read.
                     if head >= start {
                         self.pmds.get_mut(pmd_idx)[pi as usize].clear_accessed();
                     }
@@ -946,27 +1119,37 @@ impl AlignPage for PageGeometry {
 mod tests {
     use super::*;
 
+    const BASE: PageSize = PageSize::BASE;
+    const HUGE: PageSize = PageSize::new(1);
+    const GIANT: PageSize = PageSize::new(2);
+
     fn pt() -> PageTable {
         PageTable::new(PageGeometry::TINY) // huge = 8 pages, giant = 64
+    }
+
+    /// An sv48-flavored ladder with a PTE-level group rung between base
+    /// and huge: base, 4-page NAPOT group, huge (8), giant (64).
+    fn napot_pt() -> PageTable {
+        PageTable::new(PageGeometry::TINY_NAPOT)
     }
 
     #[test]
     fn map_translate_all_sizes() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
-        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
-        t.map(Vpn::new(72), Pfn::new(3), PageSize::Base).unwrap();
+        t.map(Vpn::new(0), Pfn::new(64), GIANT).unwrap();
+        t.map(Vpn::new(64), Pfn::new(8), HUGE).unwrap();
+        t.map(Vpn::new(72), Pfn::new(3), BASE).unwrap();
         assert_eq!(
             t.translate(Vpn::new(10)).unwrap(),
             Translation {
                 pfn: Pfn::new(74),
-                size: PageSize::Giant,
+                size: GIANT,
                 head_vpn: Vpn::new(0),
                 head_pfn: Pfn::new(64),
             }
         );
         assert_eq!(t.translate(Vpn::new(65)).unwrap().pfn, Pfn::new(9));
-        assert_eq!(t.translate(Vpn::new(72)).unwrap().size, PageSize::Base);
+        assert_eq!(t.translate(Vpn::new(72)).unwrap().size, BASE);
         assert_eq!(t.translate(Vpn::new(73)), None);
         assert_eq!(t.mapped_base_pages(), 64 + 8 + 1);
     }
@@ -975,18 +1158,18 @@ mod tests {
     fn misaligned_maps_are_rejected() {
         let mut t = pt();
         assert_eq!(
-            t.map(Vpn::new(1), Pfn::new(0), PageSize::Huge),
+            t.map(Vpn::new(1), Pfn::new(0), HUGE),
             Err(MapError::Unaligned {
                 vpn: Vpn::new(1),
-                size: PageSize::Huge
+                size: HUGE
             })
         );
         // Physical misalignment too.
         assert_eq!(
-            t.map(Vpn::new(8), Pfn::new(3), PageSize::Huge),
+            t.map(Vpn::new(8), Pfn::new(3), HUGE),
             Err(MapError::Unaligned {
                 vpn: Vpn::new(8),
-                size: PageSize::Huge
+                size: HUGE
             })
         );
     }
@@ -994,25 +1177,25 @@ mod tests {
     #[test]
     fn overlaps_are_rejected_in_both_directions() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(0), PageSize::Base).unwrap();
+        t.map(Vpn::new(0), Pfn::new(0), BASE).unwrap();
         // A giant over a base-mapped region.
         assert_eq!(
-            t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant),
+            t.map(Vpn::new(0), Pfn::new(64), GIANT),
             Err(MapError::Overlap { vpn: Vpn::new(0) })
         );
         // A huge over the base page.
         assert_eq!(
-            t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge),
+            t.map(Vpn::new(0), Pfn::new(8), HUGE),
             Err(MapError::Overlap { vpn: Vpn::new(0) })
         );
         let mut t2 = pt();
-        t2.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        t2.map(Vpn::new(0), Pfn::new(64), GIANT).unwrap();
         assert_eq!(
-            t2.map(Vpn::new(8), Pfn::new(8), PageSize::Huge),
+            t2.map(Vpn::new(8), Pfn::new(8), HUGE),
             Err(MapError::Overlap { vpn: Vpn::new(8) })
         );
         assert_eq!(
-            t2.map(Vpn::new(5), Pfn::new(5), PageSize::Base),
+            t2.map(Vpn::new(5), Pfn::new(5), BASE),
             Err(MapError::Overlap { vpn: Vpn::new(5) })
         );
     }
@@ -1020,32 +1203,32 @@ mod tests {
     #[test]
     fn unmap_requires_head_and_cleans_tables() {
         let mut t = pt();
-        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(64), Pfn::new(8), HUGE).unwrap();
         assert_eq!(
             t.unmap(Vpn::new(65)),
             Err(MapError::NotAMappingHead { vpn: Vpn::new(65) })
         );
         let rec = t.unmap(Vpn::new(64)).unwrap();
         assert_eq!(rec.pfn, Pfn::new(8));
-        assert_eq!(rec.size, PageSize::Huge);
+        assert_eq!(rec.size, HUGE);
         assert_eq!(t.mapped_base_pages(), 0);
         // Table was cleaned: remapping a giant over the same index works.
-        t.map(Vpn::new(64), Pfn::new(64), PageSize::Giant).unwrap();
+        t.map(Vpn::new(64), Pfn::new(64), GIANT).unwrap();
     }
 
     #[test]
     fn unmap_base_page_frees_empty_pte_table() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(0), PageSize::Base).unwrap();
+        t.map(Vpn::new(0), Pfn::new(0), BASE).unwrap();
         t.unmap(Vpn::new(0)).unwrap();
         // Whole giant index is clean again.
-        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        t.map(Vpn::new(0), Pfn::new(64), GIANT).unwrap();
     }
 
     #[test]
     fn access_sets_bits_translate_does_not() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(0), Pfn::new(8), HUGE).unwrap();
         let _ = t.translate(Vpn::new(3));
         assert_eq!(t.accessed_leaves_in(Vpn::new(0), 8), 0);
         t.access(Vpn::new(3), false).unwrap();
@@ -1062,7 +1245,7 @@ mod tests {
     #[test]
     fn remap_preserves_flags_and_returns_old() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
+        t.map(Vpn::new(0), Pfn::new(8), HUGE).unwrap();
         t.access(Vpn::new(0), true).unwrap();
         let old = t.remap(Vpn::new(0), Pfn::new(16)).unwrap();
         assert_eq!(old, Pfn::new(8));
@@ -1079,20 +1262,21 @@ mod tests {
     #[test]
     fn chunk_profile_accounts_every_base_page() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap(); // 8 pages
-        t.map(Vpn::new(8), Pfn::new(1), PageSize::Base).unwrap();
-        let p = t.chunk_profile(Vpn::new(0), PageSize::Giant);
-        assert_eq!(p.huge_mapped, 8);
-        assert_eq!(p.base_mapped, 1);
-        assert_eq!(p.giant_mapped, 0);
+        t.map(Vpn::new(0), Pfn::new(8), HUGE).unwrap(); // 8 pages
+        t.map(Vpn::new(8), Pfn::new(1), BASE).unwrap();
+        let p = t.chunk_profile(Vpn::new(0), GIANT);
+        assert_eq!(p.mapped_at(HUGE), 8);
+        assert_eq!(p.mapped_at(BASE), 1);
+        assert_eq!(p.mapped_at(GIANT), 0);
         assert_eq!(p.unmapped, 64 - 9);
-        assert_eq!(p.mapped() + p.unmapped, 64);
+        assert_eq!(p.mapped_total() + p.unmapped, 64);
+        assert_eq!(p.mapped_below(HUGE), 1);
     }
 
     #[test]
     fn mappings_in_skips_straddling_leaves() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(64), PageSize::Giant).unwrap();
+        t.map(Vpn::new(0), Pfn::new(64), GIANT).unwrap();
         // Window starts inside the giant leaf: the leaf head is outside.
         assert!(t.mappings_in(Vpn::new(8), 8).is_empty());
         assert_eq!(t.mappings_in(Vpn::new(0), 64).len(), 1);
@@ -1102,14 +1286,14 @@ mod tests {
     fn leaf_counters_track_mapping_churn() {
         let mut t = pt();
         for i in 0..4 {
-            t.map(Vpn::new(i), Pfn::new(i), PageSize::Base).unwrap();
+            t.map(Vpn::new(i), Pfn::new(i), BASE).unwrap();
         }
-        t.map(Vpn::new(64), Pfn::new(8), PageSize::Huge).unwrap();
-        assert_eq!(t.mapped_pages(PageSize::Base), 4);
-        assert_eq!(t.mapped_pages(PageSize::Huge), 1);
-        assert_eq!(t.mapped_bytes(PageSize::Huge), 8 * 4096);
+        t.map(Vpn::new(64), Pfn::new(8), HUGE).unwrap();
+        assert_eq!(t.mapped_pages(BASE), 4);
+        assert_eq!(t.mapped_pages(HUGE), 1);
+        assert_eq!(t.mapped_bytes(HUGE), 8 * 4096);
         t.unmap(Vpn::new(2)).unwrap();
-        assert_eq!(t.mapped_pages(PageSize::Base), 3);
+        assert_eq!(t.mapped_pages(BASE), 3);
     }
 
     #[test]
@@ -1118,39 +1302,38 @@ mod tests {
         // entries — exercise mapping/unmapping exactly those entries.
         let mut t = pt();
         for i in 0..8 {
-            t.map(Vpn::new(i), Pfn::new(i), PageSize::Base).unwrap();
+            t.map(Vpn::new(i), Pfn::new(i), BASE).unwrap();
         }
-        let p = t.chunk_profile(Vpn::new(0), PageSize::Huge);
-        assert_eq!(p.base_mapped, 8);
+        let p = t.chunk_profile(Vpn::new(0), HUGE);
+        assert_eq!(p.mapped_at(BASE), 8);
         // Remove entries 0..4 (count-bit carriers for an 8-entry table).
         for i in 0..4 {
             t.unmap(Vpn::new(i)).unwrap();
         }
-        let p = t.chunk_profile(Vpn::new(0), PageSize::Huge);
-        assert_eq!(p.base_mapped, 4);
+        let p = t.chunk_profile(Vpn::new(0), HUGE);
+        assert_eq!(p.mapped_at(BASE), 4);
         assert_eq!(p.unmapped, 4);
         for i in 0..4 {
-            t.map(Vpn::new(i), Pfn::new(20 + i), PageSize::Base)
-                .unwrap();
+            t.map(Vpn::new(i), Pfn::new(20 + i), BASE).unwrap();
         }
-        assert_eq!(t.chunk_profile(Vpn::new(0), PageSize::Huge).base_mapped, 8);
+        assert_eq!(t.chunk_profile(Vpn::new(0), HUGE).mapped_at(BASE), 8);
         for i in 0..8 {
             t.unmap(Vpn::new(i)).unwrap();
         }
-        assert_eq!(t.chunk_profile(Vpn::new(0), PageSize::Huge).unmapped, 8);
+        assert_eq!(t.chunk_profile(Vpn::new(0), HUGE).unmapped, 8);
         assert_eq!(t.mapped_base_pages(), 0);
     }
 
     #[test]
     fn giant_chunk_profile_matches_counts_after_churn() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
-        t.map(Vpn::new(8), Pfn::new(16), PageSize::Huge).unwrap();
-        t.map(Vpn::new(16), Pfn::new(1), PageSize::Base).unwrap();
+        t.map(Vpn::new(0), Pfn::new(8), HUGE).unwrap();
+        t.map(Vpn::new(8), Pfn::new(16), HUGE).unwrap();
+        t.map(Vpn::new(16), Pfn::new(1), BASE).unwrap();
         t.unmap(Vpn::new(8)).unwrap();
-        let p = t.chunk_profile(Vpn::new(0), PageSize::Giant);
-        assert_eq!(p.huge_mapped, 8);
-        assert_eq!(p.base_mapped, 1);
+        let p = t.chunk_profile(Vpn::new(0), GIANT);
+        assert_eq!(p.mapped_at(HUGE), 8);
+        assert_eq!(p.mapped_at(BASE), 1);
         assert_eq!(p.unmapped, 64 - 9);
     }
 
@@ -1159,8 +1342,7 @@ mod tests {
         let mut t = pt();
         for round in 0..5u64 {
             for i in 0..8 {
-                t.map(Vpn::new(i), Pfn::new(round * 8 + i), PageSize::Base)
-                    .unwrap();
+                t.map(Vpn::new(i), Pfn::new(round * 8 + i), BASE).unwrap();
             }
             for i in 0..8 {
                 t.unmap(Vpn::new(i)).unwrap();
@@ -1174,12 +1356,12 @@ mod tests {
     #[test]
     fn mappings_into_reuses_buffer() {
         let mut t = pt();
-        t.map(Vpn::new(0), Pfn::new(8), PageSize::Huge).unwrap();
-        t.map(Vpn::new(9), Pfn::new(2), PageSize::Base).unwrap();
+        t.map(Vpn::new(0), Pfn::new(8), HUGE).unwrap();
+        t.map(Vpn::new(9), Pfn::new(2), BASE).unwrap();
         let stale = MappingRecord {
             vpn: Vpn::new(999),
             pfn: Pfn::new(999),
-            size: PageSize::Base,
+            size: BASE,
             accessed: false,
             dirty: false,
         };
@@ -1202,5 +1384,106 @@ mod tests {
         t.drain_dirty_chunks_into(&mut buf);
         assert!(buf.is_empty());
         assert!(t.take_dirty_chunks().is_empty());
+    }
+
+    // --- group-leaf (NAPOT / contiguous-span) behavior ---
+
+    #[test]
+    fn napot_group_maps_and_translates_like_one_leaf() {
+        let mut t = napot_pt();
+        let geo = t.geometry();
+        let napot = PageSize::new(1);
+        assert!(geo.is_group(napot));
+        assert_eq!(geo.base_pages(napot), 4);
+        t.map(Vpn::new(4), Pfn::new(16), napot).unwrap();
+        // Any page of the span resolves to the group head.
+        for i in 0..4 {
+            let tr = t.translate(Vpn::new(4 + i)).unwrap();
+            assert_eq!(tr.size, napot);
+            assert_eq!(tr.head_vpn, Vpn::new(4));
+            assert_eq!(tr.head_pfn, Pfn::new(16));
+            assert_eq!(tr.pfn, Pfn::new(16 + i));
+        }
+        assert_eq!(t.mapped_pages(napot), 1);
+        assert_eq!(t.mapped_base_pages(), 4);
+        // The scan reports the group once, at its head.
+        let recs = t.mappings_in(Vpn::new(0), 64);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].vpn, Vpn::new(4));
+        assert_eq!(recs[0].size, napot);
+    }
+
+    #[test]
+    fn napot_group_rejects_misalignment_and_overlap() {
+        let mut t = napot_pt();
+        let napot = PageSize::new(1);
+        assert!(matches!(
+            t.map(Vpn::new(2), Pfn::new(16), napot),
+            Err(MapError::Unaligned { .. })
+        ));
+        t.map(Vpn::new(5), Pfn::new(1), PageSize::BASE).unwrap();
+        // A group over an existing base page inside its span.
+        assert_eq!(
+            t.map(Vpn::new(4), Pfn::new(16), napot),
+            Err(MapError::Overlap { vpn: Vpn::new(4) })
+        );
+        t.unmap(Vpn::new(5)).unwrap();
+        t.map(Vpn::new(4), Pfn::new(16), napot).unwrap();
+        // A base page over a group member.
+        assert_eq!(
+            t.map(Vpn::new(6), Pfn::new(2), PageSize::BASE),
+            Err(MapError::Overlap { vpn: Vpn::new(6) })
+        );
+    }
+
+    #[test]
+    fn napot_group_unmap_and_remap_cover_every_member() {
+        let mut t = napot_pt();
+        let napot = PageSize::new(1);
+        t.map(Vpn::new(8), Pfn::new(32), napot).unwrap();
+        t.access(Vpn::new(9), true).unwrap();
+        // A/D lives on the head entry.
+        assert_eq!(t.accessed_leaves_in(Vpn::new(0), 64), 1);
+        // Member pages are not mapping heads.
+        assert_eq!(
+            t.unmap(Vpn::new(9)),
+            Err(MapError::NotAMappingHead { vpn: Vpn::new(9) })
+        );
+        // Remap repoints every member.
+        let old = t.remap(Vpn::new(8), Pfn::new(64)).unwrap();
+        assert_eq!(old, Pfn::new(32));
+        assert_eq!(t.translate(Vpn::new(11)).unwrap().pfn, Pfn::new(67));
+        let rec = t.unmap(Vpn::new(8)).unwrap();
+        assert_eq!(rec.size, napot);
+        assert_eq!(rec.pfn, Pfn::new(64));
+        assert!(rec.accessed && rec.dirty);
+        assert_eq!(t.mapped_base_pages(), 0);
+        assert_eq!(t.translate(Vpn::new(9)), None);
+        // Tables were torn down: a giant map over the chunk works.
+        t.map(Vpn::new(0), Pfn::new(64), PageSize::new(3)).unwrap();
+    }
+
+    #[test]
+    fn chunk_profile_attributes_group_members_to_their_rung() {
+        let mut t = napot_pt();
+        let napot = PageSize::new(1);
+        let huge = PageSize::new(2);
+        let giant = PageSize::new(3);
+        t.map(Vpn::new(0), Pfn::new(16), napot).unwrap();
+        t.map(Vpn::new(6), Pfn::new(1), PageSize::BASE).unwrap();
+        t.map(Vpn::new(8), Pfn::new(8), huge).unwrap();
+        let p = t.chunk_profile(Vpn::new(0), giant);
+        assert_eq!(p.mapped_at(napot), 4);
+        assert_eq!(p.mapped_at(PageSize::BASE), 1);
+        assert_eq!(p.mapped_at(huge), 8);
+        assert_eq!(p.unmapped, 64 - 13);
+        // The level-2 window sweep splits base from group pages too.
+        let p = t.chunk_profile(Vpn::new(0), huge);
+        assert_eq!(p.mapped_at(napot), 4);
+        assert_eq!(p.mapped_at(PageSize::BASE), 1);
+        assert_eq!(p.unmapped, 3);
+        // A group-sized window inside a huge leaf reports the huge rung.
+        let p = t.chunk_profile(Vpn::new(12), napot);
+        assert_eq!(p.mapped_at(huge), 4);
     }
 }

@@ -27,6 +27,14 @@ pub struct RawPte(u64);
 
 impl RawPte {
     const PRESENT: u64 = 1 << 0;
+    /// Software tag (bits 1..=3, unused by the modeled walker) carrying
+    /// the ladder rung of a *group* leaf — a NAPOT or contiguous-bit
+    /// mapping realized as multiple adjacent entries at one level. Zero
+    /// means "natural leaf for this level"; group rungs are never rung 0
+    /// (the base rung is always a natural PTE), so the rung index itself
+    /// can be stored.
+    const GROUP_SHIFT: u32 = 1;
+    const GROUP_MASK: u64 = 0b111 << Self::GROUP_SHIFT;
     const ACCESSED: u64 = 1 << 5;
     const DIRTY: u64 = 1 << 6;
     /// x86's first software-available bit (bit 9). The hardware walker
@@ -113,6 +121,26 @@ impl RawPte {
         } else {
             self.0 &= !Self::AVAIL;
         }
+    }
+
+    /// The ladder rung of the group leaf this entry belongs to, or `None`
+    /// for a natural (single-entry) leaf.
+    #[must_use]
+    pub fn group_rung(self) -> Option<usize> {
+        let rung = (self.0 & Self::GROUP_MASK) >> Self::GROUP_SHIFT;
+        (rung != 0).then_some(rung as usize)
+    }
+
+    /// Tags this entry as one member of a group leaf at `rung`
+    /// (a NAPOT page or a contiguous-bit span).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rung` is 0 (the base rung is never a group) or does not
+    /// fit the 3-bit tag field.
+    pub fn set_group_rung(&mut self, rung: usize) {
+        assert!(rung != 0 && rung < 8, "group rung out of tag range");
+        self.0 = (self.0 & !Self::GROUP_MASK) | ((rung as u64) << Self::GROUP_SHIFT);
     }
 
     /// Creates a present non-leaf entry whose frame field holds the arena

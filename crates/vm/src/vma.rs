@@ -118,11 +118,11 @@ mod tests {
                                       // Unaligned 70-page vma starting at page 3: huge-aligned sub-range
                                       // is [8, 72) = 64 pages; giant-aligned is [64, 72) -> too short.
         let v = vma(3, 70);
-        assert_eq!(v.mappable_bytes(&geo, PageSize::Huge), 64 * 4096);
-        assert_eq!(v.mappable_bytes(&geo, PageSize::Giant), 0);
+        assert_eq!(v.mappable_bytes(&geo, PageSize::new(1)), 64 * 4096);
+        assert_eq!(v.mappable_bytes(&geo, PageSize::new(2)), 0);
         // A giant-aligned, giant-long vma is giant mappable.
         let w = vma(64, 64);
-        assert_eq!(w.mappable_bytes(&geo, PageSize::Giant), 64 * 4096);
+        assert_eq!(w.mappable_bytes(&geo, PageSize::new(2)), 64 * 4096);
     }
 
     #[test]
@@ -131,7 +131,8 @@ mod tests {
         for (start, pages) in [(0, 64), (64, 128), (5, 200), (8, 63)] {
             let v = vma(start, pages);
             assert!(
-                v.mappable_bytes(&geo, PageSize::Huge) >= v.mappable_bytes(&geo, PageSize::Giant)
+                v.mappable_bytes(&geo, PageSize::new(1))
+                    >= v.mappable_bytes(&geo, PageSize::new(2))
             );
         }
     }
@@ -141,10 +142,10 @@ mod tests {
         let geo = PageGeometry::TINY;
         let v = vma(4, 28); // pages 4..32; huge chunks at 8, 16, 24
         let chunks: Vec<u64> = v
-            .aligned_chunks(&geo, PageSize::Huge)
+            .aligned_chunks(&geo, PageSize::new(1))
             .map(|v| v.raw())
             .collect();
         assert_eq!(chunks, vec![8, 16, 24]);
-        assert_eq!(v.aligned_chunks(&geo, PageSize::Giant).count(), 0);
+        assert_eq!(v.aligned_chunks(&geo, PageSize::new(2)).count(), 0);
     }
 }

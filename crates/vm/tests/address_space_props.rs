@@ -41,7 +41,7 @@ proptest! {
             match op {
                 Op::Mmap { pages, gap, stack } => {
                     let kind = if stack { VmaKind::Stack } else { VmaKind::Anon };
-                    let start = space.mmap(pages, kind, PageSize::Base, gap).unwrap();
+                    let start = space.mmap(pages, kind, PageSize::BASE, gap).unwrap();
                     for p in start.raw()..start.raw() + pages {
                         prop_assert!(shadow.insert(p), "bump allocator reused page {p}");
                     }
@@ -87,7 +87,7 @@ proptest! {
         let geo = PageGeometry::TINY;
         let mut space = AddressSpace::new(AsId::new(1), geo);
         for pages in &sizes {
-            space.mmap(*pages, VmaKind::Anon, PageSize::Base, 0).unwrap();
+            space.mmap(*pages, VmaKind::Anon, PageSize::BASE, 0).unwrap();
         }
         prop_assert_eq!(space.vmas().count(), 1);
         prop_assert_eq!(space.total_vma_pages(), sizes.iter().sum::<u64>());

@@ -29,7 +29,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 fn assert_counters_match(space: &AddressSpace) {
-    for size in [PageSize::Base, PageSize::Huge, PageSize::Giant] {
+    for size in [PageSize::BASE, PageSize::new(1), PageSize::new(2)] {
         assert_eq!(
             mappable_bytes(space, size),
             mappable_bytes_scan(space, size),
@@ -53,7 +53,7 @@ proptest! {
                         1 => VmaKind::Stack,
                         _ => VmaKind::File,
                     };
-                    space.mmap(pages, kind, PageSize::Base, gap).unwrap();
+                    space.mmap(pages, kind, PageSize::BASE, gap).unwrap();
                 }
                 Op::MmapAt { start, pages } => {
                     // Overlap errors are fine; the counters must simply
@@ -78,7 +78,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Mmap { pages, gap, .. } => {
-                    space.mmap(pages, VmaKind::Anon, PageSize::Base, gap).unwrap();
+                    space.mmap(pages, VmaKind::Anon, PageSize::BASE, gap).unwrap();
                 }
                 Op::MmapAt { start, pages } => {
                     let _ = space.mmap_at(Vpn::new(start), pages, VmaKind::Anon);
@@ -87,9 +87,9 @@ proptest! {
                     space.munmap(Vpn::new(start), pages);
                 }
             }
-            let base = mappable_bytes(&space, PageSize::Base);
-            let huge = mappable_bytes(&space, PageSize::Huge);
-            let giant = mappable_bytes(&space, PageSize::Giant);
+            let base = mappable_bytes(&space, PageSize::BASE);
+            let huge = mappable_bytes(&space, PageSize::new(1));
+            let giant = mappable_bytes(&space, PageSize::new(2));
             prop_assert!(giant <= huge, "giant {giant} > huge {huge}");
             prop_assert!(huge <= base, "huge {huge} > base {base}");
         }

@@ -1,15 +1,25 @@
-//! Property-based tests for the page table.
+//! Property-based tests for the page table, run over both the plain
+//! miniature ladder and its NAPOT variant so group leaves (multi-entry
+//! NAPOT / contiguous-bit mappings) face the same model checking as
+//! natural leaves.
 
 use proptest::prelude::*;
 use trident_types::{PageGeometry, PageSize, Pfn, Vpn};
 use trident_vm::{MapError, PageTable};
 
-fn any_size() -> impl Strategy<Value = PageSize> {
-    prop_oneof![
-        Just(PageSize::Base),
-        Just(PageSize::Huge),
-        Just(PageSize::Giant)
-    ]
+fn any_geometry() -> impl Strategy<Value = PageGeometry> {
+    prop_oneof![Just(PageGeometry::TINY), Just(PageGeometry::TINY_NAPOT),]
+}
+
+/// A geometry plus op stream whose sizes are valid rungs of that ladder.
+fn geometry_and_ops(
+    max_ops: usize,
+) -> impl Strategy<Value = (PageGeometry, Vec<(u64, PageSize, bool)>)> {
+    any_geometry().prop_flat_map(move |geo| {
+        let sizes = (0..geo.rung_count()).prop_map(PageSize::new);
+        prop::collection::vec((0u64..64, sizes, any::<bool>()), 1..max_ops)
+            .prop_map(move |ops| (geo, ops))
+    })
 }
 
 proptest! {
@@ -17,15 +27,14 @@ proptest! {
     /// shadow model over base pages always agrees with the table.
     #[test]
     fn table_agrees_with_flat_shadow_model(
-        ops in prop::collection::vec((0u64..8, any_size(), 0u64..64), 1..60)
+        (geo, ops) in geometry_and_ops(60)
     ) {
-        let geo = PageGeometry::TINY;
         let mut pt = PageTable::new(geo);
         let mut shadow: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         let mut next_frame = 0u64;
         for (chunk, size, _salt) in ops {
             let span = geo.base_pages(size);
-            let vpn = chunk * span; // size-aligned by construction
+            let vpn = (chunk % 8) * span; // size-aligned by construction
             let pfn = next_frame.next_multiple_of(span);
             let result = pt.map(Vpn::new(vpn), Pfn::new(pfn), size);
             let overlap = (vpn..vpn + span).any(|p| shadow.contains_key(&p));
@@ -50,18 +59,17 @@ proptest! {
     }
 
     /// Unmapping everything returns the table to a pristine state where a
-    /// giant leaf can be installed anywhere previously used.
+    /// top-rung leaf can be installed anywhere previously used.
     #[test]
     fn unmap_all_allows_giant_remapping(
-        chunks in prop::collection::vec((0u64..4, any_size()), 1..40)
+        (geo, chunks) in geometry_and_ops(40)
     ) {
-        let geo = PageGeometry::TINY;
         let mut pt = PageTable::new(geo);
         let mut heads = Vec::new();
         let mut next_frame = 0u64;
-        for (chunk, size) in chunks {
+        for (chunk, size, _salt) in chunks {
             let span = geo.base_pages(size);
-            let vpn = chunk * span;
+            let vpn = (chunk % 4) * span;
             let pfn = next_frame.next_multiple_of(span);
             if pt.map(Vpn::new(vpn), Pfn::new(pfn), size).is_ok() {
                 heads.push(Vpn::new(vpn));
@@ -72,11 +80,12 @@ proptest! {
             pt.unmap(head).unwrap();
         }
         prop_assert_eq!(pt.mapped_base_pages(), 0);
+        let giant_span = geo.base_pages(geo.largest());
         for giant in 0..4u64 {
             pt.map(
-                Vpn::new(giant * 64),
-                Pfn::new(giant * 64),
-                PageSize::Giant,
+                Vpn::new(giant * giant_span),
+                Pfn::new(giant * giant_span),
+                geo.largest(),
             ).unwrap();
         }
     }
@@ -85,9 +94,9 @@ proptest! {
     /// [`check_radix_against_btreemap`].
     #[test]
     fn packed_radix_matches_btreemap_model(
-        ops in prop::collection::vec((0u64..64, any_size(), any::<bool>()), 1..80)
+        (geo, ops) in geometry_and_ops(80)
     ) {
-        check_radix_against_btreemap(&ops);
+        check_radix_against_btreemap(geo, &ops);
     }
 
     /// The same op sequences replayed in reverse must also agree — the
@@ -95,10 +104,10 @@ proptest! {
     /// observable results whatever the allocation order.
     #[test]
     fn packed_radix_matches_btreemap_model_reversed(
-        ops in prop::collection::vec((0u64..64, any_size(), any::<bool>()), 1..80)
+        (geo, ops) in geometry_and_ops(80)
     ) {
         let reversed: Vec<_> = ops.iter().rev().copied().collect();
-        check_radix_against_btreemap(&reversed);
+        check_radix_against_btreemap(geo, &reversed);
     }
 
     /// The dirty-chunk bitmap's drain == a sorted-Vec reference under
@@ -113,25 +122,29 @@ proptest! {
         check_dirty_against_vec(&reversed);
     }
 
-    /// chunk_profile partitions every chunk exactly.
+    /// chunk_profile partitions every chunk exactly, at every rung of the
+    /// ladder, over arbitrary mapping mixes.
     #[test]
     fn chunk_profile_partitions_the_chunk(
-        maps in prop::collection::vec((0u64..64, any_size()), 0..40)
+        (geo, maps) in geometry_and_ops(40)
     ) {
-        let geo = PageGeometry::TINY;
         let mut pt = PageTable::new(geo);
+        let giant_span = geo.base_pages(geo.largest());
         let mut next = 0u64;
-        for (slot, size) in maps {
+        for (slot, size, _salt) in maps {
             let span = geo.base_pages(size);
-            let vpn = (slot * span) % (4 * 64);
+            let vpn = (slot * span) % (4 * giant_span);
             let pfn = next.next_multiple_of(span);
             if pt.map(Vpn::new(vpn), Pfn::new(pfn), size).is_ok() {
                 next = pfn + span;
             }
         }
-        for giant in 0..4u64 {
-            let p = pt.chunk_profile(Vpn::new(giant * 64), PageSize::Giant);
-            prop_assert_eq!(p.mapped() + p.unmapped, 64);
+        for size in geo.rungs() {
+            let span = geo.base_pages(size);
+            for chunk in 0..(4 * giant_span / span) {
+                let p = pt.chunk_profile(Vpn::new(chunk * span), size);
+                prop_assert_eq!(p.mapped_total() + p.unmapped, span);
+            }
         }
     }
 }
@@ -140,9 +153,8 @@ proptest! {
 /// a `BTreeMap` model, requiring after every op that translation, the
 /// ordered mapping scan (both its allocating and buffer-reusing forms),
 /// and leaf accounting all agree with the model.
-fn check_radix_against_btreemap(ops: &[(u64, PageSize, bool)]) {
-    let geo = PageGeometry::TINY;
-    let total = 4 * geo.base_pages(PageSize::Giant);
+fn check_radix_against_btreemap(geo: PageGeometry, ops: &[(u64, PageSize, bool)]) {
+    let total = 4 * geo.base_pages(geo.largest());
     let mut pt = PageTable::new(geo);
     let mut model: std::collections::BTreeMap<u64, (u64, PageSize)> =
         std::collections::BTreeMap::new();
@@ -203,7 +215,7 @@ fn check_radix_against_btreemap(ops: &[(u64, PageSize, bool)]) {
 /// reference exactly and leave the bitmap empty.
 fn check_dirty_against_vec(ops: &[(u64, u64, bool)]) {
     let geo = PageGeometry::TINY;
-    let giant_span = geo.base_pages(PageSize::Giant);
+    let giant_span = geo.base_pages(geo.largest());
     let total = 4 * giant_span;
     let mut pt = PageTable::new(geo);
     let mut reference: Vec<u64> = Vec::new();

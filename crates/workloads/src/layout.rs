@@ -123,7 +123,7 @@ fn push_incremental<R: Rng + ?Sized>(
     while allocated < total_pages {
         let pages = chunk_pages.min(total_pages - allocated);
         let gap = if rng.gen_bool(gap_chance) {
-            rng.gen_range(1..=geo.base_pages(PageSize::Huge))
+            rng.gen_range(1..=geo.base_pages(PageSize::new(1)))
         } else {
             0
         };
@@ -131,7 +131,7 @@ fn push_incremental<R: Rng + ?Sized>(
             pages,
             gap,
             kind: VmaKind::Anon,
-            align: PageSize::Base,
+            align: PageSize::BASE,
         });
         allocated += pages;
     }
@@ -156,7 +156,7 @@ impl WorkloadSpec {
                     pages: total_pages,
                     gap: 0,
                     kind: VmaKind::Anon,
-                    align: PageSize::Giant,
+                    align: PageSize::new(2),
                 });
             }
             AllocPattern::Incremental {
@@ -207,12 +207,12 @@ impl WorkloadSpec {
         // stay true under scaled geometries too (Table 4's "NA" rows).
         let stack_pages = geo
             .pages_for_bytes(self.stack_bytes)
-            .clamp(1, geo.base_pages(PageSize::Giant) / 2);
+            .clamp(1, geo.base_pages(PageSize::new(2)) / 2);
         steps.push(AllocStep {
             pages: stack_pages,
-            gap: geo.base_pages(PageSize::Giant),
+            gap: geo.base_pages(PageSize::new(2)),
             kind: VmaKind::Stack,
-            align: PageSize::Huge,
+            align: PageSize::new(1),
         });
         AllocPlan { steps }
     }
@@ -265,7 +265,7 @@ mod tests {
         // 32GB / 16 = 2GB of heap.
         assert_eq!(layout.heap_pages, 2 * 1024 * 1024 / 4);
         // Bulk heap is fully giant-mappable.
-        let giant = mappable_bytes(&space, PageSize::Giant);
+        let giant = mappable_bytes(&space, PageSize::new(2));
         assert!(giant >= layout.heap_pages * 4096 - (1 << 30));
     }
 
@@ -277,8 +277,8 @@ mod tests {
             "many chunks: {}",
             layout.heap.len()
         );
-        let huge = mappable_bytes(&space, PageSize::Huge);
-        let giant = mappable_bytes(&space, PageSize::Giant);
+        let huge = mappable_bytes(&space, PageSize::new(1));
+        let giant = mappable_bytes(&space, PageSize::new(2));
         // Figure 3's structural property: GBs mappable at 2MB but not 1GB.
         assert!(huge > giant, "huge {huge} should exceed giant {giant}");
         assert!(huge - giant > 100 * 2 * 1024 * 1024);

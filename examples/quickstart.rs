@@ -6,7 +6,6 @@
 //! ```
 
 use trident_sim::{PolicyKind, SimConfig, System};
-use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,11 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         system.settle();
         let m = system.measure();
         println!("— {} —", system.policy_name());
-        for size in PageSize::ALL {
+        let geo = system.geometry();
+        for size in geo.rungs() {
             println!(
                 "  {:>4} pages map {:6} MB",
-                size.label(),
-                m.mapped_bytes[size as usize] >> 20
+                geo.label(size),
+                m.mapped_bytes[size.rung()] >> 20
             );
         }
         println!(
@@ -45,9 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.walk_cycles
         );
         println!(
-            "  MM:  {} faults, {} promotions to 1GB, {} MB copied by compaction\n",
+            "  MM:  {} faults, {} promotions to {}, {} MB copied by compaction\n",
             m.snapshot.total_faults(),
-            m.snapshot.promotions[PageSize::Giant as usize],
+            m.snapshot.promotions[geo.largest().rung()],
+            geo.label(geo.largest()),
             m.snapshot.compaction_bytes_copied >> 20
         );
     }

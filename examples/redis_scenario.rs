@@ -11,17 +11,21 @@
 //! ```
 
 use trident_sim::{PolicyKind, SimConfig, System};
-use trident_types::PageSize;
 use trident_workloads::WorkloadSpec;
 
 fn mix(system: &System) -> String {
     let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
-    format!(
-        "4KB {:5.2} GB | 2MB {:5.2} GB | 1GB {:5.2} GB",
-        gb(system.mapped_bytes(PageSize::Base)),
-        gb(system.mapped_bytes(PageSize::Huge)),
-        gb(system.mapped_bytes(PageSize::Giant)),
-    )
+    let geo = system.geometry();
+    geo.rungs()
+        .map(|size| {
+            format!(
+                "{} {:5.2} GB",
+                geo.label(size),
+                gb(system.mapped_bytes(size))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,10 +56,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("after khugepaged round {round}: {}", mix(&system));
     }
+    let geo = system.geometry();
+    let promoted: Vec<String> = geo
+        .rungs()
+        .filter(|s| !s.is_base())
+        .map(|s| {
+            format!(
+                "{} to {}",
+                system.ctx.stats.promotions[s.rung()],
+                geo.label(s)
+            )
+        })
+        .collect();
     println!(
-        "\npromotions: {} to 2MB, {} to 1GB; {} MB copied by promotion",
-        system.ctx.stats.promotions[PageSize::Huge as usize],
-        system.ctx.stats.promotions[PageSize::Giant as usize],
+        "\npromotions: {}; {} MB copied by promotion",
+        promoted.join(", "),
         system.ctx.stats.promotion_bytes_copied >> 20,
     );
     println!("This is Table 3's Redis row: 0 GB of 1GB pages from the fault");

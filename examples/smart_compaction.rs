@@ -9,21 +9,19 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use trident_core::{CompactionKind, Compactor, MmContext, SpaceSet};
 use trident_phys::{FragmentProfile, Fragmenter, PhysicalMemory};
-use trident_types::{PageGeometry, PageSize};
+use trident_types::PageGeometry;
 
 /// Builds a freshly fragmented machine (no free giant chunk anywhere).
 fn fragmented_machine(seed: u64) -> MmContext {
     let geo = PageGeometry::TINY;
-    let mut ctx = MmContext::new(PhysicalMemory::new(
-        geo,
-        64 * geo.base_pages(PageSize::Giant),
-    ));
+    let top = geo.largest();
+    let mut ctx = MmContext::new(PhysicalMemory::new(geo, 64 * geo.base_pages(top)));
     let mut rng = SmallRng::seed_from_u64(seed);
     let report = Fragmenter::new(FragmentProfile::heavy()).run(&mut ctx.mem, &mut rng);
-    assert!(!ctx.mem.has_free(PageSize::Giant));
+    assert!(!ctx.mem.has_free(top));
     println!(
-        "fragmented machine: FMFI(1GB) = {:.3}, {:.0}% free in scattered holes",
-        report.fmfi_giant,
+        "fragmented machine: FMFI(top) = {:.3}, {:.0}% free in scattered holes",
+        report.fmfi_largest(),
         report.free_fraction * 100.0
     );
     ctx
@@ -38,7 +36,8 @@ fn main() {
         let mut ctx = fragmented_machine(7);
         let mut spaces = SpaceSet::new(); // page-cache only: no page tables to fix
         let mut compactor = Compactor::new(kind);
-        let out = compactor.compact(&mut ctx, &mut spaces, PageSize::Giant);
+        let top = ctx.geometry().largest();
+        let out = compactor.compact(&mut ctx, &mut spaces, top);
         println!(
             "  {name}: success={} — moved {:>7} KB in {:>4} migrations ({:.2} ms of copying)",
             out.success,

@@ -12,35 +12,35 @@
 //! ```
 
 use trident_core::{map_chunk, CostModel, PagePolicy, ThpPolicy, TridentConfig, TridentPolicy};
-use trident_types::{AsId, PageGeometry, PageSize, Vpn, GIB};
+use trident_types::{AsId, PageGeometry, Vpn, GIB};
 use trident_virt::{copyless_promote_giant, Hypervisor};
 use trident_vm::{AddressSpace, VmaKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let geo = PageGeometry::TINY; // miniature geometry keeps the printout readable
+    let giant = geo.largest();
+    let huge = geo
+        .size_for_order(geo.level_order(2))
+        .expect("every ladder has a natural level-2 rung");
     let host_policy: Box<dyn PagePolicy> = Box::new(ThpPolicy::new());
-    let mut hyp = Hypervisor::new(geo, 32 * geo.base_pages(PageSize::Giant), host_policy);
+    let mut hyp = Hypervisor::new(geo, 32 * geo.base_pages(giant), host_policy);
     let mut vm = hyp.create_vm(
-        16 * geo.base_pages(PageSize::Giant),
+        16 * geo.base_pages(giant),
         Box::new(TridentPolicy::new(TridentConfig::paravirt())),
     );
     let asid = AsId::new(1);
     let mut proc = AddressSpace::new(asid, geo);
-    proc.mmap_at(
-        Vpn::new(0),
-        4 * geo.base_pages(PageSize::Giant),
-        VmaKind::Anon,
-    )?;
+    proc.mmap_at(Vpn::new(0), 4 * geo.base_pages(giant), VmaKind::Anon)?;
     vm.kernel.spaces.insert(proc);
 
     // Back the first "1GB" gVA chunk with 2MB guest pages, touching each
     // so the host populates its side.
-    let hp = geo.base_pages(PageSize::Huge);
-    let count = geo.base_pages(PageSize::Giant) / hp;
+    let hp = geo.base_pages(huge);
+    let count = geo.base_pages(giant) / hp;
     for i in 0..count {
         let head = Vpn::new(i * hp);
         let space = vm.kernel.spaces.get_mut(asid).expect("space exists");
-        map_chunk(&mut vm.kernel.ctx, space, head, PageSize::Huge)?;
+        map_chunk(&mut vm.kernel.ctx, space, head, huge)?;
         vm.touch(&mut hyp, asid, head, true)?;
     }
 
@@ -75,6 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn print_mappings(vm: &trident_virt::VirtualMachine, hyp: &Hypervisor, asid: AsId, pages: u64) {
+    let geo = vm.kernel.ctx.geometry();
     let space = vm.kernel.spaces.get(asid).expect("space exists");
     let host = hyp.spaces.get(vm.id()).expect("vm registered");
     for leaf in space.page_table().mappings_in(Vpn::new(0), pages) {
@@ -87,7 +88,7 @@ fn print_mappings(vm: &trident_virt::VirtualMachine, hyp: &Hypervisor, asid: AsI
         println!(
             "  gVA {:>6} --{}--> gPA {:>6} ----> hPA {:>6}",
             format!("{}", leaf.vpn),
-            leaf.size,
+            geo.label(leaf.size),
             format!("{}", gpa),
             hpa
         );

@@ -1,10 +1,14 @@
-//! Bit-identity proof for the `SystemBuilder` migration.
+//! Bit-identity proof for the `SystemBuilder` migration and the
+//! geometry-driven `PageSize` redesign.
 //!
 //! The golden hashes below were captured from the pre-refactor
 //! single-tenant `System::launch` path (fig1/table4/table5 at quick
 //! scale, seed 42, threads 1 and 4). A one-tenant `SystemBuilder` run
-//! must reproduce them bit for bit: the builder is a re-plumbing of the
-//! launch path, not a behavioural change.
+//! under the default x86-64 geometry must reproduce them bit for bit:
+//! the builder and the rung ladder are re-plumbings of the launch
+//! path, not behavioural changes. The committed CSVs under
+//! `tests/golden/` pin the same outputs as reviewable text
+//! (regenerate with `cargo run -p trident-sim --example golden_dump`).
 
 use trident_repro::sim::experiments::{self, ExpOptions};
 
@@ -26,32 +30,41 @@ fn opts(threads: usize) -> ExpOptions {
 
 #[test]
 fn fig1_matches_pre_refactor_golden_at_1_and_4_threads() {
-    let h1 = fnv1a(&experiments::fig1::run(&opts(1)).to_csv());
+    let csv = experiments::fig1::run(&opts(1)).to_csv();
     let h4 = fnv1a(&experiments::fig1::run(&opts(4)).to_csv());
-    assert_eq!(h1, h4, "fig1 must be thread-count invariant");
-    assert_eq!(h1, GOLDEN_FIG1, "fig1 drifted from the pre-refactor path");
+    assert_eq!(fnv1a(&csv), h4, "fig1 must be thread-count invariant");
+    assert_eq!(
+        fnv1a(&csv),
+        GOLDEN_FIG1,
+        "fig1 drifted from the pre-refactor path"
+    );
+    assert_eq!(csv, include_str!("golden/fig1.csv"));
 }
 
 #[test]
 fn table4_matches_pre_refactor_golden_at_1_and_4_threads() {
-    let h1 = fnv1a(&experiments::table4::run(&opts(1)).to_csv());
+    let csv = experiments::table4::run(&opts(1)).to_csv();
     let h4 = fnv1a(&experiments::table4::run(&opts(4)).to_csv());
-    assert_eq!(h1, h4, "table4 must be thread-count invariant");
+    assert_eq!(fnv1a(&csv), h4, "table4 must be thread-count invariant");
     assert_eq!(
-        h1, GOLDEN_TABLE4,
+        fnv1a(&csv),
+        GOLDEN_TABLE4,
         "table4 drifted from the pre-refactor path"
     );
+    assert_eq!(csv, include_str!("golden/table4.csv"));
 }
 
 #[test]
 fn table5_matches_pre_refactor_golden_at_1_and_4_threads() {
-    let h1 = fnv1a(&experiments::table5::run(&opts(1)).to_csv());
+    let csv = experiments::table5::run(&opts(1)).to_csv();
     let h4 = fnv1a(&experiments::table5::run(&opts(4)).to_csv());
-    assert_eq!(h1, h4, "table5 must be thread-count invariant");
+    assert_eq!(fnv1a(&csv), h4, "table5 must be thread-count invariant");
     assert_eq!(
-        h1, GOLDEN_TABLE5,
+        fnv1a(&csv),
+        GOLDEN_TABLE5,
         "table5 drifted from the pre-refactor path"
     );
+    assert_eq!(csv, include_str!("golden/table5.csv"));
 }
 
 const GOLDEN_FIG1: u64 = 678_687_198_921_039_402;

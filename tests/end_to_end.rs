@@ -44,13 +44,15 @@ fn trident_uses_all_three_page_sizes_on_an_incremental_workload() {
     let spec = WorkloadSpec::by_name("Redis").unwrap();
     let mut s = launch(quick(128), PolicyKind::Trident, spec).unwrap();
     s.settle();
-    assert!(
-        s.mapped_bytes(PageSize::Giant) > 0,
-        "giant pages via promotion"
-    );
-    assert!(s.mapped_bytes(PageSize::Huge) > 0, "huge pages on the rest");
+    let geo = s.geometry();
+    let giant = geo.largest();
+    let huge = geo
+        .size_for_order(geo.level_order(2))
+        .expect("every ladder has a natural level-2 rung");
+    assert!(s.mapped_bytes(giant) > 0, "giant pages via promotion");
+    assert!(s.mapped_bytes(huge) > 0, "huge pages on the rest");
     // The name: three page sizes at once.
-    assert!(s.mapped_bytes(PageSize::Base) + s.mapped_bytes(PageSize::Huge) > 0);
+    assert!(s.mapped_bytes(PageSize::BASE) + s.mapped_bytes(huge) > 0);
     assert_mm_consistent(&s.ctx, &s.spaces);
 }
 
@@ -62,7 +64,7 @@ fn fragmentation_defeats_hugetlbfs_but_not_trident() {
     let mut s = launch(config, PolicyKind::Trident, spec).unwrap();
     s.settle();
     assert!(
-        s.mapped_bytes(PageSize::Giant) > 0,
+        s.mapped_bytes(s.geometry().largest()) > 0,
         "smart compaction recovers 1GB contiguity"
     );
     assert_mm_consistent(&s.ctx, &s.spaces);
@@ -76,7 +78,7 @@ fn incremental_allocators_get_no_giant_pages_from_faults_alone() {
     // Table 3 / Table 4: Redis never even attempts a fault-time 1GB
     // allocation — its VA grows too incrementally.
     assert_eq!(s.ctx.snapshot().giant_attempts_fault, 0);
-    assert_eq!(s.mapped_bytes(PageSize::Giant), 0);
+    assert_eq!(s.mapped_bytes(s.geometry().largest()), 0);
 }
 
 #[test]
@@ -87,7 +89,7 @@ fn smart_compaction_copies_fewer_bytes_than_normal() {
         s.settle();
         (
             s.ctx.snapshot().compaction_bytes_copied,
-            s.mapped_bytes(PageSize::Giant),
+            s.mapped_bytes(s.geometry().largest()),
         )
     };
     let (normal_bytes, normal_giant) = run(PolicyKind::TridentNC);
@@ -134,12 +136,13 @@ fn zero_fill_pool_accelerates_giant_faults() {
     let spec = WorkloadSpec::by_name("XSBench").unwrap();
     let mut s = launch(quick(128), PolicyKind::Trident, spec).unwrap();
     s.settle();
-    let giant_faults = s.ctx.snapshot().faults[PageSize::Giant as usize];
+    let top = s.geometry().largest();
+    let giant_faults = s.ctx.snapshot().faults[top.rung()];
     assert!(giant_faults > 0);
     // With the background zero-fill thread running during load, the mean
     // 1GB fault should be far below the synchronous zeroing latency.
-    let sync_ns = s.ctx.cost.fault_ns(&s.config.geo, PageSize::Giant, false);
-    let mean = s.ctx.snapshot().mean_giant_fault_ns().unwrap();
+    let sync_ns = s.ctx.cost.fault_ns(&s.config.geo, top, false);
+    let mean = s.ctx.snapshot().mean_fault_ns(top).unwrap();
     assert!(
         mean < sync_ns / 2,
         "mean giant fault {mean}ns should be well under sync {sync_ns}ns"

@@ -15,7 +15,9 @@ use trident_repro::types::{PageGeometry, PageSize, TenantId};
 const TENANTS: u32 = 3;
 
 fn page_sizes() -> impl Strategy<Value = PageSize> {
-    (0usize..PageSize::ALL.len()).prop_map(|i| PageSize::ALL[i])
+    // The attribution contract is ladder-agnostic: exercise every rung
+    // slot the counters can index, not just one geometry's ladder.
+    (0usize..trident_repro::types::MAX_RUNGS).prop_map(PageSize::new)
 }
 
 fn sites() -> impl Strategy<Value = AllocSite> {
@@ -72,7 +74,7 @@ proptest! {
         let geo = PageGeometry::TINY;
         let mut ctx = MmContext::new(PhysicalMemory::new(
             geo,
-            4 * geo.base_pages(PageSize::Giant),
+            4 * geo.base_pages(geo.largest()),
         ));
         for (tenant, event) in &ops {
             ctx.set_tenant_scope(Some(TenantId::new(*tenant)));
